@@ -1,0 +1,32 @@
+"""Shared fixtures for the reproduction benchmarks."""
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def report(request):
+    """Write benchmark tables both to the terminal and to benchmarks/results/.
+
+    The terminal reporter bypasses pytest's output capture, so the paper
+    tables appear in ``pytest benchmarks/`` output (and in bench_output.txt)
+    even for passing tests; the results directory keeps a durable copy per
+    experiment for EXPERIMENTS.md.
+    """
+    terminal = request.config.pluginmanager.get_plugin("terminalreporter")
+    RESULTS_DIR.mkdir(exist_ok=True)
+    stem = request.node.name.replace("/", "_")
+    path = RESULTS_DIR / f"{stem}.txt"
+    lines: list[str] = []
+
+    def write(text: str = "") -> None:
+        for line in str(text).split("\n"):
+            lines.append(line)
+            if terminal is not None:
+                terminal.write_line(line)
+
+    yield write
+    path.write_text("\n".join(lines) + "\n")

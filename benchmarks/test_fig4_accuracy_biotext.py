@@ -1,0 +1,57 @@
+"""Figure 4: accuracy vs time on the Bio-Text dataset (sPCA-MR vs Mahout).
+
+Paper shape: sPCA reaches ~93% of ideal accuracy in its second iteration
+and converges quickly; Mahout-PCA takes several times longer to approach
+the same accuracy.
+"""
+
+import pytest
+
+from harness import dataset_ideal_accuracy, run_mahout, run_spca
+from repro.data.paper import biotext_series
+from repro.metrics import percent_of_ideal
+
+
+@pytest.mark.benchmark(group="fig4")
+def test_fig4_accuracy_vs_time_biotext(benchmark, report):
+    spec = biotext_series()[1]  # the 10K-column point used in the figure
+    data = spec.generate()
+    ideal = dataset_ideal_accuracy(data)
+    outcomes = {}
+
+    def run_all():
+        outcomes["spca"] = run_spca(data, "mapreduce", ideal=ideal)
+        outcomes["mahout"] = run_mahout(data, ideal=ideal, power_iterations=5)
+        return 2
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+    spca, mahout = outcomes["spca"], outcomes["mahout"]
+
+    report(f"Figure 4: accuracy vs time, Bio-Text ({spec.label}); ideal={ideal:.4f}")
+    report(f"{'series':<18}{'time (sim s)':>14}{'accuracy':>10}{'% of ideal':>12}")
+    for label, outcome in (("sPCA-MapReduce", spca), ("Mahout-PCA", mahout)):
+        for seconds, accuracy in outcome.accuracy_timeline:
+            report(
+                f"{label:<18}{seconds:>14.1f}{accuracy:>10.4f}"
+                f"{percent_of_ideal(accuracy, ideal):>12.1f}"
+            )
+
+    # sPCA reaches >=90% of ideal within its first two iterations.
+    assert len(spca.accuracy_timeline) >= 2
+    second_iteration_accuracy = spca.accuracy_timeline[1][1]
+    assert percent_of_ideal(second_iteration_accuracy, ideal) >= 90.0
+
+    # sPCA reaches 95% of ideal sooner than Mahout does.
+    spca_time = spca.time_to_accuracy(0.95 * ideal) if hasattr(spca, "time_to_accuracy") else None
+    spca_time = next(
+        (t for t, a in spca.accuracy_timeline if a >= 0.95 * ideal), None
+    )
+    mahout_time = next(
+        (t for t, a in mahout.accuracy_timeline if a >= 0.95 * ideal), None
+    )
+    assert spca_time is not None
+    if mahout_time is not None:
+        assert spca_time < mahout_time
+    else:
+        # Mahout never reached the target: strictly worse.
+        assert spca_time < mahout.seconds

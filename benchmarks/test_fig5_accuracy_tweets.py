@@ -1,0 +1,62 @@
+"""Figure 5: accuracy vs time on Tweets, including smart-guess init (sPCA-SG).
+
+Paper shape: sPCA dominates Mahout-PCA at every point in time, and the
+smart-guess warm start (fit on a small row sample first) lifts the early
+part of the curve at the cost of a small initialization delay.
+"""
+
+import pytest
+
+from harness import dataset_ideal_accuracy, default_config, run_mahout, run_spca
+from repro.data.paper import tweets_series
+from repro.metrics import percent_of_ideal
+
+
+@pytest.mark.benchmark(group="fig5")
+def test_fig5_accuracy_vs_time_tweets(benchmark, report):
+    spec = tweets_series()[1]  # 6K-column point
+    data = spec.generate()
+    ideal = dataset_ideal_accuracy(data)
+    outcomes = {}
+
+    def run_all():
+        outcomes["spca"] = run_spca(data, "mapreduce", ideal=ideal)
+        sg_config = default_config(
+            ideal_accuracy=ideal, smart_init=True,
+            smart_init_fraction=0.05, smart_init_iterations=20,
+        )
+        outcomes["spca_sg"] = run_spca(data, "mapreduce", ideal=ideal, config=sg_config)
+        outcomes["mahout"] = run_mahout(data, ideal=ideal, power_iterations=5)
+        return 3
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+    spca = outcomes["spca"]
+    spca_sg = outcomes["spca_sg"]
+    mahout = outcomes["mahout"]
+
+    report(f"Figure 5: accuracy vs time, Tweets ({spec.label}); ideal={ideal:.4f}")
+    report(f"{'series':<18}{'time (sim s)':>14}{'accuracy':>10}{'% of ideal':>12}")
+    for label, outcome in (
+        ("sPCA-SG", spca_sg), ("sPCA-MapReduce", spca), ("Mahout-PCA", mahout),
+    ):
+        for seconds, accuracy in outcome.accuracy_timeline:
+            report(
+                f"{label:<18}{seconds:>14.1f}{accuracy:>10.4f}"
+                f"{percent_of_ideal(accuracy, ideal):>12.1f}"
+            )
+
+    # sPCA stops once it hits the 95%-of-ideal target, so assert it got
+    # there (Mahout may keep refining past its own target-crossing).
+    assert spca.final_accuracy >= 0.95 * ideal
+
+    # The smart guess lifts first-iteration accuracy above cold start.
+    assert spca_sg.accuracy_timeline[0][1] >= spca.accuracy_timeline[0][1]
+
+    # sPCA reaches 95% of ideal before Mahout.
+    def first_time(outcome, threshold):
+        return next((t for t, a in outcome.accuracy_timeline if a >= threshold), None)
+
+    spca_time = first_time(spca, 0.95 * ideal)
+    mahout_time = first_time(mahout, 0.95 * ideal)
+    assert spca_time is not None
+    assert mahout_time is None or spca_time < mahout_time

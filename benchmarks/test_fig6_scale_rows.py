@@ -1,0 +1,58 @@
+"""Figure 6: time to 95% of ideal accuracy as the number of rows grows.
+
+Paper shape (Tweets at full column width, rows swept 0.1M -> 1000M): the
+two algorithms are close at small N, but sPCA-MapReduce's running time
+grows much more slowly than Mahout-PCA's, opening a gap of orders of
+magnitude at the top of the sweep.
+"""
+
+import pytest
+
+from harness import dataset_ideal_accuracy, run_mahout, run_spca
+from repro.data.generators import bag_of_words
+
+ROW_SWEEP = (2_000, 8_000, 32_000, 96_000)
+N_COLS = 2_000  # wide sparse matrix, like the full 71.5K-column Tweets
+
+
+@pytest.mark.benchmark(group="fig6")
+def test_fig6_time_vs_rows(benchmark, report):
+    results = {}
+
+    def run_all():
+        for n_rows in ROW_SWEEP:
+            data = bag_of_words(n_rows, N_COLS, words_per_doc=8.0, seed=606)
+            ideal = dataset_ideal_accuracy(data)
+            results[n_rows] = (
+                run_spca(data, "mapreduce", ideal=ideal),
+                run_mahout(data, ideal=ideal),
+            )
+        return len(results)
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    report(f"Figure 6: time (sim s) to 95% ideal accuracy vs rows (D={N_COLS})")
+    report(f"{'rows':>10}{'sPCA-MapReduce':>18}{'Mahout-PCA':>14}{'ratio':>8}")
+    for n_rows, (spca, mahout) in results.items():
+        ratio = mahout.effective_time / spca.effective_time
+        report(
+            f"{n_rows:>10,}{spca.effective_time:>18.1f}"
+            f"{mahout.effective_time:>14.1f}{ratio:>8.1f}"
+        )
+
+    smallest = results[ROW_SWEEP[0]]
+    largest = results[ROW_SWEEP[-1]]
+
+    # The gap widens with scale: Mahout/sPCA ratio grows from smallest to
+    # largest N.
+    ratio_small = smallest[1].effective_time / smallest[0].effective_time
+    ratio_large = largest[1].effective_time / largest[0].effective_time
+    assert ratio_large > ratio_small
+
+    # sPCA's running time grows more slowly than Mahout's across the sweep.
+    spca_growth = largest[0].effective_time / smallest[0].effective_time
+    mahout_growth = largest[1].effective_time / smallest[1].effective_time
+    assert spca_growth < mahout_growth
+
+    # At the largest size sPCA wins outright.
+    assert largest[0].effective_time < largest[1].effective_time

@@ -1,0 +1,60 @@
+"""Figure 7: time to 95% ideal accuracy vs columns, on Spark.
+
+Paper shape: MLlib-PCA fails beyond D = 6,000 (scaled: 600) because the
+D x D covariance must fit in the driver; below that boundary its running
+time grows quadratically with D while sPCA-Spark grows ~linearly, so the
+gap widens with D.
+"""
+
+import pytest
+
+from harness import FAILED, dataset_ideal_accuracy, run_mllib, run_spca
+from repro.data.generators import bag_of_words
+
+COLUMN_SWEEP = (200, 400, 600, 1500, 4000, 7150)
+N_ROWS = 8_000
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_fig7_time_vs_columns(benchmark, report):
+    results = {}
+
+    def run_all():
+        from harness import default_config
+
+        for n_cols in COLUMN_SWEEP:
+            data = bag_of_words(N_ROWS, n_cols, words_per_doc=8.0, seed=707)
+            ideal = dataset_ideal_accuracy(data)
+            # A generous error sample keeps the per-iteration accuracy
+            # estimate stable, so the target-crossing iteration -- and with
+            # it the reported time -- is deterministic at the boundary.
+            config = default_config(ideal_accuracy=ideal, error_sample_fraction=0.5)
+            results[n_cols] = (
+                run_spca(data, "spark", ideal=ideal, config=config),
+                run_mllib(data),
+            )
+        return len(results)
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    report(f"Figure 7: time (sim s) to 95% ideal accuracy vs columns (N={N_ROWS})")
+    report(f"{'columns':>9}{'sPCA-Spark':>13}{'MLlib-PCA':>12}")
+    for n_cols, (spca, mllib) in results.items():
+        mllib_cell = FAILED if mllib.failed else f"{mllib.effective_time:.1f}"
+        report(f"{n_cols:>9,}{spca.effective_time:>13.1f}{mllib_cell:>12}")
+
+    # MLlib's failure boundary: works through 600 columns, fails beyond.
+    for n_cols in COLUMN_SWEEP:
+        spca, mllib = results[n_cols]
+        assert mllib.failed == (n_cols > 600), n_cols
+        assert not spca.failed  # sPCA never fails
+
+    # MLlib's time grows quadratically with D (x9 for x3 columns, within
+    # slack); sPCA grows far more slowly over the same range.
+    mllib_growth = results[600][1].effective_time / results[200][1].effective_time
+    spca_growth = results[600][0].effective_time / results[200][0].effective_time
+    assert mllib_growth > 3.0
+    assert spca_growth < mllib_growth
+
+    # At the boundary size, sPCA-Spark is faster (paper: ~half the time).
+    assert results[600][0].effective_time < results[600][1].effective_time

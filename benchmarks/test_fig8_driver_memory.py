@@ -1,0 +1,65 @@
+"""Figure 8: driver memory consumption vs columns, on Spark.
+
+Paper shape: sPCA-Spark's driver memory is almost flat in D (it only holds
+O(D*d) state), while MLlib-PCA's grows as D^2 until it exceeds the driver's
+memory -- which is exactly where Figure 7's failures come from.
+"""
+
+import pytest
+
+from harness import format_bytes, run_mllib, run_spca
+from repro.data.generators import bag_of_words
+from repro.data.paper import scaled_cluster
+
+COLUMN_SWEEP = (200, 400, 600, 1500, 4000, 7150)
+N_ROWS = 4_000
+
+
+@pytest.mark.benchmark(group="fig8")
+def test_fig8_driver_memory(benchmark, report):
+    results = {}
+
+    def run_all():
+        for n_cols in COLUMN_SWEEP:
+            data = bag_of_words(N_ROWS, n_cols, words_per_doc=8.0, seed=808)
+            results[n_cols] = (run_spca(data, "spark"), run_mllib(data))
+        return len(results)
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    limit = scaled_cluster().driver_memory_bytes
+    report(
+        f"Figure 8: peak driver memory vs columns (N={N_ROWS}; "
+        f"driver limit {format_bytes(limit)})"
+    )
+    report(f"{'columns':>9}{'sPCA-Spark':>14}{'MLlib-PCA':>14}")
+    for n_cols, (spca, mllib) in results.items():
+        mllib_cell = (
+            f"{format_bytes(mllib.peak_driver_bytes)} (OOM)"
+            if mllib.failed
+            else format_bytes(mllib.peak_driver_bytes)
+        )
+        report(
+            f"{n_cols:>9,}{format_bytes(spca.peak_driver_bytes):>14}{mllib_cell:>20}"
+        )
+
+    # sPCA's driver memory stays under the limit at every size and grows
+    # only linearly with D.
+    for n_cols, (spca, _) in results.items():
+        assert spca.peak_driver_bytes < limit, n_cols
+    spca_growth = (
+        results[600][0].peak_driver_bytes / results[200][0].peak_driver_bytes
+    )
+    assert spca_growth < 5.0
+
+    # MLlib's driver memory grows ~quadratically until the boundary.
+    mllib_growth = (
+        results[600][1].peak_driver_bytes / results[200][1].peak_driver_bytes
+    )
+    assert mllib_growth > 5.0
+    # Beyond the boundary, the requested covariance no longer fits.
+    assert results[1500][1].failed
+    # sPCA uses far less driver memory than MLlib at the boundary size.
+    assert (
+        results[600][0].peak_driver_bytes < 0.5 * results[600][1].peak_driver_bytes
+    )

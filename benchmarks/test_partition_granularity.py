@@ -1,0 +1,50 @@
+"""Design-choice ablation: input partition granularity.
+
+sPCA's mapper output is one partial (YtX, XtX) pair *per split*, so the
+shuffle volume is proportional to the number of splits: finer partitioning
+buys scheduling flexibility but multiplies communicated partials.  This is
+the block-size trade-off every distributed matrix library faces; the bench
+quantifies it on the Spark backend.
+"""
+
+import pytest
+
+from harness import SPARK_COSTS, default_config, format_bytes
+from repro.backends import SparkBackend
+from repro.core import SPCA
+from repro.data.generators import bag_of_words
+from repro.data.paper import scaled_cluster
+from repro.engine.spark.context import SparkContext
+
+PARTITIONS_PER_CORE = (1, 2, 4)
+
+
+@pytest.mark.benchmark(group="partition-granularity")
+def test_partition_granularity(benchmark, report):
+    data = bag_of_words(20_000, 3_000, words_per_doc=8.0, seed=66)
+    config = default_config(max_iterations=3, compute_error_every_iteration=False)
+    results = {}
+
+    def run_all():
+        for ppc in PARTITIONS_PER_CORE:
+            backend = SparkBackend(
+                config,
+                SparkContext(cluster=scaled_cluster(), cost_model=SPARK_COSTS),
+                partitions_per_core=ppc,
+            )
+            SPCA(config, backend).fit(data)
+            results[ppc] = (backend.simulated_seconds, backend.intermediate_bytes)
+        return len(results)
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    report("Partition granularity (Spark backend, 20000x3000, 3 iterations)")
+    report(f"{'parts/core':>11}{'partitions':>12}{'sim s':>8}{'intermediate':>16}")
+    cores = scaled_cluster().total_cores
+    for ppc, (seconds, nbytes) in results.items():
+        report(f"{ppc:>11}{ppc * cores:>12}{seconds:>8.1f}{format_bytes(nbytes):>16}")
+
+    # Finer partitioning communicates more partial matrices.
+    volumes = [results[ppc][1] for ppc in PARTITIONS_PER_CORE]
+    assert volumes == sorted(volumes)
+    assert volumes[-1] > 1.5 * volumes[0]

@@ -1,0 +1,44 @@
+"""SSVD's accuracy/cost trade-off (Section 2.3).
+
+"Accuracy can be improved through running the randomization step multiple
+times.  Therefore, SSVD has the flexibility of trading off the accuracy of
+the results with the required computational resources."  This bench sweeps
+the power-iteration count of the Mahout-PCA analog and shows accuracy
+rising with (and running time proportional to) the invested passes --
+context for why Mahout's accuracy curves climb so slowly in Figures 4-5.
+"""
+
+import pytest
+
+from harness import dataset_ideal_accuracy, run_mahout
+from repro.data.generators import bag_of_words
+
+POWER_SWEEP = (0, 1, 2, 4)
+
+
+@pytest.mark.benchmark(group="ssvd-tradeoff")
+def test_ssvd_accuracy_cost_tradeoff(benchmark, report):
+    data = bag_of_words(10_000, 1_500, words_per_doc=8.0, seed=99)
+    ideal = dataset_ideal_accuracy(data)
+    results = {}
+
+    def run_all():
+        for q in POWER_SWEEP:
+            results[q] = run_mahout(data, ideal=ideal, power_iterations=q)
+        return len(results)
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    report(f"SSVD accuracy/cost trade-off (ideal accuracy {ideal:.4f})")
+    report(f"{'power its':>10}{'time (sim s)':>14}{'final accuracy':>16}")
+    for q, outcome in results.items():
+        report(f"{q:>10}{outcome.seconds:>14.1f}{outcome.final_accuracy:>16.4f}")
+
+    # More passes cost more time (endpoints compared; intermediate points
+    # can be perturbed by single-process timing noise feeding the simulated
+    # clock)...
+    assert results[POWER_SWEEP[-1]].seconds > results[0].seconds
+    # ...and buy accuracy (from the cheapest to the most expensive setting).
+    assert results[POWER_SWEEP[-1]].final_accuracy > results[0].final_accuracy
+    # The expensive setting approaches the ideal.
+    assert results[POWER_SWEEP[-1]].final_accuracy > 0.9 * ideal

@@ -1,0 +1,79 @@
+"""Table 1: analytical complexity of the PCA methods + empirical validation.
+
+Prints the paper's Table 1 evaluated at the Tweets dimensions, then checks
+the communication-complexity column *empirically*: measured intermediate
+bytes of the engine implementations must scale with D (and not with N) the
+way the formulas say.
+"""
+
+import pytest
+
+from harness import run_mahout, run_mllib, run_spca
+from repro.analysis import table1
+from repro.analysis.cost_model import COVARIANCE, PPCA
+from repro.data.generators import bag_of_words
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_cost_model(benchmark, report):
+    measurements = {}
+
+    def run_all():
+        # Column sizes stay below the scaled MLlib failure boundary (600)
+        # so all three algorithms complete.
+        for label, n_rows, n_cols in (
+            ("smallD", 3000, 200),
+            ("bigD", 3000, 600),
+            ("bigN", 18000, 200),
+        ):
+            data = bag_of_words(n_rows, n_cols, seed=55)
+            measurements[label] = {
+                "spca": run_spca(data, "spark", d=10),
+                "mllib": run_mllib(data, d=10),
+                "mahout": run_mahout(data, d=10, compute_accuracy=False),
+            }
+        return len(measurements)
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    n, d_cols, d = 1_264_812_931, 71_503, 50
+    report(f"Table 1 evaluated at Tweets scale (N={n:,}, D={d_cols:,}, d={d})")
+    report(f"{'Method':<28}{'Time':<22}{'Communication':<26}{'Libraries'}")
+    for row in table1(n, d_cols, d):
+        report(
+            f"{row.method:<28}{row.time_formula:<22}"
+            f"{row.communication_formula:<26}{row.example_libraries}"
+        )
+    report()
+    report("Empirical check of the communication column (measured bytes):")
+    for label, ms in measurements.items():
+        report(
+            f"  {label:<8} sPCA={ms['spca'].intermediate_bytes:>12,}  "
+            f"MLlib={ms['mllib'].intermediate_bytes:>12,}  "
+            f"Mahout={ms['mahout'].intermediate_bytes:>12,}"
+        )
+
+    small, big_d, big_n = measurements["smallD"], measurements["bigD"], measurements["bigN"]
+
+    # Covariance/MLlib: communication O(D^2) -- tripling D gives ~9x bytes,
+    # tripling N changes little.
+    mllib_d_ratio = big_d["mllib"].intermediate_bytes / small["mllib"].intermediate_bytes
+    mllib_n_ratio = big_n["mllib"].intermediate_bytes / small["mllib"].intermediate_bytes
+    assert mllib_d_ratio > 5.0
+    assert mllib_n_ratio < 2.0
+
+    # PPCA/sPCA: communication O(D*d) -- sub-quadratic in D, ~flat in N.
+    spca_d_ratio = big_d["spca"].intermediate_bytes / small["spca"].intermediate_bytes
+    spca_n_ratio = big_n["spca"].intermediate_bytes / small["spca"].intermediate_bytes
+    assert spca_d_ratio < mllib_d_ratio
+    assert spca_n_ratio < 3.0
+
+    # SSVD/Mahout: communication has the O(N*d) term -- grows with N far
+    # faster than sPCA's does.
+    mahout_n_ratio = big_n["mahout"].intermediate_bytes / small["mahout"].intermediate_bytes
+    assert mahout_n_ratio > 2.0
+    assert mahout_n_ratio > spca_n_ratio
+
+    # Sanity on the analytical table itself.
+    rows = {row.method: row for row in table1(n, d_cols, d)}
+    assert rows[PPCA].communication_elements < rows[COVARIANCE].communication_elements

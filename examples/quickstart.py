@@ -1,0 +1,39 @@
+"""Quickstart: fit sPCA on a synthetic dataset and inspect the model.
+
+Run with:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.core import SPCA, SPCAConfig
+from repro.data import lowrank_dense
+from repro.metrics import accuracy_from_error, reconstruction_error
+
+
+def main() -> None:
+    # A 2,000 x 50 dense matrix with rank-5 structure plus noise.
+    data = lowrank_dense(n_rows=2_000, n_cols=50, rank=5, noise=0.1, seed=42)
+
+    config = SPCAConfig(n_components=5, max_iterations=30, tolerance=1e-6, seed=0)
+    model, history = SPCA(config).fit(data)
+
+    print(f"fitted {model.n_components} components over {model.n_features} features")
+    print(f"iterations: {history.n_iterations} (stop reason: {history.stop_reason})")
+    print(f"noise variance ss = {model.noise_variance:.6f}")
+
+    error = reconstruction_error(data, model.components, model.mean)
+    print(f"reconstruction accuracy: {accuracy_from_error(error):.4f}")
+
+    # Project to the 5-dimensional latent space and back.
+    latent = model.transform(data)
+    restored = model.inverse_transform(latent)
+    print(f"latent shape: {latent.shape}, restored shape: {restored.shape}")
+
+    # Explained variance per principal direction.
+    directions, variances = model.principal_directions(data)
+    shares = variances / variances.sum()
+    print("variance split across components:", np.round(shares, 3))
+
+
+if __name__ == "__main__":
+    main()

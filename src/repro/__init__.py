@@ -1,0 +1,37 @@
+"""repro: a full Python reproduction of sPCA (SIGMOD 2015).
+
+sPCA is a scalable Principal Component Analysis for big data on distributed
+platforms (Elgamal, Yabandeh, Aboulnaga, Mustafa, Hefeeda; SIGMOD 2015).
+This package reimplements the whole system from scratch:
+
+- :mod:`repro.core` -- the PPCA EM algorithm and the sPCA driver;
+- :mod:`repro.linalg` -- the mean-propagated matrix primitives of Section 3;
+- :mod:`repro.engine` -- simulated MapReduce and Spark platforms with
+  byte-accurate dataflow accounting;
+- :mod:`repro.backends` -- sPCA on each platform;
+- :mod:`repro.baselines` -- Mahout-PCA (stochastic SVD), MLlib-PCA
+  (covariance eigendecomposition), SVD-Bidiag, and Lanczos SVD;
+- :mod:`repro.analysis` -- the Table 1 cost model;
+- :mod:`repro.data` -- synthetic analogs of the paper's four datasets;
+- :mod:`repro.metrics` -- the paper's accuracy metric and subspace checks;
+- :mod:`repro.extensions` -- PPCA with missing values and mixtures of PPCA.
+
+Quickstart::
+
+    from repro import SPCA, SPCAConfig
+    model, history = SPCA(SPCAConfig(n_components=10)).fit(matrix)
+"""
+
+from repro.core import SPCA, PCAModel, SPCAConfig, TrainingHistory, fit_ppca
+from repro.errors import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "PCAModel",
+    "ReproError",
+    "SPCA",
+    "SPCAConfig",
+    "TrainingHistory",
+    "fit_ppca",
+]

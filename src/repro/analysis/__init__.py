@@ -1,0 +1,23 @@
+"""Analytical models from Section 2 of the paper."""
+
+from repro.analysis.phases import Phase, breakdown_totals, phase_breakdown
+from repro.analysis.cost_model import (
+    METHODS,
+    MethodCosts,
+    communication_complexity,
+    method_costs,
+    table1,
+    time_complexity,
+)
+
+__all__ = [
+    "METHODS",
+    "Phase",
+    "breakdown_totals",
+    "phase_breakdown",
+    "MethodCosts",
+    "communication_complexity",
+    "method_costs",
+    "table1",
+    "time_complexity",
+]

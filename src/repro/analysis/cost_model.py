@@ -1,0 +1,114 @@
+"""The distributed execution cost model of Section 2 (Table 1).
+
+For each PCA method the paper derives two worst-case quantities for an
+``N x D`` input and ``d`` principal components:
+
+=============================  =====================  ==========================
+Method                         Time complexity        Communication complexity
+=============================  =====================  ==========================
+Eigen decomp. of covariance    O(N*D*min(N, D))       O(D^2)
+SVD-Bidiag                     O(N*D^2 + D^3)         O(max((N+D)*d, D^2))
+Stochastic SVD (SSVD)          O(N*D*d)               O(max(N*d, d^2))
+Probabilistic PCA (sPCA)       O(N*D*d)               O(D*d)
+=============================  =====================  ==========================
+
+The numeric evaluators below return the dominant term's value (unit
+operations / unit elements), which is what the empirical-scaling benchmark
+checks the engines against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ShapeError
+
+COVARIANCE = "covariance-eigen"
+SVD_BIDIAG = "svd-bidiag"
+SSVD = "ssvd"
+PPCA = "ppca"
+
+METHODS: tuple[str, ...] = (COVARIANCE, SVD_BIDIAG, SSVD, PPCA)
+
+_LIBRARIES = {
+    COVARIANCE: "MLlib-PCA (Spark), RScaLAPACK",
+    SVD_BIDIAG: "RScaLAPACK",
+    SSVD: "Mahout-PCA (MapReduce)",
+    PPCA: "sPCA (our algorithm)",
+}
+
+_TIME_FORMULAS = {
+    COVARIANCE: "O(ND * min(N, D))",
+    SVD_BIDIAG: "O(ND^2 + D^3)",
+    SSVD: "O(NDd)",
+    PPCA: "O(NDd)",
+}
+
+_COMM_FORMULAS = {
+    COVARIANCE: "O(D^2)",
+    SVD_BIDIAG: "O(max((N + D)d, D^2))",
+    SSVD: "O(max(Nd, d^2))",
+    PPCA: "O(Dd)",
+}
+
+
+@dataclass(frozen=True)
+class MethodCosts:
+    """One row of Table 1, symbolic and numeric."""
+
+    method: str
+    time_formula: str
+    communication_formula: str
+    example_libraries: str
+    time_ops: float
+    communication_elements: float
+
+
+def _validate(n: int, d_cols: int, d: int) -> None:
+    if n < 1 or d_cols < 1 or d < 1:
+        raise ShapeError(f"N, D, d must be positive, got {(n, d_cols, d)}")
+    if d > d_cols:
+        raise ShapeError(f"d={d} cannot exceed D={d_cols}")
+
+
+def time_complexity(method: str, n: int, d_cols: int, d: int) -> float:
+    """Dominant-term operation count for *method* on an N x D, d-component run."""
+    _validate(n, d_cols, d)
+    if method == COVARIANCE:
+        return float(n) * d_cols * min(n, d_cols)
+    if method == SVD_BIDIAG:
+        return float(n) * d_cols**2 + float(d_cols) ** 3
+    if method in (SSVD, PPCA):
+        return float(n) * d_cols * d
+    raise ShapeError(f"unknown method: {method!r}")
+
+
+def communication_complexity(method: str, n: int, d_cols: int, d: int) -> float:
+    """Dominant-term intermediate-data element count for *method*."""
+    _validate(n, d_cols, d)
+    if method == COVARIANCE:
+        return float(d_cols) ** 2
+    if method == SVD_BIDIAG:
+        return float(max((n + d_cols) * d, d_cols**2))
+    if method == SSVD:
+        return float(max(n * d, d**2))
+    if method == PPCA:
+        return float(d_cols) * d
+    raise ShapeError(f"unknown method: {method!r}")
+
+
+def method_costs(method: str, n: int, d_cols: int, d: int) -> MethodCosts:
+    """The full Table 1 row for one method at concrete sizes."""
+    return MethodCosts(
+        method=method,
+        time_formula=_TIME_FORMULAS[method],
+        communication_formula=_COMM_FORMULAS[method],
+        example_libraries=_LIBRARIES[method],
+        time_ops=time_complexity(method, n, d_cols, d),
+        communication_elements=communication_complexity(method, n, d_cols, d),
+    )
+
+
+def table1(n: int, d_cols: int, d: int) -> list[MethodCosts]:
+    """All four rows of Table 1 evaluated at concrete sizes."""
+    return [method_costs(method, n, d_cols, d) for method in METHODS]

@@ -1,0 +1,33 @@
+"""The PCA algorithms the paper compares against (Section 2).
+
+- :mod:`repro.baselines.covariance_pca` -- eigendecomposition of the
+  covariance matrix on the Spark engine (MLlib-PCA analog).
+- :mod:`repro.baselines.ssvd` -- sequential stochastic SVD (Halko), the
+  algorithmic core of Mahout's SSVD.
+- :mod:`repro.baselines.ssvd_pca` -- Mahout-PCA analog: SSVD with the mean
+  propagated, run as a chain of MapReduce jobs that materialize the big
+  intermediate matrices the paper blames for Mahout's poor scaling.
+- :mod:`repro.baselines.svd_bidiag` -- Demmel-Kahan three-step dense SVD
+  (QR, Golub-Kahan bidiagonalization, bidiagonal SVD).
+- :mod:`repro.baselines.lanczos` -- Golub-Kahan-Lanczos bidiagonalization
+  SVD for sparse matrices.
+"""
+
+from repro.baselines.covariance_mapreduce import CovariancePCAMapReduce
+from repro.baselines.covariance_pca import CovariancePCA
+from repro.baselines.lanczos import lanczos_svd
+from repro.baselines.result import BaselineResult
+from repro.baselines.ssvd import stochastic_svd
+from repro.baselines.ssvd_pca import SSVDPCAMapReduce
+from repro.baselines.svd_bidiag import bidiagonalize, svd_bidiag
+
+__all__ = [
+    "BaselineResult",
+    "CovariancePCA",
+    "CovariancePCAMapReduce",
+    "SSVDPCAMapReduce",
+    "bidiagonalize",
+    "lanczos_svd",
+    "stochastic_svd",
+    "svd_bidiag",
+]

@@ -1,0 +1,140 @@
+"""Covariance PCA on MapReduce (Chu et al., NIPS 2006).
+
+The Related Work section describes this approach: "they show that the
+covariance matrix can efficiently be computed in the MapReduce model using
+only one pass on the data.  Afterwards, they use a centralized algorithm to
+obtain the eigenvectors.  The disadvantage ... is that it requires storing
+the covariance matrix in the memory of one machine" -- fine for thin
+matrices, infeasible for wide ones.  (The paper even borrows this pattern
+for sPCA's XtX computation.)
+
+One MapReduce job accumulates per-split partial Gramians and column sums
+with a stateful combiner; the driver assembles the covariance and runs the
+eigendecomposition.  A driver-memory budget models the single-machine
+constraint, failing for large D exactly like the Spark-side MLlib analog.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.baselines.result import BaselineResult
+from repro.core.model import PCAModel
+from repro.engine.mapreduce.api import MapReduceJob, Mapper
+from repro.engine.mapreduce.runtime import MapReduceRuntime
+from repro.errors import DriverOutOfMemoryError, ShapeError
+from repro.jobs.mapreduce_jobs import MatrixSumReducer
+from repro.linalg.blocks import Matrix, partition_rows
+
+KEY_GRAM = "cov/gram"
+KEY_SUMS = "cov/sums"
+KEY_COUNT = "cov/count"
+
+
+class GramianMapper(Mapper):
+    """One pass: accumulate ``Y_blk' Y_blk`` (dense) and column sums."""
+
+    def setup(self, ctx):
+        self.gram = None
+        self.sums = None
+        self.count = 0
+
+    def map(self, key, value, ctx):
+        dense = np.asarray(
+            value.todense() if hasattr(value, "todense") else value,
+            dtype=np.float64,
+        )
+        partial = dense.T @ dense
+        self.gram = partial if self.gram is None else self.gram + partial
+        sums = dense.sum(axis=0)
+        self.sums = sums if self.sums is None else self.sums + sums
+        self.count += dense.shape[0]
+        return ()
+
+    def cleanup(self, ctx):
+        if self.gram is not None:
+            yield KEY_GRAM, self.gram
+            yield KEY_SUMS, self.sums
+            yield KEY_COUNT, self.count
+
+
+class CovariancePCAMapReduce:
+    """One-pass covariance + centralized eigendecomposition, on MapReduce.
+
+    Args:
+        n_components: number of principal components d.
+        runtime: the MapReduce engine (fresh default cluster when omitted).
+        driver_memory_bytes: single-machine memory budget for the D x D
+            covariance; defaults to the runtime cluster's driver memory.
+    """
+
+    def __init__(
+        self,
+        n_components: int,
+        runtime: MapReduceRuntime | None = None,
+        driver_memory_bytes: int | None = None,
+    ):
+        if n_components < 1:
+            raise ShapeError(f"n_components must be >= 1, got {n_components}")
+        self.n_components = n_components
+        self.runtime = runtime or MapReduceRuntime()
+        if driver_memory_bytes is None:
+            driver_memory_bytes = self.runtime.cluster.driver_memory_bytes
+        self.driver_memory_bytes = int(driver_memory_bytes)
+
+    def fit(self, data: Matrix) -> BaselineResult:
+        """One distributed pass + a driver-side eigendecomposition.
+
+        Raises:
+            DriverOutOfMemoryError: when the D x D covariance exceeds the
+                driver memory budget (checked before any distributed work).
+        """
+        n_rows, n_cols = data.shape
+        if self.n_components > min(n_rows, n_cols):
+            raise ShapeError(
+                f"n_components={self.n_components} exceeds min(N, D)"
+            )
+        gram_bytes = n_cols * n_cols * np.dtype(np.float64).itemsize
+        if gram_bytes > self.driver_memory_bytes:
+            raise DriverOutOfMemoryError(
+                requested_bytes=gram_bytes,
+                limit_bytes=self.driver_memory_bytes,
+                what="D x D covariance matrix",
+            )
+        started = time.perf_counter()
+        jobs_start = len(self.runtime.metrics.jobs)
+
+        blocks = partition_rows(data, self.runtime.cluster.total_cores)
+        splits = [[(block.start, block.data)] for block in blocks]
+        job = MapReduceJob(
+            name="covarianceJob",
+            mapper=GramianMapper(),
+            reducer=MatrixSumReducer(),
+            combiner=MatrixSumReducer(),
+        )
+        output = dict(self.runtime.run(job, splits))
+        gram = np.asarray(output[KEY_GRAM])
+        mean = np.asarray(output[KEY_SUMS]).ravel() / output[KEY_COUNT]
+        covariance = gram / n_rows - np.outer(mean, mean)
+
+        eigenvalues, eigenvectors = np.linalg.eigh(covariance)
+        order = np.argsort(eigenvalues)[::-1]
+        components = eigenvectors[:, order[: self.n_components]]
+        discarded = eigenvalues[order[self.n_components :]]
+        noise = float(discarded.mean()) if discarded.size else 0.0
+
+        run_jobs = self.runtime.metrics.jobs[jobs_start:]
+        return BaselineResult(
+            model=PCAModel(
+                components=components,
+                mean=mean,
+                noise_variance=max(noise, 0.0),
+                n_samples=n_rows,
+            ),
+            simulated_seconds=sum(j.sim_seconds for j in run_jobs),
+            wall_seconds=time.perf_counter() - started,
+            intermediate_bytes=sum(j.intermediate_bytes for j in run_jobs),
+            peak_driver_bytes=gram_bytes,
+        )

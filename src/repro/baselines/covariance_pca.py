@@ -1,0 +1,131 @@
+"""MLlib-PCA analog: eigendecomposition of the covariance matrix on Spark.
+
+Section 2.1: "compute the covariance matrix of the input matrix Y, then
+compute the eigen-decomposition ... this method is implemented in MLlib".
+The defining scalability property, which this implementation reproduces
+faithfully, is that the full ``D x D`` Gramian is aggregated *to the driver*
+as a dense matrix: the algorithm is deterministic and fast for thin
+matrices (the Images dataset), but its driver memory grows as D^2 and it
+fails outright once the matrix no longer fits in one machine's memory --
+the "Fail" entries of Table 2 and the cliff in Figures 7-8.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core.model import PCAModel
+from repro.baselines.result import BaselineResult
+from repro.engine.spark.context import SparkContext
+from repro.errors import ShapeError
+from repro.jobs import kernels
+from repro.linalg.blocks import Matrix, partition_rows
+
+
+class CovariancePCA:
+    """Deterministic PCA via the covariance matrix (MLlib-style).
+
+    Args:
+        n_components: number of principal components d.
+        context: the Spark engine to run on (fresh default cluster if
+            omitted).  Its driver memory limit decides the failure point.
+        partitions_per_core: input partitions per cluster core.
+    """
+
+    def __init__(
+        self,
+        n_components: int,
+        context: SparkContext | None = None,
+        partitions_per_core: int = 1,
+    ):
+        if n_components < 1:
+            raise ShapeError(f"n_components must be >= 1, got {n_components}")
+        self.n_components = n_components
+        self.context = context or SparkContext()
+        self.partitions_per_core = partitions_per_core
+
+    def fit(self, data: Matrix) -> BaselineResult:
+        """Run the single deterministic pass; may raise DriverOutOfMemoryError.
+
+        The driver-side ``D x D`` buffer is claimed *before* any distributed
+        work starts, so an oversized input fails fast -- just as MLlib dies
+        allocating the Gramian.
+        """
+        n_rows, n_cols = data.shape
+        if self.n_components > min(n_rows, n_cols):
+            raise ShapeError(
+                f"n_components={self.n_components} exceeds min(N, D)="
+                f"{min(n_rows, n_cols)}"
+            )
+        started = time.perf_counter()
+        sim_start = self.context.metrics.total_sim_seconds
+        bytes_start = self.context.metrics.total_intermediate_bytes
+
+        gram_bytes = n_cols * n_cols * np.dtype(np.float64).itemsize
+        self.context.driver.allocate(gram_bytes, what="D x D covariance matrix")
+        try:
+            model = self._fit_inner(data, n_rows, n_cols)
+        finally:
+            self.context.driver.release(gram_bytes)
+
+        return BaselineResult(
+            model=model,
+            simulated_seconds=self.context.metrics.total_sim_seconds - sim_start,
+            wall_seconds=time.perf_counter() - started,
+            intermediate_bytes=(
+                self.context.metrics.total_intermediate_bytes - bytes_start
+            ),
+            peak_driver_bytes=self.context.driver.peak_bytes,
+        )
+
+    def _fit_inner(self, data: Matrix, n_rows: int, n_cols: int) -> PCAModel:
+        num_partitions = self.context.cluster.total_cores * self.partitions_per_core
+        blocks = partition_rows(data, num_partitions)
+        rdd = self.context.parallelize(
+            [(block.start, block.data) for block in blocks],
+            num_partitions=len(blocks),
+        ).cache()
+
+        sums = self.context.accumulator(np.zeros(n_cols))
+        count = self.context.accumulator(0)
+
+        def accumulate_mean(partition):
+            for _, block in partition:
+                block_sums, rows = kernels.block_sums(block)
+                sums.add(block_sums)
+                count.add(rows)
+
+        rdd.foreach_partition(accumulate_mean)
+        mean = sums.value / count.value
+
+        # Gramian aggregation: every task ships a dense D x D partial -- the
+        # quadratic communication of Table 1's first row.
+        gram = self.context.accumulator(np.zeros((n_cols, n_cols)))
+
+        def accumulate_gram(partition):
+            for _, block in partition:
+                partial = block.T @ block
+                partial = np.asarray(
+                    partial.todense() if hasattr(partial, "todense") else partial,
+                    dtype=np.float64,
+                )
+                gram.add(partial)
+
+        rdd.foreach_partition(accumulate_gram)
+        covariance = gram.value / n_rows - np.outer(mean, mean)
+
+        eigenvalues, eigenvectors = np.linalg.eigh(covariance)
+        order = np.argsort(eigenvalues)[::-1]
+        top = order[: self.n_components]
+        components = eigenvectors[:, top]
+        discarded = eigenvalues[order[self.n_components :]]
+        noise_variance = float(discarded.mean()) if discarded.size else 0.0
+
+        return PCAModel(
+            components=components,
+            mean=mean,
+            noise_variance=max(noise_variance, 0.0),
+            n_samples=n_rows,
+        )

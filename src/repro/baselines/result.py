@@ -1,0 +1,36 @@
+"""Common result type for baseline PCA runs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.model import PCAModel
+
+
+@dataclass
+class BaselineResult:
+    """A fitted baseline plus the execution measurements the paper reports.
+
+    Attributes:
+        model: the fitted PCA model.
+        simulated_seconds: simulated cluster running time.
+        wall_seconds: actual single-process running time.
+        intermediate_bytes: intermediate data produced across all jobs.
+        peak_driver_bytes: peak driver memory (Figure 8's metric).
+        accuracy_timeline: (simulated_seconds, accuracy) pairs for iterative
+            baselines (empty for one-shot algorithms like MLlib-PCA).
+    """
+
+    model: PCAModel
+    simulated_seconds: float = 0.0
+    wall_seconds: float = 0.0
+    intermediate_bytes: int = 0
+    peak_driver_bytes: int = 0
+    accuracy_timeline: list[tuple[float, float]] = field(default_factory=list)
+
+    def time_to_accuracy(self, threshold: float) -> float | None:
+        """First simulated time at which accuracy reached *threshold*."""
+        for seconds, accuracy in self.accuracy_timeline:
+            if accuracy >= threshold:
+                return seconds
+        return None

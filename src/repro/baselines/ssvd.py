@@ -1,0 +1,86 @@
+"""Sequential stochastic SVD (Halko's randomized method, Section 2.3).
+
+The algorithm behind Mahout's SSVD: project the input through a random
+Gaussian test matrix to get a tall-thin sketch, orthonormalize it, form the
+small matrix ``B = Q' A`` and take its exact SVD.  Accuracy improves with
+oversampling and with power iterations (each power iteration multiplies the
+spectral decay of the error by the square of the singular-value gaps).
+
+Supports the *PCA option*: a mean vector can be supplied and is propagated
+through the sketching products without centering the (sparse) input, just
+as Mahout's ``--pca`` flag stores the mean separately (Section 2.3).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.linalg.blocks import Matrix
+
+
+def _centered_times(data: Matrix, mean: np.ndarray | None, right: np.ndarray) -> np.ndarray:
+    product = np.asarray(data @ right)
+    if mean is not None:
+        product = product - mean @ right
+    return product
+
+
+def _centered_transpose_times(data: Matrix, mean: np.ndarray | None, left: np.ndarray) -> np.ndarray:
+    product = np.asarray(data.T @ left)
+    if mean is not None:
+        product = product - np.outer(mean, left.sum(axis=0))
+    return product
+
+
+def stochastic_svd(
+    data: Matrix,
+    rank: int,
+    oversampling: int = 10,
+    power_iterations: int = 1,
+    seed: int = 0,
+    mean: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Randomized truncated SVD of (optionally mean-centered) *data*.
+
+    Args:
+        data: input matrix A, shape (N, D), sparse or dense.
+        rank: number of singular triplets to return.
+        oversampling: extra sketch columns p; the sketch has rank + p.
+        power_iterations: subspace-iteration refinements q.
+        seed: seed for the Gaussian test matrix.
+        mean: optional column-mean vector; when given, the SVD is of
+            ``A - 1*mean'`` computed by mean propagation.
+
+    Returns:
+        (U, s, Vt) with U of shape (N, rank), s of length rank, and Vt of
+        shape (rank, D), singular values descending.
+    """
+    n_rows, n_cols = data.shape
+    if rank < 1:
+        raise ShapeError(f"rank must be >= 1, got {rank}")
+    sketch_size = rank + max(0, oversampling)
+    if sketch_size > min(n_rows, n_cols):
+        sketch_size = min(n_rows, n_cols)
+    if rank > sketch_size:
+        raise ShapeError(
+            f"rank={rank} exceeds the sketch budget min(N, D)={sketch_size}"
+        )
+    if mean is not None:
+        mean = np.asarray(mean, dtype=np.float64).ravel()
+        if mean.shape[0] != n_cols:
+            raise ShapeError(
+                f"mean has length {mean.shape[0]} but data has {n_cols} columns"
+            )
+
+    rng = np.random.default_rng(seed)
+    test_matrix = rng.normal(size=(n_cols, sketch_size))
+    sketch = _centered_times(data, mean, test_matrix)
+    basis, _ = np.linalg.qr(sketch)
+    for _ in range(max(0, power_iterations)):
+        projected = _centered_transpose_times(data, mean, basis)
+        basis, _ = np.linalg.qr(_centered_times(data, mean, projected))
+    small = _centered_transpose_times(data, mean, basis).T  # B = Q' A
+    u_small, singular_values, vt = np.linalg.svd(small, full_matrices=False)
+    left = basis @ u_small
+    return left[:, :rank], singular_values[:rank], vt[:rank]

@@ -1,0 +1,272 @@
+"""Command-line interface: generate data, fit sPCA, transform, evaluate.
+
+Installed as ``repro-spca``; also runnable via ``python -m repro.cli``.
+
+Examples::
+
+    repro-spca generate tweets --rows 20000 --cols 600 --out tweets.npz
+    repro-spca fit tweets.npz --components 10 --backend spark --out model.npz
+    repro-spca evaluate model.npz tweets.npz
+    repro-spca transform model.npz tweets.npz --out latent.npz
+    repro-spca info model.npz
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.core import SPCA, SPCAConfig
+from repro.core.persistence import load_model, save_model
+from repro.data import bag_of_words, nmr_spectra, sift_features
+from repro.data.io import load_matrix, save_matrix
+from repro.errors import ReproError
+from repro.metrics import accuracy_from_error, reconstruction_error
+
+_GENERATORS = {
+    "tweets": lambda rows, cols, seed: bag_of_words(rows, cols, words_per_doc=8.0, seed=seed),
+    "biotext": lambda rows, cols, seed: bag_of_words(rows, cols, words_per_doc=40.0, seed=seed),
+    "diabetes": lambda rows, cols, seed: nmr_spectra(rows, cols, seed=seed),
+    "images": lambda rows, cols, seed: sift_features(rows, cols, seed=seed),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-spca",
+        description="sPCA (SIGMOD 2015) reproduction: scalable PCA tooling",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    generate = commands.add_parser("generate", help="create a synthetic dataset")
+    generate.add_argument("dataset", choices=sorted(_GENERATORS))
+    generate.add_argument("--rows", type=int, default=10_000)
+    generate.add_argument("--cols", type=int, default=1_000)
+    generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument("--out", required=True, help="output .npz path")
+
+    fit = commands.add_parser("fit", help="fit sPCA to a matrix")
+    fit.add_argument("input", help="matrix .npz (from 'generate' or save_matrix)")
+    fit.add_argument("--components", "-d", type=int, default=10)
+    fit.add_argument(
+        "--backend", choices=("sequential", "mapreduce", "spark"),
+        default="sequential",
+    )
+    fit.add_argument("--max-iterations", type=int, default=10)
+    fit.add_argument("--tolerance", type=float, default=1e-3)
+    fit.add_argument("--seed", type=int, default=0)
+    fit.add_argument("--smart-init", action="store_true",
+                     help="warm start from a small row sample (sPCA-SG)")
+    fit.add_argument("--out", help="where to save the fitted model (.npz)")
+
+    transform = commands.add_parser("transform", help="project a matrix to latent space")
+    transform.add_argument("model")
+    transform.add_argument("input")
+    transform.add_argument("--out", required=True)
+
+    evaluate = commands.add_parser("evaluate", help="reconstruction accuracy of a model")
+    evaluate.add_argument("model")
+    evaluate.add_argument("input")
+    evaluate.add_argument("--sample-fraction", type=float, default=1.0)
+    evaluate.add_argument("--seed", type=int, default=0)
+
+    select = commands.add_parser(
+        "select", help="choose the number of components by BIC"
+    )
+    select.add_argument("input")
+    select.add_argument("--candidates", default="1,2,4,8,16",
+                        help="comma-separated candidate d values")
+    select.add_argument("--max-iterations", type=int, default=60)
+    select.add_argument("--seed", type=int, default=0)
+
+    bench = commands.add_parser(
+        "bench", help="quick comparison of sPCA vs the baselines on one matrix"
+    )
+    bench.add_argument("input")
+    bench.add_argument("--components", "-d", type=int, default=10)
+    bench.add_argument("--seed", type=int, default=0)
+
+    info = commands.add_parser("info", help="describe a model or matrix archive")
+    info.add_argument("path")
+
+    return parser
+
+
+def _make_backend(name: str, config: SPCAConfig):
+    if name == "sequential":
+        from repro.backends import SequentialBackend
+
+        return SequentialBackend(config)
+    if name == "mapreduce":
+        from repro.backends import MapReduceBackend
+
+        return MapReduceBackend(config)
+    from repro.backends import SparkBackend
+
+    return SparkBackend(config)
+
+
+def _cmd_generate(args) -> int:
+    matrix = _GENERATORS[args.dataset](args.rows, args.cols, args.seed)
+    path = save_matrix(matrix, args.out)
+    density = ""
+    if hasattr(matrix, "nnz"):
+        density = f", density {matrix.nnz / (args.rows * args.cols):.4f}"
+    print(f"wrote {args.dataset} matrix {matrix.shape}{density} to {path}")
+    return 0
+
+
+def _cmd_fit(args) -> int:
+    matrix = load_matrix(args.input)
+    config = SPCAConfig(
+        n_components=args.components,
+        max_iterations=args.max_iterations,
+        tolerance=args.tolerance,
+        seed=args.seed,
+        smart_init=args.smart_init,
+    )
+    backend = _make_backend(args.backend, config)
+    model, history = SPCA(config, backend).fit(matrix)
+    print(
+        f"fit {matrix.shape} with d={args.components} on {args.backend}: "
+        f"{history.n_iterations} iterations, stop={history.stop_reason}"
+    )
+    if history.final_accuracy is not None:
+        print(f"final accuracy: {history.final_accuracy:.4f}")
+    if backend.simulated_seconds:
+        print(f"simulated cluster time: {backend.simulated_seconds:.2f}s, "
+              f"intermediate data: {backend.intermediate_bytes:,} bytes")
+    if args.out:
+        path = save_model(model, args.out)
+        print(f"model saved to {path}")
+    return 0
+
+
+def _cmd_transform(args) -> int:
+    model = load_model(args.model)
+    matrix = load_matrix(args.input)
+    latent = model.transform(matrix)
+    path = save_matrix(latent, args.out)
+    print(f"projected {matrix.shape} -> {latent.shape}; saved to {path}")
+    return 0
+
+
+def _cmd_evaluate(args) -> int:
+    model = load_model(args.model)
+    matrix = load_matrix(args.input)
+    rng = np.random.default_rng(args.seed)
+    error = reconstruction_error(
+        matrix, model.components, model.mean,
+        sample_fraction=args.sample_fraction, rng=rng,
+    )
+    print(f"reconstruction error: {error:.6f}")
+    print(f"accuracy: {accuracy_from_error(error):.6f}")
+    return 0
+
+
+def _cmd_select(args) -> int:
+    from repro.core.selection import score_candidates
+
+    matrix = load_matrix(args.input)
+    try:
+        candidates = [int(c) for c in args.candidates.split(",") if c.strip()]
+    except ValueError:
+        print(f"error: malformed candidate list {args.candidates!r}", file=sys.stderr)
+        return 2
+    scores = score_candidates(
+        matrix, candidates, max_iterations=args.max_iterations, seed=args.seed
+    )
+    print(f"{'d':>4}{'log-likelihood':>18}{'BIC':>16}{'noise var':>12}")
+    best = min(scores, key=lambda s: s.bic)
+    for score in scores:
+        marker = "  <-- best" if score is best else ""
+        print(f"{score.n_components:>4}{score.log_likelihood:>18.1f}"
+              f"{score.bic:>16.1f}{score.noise_variance:>12.5f}{marker}")
+    print(f"chosen d = {best.n_components}")
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    """One-row Table 2: time the four implementations on *input*."""
+    from repro.backends import MapReduceBackend, SparkBackend
+    from repro.baselines import CovariancePCA, SSVDPCAMapReduce
+    from repro.engine.mapreduce.runtime import MapReduceRuntime
+    from repro.engine.spark.context import SparkContext
+    from repro.errors import DriverOutOfMemoryError
+
+    matrix = load_matrix(args.input)
+    config = SPCAConfig(
+        n_components=args.components, max_iterations=10, seed=args.seed,
+        compute_error_every_iteration=False,
+    )
+    rows = []
+
+    backend = SparkBackend(config, SparkContext())
+    SPCA(config, backend).fit(matrix)
+    rows.append(("sPCA-Spark", backend.simulated_seconds, backend.intermediate_bytes))
+
+    try:
+        mllib = CovariancePCA(args.components, SparkContext()).fit(matrix)
+        rows.append(("MLlib-PCA", mllib.simulated_seconds, mllib.intermediate_bytes))
+    except DriverOutOfMemoryError:
+        rows.append(("MLlib-PCA", None, 0))
+
+    backend = MapReduceBackend(config, MapReduceRuntime())
+    SPCA(config, backend).fit(matrix)
+    rows.append(("sPCA-MapReduce", backend.simulated_seconds, backend.intermediate_bytes))
+
+    mahout = SSVDPCAMapReduce(
+        args.components, runtime=MapReduceRuntime(), seed=args.seed
+    ).fit(matrix, compute_accuracy=False)
+    rows.append(("Mahout-PCA", mahout.simulated_seconds, mahout.intermediate_bytes))
+
+    print(f"{'algorithm':<16}{'sim time (s)':>14}{'intermediate (B)':>18}")
+    for name, seconds, nbytes in rows:
+        cell = "Fail" if seconds is None else f"{seconds:.1f}"
+        print(f"{name:<16}{cell:>14}{nbytes:>18,}")
+    return 0
+
+
+def _cmd_info(args) -> int:
+    with np.load(args.path, allow_pickle=False) as archive:
+        fields = set(archive.files)
+        if "components" in fields:
+            model = load_model(args.path)
+            print(f"PCA model: {model.n_features} features x {model.n_components} components")
+            print(f"noise variance: {model.noise_variance:.6g}; "
+                  f"trained on {model.n_samples} rows")
+        elif "kind" in fields:
+            matrix = load_matrix(args.path)
+            kind = "sparse CSR" if hasattr(matrix, "nnz") else "dense"
+            extra = f", nnz={matrix.nnz:,}" if hasattr(matrix, "nnz") else ""
+            print(f"{kind} matrix {matrix.shape}{extra}")
+        else:
+            print(f"unrecognized archive with fields: {sorted(fields)}")
+            return 1
+    return 0
+
+
+_COMMANDS = {
+    "generate": _cmd_generate,
+    "fit": _cmd_fit,
+    "transform": _cmd_transform,
+    "evaluate": _cmd_evaluate,
+    "select": _cmd_select,
+    "bench": _cmd_bench,
+    "info": _cmd_info,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except (ReproError, FileNotFoundError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,40 @@
+"""The paper's primary contribution: PPCA and its scalable variant sPCA.
+
+- :mod:`repro.core.config` -- :class:`SPCAConfig`, including the on/off
+  switches for every optimization of Section 3 (used by the Table 3
+  ablations).
+- :mod:`repro.core.ppca` -- the textbook sequential PPCA EM (Algorithm 1),
+  used as a correctness reference.
+- :mod:`repro.core.spca` -- the sPCA driver (Algorithm 4): local control flow
+  plus a small number of distributed jobs dispatched through a
+  :class:`repro.backends.base.Backend`.
+- :mod:`repro.core.initialization` -- random and smart-guess (sPCA-SG)
+  initialization.
+- :mod:`repro.core.convergence` -- stop conditions.
+- :mod:`repro.core.model` -- the fitted :class:`PCAModel`.
+"""
+
+from repro.core.config import SPCAConfig
+from repro.core.convergence import ConvergenceTracker, IterationStats, TrainingHistory
+from repro.core.initialization import random_initialization, smart_guess_initialization
+from repro.core.model import PCAModel
+from repro.core.persistence import load_model, save_model
+from repro.core.ppca import fit_ppca
+from repro.core.selection import choose_n_components, score_candidates
+from repro.core.spca import SPCA
+
+__all__ = [
+    "ConvergenceTracker",
+    "IterationStats",
+    "PCAModel",
+    "SPCA",
+    "SPCAConfig",
+    "TrainingHistory",
+    "choose_n_components",
+    "fit_ppca",
+    "load_model",
+    "random_initialization",
+    "save_model",
+    "score_candidates",
+    "smart_guess_initialization",
+]

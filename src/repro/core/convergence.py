@@ -1,0 +1,123 @@
+"""Stop conditions and per-iteration bookkeeping for the EM loop."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class IterationStats:
+    """Measurements recorded after one EM iteration.
+
+    Attributes:
+        index: 1-based iteration number.
+        noise_variance: fitted ss after this iteration.
+        error: sampled 1-norm reconstruction error (None when skipped).
+        accuracy: ``1 - error`` (None when error was skipped).
+        elapsed_seconds: cumulative wall-clock time since fit start.
+        simulated_seconds: cumulative simulated cluster time (0 for the
+            sequential backend).
+        intermediate_bytes: cumulative intermediate data produced so far.
+    """
+
+    index: int
+    noise_variance: float
+    error: float | None
+    accuracy: float | None
+    elapsed_seconds: float
+    simulated_seconds: float
+    intermediate_bytes: int
+
+
+@dataclass
+class TrainingHistory:
+    """Ordered record of all iterations of a fit."""
+
+    iterations: list[IterationStats] = field(default_factory=list)
+    stop_reason: str = "max_iterations"
+
+    def append(self, stats: IterationStats) -> None:
+        self.iterations.append(stats)
+
+    @property
+    def n_iterations(self) -> int:
+        return len(self.iterations)
+
+    @property
+    def final_accuracy(self) -> float | None:
+        for stats in reversed(self.iterations):
+            if stats.accuracy is not None:
+                return stats.accuracy
+        return None
+
+    def accuracy_timeline(self, simulated: bool = True) -> list[tuple[float, float]]:
+        """(time, accuracy) pairs, as plotted in Figures 4 and 5."""
+        timeline = []
+        for stats in self.iterations:
+            if stats.accuracy is None:
+                continue
+            time = stats.simulated_seconds if simulated else stats.elapsed_seconds
+            timeline.append((time, stats.accuracy))
+        return timeline
+
+    def time_to_accuracy(self, threshold: float, simulated: bool = True) -> float | None:
+        """First time at which accuracy reached *threshold* (Figures 6/7)."""
+        for time, accuracy in self.accuracy_timeline(simulated):
+            if accuracy >= threshold:
+                return time
+        return None
+
+
+class ConvergenceTracker:
+    """Decides when the EM loop should stop.
+
+    Three conditions, checked in order after every iteration:
+
+    1. **target accuracy** -- accuracy reached ``target_accuracy *
+       ideal_accuracy`` (the paper stops at 95% of ideal);
+    2. **tolerance** -- the relative change of the reconstruction error
+       between consecutive iterations fell below ``tolerance``;
+    3. **iteration budget** -- ``max_iterations`` reached (the paper caps
+       at 10).
+    """
+
+    def __init__(
+        self,
+        max_iterations: int,
+        tolerance: float = 0.0,
+        target_accuracy: float | None = None,
+        ideal_accuracy: float | None = None,
+    ):
+        self.max_iterations = max_iterations
+        self.tolerance = tolerance
+        self.target_accuracy = target_accuracy
+        self.ideal_accuracy = ideal_accuracy
+        self._previous_error: float | None = None
+        self._iterations_done = 0
+        self.stop_reason: str | None = None
+
+    def update(self, error: float | None) -> bool:
+        """Record one finished iteration; return True when the loop must stop."""
+        self._iterations_done += 1
+        if error is not None:
+            accuracy = 1.0 - error
+            if (
+                self.target_accuracy is not None
+                and self.ideal_accuracy is not None
+                and accuracy >= self.target_accuracy * self.ideal_accuracy
+            ):
+                self.stop_reason = "target_accuracy"
+                return True
+            if (
+                self.tolerance > 0.0
+                and self._previous_error is not None
+                and abs(self._previous_error - error)
+                <= self.tolerance * max(abs(self._previous_error), 1e-300)
+            ):
+                self.stop_reason = "tolerance"
+                return True
+            self._previous_error = error
+        if self._iterations_done >= self.max_iterations:
+            self.stop_reason = "max_iterations"
+            return True
+        return False

@@ -1,0 +1,158 @@
+"""The fitted PCA model returned by PPCA / sPCA."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.linalg.blocks import Matrix
+from repro.linalg.centered import centered_times
+
+
+@dataclass
+class PCAModel:
+    """Result of a PPCA/sPCA fit.
+
+    PPCA recovers the principal *subspace*: the columns of ``components``
+    span the same space as the top-d eigenvectors of the sample covariance,
+    up to an arbitrary rotation (Tipping & Bishop).  :attr:`basis` gives an
+    orthonormal basis of that subspace; :meth:`principal_directions` rotates
+    it into the actual eigenvector directions using the data.
+
+    Attributes:
+        components: the ``D x d`` transformation matrix C.
+        mean: the column mean ``Ym`` of the training data, length D.
+        noise_variance: the fitted residual variance ``ss``.
+        n_samples: number of training rows N.
+    """
+
+    components: np.ndarray
+    mean: np.ndarray
+    noise_variance: float
+    n_samples: int
+    _basis: np.ndarray | None = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        self.components = np.asarray(self.components, dtype=np.float64)
+        self.mean = np.asarray(self.mean, dtype=np.float64).ravel()
+        if self.components.ndim != 2:
+            raise ShapeError("components must be a 2-D (D x d) array")
+        if self.mean.shape[0] != self.components.shape[0]:
+            raise ShapeError(
+                f"mean has length {self.mean.shape[0]} but components have "
+                f"{self.components.shape[0]} rows"
+            )
+
+    @property
+    def n_features(self) -> int:
+        return self.components.shape[0]
+
+    @property
+    def n_components(self) -> int:
+        return self.components.shape[1]
+
+    @property
+    def basis(self) -> np.ndarray:
+        """Orthonormal ``D x d`` basis of the recovered principal subspace."""
+        if self._basis is None:
+            u, _, _ = np.linalg.svd(self.components, full_matrices=False)
+            self._basis = u
+        return self._basis
+
+    def transform(self, data: Matrix) -> np.ndarray:
+        """Posterior-mean latent coordinates ``X = Yc * C * M^-1``.
+
+        This is the PPCA E-step projection; it shrinks towards zero when the
+        noise variance is large.
+        """
+        moment = self.components.T @ self.components + self.noise_variance * np.eye(
+            self.n_components
+        )
+        projector = self.components @ np.linalg.inv(moment)
+        return centered_times(data, self.mean, projector)
+
+    def project(self, data: Matrix) -> np.ndarray:
+        """Least-squares latent coordinates ``X = Yc * C * (C'C)^-1``.
+
+        Unlike :meth:`transform` this does not shrink, so ``X * C'`` is the
+        orthogonal projection of ``Yc`` onto the subspace.  The paper's
+        reconstruction-error metric uses this projection.
+        """
+        gram = self.components.T @ self.components
+        # Pseudo-inverse: degenerate models (zero-variance data collapse C
+        # to rank-deficiency) still project cleanly onto what is spanned.
+        projector = self.components @ np.linalg.pinv(gram)
+        return centered_times(data, self.mean, projector)
+
+    def inverse_transform(self, latent: np.ndarray) -> np.ndarray:
+        """Map latent coordinates back to data space: ``X * C' + Ym``."""
+        latent = np.asarray(latent, dtype=np.float64)
+        if latent.shape[1] != self.n_components:
+            raise ShapeError(
+                f"latent has {latent.shape[1]} columns, expected {self.n_components}"
+            )
+        return latent @ self.components.T + self.mean
+
+    def reconstruct(self, data: Matrix) -> np.ndarray:
+        """Project onto the subspace and map back (dense result)."""
+        return self.inverse_transform(self.project(data))
+
+    def log_likelihood(self, data: Matrix) -> float:
+        """Total PPCA log-likelihood of *data* under this model.
+
+        Evaluates ``sum_n log N(y_n; mean, C C' + ss I)`` using the Woodbury
+        identity, so only d x d systems are solved even for large D.
+        """
+        n_rows, n_cols = data.shape
+        if n_cols != self.n_features:
+            raise ShapeError(
+                f"data has {n_cols} columns but the model has {self.n_features} features"
+            )
+        d = self.n_components
+        noise = max(self.noise_variance, 1e-300)
+        moment = self.components.T @ self.components + noise * np.eye(d)
+        moment_inv = np.linalg.inv(moment)
+        # (CC' + ss I)^-1 = (I - C M^-1 C') / ss ;  |CC' + ss I| = ss^(D-d) |M|
+        centered_sq_norms = self._centered_square_norms(data)
+        projected = centered_times(data, self.mean, self.components)
+        mahalanobis = (
+            centered_sq_norms
+            - np.einsum("ij,jl,il->i", projected, moment_inv, projected)
+        ) / noise
+        sign, logdet_m = np.linalg.slogdet(moment / noise)
+        log_det = n_cols * np.log(noise) + sign * logdet_m
+        return float(
+            -0.5 * np.sum(n_cols * np.log(2.0 * np.pi) + log_det + mahalanobis)
+        )
+
+    def _centered_square_norms(self, data: Matrix) -> np.ndarray:
+        """Per-row ||y - mean||^2 without densifying sparse input."""
+        import scipy.sparse as sp
+
+        if sp.issparse(data):
+            csr = data.tocsr()
+            row_sq = np.asarray(csr.multiply(csr).sum(axis=1)).ravel()
+            cross = np.asarray(csr @ self.mean).ravel()
+            return row_sq - 2.0 * cross + float(self.mean @ self.mean)
+        dense = np.asarray(data, dtype=np.float64) - self.mean
+        return np.einsum("ij,ij->i", dense, dense)
+
+    def principal_directions(self, data: Matrix) -> tuple[np.ndarray, np.ndarray]:
+        """Rotate the subspace basis into eigenvector directions.
+
+        Projects the (centered) data onto :attr:`basis`, eigendecomposes the
+        small ``d x d`` projected covariance, and returns the rotated basis
+        together with the per-direction explained variances, sorted
+        descending.
+
+        Returns:
+            (directions, variances): ``D x d`` orthonormal directions and a
+            length-d variance vector.
+        """
+        projected = centered_times(data, self.mean, self.basis)
+        small_cov = projected.T @ projected / max(1, data.shape[0] - 1)
+        variances, rotation = np.linalg.eigh(small_cov)
+        order = np.argsort(variances)[::-1]
+        return self.basis @ rotation[:, order], variances[order]

@@ -1,0 +1,62 @@
+"""Saving and loading fitted models.
+
+Models are stored as ``.npz`` archives with a format-version field so
+future releases can evolve the layout without breaking old files.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import numpy as np
+
+from repro.core.model import PCAModel
+from repro.errors import ShapeError
+
+_FORMAT_VERSION = 1
+
+
+def save_model(model: PCAModel, path: str | pathlib.Path) -> pathlib.Path:
+    """Write *model* to an ``.npz`` archive; returns the path written.
+
+    The ``.npz`` suffix is appended when missing (numpy does the same).
+    """
+    path = pathlib.Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz")
+    np.savez_compressed(
+        path,
+        format_version=np.int64(_FORMAT_VERSION),
+        components=model.components,
+        mean=model.mean,
+        noise_variance=np.float64(model.noise_variance),
+        n_samples=np.int64(model.n_samples),
+    )
+    return path
+
+
+def load_model(path: str | pathlib.Path) -> PCAModel:
+    """Read a model previously written by :func:`save_model`.
+
+    Raises:
+        ShapeError: if the archive is missing fields or has an unsupported
+            format version.
+    """
+    with np.load(path) as archive:
+        missing = {
+            "format_version", "components", "mean", "noise_variance", "n_samples"
+        } - set(archive.files)
+        if missing:
+            raise ShapeError(f"model archive is missing fields: {sorted(missing)}")
+        version = int(archive["format_version"])
+        if version > _FORMAT_VERSION:
+            raise ShapeError(
+                f"model archive format v{version} is newer than this library "
+                f"understands (v{_FORMAT_VERSION})"
+            )
+        return PCAModel(
+            components=archive["components"],
+            mean=archive["mean"],
+            noise_variance=float(archive["noise_variance"]),
+            n_samples=int(archive["n_samples"]),
+        )

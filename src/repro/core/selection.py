@@ -1,0 +1,79 @@
+"""Choosing the number of principal components.
+
+The paper fixes d = 50 ("to be useful in practice, d is chosen to be much
+smaller than D") but offers no selection rule.  Because PPCA is a proper
+probabilistic model, d can be chosen by penalized likelihood: fit each
+candidate and score it with BIC, ``-2 log L + p log N`` where
+``p = D*d + 1 - d(d-1)/2`` free parameters (loading matrix modulo rotation,
+plus the noise variance).  The elbow of the PPCA spectrum shows up as the
+BIC minimum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.ppca import fit_ppca
+from repro.errors import ShapeError
+from repro.linalg.blocks import Matrix
+
+
+@dataclass(frozen=True)
+class CandidateScore:
+    """Fit quality of one candidate dimensionality."""
+
+    n_components: int
+    log_likelihood: float
+    bic: float
+    noise_variance: float
+
+
+def _free_parameters(n_cols: int, d: int) -> int:
+    return n_cols * d + 1 - d * (d - 1) // 2
+
+
+def score_candidates(
+    data: Matrix,
+    candidates,
+    max_iterations: int = 60,
+    seed: int = 0,
+) -> list[CandidateScore]:
+    """Fit PPCA at each candidate d and return likelihoods + BIC scores."""
+    candidates = sorted(set(int(c) for c in candidates))
+    if not candidates:
+        raise ShapeError("no candidate dimensionalities given")
+    n_rows, n_cols = data.shape
+    if candidates[0] < 1 or candidates[-1] >= min(n_rows, n_cols):
+        raise ShapeError(
+            f"candidates must lie in [1, {min(n_rows, n_cols) - 1}], "
+            f"got {candidates}"
+        )
+    scores = []
+    for d in candidates:
+        model = fit_ppca(
+            data, d, max_iterations=max_iterations, tolerance=1e-8, seed=seed
+        )
+        log_likelihood = model.log_likelihood(data)
+        bic = -2.0 * log_likelihood + _free_parameters(n_cols, d) * np.log(n_rows)
+        scores.append(
+            CandidateScore(
+                n_components=d,
+                log_likelihood=log_likelihood,
+                bic=bic,
+                noise_variance=model.noise_variance,
+            )
+        )
+    return scores
+
+
+def choose_n_components(
+    data: Matrix,
+    candidates,
+    max_iterations: int = 60,
+    seed: int = 0,
+) -> int:
+    """The BIC-minimizing candidate dimensionality."""
+    scores = score_candidates(data, candidates, max_iterations, seed)
+    return min(scores, key=lambda s: s.bic).n_components

@@ -1,0 +1,146 @@
+"""The sPCA driver: Algorithm 4 of the paper.
+
+One driver program implements the EM control flow and executes every small
+(d x d or D x d) operation locally; the three data-sized computations --
+meanJob + FnormJob (once, before the loop), the consolidated YtXJob and
+ss3Job (each iteration) -- are dispatched to a :class:`Backend`.  Swapping
+the backend switches between sPCA-Sequential, sPCA-MapReduce and sPCA-Spark
+without touching this file, which is the paper's claim that "the design is
+general and can be implemented on different platforms".
+"""
+
+from __future__ import annotations
+
+import time
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.core.config import SPCAConfig
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (backends need core)
+    from repro.backends.base import Backend
+from repro.core.convergence import ConvergenceTracker, IterationStats, TrainingHistory
+from repro.core.initialization import random_initialization, smart_guess_initialization
+from repro.core.model import PCAModel
+from repro.core.ppca import fit_ppca
+from repro.errors import ShapeError
+from repro.linalg.blocks import Matrix
+
+
+class SPCA:
+    """Scalable PCA.
+
+    Example:
+        >>> import numpy as np
+        >>> from repro.core import SPCA, SPCAConfig
+        >>> rng = np.random.default_rng(0)
+        >>> data = rng.normal(size=(200, 20)) @ rng.normal(size=(20, 20))
+        >>> model, history = SPCA(SPCAConfig(n_components=3)).fit(data)
+        >>> model.components.shape
+        (20, 3)
+    """
+
+    def __init__(self, config: SPCAConfig, backend: Backend | None = None):
+        if backend is None:
+            from repro.backends.sequential import SequentialBackend
+
+            backend = SequentialBackend(config)
+        self.config = config
+        self.backend = backend
+
+    def fit(self, data: Matrix) -> tuple[PCAModel, TrainingHistory]:
+        """Run the EM loop of Algorithm 4 and return the model + history."""
+        config = self.config
+        n_samples, n_features = data.shape
+        if config.n_components > min(n_samples, n_features):
+            raise ShapeError(
+                f"n_components={config.n_components} exceeds "
+                f"min(N, D)={min(n_samples, n_features)}"
+            )
+        rng = np.random.default_rng(config.seed)
+        started = time.perf_counter()
+        sim_start = self.backend.simulated_seconds
+        bytes_start = self.backend.intermediate_bytes
+
+        components, noise_variance = self._initialize(data, rng)
+        dataset = self.backend.load(data)
+        mean = self.backend.column_means(dataset)            # meanJob
+        ss1 = self.backend.frobenius_centered(dataset, mean)  # FnormJob
+
+        identity = np.eye(config.n_components)
+        history = TrainingHistory()
+        tracker = ConvergenceTracker(
+            max_iterations=config.max_iterations,
+            tolerance=config.tolerance,
+            target_accuracy=config.target_accuracy,
+            ideal_accuracy=config.ideal_accuracy,
+        )
+        for iteration in range(1, config.max_iterations + 1):
+            moment = components.T @ components + noise_variance * identity
+            moment_inv = np.linalg.inv(moment)
+            projector = components @ moment_inv               # CM = C * M^-1
+            latent_mean = mean @ projector                    # Xm = Ym * CM
+
+            if config.use_job_consolidation:
+                ytx, xtx = self.backend.ytx_xtx(dataset, mean, projector, latent_mean)
+            else:
+                # Ablation: two separate distributed passes (Figure 2 before
+                # the consolidation of Figure 3).
+                _, xtx = self.backend.ytx_xtx(dataset, mean, projector, latent_mean)
+                ytx, _ = self.backend.ytx_xtx(dataset, mean, projector, latent_mean)
+            xtx = xtx + n_samples * noise_variance * moment_inv
+            components = ytx @ np.linalg.inv(xtx)             # C = YtX / XtX
+            ss2 = float(np.trace(xtx @ components.T @ components))
+            ss3 = self.backend.ss3(dataset, mean, projector, latent_mean, components)
+            noise_variance = max(
+                (ss1 + ss2 - 2.0 * ss3) / (n_samples * n_features), 1e-12
+            )
+
+            error = None
+            if config.compute_error_every_iteration:
+                error = self.backend.reconstruction_error(
+                    dataset, mean, components, config.error_sample_fraction, rng
+                )
+            history.append(
+                IterationStats(
+                    index=iteration,
+                    noise_variance=noise_variance,
+                    error=error,
+                    accuracy=None if error is None else 1.0 - error,
+                    elapsed_seconds=time.perf_counter() - started,
+                    simulated_seconds=self.backend.simulated_seconds - sim_start,
+                    intermediate_bytes=self.backend.intermediate_bytes - bytes_start,
+                )
+            )
+            if tracker.update(error):
+                break
+        history.stop_reason = tracker.stop_reason or "max_iterations"
+
+        model = PCAModel(
+            components=components,
+            mean=mean,
+            noise_variance=noise_variance,
+            n_samples=n_samples,
+        )
+        return model, history
+
+    def _initialize(
+        self, data: Matrix, rng: np.random.Generator
+    ) -> tuple[np.ndarray, float]:
+        config = self.config
+        if not config.smart_init:
+            return random_initialization(data.shape[1], config.n_components, rng)
+
+        def fit_sample(sample):
+            model = fit_ppca(
+                sample,
+                config.n_components,
+                max_iterations=config.smart_init_iterations,
+                seed=config.seed,
+            )
+            return model.components, model.noise_variance
+
+        return smart_guess_initialization(
+            data, fit_sample, config.smart_init_fraction, rng
+        )

@@ -1,0 +1,39 @@
+"""Synthetic analogs of the paper's four evaluation datasets.
+
+The originals (1.26B tweets, 8.2M biomedical documents, 353 NMR spectra,
+160M SIFT vectors) are proprietary or too large for a single machine; the
+generators here produce matrices with the same *statistical shape* --
+sparsity pattern, value types, aspect ratio -- at a configurable scale, so
+every scaling claim in the evaluation can be reproduced.  DESIGN.md
+documents the substitution.
+"""
+
+from repro.data.generators import (
+    bag_of_words,
+    lowrank_dense,
+    nmr_spectra,
+    sift_features,
+)
+from repro.data.paper import (
+    PAPER_DATASETS,
+    DatasetSpec,
+    biotext_series,
+    diabetes_series,
+    images_series,
+    make_dataset,
+    tweets_series,
+)
+
+__all__ = [
+    "PAPER_DATASETS",
+    "DatasetSpec",
+    "bag_of_words",
+    "biotext_series",
+    "diabetes_series",
+    "images_series",
+    "lowrank_dense",
+    "make_dataset",
+    "nmr_spectra",
+    "sift_features",
+    "tweets_series",
+]

@@ -1,0 +1,180 @@
+"""Workload generators: sparse text matrices, NMR spectra, SIFT features."""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.errors import ShapeError
+
+
+def bag_of_words(
+    n_docs: int,
+    vocabulary: int,
+    words_per_doc: float = 8.0,
+    topic_rank: int = 16,
+    zipf_exponent: float = 1.1,
+    n_stopwords: int = 40,
+    stopword_max_p: float = 0.9,
+    seed: int = 0,
+) -> sp.csr_matrix:
+    """Binary document-term matrix with Zipfian words and topic structure.
+
+    Models the Tweets and Bio-Text matrices: each row is a document, each
+    column a vocabulary word, entries are 1 when the word occurs (the paper's
+    matrices are binary).  Two ingredients give the matrix the structure real
+    text has:
+
+    - a **stopword head**: the first ``n_stopwords`` columns are extremely
+      frequent words ("the", "and", ...) appearing independently with
+      probabilities decaying from ``stopword_max_p``.  These high-mass
+      columns dominate the matrix 1-norm, which is why a rank-d PCA can
+      reconstruct real text matrices to high accuracy;
+    - a **topical tail**: the remaining columns follow a Zipfian marginal
+      reweighted by a small number of concentrated latent topics, giving the
+      low-rank co-occurrence structure PCA extracts.
+
+    Args:
+        n_docs: number of rows N.
+        vocabulary: number of columns D.
+        words_per_doc: mean distinct tail words per document (tweets ~ 8,
+            abstracts ~ 40).
+        topic_rank: number of latent topics mixing the word distributions.
+        zipf_exponent: power-law exponent of the tail-word marginal.
+        n_stopwords: size of the high-frequency head (capped at D/4).
+        stopword_max_p: occurrence probability of the most frequent word.
+        seed: generator seed.
+
+    Returns:
+        CSR matrix of shape (n_docs, vocabulary) with 0/1 entries.
+    """
+    if n_docs < 1 or vocabulary < 1:
+        raise ShapeError(f"need positive sizes, got {(n_docs, vocabulary)}")
+    if words_per_doc <= 0:
+        raise ShapeError(f"words_per_doc must be positive, got {words_per_doc}")
+    rng = np.random.default_rng(seed)
+
+    n_head = min(max(n_stopwords, 0), vocabulary // 4)
+    doc_topics = rng.integers(topic_rank, size=n_docs)
+    head = sp.csr_matrix((n_docs, 0))
+    if n_head:
+        # Head-word probabilities are *topic-modulated* (U-shaped Beta
+        # boost), so the dominant columns carry correlated low-rank
+        # structure that EM has to discover over a few iterations instead
+        # of being explained by the column means alone.
+        base_p = stopword_max_p / np.sqrt(np.arange(1, n_head + 1))
+        topic_boost = rng.beta(0.4, 0.4, size=(topic_rank, n_head))
+        head_p = np.clip(base_p * topic_boost[doc_topics] * 2.0, 0.0, 0.95)
+        head = sp.csr_matrix(
+            (rng.random((n_docs, n_head)) < head_p).astype(np.float64)
+        )
+
+    tail_vocab = vocabulary - n_head
+    # Zipfian word marginal shared by all topics.
+    marginal = 1.0 / np.arange(1, tail_vocab + 1) ** zipf_exponent
+    marginal /= marginal.sum()
+    # Concentrated per-topic reweighting (small gamma shape -> spiky topics).
+    topic_boost = rng.gamma(0.1, size=(topic_rank, tail_vocab))
+    topic_dists = marginal * topic_boost
+    topic_dists /= topic_dists.sum(axis=1, keepdims=True)
+    lengths = rng.poisson(words_per_doc, size=n_docs)
+    lengths = np.clip(lengths, 1, tail_vocab)
+
+    rows = []
+    cols = []
+    for doc, (topic, length) in enumerate(zip(doc_topics, lengths)):
+        words = rng.choice(tail_vocab, size=length, replace=True, p=topic_dists[topic])
+        unique_words = np.unique(words)
+        rows.append(np.full(unique_words.shape[0], doc, dtype=np.int64))
+        cols.append(unique_words)
+    row_index = np.concatenate(rows)
+    col_index = np.concatenate(cols)
+    values = np.ones(row_index.shape[0])
+    tail = sp.csr_matrix(
+        (values, (row_index, col_index)), shape=(n_docs, tail_vocab)
+    )
+    return sp.hstack([head, tail]).tocsr()
+
+
+def nmr_spectra(
+    n_patients: int,
+    n_frequencies: int,
+    n_metabolites: int = 12,
+    peaks_per_metabolite: int = 4,
+    noise: float = 0.02,
+    seed: int = 0,
+) -> np.ndarray:
+    """Dense NMR-like spectra: sums of Lorentzian peaks (the Diabetes set).
+
+    Each metabolite contributes a fixed set of Lorentzian resonance peaks;
+    each patient has individual metabolite concentrations, so the matrix is
+    approximately rank ``n_metabolites`` plus noise -- the structure that
+    makes PCA meaningful on metabolomics data.
+
+    Returns:
+        Dense (n_patients, n_frequencies) array of non-negative magnitudes.
+    """
+    if n_patients < 1 or n_frequencies < 1:
+        raise ShapeError(f"need positive sizes, got {(n_patients, n_frequencies)}")
+    rng = np.random.default_rng(seed)
+    frequencies = np.linspace(0.0, 10.0, n_frequencies)
+
+    signatures = np.zeros((n_metabolites, n_frequencies))
+    for m in range(n_metabolites):
+        centers = rng.uniform(0.5, 9.5, size=peaks_per_metabolite)
+        widths = rng.uniform(0.01, 0.08, size=peaks_per_metabolite)
+        heights = rng.uniform(0.3, 1.0, size=peaks_per_metabolite)
+        for center, width, height in zip(centers, widths, heights):
+            signatures[m] += height * width**2 / ((frequencies - center) ** 2 + width**2)
+
+    concentrations = rng.lognormal(mean=0.0, sigma=0.6, size=(n_patients, n_metabolites))
+    spectra = concentrations @ signatures
+    spectra += noise * rng.normal(size=spectra.shape)
+    return np.maximum(spectra, 0.0)
+
+
+def sift_features(
+    n_vectors: int,
+    n_dims: int = 128,
+    n_clusters: int = 64,
+    seed: int = 0,
+) -> np.ndarray:
+    """Dense SIFT-like descriptors (the Images dataset).
+
+    SIFT descriptors are 128-dimensional non-negative histograms that
+    cluster around recurring visual patterns; we draw them from a Gaussian
+    mixture, clip to non-negative, and normalize to the usual 0-512 range.
+
+    Returns:
+        Dense (n_vectors, n_dims) float array.
+    """
+    if n_vectors < 1 or n_dims < 1:
+        raise ShapeError(f"need positive sizes, got {(n_vectors, n_dims)}")
+    rng = np.random.default_rng(seed)
+    centers = rng.uniform(0.0, 256.0, size=(n_clusters, n_dims))
+    assignment = rng.integers(n_clusters, size=n_vectors)
+    vectors = centers[assignment] + 32.0 * rng.normal(size=(n_vectors, n_dims))
+    return np.clip(vectors, 0.0, 512.0)
+
+
+def lowrank_dense(
+    n_rows: int,
+    n_cols: int,
+    rank: int,
+    noise: float = 0.05,
+    seed: int = 0,
+) -> np.ndarray:
+    """Generic low-rank-plus-noise matrix with a decaying spectrum.
+
+    The workhorse for correctness tests and ablation microbenchmarks: the
+    top *rank* singular values decay linearly, everything below is noise.
+    """
+    if rank > min(n_rows, n_cols):
+        raise ShapeError(
+            f"rank={rank} exceeds min(n_rows, n_cols)={min(n_rows, n_cols)}"
+        )
+    rng = np.random.default_rng(seed)
+    factors = rng.normal(size=(n_rows, rank)) * np.sqrt(np.arange(rank, 0, -1))
+    loadings = rng.normal(size=(rank, n_cols))
+    data = factors @ loadings + noise * rng.normal(size=(n_rows, n_cols))
+    return data + rng.normal(size=n_cols)

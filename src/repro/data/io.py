@@ -1,0 +1,133 @@
+"""Dataset storage: npz archives and a text row format.
+
+Two representations:
+
+- **npz** (:func:`save_matrix` / :func:`load_matrix`): binary, exact,
+  sparse- and dense-aware.  The format stores CSR components for sparse
+  matrices and the raw array for dense ones.
+- **sparse row text** (:func:`write_sparse_rows` / :func:`read_sparse_rows`):
+  one line per row, ``index:value`` pairs separated by spaces -- the
+  interchange format the original sPCA used for its HDFS inputs, useful for
+  eyeballing data and for feeding the simulated HDFS.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Iterable
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.errors import ShapeError
+from repro.linalg.blocks import Matrix
+
+_FORMAT_VERSION = 1
+
+
+def save_matrix(matrix: Matrix, path: str | pathlib.Path) -> pathlib.Path:
+    """Write a sparse or dense matrix to an ``.npz`` archive."""
+    path = pathlib.Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz")
+    if sp.issparse(matrix):
+        csr = matrix.tocsr()
+        np.savez_compressed(
+            path,
+            format_version=np.int64(_FORMAT_VERSION),
+            kind="csr",
+            data=csr.data,
+            indices=csr.indices,
+            indptr=csr.indptr,
+            shape=np.asarray(csr.shape, dtype=np.int64),
+        )
+    else:
+        np.savez_compressed(
+            path,
+            format_version=np.int64(_FORMAT_VERSION),
+            kind="dense",
+            values=np.asarray(matrix, dtype=np.float64),
+        )
+    return path
+
+
+def load_matrix(path: str | pathlib.Path) -> Matrix:
+    """Read a matrix written by :func:`save_matrix`."""
+    with np.load(path, allow_pickle=False) as archive:
+        if "kind" not in archive.files:
+            raise ShapeError("matrix archive is missing its 'kind' field")
+        kind = str(archive["kind"])
+        if kind == "csr":
+            return sp.csr_matrix(
+                (archive["data"], archive["indices"], archive["indptr"]),
+                shape=tuple(archive["shape"]),
+            )
+        if kind == "dense":
+            return np.asarray(archive["values"])
+        raise ShapeError(f"unknown matrix kind: {kind!r}")
+
+
+def write_sparse_rows(matrix: Matrix, path: str | pathlib.Path) -> pathlib.Path:
+    """Write one text line per row: ``col:value`` pairs, space separated.
+
+    Dense matrices are written in the same format (all entries explicit),
+    which round-trips but is wasteful -- the format exists for sparse data.
+    """
+    path = pathlib.Path(path)
+    csr = matrix.tocsr() if sp.issparse(matrix) else sp.csr_matrix(np.asarray(matrix))
+    with path.open("w") as handle:
+        handle.write(f"# rows={csr.shape[0]} cols={csr.shape[1]}\n")
+        for i in range(csr.shape[0]):
+            lo, hi = csr.indptr[i], csr.indptr[i + 1]
+            pairs = " ".join(
+                f"{col}:{value:.17g}"
+                for col, value in zip(csr.indices[lo:hi], csr.data[lo:hi])
+            )
+            handle.write(pairs + "\n")
+    return path
+
+
+def read_sparse_rows(path: str | pathlib.Path) -> sp.csr_matrix:
+    """Read a matrix written by :func:`write_sparse_rows`."""
+    path = pathlib.Path(path)
+    with path.open() as handle:
+        header = handle.readline()
+        if not header.startswith("#"):
+            raise ShapeError(f"{path}: missing '# rows=... cols=...' header")
+        try:
+            fields = dict(
+                part.split("=") for part in header[1:].split() if "=" in part
+            )
+            n_rows = int(fields["rows"])
+            n_cols = int(fields["cols"])
+        except (KeyError, ValueError) as exc:
+            raise ShapeError(f"{path}: malformed header {header!r}") from exc
+        data: list[float] = []
+        indices: list[int] = []
+        indptr = [0]
+        for line_number, line in enumerate(handle, start=2):
+            for pair in line.split():
+                col_text, _, value_text = pair.partition(":")
+                try:
+                    indices.append(int(col_text))
+                    data.append(float(value_text))
+                except ValueError as exc:
+                    raise ShapeError(
+                        f"{path}:{line_number}: malformed entry {pair!r}"
+                    ) from exc
+            indptr.append(len(data))
+    if len(indptr) - 1 != n_rows:
+        raise ShapeError(
+            f"{path}: header promised {n_rows} rows, found {len(indptr) - 1}"
+        )
+    return sp.csr_matrix(
+        (np.asarray(data), np.asarray(indices, dtype=np.int64), np.asarray(indptr)),
+        shape=(n_rows, n_cols),
+    )
+
+
+def rows_to_hdfs_records(matrix: Matrix, num_blocks: int) -> Iterable[tuple[int, Matrix]]:
+    """Convert a matrix into the (start_row, block) records the engines use."""
+    from repro.linalg.blocks import partition_rows
+
+    return [(block.start, block.data) for block in partition_rows(matrix, num_blocks)]

@@ -1,0 +1,149 @@
+"""Paper-scaled dataset specifications.
+
+The experiments in Section 5 use four datasets at several sizes.  We scale
+uniformly: columns by ~1/10, rows to laptop scale, and d = 10 principal
+components standing in for the paper's 50.  The MLlib failure threshold is
+scaled by the same factor: the paper's driver fails above D = 6,000 on a
+32 GB machine, so the scaled cluster gives the driver 4 MB, which holds a
+600^2 covariance (2.9 MB) but not a 1,000^2 one (8 MB) -- the failure
+boundary falls at the same *relative* column count.
+
+==========  =============================  =========================
+Dataset     Paper size                      Scaled size here
+==========  =============================  =========================
+Tweets      1.26B x {2K, 6K, 71.5K}        20,000 x {200, 600, 7150}
+Bio-Text    8.2M  x {2K, 10K, 14K}         8,000  x {200, 1000, 1400}
+Diabetes    353   x {2K, 10K, 65.7K}       353    x {200, 1000, 6567}
+Images      160M  x 128                    20,000 x 128
+==========  =============================  =========================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.data.generators import bag_of_words, nmr_spectra, sift_features
+from repro.engine.cluster import ClusterSpec
+
+SCALED_COMPONENTS = 10
+SCALED_DRIVER_MEMORY_MB = 4.0
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """One dataset at one size, plus how to generate it."""
+
+    name: str
+    n_rows: int
+    n_cols: int
+    sparse: bool
+    paper_size: str
+    generate: Callable[[], object]
+
+    @property
+    def label(self) -> str:
+        return f"{self.name} {self.n_rows}x{self.n_cols}"
+
+
+def scaled_cluster(num_nodes: int = 8) -> ClusterSpec:
+    """The paper's 8x8-core cluster with memory scaled like the data."""
+    return ClusterSpec(
+        num_nodes=num_nodes,
+        cores_per_node=8,
+        memory_per_node_mb=64.0,
+        driver_memory_mb=SCALED_DRIVER_MEMORY_MB,
+    )
+
+
+def _tweets(n_rows: int, n_cols: int, paper_size: str) -> DatasetSpec:
+    return DatasetSpec(
+        name="tweets",
+        n_rows=n_rows,
+        n_cols=n_cols,
+        sparse=True,
+        paper_size=paper_size,
+        generate=lambda: bag_of_words(
+            n_rows, n_cols, words_per_doc=8.0, topic_rank=16, seed=101
+        ),
+    )
+
+
+def _biotext(n_rows: int, n_cols: int, paper_size: str) -> DatasetSpec:
+    return DatasetSpec(
+        name="biotext",
+        n_rows=n_rows,
+        n_cols=n_cols,
+        sparse=True,
+        paper_size=paper_size,
+        generate=lambda: bag_of_words(
+            n_rows, n_cols, words_per_doc=40.0, topic_rank=24, seed=202
+        ),
+    )
+
+
+def _diabetes(n_rows: int, n_cols: int, paper_size: str) -> DatasetSpec:
+    return DatasetSpec(
+        name="diabetes",
+        n_rows=n_rows,
+        n_cols=n_cols,
+        sparse=False,
+        paper_size=paper_size,
+        generate=lambda: nmr_spectra(n_rows, n_cols, seed=303),
+    )
+
+
+def _images(n_rows: int, n_cols: int, paper_size: str) -> DatasetSpec:
+    return DatasetSpec(
+        name="images",
+        n_rows=n_rows,
+        n_cols=n_cols,
+        sparse=False,
+        paper_size=paper_size,
+        generate=lambda: sift_features(n_rows, n_cols, seed=404),
+    )
+
+
+def tweets_series(n_rows: int = 20_000) -> list[DatasetSpec]:
+    """The three Tweets sizes of Table 2 (columns 2K / 6K / 71.5K scaled)."""
+    return [
+        _tweets(n_rows, 200, "1.26B x 2K"),
+        _tweets(n_rows, 600, "1.26B x 6K"),
+        _tweets(n_rows, 7150, "1.26B x 71.5K"),
+    ]
+
+
+def biotext_series(n_rows: int = 8_000) -> list[DatasetSpec]:
+    """The three Bio-Text sizes of Table 2."""
+    return [
+        _biotext(n_rows, 200, "8.2M x 2K"),
+        _biotext(n_rows, 1000, "8.2M x 10K"),
+        _biotext(n_rows, 1400, "8.2M x 14K"),
+    ]
+
+
+def diabetes_series(n_rows: int = 353) -> list[DatasetSpec]:
+    """The three Diabetes sizes of Table 2 (rows unscaled: 353 patients)."""
+    return [
+        _diabetes(n_rows, 200, "353 x 2K"),
+        _diabetes(n_rows, 1000, "353 x 10K"),
+        _diabetes(n_rows, 6567, "353 x 65.7K"),
+    ]
+
+
+def images_series(n_rows: int = 20_000) -> list[DatasetSpec]:
+    """The single Images size of Table 2 (128 SIFT dimensions, unscaled)."""
+    return [_images(n_rows, 128, "160M x 128")]
+
+
+PAPER_DATASETS: dict[str, Callable[[], list[DatasetSpec]]] = {
+    "tweets": tweets_series,
+    "biotext": biotext_series,
+    "diabetes": diabetes_series,
+    "images": images_series,
+}
+
+
+def make_dataset(spec: DatasetSpec):
+    """Generate the matrix for *spec* (convenience wrapper)."""
+    return spec.generate()

@@ -1,0 +1,42 @@
+"""Simulated distributed execution platforms.
+
+The paper evaluates sPCA on an 8-node EC2 cluster running Hadoop MapReduce
+and Apache Spark 1.0.  This package rebuilds both platforms as single-process
+simulators that preserve everything the paper measures:
+
+- **dataflow** -- what each phase reads, shuffles, and materializes, with
+  byte-accurate accounting (intermediate-data results, Section 5.2);
+- **memory** -- driver and executor memory models (MLlib's failure beyond
+  6,000 columns, Figures 7-8);
+- **time** -- a simulated wall clock that schedules measured per-task compute
+  times onto a configurable number of cores and charges network/disk
+  transfers at configurable bandwidths (running times, Tables 2-4).
+
+Submodules:
+
+- :mod:`repro.engine.cluster` -- cluster hardware description.
+- :mod:`repro.engine.serde` -- serialized-size estimation.
+- :mod:`repro.engine.simtime` -- cost model and task scheduling.
+- :mod:`repro.engine.metrics` -- per-job statistics.
+- :mod:`repro.engine.mapreduce` -- the Hadoop-style engine.
+- :mod:`repro.engine.spark` -- the Spark-style engine.
+"""
+
+from repro.engine.cluster import ClusterSpec
+from repro.engine.metrics import EngineMetrics, JobStats
+from repro.engine.simtime import (
+    HADOOP_LIKE_COSTS,
+    SPARK_LIKE_COSTS,
+    CostModel,
+    schedule_makespan,
+)
+
+__all__ = [
+    "ClusterSpec",
+    "CostModel",
+    "EngineMetrics",
+    "HADOOP_LIKE_COSTS",
+    "JobStats",
+    "SPARK_LIKE_COSTS",
+    "schedule_makespan",
+]

@@ -1,0 +1,57 @@
+"""Cluster hardware description shared by both engines."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ShapeError
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """A commodity cluster, described the way the paper describes theirs.
+
+    The paper's testbed is 8 Amazon EC2 m3.2xlarge nodes: 8 cores and 32 GB
+    of memory each (Section 5, "Cluster Specifications"), which is the
+    default here.  Table 4 varies ``num_nodes`` to 2/4/8 (16/32/64 cores).
+
+    Attributes:
+        num_nodes: worker machines in the cluster.
+        cores_per_node: parallel task slots per machine.
+        memory_per_node_mb: executor memory per machine; the aggregate bounds
+            how much RDD data Spark can cache.
+        driver_memory_mb: memory of the single driver/master process; bounds
+            driver-side allocations (the MLlib covariance matrix).
+    """
+
+    num_nodes: int = 8
+    cores_per_node: int = 8
+    memory_per_node_mb: float = 32 * 1024.0
+    driver_memory_mb: float = 32 * 1024.0
+
+    def __post_init__(self) -> None:
+        if self.num_nodes < 1 or self.cores_per_node < 1:
+            raise ShapeError("cluster must have at least one node and one core")
+        if self.memory_per_node_mb <= 0 or self.driver_memory_mb <= 0:
+            raise ShapeError("memory sizes must be positive")
+
+    @property
+    def total_cores(self) -> int:
+        return self.num_nodes * self.cores_per_node
+
+    @property
+    def aggregate_memory_bytes(self) -> int:
+        return int(self.num_nodes * self.memory_per_node_mb * 1024 * 1024)
+
+    @property
+    def driver_memory_bytes(self) -> int:
+        return int(self.driver_memory_mb * 1024 * 1024)
+
+    def scaled(self, num_nodes: int) -> "ClusterSpec":
+        """Same hardware per node, different node count (Table 4 sweeps)."""
+        return ClusterSpec(
+            num_nodes=num_nodes,
+            cores_per_node=self.cores_per_node,
+            memory_per_node_mb=self.memory_per_node_mb,
+            driver_memory_mb=self.driver_memory_mb,
+        )

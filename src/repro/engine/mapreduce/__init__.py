@@ -1,0 +1,32 @@
+"""A Hadoop-MapReduce-style execution engine, simulated in one process.
+
+Programs are written against the classic API -- :class:`Mapper`,
+:class:`Combiner`, :class:`Reducer`, each with ``setup``/``cleanup`` hooks so
+the *stateful combiner* pattern of Section 4.1 works exactly as in the paper
+-- and submitted to a :class:`MapReduceRuntime` that executes them over
+input splits, shuffles map output by key, and accounts every byte moved.
+"""
+
+from repro.engine.mapreduce.api import (
+    Combiner,
+    IdentityMapper,
+    MapReduceJob,
+    Mapper,
+    Reducer,
+    SumReducer,
+    TaskContext,
+)
+from repro.engine.mapreduce.hdfs import InMemoryHDFS
+from repro.engine.mapreduce.runtime import MapReduceRuntime
+
+__all__ = [
+    "Combiner",
+    "IdentityMapper",
+    "InMemoryHDFS",
+    "MapReduceJob",
+    "MapReduceRuntime",
+    "Mapper",
+    "Reducer",
+    "SumReducer",
+    "TaskContext",
+]

@@ -1,0 +1,76 @@
+"""An in-memory stand-in for HDFS with byte accounting.
+
+Stores datasets as lists of (key, value) records under string paths.  Every
+read and write is charged at its serialized size so the engine can model the
+disk traffic that distinguishes the disk-based MapReduce platform from the
+memory-based Spark platform.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from repro.engine.serde import sizeof_pairs
+from repro.errors import FileSystemError
+
+Pair = tuple[Any, Any]
+
+
+class InMemoryHDFS:
+    """A flat namespace of record datasets.
+
+    Attributes:
+        replication: HDFS-style replication factor; writes are charged
+            ``replication`` times (default 1 keeps byte counts equal to the
+            logical data size, which is how the paper reports them).
+    """
+
+    def __init__(self, replication: int = 1):
+        if replication < 1:
+            raise FileSystemError(f"replication must be >= 1, got {replication}")
+        self.replication = replication
+        self._files: dict[str, list[Pair]] = {}
+        self._sizes: dict[str, int] = {}
+        self.bytes_read = 0
+        self.bytes_written = 0
+
+    def write(self, path: str, records: Iterable[Pair], overwrite: bool = True) -> int:
+        """Store *records* under *path*; returns the logical byte size."""
+        if not overwrite and path in self._files:
+            raise FileSystemError(f"path already exists: {path}")
+        materialized = list(records)
+        nbytes = sizeof_pairs(materialized)
+        self._files[path] = materialized
+        self._sizes[path] = nbytes
+        self.bytes_written += nbytes * self.replication
+        return nbytes
+
+    def read(self, path: str) -> list[Pair]:
+        """Return the records under *path*, charging a full read."""
+        if path not in self._files:
+            raise FileSystemError(f"no such path: {path}")
+        self.bytes_read += self._sizes[path]
+        return self._files[path]
+
+    def size(self, path: str) -> int:
+        """Logical size of *path* in bytes (no read charge)."""
+        if path not in self._sizes:
+            raise FileSystemError(f"no such path: {path}")
+        return self._sizes[path]
+
+    def exists(self, path: str) -> bool:
+        return path in self._files
+
+    def delete(self, path: str) -> None:
+        if path not in self._files:
+            raise FileSystemError(f"no such path: {path}")
+        del self._files[path]
+        del self._sizes[path]
+
+    def listing(self) -> dict[str, int]:
+        """Map of path -> size for everything currently stored."""
+        return dict(self._sizes)
+
+    @property
+    def total_stored_bytes(self) -> int:
+        return sum(self._sizes.values())

@@ -1,0 +1,254 @@
+"""The MapReduce job runtime: split -> map -> combine -> shuffle -> reduce.
+
+Execution is sequential inside one Python process, but the runtime measures
+the compute time of every task and reconstructs the cluster timeline with
+the cost model: task times are scheduled onto the cluster's cores, map
+output is spilled to local disk and fetched over the network (the disk-based
+platform's signature), and the per-job fixed overhead models Hadoop job
+initialization.  All byte counts are real, measured from the records that
+actually flowed.
+"""
+
+from __future__ import annotations
+
+import copy
+import time
+import zlib
+from collections import defaultdict
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.engine.cluster import ClusterSpec
+from repro.engine.mapreduce.api import MapReduceJob, Mapper, Reducer, TaskContext
+from repro.engine.mapreduce.hdfs import InMemoryHDFS
+from repro.engine.metrics import EngineMetrics, JobStats
+from repro.engine.serde import sizeof_pairs
+from repro.engine.simtime import (
+    HADOOP_LIKE_COSTS,
+    CostModel,
+    apply_speculative_execution,
+    schedule_makespan,
+)
+from repro.errors import InvalidPlanError, JobFailedError
+
+Pair = tuple[Any, Any]
+
+
+def _partition_of(key: Any, num_partitions: int) -> int:
+    """Deterministic key partitioner (Python's hash() is salted per run)."""
+    return zlib.crc32(repr(key).encode()) % num_partitions
+
+
+def _instantiate(template):
+    """Fresh per-task instance: classes are constructed, instances deep-copied."""
+    if isinstance(template, type):
+        return template()
+    return copy.deepcopy(template)
+
+
+class MapReduceRuntime:
+    """Executes :class:`MapReduceJob` instances over a simulated cluster.
+
+    Args:
+        cluster: hardware description; its core count bounds task parallelism.
+        cost_model: converts measured work into simulated seconds.
+        hdfs: the simulated distributed filesystem (a fresh one by default).
+        failure_rate: probability that any individual task attempt fails and
+            is retried (fault-tolerance testing).
+        max_task_attempts: attempts before the whole job is declared failed,
+            matching Hadoop's ``mapreduce.map.maxattempts`` default of 4.
+        seed: seed for failure injection.
+    """
+
+    def __init__(
+        self,
+        cluster: ClusterSpec | None = None,
+        cost_model: CostModel = HADOOP_LIKE_COSTS,
+        hdfs: InMemoryHDFS | None = None,
+        failure_rate: float = 0.0,
+        max_task_attempts: int = 4,
+        seed: int = 0,
+    ):
+        if not 0.0 <= failure_rate < 1.0:
+            raise InvalidPlanError(f"failure_rate must be in [0, 1), got {failure_rate}")
+        self.cluster = cluster or ClusterSpec()
+        self.cost_model = cost_model
+        self.hdfs = hdfs or InMemoryHDFS()
+        self.failure_rate = failure_rate
+        self.max_task_attempts = max_task_attempts
+        self.metrics = EngineMetrics()
+        self._rng = np.random.default_rng(seed)
+        self._current_stats: JobStats | None = None
+
+    # -- public API ------------------------------------------------------
+
+    def run(
+        self, job: MapReduceJob, input_data: str | Sequence[Sequence[Pair]]
+    ) -> list[Pair]:
+        """Run one job; returns its output records and records JobStats.
+
+        Args:
+            job: the job description.
+            input_data: either an HDFS path (the file is read and split one
+                split per core) or an explicit list of splits, each a list of
+                (key, value) records.
+        """
+        started = time.perf_counter()
+        stats = JobStats(
+            name=job.name, output_is_intermediate=job.output_is_intermediate
+        )
+        splits = self._resolve_splits(input_data, stats)
+        stats.n_map_tasks = len(splits)
+
+        self._current_stats = stats
+        map_outputs, map_times = self._map_phase(job, splits, stats)
+        output, reduce_times = self._reduce_phase(job, map_outputs, stats)
+        self._current_stats = None
+
+        if job.output_path is not None:
+            stats.output_bytes = self.hdfs.write(job.output_path, output)
+            stats.hdfs_write_bytes += stats.output_bytes
+        else:
+            stats.output_bytes = sizeof_pairs(output)
+
+        stats.wall_seconds = time.perf_counter() - started
+        stats.sim_seconds = self._simulate_timeline(stats, map_times, reduce_times)
+        self.metrics.record(stats)
+        return output
+
+    # -- phases ----------------------------------------------------------
+
+    def _resolve_splits(self, input_data, stats: JobStats) -> list[list[Pair]]:
+        if isinstance(input_data, str):
+            records = self.hdfs.read(input_data)
+            stats.hdfs_read_bytes += self.hdfs.size(input_data)
+            num_splits = max(1, min(self.cluster.total_cores, len(records)))
+            boundaries = np.linspace(0, len(records), num_splits + 1, dtype=int)
+            return [
+                records[lo:hi] for lo, hi in zip(boundaries[:-1], boundaries[1:]) if hi > lo
+            ]
+        splits = [list(split) for split in input_data]
+        if not splits:
+            raise InvalidPlanError("job has no input splits")
+        # MapReduce reads its input from the distributed filesystem on every
+        # job -- this re-read is the disk-based platform's defining cost.
+        stats.hdfs_read_bytes += sum(sizeof_pairs(split) for split in splits)
+        return splits
+
+    def _map_phase(self, job, splits, stats) -> tuple[list[list[Pair]], list[float]]:
+        map_outputs = []
+        map_times = []
+        for task_id, split in enumerate(splits):
+            pairs, seconds = self._attempt_task(
+                stats, lambda: self._run_map_task(job, split, task_id)
+            )
+            map_times.append(seconds)
+            map_outputs.append(pairs)
+        stats.map_output_bytes = sum(sizeof_pairs(out) for out in map_outputs)
+        if job.combiner is not None:
+            combined = []
+            for task_id, pairs in enumerate(map_outputs):
+                out, seconds = self._attempt_task(
+                    stats,
+                    lambda: self._run_reduce_like(job.combiner, job, pairs, task_id),
+                )
+                map_times[min(task_id, len(map_times) - 1)] += seconds
+                combined.append(out)
+            map_outputs = combined
+        return map_outputs, map_times
+
+    def _reduce_phase(self, job, map_outputs, stats) -> tuple[list[Pair], list[float]]:
+        all_pairs = [pair for output in map_outputs for pair in output]
+        if job.reducer is None:
+            return all_pairs, []
+        stats.shuffle_bytes = sizeof_pairs(all_pairs)
+        num_reducers = max(1, job.num_reducers)
+        stats.n_reduce_tasks = num_reducers
+        partitions: list[list[Pair]] = [[] for _ in range(num_reducers)]
+        for key, value in all_pairs:
+            partitions[_partition_of(key, num_reducers)].append((key, value))
+        output: list[Pair] = []
+        reduce_times: list[float] = []
+        for task_id, partition in enumerate(partitions):
+            pairs, seconds = self._attempt_task(
+                stats, lambda: self._run_reduce_like(job.reducer, job, partition, task_id)
+            )
+            reduce_times.append(seconds)
+            output.extend(pairs)
+        return output, reduce_times
+
+    # -- task execution --------------------------------------------------
+
+    def _attempt_task(self, stats: JobStats, thunk) -> tuple[list[Pair], float]:
+        total_seconds = 0.0
+        for attempt in range(1, self.max_task_attempts + 1):
+            started = time.perf_counter()
+            result = thunk()
+            elapsed = time.perf_counter() - started
+            total_seconds += elapsed
+            if self._rng.random() >= self.failure_rate:
+                return result, total_seconds
+            stats.task_retries += 1
+        raise JobFailedError(
+            f"job {stats.name!r}: task failed {self.max_task_attempts} times"
+        )
+
+    def _run_map_task(self, job: MapReduceJob, split, task_id: int) -> list[Pair]:
+        mapper: Mapper = _instantiate(job.mapper)
+        ctx = TaskContext(job.name, task_id, dict(job.config))
+        mapper.setup(ctx)
+        output: list[Pair] = []
+        for key, value in split:
+            output.extend(mapper.map(key, value, ctx))
+        output.extend(mapper.cleanup(ctx))
+        self._merge_counters(ctx)
+        return output
+
+    def _run_reduce_like(self, template, job, pairs, task_id: int) -> list[Pair]:
+        reducer: Reducer = _instantiate(template)
+        ctx = TaskContext(job.name, task_id, dict(job.config))
+        reducer.setup(ctx)
+        groups: dict[Any, list[Any]] = defaultdict(list)
+        for key, value in pairs:
+            groups[key].append(value)
+        output: list[Pair] = []
+        for key in sorted(groups, key=repr):
+            output.extend(reducer.reduce(key, groups[key], ctx))
+        output.extend(reducer.cleanup(ctx))
+        self._merge_counters(ctx)
+        return output
+
+    def _merge_counters(self, ctx: TaskContext) -> None:
+        if self._current_stats is not None:
+            for counter, amount in ctx.counters.items():
+                self._current_stats.counters[counter] = (
+                    self._current_stats.counters.get(counter, 0) + amount
+                )
+
+    # -- simulated timeline ----------------------------------------------
+
+    def _simulate_timeline(self, stats, map_times, reduce_times) -> float:
+        cost = self.cost_model
+        cores = self.cluster.total_cores
+        map_tasks = [
+            t * cost.compute_scale + cost.per_task_overhead_s
+            for t in apply_speculative_execution(map_times)
+        ]
+        reduce_tasks = [
+            t * cost.compute_scale + cost.per_task_overhead_s
+            for t in apply_speculative_execution(reduce_times)
+        ]
+        seconds = cost.per_job_overhead_s
+        seconds += cost.disk_seconds(stats.hdfs_read_bytes)
+        seconds += schedule_makespan(map_tasks, cores)
+        # Raw map output spills to local disk before combining (this is what
+        # punishes jobs whose mappers emit a partial per record); the
+        # combined output is fetched over the network and written once more
+        # on the reduce side before reducing.
+        seconds += cost.disk_seconds(stats.map_output_bytes)
+        seconds += cost.disk_seconds(stats.shuffle_bytes)
+        seconds += cost.network_seconds(stats.shuffle_bytes)
+        seconds += schedule_makespan(reduce_tasks, cores)
+        seconds += cost.disk_seconds(stats.hdfs_write_bytes)
+        return seconds

@@ -1,0 +1,96 @@
+"""Per-job statistics and engine-level aggregation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class JobStats:
+    """Everything measured about one distributed job (or Spark stage).
+
+    ``intermediate_bytes`` is the quantity Section 5.2 of the paper reports:
+    data produced during execution that must be handed to another phase --
+    shuffle traffic plus any job output that a later job consumes (marked by
+    the caller via ``output_is_intermediate``).
+    """
+
+    name: str
+    n_map_tasks: int = 0
+    n_reduce_tasks: int = 0
+    map_output_bytes: int = 0
+    shuffle_bytes: int = 0
+    output_bytes: int = 0
+    output_is_intermediate: bool = False
+    hdfs_read_bytes: int = 0
+    hdfs_write_bytes: int = 0
+    driver_result_bytes: int = 0
+    broadcast_bytes: int = 0
+    wall_seconds: float = 0.0
+    sim_seconds: float = 0.0
+    task_retries: int = 0
+    counters: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def intermediate_bytes(self) -> int:
+        # Raw map output is what the paper counts (Mahout's Bt mappers wrote
+        # 4 TB *before* combining); the post-combine shuffle is a subset of
+        # it, so take whichever phase moved more.
+        total = max(self.map_output_bytes, self.shuffle_bytes) + self.driver_result_bytes
+        if self.output_is_intermediate:
+            total += self.output_bytes
+        return total
+
+
+@dataclass
+class EngineMetrics:
+    """Accumulates :class:`JobStats` across the jobs of one computation."""
+
+    jobs: list[JobStats] = field(default_factory=list)
+
+    def record(self, stats: JobStats) -> None:
+        self.jobs.append(stats)
+
+    def reset(self) -> None:
+        self.jobs.clear()
+
+    @property
+    def total_sim_seconds(self) -> float:
+        return sum(job.sim_seconds for job in self.jobs)
+
+    @property
+    def total_wall_seconds(self) -> float:
+        return sum(job.wall_seconds for job in self.jobs)
+
+    @property
+    def total_intermediate_bytes(self) -> int:
+        return sum(job.intermediate_bytes for job in self.jobs)
+
+    @property
+    def total_shuffle_bytes(self) -> int:
+        return sum(job.shuffle_bytes for job in self.jobs)
+
+    @property
+    def total_map_output_bytes(self) -> int:
+        return sum(job.map_output_bytes for job in self.jobs)
+
+    def by_name(self, name: str) -> list[JobStats]:
+        return [job for job in self.jobs if job.name == name]
+
+    def summary(self) -> str:
+        """Human-readable per-job table (used by examples and EXPERIMENTS)."""
+        lines = [
+            f"{'job':<28}{'maps':>6}{'reds':>6}{'shuffle B':>14}"
+            f"{'interm. B':>14}{'sim s':>10}"
+        ]
+        for job in self.jobs:
+            lines.append(
+                f"{job.name:<28}{job.n_map_tasks:>6}{job.n_reduce_tasks:>6}"
+                f"{job.shuffle_bytes:>14}{job.intermediate_bytes:>14}"
+                f"{job.sim_seconds:>10.3f}"
+            )
+        lines.append(
+            f"{'TOTAL':<28}{'':>6}{'':>6}{self.total_shuffle_bytes:>14}"
+            f"{self.total_intermediate_bytes:>14}{self.total_sim_seconds:>10.3f}"
+        )
+        return "\n".join(lines)

@@ -1,0 +1,56 @@
+"""Serialized-size estimation for intermediate-data accounting.
+
+The communication-complexity results of the paper are measured in bytes of
+intermediate data.  Rather than actually serializing every record, the
+engines estimate the wire size of each value with :func:`sizeof`, which
+charges numpy buffers at their true byte size and Python scalars/containers
+at small fixed overheads.  The estimates are deterministic, additive, and
+close enough to any real encoding that byte *ratios* (the quantity the paper
+reports: 961 GB vs 131 MB) are preserved.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+# Fixed per-object overheads, roughly matching compact binary encodings.
+_SCALAR_BYTES = 8
+_CONTAINER_OVERHEAD = 8
+
+
+def sizeof(value) -> int:
+    """Estimated serialized size of *value* in bytes."""
+    if value is None:
+        return 1
+    if isinstance(value, (bool, int, float, np.integer, np.floating)):
+        return _SCALAR_BYTES
+    if isinstance(value, (str, bytes)):
+        return len(value) + _CONTAINER_OVERHEAD
+    if isinstance(value, np.ndarray):
+        return int(value.nbytes) + _CONTAINER_OVERHEAD
+    if sp.issparse(value):
+        csr = value.tocsr()
+        return (
+            int(csr.data.nbytes + csr.indices.nbytes + csr.indptr.nbytes)
+            + _CONTAINER_OVERHEAD
+        )
+    if isinstance(value, dict):
+        return _CONTAINER_OVERHEAD + sum(
+            sizeof(k) + sizeof(v) for k, v in value.items()
+        )
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return _CONTAINER_OVERHEAD + sum(sizeof(item) for item in value)
+    nbytes = getattr(value, "nbytes", None)
+    if callable(nbytes):
+        return int(nbytes()) + _CONTAINER_OVERHEAD
+    if isinstance(nbytes, (int, np.integer)):
+        return int(nbytes) + _CONTAINER_OVERHEAD
+    # Fall back to the repr length; better to overcount odd objects than to
+    # silently give them a free ride through the shuffle.
+    return len(repr(value)) + _CONTAINER_OVERHEAD
+
+
+def sizeof_pairs(pairs) -> int:
+    """Total serialized size of an iterable of (key, value) records."""
+    return sum(sizeof(key) + sizeof(value) for key, value in pairs)

@@ -1,0 +1,26 @@
+"""A Spark-style execution engine, simulated in one process.
+
+Provides the two abstractions the paper's Section 4.2 describes: resilient
+distributed datasets (:class:`RDD`, lazy lineage of transformations) and
+parallel operations on them (actions), plus the two sharing mechanisms sPCA
+leans on -- broadcast variables and add-only accumulators.
+
+The engine models what distinguishes Spark from MapReduce in the paper's
+measurements: the input RDD is cached in the aggregate cluster memory and
+re-read for free each iteration (spilling to simulated disk when it does not
+fit), per-job overhead is small, and the driver's memory is a hard limit on
+driver-side allocations (the MLlib-PCA failure mode).
+"""
+
+from repro.engine.spark.context import Accumulator, Broadcast, SparkContext
+from repro.engine.spark.memory import BlockManager, DriverMemoryMonitor
+from repro.engine.spark.rdd import RDD
+
+__all__ = [
+    "Accumulator",
+    "BlockManager",
+    "Broadcast",
+    "DriverMemoryMonitor",
+    "RDD",
+    "SparkContext",
+]

@@ -1,0 +1,250 @@
+"""SparkContext: the driver's entry point, plus broadcasts and accumulators."""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Iterable
+
+import numpy as np
+
+from repro.engine.cluster import ClusterSpec
+from repro.engine.metrics import EngineMetrics, JobStats
+from repro.engine.serde import sizeof
+from repro.engine.simtime import (
+    SPARK_LIKE_COSTS,
+    CostModel,
+    apply_speculative_execution,
+    schedule_makespan,
+)
+from repro.engine.spark.memory import BlockManager, DriverMemoryMonitor
+from repro.errors import InvalidPlanError, JobFailedError
+
+
+class Broadcast:
+    """A read-only value shipped once to every node (Section 4.2).
+
+    sPCA broadcasts the small matrices (CM, Ym, Xm, C) so that workers can
+    run the in-memory multiplication of Section 3.3.
+    """
+
+    def __init__(self, value: Any, nbytes: int):
+        self._value = value
+        self.nbytes = nbytes
+
+    @property
+    def value(self) -> Any:
+        return self._value
+
+
+class Accumulator:
+    """An add-only shared variable; workers add, only the driver reads.
+
+    ``add`` merges with the user-supplied associative operation and charges
+    the serialized size of each added update as network traffic to the
+    running stage -- so passing a *sparse* partial result genuinely reduces
+    the measured communication, which is exactly the YtX optimization the
+    paper describes at the end of Section 4.2.
+    """
+
+    def __init__(self, zero: Any, add_op: Callable[[Any, Any], Any], context: "SparkContext"):
+        self._value = zero
+        self._add_op = add_op
+        self._context = context
+        self.updates = 0
+        self.bytes_added = 0
+
+    def add(self, update: Any) -> None:
+        # Inside a running task, updates are staged and committed only if
+        # the task succeeds -- Spark's exactly-once accumulator guarantee
+        # for actions.  Outside any task (driver code), apply directly.
+        if not self._context._stage_accumulator_update(self, update):
+            self._apply(update)
+
+    def _apply(self, update: Any) -> None:
+        self._value = self._add_op(self._value, update)
+        nbytes = sizeof(update)
+        self.updates += 1
+        self.bytes_added += nbytes
+        self._context._charge_accumulator_bytes(nbytes)
+
+    @property
+    def value(self) -> Any:
+        """Driver-side read of the accumulated value."""
+        return self._value
+
+
+class SparkContext:
+    """Driver entry point: creates RDDs, broadcasts, accumulators.
+
+    Args:
+        cluster: simulated hardware (defaults to the paper's 8x8-core setup).
+        cost_model: simulated-time parameters (Spark-like defaults).
+        failure_rate: per-partition-computation failure probability; failed
+            partitions are recomputed from lineage, as real Spark does.
+        seed: seed for failure injection.
+    """
+
+    def __init__(
+        self,
+        cluster: ClusterSpec | None = None,
+        cost_model: CostModel = SPARK_LIKE_COSTS,
+        failure_rate: float = 0.0,
+        max_task_attempts: int = 4,
+        seed: int = 0,
+    ):
+        if not 0.0 <= failure_rate < 1.0:
+            raise InvalidPlanError(f"failure_rate must be in [0, 1), got {failure_rate}")
+        self.cluster = cluster or ClusterSpec()
+        self.cost_model = cost_model
+        self.failure_rate = failure_rate
+        self.max_task_attempts = max_task_attempts
+        self.metrics = EngineMetrics()
+        self.driver = DriverMemoryMonitor(self.cluster.driver_memory_bytes)
+        self.block_manager = BlockManager(self.cluster.aggregate_memory_bytes)
+        self._rng = np.random.default_rng(seed)
+        self._next_rdd_id = 0
+        self._stage_stats: JobStats | None = None
+        self._pending_updates: list[tuple[Accumulator, Any]] | None = None
+
+    # -- RDD creation ----------------------------------------------------
+
+    def parallelize(self, items: Iterable[Any], num_partitions: int | None = None):
+        from repro.engine.spark.rdd import RDD
+
+        items = list(items)
+        if not items:
+            raise InvalidPlanError("cannot parallelize an empty collection")
+        if num_partitions is None:
+            num_partitions = min(self.cluster.total_cores, len(items))
+        if num_partitions < 1:
+            raise InvalidPlanError(f"num_partitions must be >= 1, got {num_partitions}")
+        num_partitions = min(num_partitions, len(items))
+        boundaries = np.linspace(0, len(items), num_partitions + 1, dtype=int)
+        partitions = [
+            items[lo:hi] for lo, hi in zip(boundaries[:-1], boundaries[1:]) if hi > lo
+        ]
+        return RDD._from_partitions(self, partitions)
+
+    def from_hdfs(self, hdfs, path: str, num_partitions: int | None = None):
+        """Create an RDD from a dataset in the simulated distributed FS.
+
+        Mirrors ``sc.textFile``: the read is charged to the filesystem's
+        counters and, as simulated disk time, to the first stage that
+        materializes the RDD's partitions.
+        """
+        from repro.engine.spark.rdd import RDD
+
+        records = hdfs.read(path)
+        nbytes = hdfs.size(path)
+        rdd = self.parallelize(records, num_partitions)
+        read_stats = JobStats(name="hdfsRead", hdfs_read_bytes=nbytes)
+        read_stats.sim_seconds = self.cost_model.disk_seconds(nbytes)
+        self.metrics.record(read_stats)
+        return rdd
+
+    def save_to_hdfs(self, rdd, hdfs, path: str) -> int:
+        """Collect *rdd* and write it to the simulated distributed FS.
+
+        Mirrors ``rdd.saveAsTextFile``: each partition's records are
+        written out; the write is charged as disk time.  Returns the
+        logical byte size written.
+        """
+        records = rdd.collect()
+        nbytes = hdfs.write(path, [(i, record) for i, record in enumerate(records)])
+        write_stats = JobStats(name="hdfsWrite", hdfs_write_bytes=nbytes)
+        write_stats.sim_seconds = self.cost_model.disk_seconds(nbytes)
+        self.metrics.record(write_stats)
+        return nbytes
+
+    # -- shared variables -------------------------------------------------
+
+    def broadcast(self, value: Any) -> Broadcast:
+        """Ship *value* to every node, charging one copy per node."""
+        nbytes = sizeof(value)
+        total = nbytes * self.cluster.num_nodes
+        stats = JobStats(name="broadcast", broadcast_bytes=total)
+        stats.sim_seconds = self.cost_model.network_seconds(total)
+        self.metrics.record(stats)
+        return Broadcast(value, nbytes)
+
+    def accumulator(self, zero: Any, add_op: Callable[[Any, Any], Any] | None = None) -> Accumulator:
+        if add_op is None:
+            add_op = lambda a, b: a + b
+        return Accumulator(zero, add_op, self)
+
+    # -- job execution (used by RDD actions) ------------------------------
+
+    def new_rdd_id(self) -> int:
+        rdd_id = self._next_rdd_id
+        self._next_rdd_id += 1
+        return rdd_id
+
+    def run_job(self, rdd, partition_fn: Callable[[list], Any], name: str) -> list[Any]:
+        """Evaluate *partition_fn* over every partition of *rdd*.
+
+        This is the engine's stage executor: it measures per-partition
+        compute time, injects failures (recomputing from lineage on
+        failure), charges result bytes as driver traffic, and converts it
+        all into simulated seconds.
+        """
+        stats = JobStats(name=name, n_map_tasks=rdd.num_partitions)
+        previous = self._stage_stats
+        self._stage_stats = stats
+        started = time.perf_counter()
+        results = []
+        task_seconds = []
+        try:
+            for split in range(rdd.num_partitions):
+                result, seconds = self._attempt_partition(rdd, split, partition_fn, stats)
+                results.append(result)
+                task_seconds.append(seconds)
+        finally:
+            self._stage_stats = previous
+        result_bytes = sizeof(results)
+        stats.driver_result_bytes = result_bytes + stats.driver_result_bytes
+        self.driver.transient(result_bytes, what=f"results of {name}")
+        stats.wall_seconds = time.perf_counter() - started
+        cost = self.cost_model
+        tasks = [
+            t * cost.compute_scale + cost.per_task_overhead_s
+            for t in apply_speculative_execution(task_seconds)
+        ]
+        stats.sim_seconds = (
+            cost.per_job_overhead_s
+            + schedule_makespan(tasks, self.cluster.total_cores)
+            + cost.network_seconds(stats.driver_result_bytes)
+            + cost.disk_seconds(stats.hdfs_read_bytes)
+        )
+        self.metrics.record(stats)
+        return results
+
+    def _attempt_partition(self, rdd, split, partition_fn, stats) -> tuple[Any, float]:
+        total_seconds = 0.0
+        for _ in range(self.max_task_attempts):
+            self._pending_updates = []
+            started = time.perf_counter()
+            data = rdd._iterator(split, stats)
+            result = partition_fn(data)
+            total_seconds += time.perf_counter() - started
+            if self._rng.random() >= self.failure_rate:
+                pending, self._pending_updates = self._pending_updates, None
+                for accumulator, update in pending:
+                    accumulator._apply(update)
+                return result, total_seconds
+            self._pending_updates = None
+            stats.task_retries += 1
+        raise JobFailedError(
+            f"stage {stats.name!r}: partition {split} failed "
+            f"{self.max_task_attempts} times"
+        )
+
+    def _stage_accumulator_update(self, accumulator: Accumulator, update: Any) -> bool:
+        """Buffer an in-task accumulator update; False when no task runs."""
+        if self._pending_updates is None:
+            return False
+        self._pending_updates.append((accumulator, update))
+        return True
+
+    def _charge_accumulator_bytes(self, nbytes: int) -> None:
+        if self._stage_stats is not None:
+            self._stage_stats.driver_result_bytes += nbytes

@@ -1,0 +1,99 @@
+"""Memory models: the driver heap and the executors' block manager."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import DriverOutOfMemoryError, ShapeError
+
+
+class DriverMemoryMonitor:
+    """Tracks driver-side allocations against a hard limit.
+
+    The paper's Figure 8 measures the resident memory of the driver process:
+    MLlib-PCA's grows as D^2 (it collects the covariance matrix to the
+    driver) until it exceeds the machine's 32 GB and the job fails, while
+    sPCA's stays flat at O(D*d).  Backends call :meth:`allocate` for every
+    driver-side buffer they hold; exceeding the limit raises
+    :class:`DriverOutOfMemoryError` -- the "Fail" entries of Table 2.
+    """
+
+    def __init__(self, limit_bytes: int):
+        if limit_bytes <= 0:
+            raise ShapeError(f"driver memory limit must be positive, got {limit_bytes}")
+        self.limit_bytes = int(limit_bytes)
+        self.used_bytes = 0
+        self.peak_bytes = 0
+
+    def allocate(self, nbytes: int, what: str = "buffer") -> None:
+        """Claim *nbytes* of driver heap; raises when over the limit."""
+        nbytes = int(nbytes)
+        if self.used_bytes + nbytes > self.limit_bytes:
+            raise DriverOutOfMemoryError(
+                requested_bytes=nbytes, limit_bytes=self.limit_bytes, what=what
+            )
+        self.used_bytes += nbytes
+        self.peak_bytes = max(self.peak_bytes, self.used_bytes)
+
+    def release(self, nbytes: int) -> None:
+        self.used_bytes = max(0, self.used_bytes - int(nbytes))
+
+    def transient(self, nbytes: int, what: str = "result") -> None:
+        """Model a short-lived allocation: counts towards the peak."""
+        self.allocate(nbytes, what)
+        self.release(nbytes)
+
+    def reset(self) -> None:
+        self.used_bytes = 0
+        self.peak_bytes = 0
+
+
+@dataclass
+class _CachedPartition:
+    data: list
+    nbytes: int
+    on_disk: bool = False
+
+
+class BlockManager:
+    """Executor-side cache for persisted RDD partitions.
+
+    Partitions are stored in aggregate cluster memory until the configured
+    limit; beyond it, newly cached partitions go to simulated disk (their
+    reads are charged at disk bandwidth).  This mirrors Spark's
+    MEMORY_AND_DISK behaviour and reproduces the paper's observation that
+    "disk I/O is limited to the amount of data that does not fit in the
+    aggregate memory of the cluster".
+    """
+
+    def __init__(self, limit_bytes: int):
+        if limit_bytes <= 0:
+            raise ShapeError(f"block manager limit must be positive, got {limit_bytes}")
+        self.limit_bytes = int(limit_bytes)
+        self.memory_bytes = 0
+        self.disk_bytes = 0
+        self._blocks: dict[tuple[int, int], _CachedPartition] = {}
+
+    def put(self, rdd_id: int, split: int, data: list, nbytes: int) -> None:
+        on_disk = self.memory_bytes + nbytes > self.limit_bytes
+        self._blocks[(rdd_id, split)] = _CachedPartition(data, nbytes, on_disk)
+        if on_disk:
+            self.disk_bytes += nbytes
+        else:
+            self.memory_bytes += nbytes
+
+    def get(self, rdd_id: int, split: int) -> _CachedPartition | None:
+        return self._blocks.get((rdd_id, split))
+
+    def evict(self, rdd_id: int) -> None:
+        """Drop every cached partition of one RDD (``unpersist``)."""
+        for key in [key for key in self._blocks if key[0] == rdd_id]:
+            block = self._blocks.pop(key)
+            if block.on_disk:
+                self.disk_bytes -= block.nbytes
+            else:
+                self.memory_bytes -= block.nbytes
+
+    @property
+    def cached_bytes(self) -> int:
+        return self.memory_bytes + self.disk_bytes

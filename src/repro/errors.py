@@ -1,0 +1,58 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by this library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while still
+letting programming errors (``TypeError`` and friends) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ShapeError(ReproError, ValueError):
+    """An array or matrix argument has an incompatible shape."""
+
+
+class ConvergenceError(ReproError, RuntimeError):
+    """An iterative solver failed to converge within its iteration budget."""
+
+
+class EngineError(ReproError, RuntimeError):
+    """Base class for distributed-engine failures."""
+
+
+class JobFailedError(EngineError):
+    """A distributed job exhausted its task retries and was aborted."""
+
+
+class DriverOutOfMemoryError(EngineError, MemoryError):
+    """A driver-side allocation exceeded the configured driver memory.
+
+    This is the failure mode the paper reports for MLlib-PCA: the D x D
+    covariance matrix must fit in the memory of a single machine, and the
+    algorithm fails once D exceeds a few thousand columns (Section 5.3).
+    """
+
+    def __init__(self, requested_bytes: int, limit_bytes: int, what: str = "allocation"):
+        self.requested_bytes = requested_bytes
+        self.limit_bytes = limit_bytes
+        self.what = what
+        super().__init__(
+            f"driver out of memory: {what} needs {requested_bytes} bytes "
+            f"but only {limit_bytes} bytes of driver memory are configured"
+        )
+
+
+class ExecutorOutOfMemoryError(EngineError, MemoryError):
+    """Aggregate executor memory was exhausted and spilling is disabled."""
+
+
+class FileSystemError(EngineError, IOError):
+    """A simulated distributed file-system operation failed."""
+
+
+class InvalidPlanError(EngineError, ValueError):
+    """A job or RDD lineage graph is structurally invalid."""

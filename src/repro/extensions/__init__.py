@@ -1,0 +1,21 @@
+"""Extensions the paper credits to the probabilistic formulation (S2.4).
+
+"PPCA offers two desirable properties.  First, large datasets often have
+missing values ... the projections of principal components can be obtained
+even when some data values are missing.  Second, multiple PPCA models can
+be combined as a probabilistic mixture for better accuracy and to express
+complex models."
+
+- :mod:`repro.extensions.missing` -- EM for PPCA over incomplete matrices
+  (NaN entries), with model-based imputation.
+- :mod:`repro.extensions.mixture` -- mixtures of PPCA (Tipping & Bishop
+  1999) with Woodbury-based likelihood evaluation.
+- :mod:`repro.extensions.incremental` -- mini-batch / streaming PPCA, the
+  natural extension of sPCA's N-independent state.
+"""
+
+from repro.extensions.incremental import IncrementalPPCA
+from repro.extensions.missing import MissingValuePPCA
+from repro.extensions.mixture import MixtureOfPPCA
+
+__all__ = ["IncrementalPPCA", "MissingValuePPCA", "MixtureOfPPCA"]

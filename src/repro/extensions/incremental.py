@@ -1,0 +1,189 @@
+"""Incremental (mini-batch) PPCA.
+
+A natural extension of sPCA's design (its per-iteration state is only the
+small ``(C, ss)`` pair, independent of N): instead of full-data EM passes,
+process the rows in mini-batches and blend each batch's sufficient
+statistics into running averages with a decaying step size.  This fits
+datasets that stream in or do not fit in memory, at the cost of stochastic
+rather than monotone convergence.
+
+The update is stochastic EM (sEM): for batch t with step size
+``eta_t = (t + 2)^(-kappa)``, the running moments are
+
+    S_yx <- (1 - eta) * S_yx + eta * (Yc_t' X_t / |batch|)
+    S_xx <- (1 - eta) * S_xx + eta * (X_t' X_t / |batch| + ss * M^-1)
+
+and the M-step solves ``C = S_yx S_xx^-1`` exactly as in full EM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.model import PCAModel
+from repro.errors import ShapeError
+from repro.linalg.blocks import Matrix
+from repro.linalg.centered import centered_times, centered_transpose_times
+from repro.linalg.stats import column_means
+
+
+@dataclass
+class IncrementalPPCA:
+    """Mini-batch PPCA with stochastic EM updates.
+
+    Args:
+        n_components: latent dimensionality d.
+        batch_size: rows per mini-batch.
+        n_epochs: passes over the data.
+        step_decay: kappa in ``eta_t = (t + 2)^-kappa``; 0.5 < kappa <= 1
+            satisfies the Robbins-Monro conditions.
+        seed: seed for initialization and row shuffling.
+    """
+
+    n_components: int
+    batch_size: int = 256
+    n_epochs: int = 5
+    step_decay: float = 0.7
+    seed: int = 0
+
+    def fit(self, data: Matrix) -> PCAModel:
+        """Stream over *data* in shuffled mini-batches; returns the model."""
+        n_rows, n_cols = data.shape
+        d = self.n_components
+        if d > min(n_rows, n_cols):
+            raise ShapeError(f"n_components={d} exceeds min(N, D)")
+        if self.batch_size < 1:
+            raise ShapeError(f"batch_size must be >= 1, got {self.batch_size}")
+        if not 0.5 < self.step_decay <= 1.0:
+            raise ShapeError(
+                f"step_decay must be in (0.5, 1], got {self.step_decay}"
+            )
+        rng = np.random.default_rng(self.seed)
+        mean = column_means(data)
+        components = rng.normal(size=(n_cols, d))
+        ss = 1.0
+        identity = np.eye(d)
+
+        moment_yx: np.ndarray | None = None
+        moment_xx: np.ndarray | None = None
+        batch_index = 0
+        for _ in range(self.n_epochs):
+            order = rng.permutation(n_rows)
+            for start in range(0, n_rows, self.batch_size):
+                rows = np.sort(order[start : start + self.batch_size])
+                batch = data[rows]
+                moment = components.T @ components + ss * identity
+                moment_inv = np.linalg.inv(moment)
+                latent = centered_times(batch, mean, components @ moment_inv)
+                size = batch.shape[0]
+                batch_yx = centered_transpose_times(batch, mean, latent) / size
+                batch_xx = latent.T @ latent / size + ss * moment_inv
+
+                eta = (batch_index + 2.0) ** (-self.step_decay)
+                moment_yx = (
+                    batch_yx if moment_yx is None
+                    else (1 - eta) * moment_yx + eta * batch_yx
+                )
+                moment_xx = (
+                    batch_xx if moment_xx is None
+                    else (1 - eta) * moment_xx + eta * batch_xx
+                )
+                components = moment_yx @ np.linalg.inv(moment_xx)
+
+                # Batch estimate of the residual variance.
+                residual = (
+                    centered_times(batch, mean, np.eye(n_cols))
+                    if n_cols <= 512
+                    else None
+                )
+                if residual is not None:
+                    reconstruction = latent @ components.T
+                    batch_ss = float(
+                        np.sum((residual - reconstruction) ** 2)
+                    ) / (size * n_cols)
+                else:
+                    # Avoid the dense residual for very wide data: use the
+                    # trace identity ||Yc||^2 - 2tr(X'YcC) + tr(XtX C'C).
+                    from repro.linalg.frobenius import frobenius_sparse
+
+                    ss1 = frobenius_sparse(batch, mean)
+                    ss3 = float(np.sum(centered_times(batch, mean, components) * latent))
+                    ss2 = float(
+                        np.trace((latent.T @ latent + size * ss * moment_inv)
+                                 @ components.T @ components)
+                    )
+                    batch_ss = (ss1 + ss2 - 2 * ss3) / (size * n_cols)
+                ss = max((1 - eta) * ss + eta * batch_ss, 1e-12)
+                batch_index += 1
+
+        self.model_ = PCAModel(
+            components=components, mean=mean, noise_variance=ss, n_samples=n_rows
+        )
+        return self.model_
+
+    def partial_fit_stream(self, batches, n_cols: int) -> PCAModel:
+        """Fit from an iterable of row batches without materializing them.
+
+        Args:
+            batches: iterable of (n_i, D) dense or sparse row blocks.  The
+                column means are estimated online (streaming average).
+            n_cols: the number of columns D.
+
+        Returns:
+            The fitted model (also stored as ``self.model_``).
+        """
+        rng = np.random.default_rng(self.seed)
+        d = self.n_components
+        components = rng.normal(size=(n_cols, d))
+        ss = 1.0
+        identity = np.eye(d)
+        mean = np.zeros(n_cols)
+        seen = 0
+        moment_yx = None
+        moment_xx = None
+        for batch_index, batch in enumerate(batches):
+            if batch.shape[1] != n_cols:
+                raise ShapeError(
+                    f"batch has {batch.shape[1]} columns, expected {n_cols}"
+                )
+            size = batch.shape[0]
+            batch_mean = column_means(batch)
+            mean = (seen * mean + size * batch_mean) / (seen + size)
+            seen += size
+
+            moment = components.T @ components + ss * identity
+            moment_inv = np.linalg.inv(moment)
+            latent = centered_times(batch, mean, components @ moment_inv)
+            batch_yx = centered_transpose_times(batch, mean, latent) / size
+            batch_xx = latent.T @ latent / size + ss * moment_inv
+            eta = (batch_index + 2.0) ** (-self.step_decay)
+            moment_yx = (
+                batch_yx if moment_yx is None
+                else (1 - eta) * moment_yx + eta * batch_yx
+            )
+            moment_xx = (
+                batch_xx if moment_xx is None
+                else (1 - eta) * moment_xx + eta * batch_xx
+            )
+            components = moment_yx @ np.linalg.inv(moment_xx)
+
+            from repro.linalg.frobenius import frobenius_sparse
+
+            ss1 = frobenius_sparse(batch, mean)
+            ss3 = float(np.sum(centered_times(batch, mean, components) * latent))
+            ss2 = float(
+                np.trace((latent.T @ latent + size * ss * moment_inv)
+                         @ components.T @ components)
+            )
+            ss = max(
+                (1 - eta) * ss + eta * (ss1 + ss2 - 2 * ss3) / (size * n_cols),
+                1e-12,
+            )
+        if seen == 0:
+            raise ShapeError("the batch stream was empty")
+        self.model_ = PCAModel(
+            components=components, mean=mean, noise_variance=ss, n_samples=seen
+        )
+        return self.model_

@@ -1,0 +1,155 @@
+"""Per-block kernels shared by all sPCA backends.
+
+Each function computes one worker's share of a distributed job from a single
+row block.  Partial results combine by addition (matrices and scalars alike),
+which is what makes them expressible as MapReduce combiners and Spark
+accumulators.
+
+Every kernel takes a ``mean_propagation`` flag.  When True (the sPCA way,
+Section 3.1) the block stays sparse and the mean is folded into the algebra;
+when False (the ablation) the block is densified and centered explicitly,
+which is numerically identical but destroys sparsity -- the cost difference
+is what Table 3 measures.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.linalg.blocks import Matrix, is_sparse
+from repro.linalg.centered import centered_times, centered_transpose_times
+from repro.linalg.frobenius import frobenius_simple, frobenius_sparse
+from repro.linalg.multiply import xcy_block
+
+
+def _densify_centered(block: Matrix, mean: np.ndarray) -> np.ndarray:
+    dense = np.asarray(block.todense()) if is_sparse(block) else np.asarray(block, dtype=np.float64)
+    return dense - mean
+
+
+def block_sums(block: Matrix) -> tuple[np.ndarray, int]:
+    """meanJob map side: (column sums, row count) for one block."""
+    sums = np.asarray(block.sum(axis=0), dtype=np.float64).ravel()
+    return sums, block.shape[0]
+
+
+def block_frobenius(block: Matrix, mean: np.ndarray, efficient: bool) -> float:
+    """FnormJob map side: this block's share of ``||Yc||_F^2``.
+
+    ``efficient=True`` uses Algorithm 3 (sparse-aware); ``False`` uses
+    Algorithm 2 (row-at-a-time dense scratch row).
+    """
+    if efficient:
+        return frobenius_sparse(block, mean)
+    return frobenius_simple(block, mean)
+
+
+def block_latent(
+    block: Matrix,
+    mean: np.ndarray,
+    projector: np.ndarray,
+    latent_mean: np.ndarray,
+    mean_propagation: bool,
+) -> np.ndarray:
+    """Recompute this block's rows of X: ``X = Yc * CM = Y*CM - Xm``.
+
+    This is the on-demand X generation of Section 3.2: X is never stored,
+    each job regenerates the rows it needs from the (sparse) input block and
+    the small broadcast matrix CM.
+    """
+    if mean_propagation:
+        return np.asarray(block @ projector) - latent_mean
+    return _densify_centered(block, mean) @ projector
+
+
+def block_ytx_xtx(
+    block: Matrix,
+    mean: np.ndarray,
+    projector: np.ndarray,
+    latent_mean: np.ndarray,
+    mean_propagation: bool,
+    latent: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Consolidated YtXJob: one block's partial (YtX, XtX).
+
+    ``YtX_part = Yc_blk' * X_blk`` and ``XtX_part = X_blk' * X_blk``.  The
+    optional *latent* argument supplies a pre-materialized X block (the
+    ``use_x_recomputation=False`` ablation); otherwise X is recomputed here.
+    """
+    if latent is None:
+        latent = block_latent(block, mean, projector, latent_mean, mean_propagation)
+    if mean_propagation:
+        ytx = centered_transpose_times(block, mean, latent)
+    else:
+        ytx = _densify_centered(block, mean).T @ latent
+    xtx = latent.T @ latent
+    return ytx, xtx
+
+
+def block_ss3(
+    block: Matrix,
+    mean: np.ndarray,
+    projector: np.ndarray,
+    latent_mean: np.ndarray,
+    components: np.ndarray,
+    mean_propagation: bool,
+    latent: np.ndarray | None = None,
+) -> float:
+    """ss3Job: one block's partial ``sum_n X_n * C' * Yc_n'``.
+
+    Uses the associativity trick of Equation 3: contract C with the sparse
+    data first (``Y @ C`` costs O(nnz*d)), then with X.  The mean's
+    contribution is subtracted via ``colsum(X) . (C' Ym)``.
+    """
+    if latent is None:
+        latent = block_latent(block, mean, projector, latent_mean, mean_propagation)
+    if mean_propagation:
+        data_part = xcy_block(latent, components, block)
+        mean_part = float(latent.sum(axis=0) @ (components.T @ mean))
+        return data_part - mean_part
+    return xcy_block(latent, components, _densify_centered(block, mean))
+
+
+def block_error_parts(
+    block: Matrix,
+    mean: np.ndarray,
+    components: np.ndarray,
+    ls_projector: np.ndarray,
+    mean_propagation: bool,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Reconstruction-error job: per-column absolute sums for one block.
+
+    The paper's error is the (induced) matrix 1-norm ratio
+    ``e = ||Yr - Yhat||_1 / ||Yr||_1`` where ``||A||_1`` is the maximum
+    absolute column sum.  Column sums are additive across row blocks, so
+    each block contributes two length-D vectors -- (column sums of
+    |Y - Yhat|, column sums of |Y|) -- that combiners/accumulators add; the
+    driver takes the ratio of the maxima.  ``Yhat = Xr * C' + Ym`` with
+    ``Xr = Yc * C (C'C)^-1`` the least-squares projection.
+    """
+    if mean_propagation:
+        latent = centered_times(block, mean, ls_projector)
+    else:
+        latent = _densify_centered(block, mean) @ ls_projector
+    reconstruction = latent @ components.T + mean
+    dense = np.asarray(block.todense()) if is_sparse(block) else np.asarray(block, dtype=np.float64)
+    residual_colsums = np.abs(dense - reconstruction).sum(axis=0)
+    magnitude_colsums = np.abs(dense).sum(axis=0)
+    return residual_colsums, magnitude_colsums
+
+
+def error_from_colsums(residual_colsums: np.ndarray, magnitude_colsums: np.ndarray) -> float:
+    """Final induced-1-norm error from the summed per-column vectors."""
+    return float(residual_colsums.max()) / max(float(magnitude_colsums.max()), 1e-300)
+
+
+def latent_block_bytes(latent: np.ndarray) -> int:
+    """Bytes a materialized X block would occupy as intermediate data."""
+    return int(np.asarray(latent).nbytes)
+
+
+def densified_bytes(block: Matrix) -> int:
+    """Bytes of the dense centered copy the no-mean-propagation path builds."""
+    rows, cols = block.shape
+    return int(rows * cols * np.dtype(np.float64).itemsize)

@@ -1,0 +1,104 @@
+"""MapReduce jobs for the Mahout-style SSVD-PCA baseline.
+
+Unlike the sPCA jobs, these deliberately mirror Mahout's dataflow including
+its inefficiencies, because those inefficiencies are what the paper
+measures:
+
+- the sketch ``Y1 = Ac * Omega`` and the orthonormal basis ``Q`` are
+  materialized to HDFS as N x (d+p) matrices between jobs (the O(Nd)
+  communication row of Table 1);
+- the Bt job emits a dense ``(d+p) x D`` partial per input record with no
+  stateful combiner, the behaviour behind the 4 TB of mapper output the
+  paper observed on the Tweets dataset (Section 5.2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.engine.mapreduce.api import Mapper
+
+KEY_B = "ssvd/B"
+
+
+class SketchMapper(Mapper):
+    """YJob: ``Y1_blk = A_blk * Omega - 1 * (mean' * Omega)``.
+
+    Config: ``test_matrix`` (D x k'), optional ``mean`` for the PCA option.
+    """
+
+    def map(self, key, value, ctx):
+        test_matrix = ctx.config["test_matrix"]
+        sketch = np.asarray(value @ test_matrix)
+        mean = ctx.config.get("mean")
+        if mean is not None:
+            sketch = sketch - mean @ test_matrix
+        yield key, sketch
+
+
+class BtMapper(Mapper):
+    """BtJob: emit one outer-product partial ``q_i' * a_i`` per input *row*.
+
+    Input records are ``(start, (q_block, a_block))`` joined by the driver.
+    Mahout's Bt job emits a partial per data row -- the behaviour behind the
+    4 TB of mapper output the paper measured on Tweets (mapper output grows
+    as N * k' * z) -- and relies on combiners to collapse it, so the
+    combiners are overloaded.  Sparse rows produce sparse partials; dense
+    rows produce dense ones.
+
+    The mean's contribution (PCA option) is emitted *once per mapper* as
+    ``-(Q'1) (x) mean`` so it does not change the asymptotics.
+    """
+
+    def setup(self, ctx):
+        self.q_colsum = None
+
+    def map(self, key, value, ctx):
+        import scipy.sparse as sp
+
+        q_block, a_block = value
+        mean = ctx.config.get("mean")
+        if mean is not None:
+            colsum = q_block.sum(axis=0)
+            self.q_colsum = colsum if self.q_colsum is None else self.q_colsum + colsum
+        sketch_size = q_block.shape[1]
+        if sp.issparse(a_block):
+            csr = a_block.tocsr()
+            for i in range(q_block.shape[0]):
+                lo, hi = csr.indptr[i], csr.indptr[i + 1]
+                outer = np.outer(q_block[i], csr.data[lo:hi])
+                partial = sp.csr_matrix(
+                    (
+                        outer.ravel(),
+                        np.tile(csr.indices[lo:hi], sketch_size),
+                        np.arange(sketch_size + 1) * (hi - lo),
+                    ),
+                    shape=(sketch_size, csr.shape[1]),
+                )
+                ctx.increment("bt/partials")
+                yield KEY_B, partial
+        else:
+            dense = np.asarray(a_block)
+            for i in range(q_block.shape[0]):
+                ctx.increment("bt/partials")
+                yield KEY_B, np.outer(q_block[i], dense[i])
+
+    def cleanup(self, ctx):
+        mean = ctx.config.get("mean")
+        if mean is not None and self.q_colsum is not None:
+            yield KEY_B, -np.outer(self.q_colsum, mean)
+
+
+class ProjectMapper(Mapper):
+    """ZJob (power iteration): ``Z_blk = Ac_blk * B' = A_blk B' - 1 (mean B')``.
+
+    Config: ``bt`` (the D x k' transpose of B), optional ``mean``.
+    """
+
+    def map(self, key, value, ctx):
+        bt = ctx.config["bt"]
+        projected = np.asarray(value @ bt)
+        mean = ctx.config.get("mean")
+        if mean is not None:
+            projected = projected - mean @ bt
+        yield key, projected

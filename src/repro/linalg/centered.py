@@ -1,0 +1,110 @@
+"""Mean-propagated operations on the centered matrix (paper Section 3.1).
+
+PPCA operates on the mean-centered matrix ``Yc = Y - 1 * Ym'``.  Subtracting a
+non-zero mean from a sparse matrix destroys its sparsity, so sPCA never forms
+``Yc``.  Instead the mean vector ``Ym`` is *propagated* through every algebraic
+operation.  The identities implemented here:
+
+- ``Yc * C      = Y * C - 1 * (Ym' * C)``           (:func:`centered_times`)
+- ``Yc' * X     = Y' * X - Ym * colsum(X)``          (:func:`centered_transpose_times`)
+- ``Yc' * Yc    = Y'Y - N * Ym Ym'``                 (:func:`centered_gram`)
+
+All functions accept either sparse or dense ``Y`` and return dense results of
+small dimension (``N x d``, ``D x d`` or ``D x D``); the large input matrix is
+only ever read.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.errors import ShapeError
+from repro.linalg.blocks import Matrix
+
+
+def _check_mean(matrix: Matrix, mean: np.ndarray) -> np.ndarray:
+    mean = np.asarray(mean, dtype=np.float64).ravel()
+    if mean.shape[0] != matrix.shape[1]:
+        raise ShapeError(
+            f"mean vector has length {mean.shape[0]} but the matrix has "
+            f"{matrix.shape[1]} columns"
+        )
+    return mean
+
+
+def centered_row(row: Matrix, mean: np.ndarray) -> np.ndarray:
+    """Densify one row of ``Yc`` (used only by the unoptimized ablation)."""
+    mean = _check_mean(row.reshape(1, -1) if row.ndim == 1 else row, mean)
+    dense = np.asarray(row.todense()).ravel() if sp.issparse(row) else np.asarray(row).ravel()
+    return dense - mean
+
+
+def centered_times(matrix: Matrix, mean: np.ndarray, right: np.ndarray) -> np.ndarray:
+    """Compute ``(Y - 1*Ym') * right`` without densifying Y.
+
+    Args:
+        matrix: the (possibly sparse) input block ``Y``, shape ``(n, D)``.
+        mean: the column-mean vector ``Ym``, length D.
+        right: a small dense matrix, shape ``(D, d)``.
+
+    Returns:
+        Dense ``(n, d)`` array.
+    """
+    mean = _check_mean(matrix, mean)
+    right = np.asarray(right, dtype=np.float64)
+    if right.shape[0] != matrix.shape[1]:
+        raise ShapeError(
+            f"right operand has {right.shape[0]} rows but the matrix has "
+            f"{matrix.shape[1]} columns"
+        )
+    product = matrix @ right
+    product = np.asarray(product)
+    correction = mean @ right
+    return product - correction
+
+
+def centered_transpose_times(
+    matrix: Matrix, mean: np.ndarray, right: np.ndarray
+) -> np.ndarray:
+    """Compute ``(Y - 1*Ym')' * right`` without densifying Y.
+
+    Expanding the product: ``Yc' * X = Y' * X - Ym * (1' * X)`` where
+    ``1' * X`` is the vector of column sums of ``X``.
+
+    Args:
+        matrix: input block ``Y``, shape ``(n, D)``.
+        mean: column-mean vector ``Ym``, length D.
+        right: dense matrix ``X``, shape ``(n, d)``.
+
+    Returns:
+        Dense ``(D, d)`` array.
+    """
+    mean = _check_mean(matrix, mean)
+    right = np.asarray(right, dtype=np.float64)
+    if right.shape[0] != matrix.shape[0]:
+        raise ShapeError(
+            f"right operand has {right.shape[0]} rows but the matrix has "
+            f"{matrix.shape[0]} rows"
+        )
+    product = matrix.T @ right
+    product = np.asarray(product)
+    return product - np.outer(mean, right.sum(axis=0))
+
+
+def centered_gram(matrix: Matrix, mean: np.ndarray) -> np.ndarray:
+    """Compute the Gramian ``Yc' * Yc`` of the centered matrix.
+
+    Uses ``Yc'Yc = Y'Y - N * Ym Ym'`` which holds when ``Ym`` is the exact
+    column mean of ``Y``.  This is the quantity MLlib-PCA needs (divided by N
+    it is the sample covariance); the result is a dense ``D x D`` matrix,
+    which is exactly the scalability problem Section 2.1 describes.
+    """
+    mean = _check_mean(matrix, mean)
+    n_rows = matrix.shape[0]
+    gram = matrix.T @ matrix
+    if sp.issparse(gram):
+        gram = np.asarray(gram.todense())
+    else:
+        gram = np.asarray(gram, dtype=np.float64)
+    return gram - n_rows * np.outer(mean, mean)

@@ -1,0 +1,89 @@
+"""Frobenius norm of the centered matrix (paper Section 3.4).
+
+PPCA needs ``ss1 = ||Yc||_F^2`` where ``Yc = Y - 1*Ym'``.  Three
+implementations are provided, mirroring the paper exactly:
+
+- :func:`frobenius_centered_dense` -- the naive reference: densify and center.
+- :func:`frobenius_simple` -- Algorithm 2: center one row at a time, keeping
+  only a single dense row in memory, but still iterating over all D entries
+  per row.
+- :func:`frobenius_sparse` -- Algorithm 3: never densify at all.  First charge
+  every row the norm of the mean vector (``msum``), then for each *non-zero*
+  element replace the wrongly-charged ``Ym_j^2`` with ``(Y_ij - Ym_j)^2``.
+
+The paper measures Algorithm 3 to be ~270x faster than Algorithm 2 on the
+Tweets subset (Table 3); the speedup here comes from touching only ``nnz``
+elements instead of ``N*D``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.errors import ShapeError
+from repro.linalg.blocks import Matrix
+
+
+def _check(matrix: Matrix, mean: np.ndarray) -> np.ndarray:
+    mean = np.asarray(mean, dtype=np.float64).ravel()
+    if mean.shape[0] != matrix.shape[1]:
+        raise ShapeError(
+            f"mean vector has length {mean.shape[0]} but the matrix has "
+            f"{matrix.shape[1]} columns"
+        )
+    return mean
+
+
+def frobenius_centered_dense(matrix: Matrix, mean: np.ndarray) -> float:
+    """Reference implementation: materialize ``Yc`` and take its norm."""
+    mean = _check(matrix, mean)
+    dense = np.asarray(matrix.todense()) if sp.issparse(matrix) else np.asarray(matrix)
+    centered = dense - mean
+    return float(np.sum(centered * centered))
+
+
+def frobenius_simple(matrix: Matrix, mean: np.ndarray) -> float:
+    """Algorithm 2: row-at-a-time centering with a dense scratch row.
+
+    Memory use is O(D) instead of O(N*D), but the work is still O(N*D)
+    because every (dense) entry of each centered row is visited.
+    """
+    mean = _check(matrix, mean)
+    total = 0.0
+    sparse = sp.issparse(matrix)
+    csr = matrix.tocsr() if sparse else np.asarray(matrix)
+    for i in range(matrix.shape[0]):
+        if sparse:
+            row = np.asarray(csr[i].todense()).ravel()
+        else:
+            row = csr[i]
+        centered = row - mean
+        total += float(centered @ centered)
+    return total
+
+
+def frobenius_sparse(matrix: Matrix, mean: np.ndarray) -> float:
+    """Algorithm 3: Frobenius norm touching only non-zero elements.
+
+    For each row: start from ``msum = sum_j Ym_j^2`` (the row's norm if it
+    were all zeros), then for every stored non-zero ``v`` at column ``j`` add
+    ``(v - Ym_j)^2`` and subtract the ``Ym_j^2`` that msum already charged.
+
+    Works for dense inputs too (every element is treated as stored), in which
+    case it degenerates to the same O(N*D) cost as Algorithm 2.
+    """
+    mean = _check(matrix, mean)
+    msum = float(mean @ mean)
+    n_rows = matrix.shape[0]
+    if sp.issparse(matrix):
+        csr = matrix.tocsr()
+        values = csr.data
+        cols = csr.indices
+        mean_at = mean[cols]
+        centered_sq = (values - mean_at) ** 2
+        adjustment = float(np.sum(centered_sq) - np.sum(mean_at**2))
+        return n_rows * msum + adjustment
+    dense = np.asarray(matrix, dtype=np.float64)
+    centered_sq = (dense - mean) ** 2
+    return n_rows * msum + float(np.sum(centered_sq) - n_rows * msum)

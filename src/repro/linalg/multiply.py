@@ -1,0 +1,131 @@
+"""Efficient matrix multiplication patterns (paper Section 3.3).
+
+Three patterns appear throughout sPCA:
+
+1. **Broadcast multiply** (:func:`broadcast_times`): ``A * B`` where ``A`` is
+   distributed row-wise and the small ``B`` fits in every worker's memory.
+   Each worker computes ``A_i * B`` for its rows -- no transpose, no shuffle.
+
+2. **Row-wise transpose-product accumulation**
+   (:func:`transpose_times_accumulate`): ``A' * B = sum_r A_r' * B_r``
+   (Equation 2).  Each worker accumulates a partial ``D x d`` sum over its
+   rows; partials are combined with addition, which maps directly onto
+   MapReduce combiners and Spark accumulators.
+
+3. **Associativity trick** (:func:`xcy_associative`): the ss3 term needs
+   ``X_i * C' * Y_i'`` per row (Equation 3).  Computing ``(X_i * C')`` first
+   costs O(D*d) per row and wastes work on the zero entries of the sparse
+   ``Y_i``; computing ``X_i * (C' * Y_i')`` instead costs O(z*d) where z is
+   the number of non-zeros.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.errors import ShapeError
+from repro.linalg.blocks import Matrix
+
+
+def broadcast_times(block: Matrix, small: np.ndarray) -> np.ndarray:
+    """Multiply a distributed row block by a broadcast in-memory matrix.
+
+    Args:
+        block: rows of the distributed matrix ``A``, shape ``(n, D)``.
+        small: the broadcast matrix ``B``, shape ``(D, d)``.
+
+    Returns:
+        Dense ``(n, d)`` product.
+    """
+    small = np.asarray(small, dtype=np.float64)
+    if block.shape[1] != small.shape[0]:
+        raise ShapeError(
+            f"inner dimensions disagree: block is {block.shape}, small is {small.shape}"
+        )
+    return np.asarray(block @ small)
+
+
+def transpose_times_accumulate(blocks, right_blocks) -> np.ndarray:
+    """Compute ``A' * B`` as a sum of per-block partial products (Eq. 2).
+
+    Args:
+        blocks: iterable of row blocks of ``A`` (sparse or dense), each
+            shape ``(n_i, D)``.
+        right_blocks: iterable of the matching dense blocks of ``B``, each
+            shape ``(n_i, d)``.
+
+    Returns:
+        Dense ``(D, d)`` product.
+
+    Raises:
+        ShapeError: on mismatched block row counts or an empty input.
+    """
+    total = None
+    for left, right in zip(blocks, right_blocks, strict=True):
+        right = np.asarray(right, dtype=np.float64)
+        if left.shape[0] != right.shape[0]:
+            raise ShapeError(
+                f"block row counts disagree: {left.shape[0]} vs {right.shape[0]}"
+            )
+        partial = np.asarray(left.T @ right)
+        total = partial if total is None else total + partial
+    if total is None:
+        raise ShapeError("cannot multiply zero blocks")
+    return total
+
+
+def xcy_associative(x_row: np.ndarray, components: np.ndarray, y_row: Matrix) -> float:
+    """Compute ``x * C' * y'`` exploiting associativity (Equation 3).
+
+    Evaluates ``x . (C' y')``: first project the (sparse) data row through
+    ``C'`` -- touching only its non-zeros -- then take a d-dimensional dot
+    product.  The naive order ``(x C') . y`` would materialize a dense
+    D-vector per row.
+
+    Args:
+        x_row: latent row ``X_i``, length d.
+        components: the current components ``C``, shape ``(D, d)``.
+        y_row: data row ``Y_i``, sparse ``(1, D)`` or dense length-D array.
+
+    Returns:
+        The scalar ``X_i * C' * Y_i'``.
+    """
+    x_row = np.asarray(x_row, dtype=np.float64).ravel()
+    components = np.asarray(components, dtype=np.float64)
+    if components.shape[1] != x_row.shape[0]:
+        raise ShapeError(
+            f"components have {components.shape[1]} columns but x has length {x_row.shape[0]}"
+        )
+    if sp.issparse(y_row):
+        csr = y_row.tocsr()
+        if csr.shape[1] != components.shape[0]:
+            raise ShapeError(
+                f"y has {csr.shape[1]} columns but components have {components.shape[0]} rows"
+            )
+        # C' * y' touching only the non-zeros of y.
+        projected = components[csr.indices].T @ csr.data
+    else:
+        y_dense = np.asarray(y_row, dtype=np.float64).ravel()
+        if y_dense.shape[0] != components.shape[0]:
+            raise ShapeError(
+                f"y has length {y_dense.shape[0]} but components have {components.shape[0]} rows"
+            )
+        projected = components.T @ y_dense
+    return float(x_row @ projected)
+
+
+def xcy_block(x_block: np.ndarray, components: np.ndarray, y_block: Matrix) -> float:
+    """Vectorized form of :func:`xcy_associative` over a whole row block.
+
+    Returns ``sum_i X_i * C' * Y_i' = trace(C' * Y' * X) = sum((Y @ C) * X)``.
+    The contraction order keeps the sparse block sparse: ``Y @ C`` is a
+    sparse-times-dense product of cost O(nnz * d).
+    """
+    x_block = np.asarray(x_block, dtype=np.float64)
+    projected = np.asarray(y_block @ components)
+    if projected.shape != x_block.shape:
+        raise ShapeError(
+            f"projected block has shape {projected.shape}, latent block {x_block.shape}"
+        )
+    return float(np.sum(projected * x_block))

@@ -1,0 +1,68 @@
+"""Mean-propagated linear operators.
+
+:class:`CenteredOperator` presents ``Yc = Y - 1*Ym'`` as a
+``scipy.sparse.linalg.LinearOperator`` without ever forming it: matrix-
+vector products fold the mean in algebraically, exactly like sPCA's mean
+propagation (Section 3.1) but packaged for iterative solvers (svds, Lanczos,
+LSQR, ...).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse.linalg as spla
+
+from repro.errors import ShapeError
+from repro.linalg.blocks import Matrix
+from repro.linalg.stats import column_means
+
+
+class CenteredOperator(spla.LinearOperator):
+    """``(Y - 1*mean') @ v`` and its adjoint, computed by propagation.
+
+    Args:
+        data: the raw (possibly sparse) matrix Y.
+        mean: the column-mean vector; computed from *data* when omitted.
+    """
+
+    def __init__(self, data: Matrix, mean: np.ndarray | None = None):
+        if data.ndim != 2:
+            raise ShapeError("data must be a 2-D matrix")
+        if mean is None:
+            mean = column_means(data)
+        mean = np.asarray(mean, dtype=np.float64).ravel()
+        if mean.shape[0] != data.shape[1]:
+            raise ShapeError(
+                f"mean has length {mean.shape[0]} but the matrix has "
+                f"{data.shape[1]} columns"
+            )
+        self.data = data
+        self.mean = mean
+        super().__init__(dtype=np.float64, shape=data.shape)
+
+    def _matvec(self, vec: np.ndarray) -> np.ndarray:
+        vec = np.asarray(vec).ravel()
+        return np.asarray(self.data @ vec).ravel() - float(self.mean @ vec)
+
+    def _rmatvec(self, vec: np.ndarray) -> np.ndarray:
+        vec = np.asarray(vec).ravel()
+        return np.asarray(self.data.T @ vec).ravel() - self.mean * float(vec.sum())
+
+    def _matmat(self, mat: np.ndarray) -> np.ndarray:
+        mat = np.asarray(mat)
+        return np.asarray(self.data @ mat) - np.outer(
+            np.ones(self.shape[0]), self.mean @ mat
+        )
+
+    def top_singular_subspace(self, k: int, seed: int = 0) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Exact truncated SVD of the centered matrix via ARPACK.
+
+        Returns (U, s, Vt) with singular values descending.
+        """
+        budget = min(self.shape) - 1
+        if not 1 <= k <= budget:
+            raise ShapeError(f"k must be in [1, {budget}], got {k}")
+        rng = np.random.default_rng(seed)
+        u, s, vt = spla.svds(self, k=k, v0=rng.normal(size=min(self.shape)))
+        order = np.argsort(s)[::-1]
+        return u[:, order], s[order], vt[order]

@@ -1,0 +1,51 @@
+"""Column statistics and row sampling helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.errors import ShapeError
+from repro.linalg.blocks import Matrix
+
+
+def column_sums(matrix: Matrix) -> np.ndarray:
+    """Column sums of a sparse or dense matrix as a dense float vector."""
+    sums = matrix.sum(axis=0)
+    return np.asarray(sums, dtype=np.float64).ravel()
+
+
+def column_means(matrix: Matrix) -> np.ndarray:
+    """Column means ``Ym`` of the input matrix.
+
+    This is the quantity the paper's ``meanJob`` computes once before the EM
+    loop starts (Algorithm 4, line 3).
+    """
+    n_rows = matrix.shape[0]
+    if n_rows == 0:
+        raise ShapeError("cannot take column means of a matrix with zero rows")
+    return column_sums(matrix) / n_rows
+
+
+def sample_rows(matrix: Matrix, fraction: float, rng: np.random.Generator) -> Matrix:
+    """Select a uniform random subset of rows (without replacement).
+
+    Used both by the reconstruction-error estimator (Section 5, which samples
+    rows to avoid iterating the full dense reconstruction) and by the
+    smart-guess initializer (sPCA-SG, Section 5.2).
+
+    Args:
+        matrix: the input matrix.
+        fraction: fraction of rows to keep, in (0, 1]; at least one row is
+            always returned.
+        rng: NumPy random generator (callers own seeding for determinism).
+    """
+    if not 0.0 < fraction <= 1.0:
+        raise ShapeError(f"fraction must be in (0, 1], got {fraction}")
+    n_rows = matrix.shape[0]
+    count = max(1, int(round(n_rows * fraction)))
+    index = rng.choice(n_rows, size=min(count, n_rows), replace=False)
+    index.sort()
+    if sp.issparse(matrix):
+        return matrix.tocsr()[index]
+    return np.asarray(matrix)[index]

@@ -1,0 +1,18 @@
+"""Evaluation metrics used in Section 5 of the paper."""
+
+from repro.metrics.accuracy import (
+    accuracy_from_error,
+    ideal_accuracy,
+    percent_of_ideal,
+    reconstruction_error,
+)
+from repro.metrics.subspace import explained_variance_ratio, subspace_angle_degrees
+
+__all__ = [
+    "accuracy_from_error",
+    "explained_variance_ratio",
+    "ideal_accuracy",
+    "percent_of_ideal",
+    "reconstruction_error",
+    "subspace_angle_degrees",
+]

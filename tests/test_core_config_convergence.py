@@ -1,0 +1,158 @@
+"""Unit tests for SPCAConfig and the convergence machinery."""
+
+import pytest
+
+from repro.core import ConvergenceTracker, IterationStats, SPCAConfig, TrainingHistory
+from repro.core.config import OPTIMIZATION_FLAGS
+from repro.errors import ShapeError
+
+
+class TestSPCAConfig:
+    def test_defaults_enable_all_optimizations(self):
+        config = SPCAConfig(n_components=5)
+        for flag in OPTIMIZATION_FLAGS:
+            assert getattr(config, flag) is True
+
+    def test_unoptimized_disables_all(self):
+        config = SPCAConfig(n_components=5).unoptimized()
+        for flag in OPTIMIZATION_FLAGS:
+            assert getattr(config, flag) is False
+
+    def test_with_options_returns_modified_copy(self):
+        base = SPCAConfig(n_components=5)
+        changed = base.with_options(max_iterations=3)
+        assert changed.max_iterations == 3
+        assert base.max_iterations == 10
+        assert changed.n_components == 5
+
+    def test_frozen(self):
+        config = SPCAConfig(n_components=2)
+        with pytest.raises(AttributeError):
+            config.n_components = 3
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_components": 0},
+            {"n_components": 2, "max_iterations": 0},
+            {"n_components": 2, "error_sample_fraction": 0.0},
+            {"n_components": 2, "error_sample_fraction": 1.5},
+            {"n_components": 2, "smart_init_fraction": 0.0},
+            {"n_components": 2, "tolerance": -1.0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ShapeError):
+            SPCAConfig(**kwargs)
+
+
+class TestConvergenceTracker:
+    def test_stops_at_max_iterations(self):
+        tracker = ConvergenceTracker(max_iterations=3)
+        assert not tracker.update(0.5)
+        assert not tracker.update(0.4)
+        assert tracker.update(0.3)
+        assert tracker.stop_reason == "max_iterations"
+
+    def test_stops_at_target_accuracy(self):
+        tracker = ConvergenceTracker(
+            max_iterations=10, target_accuracy=0.95, ideal_accuracy=0.8
+        )
+        assert not tracker.update(0.5)       # accuracy 0.5 < 0.76
+        assert tracker.update(0.2)           # accuracy 0.8 >= 0.76
+        assert tracker.stop_reason == "target_accuracy"
+
+    def test_stops_on_tolerance(self):
+        tracker = ConvergenceTracker(max_iterations=100, tolerance=0.01)
+        assert not tracker.update(0.50)
+        assert not tracker.update(0.40)
+        assert tracker.update(0.399)         # 0.25% change < 1%
+        assert tracker.stop_reason == "tolerance"
+
+    def test_none_error_only_counts_iterations(self):
+        tracker = ConvergenceTracker(max_iterations=2, tolerance=0.5)
+        assert not tracker.update(None)
+        assert tracker.update(None)
+        assert tracker.stop_reason == "max_iterations"
+
+    def test_zero_tolerance_never_stops_early(self):
+        tracker = ConvergenceTracker(max_iterations=4, tolerance=0.0)
+        for _ in range(3):
+            assert not tracker.update(0.5)
+        assert tracker.update(0.5)
+
+
+def make_stats(index, accuracy, seconds):
+    return IterationStats(
+        index=index,
+        noise_variance=0.1,
+        error=None if accuracy is None else 1 - accuracy,
+        accuracy=accuracy,
+        elapsed_seconds=seconds,
+        simulated_seconds=seconds * 10,
+        intermediate_bytes=index * 100,
+    )
+
+
+class TestTrainingHistory:
+    def test_final_accuracy_skips_missing(self):
+        history = TrainingHistory()
+        history.append(make_stats(1, 0.5, 1.0))
+        history.append(make_stats(2, None, 2.0))
+        assert history.final_accuracy == 0.5
+
+    def test_final_accuracy_none_when_never_measured(self):
+        history = TrainingHistory()
+        history.append(make_stats(1, None, 1.0))
+        assert history.final_accuracy is None
+
+    def test_timeline_simulated_vs_wall(self):
+        history = TrainingHistory()
+        history.append(make_stats(1, 0.4, 1.0))
+        history.append(make_stats(2, 0.6, 2.0))
+        assert history.accuracy_timeline(simulated=True) == [(10.0, 0.4), (20.0, 0.6)]
+        assert history.accuracy_timeline(simulated=False) == [(1.0, 0.4), (2.0, 0.6)]
+
+    def test_time_to_accuracy(self):
+        history = TrainingHistory()
+        history.append(make_stats(1, 0.4, 1.0))
+        history.append(make_stats(2, 0.9, 2.0))
+        assert history.time_to_accuracy(0.5) == 20.0
+        assert history.time_to_accuracy(0.95) is None
+
+    def test_n_iterations(self):
+        history = TrainingHistory()
+        assert history.n_iterations == 0
+        history.append(make_stats(1, 0.1, 1.0))
+        assert history.n_iterations == 1
+
+
+class TestDriverEdgeCases:
+    def test_no_error_measurement_means_full_budget(self):
+        """Without per-iteration errors the target cannot trigger."""
+        import numpy as np
+
+        from repro.core import SPCA
+
+        rng = np.random.default_rng(0)
+        data = rng.normal(size=(60, 8))
+        config = SPCAConfig(
+            n_components=2, max_iterations=4, tolerance=0.5, seed=1,
+            ideal_accuracy=0.5, compute_error_every_iteration=False,
+        )
+        _, history = SPCA(config).fit(data)
+        assert history.n_iterations == 4
+        assert history.stop_reason == "max_iterations"
+        assert history.final_accuracy is None
+
+    def test_single_iteration_budget(self):
+        import numpy as np
+
+        from repro.core import SPCA
+
+        rng = np.random.default_rng(2)
+        data = rng.normal(size=(40, 6))
+        config = SPCAConfig(n_components=2, max_iterations=1, seed=3)
+        model, history = SPCA(config).fit(data)
+        assert history.n_iterations == 1
+        assert model.components.shape == (6, 2)

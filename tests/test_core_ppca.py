@@ -1,0 +1,99 @@
+"""The reference PPCA must recover the exact PCA subspace."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.core import PCAModel, fit_ppca
+from repro.errors import ShapeError
+from repro.metrics import subspace_angle_degrees
+
+
+def lowrank_data(n=300, d_cols=20, rank=4, noise=0.05, seed=0):
+    rng = np.random.default_rng(seed)
+    factors = rng.normal(size=(n, rank))
+    loadings = rng.normal(size=(rank, d_cols)) * np.sqrt(np.arange(rank, 0, -1))[:, None]
+    return factors @ loadings + noise * rng.normal(size=(n, d_cols)) + rng.normal(size=d_cols)
+
+
+def exact_basis(data, k):
+    centered = data - data.mean(axis=0)
+    _, _, vt = np.linalg.svd(centered, full_matrices=False)
+    return vt[:k].T
+
+
+def test_ppca_recovers_subspace():
+    data = lowrank_data()
+    model = fit_ppca(data, n_components=4, max_iterations=200, tolerance=1e-10, seed=1)
+    angle = subspace_angle_degrees(model.basis, exact_basis(data, 4))
+    assert angle < 1.0
+
+
+def test_ppca_noise_variance_matches_residual_spectrum():
+    # At the PPCA MLE, ss = average of the discarded eigenvalues.
+    data = lowrank_data(n=500, d_cols=12, rank=3, noise=0.2, seed=2)
+    model = fit_ppca(data, n_components=3, max_iterations=300, tolerance=1e-12, seed=3)
+    centered = data - data.mean(axis=0)
+    eigenvalues = np.linalg.svd(centered, compute_uv=False) ** 2 / data.shape[0]
+    expected = eigenvalues[3:].mean()
+    assert model.noise_variance == pytest.approx(expected, rel=0.05)
+
+
+def test_ppca_accepts_sparse_input():
+    matrix = sp.random(100, 15, density=0.3, random_state=1, format="csr")
+    model = fit_ppca(matrix, n_components=2, max_iterations=30, seed=0)
+    assert model.components.shape == (15, 2)
+
+
+def test_ppca_warm_start_converges_faster():
+    data = lowrank_data(seed=4)
+    warm = fit_ppca(data, 4, max_iterations=100, tolerance=1e-10, seed=5)
+    restarted = fit_ppca(
+        data, 4, max_iterations=2, seed=6, initial=(warm.components, warm.noise_variance)
+    )
+    angle = subspace_angle_degrees(restarted.basis, exact_basis(data, 4))
+    assert angle < 1.0
+
+
+def test_ppca_rejects_too_many_components():
+    with pytest.raises(ShapeError):
+        fit_ppca(np.ones((5, 3)), n_components=4)
+
+
+def test_model_transform_and_reconstruct_shapes():
+    data = lowrank_data(n=50, d_cols=10, rank=2)
+    model = fit_ppca(data, 2, max_iterations=50, seed=0)
+    latent = model.transform(data)
+    assert latent.shape == (50, 2)
+    assert model.inverse_transform(latent).shape == (50, 10)
+    assert model.reconstruct(data).shape == (50, 10)
+
+
+def test_model_project_is_orthogonal_projection():
+    data = lowrank_data(n=80, d_cols=8, rank=3, noise=0.01, seed=7)
+    model = fit_ppca(data, 3, max_iterations=150, tolerance=1e-12, seed=8)
+    centered = data - model.mean
+    projected = model.project(data) @ model.components.T
+    residual = centered - projected
+    # The residual of an orthogonal projection is orthogonal to the subspace.
+    assert np.abs(residual @ model.basis).max() < 1e-6
+
+
+def test_model_principal_directions_ordered():
+    data = lowrank_data(n=400, d_cols=10, rank=4, noise=0.05, seed=9)
+    model = fit_ppca(data, 4, max_iterations=200, tolerance=1e-12, seed=10)
+    _, variances = model.principal_directions(data)
+    assert np.all(np.diff(variances) <= 1e-9)
+    exact = exact_basis(data, 1)
+    directions, _ = model.principal_directions(data)
+    assert subspace_angle_degrees(directions[:, :1], exact) < 2.0
+
+
+def test_model_validates_shapes():
+    with pytest.raises(ShapeError):
+        PCAModel(components=np.ones((4, 2)), mean=np.ones(3), noise_variance=0.1, n_samples=10)
+    with pytest.raises(ShapeError):
+        PCAModel(components=np.ones(4), mean=np.ones(4), noise_variance=0.1, n_samples=10)
+    model = PCAModel(np.ones((4, 2)), np.zeros(4), 0.1, 10)
+    with pytest.raises(ShapeError):
+        model.inverse_transform(np.ones((3, 3)))

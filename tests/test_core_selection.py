@@ -1,0 +1,75 @@
+"""Model log-likelihood and BIC-based dimensionality selection."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.core import fit_ppca
+from repro.core.selection import choose_n_components, score_candidates
+from repro.errors import ShapeError
+
+
+def lowrank(n, d_cols, rank, noise, seed):
+    rng = np.random.default_rng(seed)
+    factors = rng.normal(size=(n, rank)) * np.sqrt(np.arange(rank, 0, -1) * 4.0)
+    loadings = rng.normal(size=(rank, d_cols))
+    return factors @ loadings + noise * rng.normal(size=(n, d_cols)) + rng.normal(size=d_cols)
+
+
+class TestLogLikelihood:
+    def test_matches_explicit_gaussian(self):
+        data = lowrank(150, 8, 2, 0.3, seed=1)
+        model = fit_ppca(data, 2, max_iterations=100, tolerance=1e-10, seed=2)
+        # Explicit dense evaluation of the same Gaussian.
+        cov = model.components @ model.components.T + model.noise_variance * np.eye(8)
+        centered = data - model.mean
+        sign, logdet = np.linalg.slogdet(cov)
+        inv = np.linalg.inv(cov)
+        explicit = -0.5 * sum(
+            8 * np.log(2 * np.pi) + logdet + row @ inv @ row for row in centered
+        )
+        assert model.log_likelihood(data) == pytest.approx(explicit, rel=1e-8)
+
+    def test_sparse_input(self):
+        matrix = sp.random(100, 15, density=0.3, random_state=3, format="csr")
+        model = fit_ppca(matrix, 2, max_iterations=40, seed=4)
+        sparse_ll = model.log_likelihood(matrix)
+        dense_ll = model.log_likelihood(np.asarray(matrix.todense()))
+        assert sparse_ll == pytest.approx(dense_ll, rel=1e-10)
+
+    def test_training_data_likelier_than_noise(self):
+        data = lowrank(200, 10, 3, 0.1, seed=5)
+        model = fit_ppca(data, 3, max_iterations=100, seed=6)
+        rng = np.random.default_rng(7)
+        garbage = rng.normal(scale=10.0, size=(200, 10))
+        assert model.log_likelihood(data) > model.log_likelihood(garbage)
+
+    def test_shape_mismatch(self):
+        data = lowrank(50, 6, 2, 0.1, seed=8)
+        model = fit_ppca(data, 2, max_iterations=20, seed=9)
+        with pytest.raises(ShapeError):
+            model.log_likelihood(np.ones((5, 9)))
+
+
+class TestSelection:
+    def test_recovers_true_rank(self):
+        data = lowrank(500, 12, 3, 0.15, seed=10)
+        chosen = choose_n_components(data, candidates=range(1, 7), seed=11)
+        assert chosen == 3
+
+    def test_scores_are_complete_and_ordered(self):
+        data = lowrank(200, 10, 2, 0.2, seed=12)
+        scores = score_candidates(data, [1, 2, 4], seed=13)
+        assert [s.n_components for s in scores] == [1, 2, 4]
+        assert all(np.isfinite(s.bic) for s in scores)
+        # Likelihood is non-decreasing in model capacity on training data.
+        assert scores[1].log_likelihood >= scores[0].log_likelihood - 1e-6
+
+    def test_validation(self):
+        data = lowrank(20, 6, 2, 0.1, seed=14)
+        with pytest.raises(ShapeError):
+            score_candidates(data, [])
+        with pytest.raises(ShapeError):
+            score_candidates(data, [0, 2])
+        with pytest.raises(ShapeError):
+            score_candidates(data, [2, 6])

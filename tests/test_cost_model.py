@@ -1,0 +1,85 @@
+"""Table 1 cost model: formulas, orderings, and validation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    METHODS,
+    communication_complexity,
+    method_costs,
+    table1,
+    time_complexity,
+)
+from repro.analysis.cost_model import COVARIANCE, PPCA, SSVD, SVD_BIDIAG
+from repro.errors import ShapeError
+
+
+def test_table1_has_four_rows():
+    rows = table1(n=1_000_000, d_cols=70_000, d=50)
+    assert [row.method for row in rows] == list(METHODS)
+    assert all(row.time_formula and row.communication_formula for row in rows)
+
+
+def test_ppca_has_lowest_communication_for_big_n():
+    # At Tweets-like sizes PPCA's O(Dd) is the smallest entry of Table 1 by
+    # orders of magnitude.
+    n, d_cols, d = 1_264_812_931, 71_503, 50
+    comm = {m: communication_complexity(m, n, d_cols, d) for m in METHODS}
+    assert comm[PPCA] == min(comm.values())
+    assert all(comm[m] > 100 * comm[PPCA] for m in METHODS if m != PPCA)
+
+
+def test_ssvd_and_ppca_share_time_complexity():
+    assert time_complexity(SSVD, 1000, 100, 5) == time_complexity(PPCA, 1000, 100, 5)
+
+
+def test_covariance_time_dominates_for_high_d():
+    n, d_cols, d = 10_000, 5_000, 50
+    assert time_complexity(COVARIANCE, n, d_cols, d) > time_complexity(PPCA, n, d_cols, d)
+    assert time_complexity(SVD_BIDIAG, n, d_cols, d) > time_complexity(PPCA, n, d_cols, d)
+
+
+def test_covariance_communication_independent_of_n():
+    assert communication_complexity(COVARIANCE, 100, 50, 5) == communication_complexity(
+        COVARIANCE, 100_000, 50, 5
+    )
+
+
+def test_ssvd_communication_scales_with_n():
+    small = communication_complexity(SSVD, 1_000, 100, 10)
+    large = communication_complexity(SSVD, 100_000, 100, 10)
+    assert large == 100 * small
+
+
+def test_method_costs_carries_libraries():
+    row = method_costs(PPCA, 100, 50, 5)
+    assert "sPCA" in row.example_libraries
+
+
+def test_unknown_method_rejected():
+    with pytest.raises(ShapeError):
+        time_complexity("qr-magic", 10, 10, 2)
+    with pytest.raises(ShapeError):
+        communication_complexity("qr-magic", 10, 10, 2)
+
+
+def test_invalid_sizes_rejected():
+    with pytest.raises(ShapeError):
+        time_complexity(PPCA, 0, 10, 2)
+    with pytest.raises(ShapeError):
+        time_complexity(PPCA, 10, 10, 11)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    n=st.integers(min_value=1, max_value=10**9),
+    d_cols=st.integers(min_value=1, max_value=10**6),
+    d=st.integers(min_value=1, max_value=100),
+)
+def test_property_all_costs_positive_and_monotone_in_n(n, d_cols, d):
+    d = min(d, d_cols)
+    for method in METHODS:
+        cost = time_complexity(method, n, d_cols, d)
+        assert cost > 0
+        assert time_complexity(method, n + 1, d_cols, d) >= cost

@@ -1,0 +1,108 @@
+"""The Chu-et-al covariance-on-MapReduce baseline, and the phase breakdown."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.analysis import communication_complexity, time_complexity
+from repro.analysis.cost_model import METHODS
+from repro.analysis.phases import breakdown_totals, phase_breakdown
+from repro.baselines.covariance_mapreduce import CovariancePCAMapReduce
+from repro.engine.cluster import ClusterSpec
+from repro.engine.mapreduce.runtime import MapReduceRuntime
+from repro.errors import DriverOutOfMemoryError, ShapeError
+from repro.metrics import subspace_angle_degrees
+
+SMALL_CLUSTER = ClusterSpec(num_nodes=2, cores_per_node=2)
+
+
+class TestCovariancePCAMapReduce:
+    def test_recovers_exact_subspace(self):
+        rng = np.random.default_rng(1)
+        data = rng.normal(size=(200, 3)) @ rng.normal(size=(3, 15)) + rng.normal(size=15)
+        result = CovariancePCAMapReduce(
+            3, MapReduceRuntime(cluster=SMALL_CLUSTER)
+        ).fit(data)
+        centered = data - data.mean(axis=0)
+        _, _, vt = np.linalg.svd(centered, full_matrices=False)
+        assert subspace_angle_degrees(result.model.components, vt[:3].T) < 0.1
+
+    def test_sparse_input(self):
+        matrix = sp.random(150, 20, density=0.3, random_state=2, format="csr")
+        result = CovariancePCAMapReduce(
+            2, MapReduceRuntime(cluster=SMALL_CLUSTER)
+        ).fit(matrix)
+        assert result.model.components.shape == (20, 2)
+
+    def test_matches_spark_side_analog(self):
+        from repro.baselines import CovariancePCA
+        from repro.engine.spark.context import SparkContext
+
+        rng = np.random.default_rng(3)
+        data = rng.normal(size=(120, 12))
+        mr_result = CovariancePCAMapReduce(
+            3, MapReduceRuntime(cluster=SMALL_CLUSTER)
+        ).fit(data)
+        spark_result = CovariancePCA(3, SparkContext(cluster=SMALL_CLUSTER)).fit(data)
+        assert (
+            subspace_angle_degrees(
+                mr_result.model.components, spark_result.model.components
+            )
+            < 1e-3
+        )
+
+    def test_fails_fast_for_wide_matrices(self):
+        data = sp.random(50, 800, density=0.01, random_state=4, format="csr")
+        algorithm = CovariancePCAMapReduce(
+            2,
+            MapReduceRuntime(cluster=SMALL_CLUSTER),
+            driver_memory_bytes=1024 * 1024,  # 1 MB < 800^2 doubles
+        )
+        with pytest.raises(DriverOutOfMemoryError):
+            algorithm.fit(data)
+        # Fails before running any job.
+        assert not algorithm.runtime.metrics.jobs
+
+    def test_single_distributed_pass(self):
+        rng = np.random.default_rng(5)
+        data = rng.normal(size=(80, 10))
+        runtime = MapReduceRuntime(cluster=SMALL_CLUSTER)
+        CovariancePCAMapReduce(2, runtime).fit(data)
+        assert len(runtime.metrics.by_name("covarianceJob")) == 1
+
+    def test_validation(self):
+        with pytest.raises(ShapeError):
+            CovariancePCAMapReduce(0)
+        with pytest.raises(ShapeError):
+            CovariancePCAMapReduce(50, MapReduceRuntime(cluster=SMALL_CLUSTER)).fit(
+                np.ones((5, 5))
+            )
+
+
+class TestPhaseBreakdown:
+    @pytest.mark.parametrize("method", METHODS)
+    def test_totals_match_table1_orders(self, method):
+        n, d_cols, d = 100_000, 5_000, 50
+        total_ops, max_comm = breakdown_totals(method, n, d_cols, d)
+        # Within a small constant factor of the Table 1 dominant terms.
+        assert total_ops >= time_complexity(method, n, d_cols, d)
+        assert total_ops <= 10 * time_complexity(method, n, d_cols, d)
+        assert max_comm <= 10 * communication_complexity(method, n, d_cols, d)
+        assert max_comm >= 0.1 * communication_complexity(method, n, d_cols, d)
+
+    @pytest.mark.parametrize("method", METHODS)
+    def test_phases_are_documented(self, method):
+        for phase in phase_breakdown(method, 1000, 100, 10):
+            assert phase.name
+            assert phase.description
+            assert phase.time_ops > 0
+
+    def test_ppca_communication_is_d_times_d(self):
+        phases = {p.name: p for p in phase_breakdown("ppca", 10**6, 10**4, 50)}
+        assert phases["ytx-xtx"].communication_elements == 10**4 * 50
+
+    def test_validation(self):
+        with pytest.raises(ShapeError):
+            phase_breakdown("ppca", 0, 10, 2)
+        with pytest.raises(ShapeError):
+            phase_breakdown("nonsense", 10, 10, 2)

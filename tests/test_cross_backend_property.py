@@ -1,0 +1,89 @@
+"""Property-based cross-backend equivalence of the full sPCA pipeline.
+
+Hypothesis draws random matrix shapes, sparsity, and seeds; all three
+backends must produce the same components to floating-point accuracy.  Few
+examples (the pipeline is expensive), broad input space.
+"""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.backends import MapReduceBackend, SequentialBackend, SparkBackend
+from repro.core import SPCA, SPCAConfig
+from repro.engine.cluster import ClusterSpec
+from repro.engine.mapreduce.runtime import MapReduceRuntime
+from repro.engine.spark.context import SparkContext
+
+CLUSTER = ClusterSpec(num_nodes=1, cores_per_node=2)
+
+
+@settings(
+    max_examples=6, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    n_rows=st.integers(min_value=20, max_value=120),
+    n_cols=st.integers(min_value=6, max_value=30),
+    d=st.integers(min_value=1, max_value=4),
+    density=st.floats(min_value=0.05, max_value=0.6),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_property_backends_agree(n_rows, n_cols, d, density, seed):
+    d = min(d, n_cols - 1, n_rows - 1)
+    matrix = sp.random(
+        n_rows, n_cols, density=density, random_state=seed % 2**31, format="csr"
+    )
+    config = SPCAConfig(
+        n_components=d, max_iterations=4, tolerance=0.0, seed=seed % 1000,
+        compute_error_every_iteration=False,
+    )
+    reference, _ = SPCA(config, SequentialBackend(config)).fit(matrix)
+    mapreduce, _ = SPCA(
+        config, MapReduceBackend(config, MapReduceRuntime(cluster=CLUSTER))
+    ).fit(matrix)
+    spark, _ = SPCA(
+        config, SparkBackend(config, SparkContext(cluster=CLUSTER))
+    ).fit(matrix)
+    np.testing.assert_allclose(
+        mapreduce.components, reference.components, atol=1e-7, rtol=1e-6
+    )
+    np.testing.assert_allclose(
+        spark.components, reference.components, atol=1e-7, rtol=1e-6
+    )
+    assert mapreduce.noise_variance == pytest.approx(
+        reference.noise_variance, rel=1e-6, abs=1e-10
+    )
+    assert spark.noise_variance == pytest.approx(
+        reference.noise_variance, rel=1e-6, abs=1e-10
+    )
+
+
+@settings(
+    max_examples=6, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    n_rows=st.integers(min_value=20, max_value=100),
+    n_cols=st.integers(min_value=5, max_value=20),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_property_ablations_agree_with_optimized(n_rows, n_cols, seed):
+    matrix = sp.random(
+        n_rows, n_cols, density=0.3, random_state=seed % 2**31, format="csr"
+    )
+    d = min(3, n_cols - 1, n_rows - 1)
+    base = SPCAConfig(
+        n_components=d, max_iterations=3, tolerance=0.0, seed=seed % 1000,
+        compute_error_every_iteration=False,
+    )
+    optimized, _ = SPCA(base, SequentialBackend(base)).fit(matrix)
+    unoptimized_config = base.unoptimized()
+    unoptimized, _ = SPCA(
+        unoptimized_config, SequentialBackend(unoptimized_config)
+    ).fit(matrix)
+    np.testing.assert_allclose(
+        unoptimized.components, optimized.components, atol=1e-7, rtol=1e-6
+    )

@@ -1,0 +1,150 @@
+"""Dataset generators: shapes, sparsity, structure, determinism."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import (
+    PAPER_DATASETS,
+    bag_of_words,
+    lowrank_dense,
+    make_dataset,
+    nmr_spectra,
+    sift_features,
+    tweets_series,
+)
+from repro.data.paper import SCALED_DRIVER_MEMORY_MB, scaled_cluster
+from repro.errors import ShapeError
+
+
+class TestBagOfWords:
+    def test_shape_and_binary_values(self):
+        matrix = bag_of_words(500, 300, seed=1)
+        assert matrix.shape == (500, 300)
+        assert set(np.unique(matrix.data)) == {1.0}
+
+    def test_sparsity_matches_words_per_doc(self):
+        matrix = bag_of_words(1000, 2000, words_per_doc=8.0, seed=2)
+        mean_words = matrix.getnnz(axis=1).mean()
+        # ~8 tail words (duplicates collapse) + ~10 stopword-head words.
+        assert 8.0 < mean_words < 22.0
+
+    def test_stopword_head_dominates_column_mass(self):
+        matrix = bag_of_words(2000, 1000, words_per_doc=8.0, seed=11)
+        col_mass = np.asarray(matrix.sum(axis=0)).ravel()
+        assert col_mass.argmax() < 40  # the heaviest column is a stopword
+
+    def test_no_stopwords_option(self):
+        matrix = bag_of_words(300, 400, n_stopwords=0, seed=12)
+        assert matrix.shape == (300, 400)
+
+    def test_rank10_accuracy_is_positive(self):
+        from repro.metrics import ideal_accuracy
+
+        matrix = bag_of_words(3000, 600, words_per_doc=8.0, seed=13)
+        assert ideal_accuracy(matrix, 10) > 0.3
+
+    def test_every_document_has_a_word(self):
+        matrix = bag_of_words(200, 100, words_per_doc=1.0, seed=3)
+        assert matrix.getnnz(axis=1).min() >= 1
+
+    def test_word_frequencies_power_law(self):
+        matrix = bag_of_words(3000, 500, words_per_doc=10.0, seed=4)
+        frequencies = np.asarray(matrix.sum(axis=0)).ravel()
+        # Zipf: the head dominates the tail.
+        assert frequencies[:10].sum() > frequencies[-100:].sum()
+
+    def test_deterministic(self):
+        a = bag_of_words(50, 40, seed=9)
+        b = bag_of_words(50, 40, seed=9)
+        assert (a != b).nnz == 0
+
+    def test_validation(self):
+        with pytest.raises(ShapeError):
+            bag_of_words(0, 10)
+        with pytest.raises(ShapeError):
+            bag_of_words(10, 10, words_per_doc=0.0)
+
+
+class TestNMRSpectra:
+    def test_shape_and_nonnegative(self):
+        spectra = nmr_spectra(50, 400, seed=5)
+        assert spectra.shape == (50, 400)
+        assert spectra.min() >= 0.0
+
+    def test_approximately_low_rank(self):
+        spectra = nmr_spectra(100, 600, n_metabolites=8, noise=0.001, seed=6)
+        centered = spectra - spectra.mean(axis=0)
+        singular_values = np.linalg.svd(centered, compute_uv=False)
+        # The top-8 directions carry almost all the variance.
+        assert singular_values[8:].sum() < 0.05 * singular_values.sum()
+
+    def test_validation(self):
+        with pytest.raises(ShapeError):
+            nmr_spectra(0, 10)
+
+
+class TestSIFTFeatures:
+    def test_shape_and_range(self):
+        vectors = sift_features(300, seed=7)
+        assert vectors.shape == (300, 128)
+        assert vectors.min() >= 0.0
+        assert vectors.max() <= 512.0
+
+    def test_clustered_structure(self):
+        vectors = sift_features(2000, n_clusters=4, seed=8)
+        centered = vectors - vectors.mean(axis=0)
+        singular_values = np.linalg.svd(centered, compute_uv=False)
+        # 4 clusters -> ~3 strong directions above the noise floor.
+        assert singular_values[2] > 2.0 * singular_values[10]
+
+    def test_validation(self):
+        with pytest.raises(ShapeError):
+            sift_features(0)
+
+
+class TestLowrankDense:
+    def test_rank_validation(self):
+        with pytest.raises(ShapeError):
+            lowrank_dense(5, 5, rank=6)
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=1000))
+    def test_property_spectrum_dominated_by_rank(self, seed):
+        data = lowrank_dense(100, 30, rank=3, noise=0.01, seed=seed)
+        centered = data - data.mean(axis=0)
+        singular_values = np.linalg.svd(centered, compute_uv=False)
+        assert singular_values[2] > 5.0 * singular_values[3]
+
+
+class TestPaperSpecs:
+    def test_all_series_materialize(self):
+        for name, series_fn in PAPER_DATASETS.items():
+            specs = series_fn()
+            assert specs, name
+            smallest = min(specs, key=lambda s: s.n_rows * s.n_cols)
+            matrix = make_dataset(smallest)
+            assert matrix.shape == (smallest.n_rows, smallest.n_cols)
+            assert sp.issparse(matrix) == smallest.sparse
+
+    def test_tweets_column_series_matches_paper_ratios(self):
+        specs = tweets_series()
+        assert [s.n_cols for s in specs] == [200, 600, 7150]
+        assert all("1.26B" in s.paper_size for s in specs)
+
+    def test_scaled_cluster_failure_boundary(self):
+        # 600^2 doubles fit in the scaled driver; 1000^2 do not.
+        cluster = scaled_cluster()
+        limit = cluster.driver_memory_bytes
+        assert 600 * 600 * 8 < limit < 1000 * 1000 * 8
+        assert cluster.driver_memory_mb == SCALED_DRIVER_MEMORY_MB
+
+    def test_scaled_cluster_node_sweep(self):
+        assert scaled_cluster(2).total_cores == 16
+        assert scaled_cluster(8).total_cores == 64
+
+    def test_spec_label(self):
+        spec = tweets_series()[0]
+        assert spec.label == "tweets 20000x200"

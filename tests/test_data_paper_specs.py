@@ -1,0 +1,81 @@
+"""The paper-scaled dataset series: every spec materializes correctly."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import (
+    biotext_series,
+    diabetes_series,
+    images_series,
+    make_dataset,
+    tweets_series,
+)
+from repro.engine.serde import sizeof, sizeof_pairs
+
+
+class TestSeriesShapes:
+    def test_biotext_series(self):
+        specs = biotext_series(n_rows=500)
+        assert [s.n_cols for s in specs] == [200, 1000, 1400]
+        assert all(s.sparse for s in specs)
+        assert all(s.n_rows == 500 for s in specs)
+
+    def test_diabetes_series(self):
+        specs = diabetes_series()
+        assert [s.n_cols for s in specs] == [200, 1000, 6567]
+        assert all(not s.sparse for s in specs)
+        assert all(s.n_rows == 353 for s in specs)  # patients are unscaled
+
+    def test_images_series(self):
+        (spec,) = images_series(n_rows=100)
+        assert spec.n_cols == 128  # SIFT dimensionality is unscaled
+
+    def test_biotext_denser_than_tweets(self):
+        tweets = make_dataset(tweets_series(n_rows=2000)[0])
+        biotext = make_dataset(biotext_series(n_rows=2000)[0])
+        assert (
+            biotext.nnz / np.prod(biotext.shape)
+            > tweets.nnz / np.prod(tweets.shape)
+        )
+
+    def test_specs_regenerate_identically(self):
+        spec = tweets_series(n_rows=300)[0]
+        first = make_dataset(spec)
+        second = make_dataset(spec)
+        assert (first != second).nnz == 0
+
+    def test_paper_size_labels(self):
+        assert diabetes_series()[2].paper_size == "353 x 65.7K"
+        assert images_series()[0].paper_size == "160M x 128"
+
+
+class TestSizeofProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        first=st.lists(st.tuples(st.integers(), st.floats(allow_nan=False,
+                                                          allow_infinity=False)),
+                       max_size=10),
+        second=st.lists(st.tuples(st.integers(), st.floats(allow_nan=False,
+                                                           allow_infinity=False)),
+                        max_size=10),
+    )
+    def test_sizeof_pairs_additive_under_concat(self, first, second):
+        assert sizeof_pairs(first + second) == sizeof_pairs(first) + sizeof_pairs(second)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        n=st.integers(min_value=1, max_value=20),
+        m=st.integers(min_value=1, max_value=20),
+    )
+    def test_sizeof_array_scales_with_elements(self, n, m):
+        small = sizeof(np.zeros(n))
+        big = sizeof(np.zeros(n * m))
+        assert big >= small
+
+    def test_sparse_cheaper_than_dense_when_sparse_enough(self):
+        sparse = sp.random(200, 200, density=0.01, random_state=0, format="csr")
+        dense = np.asarray(sparse.todense())
+        assert sizeof(sparse) < sizeof(dense)

@@ -1,0 +1,218 @@
+"""The MapReduce engine: classic jobs, stateful combiners, failure injection."""
+
+import numpy as np
+import pytest
+
+from repro.engine.cluster import ClusterSpec
+from repro.engine.mapreduce import (
+    InMemoryHDFS,
+    MapReduceJob,
+    MapReduceRuntime,
+    Mapper,
+    Reducer,
+    SumReducer,
+)
+from repro.errors import FileSystemError, InvalidPlanError, JobFailedError
+
+
+class WordCountMapper(Mapper):
+    def map(self, key, value, ctx):
+        for word in value.split():
+            ctx.increment("words")
+            yield word, 1
+
+
+class StatefulSumMapper(Mapper):
+    """The stateful-combiner pattern of Section 4.1: accumulate in the
+    mapper, emit once from cleanup."""
+
+    def setup(self, ctx):
+        self.total = 0
+
+    def map(self, key, value, ctx):
+        self.total += value
+        return ()
+
+    def cleanup(self, ctx):
+        yield "sum", self.total
+
+
+def splits_of(records, n):
+    boundaries = np.linspace(0, len(records), n + 1, dtype=int)
+    return [records[lo:hi] for lo, hi in zip(boundaries[:-1], boundaries[1:])]
+
+
+@pytest.fixture
+def runtime():
+    return MapReduceRuntime(cluster=ClusterSpec(num_nodes=2, cores_per_node=2))
+
+
+def word_count_job(**kwargs):
+    return MapReduceJob(
+        name="wordcount", mapper=WordCountMapper(), reducer=SumReducer(), **kwargs
+    )
+
+
+DOCS = [
+    (0, "the quick brown fox"),
+    (1, "the lazy dog"),
+    (2, "the fox"),
+]
+
+
+def test_word_count(runtime):
+    output = dict(runtime.run(word_count_job(), splits_of(DOCS, 2)))
+    assert output == {"the": 3, "quick": 1, "brown": 1, "fox": 2, "lazy": 1, "dog": 1}
+
+
+def test_word_count_with_combiner_same_result(runtime):
+    job = word_count_job(combiner=SumReducer())
+    output = dict(runtime.run(job, splits_of(DOCS, 2)))
+    assert output["the"] == 3 and output["fox"] == 2
+
+
+def test_combiner_reduces_shuffle_bytes():
+    rt_plain = MapReduceRuntime()
+    rt_comb = MapReduceRuntime()
+    records = [(i, "alpha beta gamma alpha") for i in range(50)]
+    rt_plain.run(word_count_job(), splits_of(records, 4))
+    rt_comb.run(word_count_job(combiner=SumReducer()), splits_of(records, 4))
+    assert rt_comb.metrics.jobs[0].shuffle_bytes < rt_plain.metrics.jobs[0].shuffle_bytes
+
+
+def test_counters_aggregate_across_tasks(runtime):
+    runtime.run(word_count_job(), splits_of(DOCS, 3))
+    assert runtime.metrics.jobs[0].counters["words"] == 9
+
+
+def test_stateful_mapper_cleanup_emission(runtime):
+    records = [(i, i) for i in range(10)]
+    output = runtime.run(
+        MapReduceJob(name="sum", mapper=StatefulSumMapper(), reducer=SumReducer()),
+        splits_of(records, 3),
+    )
+    assert dict(output) == {"sum": 45}
+    # One cleanup record per map task, not per input record.
+    assert runtime.metrics.jobs[0].n_map_tasks == 3
+
+
+def test_map_only_job(runtime):
+    records = [(i, i * 2) for i in range(5)]
+    output = runtime.run(
+        MapReduceJob(name="identity", mapper=Mapper()), splits_of(records, 2)
+    )
+    assert sorted(output) == records
+    assert runtime.metrics.jobs[0].shuffle_bytes == 0
+
+
+def test_multiple_reducers_partition_keys(runtime):
+    job = word_count_job(num_reducers=4)
+    output = dict(runtime.run(job, splits_of(DOCS, 2)))
+    assert output["the"] == 3
+    assert runtime.metrics.jobs[0].n_reduce_tasks == 4
+
+
+def test_hdfs_input_and_output(runtime):
+    runtime.hdfs.write("input/docs", DOCS)
+    job = word_count_job(output_path="output/counts")
+    runtime.run(job, "input/docs")
+    stored = dict(runtime.hdfs.read("output/counts"))
+    assert stored["the"] == 3
+    stats = runtime.metrics.jobs[0]
+    assert stats.hdfs_read_bytes > 0
+    assert stats.hdfs_write_bytes > 0
+
+
+def test_empty_splits_rejected(runtime):
+    with pytest.raises(InvalidPlanError):
+        runtime.run(word_count_job(), [])
+
+
+def test_failure_injection_preserves_results():
+    flaky = MapReduceRuntime(failure_rate=0.3, seed=7)
+    reliable = MapReduceRuntime()
+    records = [(i, "x y z") for i in range(20)]
+    out_flaky = dict(flaky.run(word_count_job(), splits_of(records, 5)))
+    out_reliable = dict(reliable.run(word_count_job(), splits_of(records, 5)))
+    assert out_flaky == out_reliable
+    assert flaky.metrics.jobs[0].task_retries > 0
+
+
+def test_pathological_failure_rate_aborts_job():
+    doomed = MapReduceRuntime(failure_rate=0.99, max_task_attempts=3, seed=1)
+    with pytest.raises(JobFailedError):
+        doomed.run(word_count_job(), splits_of(DOCS, 1))
+
+
+def test_invalid_failure_rate():
+    with pytest.raises(InvalidPlanError):
+        MapReduceRuntime(failure_rate=1.5)
+
+
+def test_sim_time_includes_job_overhead(runtime):
+    runtime.run(word_count_job(), splits_of(DOCS, 1))
+    assert runtime.metrics.jobs[0].sim_seconds >= runtime.cost_model.per_job_overhead_s
+
+
+def test_sim_time_decreases_with_more_cores():
+    # A compute-heavy job should get faster on a bigger cluster.
+    class Spinner(Mapper):
+        def map(self, key, value, ctx):
+            total = sum(range(20000))
+            yield key, total
+
+    records = [(i, i) for i in range(32)]
+    small = MapReduceRuntime(cluster=ClusterSpec(num_nodes=1, cores_per_node=2))
+    big = MapReduceRuntime(cluster=ClusterSpec(num_nodes=8, cores_per_node=8))
+    small.run(MapReduceJob(name="spin", mapper=Spinner()), splits_of(records, 32))
+    big.run(MapReduceJob(name="spin", mapper=Spinner()), splits_of(records, 32))
+    small_compute = small.metrics.jobs[0].sim_seconds - small.cost_model.per_job_overhead_s
+    big_compute = big.metrics.jobs[0].sim_seconds - big.cost_model.per_job_overhead_s
+    assert big_compute < small_compute
+
+
+class TestHDFS:
+    def test_write_read_round_trip(self):
+        fs = InMemoryHDFS()
+        fs.write("a", [(1, "x")])
+        assert fs.read("a") == [(1, "x")]
+
+    def test_read_charges_bytes(self):
+        fs = InMemoryHDFS()
+        nbytes = fs.write("a", [(1, np.zeros(100))])
+        fs.read("a")
+        assert fs.bytes_read == nbytes
+        assert fs.bytes_written == nbytes
+
+    def test_replication_multiplies_write_bytes(self):
+        fs = InMemoryHDFS(replication=3)
+        nbytes = fs.write("a", [(1, np.zeros(10))])
+        assert fs.bytes_written == 3 * nbytes
+
+    def test_missing_path(self):
+        fs = InMemoryHDFS()
+        with pytest.raises(FileSystemError):
+            fs.read("missing")
+        with pytest.raises(FileSystemError):
+            fs.size("missing")
+        with pytest.raises(FileSystemError):
+            fs.delete("missing")
+
+    def test_no_overwrite_flag(self):
+        fs = InMemoryHDFS()
+        fs.write("a", [(1, 2)])
+        with pytest.raises(FileSystemError):
+            fs.write("a", [(3, 4)], overwrite=False)
+
+    def test_delete_and_listing(self):
+        fs = InMemoryHDFS()
+        fs.write("a", [(1, 2)])
+        fs.write("b", [(3, 4)])
+        assert set(fs.listing()) == {"a", "b"}
+        fs.delete("a")
+        assert not fs.exists("a")
+        assert fs.total_stored_bytes == fs.size("b")
+
+    def test_invalid_replication(self):
+        with pytest.raises(FileSystemError):
+            InMemoryHDFS(replication=0)

@@ -1,0 +1,80 @@
+"""Base-class contracts of the MapReduce programming API."""
+
+import pytest
+
+from repro.engine.mapreduce.api import (
+    Combiner,
+    IdentityMapper,
+    MapReduceJob,
+    Mapper,
+    Reducer,
+    SumReducer,
+    TaskContext,
+)
+
+
+@pytest.fixture
+def ctx():
+    return TaskContext(job_name="j", task_id=3, config={"k": 1})
+
+
+class TestTaskContext:
+    def test_increment_defaults_to_one(self, ctx):
+        ctx.increment("records")
+        ctx.increment("records")
+        ctx.increment("bytes", 100)
+        assert ctx.counters["records"] == 2
+        assert ctx.counters["bytes"] == 100
+
+    def test_carries_config_and_identity(self, ctx):
+        assert ctx.job_name == "j"
+        assert ctx.task_id == 3
+        assert ctx.config["k"] == 1
+
+
+class TestBaseClasses:
+    def test_default_mapper_is_identity(self, ctx):
+        assert list(Mapper().map("key", "value", ctx)) == [("key", "value")]
+        assert list(Mapper().cleanup(ctx)) == []
+
+    def test_identity_mapper_alias(self, ctx):
+        assert list(IdentityMapper().map(1, 2, ctx)) == [(1, 2)]
+
+    def test_default_reducer_passes_value_list(self, ctx):
+        assert list(Reducer().reduce("k", [1, 2], ctx)) == [("k", [1, 2])]
+        assert list(Reducer().cleanup(ctx)) == []
+
+    def test_combiner_is_a_reducer(self):
+        assert issubclass(Combiner, Reducer)
+
+    def test_sum_reducer_handles_numbers(self, ctx):
+        assert list(SumReducer().reduce("k", [1, 2, 3], ctx)) == [("k", 6)]
+
+    def test_sum_reducer_handles_arrays(self, ctx):
+        import numpy as np
+
+        ((key, total),) = list(
+            SumReducer().reduce("k", [np.ones(3), 2 * np.ones(3)], ctx)
+        )
+        np.testing.assert_allclose(total, 3 * np.ones(3))
+
+    def test_setup_hooks_are_noops_by_default(self, ctx):
+        Mapper().setup(ctx)
+        Reducer().setup(ctx)
+
+
+class TestJobDescription:
+    def test_defaults(self):
+        job = MapReduceJob(name="x", mapper=Mapper())
+        assert job.reducer is None
+        assert job.combiner is None
+        assert job.num_reducers == 1
+        assert job.config == {}
+        assert job.output_path is None
+        assert not job.output_is_intermediate
+
+    def test_config_isolated_per_job(self):
+        a = MapReduceJob(name="a", mapper=Mapper())
+        b = MapReduceJob(name="b", mapper=Mapper())
+        a.config["x"] = 1
+        assert "x" not in b.config

@@ -1,0 +1,154 @@
+"""Job chains and property-based MapReduce laws."""
+
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.cluster import ClusterSpec
+from repro.engine.mapreduce import (
+    MapReduceJob,
+    MapReduceRuntime,
+    Mapper,
+    SumReducer,
+)
+from repro.engine.mapreduce.chain import JobChain
+from repro.errors import InvalidPlanError
+
+
+class TokenizeMapper(Mapper):
+    def map(self, key, value, ctx):
+        for word in value.split():
+            yield word, 1
+
+
+class UppercaseMapper(Mapper):
+    def map(self, key, value, ctx):
+        yield key.upper(), value
+
+
+def splits_of(records, n):
+    import numpy as np
+
+    boundaries = np.linspace(0, len(records), n + 1, dtype=int)
+    return [records[lo:hi] for lo, hi in zip(boundaries[:-1], boundaries[1:])]
+
+
+@pytest.fixture
+def runtime():
+    return MapReduceRuntime(cluster=ClusterSpec(num_nodes=2, cores_per_node=2))
+
+
+class TestJobChain:
+    def test_two_stage_pipeline(self, runtime):
+        docs = [(0, "apple banana"), (1, "apple")]
+        chain = JobChain(runtime, name="wc")
+        chain.then(
+            MapReduceJob(name="count", mapper=TokenizeMapper(), reducer=SumReducer())
+        ).then(
+            MapReduceJob(name="upper", mapper=UppercaseMapper(), reducer=SumReducer())
+        )
+        output = dict(chain.run(splits_of(docs, 2)))
+        assert output == {"APPLE": 2, "BANANA": 1}
+
+    def test_intermediate_written_to_hdfs(self, runtime):
+        docs = [(0, "x y"), (1, "x")]
+        chain = JobChain(runtime, name="pipe")
+        chain.then(
+            MapReduceJob(name="count", mapper=TokenizeMapper(), reducer=SumReducer())
+        ).then(MapReduceJob(name="identity", mapper=Mapper()))
+        chain.run(splits_of(docs, 1))
+        assert runtime.hdfs.exists("pipe/stage-0/count")
+        first_job = runtime.metrics.by_name("count")[0]
+        assert first_job.output_is_intermediate
+        assert first_job.intermediate_bytes > 0
+
+    def test_respects_explicit_output_path(self, runtime):
+        docs = [(0, "a")]
+        chain = JobChain(runtime)
+        chain.then(
+            MapReduceJob(
+                name="count", mapper=TokenizeMapper(), reducer=SumReducer(),
+                output_path="custom/place",
+            )
+        ).then(MapReduceJob(name="identity", mapper=Mapper()))
+        chain.run(splits_of(docs, 1))
+        assert runtime.hdfs.exists("custom/place")
+
+    def test_empty_chain_rejected(self, runtime):
+        with pytest.raises(InvalidPlanError):
+            JobChain(runtime).run([[(0, "x")]])
+
+    def test_jobs_property(self, runtime):
+        chain = JobChain(runtime)
+        job = MapReduceJob(name="j", mapper=Mapper())
+        chain.then(job)
+        assert chain.jobs == (job,)
+
+
+class TestPropertyLaws:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        docs=st.lists(
+            st.lists(st.sampled_from("abcdef"), min_size=1, max_size=8),
+            min_size=1, max_size=15,
+        ),
+        n_splits=st.integers(min_value=1, max_value=4),
+    )
+    def test_wordcount_matches_counter(self, docs, n_splits):
+        records = [(i, " ".join(words)) for i, words in enumerate(docs)]
+        expected = Counter(word for words in docs for word in words)
+        runtime = MapReduceRuntime(cluster=ClusterSpec(num_nodes=1, cores_per_node=2))
+        job = MapReduceJob(name="wc", mapper=TokenizeMapper(), reducer=SumReducer())
+        result = dict(runtime.run(job, splits_of(records, n_splits)))
+        assert result == dict(expected)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        docs=st.lists(
+            st.lists(st.sampled_from("abcd"), min_size=1, max_size=6),
+            min_size=1, max_size=12,
+        ),
+        n_reducers=st.integers(min_value=1, max_value=5),
+    )
+    def test_combiner_and_reducer_count_invariance(self, docs, n_reducers):
+        """Adding a combiner or changing reducer counts never changes output."""
+        records = [(i, " ".join(words)) for i, words in enumerate(docs)]
+        base_runtime = MapReduceRuntime()
+        base = dict(
+            base_runtime.run(
+                MapReduceJob(name="wc", mapper=TokenizeMapper(), reducer=SumReducer()),
+                splits_of(records, 2),
+            )
+        )
+        varied_runtime = MapReduceRuntime()
+        varied = dict(
+            varied_runtime.run(
+                MapReduceJob(
+                    name="wc", mapper=TokenizeMapper(), reducer=SumReducer(),
+                    combiner=SumReducer(), num_reducers=n_reducers,
+                ),
+                splits_of(records, 2),
+            )
+        )
+        assert base == varied
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        values=st.lists(st.integers(min_value=-100, max_value=100), min_size=1, max_size=20),
+        seed=st.integers(min_value=0, max_value=50),
+    )
+    def test_failure_injection_invariance(self, values, seed):
+        records = [(i, v) for i, v in enumerate(values)]
+
+        class Doubler(Mapper):
+            def map(self, key, value, ctx):
+                yield "sum", 2 * value
+
+        job = MapReduceJob(name="double", mapper=Doubler(), reducer=SumReducer())
+        reliable = dict(MapReduceRuntime().run(job, splits_of(records, 3)))
+        flaky = dict(
+            MapReduceRuntime(failure_rate=0.25, seed=seed).run(job, splits_of(records, 3))
+        )
+        assert flaky == reliable == {"sum": 2 * sum(values)}

@@ -1,0 +1,64 @@
+"""JobStats / EngineMetrics accounting."""
+
+import pytest
+
+from repro.engine.metrics import EngineMetrics, JobStats
+
+
+class TestJobStats:
+    def test_intermediate_counts_max_of_map_and_shuffle(self):
+        stats = JobStats(name="j", map_output_bytes=100, shuffle_bytes=40)
+        assert stats.intermediate_bytes == 100
+        stats = JobStats(name="j", map_output_bytes=10, shuffle_bytes=40)
+        assert stats.intermediate_bytes == 40
+
+    def test_intermediate_adds_driver_results(self):
+        stats = JobStats(name="j", shuffle_bytes=10, driver_result_bytes=5)
+        assert stats.intermediate_bytes == 15
+
+    def test_intermediate_output_only_when_marked(self):
+        consumed = JobStats(name="j", output_bytes=100, output_is_intermediate=True)
+        final = JobStats(name="j", output_bytes=100, output_is_intermediate=False)
+        assert consumed.intermediate_bytes == 100
+        assert final.intermediate_bytes == 0
+
+    def test_counters_default_empty(self):
+        assert JobStats(name="j").counters == {}
+
+
+class TestEngineMetrics:
+    def make(self):
+        metrics = EngineMetrics()
+        metrics.record(JobStats(name="a", sim_seconds=1.0, wall_seconds=0.1,
+                                shuffle_bytes=10, map_output_bytes=10))
+        metrics.record(JobStats(name="b", sim_seconds=2.0, wall_seconds=0.2,
+                                shuffle_bytes=30, map_output_bytes=50))
+        metrics.record(JobStats(name="a", sim_seconds=4.0, wall_seconds=0.4))
+        return metrics
+
+    def test_totals(self):
+        metrics = self.make()
+        assert metrics.total_sim_seconds == pytest.approx(7.0)
+        assert metrics.total_wall_seconds == pytest.approx(0.7)
+        assert metrics.total_shuffle_bytes == 40
+        assert metrics.total_map_output_bytes == 60
+        assert metrics.total_intermediate_bytes == 60  # max(map, shuffle) per job
+
+    def test_by_name(self):
+        metrics = self.make()
+        assert len(metrics.by_name("a")) == 2
+        assert len(metrics.by_name("b")) == 1
+        assert metrics.by_name("missing") == []
+
+    def test_reset(self):
+        metrics = self.make()
+        metrics.reset()
+        assert metrics.total_sim_seconds == 0.0
+        assert metrics.jobs == []
+
+    def test_summary_renders_all_jobs(self):
+        metrics = self.make()
+        text = metrics.summary()
+        assert text.count("\n") >= 4
+        assert "TOTAL" in text
+        assert "a" in text and "b" in text

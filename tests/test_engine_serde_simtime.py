@@ -1,0 +1,143 @@
+"""Byte accounting and the simulated-time model."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import CostModel, schedule_makespan
+from repro.engine.cluster import ClusterSpec
+from repro.engine.serde import sizeof, sizeof_pairs
+from repro.errors import ShapeError
+
+
+class TestSizeof:
+    def test_numpy_array_counts_buffer(self):
+        array = np.zeros((10, 10))
+        assert sizeof(array) >= array.nbytes
+
+    def test_sparse_counts_index_structures(self):
+        matrix = sp.random(50, 50, density=0.1, random_state=0, format="csr")
+        expected = matrix.data.nbytes + matrix.indices.nbytes + matrix.indptr.nbytes
+        assert sizeof(matrix) >= expected
+
+    def test_scalars_and_none(self):
+        assert sizeof(3) == 8
+        assert sizeof(3.5) == 8
+        assert sizeof(True) == 8
+        assert sizeof(None) == 1
+
+    def test_strings(self):
+        assert sizeof("abcd") >= 4
+
+    def test_containers_are_additive(self):
+        a, b = np.zeros(4), np.zeros(6)
+        assert sizeof([a, b]) >= sizeof(a) + sizeof(b)
+        assert sizeof({"x": a}) >= sizeof("x") + sizeof(a)
+
+    def test_sizeof_pairs(self):
+        pairs = [("k1", np.zeros(8)), ("k2", 1.0)]
+        assert sizeof_pairs(pairs) == sizeof("k1") + sizeof(np.zeros(8)) + sizeof("k2") + 8
+
+    def test_fallback_repr(self):
+        class Odd:
+            def __repr__(self):
+                return "x" * 50
+
+        assert sizeof(Odd()) >= 50
+
+
+class TestScheduleMakespan:
+    def test_single_slot_is_sum(self):
+        assert schedule_makespan([1.0, 2.0, 3.0], 1) == pytest.approx(6.0)
+
+    def test_enough_slots_is_max(self):
+        assert schedule_makespan([1.0, 2.0, 3.0], 3) == pytest.approx(3.0)
+
+    def test_empty_tasks(self):
+        assert schedule_makespan([], 4) == 0.0
+
+    def test_invalid_slots(self):
+        with pytest.raises(ShapeError):
+            schedule_makespan([1.0], 0)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        tasks=st.lists(st.floats(min_value=0.0, max_value=10.0), max_size=20),
+        slots=st.integers(min_value=1, max_value=8),
+    )
+    def test_property_bounds(self, tasks, slots):
+        makespan = schedule_makespan(tasks, slots)
+        total = sum(tasks)
+        longest = max(tasks, default=0.0)
+        # Lower bounds: perfect parallelism and the longest single task.
+        assert makespan >= total / slots - 1e-9
+        assert makespan >= longest - 1e-9
+        # Upper bound: serial execution.
+        assert makespan <= total + 1e-9
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        tasks=st.lists(st.floats(min_value=0.01, max_value=5.0), min_size=1, max_size=15),
+        slots=st.integers(min_value=1, max_value=4),
+    )
+    def test_property_more_slots_never_slower(self, tasks, slots):
+        assert schedule_makespan(tasks, slots + 1) <= schedule_makespan(tasks, slots) + 1e-9
+
+
+class TestCostModel:
+    def test_transfer_times(self):
+        cost = CostModel(1.0, 0.1, network_bytes_per_s=100.0, disk_bytes_per_s=50.0)
+        assert cost.network_seconds(200) == pytest.approx(2.0)
+        assert cost.disk_seconds(200) == pytest.approx(4.0)
+
+
+class TestClusterSpec:
+    def test_defaults_match_paper_testbed(self):
+        cluster = ClusterSpec()
+        assert cluster.num_nodes == 8
+        assert cluster.cores_per_node == 8
+        assert cluster.total_cores == 64
+
+    def test_scaled(self):
+        cluster = ClusterSpec().scaled(2)
+        assert cluster.total_cores == 16
+        assert cluster.memory_per_node_mb == ClusterSpec().memory_per_node_mb
+
+    def test_validation(self):
+        with pytest.raises(ShapeError):
+            ClusterSpec(num_nodes=0)
+        with pytest.raises(ShapeError):
+            ClusterSpec(driver_memory_mb=0)
+
+    def test_memory_bytes(self):
+        cluster = ClusterSpec(num_nodes=2, memory_per_node_mb=1.0, driver_memory_mb=2.0)
+        assert cluster.aggregate_memory_bytes == 2 * 1024 * 1024
+        assert cluster.driver_memory_bytes == 2 * 1024 * 1024
+
+
+class TestSpeculativeExecution:
+    def test_caps_stragglers(self):
+        from repro.engine.simtime import apply_speculative_execution
+
+        smoothed = apply_speculative_execution([1.0, 1.0, 1.0, 100.0])
+        assert max(smoothed) == pytest.approx(3.0)
+
+    def test_leaves_balanced_stages_alone(self):
+        from repro.engine.simtime import apply_speculative_execution
+
+        times = [1.0, 1.1, 0.9, 1.05]
+        assert apply_speculative_execution(times) == times
+
+    def test_tiny_stages_passthrough(self):
+        from repro.engine.simtime import apply_speculative_execution
+
+        assert apply_speculative_execution([5.0]) == [5.0]
+        assert apply_speculative_execution([5.0, 1.0]) == [5.0, 1.0]
+
+    def test_invalid_factor(self):
+        from repro.engine.simtime import apply_speculative_execution
+
+        with pytest.raises(ShapeError):
+            apply_speculative_execution([1.0, 2.0, 3.0], straggler_factor=1.0)

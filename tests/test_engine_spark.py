@@ -1,0 +1,238 @@
+"""The Spark engine: RDD semantics, shared variables, memory, failures."""
+
+import numpy as np
+import pytest
+
+from repro.engine.cluster import ClusterSpec
+from repro.engine.spark import SparkContext
+from repro.errors import (
+    DriverOutOfMemoryError,
+    InvalidPlanError,
+    JobFailedError,
+)
+
+
+@pytest.fixture
+def sc():
+    return SparkContext(cluster=ClusterSpec(num_nodes=2, cores_per_node=2))
+
+
+class TestTransformations:
+    def test_map_collect(self, sc):
+        assert sc.parallelize(range(10)).map(lambda x: x * 2).collect() == list(
+            range(0, 20, 2)
+        )
+
+    def test_filter(self, sc):
+        assert sc.parallelize(range(10)).filter(lambda x: x % 2 == 0).collect() == [
+            0, 2, 4, 6, 8,
+        ]
+
+    def test_flat_map(self, sc):
+        result = sc.parallelize(["a b", "c"]).flat_map(str.split).collect()
+        assert result == ["a", "b", "c"]
+
+    def test_map_partitions(self, sc):
+        sums = sc.parallelize(range(10), 2).map_partitions(lambda p: [sum(p)]).collect()
+        assert sum(sums) == 45
+        assert len(sums) == 2
+
+    def test_map_partitions_with_index(self, sc):
+        tagged = (
+            sc.parallelize(range(4), 2)
+            .map_partitions_with_index(lambda i, p: [(i, len(p))])
+            .collect()
+        )
+        assert tagged == [(0, 2), (1, 2)]
+
+    def test_chained_laziness(self, sc):
+        calls = []
+        rdd = sc.parallelize(range(3)).map(lambda x: calls.append(x) or x)
+        assert calls == []  # nothing computed yet
+        rdd.collect()
+        assert sorted(calls) == [0, 1, 2]
+
+    def test_union(self, sc):
+        a = sc.parallelize([1, 2])
+        b = sc.parallelize([3, 4])
+        assert sorted(a.union(b).collect()) == [1, 2, 3, 4]
+
+    def test_union_cross_context_rejected(self, sc):
+        other = SparkContext()
+        with pytest.raises(InvalidPlanError):
+            sc.parallelize([1]).union(other.parallelize([2]))
+
+    def test_sample(self, sc):
+        sampled = sc.parallelize(range(1000), 4).sample(0.1, seed=3).collect()
+        assert 40 < len(sampled) < 200
+        with pytest.raises(InvalidPlanError):
+            sc.parallelize([1]).sample(0.0)
+
+    def test_zip_with_index(self, sc):
+        indexed = sc.parallelize(["a", "b", "c", "d"], 2).zip_with_index().collect()
+        assert indexed == [("a", 0), ("b", 1), ("c", 2), ("d", 3)]
+
+
+class TestPairOperations:
+    def test_reduce_by_key(self, sc):
+        pairs = [("a", 1), ("b", 2), ("a", 3), ("b", 4)]
+        result = dict(sc.parallelize(pairs, 2).reduce_by_key(lambda a, b: a + b).collect())
+        assert result == {"a": 4, "b": 6}
+
+    def test_group_by_key(self, sc):
+        pairs = [("a", 1), ("b", 2), ("a", 3)]
+        result = dict(sc.parallelize(pairs, 2).group_by_key().collect())
+        assert sorted(result["a"]) == [1, 3]
+        assert result["b"] == [2]
+
+    def test_shuffle_charges_bytes(self, sc):
+        pairs = [(i % 5, np.zeros(100)) for i in range(50)]
+        sc.parallelize(pairs, 4).reduce_by_key(lambda a, b: a + b).collect()
+        assert any(job.shuffle_bytes > 0 for job in sc.metrics.jobs)
+
+    def test_map_values_keys_values(self, sc):
+        rdd = sc.parallelize([("a", 1), ("b", 2)])
+        assert rdd.map_values(lambda v: v * 10).collect() == [("a", 10), ("b", 20)]
+        assert rdd.keys().collect() == ["a", "b"]
+        assert rdd.values().collect() == [1, 2]
+
+
+class TestActions:
+    def test_count(self, sc):
+        assert sc.parallelize(range(33), 4).count() == 33
+
+    def test_reduce(self, sc):
+        assert sc.parallelize(range(10), 3).reduce(lambda a, b: a + b) == 45
+
+    def test_fold_and_sum(self, sc):
+        assert sc.parallelize(range(5), 2).fold(0, lambda a, b: a + b) == 10
+        assert sc.parallelize(range(5), 2).sum() == 10
+
+    def test_aggregate(self, sc):
+        # (count, sum) in one pass
+        count, total = sc.parallelize(range(10), 3).aggregate(
+            (0, 0),
+            lambda acc, x: (acc[0] + 1, acc[1] + x),
+            lambda a, b: (a[0] + b[0], a[1] + b[1]),
+        )
+        assert (count, total) == (10, 45)
+
+    def test_take_and_first(self, sc):
+        rdd = sc.parallelize(range(100), 8)
+        assert rdd.take(3) == [0, 1, 2]
+        assert rdd.first() == 0
+
+    def test_foreach_with_accumulator(self, sc):
+        acc = sc.accumulator(0)
+        sc.parallelize(range(10), 2).foreach(lambda x: acc.add(x))
+        assert acc.value == 45
+
+    def test_parallelize_empty_rejected(self, sc):
+        with pytest.raises(InvalidPlanError):
+            sc.parallelize([])
+
+
+class TestSharedVariables:
+    def test_broadcast_value_and_bytes(self, sc):
+        matrix = np.ones((100, 10))
+        bc = sc.broadcast(matrix)
+        np.testing.assert_array_equal(bc.value, matrix)
+        broadcast_jobs = [j for j in sc.metrics.jobs if j.name == "broadcast"]
+        assert broadcast_jobs[0].broadcast_bytes >= matrix.nbytes * sc.cluster.num_nodes
+
+    def test_accumulator_matrix_sum(self, sc):
+        acc = sc.accumulator(np.zeros((3, 3)))
+        sc.parallelize(range(6), 3).foreach(lambda x: acc.add(np.eye(3)))
+        np.testing.assert_allclose(acc.value, 6 * np.eye(3))
+
+    def test_accumulator_bytes_charged_to_stage(self, sc):
+        acc = sc.accumulator(np.zeros(1000))
+        sc.parallelize(range(4), 4).foreach_partition(
+            lambda p: acc.add(np.ones(1000))
+        )
+        stage = [j for j in sc.metrics.jobs if j.name == "foreachPartition"][0]
+        assert stage.driver_result_bytes >= 4 * 8000
+
+
+class TestCaching:
+    def test_cache_skips_recompute(self, sc):
+        calls = []
+        rdd = sc.parallelize(range(8), 2).map(lambda x: calls.append(x) or x).cache()
+        rdd.count()
+        first_pass = len(calls)
+        rdd.count()
+        assert len(calls) == first_pass  # second action used the cache
+
+    def test_unpersist_recomputes(self, sc):
+        calls = []
+        rdd = sc.parallelize(range(4), 2).map(lambda x: calls.append(x) or x).cache()
+        rdd.count()
+        rdd.unpersist()
+        rdd.count()
+        assert len(calls) == 8
+
+    def test_cache_spills_to_disk_when_over_memory(self):
+        tiny = ClusterSpec(num_nodes=1, cores_per_node=2, memory_per_node_mb=0.001)
+        sc = SparkContext(cluster=tiny)
+        rdd = sc.parallelize([np.zeros(1000) for _ in range(8)], 4).cache()
+        rdd.count()
+        assert sc.block_manager.disk_bytes > 0
+        # Cached-on-disk reads are charged as disk traffic on later stages.
+        rdd.count()
+        assert sc.metrics.jobs[-1].hdfs_read_bytes > 0
+
+    def test_block_manager_accounting(self, sc):
+        rdd = sc.parallelize([np.zeros(100) for _ in range(4)], 2).cache()
+        rdd.count()
+        assert sc.block_manager.cached_bytes > 0
+        rdd.unpersist()
+        assert sc.block_manager.cached_bytes == 0
+
+
+class TestDriverMemory:
+    def test_driver_oom_on_large_collect(self):
+        cluster = ClusterSpec(num_nodes=1, cores_per_node=2, driver_memory_mb=0.01)
+        sc = SparkContext(cluster=cluster)
+        rdd = sc.parallelize([np.zeros(10000) for _ in range(4)], 2)
+        with pytest.raises(DriverOutOfMemoryError):
+            rdd.collect()
+
+    def test_peak_memory_tracked(self, sc):
+        sc.parallelize([np.zeros(1000)], 1).collect()
+        assert sc.driver.peak_bytes >= 8000
+        assert sc.driver.used_bytes == 0  # transient allocation released
+
+
+class TestFaultTolerance:
+    def test_lineage_recompute_preserves_results(self):
+        flaky = SparkContext(failure_rate=0.3, seed=5)
+        result = flaky.parallelize(range(20), 5).map(lambda x: x * x).sum()
+        assert result == sum(x * x for x in range(20))
+        assert any(job.task_retries > 0 for job in flaky.metrics.jobs)
+
+    def test_accumulator_exactly_once_under_failures(self):
+        flaky = SparkContext(failure_rate=0.4, seed=11)
+        acc = flaky.accumulator(0)
+        flaky.parallelize(range(10), 5).foreach(lambda x: acc.add(1))
+        assert acc.value == 10  # retried tasks must not double-count
+
+    def test_hopeless_failure_rate_raises(self):
+        doomed = SparkContext(failure_rate=0.99, max_task_attempts=3, seed=2)
+        with pytest.raises(JobFailedError):
+            doomed.parallelize(range(4), 2).count()
+
+    def test_invalid_failure_rate(self):
+        with pytest.raises(InvalidPlanError):
+            SparkContext(failure_rate=-0.1)
+
+
+class TestSimulatedTime:
+    def test_stage_records_sim_seconds(self, sc):
+        sc.parallelize(range(100), 4).map(lambda x: x + 1).collect()
+        collect_stage = [j for j in sc.metrics.jobs if j.name == "collect"][0]
+        assert collect_stage.sim_seconds >= sc.cost_model.per_job_overhead_s
+
+    def test_spark_overhead_smaller_than_hadoop(self):
+        from repro.engine.simtime import HADOOP_LIKE_COSTS, SPARK_LIKE_COSTS
+
+        assert SPARK_LIKE_COSTS.per_job_overhead_s < HADOOP_LIKE_COSTS.per_job_overhead_s

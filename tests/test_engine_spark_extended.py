@@ -1,0 +1,211 @@
+"""Extended RDD operations and property-based engine laws."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.cluster import ClusterSpec
+from repro.engine.spark import SparkContext
+from repro.errors import InvalidPlanError
+
+
+@pytest.fixture
+def sc():
+    return SparkContext(cluster=ClusterSpec(num_nodes=2, cores_per_node=2))
+
+
+class TestDistinct:
+    def test_removes_duplicates(self, sc):
+        result = sorted(sc.parallelize([1, 2, 2, 3, 3, 3], 3).distinct().collect())
+        assert result == [1, 2, 3]
+
+    def test_all_unique_unchanged(self, sc):
+        result = sorted(sc.parallelize(range(5), 2).distinct().collect())
+        assert result == [0, 1, 2, 3, 4]
+
+
+class TestSortBy:
+    def test_ascending(self, sc):
+        data = [5, 3, 8, 1, 9, 2]
+        assert sc.parallelize(data, 3).sort_by(lambda x: x).collect() == sorted(data)
+
+    def test_descending(self, sc):
+        data = [5, 3, 8, 1]
+        result = sc.parallelize(data, 2).sort_by(lambda x: x, ascending=False).collect()
+        assert result == sorted(data, reverse=True)
+
+    def test_key_function(self, sc):
+        data = ["ccc", "a", "bb"]
+        result = sc.parallelize(data).sort_by(len).collect()
+        assert result == ["a", "bb", "ccc"]
+
+
+class TestJoin:
+    def test_inner_join(self, sc):
+        left = sc.parallelize([("a", 1), ("b", 2), ("a", 3)], 2)
+        right = sc.parallelize([("a", "x"), ("c", "y")], 2)
+        result = sorted(left.join(right).collect())
+        assert result == [("a", (1, "x")), ("a", (3, "x"))]
+
+    def test_join_no_overlap_is_empty(self, sc):
+        left = sc.parallelize([("a", 1)])
+        right = sc.parallelize([("b", 2)])
+        assert left.join(right).collect() == []
+
+
+class TestPartitioning:
+    def test_glom(self, sc):
+        chunks = sc.parallelize(range(6), 3).glom().collect()
+        assert len(chunks) == 3
+        assert [x for chunk in chunks for x in chunk] == list(range(6))
+
+    def test_coalesce_preserves_elements(self, sc):
+        rdd = sc.parallelize(range(10), 4).coalesce(2)
+        assert rdd.num_partitions == 2
+        assert sorted(rdd.collect()) == list(range(10))
+
+    def test_coalesce_validation(self, sc):
+        with pytest.raises(InvalidPlanError):
+            sc.parallelize(range(4)).coalesce(0)
+
+    def test_repartition_preserves_elements(self, sc):
+        rdd = sc.parallelize(range(12), 2).repartition(4)
+        assert rdd.num_partitions == 4
+        assert sorted(rdd.collect()) == list(range(12))
+
+    def test_repartition_charges_shuffle(self, sc):
+        sc.parallelize(range(20), 2).repartition(4).collect()
+        assert any(job.shuffle_bytes > 0 for job in sc.metrics.jobs)
+
+
+class TestDebugString:
+    def test_shows_lineage_depth(self, sc):
+        rdd = sc.parallelize(range(4), 2).map(lambda x: x).filter(lambda x: True).cache()
+        text = rdd.to_debug_string()
+        assert text.count("RDD#") == 3
+        assert "[cached]" in text
+
+
+class TestPropertyLaws:
+    @settings(max_examples=25, deadline=None)
+    @given(items=st.lists(st.integers(min_value=-50, max_value=50), min_size=1, max_size=30),
+           partitions=st.integers(min_value=1, max_value=5))
+    def test_collect_preserves_order_and_content(self, items, partitions):
+        sc = SparkContext(cluster=ClusterSpec(num_nodes=1, cores_per_node=2))
+        assert sc.parallelize(items, partitions).collect() == items
+
+    @settings(max_examples=25, deadline=None)
+    @given(items=st.lists(st.integers(), min_size=1, max_size=30))
+    def test_map_then_sum_equals_python(self, items):
+        sc = SparkContext(cluster=ClusterSpec(num_nodes=1, cores_per_node=2))
+        assert sc.parallelize(items).map(lambda x: 2 * x).sum() == 2 * sum(items)
+
+    @settings(max_examples=25, deadline=None)
+    @given(pairs=st.lists(
+        st.tuples(st.integers(min_value=0, max_value=5), st.integers()),
+        min_size=1, max_size=40,
+    ))
+    def test_reduce_by_key_matches_dict_accumulation(self, pairs):
+        sc = SparkContext(cluster=ClusterSpec(num_nodes=1, cores_per_node=2))
+        expected = {}
+        for key, value in pairs:
+            expected[key] = expected.get(key, 0) + value
+        result = dict(sc.parallelize(pairs, 3).reduce_by_key(lambda a, b: a + b).collect())
+        assert result == expected
+
+    @settings(max_examples=20, deadline=None)
+    @given(items=st.lists(st.integers(min_value=0, max_value=10), min_size=1, max_size=25),
+           seed=st.integers(min_value=0, max_value=100))
+    def test_failure_injection_never_changes_results(self, items, seed):
+        reliable = SparkContext(cluster=ClusterSpec(num_nodes=1, cores_per_node=2))
+        flaky = SparkContext(
+            cluster=ClusterSpec(num_nodes=1, cores_per_node=2),
+            failure_rate=0.3, seed=seed,
+        )
+        expected = reliable.parallelize(items, 2).map(lambda x: x * x).collect()
+        assert flaky.parallelize(items, 2).map(lambda x: x * x).collect() == expected
+
+    @settings(max_examples=20, deadline=None)
+    @given(items=st.lists(st.integers(min_value=-20, max_value=20), min_size=1, max_size=30),
+           partitions=st.integers(min_value=1, max_value=4))
+    def test_aggregate_count_sum_invariant(self, items, partitions):
+        sc = SparkContext(cluster=ClusterSpec(num_nodes=1, cores_per_node=2))
+        count, total = sc.parallelize(items, partitions).aggregate(
+            (0, 0),
+            lambda acc, x: (acc[0] + 1, acc[1] + x),
+            lambda a, b: (a[0] + b[0], a[1] + b[1]),
+        )
+        assert (count, total) == (len(items), sum(items))
+
+
+class TestHDFSInterop:
+    def test_round_trip_through_hdfs(self, sc):
+        from repro.engine.mapreduce import InMemoryHDFS
+
+        hdfs = InMemoryHDFS()
+        rdd = sc.parallelize(range(10), 3).map(lambda x: x * 2)
+        written = sc.save_to_hdfs(rdd, hdfs, "out/data")
+        assert written > 0
+        restored = sc.from_hdfs(hdfs, "out/data").map(lambda kv: kv[1]).collect()
+        assert restored == list(range(0, 20, 2))
+
+    def test_io_charged_as_disk_time(self, sc):
+        from repro.engine.mapreduce import InMemoryHDFS
+
+        hdfs = InMemoryHDFS()
+        sc.save_to_hdfs(sc.parallelize([1, 2, 3]), hdfs, "x")
+        names = [j.name for j in sc.metrics.jobs]
+        assert "hdfsWrite" in names
+        sc.from_hdfs(hdfs, "x")
+        assert "hdfsRead" in [j.name for j in sc.metrics.jobs]
+        assert hdfs.bytes_read > 0 and hdfs.bytes_written > 0
+
+    def test_cross_engine_pipeline(self, sc):
+        """A MapReduce job's output can feed a Spark computation."""
+        from repro.engine.mapreduce import (
+            InMemoryHDFS, MapReduceJob, MapReduceRuntime, Mapper, SumReducer,
+        )
+
+        class Tokenize(Mapper):
+            def map(self, key, value, ctx):
+                for word in value.split():
+                    yield word, 1
+
+        hdfs = InMemoryHDFS()
+        runtime = MapReduceRuntime(hdfs=hdfs)
+        runtime.hdfs.write("docs", [(0, "a b a"), (1, "b")])
+        runtime.run(
+            MapReduceJob(name="wc", mapper=Tokenize(), reducer=SumReducer(),
+                         output_path="counts"),
+            "docs",
+        )
+        total = sc.from_hdfs(hdfs, "counts").map(lambda kv: kv[1]).sum()
+        assert total == 4
+
+
+class TestActionEdgeCases:
+    def test_first_of_filtered_empty_raises(self, sc):
+        from repro.errors import InvalidPlanError
+
+        empty = sc.parallelize(range(5), 2).filter(lambda x: x > 100)
+        with pytest.raises(InvalidPlanError):
+            empty.first()
+
+    def test_take_more_than_available(self, sc):
+        assert sc.parallelize([1, 2], 2).take(10) == [1, 2]
+
+    def test_reduce_of_filtered_empty_raises(self, sc):
+        from repro.errors import InvalidPlanError
+
+        empty = sc.parallelize(range(3)).filter(lambda x: False)
+        with pytest.raises(InvalidPlanError):
+            empty.reduce(lambda a, b: a + b)
+
+    def test_fold_of_filtered_empty_returns_zero(self, sc):
+        empty = sc.parallelize(range(3)).filter(lambda x: False)
+        assert empty.fold(0, lambda a, b: a + b) == 0
+
+    def test_sample_fraction_one_keeps_everything(self, sc):
+        items = list(range(20))
+        assert sorted(sc.parallelize(items, 2).sample(1.0, seed=1).collect()) == items

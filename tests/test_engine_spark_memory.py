@@ -1,0 +1,92 @@
+"""Unit tests for the Spark memory models."""
+
+import pytest
+
+from repro.engine.spark.memory import BlockManager, DriverMemoryMonitor
+from repro.errors import DriverOutOfMemoryError, ShapeError
+
+
+class TestDriverMemoryMonitor:
+    def test_allocate_and_release(self):
+        driver = DriverMemoryMonitor(1000)
+        driver.allocate(400)
+        driver.allocate(300)
+        assert driver.used_bytes == 700
+        driver.release(300)
+        assert driver.used_bytes == 400
+        assert driver.peak_bytes == 700
+
+    def test_over_limit_raises_with_details(self):
+        driver = DriverMemoryMonitor(100)
+        with pytest.raises(DriverOutOfMemoryError) as info:
+            driver.allocate(200, what="covariance")
+        assert info.value.requested_bytes == 200
+        assert info.value.limit_bytes == 100
+        assert "covariance" in str(info.value)
+
+    def test_failed_allocation_leaves_state_unchanged(self):
+        driver = DriverMemoryMonitor(100)
+        driver.allocate(50)
+        with pytest.raises(DriverOutOfMemoryError):
+            driver.allocate(80)
+        assert driver.used_bytes == 50
+
+    def test_transient_counts_towards_peak_only(self):
+        driver = DriverMemoryMonitor(1000)
+        driver.transient(800)
+        assert driver.used_bytes == 0
+        assert driver.peak_bytes == 800
+
+    def test_release_never_goes_negative(self):
+        driver = DriverMemoryMonitor(100)
+        driver.release(50)
+        assert driver.used_bytes == 0
+
+    def test_reset(self):
+        driver = DriverMemoryMonitor(100)
+        driver.allocate(60)
+        driver.reset()
+        assert driver.used_bytes == 0
+        assert driver.peak_bytes == 0
+
+    def test_invalid_limit(self):
+        with pytest.raises(ShapeError):
+            DriverMemoryMonitor(0)
+
+
+class TestBlockManager:
+    def test_put_get_in_memory(self):
+        manager = BlockManager(1000)
+        manager.put(1, 0, ["a"], 100)
+        block = manager.get(1, 0)
+        assert block.data == ["a"]
+        assert not block.on_disk
+        assert manager.memory_bytes == 100
+        assert manager.disk_bytes == 0
+
+    def test_overflow_goes_to_disk(self):
+        manager = BlockManager(150)
+        manager.put(1, 0, ["a"], 100)
+        manager.put(1, 1, ["b"], 100)  # would exceed 150
+        assert not manager.get(1, 0).on_disk
+        assert manager.get(1, 1).on_disk
+        assert manager.disk_bytes == 100
+
+    def test_missing_block_is_none(self):
+        manager = BlockManager(100)
+        assert manager.get(9, 9) is None
+
+    def test_evict_frees_both_tiers(self):
+        manager = BlockManager(150)
+        manager.put(1, 0, ["a"], 100)
+        manager.put(1, 1, ["b"], 100)
+        manager.put(2, 0, ["c"], 10)
+        manager.evict(1)
+        assert manager.get(1, 0) is None
+        assert manager.get(1, 1) is None
+        assert manager.get(2, 0) is not None
+        assert manager.cached_bytes == 10
+
+    def test_invalid_limit(self):
+        with pytest.raises(ShapeError):
+            BlockManager(-5)

@@ -1,0 +1,70 @@
+"""Smoke tests: every example script runs to completion.
+
+Examples are part of the public deliverable; each is executed in-process
+(imported and run through its ``main``) with stdout captured, asserting on
+a signature line of its output.
+"""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def run_example(name, capsys):
+    spec = importlib.util.spec_from_file_location(
+        f"examples.{name}", EXAMPLES_DIR / f"{name}.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    try:
+        spec.loader.exec_module(module)
+        module.main()
+    finally:
+        sys.modules.pop(spec.name, None)
+    return capsys.readouterr().out
+
+
+def test_quickstart(capsys):
+    output = run_example("quickstart", capsys)
+    assert "reconstruction accuracy" in output
+    assert "variance split" in output
+
+
+def test_text_topics(capsys):
+    output = run_example("text_topics", capsys)
+    assert "PC1" in output
+    assert "engine job summary" in output
+
+
+def test_image_compression(capsys):
+    output = run_example("image_compression", capsys)
+    assert "sPCA accuracy" in output
+    assert "MLlib accuracy" in output
+
+
+def test_metabolomics(capsys):
+    output = run_example("metabolomics", capsys)
+    assert "explain" in output
+    assert "PC1 peak resonances" in output
+
+
+def test_platform_comparison(capsys):
+    output = run_example("platform_comparison", capsys)
+    assert "sequential" in output
+    assert "max |C_spark - C_sequential|" in output
+
+
+def test_streaming_pca(capsys):
+    output = run_example("streaming_pca", capsys)
+    assert "streamed" in output
+    assert "angle to the exact" in output
+
+
+def test_optimization_ablation(capsys):
+    output = run_example("optimization_ablation", capsys)
+    assert "all optimizations on" in output
+    assert "without mean_propagation" in output

@@ -1,0 +1,143 @@
+"""Extensions: missing-value PPCA and mixtures of PPCA."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConvergenceError, ShapeError
+from repro.extensions import MissingValuePPCA, MixtureOfPPCA
+from repro.metrics import subspace_angle_degrees
+
+
+def lowrank(n, d_cols, rank, noise, seed):
+    rng = np.random.default_rng(seed)
+    factors = rng.normal(size=(n, rank)) * np.sqrt(np.arange(rank, 0, -1))
+    loadings = rng.normal(size=(rank, d_cols))
+    return factors @ loadings + noise * rng.normal(size=(n, d_cols)) + rng.normal(size=d_cols)
+
+
+def mask_random(data, fraction, seed):
+    rng = np.random.default_rng(seed)
+    masked = data.copy()
+    holes = rng.random(data.shape) < fraction
+    # keep at least one observation per row and column
+    holes[:, 0] = False
+    holes[0, :] = False
+    masked[holes] = np.nan
+    return masked, holes
+
+
+class TestMissingValuePPCA:
+    def test_recovers_subspace_with_missing_entries(self):
+        data = lowrank(300, 20, 3, 0.05, seed=1)
+        masked, _ = mask_random(data, 0.2, seed=2)
+        model = MissingValuePPCA(n_components=3, max_iterations=80, seed=3).fit(masked)
+        centered = data - data.mean(axis=0)
+        _, _, vt = np.linalg.svd(centered, full_matrices=False)
+        assert subspace_angle_degrees(model.basis, vt[:3].T) < 5.0
+
+    def test_matches_complete_data_ppca_when_nothing_missing(self):
+        from repro.core import fit_ppca
+
+        data = lowrank(200, 12, 2, 0.05, seed=4)
+        missing_model = MissingValuePPCA(2, max_iterations=60, seed=5).fit(data)
+        full_model = fit_ppca(data, 2, max_iterations=200, tolerance=1e-10, seed=6)
+        assert subspace_angle_degrees(missing_model.basis, full_model.basis) < 2.0
+
+    def test_imputation_beats_column_means(self):
+        data = lowrank(400, 15, 3, 0.02, seed=7)
+        masked, holes = mask_random(data, 0.15, seed=8)
+        algorithm = MissingValuePPCA(3, max_iterations=80, seed=9)
+        algorithm.fit(masked)
+        imputed = algorithm.impute(masked)
+        col_means = np.nanmean(masked, axis=0)
+        baseline = np.where(np.isnan(masked), col_means, masked)
+        model_error = np.abs(imputed[holes] - data[holes]).mean()
+        baseline_error = np.abs(baseline[holes] - data[holes]).mean()
+        assert model_error < 0.5 * baseline_error
+
+    def test_impute_preserves_observed_entries(self):
+        data = lowrank(100, 10, 2, 0.05, seed=10)
+        masked, holes = mask_random(data, 0.1, seed=11)
+        algorithm = MissingValuePPCA(2, max_iterations=40, seed=12)
+        algorithm.fit(masked)
+        imputed = algorithm.impute(masked)
+        np.testing.assert_allclose(imputed[~holes], data[~holes])
+        assert not np.isnan(imputed).any()
+
+    def test_validation(self):
+        with pytest.raises(ShapeError):
+            MissingValuePPCA(2).fit(np.full((4, 4), np.nan))
+        bad_row = np.ones((4, 4))
+        bad_row[2, :] = np.nan
+        with pytest.raises(ShapeError):
+            MissingValuePPCA(2).fit(bad_row)
+        bad_col = np.ones((4, 4))
+        bad_col[:, 1] = np.nan
+        with pytest.raises(ShapeError):
+            MissingValuePPCA(2).fit(bad_col)
+        with pytest.raises(ShapeError):
+            MissingValuePPCA(9).fit(np.ones((4, 5)))
+
+    def test_impute_requires_fit(self):
+        with pytest.raises(ConvergenceError):
+            MissingValuePPCA(2).impute(np.ones((3, 4)))
+
+
+def two_cluster_data(seed=0, n_per=150, d_cols=12):
+    rng = np.random.default_rng(seed)
+    basis_a = rng.normal(size=(d_cols, 2))
+    basis_b = rng.normal(size=(d_cols, 2))
+    cluster_a = rng.normal(size=(n_per, 2)) @ basis_a.T + 6.0
+    cluster_b = rng.normal(size=(n_per, 2)) @ basis_b.T - 6.0
+    noise = 0.05 * rng.normal(size=(2 * n_per, d_cols))
+    data = np.vstack([cluster_a, cluster_b]) + noise
+    labels = np.array([0] * n_per + [1] * n_per)
+    return data, labels
+
+
+class TestMixtureOfPPCA:
+    def test_separates_two_clusters(self):
+        data, labels = two_cluster_data(seed=1)
+        mixture = MixtureOfPPCA(n_components=2, n_clusters=2, seed=2).fit(data)
+        predicted = mixture.predict(data)
+        agreement = max(
+            (predicted == labels).mean(), (predicted != labels).mean()
+        )
+        assert agreement > 0.95
+
+    def test_beats_single_component_likelihood(self):
+        data, _ = two_cluster_data(seed=3)
+        two = MixtureOfPPCA(2, 2, seed=4).fit(data)
+        one = MixtureOfPPCA(2, 1, seed=5).fit(data)
+        assert two.log_likelihood_ > one.log_likelihood_
+
+    def test_weights_sum_to_one(self):
+        data, _ = two_cluster_data(seed=6)
+        mixture = MixtureOfPPCA(2, 3, seed=7).fit(data)
+        assert mixture.weights_.sum() == pytest.approx(1.0)
+        assert (mixture.weights_ > 0).all()
+
+    def test_likelihood_increases_monotonically_enough(self):
+        data, _ = two_cluster_data(seed=8)
+        mixture = MixtureOfPPCA(2, 2, max_iterations=1, seed=9).fit(data)
+        first = mixture.log_likelihood_
+        mixture = MixtureOfPPCA(2, 2, max_iterations=30, seed=9).fit(data)
+        assert mixture.log_likelihood_ >= first - 1e-6
+
+    def test_score_matches_training_likelihood(self):
+        data, _ = two_cluster_data(seed=10)
+        mixture = MixtureOfPPCA(2, 2, seed=11).fit(data)
+        # score on training data equals the last E-step's likelihood up to
+        # one extra M-step of improvement
+        assert mixture.score(data) >= mixture.log_likelihood_ - 1e-6
+
+    def test_validation(self):
+        data, _ = two_cluster_data(seed=12)
+        with pytest.raises(ShapeError):
+            MixtureOfPPCA(0, 2).fit(data)
+        with pytest.raises(ShapeError):
+            MixtureOfPPCA(12, 2).fit(data)
+        with pytest.raises(ShapeError):
+            MixtureOfPPCA(2, 10_000).fit(data)
+        with pytest.raises(ConvergenceError):
+            MixtureOfPPCA(2, 2).predict(data)

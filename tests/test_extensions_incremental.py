@@ -1,0 +1,85 @@
+"""Incremental (mini-batch / streaming) PPCA."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.errors import ShapeError
+from repro.extensions import IncrementalPPCA
+from repro.metrics import subspace_angle_degrees
+
+
+def lowrank(n, d_cols, rank, noise, seed):
+    rng = np.random.default_rng(seed)
+    factors = rng.normal(size=(n, rank)) * np.sqrt(np.arange(rank, 0, -1))
+    loadings = rng.normal(size=(rank, d_cols))
+    return factors @ loadings + noise * rng.normal(size=(n, d_cols)) + rng.normal(size=d_cols)
+
+
+def exact_basis(data, k):
+    centered = data - data.mean(axis=0)
+    _, _, vt = np.linalg.svd(centered, full_matrices=False)
+    return vt[:k].T
+
+
+class TestMiniBatchFit:
+    def test_recovers_subspace(self):
+        data = lowrank(2000, 25, 4, 0.05, seed=1)
+        model = IncrementalPPCA(4, batch_size=200, n_epochs=8, seed=2).fit(data)
+        assert subspace_angle_degrees(model.basis, exact_basis(data, 4)) < 5.0
+
+    def test_sparse_input(self):
+        matrix = sp.random(1500, 40, density=0.2, random_state=3, format="csr")
+        model = IncrementalPPCA(3, batch_size=128, n_epochs=6, seed=4).fit(matrix)
+        assert model.components.shape == (40, 3)
+        assert np.isfinite(model.noise_variance)
+
+    def test_more_epochs_improve_subspace(self):
+        data = lowrank(1500, 20, 3, 0.05, seed=5)
+        exact = exact_basis(data, 3)
+        short = IncrementalPPCA(3, batch_size=150, n_epochs=1, seed=6).fit(data)
+        long = IncrementalPPCA(3, batch_size=150, n_epochs=12, seed=6).fit(data)
+        assert subspace_angle_degrees(long.basis, exact) < subspace_angle_degrees(
+            short.basis, exact
+        ) + 0.5
+
+    def test_noise_variance_sensible(self):
+        data = lowrank(2000, 15, 3, 0.3, seed=7)
+        model = IncrementalPPCA(3, batch_size=250, n_epochs=10, seed=8).fit(data)
+        centered = data - data.mean(axis=0)
+        eigenvalues = np.linalg.svd(centered, compute_uv=False) ** 2 / 2000
+        expected = eigenvalues[3:].mean()
+        assert model.noise_variance == pytest.approx(expected, rel=0.5)
+
+    def test_validation(self):
+        data = lowrank(100, 10, 2, 0.1, seed=9)
+        with pytest.raises(ShapeError):
+            IncrementalPPCA(20).fit(data)
+        with pytest.raises(ShapeError):
+            IncrementalPPCA(2, batch_size=0).fit(data)
+        with pytest.raises(ShapeError):
+            IncrementalPPCA(2, step_decay=0.3).fit(data)
+
+
+class TestStreamingFit:
+    def test_stream_of_batches(self):
+        data = lowrank(2400, 20, 3, 0.05, seed=10)
+        batches = [data[i : i + 200] for i in range(0, 2400, 200)]
+        # Several passes over the stream improve the estimate.
+        algorithm = IncrementalPPCA(3, seed=11, n_epochs=1)
+        model = algorithm.partial_fit_stream(batches * 6, n_cols=20)
+        assert subspace_angle_degrees(model.basis, exact_basis(data, 3)) < 10.0
+        assert model.n_samples == 2400 * 6
+
+    def test_stream_mean_estimated_online(self):
+        data = lowrank(1000, 12, 2, 0.05, seed=12)
+        batches = [data[i : i + 100] for i in range(0, 1000, 100)]
+        model = IncrementalPPCA(2, seed=13).partial_fit_stream(batches, n_cols=12)
+        np.testing.assert_allclose(model.mean, data.mean(axis=0), atol=1e-8)
+
+    def test_stream_validation(self):
+        algorithm = IncrementalPPCA(2, seed=14)
+        with pytest.raises(ShapeError):
+            algorithm.partial_fit_stream([], n_cols=5)
+        with pytest.raises(ShapeError):
+            algorithm.partial_fit_stream([np.ones((4, 3))], n_cols=5)

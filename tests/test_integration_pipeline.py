@@ -1,0 +1,129 @@
+"""End-to-end pipelines across modules: data -> storage -> fit -> use."""
+
+import numpy as np
+import pytest
+
+from repro.backends import MapReduceBackend, SequentialBackend, SparkBackend
+from repro.core import SPCA, SPCAConfig, load_model, save_model
+from repro.data import bag_of_words, nmr_spectra
+from repro.data.io import load_matrix, read_sparse_rows, save_matrix, write_sparse_rows
+from repro.engine.cluster import ClusterSpec
+from repro.engine.mapreduce.runtime import MapReduceRuntime
+from repro.engine.spark.context import SparkContext
+from repro.metrics import (
+    accuracy_from_error,
+    ideal_accuracy,
+    percent_of_ideal,
+    reconstruction_error,
+)
+
+CLUSTER = ClusterSpec(num_nodes=2, cores_per_node=2)
+
+
+def test_full_text_pipeline_through_disk(tmp_path):
+    """generate -> text format -> reload -> fit -> persist -> reuse."""
+    documents = bag_of_words(400, 120, words_per_doc=8.0, seed=41)
+    text_path = write_sparse_rows(documents, tmp_path / "docs.txt")
+    reloaded = read_sparse_rows(text_path)
+
+    config = SPCAConfig(n_components=4, max_iterations=8, seed=1)
+    model, history = SPCA(config).fit(reloaded)
+    assert history.final_accuracy is not None
+
+    model_path = save_model(model, tmp_path / "model")
+    restored = load_model(model_path)
+    latent = restored.transform(documents)
+    assert latent.shape == (400, 4)
+
+    matrix_path = save_matrix(latent, tmp_path / "latent")
+    assert load_matrix(matrix_path).shape == (400, 4)
+
+
+def test_dense_pipeline_on_both_engines(tmp_path):
+    """The Diabetes-style dense workload, same answer on both platforms."""
+    spectra = nmr_spectra(120, 300, n_metabolites=6, seed=42)
+    config = SPCAConfig(n_components=5, max_iterations=6, tolerance=0.0, seed=2,
+                        compute_error_every_iteration=False)
+    models = {}
+    for name, backend in (
+        ("sequential", SequentialBackend(config)),
+        ("mapreduce", MapReduceBackend(config, MapReduceRuntime(cluster=CLUSTER))),
+        ("spark", SparkBackend(config, SparkContext(cluster=CLUSTER))),
+    ):
+        models[name], _ = SPCA(config, backend).fit(spectra)
+    for name in ("mapreduce", "spark"):
+        np.testing.assert_allclose(
+            models[name].components, models["sequential"].components, atol=1e-8
+        )
+
+
+def test_accuracy_chain_is_consistent():
+    """ideal_accuracy, reconstruction_error and percent_of_ideal cohere."""
+    documents = bag_of_words(600, 200, words_per_doc=8.0, seed=43)
+    ideal = ideal_accuracy(documents, 5)
+    config = SPCAConfig(n_components=5, max_iterations=10, tolerance=0.0, seed=3,
+                        ideal_accuracy=ideal, target_accuracy=0.95)
+    model, history = SPCA(config).fit(documents)
+    final = accuracy_from_error(
+        reconstruction_error(documents, model.components, model.mean)
+    )
+    assert percent_of_ideal(final, ideal) >= 90.0
+    if history.stop_reason == "target_accuracy":
+        assert history.final_accuracy >= 0.95 * ideal
+
+
+def test_smart_guess_pipeline_on_engine_backend():
+    """sPCA-SG end to end on the MapReduce engine."""
+    documents = bag_of_words(500, 150, words_per_doc=8.0, seed=44)
+    config = SPCAConfig(n_components=3, max_iterations=4, tolerance=0.0, seed=4,
+                        smart_init=True, smart_init_fraction=0.2,
+                        smart_init_iterations=15)
+    backend = MapReduceBackend(config, MapReduceRuntime(cluster=CLUSTER))
+    model, history = SPCA(config, backend).fit(documents)
+    assert history.n_iterations >= 1
+    cold_config = config.with_options(smart_init=False)
+    cold_model, cold_history = SPCA(
+        cold_config, MapReduceBackend(cold_config, MapReduceRuntime(cluster=CLUSTER))
+    ).fit(documents)
+    # Warm start is at least as accurate after the same iteration budget.
+    assert history.final_accuracy >= cold_history.final_accuracy - 0.05
+
+
+def test_failure_injection_full_pipeline_both_engines():
+    """Task failures on either platform leave the fitted model unchanged."""
+    documents = bag_of_words(300, 80, words_per_doc=8.0, seed=45)
+    config = SPCAConfig(n_components=3, max_iterations=4, tolerance=0.0, seed=5,
+                        compute_error_every_iteration=False)
+    reference, _ = SPCA(config, SequentialBackend(config)).fit(documents)
+    flaky_mr = MapReduceBackend(
+        config, MapReduceRuntime(cluster=CLUSTER, failure_rate=0.15, seed=9)
+    )
+    flaky_spark = SparkBackend(
+        config, SparkContext(cluster=CLUSTER, failure_rate=0.15, seed=9)
+    )
+    model_mr, _ = SPCA(config, flaky_mr).fit(documents)
+    model_spark, _ = SPCA(config, flaky_spark).fit(documents)
+    np.testing.assert_allclose(model_mr.components, reference.components, atol=1e-8)
+    np.testing.assert_allclose(model_spark.components, reference.components, atol=1e-8)
+    assert flaky_mr.runtime.metrics.jobs[-1].task_retries >= 0
+
+
+def test_baseline_and_spca_agree_on_strong_structure():
+    """All implemented methods find the same dominant subspace."""
+    from repro.baselines import CovariancePCA, SSVDPCAMapReduce
+    from repro.metrics import subspace_angle_degrees
+
+    rng = np.random.default_rng(46)
+    data = rng.normal(size=(400, 3)) * np.array([20.0, 12.0, 6.0]) @ rng.normal(size=(3, 40))
+    data = data + 0.1 * rng.normal(size=(400, 40))
+
+    config = SPCAConfig(n_components=3, max_iterations=30, tolerance=1e-9, seed=6,
+                        compute_error_every_iteration=False)
+    spca_model, _ = SPCA(config).fit(data)
+    mllib = CovariancePCA(3, SparkContext(cluster=CLUSTER)).fit(data)
+    mahout = SSVDPCAMapReduce(
+        3, power_iterations=2, runtime=MapReduceRuntime(cluster=CLUSTER)
+    ).fit(data, compute_accuracy=False)
+
+    assert subspace_angle_degrees(spca_model.basis, mllib.model.components) < 2.0
+    assert subspace_angle_degrees(mahout.model.components, mllib.model.components) < 2.0

@@ -1,0 +1,123 @@
+"""Mean-propagation identities must match explicit centering exactly."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ShapeError
+from repro.linalg import (
+    centered_gram,
+    centered_row,
+    centered_times,
+    centered_transpose_times,
+    column_means,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(11)
+
+
+def _dense_centered(matrix, mean):
+    dense = np.asarray(matrix.todense()) if sp.issparse(matrix) else np.asarray(matrix)
+    return dense - mean
+
+
+def test_centered_times_matches_dense_sparse_input(rng):
+    matrix = sp.random(50, 20, density=0.15, random_state=5, format="csr")
+    mean = column_means(matrix)
+    right = rng.normal(size=(20, 4))
+    expected = _dense_centered(matrix, mean) @ right
+    np.testing.assert_allclose(centered_times(matrix, mean, right), expected, atol=1e-12)
+
+
+def test_centered_times_matches_dense_dense_input(rng):
+    matrix = rng.normal(size=(30, 8))
+    mean = column_means(matrix)
+    right = rng.normal(size=(8, 3))
+    expected = _dense_centered(matrix, mean) @ right
+    np.testing.assert_allclose(centered_times(matrix, mean, right), expected, atol=1e-12)
+
+
+def test_centered_transpose_times_matches_dense(rng):
+    matrix = sp.random(40, 15, density=0.2, random_state=9, format="csr")
+    mean = column_means(matrix)
+    right = rng.normal(size=(40, 6))
+    expected = _dense_centered(matrix, mean).T @ right
+    np.testing.assert_allclose(
+        centered_transpose_times(matrix, mean, right), expected, atol=1e-12
+    )
+
+
+def test_centered_gram_matches_dense(rng):
+    matrix = sp.random(60, 12, density=0.3, random_state=2, format="csr")
+    mean = column_means(matrix)
+    centered = _dense_centered(matrix, mean)
+    np.testing.assert_allclose(centered_gram(matrix, mean), centered.T @ centered, atol=1e-10)
+
+
+def test_centered_gram_requires_true_mean(rng):
+    # With an arbitrary (non-mean) vector the identity does not hold; the
+    # function documents it needs the exact column mean.
+    matrix = rng.normal(size=(10, 4))
+    mean = column_means(matrix)
+    np.testing.assert_allclose(
+        centered_gram(matrix, mean),
+        _dense_centered(matrix, mean).T @ _dense_centered(matrix, mean),
+        atol=1e-10,
+    )
+
+
+def test_centered_row_sparse(rng):
+    matrix = sp.random(5, 9, density=0.3, random_state=1, format="csr")
+    mean = column_means(matrix)
+    np.testing.assert_allclose(
+        centered_row(matrix[2], mean), _dense_centered(matrix, mean)[2], atol=1e-12
+    )
+
+
+def test_shape_errors():
+    matrix = np.ones((4, 3))
+    with pytest.raises(ShapeError):
+        centered_times(matrix, np.zeros(5), np.ones((3, 2)))
+    with pytest.raises(ShapeError):
+        centered_times(matrix, np.zeros(3), np.ones((5, 2)))
+    with pytest.raises(ShapeError):
+        centered_transpose_times(matrix, np.zeros(3), np.ones((9, 2)))
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n=st.integers(min_value=1, max_value=12),
+    d_cols=st.integers(min_value=1, max_value=10),
+    k=st.integers(min_value=1, max_value=4),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_property_centered_times_identity(n, d_cols, k, seed):
+    rng = np.random.default_rng(seed)
+    matrix = sp.random(n, d_cols, density=0.4, random_state=seed % 2**31, format="csr")
+    mean = rng.normal(size=d_cols)
+    right = rng.normal(size=(d_cols, k))
+    expected = (np.asarray(matrix.todense()) - mean) @ right
+    np.testing.assert_allclose(centered_times(matrix, mean, right), expected, atol=1e-9)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n=st.integers(min_value=1, max_value=12),
+    d_cols=st.integers(min_value=1, max_value=10),
+    k=st.integers(min_value=1, max_value=4),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_property_centered_transpose_identity(n, d_cols, k, seed):
+    rng = np.random.default_rng(seed)
+    matrix = sp.random(n, d_cols, density=0.4, random_state=seed % 2**31, format="csr")
+    mean = rng.normal(size=d_cols)
+    right = rng.normal(size=(n, k))
+    expected = (np.asarray(matrix.todense()) - mean).T @ right
+    np.testing.assert_allclose(
+        centered_transpose_times(matrix, mean, right), expected, atol=1e-9
+    )

@@ -1,0 +1,92 @@
+"""Algorithms 2 and 3 must equal the dense reference Frobenius norm."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ShapeError
+from repro.linalg import (
+    column_means,
+    frobenius_centered_dense,
+    frobenius_simple,
+    frobenius_sparse,
+)
+
+
+@pytest.fixture
+def sparse_matrix():
+    return sp.random(80, 30, density=0.1, random_state=4, format="csr")
+
+
+def test_simple_matches_dense(sparse_matrix):
+    mean = column_means(sparse_matrix)
+    assert frobenius_simple(sparse_matrix, mean) == pytest.approx(
+        frobenius_centered_dense(sparse_matrix, mean)
+    )
+
+
+def test_sparse_matches_dense(sparse_matrix):
+    mean = column_means(sparse_matrix)
+    assert frobenius_sparse(sparse_matrix, mean) == pytest.approx(
+        frobenius_centered_dense(sparse_matrix, mean)
+    )
+
+
+def test_sparse_matches_dense_on_dense_input():
+    rng = np.random.default_rng(0)
+    matrix = rng.normal(size=(25, 7))
+    mean = column_means(matrix)
+    assert frobenius_sparse(matrix, mean) == pytest.approx(
+        frobenius_centered_dense(matrix, mean)
+    )
+    assert frobenius_simple(matrix, mean) == pytest.approx(
+        frobenius_centered_dense(matrix, mean)
+    )
+
+
+def test_zero_matrix_norm_is_n_times_mean_norm():
+    matrix = sp.csr_matrix((10, 4))
+    mean = np.array([1.0, 2.0, 0.0, -1.0])
+    assert frobenius_sparse(matrix, mean) == pytest.approx(10 * float(mean @ mean))
+
+
+def test_zero_mean_reduces_to_plain_norm(sparse_matrix):
+    mean = np.zeros(sparse_matrix.shape[1])
+    expected = float(sparse_matrix.multiply(sparse_matrix).sum())
+    assert frobenius_sparse(sparse_matrix, mean) == pytest.approx(expected)
+
+
+def test_mean_length_mismatch_raises(sparse_matrix):
+    with pytest.raises(ShapeError):
+        frobenius_sparse(sparse_matrix, np.zeros(3))
+    with pytest.raises(ShapeError):
+        frobenius_simple(sparse_matrix, np.zeros(3))
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n=st.integers(min_value=1, max_value=15),
+    d_cols=st.integers(min_value=1, max_value=12),
+    density=st.floats(min_value=0.0, max_value=1.0),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_property_all_three_agree(n, d_cols, density, seed):
+    rng = np.random.default_rng(seed)
+    matrix = sp.random(
+        n, d_cols, density=density, random_state=seed % 2**31, format="csr"
+    )
+    mean = rng.normal(size=d_cols)
+    reference = frobenius_centered_dense(matrix, mean)
+    assert frobenius_simple(matrix, mean) == pytest.approx(reference, abs=1e-8)
+    assert frobenius_sparse(matrix, mean) == pytest.approx(reference, abs=1e-8)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+def test_property_norm_nonnegative(seed):
+    rng = np.random.default_rng(seed)
+    matrix = sp.random(8, 6, density=0.5, random_state=seed % 2**31, format="csr")
+    mean = rng.normal(size=6)
+    assert frobenius_sparse(matrix, mean) >= -1e-12

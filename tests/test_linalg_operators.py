@@ -1,0 +1,65 @@
+"""The mean-propagated CenteredOperator."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.errors import ShapeError
+from repro.linalg.operators import CenteredOperator
+
+
+@pytest.fixture
+def matrix():
+    return sp.random(60, 18, density=0.25, random_state=1, format="csr")
+
+
+@pytest.fixture
+def centered(matrix):
+    dense = np.asarray(matrix.todense())
+    return dense - dense.mean(axis=0)
+
+
+def test_matvec_matches_dense(matrix, centered):
+    rng = np.random.default_rng(0)
+    vec = rng.normal(size=18)
+    operator = CenteredOperator(matrix)
+    np.testing.assert_allclose(operator.matvec(vec), centered @ vec, atol=1e-12)
+
+
+def test_rmatvec_matches_dense(matrix, centered):
+    rng = np.random.default_rng(1)
+    vec = rng.normal(size=60)
+    operator = CenteredOperator(matrix)
+    np.testing.assert_allclose(operator.rmatvec(vec), centered.T @ vec, atol=1e-12)
+
+
+def test_matmat_matches_dense(matrix, centered):
+    rng = np.random.default_rng(2)
+    mat = rng.normal(size=(18, 4))
+    operator = CenteredOperator(matrix)
+    np.testing.assert_allclose(operator @ mat, centered @ mat, atol=1e-12)
+
+
+def test_explicit_mean_accepted(matrix, centered):
+    mean = np.asarray(matrix.todense()).mean(axis=0)
+    operator = CenteredOperator(matrix, mean)
+    vec = np.ones(18)
+    np.testing.assert_allclose(operator.matvec(vec), centered @ vec, atol=1e-12)
+
+
+def test_top_singular_subspace_matches_dense_svd(matrix, centered):
+    operator = CenteredOperator(matrix)
+    u, s, vt = operator.top_singular_subspace(3)
+    s_exact = np.linalg.svd(centered, compute_uv=False)
+    np.testing.assert_allclose(s, s_exact[:3], rtol=1e-8)
+    assert np.all(np.diff(s) <= 1e-10)
+    np.testing.assert_allclose(u.T @ u, np.eye(3), atol=1e-8)
+
+
+def test_validation(matrix):
+    with pytest.raises(ShapeError):
+        CenteredOperator(matrix, np.zeros(5))
+    with pytest.raises(ShapeError):
+        CenteredOperator(matrix).top_singular_subspace(0)
+    with pytest.raises(ShapeError):
+        CenteredOperator(matrix).top_singular_subspace(100)

@@ -1,0 +1,69 @@
+"""Column statistics and row sampling."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.errors import ShapeError
+from repro.linalg import column_means, column_sums, sample_rows
+
+
+def test_column_means_sparse():
+    matrix = sp.csr_matrix(np.array([[1.0, 0.0], [3.0, 2.0]]))
+    np.testing.assert_allclose(column_means(matrix), [2.0, 1.0])
+
+
+def test_column_means_dense():
+    matrix = np.array([[1.0, 2.0], [3.0, 4.0], [5.0, 6.0]])
+    np.testing.assert_allclose(column_means(matrix), [3.0, 4.0])
+
+
+def test_column_sums_matches_numpy():
+    rng = np.random.default_rng(2)
+    matrix = rng.normal(size=(12, 5))
+    np.testing.assert_allclose(column_sums(matrix), matrix.sum(axis=0))
+
+
+def test_column_means_empty_raises():
+    with pytest.raises(ShapeError):
+        column_means(np.empty((0, 3)))
+
+
+def test_sample_rows_fraction_bounds():
+    rng = np.random.default_rng(0)
+    matrix = np.arange(20.0).reshape(10, 2)
+    with pytest.raises(ShapeError):
+        sample_rows(matrix, 0.0, rng)
+    with pytest.raises(ShapeError):
+        sample_rows(matrix, 1.5, rng)
+
+
+def test_sample_rows_returns_subset_of_rows():
+    rng = np.random.default_rng(3)
+    matrix = np.arange(40.0).reshape(20, 2)
+    sampled = sample_rows(matrix, 0.25, rng)
+    assert sampled.shape == (5, 2)
+    original_rows = {tuple(row) for row in matrix}
+    assert all(tuple(row) in original_rows for row in sampled)
+
+
+def test_sample_rows_full_fraction_is_everything():
+    rng = np.random.default_rng(4)
+    matrix = np.arange(12.0).reshape(6, 2)
+    sampled = sample_rows(matrix, 1.0, rng)
+    np.testing.assert_allclose(sampled, matrix)
+
+
+def test_sample_rows_at_least_one():
+    rng = np.random.default_rng(5)
+    matrix = np.arange(8.0).reshape(4, 2)
+    sampled = sample_rows(matrix, 0.01, rng)
+    assert sampled.shape[0] == 1
+
+
+def test_sample_rows_sparse_stays_sparse():
+    rng = np.random.default_rng(6)
+    matrix = sp.random(30, 6, density=0.3, random_state=1, format="csr")
+    sampled = sample_rows(matrix, 0.5, rng)
+    assert sp.issparse(sampled)
+    assert sampled.shape == (15, 6)

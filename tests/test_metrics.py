@@ -1,0 +1,133 @@
+"""Accuracy and subspace metrics."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.errors import ShapeError
+from repro.metrics import (
+    accuracy_from_error,
+    ideal_accuracy,
+    percent_of_ideal,
+    reconstruction_error,
+    subspace_angle_degrees,
+)
+from repro.metrics.subspace import explained_variance_ratio
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(31)
+
+
+def test_perfect_components_give_zero_error(rng):
+    # Rank-2 data reconstructed with its own top-2 basis has ~zero error.
+    factors = rng.normal(size=(100, 2))
+    loadings = rng.normal(size=(2, 10))
+    data = factors @ loadings
+    centered = data - data.mean(axis=0)
+    _, _, vt = np.linalg.svd(centered, full_matrices=False)
+    error = reconstruction_error(data, vt[:2].T)
+    assert error < 1e-8
+
+
+def test_error_is_scale_invariant(rng):
+    data = rng.normal(size=(50, 8)) + 3.0
+    components = rng.normal(size=(8, 2))
+    assert reconstruction_error(data * 7.0, components) == pytest.approx(
+        reconstruction_error(data, components), rel=1e-9
+    )
+
+
+def test_error_sampling_requires_rng(rng):
+    data = rng.normal(size=(20, 5))
+    with pytest.raises(ShapeError):
+        reconstruction_error(data, rng.normal(size=(5, 2)), sample_fraction=0.5)
+
+
+def test_error_component_shape_check(rng):
+    with pytest.raises(ShapeError):
+        reconstruction_error(rng.normal(size=(10, 5)), rng.normal(size=(4, 2)))
+
+
+def test_ideal_accuracy_beats_random_components(rng):
+    data = rng.normal(size=(200, 12)) @ rng.normal(size=(12, 12))
+    ideal = ideal_accuracy(data, 3)
+    random_accuracy = accuracy_from_error(
+        reconstruction_error(data, rng.normal(size=(12, 3)))
+    )
+    assert ideal > random_accuracy
+
+
+def test_ideal_accuracy_sparse(rng):
+    # Unstructured sparse noise has no good rank-5 approximation, so the
+    # ideal accuracy is low -- but it must still beat random components.
+    matrix = sp.random(150, 40, density=0.2, random_state=3, format="csr")
+    ideal = ideal_accuracy(matrix, 5)
+    assert ideal <= 1.0
+    random_accuracy = accuracy_from_error(
+        reconstruction_error(matrix, rng.normal(size=(40, 5)))
+    )
+    assert ideal > random_accuracy
+
+
+def test_ideal_accuracy_component_budget(rng):
+    with pytest.raises(ShapeError):
+        ideal_accuracy(rng.normal(size=(4, 10)), 4)
+
+
+def test_percent_of_ideal():
+    assert percent_of_ideal(0.45, 0.5) == pytest.approx(90.0)
+    with pytest.raises(ShapeError):
+        percent_of_ideal(0.5, 0.0)
+
+
+def test_subspace_angle_identical_is_zero(rng):
+    basis = np.linalg.qr(rng.normal(size=(10, 3)))[0]
+    assert subspace_angle_degrees(basis, basis) == pytest.approx(0.0, abs=1e-6)
+
+
+def test_subspace_angle_orthogonal_is_ninety():
+    a = np.eye(6)[:, :2]
+    b = np.eye(6)[:, 2:4]
+    assert subspace_angle_degrees(a, b) == pytest.approx(90.0)
+
+
+def test_subspace_angle_rotation_invariant(rng):
+    basis = rng.normal(size=(12, 4))
+    rotation = np.linalg.qr(rng.normal(size=(4, 4)))[0]
+    assert subspace_angle_degrees(basis, basis @ rotation) == pytest.approx(0.0, abs=1e-4)
+
+
+def test_subspace_angle_dimension_mismatch(rng):
+    with pytest.raises(ShapeError):
+        subspace_angle_degrees(rng.normal(size=(5, 2)), rng.normal(size=(6, 2)))
+
+
+def test_explained_variance_ratio():
+    ratios = explained_variance_ratio(10.0, np.array([5.0, 3.0]))
+    np.testing.assert_allclose(ratios, [0.5, 0.3])
+    with pytest.raises(ShapeError):
+        explained_variance_ratio(0.0, np.array([1.0]))
+
+
+class TestInducedNormProperties:
+    def test_error_dominated_by_heaviest_column(self, rng):
+        # Construct data where one column carries almost all the mass; the
+        # induced 1-norm error is governed by that column's reconstruction.
+        data = rng.normal(size=(100, 6)) * 0.01
+        data[:, 2] += 10.0
+        components = np.zeros((6, 2))
+        components[2, 0] = 1.0  # reconstructs the heavy column exactly
+        components[0, 1] = 1.0
+        error = reconstruction_error(data, components)
+        assert error < 0.05
+
+    def test_projection_is_scale_invariant_in_components(self, rng):
+        # The least-squares projection depends only on span(C), so scaling
+        # C leaves the error unchanged.
+        data = rng.normal(size=(60, 8))
+        components = rng.normal(size=(8, 3))
+        assert reconstruction_error(data, components) == pytest.approx(
+            reconstruction_error(data, 1e-6 * components), rel=1e-9
+        )

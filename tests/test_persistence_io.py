@@ -1,0 +1,123 @@
+"""Model persistence and dataset IO round trips."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.core import fit_ppca
+from repro.core.persistence import load_model, save_model
+from repro.data.io import (
+    load_matrix,
+    read_sparse_rows,
+    rows_to_hdfs_records,
+    save_matrix,
+    write_sparse_rows,
+)
+from repro.errors import ShapeError
+
+
+@pytest.fixture
+def model():
+    rng = np.random.default_rng(0)
+    data = rng.normal(size=(100, 12)) @ rng.normal(size=(12, 12))
+    return fit_ppca(data, 3, max_iterations=20, seed=1)
+
+
+class TestModelPersistence:
+    def test_round_trip(self, model, tmp_path):
+        path = save_model(model, tmp_path / "model")
+        restored = load_model(path)
+        np.testing.assert_allclose(restored.components, model.components)
+        np.testing.assert_allclose(restored.mean, model.mean)
+        assert restored.noise_variance == pytest.approx(model.noise_variance)
+        assert restored.n_samples == model.n_samples
+
+    def test_appends_npz_suffix(self, model, tmp_path):
+        path = save_model(model, tmp_path / "model")
+        assert path.suffix == ".npz"
+
+    def test_restored_model_transforms_identically(self, model, tmp_path):
+        rng = np.random.default_rng(2)
+        data = rng.normal(size=(10, model.n_features))
+        restored = load_model(save_model(model, tmp_path / "m"))
+        np.testing.assert_allclose(restored.transform(data), model.transform(data))
+
+    def test_missing_fields_rejected(self, tmp_path):
+        bogus = tmp_path / "bogus.npz"
+        np.savez(bogus, components=np.ones((3, 2)))
+        with pytest.raises(ShapeError):
+            load_model(bogus)
+
+    def test_future_version_rejected(self, model, tmp_path):
+        path = save_model(model, tmp_path / "m")
+        with np.load(path) as archive:
+            fields = dict(archive)
+        fields["format_version"] = np.int64(999)
+        np.savez(path, **fields)
+        with pytest.raises(ShapeError):
+            load_model(path)
+
+
+class TestMatrixIO:
+    def test_dense_round_trip(self, tmp_path):
+        matrix = np.random.default_rng(3).normal(size=(20, 7))
+        restored = load_matrix(save_matrix(matrix, tmp_path / "dense"))
+        np.testing.assert_allclose(restored, matrix)
+
+    def test_sparse_round_trip(self, tmp_path):
+        matrix = sp.random(40, 25, density=0.15, random_state=4, format="csr")
+        restored = load_matrix(save_matrix(matrix, tmp_path / "sparse"))
+        assert sp.issparse(restored)
+        assert (restored != matrix).nnz == 0
+
+    def test_unknown_archive_rejected(self, tmp_path):
+        bogus = tmp_path / "x.npz"
+        np.savez(bogus, whatever=np.ones(3))
+        with pytest.raises(ShapeError):
+            load_matrix(bogus)
+
+
+class TestSparseRowText:
+    def test_round_trip(self, tmp_path):
+        matrix = sp.random(15, 9, density=0.3, random_state=5, format="csr")
+        path = write_sparse_rows(matrix, tmp_path / "rows.txt")
+        restored = read_sparse_rows(path)
+        np.testing.assert_allclose(
+            np.asarray(restored.todense()), np.asarray(matrix.todense())
+        )
+
+    def test_dense_input_round_trips(self, tmp_path):
+        matrix = np.arange(12.0).reshape(3, 4)
+        restored = read_sparse_rows(write_sparse_rows(matrix, tmp_path / "d.txt"))
+        np.testing.assert_allclose(np.asarray(restored.todense()), matrix)
+
+    def test_empty_rows_preserved(self, tmp_path):
+        matrix = sp.csr_matrix(np.array([[0.0, 1.0], [0.0, 0.0], [2.0, 0.0]]))
+        restored = read_sparse_rows(write_sparse_rows(matrix, tmp_path / "e.txt"))
+        assert restored.shape == (3, 2)
+        assert restored[1].nnz == 0
+
+    def test_missing_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("0:1.0\n")
+        with pytest.raises(ShapeError):
+            read_sparse_rows(path)
+
+    def test_malformed_entry_rejected(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("# rows=1 cols=2\nnot-a-pair\n")
+        with pytest.raises(ShapeError):
+            read_sparse_rows(path)
+
+    def test_row_count_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("# rows=3 cols=2\n0:1\n")
+        with pytest.raises(ShapeError):
+            read_sparse_rows(path)
+
+
+def test_rows_to_hdfs_records():
+    matrix = sp.random(10, 4, density=0.5, random_state=6, format="csr")
+    records = list(rows_to_hdfs_records(matrix, 3))
+    assert [start for start, _ in records] == sorted(start for start, _ in records)
+    assert sum(block.shape[0] for _, block in records) == 10
