@@ -18,7 +18,7 @@ import scipy.sparse as sp
 from repro.backends.base import Backend
 from repro.core.config import SPCAConfig
 from repro.engine.serde import sizeof
-from repro.engine.spark.context import SparkContext
+from repro.engine.spark.context import Broadcast, SparkContext
 from repro.jobs import kernels
 from repro.linalg.blocks import Matrix, partition_rows
 from repro.linalg.stats import sample_rows
@@ -71,44 +71,53 @@ class SparkBackend(Backend):
         self.context.run_job(rdd, run, name="meanJob")
         return sums.value / count.value
 
-    def frobenius_centered(self, rdd, mean) -> float:
+    def frobenius_centered(self, rdd, mean: np.ndarray) -> float:
         efficient = self.config.use_efficient_frobenius
+        bc_mean = self.context.broadcast(mean)
         total = self.context.accumulator(0.0)
 
         def run(partition):
             for _, block in partition:
-                total.add(kernels.block_frobenius(block, mean, efficient))
+                total.add(kernels.block_frobenius(block, bc_mean.value, efficient))
 
         self.context.run_job(rdd, run, name="FnormJob")
         return float(total.value)
 
-    def ytx_xtx(self, rdd, mean, projector, latent_mean):
+    def ytx_xtx(
+        self,
+        rdd,
+        mean: np.ndarray,
+        projector: np.ndarray,
+        latent_mean: np.ndarray,
+    ):
         mean_prop = self.config.use_mean_propagation
         d = projector.shape[1]
         n_cols = mean.shape[0]
         bc_projector = self.context.broadcast(projector)
         bc_mean = self.context.broadcast(mean)
+        bc_latent_mean = self.context.broadcast(latent_mean)
         ytx_data = self.context.accumulator(np.zeros((n_cols, d)), _add_maybe_sparse)
         latent_colsum = self.context.accumulator(np.zeros(d))
         xtx_sum = self.context.accumulator(np.zeros((d, d)))
 
-        latent_rdd = self._latent_for(rdd, mean, projector, latent_mean)
+        latent_rdd = self._latent_for(rdd, bc_mean, bc_projector, bc_latent_mean)
 
         def run_with_latent(partition, latent_partition):
             for (_, block), (_, latent) in zip(partition, latent_partition):
                 self._accumulate_ytx(
                     block, latent, bc_projector.value, bc_mean.value,
-                    latent_mean, mean_prop, ytx_data, latent_colsum, xtx_sum,
+                    bc_latent_mean.value, mean_prop, ytx_data, latent_colsum, xtx_sum,
                 )
 
         def run(partition):
             for _, block in partition:
                 latent = kernels.block_latent(
-                    block, bc_mean.value, bc_projector.value, latent_mean, mean_prop
+                    block, bc_mean.value, bc_projector.value,
+                    bc_latent_mean.value, mean_prop,
                 )
                 self._accumulate_ytx(
                     block, latent, bc_projector.value, bc_mean.value,
-                    latent_mean, mean_prop, ytx_data, latent_colsum, xtx_sum,
+                    bc_latent_mean.value, mean_prop, ytx_data, latent_colsum, xtx_sum,
                 )
 
         if latent_rdd is not None:
@@ -123,15 +132,25 @@ class SparkBackend(Backend):
         self.context.driver.transient(sizeof(ytx) + sizeof(xtx_sum.value), "YtX/XtX")
         return ytx, xtx_sum.value
 
-    def ss3(self, rdd, mean, projector, latent_mean, components) -> float:
+    def ss3(
+        self,
+        rdd,
+        mean: np.ndarray,
+        projector: np.ndarray,
+        latent_mean: np.ndarray,
+        components: np.ndarray,
+    ) -> float:
         mean_prop = self.config.use_mean_propagation
+        bc_mean = self.context.broadcast(mean)
+        bc_projector = self.context.broadcast(projector)
+        bc_latent_mean = self.context.broadcast(latent_mean)
         bc_components = self.context.broadcast(components)
         total = self.context.accumulator(0.0)
-        latent_rdd = self._latent_for(rdd, mean, projector, latent_mean)
+        latent_rdd = self._latent_for(rdd, bc_mean, bc_projector, bc_latent_mean)
 
         def partial(block, latent):
             return kernels.block_ss3(
-                block, mean, projector, latent_mean,
+                block, bc_mean.value, bc_projector.value, bc_latent_mean.value,
                 bc_components.value, mean_prop, latent=latent,
             )
 
@@ -154,9 +173,18 @@ class SparkBackend(Backend):
         self._drop_latent()
         return float(total.value)
 
-    def reconstruction_error(self, rdd, mean, components, sample_fraction, rng) -> float:
+    def reconstruction_error(
+        self,
+        rdd,
+        mean: np.ndarray,
+        components: np.ndarray,
+        sample_fraction: float,
+        rng,
+    ) -> float:
         ls_projector = components @ np.linalg.inv(components.T @ components)
         bc_components = self.context.broadcast(components)
+        bc_ls_projector = self.context.broadcast(ls_projector)
+        bc_mean = self.context.broadcast(mean)
         residual = self.context.accumulator(np.zeros(mean.shape[0]))
         magnitude = self.context.accumulator(np.zeros(mean.shape[0]))
         seed = int(rng.integers(2**31))
@@ -169,7 +197,8 @@ class SparkBackend(Backend):
                         block, sample_fraction, np.random.default_rng((seed, start))
                     )
                 parts = kernels.block_error_parts(
-                    block, mean, bc_components.value, ls_projector, mean_prop
+                    block, bc_mean.value, bc_components.value,
+                    bc_ls_projector.value, mean_prop,
                 )
                 residual.add(parts[0])
                 magnitude.add(parts[1])
@@ -206,11 +235,22 @@ class SparkBackend(Backend):
             ytx_data.add(ytx)
         xtx_sum.add(latent.T @ latent)
 
-    def _latent_for(self, rdd, mean, projector, latent_mean):
-        """Materialized-X ablation: cache X as its own RDD and reuse it."""
+    def _latent_for(
+        self,
+        rdd,
+        bc_mean: Broadcast,
+        bc_projector: Broadcast,
+        bc_latent_mean: Broadcast,
+    ):
+        """Materialized-X ablation: cache X as its own RDD and reuse it.
+
+        Receives the model matrices as :class:`Broadcast` handles so the map
+        closure ships a node-wide reference rather than a per-task copy
+        (Section 4.3 -- and what DF001 enforces).
+        """
         if self.config.use_x_recomputation:
             return None
-        key = projector.tobytes()
+        key = bc_projector.value.tobytes()
         if self._latent_key != key:
             mean_prop = self.config.use_mean_propagation
             self._drop_latent()
@@ -218,7 +258,8 @@ class SparkBackend(Backend):
                 lambda record: (
                     record[0],
                     kernels.block_latent(
-                        record[1], mean, projector, latent_mean, mean_prop
+                        record[1], bc_mean.value, bc_projector.value,
+                        bc_latent_mean.value, mean_prop,
                     ),
                 )
             ).cache()

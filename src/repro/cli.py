@@ -91,6 +91,20 @@ def build_parser() -> argparse.ArgumentParser:
     info = commands.add_parser("info", help="describe a model or matrix archive")
     info.add_argument("path")
 
+    lint = commands.add_parser(
+        "lint", help="run the repro-lint dataflow static analysis"
+    )
+    lint.add_argument("paths", nargs="*", default=["src/repro"])
+    lint.add_argument("--select", help="comma-separated rule codes to run")
+    lint.add_argument("--list-rules", action="store_true")
+    lint.add_argument("-q", "--quiet", action="store_true")
+
+    for fitting in (fit, bench):
+        fitting.add_argument(
+            "--check-contracts", action="store_true",
+            help="enforce runtime shape contracts on every kernel call",
+        )
+
     return parser
 
 
@@ -118,7 +132,15 @@ def _cmd_generate(args) -> int:
     return 0
 
 
+def _maybe_check_contracts(args) -> None:
+    if getattr(args, "check_contracts", False):
+        from repro.lint import contracts
+
+        contracts.enable()
+
+
 def _cmd_fit(args) -> int:
+    _maybe_check_contracts(args)
     matrix = load_matrix(args.input)
     config = SPCAConfig(
         n_components=args.components,
@@ -190,6 +212,7 @@ def _cmd_select(args) -> int:
 
 def _cmd_bench(args) -> int:
     """One-row Table 2: time the four implementations on *input*."""
+    _maybe_check_contracts(args)
     from repro.backends import MapReduceBackend, SparkBackend
     from repro.baselines import CovariancePCA, SSVDPCAMapReduce
     from repro.engine.mapreduce.runtime import MapReduceRuntime
@@ -229,6 +252,19 @@ def _cmd_bench(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    from repro.lint import cli as lint_cli
+
+    argv = list(args.paths)
+    if args.select:
+        argv += ["--select", args.select]
+    if args.list_rules:
+        argv.append("--list-rules")
+    if args.quiet:
+        argv.append("--quiet")
+    return lint_cli.main(argv)
+
+
 def _cmd_info(args) -> int:
     with np.load(args.path, allow_pickle=False) as archive:
         fields = set(archive.files)
@@ -256,6 +292,7 @@ _COMMANDS = {
     "select": _cmd_select,
     "bench": _cmd_bench,
     "info": _cmd_info,
+    "lint": _cmd_lint,
 }
 
 

@@ -26,7 +26,7 @@ class TaskContext:
     job_name: str
     task_id: int
     config: dict[str, Any] = field(default_factory=dict)
-    counters: Counter = field(default_factory=Counter)
+    counters: Counter[str] = field(default_factory=Counter)
 
     def increment(self, counter: str, amount: int = 1) -> None:
         self.counters[counter] += amount

@@ -11,6 +11,8 @@ reports: 961 GB vs 131 MB) are preserved.
 
 from __future__ import annotations
 
+from typing import Iterable
+
 import numpy as np
 import scipy.sparse as sp
 
@@ -19,7 +21,7 @@ _SCALAR_BYTES = 8
 _CONTAINER_OVERHEAD = 8
 
 
-def sizeof(value) -> int:
+def sizeof(value: object) -> int:
     """Estimated serialized size of *value* in bytes."""
     if value is None:
         return 1
@@ -51,6 +53,6 @@ def sizeof(value) -> int:
     return len(repr(value)) + _CONTAINER_OVERHEAD
 
 
-def sizeof_pairs(pairs) -> int:
+def sizeof_pairs(pairs: Iterable[tuple[object, object]]) -> int:
     """Total serialized size of an iterable of (key, value) records."""
     return sum(sizeof(key) + sizeof(value) for key, value in pairs)

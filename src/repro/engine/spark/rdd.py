@@ -14,10 +14,13 @@ again from its ancestry.
 from __future__ import annotations
 
 import zlib
-from typing import Any, Callable, Iterable
+from typing import TYPE_CHECKING, Any, Callable, Iterable
 
 from repro.engine.serde import sizeof
 from repro.errors import InvalidPlanError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
+    from repro.engine.spark.context import SparkContext
 
 
 def _hash_partition(key: Any, num_partitions: int) -> int:
@@ -29,7 +32,7 @@ class RDD:
 
     def __init__(
         self,
-        context,
+        context: SparkContext,
         num_partitions: int,
         compute: Callable[[int, Any], list],
         parents: tuple["RDD", ...] = (),
@@ -44,7 +47,7 @@ class RDD:
     # -- construction ------------------------------------------------------
 
     @classmethod
-    def _from_partitions(cls, context, partitions: list[list]) -> "RDD":
+    def _from_partitions(cls, context: SparkContext, partitions: list[list]) -> "RDD":
         data = [list(p) for p in partitions]
         return cls(context, len(data), lambda split, stats: list(data[split]))
 

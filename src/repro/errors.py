@@ -20,6 +20,19 @@ class ConvergenceError(ReproError, RuntimeError):
     """An iterative solver failed to converge within its iteration budget."""
 
 
+class ContractViolationError(ShapeError):
+    """A runtime shape/dtype contract on a kernel was violated.
+
+    Subclasses :class:`ShapeError` so callers that guard kernel calls with
+    ``except ShapeError`` keep working whether the contract layer or the
+    kernel's own validation trips first.
+    """
+
+
+class CombinerAlgebraError(ReproError, AssertionError):
+    """A registered combiner failed its commutativity/associativity check."""
+
+
 class EngineError(ReproError, RuntimeError):
     """Base class for distributed-engine failures."""
 

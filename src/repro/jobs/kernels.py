@@ -21,6 +21,7 @@ from repro.linalg.blocks import Matrix, is_sparse
 from repro.linalg.centered import centered_times, centered_transpose_times
 from repro.linalg.frobenius import frobenius_simple, frobenius_sparse
 from repro.linalg.multiply import xcy_block
+from repro.lint.contracts import contract
 
 
 def _densify_centered(block: Matrix, mean: np.ndarray) -> np.ndarray:
@@ -28,12 +29,14 @@ def _densify_centered(block: Matrix, mean: np.ndarray) -> np.ndarray:
     return dense - mean
 
 
+@contract(block="matrix (b, D)", ret=("dense (D,)", "int"))
 def block_sums(block: Matrix) -> tuple[np.ndarray, int]:
     """meanJob map side: (column sums, row count) for one block."""
     sums = np.asarray(block.sum(axis=0), dtype=np.float64).ravel()
     return sums, block.shape[0]
 
 
+@contract(block="matrix (b, D)", mean="dense (D,)", ret="scalar")
 def block_frobenius(block: Matrix, mean: np.ndarray, efficient: bool) -> float:
     """FnormJob map side: this block's share of ``||Yc||_F^2``.
 
@@ -45,6 +48,13 @@ def block_frobenius(block: Matrix, mean: np.ndarray, efficient: bool) -> float:
     return frobenius_simple(block, mean)
 
 
+@contract(
+    block="matrix (b, D)",
+    mean="dense (D,)",
+    projector="dense (D, d)",
+    latent_mean="dense (d,)",
+    ret="dense (b, d)",
+)
 def block_latent(
     block: Matrix,
     mean: np.ndarray,
@@ -63,6 +73,14 @@ def block_latent(
     return _densify_centered(block, mean) @ projector
 
 
+@contract(
+    block="matrix (b, D)",
+    mean="dense (D,)",
+    projector="dense (D, d)",
+    latent_mean="dense (d,)",
+    latent="dense (b, d)",
+    ret=("dense (D, d)", "dense (d, d)"),
+)
 def block_ytx_xtx(
     block: Matrix,
     mean: np.ndarray,
@@ -87,6 +105,15 @@ def block_ytx_xtx(
     return ytx, xtx
 
 
+@contract(
+    block="matrix (b, D)",
+    mean="dense (D,)",
+    projector="dense (D, d)",
+    latent_mean="dense (d,)",
+    components="dense (D, d)",
+    latent="dense (b, d)",
+    ret="scalar",
+)
 def block_ss3(
     block: Matrix,
     mean: np.ndarray,
@@ -111,6 +138,13 @@ def block_ss3(
     return xcy_block(latent, components, _densify_centered(block, mean))
 
 
+@contract(
+    block="matrix (b, D)",
+    mean="dense (D,)",
+    components="dense (D, d)",
+    ls_projector="dense (D, d)",
+    ret=("dense (D,)", "dense (D,)"),
+)
 def block_error_parts(
     block: Matrix,
     mean: np.ndarray,
@@ -139,16 +173,19 @@ def block_error_parts(
     return residual_colsums, magnitude_colsums
 
 
+@contract(residual_colsums="dense (D,)", magnitude_colsums="dense (D,)", ret="scalar")
 def error_from_colsums(residual_colsums: np.ndarray, magnitude_colsums: np.ndarray) -> float:
     """Final induced-1-norm error from the summed per-column vectors."""
     return float(residual_colsums.max()) / max(float(magnitude_colsums.max()), 1e-300)
 
 
+@contract(latent="dense (b, d)", ret="int")
 def latent_block_bytes(latent: np.ndarray) -> int:
     """Bytes a materialized X block would occupy as intermediate data."""
     return int(np.asarray(latent).nbytes)
 
 
+@contract(block="matrix (b, D)", ret="int")
 def densified_bytes(block: Matrix) -> int:
     """Bytes of the dense centered copy the no-mean-propagation path builds."""
     rows, cols = block.shape

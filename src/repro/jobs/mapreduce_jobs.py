@@ -162,7 +162,9 @@ class NaiveYtXMapper(YtXMapper):
     mappers produced 4 TB of output on the Tweets dataset (Section 5.2).
     """
 
-    def map(self, key, value, ctx):
+    # Per-record emission is the entire point of this ablation: it models
+    # the pre-optimization dataflow that YtXMapper's cleanup combiner fixes.
+    def map(self, key, value, ctx):  # repro-lint: disable=DF004
         block, latent = _split_value(value)
         ytx, xtx = kernels.block_ytx_xtx(
             block,

@@ -53,7 +53,10 @@ class BtMapper(Mapper):
     def setup(self, ctx):
         self.q_colsum = None
 
-    def map(self, key, value, ctx):
+    # Mirrors Mahout SSVD's BtJob, which emits one rank-1 partial per input
+    # row and leans on the platform combiner -- kept per-record on purpose so
+    # the baseline's intermediate-data volume matches the system it models.
+    def map(self, key, value, ctx):  # repro-lint: disable=DF004
         import scipy.sparse as sp
 
         q_block, a_block = value

@@ -21,6 +21,7 @@ import scipy.sparse as sp
 
 from repro.errors import ShapeError
 from repro.linalg.blocks import Matrix
+from repro.lint.contracts import contract
 
 
 def _check_mean(matrix: Matrix, mean: np.ndarray) -> np.ndarray:
@@ -40,6 +41,7 @@ def centered_row(row: Matrix, mean: np.ndarray) -> np.ndarray:
     return dense - mean
 
 
+@contract(matrix="matrix (b, D)", mean="dense (D,)", right="dense (D, d)", ret="dense (b, d)")
 def centered_times(matrix: Matrix, mean: np.ndarray, right: np.ndarray) -> np.ndarray:
     """Compute ``(Y - 1*Ym') * right`` without densifying Y.
 
@@ -64,6 +66,7 @@ def centered_times(matrix: Matrix, mean: np.ndarray, right: np.ndarray) -> np.nd
     return product - correction
 
 
+@contract(matrix="matrix (b, D)", mean="dense (D,)", right="dense (b, d)", ret="dense (D, d)")
 def centered_transpose_times(
     matrix: Matrix, mean: np.ndarray, right: np.ndarray
 ) -> np.ndarray:
@@ -92,6 +95,7 @@ def centered_transpose_times(
     return product - np.outer(mean, right.sum(axis=0))
 
 
+@contract(matrix="matrix (b, D)", mean="dense (D,)", ret="dense (D, D)")
 def centered_gram(matrix: Matrix, mean: np.ndarray) -> np.ndarray:
     """Compute the Gramian ``Yc' * Yc`` of the centered matrix.
 

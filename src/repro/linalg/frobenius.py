@@ -23,6 +23,7 @@ import scipy.sparse as sp
 
 from repro.errors import ShapeError
 from repro.linalg.blocks import Matrix
+from repro.lint.contracts import contract
 
 
 def _check(matrix: Matrix, mean: np.ndarray) -> np.ndarray:
@@ -35,6 +36,7 @@ def _check(matrix: Matrix, mean: np.ndarray) -> np.ndarray:
     return mean
 
 
+@contract(matrix="matrix (b, D)", mean="dense (D,)", ret="scalar")
 def frobenius_centered_dense(matrix: Matrix, mean: np.ndarray) -> float:
     """Reference implementation: materialize ``Yc`` and take its norm."""
     mean = _check(matrix, mean)
@@ -43,6 +45,7 @@ def frobenius_centered_dense(matrix: Matrix, mean: np.ndarray) -> float:
     return float(np.sum(centered * centered))
 
 
+@contract(matrix="matrix (b, D)", mean="dense (D,)", ret="scalar")
 def frobenius_simple(matrix: Matrix, mean: np.ndarray) -> float:
     """Algorithm 2: row-at-a-time centering with a dense scratch row.
 
@@ -63,6 +66,7 @@ def frobenius_simple(matrix: Matrix, mean: np.ndarray) -> float:
     return total
 
 
+@contract(matrix="matrix (b, D)", mean="dense (D,)", ret="scalar")
 def frobenius_sparse(matrix: Matrix, mean: np.ndarray) -> float:
     """Algorithm 3: Frobenius norm touching only non-zero elements.
 

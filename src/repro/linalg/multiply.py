@@ -26,8 +26,10 @@ import scipy.sparse as sp
 
 from repro.errors import ShapeError
 from repro.linalg.blocks import Matrix
+from repro.lint.contracts import contract
 
 
+@contract(block="matrix (b, D)", small="dense (D, d)", ret="dense (b, d)")
 def broadcast_times(block: Matrix, small: np.ndarray) -> np.ndarray:
     """Multiply a distributed row block by a broadcast in-memory matrix.
 
@@ -75,6 +77,7 @@ def transpose_times_accumulate(blocks, right_blocks) -> np.ndarray:
     return total
 
 
+@contract(components="dense (D, d)", ret="scalar")
 def xcy_associative(x_row: np.ndarray, components: np.ndarray, y_row: Matrix) -> float:
     """Compute ``x * C' * y'`` exploiting associativity (Equation 3).
 
@@ -115,6 +118,12 @@ def xcy_associative(x_row: np.ndarray, components: np.ndarray, y_row: Matrix) ->
     return float(x_row @ projected)
 
 
+@contract(
+    x_block="dense (b, d)",
+    components="dense (D, d)",
+    y_block="matrix (b, D)",
+    ret="scalar",
+)
 def xcy_block(x_block: np.ndarray, components: np.ndarray, y_block: Matrix) -> float:
     """Vectorized form of :func:`xcy_associative` over a whole row block.
 

@@ -7,14 +7,17 @@ import scipy.sparse as sp
 
 from repro.errors import ShapeError
 from repro.linalg.blocks import Matrix
+from repro.lint.contracts import contract
 
 
+@contract(matrix="matrix (b, D)", ret="dense (D,)")
 def column_sums(matrix: Matrix) -> np.ndarray:
     """Column sums of a sparse or dense matrix as a dense float vector."""
     sums = matrix.sum(axis=0)
     return np.asarray(sums, dtype=np.float64).ravel()
 
 
+@contract(matrix="matrix (b, D)", ret="dense (D,)")
 def column_means(matrix: Matrix) -> np.ndarray:
     """Column means ``Ym`` of the input matrix.
 
@@ -27,6 +30,7 @@ def column_means(matrix: Matrix) -> np.ndarray:
     return column_sums(matrix) / n_rows
 
 
+@contract(matrix="matrix (b, D)", fraction="scalar", ret="matrix")
 def sample_rows(matrix: Matrix, fraction: float, rng: np.random.Generator) -> Matrix:
     """Select a uniform random subset of rows (without replacement).
 

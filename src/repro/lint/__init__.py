@@ -1,0 +1,36 @@
+"""repro.lint: distributed-dataflow static analysis + shape contracts.
+
+The paper's four optimizations exist because naive dataflow patterns silently
+destroy performance and correctness on distributed platforms.  This package
+makes those patterns mechanically checkable:
+
+- :mod:`repro.lint.analyzer` / ``repro-lint`` -- AST rules DF001-DF005 (plus
+  the CT001 contract cross-check) over job classes and RDD pipelines;
+- :mod:`repro.lint.contracts` -- ``@contract`` runtime shape/kind checking
+  for every distributed kernel, off by default, enabled in tests;
+- :mod:`repro.lint.algebra` -- dynamic commutativity/associativity
+  verification for registered combiners (the runtime half of DF002).
+"""
+
+from __future__ import annotations
+
+from repro.lint import contracts
+from repro.lint.analyzer import iter_python_files, lint_paths, lint_source
+from repro.lint.contracts import Spec, contract, parse_spec
+from repro.lint.findings import Finding, format_findings
+from repro.lint.rules import RULES, Rule, get_rule
+
+__all__ = [
+    "RULES",
+    "Finding",
+    "Rule",
+    "Spec",
+    "contract",
+    "contracts",
+    "format_findings",
+    "get_rule",
+    "iter_python_files",
+    "lint_paths",
+    "lint_source",
+    "parse_spec",
+]

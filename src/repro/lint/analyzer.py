@@ -1,0 +1,120 @@
+"""The lint driver: parse files, run every rule, filter suppressions.
+
+Two passes: the first collects ``@contract`` declarations across *all* input
+files (call sites usually live in a different module than the contracted
+kernel); the second runs the dataflow rules per module with that shared
+table.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.lint.findings import Finding, collect_suppressions
+from repro.lint.visitors import (
+    ContractDecl,
+    ModuleModel,
+    collect_contract_decls,
+    run_all_checks,
+)
+
+
+def iter_python_files(paths: Sequence[str | os.PathLike]) -> list[Path]:
+    """Expand files and directories into a sorted list of ``.py`` files."""
+    files: set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            files.update(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            files.add(path)
+        else:
+            raise FileNotFoundError(f"not a python file or directory: {path}")
+    return sorted(files)
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    select: Iterable[str] | None = None,
+    contract_table: dict[str, ContractDecl] | None = None,
+) -> list[Finding]:
+    """Lint one module's source text.
+
+    Args:
+        source: the module source.
+        path: name used in findings.
+        select: restrict to these rule codes (default: all rules).
+        contract_table: cross-module ``@contract`` declarations for CT001;
+            when omitted, declarations from *source* itself are used.
+
+    Returns:
+        Unsuppressed findings, sorted by location.
+    """
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                path=path,
+                line=exc.lineno or 1,
+                col=(exc.offset or 1) - 1,
+                code="E999",
+                message=f"syntax error: {exc.msg}",
+            )
+        ]
+    if contract_table is None:
+        contract_table = collect_contract_decls(tree)
+    model = ModuleModel(path, tree)
+    findings = run_all_checks(model, contract_table)
+    suppressions = collect_suppressions(source, tree)
+    selected = set(select) if select is not None else None
+    return sorted(
+        finding
+        for finding in findings
+        if not suppressions.is_suppressed(finding)
+        and (selected is None or finding.code in selected)
+    )
+
+
+def lint_paths(
+    paths: Sequence[str | os.PathLike],
+    select: Iterable[str] | None = None,
+) -> list[Finding]:
+    """Lint every ``.py`` file under *paths* with a shared contract table."""
+    files = iter_python_files(paths)
+    sources: dict[Path, str] = {}
+    trees: dict[Path, ast.Module] = {}
+    contract_table: dict[str, ContractDecl] = {}
+    parse_errors: list[Finding] = []
+    for file in files:
+        source = file.read_text(encoding="utf-8")
+        sources[file] = source
+        try:
+            trees[file] = ast.parse(source, filename=str(file))
+        except SyntaxError as exc:
+            parse_errors.append(
+                Finding(
+                    path=str(file),
+                    line=exc.lineno or 1,
+                    col=(exc.offset or 1) - 1,
+                    code="E999",
+                    message=f"syntax error: {exc.msg}",
+                )
+            )
+            continue
+        contract_table.update(collect_contract_decls(trees[file]))
+
+    findings: list[Finding] = list(parse_errors)
+    for file, tree in trees.items():
+        model = ModuleModel(str(file), tree)
+        raw = run_all_checks(model, contract_table)
+        suppressions = collect_suppressions(sources[file], tree)
+        findings.extend(f for f in raw if not suppressions.is_suppressed(f))
+    selected = set(select) if select is not None else None
+    if selected is not None:
+        findings = [f for f in findings if f.code in selected]
+    return sorted(findings)

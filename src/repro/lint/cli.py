@@ -1,0 +1,90 @@
+"""``repro-lint``: the static-analysis command line.
+
+Examples::
+
+    repro-lint src/repro                 # whole tree, all rules
+    repro-lint --select DF001,DF004 src  # only some rules
+    repro-lint --list-rules              # what each code means
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.lint.analyzer import lint_paths
+from repro.lint.findings import format_findings
+from repro.lint.rules import RULES
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description=(
+            "Distributed-dataflow static analysis for the sPCA engines: "
+            "flags closure-captured arrays, non-monoid combiners, driver-state "
+            "mutation, per-record emission, and uncached iterative RDDs."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to lint (default: src/repro)",
+    )
+    parser.add_argument(
+        "--select",
+        help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="describe every rule and exit",
+    )
+    parser.add_argument(
+        "-q",
+        "--quiet",
+        action="store_true",
+        help="suppress the summary line",
+    )
+    return parser
+
+
+def _list_rules() -> int:
+    for rule in RULES.values():
+        print(f"{rule.code} ({rule.name}): {rule.summary}")
+        print(f"    paper: {rule.paper_ref}")
+        print(f"    why:   {rule.rationale}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        return _list_rules()
+    select = None
+    if args.select:
+        select = {code.strip() for code in args.select.split(",") if code.strip()}
+        unknown = select - set(RULES) - {"E999"}
+        if unknown:
+            print(
+                f"error: unknown rule code(s) {sorted(unknown)}; "
+                f"known: {', '.join(sorted(RULES))}",
+                file=sys.stderr,
+            )
+            return 2
+    try:
+        findings = lint_paths(args.paths, select=select)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if findings:
+        print(format_findings(findings))
+    if not args.quiet:
+        noun = "finding" if len(findings) == 1 else "findings"
+        print(f"repro-lint: {len(findings)} {noun}")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,315 @@
+"""Runtime shape/dtype/sparsity contracts for distributed kernels.
+
+Every kernel that runs on workers declares the shapes it expects::
+
+    @contract(block="matrix (b, D)", mean="dense (D,)",
+              projector="dense (D, d)", ret="dense (b, d)")
+    def block_latent(block, mean, projector, ...): ...
+
+A spec is ``[kind] [shape]``:
+
+- *kind* is one of ``matrix`` (sparse or dense, 2-D), ``dense`` (not sparse),
+  ``sparse`` (scipy sparse), ``scalar`` (a real number), ``int``, ``any``;
+- *shape* is a parenthesized dimension tuple; each dimension is an integer
+  literal or a symbol.  Symbols unify across all arguments and the return
+  value of one call, so ``block="(b, D)"``/``mean="(D,)"`` asserts that the
+  mean's length equals the block's column count -- exactly the invariant the
+  paper's mean-propagation algebra (Section 3.1) relies on.
+
+Checks run only when enabled (the ``REPRO_CHECK_CONTRACTS`` environment
+variable, :func:`enable`, or the :func:`checked` context manager); when
+disabled, a contracted call costs one boolean test.  The static analyzer
+cross-checks the same declarations against call sites with literal
+dimensions (rule CT001 in :mod:`repro.lint.visitors`).
+"""
+
+from __future__ import annotations
+
+import functools
+import inspect
+import numbers
+import os
+import re
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator, TypeVar
+
+from repro.errors import ContractViolationError
+
+F = TypeVar("F", bound=Callable[..., Any])
+
+_KINDS = ("matrix", "dense", "sparse", "scalar", "int", "any")
+
+_SPEC_RE = re.compile(
+    r"^\s*(?P<kind>[a-z]+)?\s*(?:\((?P<dims>[^)]*)\))?\s*$"
+)
+_DIM_RE = re.compile(r"^(?:(?P<int>\d+)|(?P<sym>[A-Za-z_][A-Za-z0-9_]*))$")
+
+
+@dataclass(frozen=True)
+class Spec:
+    """Parsed contract spec: a kind plus an optional symbolic shape."""
+
+    kind: str
+    dims: tuple[int | str, ...] | None
+    text: str
+
+    def __str__(self) -> str:
+        return self.text
+
+
+def parse_spec(text: str) -> Spec:
+    """Parse ``"matrix (b, D)"`` / ``"dense (D,)"`` / ``"scalar"`` etc."""
+    match = _SPEC_RE.match(text)
+    if match is None:
+        raise ValueError(f"malformed contract spec {text!r}")
+    kind = match.group("kind") or "any"
+    if kind not in _KINDS:
+        raise ValueError(
+            f"unknown contract kind {kind!r} in {text!r}; expected one of {_KINDS}"
+        )
+    dims_text = match.group("dims")
+    if dims_text is None:
+        if kind == "any" and not text.strip():
+            raise ValueError(f"empty contract spec {text!r}")
+        return Spec(kind, None, text.strip())
+    dims: list[int | str] = []
+    for piece in dims_text.split(","):
+        piece = piece.strip()
+        if not piece:
+            continue  # trailing comma of 1-tuples: "(D,)"
+        dim_match = _DIM_RE.match(piece)
+        if dim_match is None:
+            raise ValueError(f"malformed dimension {piece!r} in contract spec {text!r}")
+        if dim_match.group("int") is not None:
+            dims.append(int(dim_match.group("int")))
+        else:
+            dims.append(dim_match.group("sym"))
+    return Spec(kind, tuple(dims), text.strip())
+
+
+# ---------------------------------------------------------------------------
+# enable / disable
+
+
+def _env_enabled() -> bool:
+    return os.environ.get("REPRO_CHECK_CONTRACTS", "").strip().lower() in {
+        "1",
+        "true",
+        "yes",
+        "on",
+    }
+
+
+_enabled: bool = _env_enabled()
+
+
+def enable() -> None:
+    """Turn runtime contract checking on (process-wide)."""
+    global _enabled
+    _enabled = True
+
+
+def disable() -> None:
+    """Turn runtime contract checking off (the default)."""
+    global _enabled
+    _enabled = False
+
+
+def is_enabled() -> bool:
+    return _enabled
+
+
+@contextmanager
+def checked(on: bool = True) -> Iterator[None]:
+    """Context manager scoping the enabled flag: ``with checked(): ...``."""
+    global _enabled
+    previous = _enabled
+    _enabled = on
+    try:
+        yield
+    finally:
+        _enabled = previous
+
+
+# ---------------------------------------------------------------------------
+# runtime checking
+
+
+def _is_sparse(value: Any) -> bool:
+    # Duck-typed so the hot disabled path never imports scipy here.
+    return hasattr(value, "tocsr") and hasattr(value, "nnz")
+
+
+def _shape_of(value: Any) -> tuple[int, ...] | None:
+    shape = getattr(value, "shape", None)
+    if shape is not None:
+        return tuple(int(dim) for dim in shape)
+    if isinstance(value, numbers.Number):
+        return ()
+    if isinstance(value, (list, tuple)):
+        import numpy as np
+
+        try:
+            return tuple(np.shape(value))
+        except ValueError:
+            return None
+    return None
+
+
+def _check_kind(spec: Spec, value: Any) -> str | None:
+    """Return an error string when *value* fails the spec's kind, else None."""
+    if spec.kind == "any":
+        return None
+    if spec.kind == "sparse":
+        return None if _is_sparse(value) else "expected a scipy sparse matrix"
+    if spec.kind == "dense":
+        return "expected a dense (non-sparse) array" if _is_sparse(value) else None
+    if spec.kind == "matrix":
+        shape = _shape_of(value)
+        if shape is None or len(shape) != 2:
+            return "expected a 2-D matrix (sparse or dense)"
+        return None
+    if spec.kind == "scalar":
+        if isinstance(value, numbers.Real) and not hasattr(value, "__len__"):
+            return None
+        shape = getattr(value, "shape", None)
+        if shape == ():
+            return None
+        return "expected a real scalar"
+    if spec.kind == "int":
+        if isinstance(value, numbers.Integral):
+            return None
+        return "expected an integer"
+    return None
+
+
+def _check_value(
+    qualname: str,
+    label: str,
+    spec: Spec,
+    value: Any,
+    bindings: dict[str, tuple[int, str]],
+) -> None:
+    if value is None:
+        return  # optional argument left at None: unchecked by design
+    kind_error = _check_kind(spec, value)
+    if kind_error is not None:
+        raise ContractViolationError(
+            f"{qualname}: {label} violates contract {spec!s}: {kind_error} "
+            f"(got {type(value).__name__})"
+        )
+    if spec.dims is None:
+        return
+    shape = _shape_of(value)
+    if shape is None or len(shape) != len(spec.dims):
+        raise ContractViolationError(
+            f"{qualname}: {label} violates contract {spec!s}: expected "
+            f"{len(spec.dims)} dimension(s), got shape {shape}"
+        )
+    for dim, actual in zip(spec.dims, shape):
+        if isinstance(dim, int):
+            if dim != actual:
+                raise ContractViolationError(
+                    f"{qualname}: {label} violates contract {spec!s}: dimension "
+                    f"{actual} where {dim} is required (shape {shape})"
+                )
+            continue
+        bound = bindings.get(dim)
+        if bound is None:
+            bindings[dim] = (actual, label)
+        elif bound[0] != actual:
+            raise ContractViolationError(
+                f"{qualname}: {label} binds symbol {dim}={actual} but "
+                f"{dim}={bound[0]} was bound by {bound[1]} (shape {shape}, "
+                f"contract {spec!s})"
+            )
+
+
+@dataclass(frozen=True)
+class Contract:
+    """The parsed contract attached to one function."""
+
+    qualname: str
+    arg_specs: dict[str, Spec]
+    ret_specs: tuple[Spec, ...] | None
+    signature: inspect.Signature
+
+    def check_args(self, args: tuple, kwargs: dict) -> dict[str, tuple[int, str]]:
+        bindings: dict[str, tuple[int, str]] = {}
+        bound = self.signature.bind_partial(*args, **kwargs)
+        for name, spec in self.arg_specs.items():
+            if name in bound.arguments:
+                _check_value(
+                    self.qualname, f"argument {name!r}", spec, bound.arguments[name], bindings
+                )
+        return bindings
+
+    def check_return(self, result: Any, bindings: dict[str, tuple[int, str]]) -> None:
+        if self.ret_specs is None:
+            return
+        if len(self.ret_specs) == 1:
+            values: tuple = (result,)
+        else:
+            if not isinstance(result, tuple) or len(result) != len(self.ret_specs):
+                raise ContractViolationError(
+                    f"{self.qualname}: return value violates contract: expected a "
+                    f"{len(self.ret_specs)}-tuple, got {type(result).__name__}"
+                )
+            values = result
+        for index, (spec, value) in enumerate(zip(self.ret_specs, values)):
+            label = "return value" if len(values) == 1 else f"return value [{index}]"
+            _check_value(self.qualname, label, spec, value, bindings)
+
+
+# Registry of every contracted function, keyed by qualified name.
+REGISTRY: dict[str, Contract] = {}
+
+
+def contract(ret: str | tuple[str, ...] | None = None, **arg_specs: str) -> Callable[[F], F]:
+    """Declare shape/kind contracts for a kernel's arguments and return value.
+
+    Args:
+        ret: spec for the return value; a tuple of specs for tuple returns.
+        **arg_specs: parameter name -> spec string (see module docstring).
+
+    The declarations are registered for static cross-checking (rule CT001)
+    and enforced at call time only while contract checking is enabled.
+    """
+    parsed_args = {name: parse_spec(text) for name, text in arg_specs.items()}
+    if ret is None:
+        parsed_ret = None
+    elif isinstance(ret, str):
+        parsed_ret = (parse_spec(ret),)
+    else:
+        parsed_ret = tuple(parse_spec(text) for text in ret)
+
+    def decorate(fn: F) -> F:
+        signature = inspect.signature(fn)
+        unknown = set(parsed_args) - set(signature.parameters)
+        if unknown:
+            raise ValueError(
+                f"@contract on {fn.__qualname__}: unknown parameter(s) "
+                f"{sorted(unknown)}"
+            )
+        entry = Contract(fn.__qualname__, parsed_args, parsed_ret, signature)
+        REGISTRY[fn.__qualname__] = entry
+
+        @functools.wraps(fn)
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
+            if not _enabled:
+                return fn(*args, **kwargs)
+            bindings = entry.check_args(args, kwargs)
+            result = fn(*args, **kwargs)
+            entry.check_return(result, bindings)
+            return result
+
+        wrapper.__contract__ = entry  # type: ignore[attr-defined]
+        return wrapper  # type: ignore[return-value]
+
+    return decorate
+
+
+def registered() -> dict[str, Contract]:
+    """Snapshot of every registered contract (for tooling and tests)."""
+    return dict(REGISTRY)

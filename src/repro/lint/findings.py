@@ -1,0 +1,92 @@
+"""Findings, suppression comments, and report formatting.
+
+A finding pins one rule violation to a file/line/column.  Suppressions use
+pylint-style inline comments::
+
+    bad_statement()  # repro-lint: disable=DF004
+
+A suppression on the ``def``/``class`` header line covers the whole block, so
+an intentional ablation class (the paper reproduces several bad dataflows on
+purpose, to measure them) can be waived once, with a justification comment,
+instead of line by line.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+
+_SUPPRESS_RE = re.compile(r"#\s*repro-lint:\s*disable=([A-Za-z0-9_,\s]+)")
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at a specific source location."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col + 1}: {self.code} {self.message}"
+
+
+@dataclass
+class Suppressions:
+    """Per-file suppression map: which codes are waived on which lines."""
+
+    by_line: dict[int, set[str]] = field(default_factory=dict)
+    block_spans: list[tuple[int, int, set[str]]] = field(default_factory=list)
+
+    def is_suppressed(self, finding: Finding) -> bool:
+        codes = self.by_line.get(finding.line)
+        if codes is not None and (finding.code in codes or "all" in codes):
+            return True
+        for start, end, span_codes in self.block_spans:
+            if start <= finding.line <= end and (
+                finding.code in span_codes or "all" in span_codes
+            ):
+                return True
+        return False
+
+
+def _parse_line_comments(source: str) -> dict[int, set[str]]:
+    """Map line number -> suppressed codes for every disable comment."""
+    suppressed: dict[int, set[str]] = {}
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        match = _SUPPRESS_RE.search(text)
+        if match is None:
+            continue
+        codes = {code.strip() for code in match.group(1).split(",") if code.strip()}
+        if codes:
+            suppressed.setdefault(lineno, set()).update(codes)
+    return suppressed
+
+
+def collect_suppressions(source: str, tree: ast.Module) -> Suppressions:
+    """Build the suppression map: inline comments plus block-header spans.
+
+    A comment on the header line of a ``def``/``class`` (or on any of its
+    decorator lines) suppresses the listed codes for the full block body.
+    """
+    by_line = _parse_line_comments(source)
+    spans: list[tuple[int, int, set[str]]] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            continue
+        header_lines = [node.lineno]
+        header_lines.extend(dec.lineno for dec in node.decorator_list)
+        codes: set[str] = set()
+        for lineno in header_lines:
+            codes.update(by_line.get(lineno, ()))
+        if codes:
+            spans.append((node.lineno, node.end_lineno or node.lineno, codes))
+    return Suppressions(by_line=by_line, block_spans=spans)
+
+
+def format_findings(findings: list[Finding]) -> str:
+    """Human-readable report, one finding per line, sorted by location."""
+    return "\n".join(finding.render() for finding in sorted(findings))

@@ -1,0 +1,23 @@
+"""Pytest plugin: run every test with runtime shape contracts enabled.
+
+Load it with ``-p repro.lint.pytest_plugin`` or from a rootdir conftest; the
+repo's own ``tests/conftest.py`` enables the same fixture inline, so the
+tier-1 suite always exercises the kernels with their contracts armed.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lint import contracts
+
+
+@pytest.fixture(scope="session", autouse=True)
+def repro_runtime_contracts():
+    """Enable runtime contract checking for the whole test session."""
+    with contracts.checked():
+        yield
+
+
+def pytest_report_header(config):  # pragma: no cover - cosmetic
+    return "repro.lint: runtime shape contracts enabled"

@@ -1,0 +1,120 @@
+"""The distributed-dataflow rule registry.
+
+Each rule is keyed to the sPCA optimization it protects (paper Sections 3-4):
+the whole point of the paper is that naive dataflow patterns silently destroy
+performance or correctness on distributed platforms, and every one of those
+patterns is mechanically recognizable in the job/pipeline source.
+
+Rules are data here; the matching logic lives in :mod:`repro.lint.visitors`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One checkable dataflow rule.
+
+    Attributes:
+        code: stable identifier used in reports and suppression comments.
+        name: short kebab-case name.
+        summary: one-line description of the violation.
+        paper_ref: the paper section whose optimization the rule protects.
+        rationale: why the pattern hurts on a distributed platform.
+    """
+
+    code: str
+    name: str
+    summary: str
+    paper_ref: str
+    rationale: str
+
+
+DF001 = Rule(
+    code="DF001",
+    name="closure-captured-array",
+    summary="large array captured in a worker closure without Broadcast",
+    paper_ref="Section 4.3 (broadcast of CM/Ym/Xm for in-memory multiplication)",
+    rationale=(
+        "An ndarray/sparse matrix captured directly in an RDD or stage closure "
+        "is serialized into every task, shipping one copy per task instead of "
+        "one copy per node and defeating the in-memory broadcast multiplication."
+    ),
+)
+
+DF002 = Rule(
+    code="DF002",
+    name="non-monoid-combiner",
+    summary="combiner uses a non-commutative/non-associative operation",
+    paper_ref="Section 4.1 (partial aggregation via combiners/accumulators)",
+    rationale=(
+        "Combiners and accumulator merge functions run in a platform-chosen "
+        "order and grouping; subtraction, division and order-dependent list "
+        "building give different results under retries and speculative tasks. "
+        "Partial aggregation must be a commutative monoid."
+    ),
+)
+
+DF003 = Rule(
+    code="DF003",
+    name="driver-state-mutation",
+    summary="driver-side state mutated inside a map/reduce/RDD closure",
+    paper_ref="Section 4.2 (accumulators are the sanctioned reverse channel)",
+    rationale=(
+        "A task that mutates driver-scope objects double-counts its effect "
+        "when the task is retried or speculatively duplicated; only "
+        "accumulators stage updates transactionally per task attempt."
+    ),
+)
+
+DF004 = Rule(
+    code="DF004",
+    name="per-record-emission",
+    summary="mapper emits a computed partial per record under an aggregation key",
+    paper_ref="Section 4.1 (stateful cleanup combiner; Mahout's Bt-job blowup)",
+    rationale=(
+        "Emitting one partial matrix per input record swamps the combiners "
+        "with intermediate data (the 4 TB Bt-job failure mode of Section 5.2); "
+        "accumulate across the split and emit once from cleanup()."
+    ),
+)
+
+DF005 = Rule(
+    code="DF005",
+    name="uncached-iterative-rdd",
+    summary="RDD reused across iterations without cache(), or action inside a transformation",
+    paper_ref="Section 4.2 (caching the input RDD across EM iterations)",
+    rationale=(
+        "An uncached RDD is recomputed from lineage by every action of the EM "
+        "loop, and an action invoked inside a transformation runs a nested "
+        "job per task; both turn O(1) passes into O(iterations) passes."
+    ),
+)
+
+CT001 = Rule(
+    code="CT001",
+    name="contract-shape-conflict",
+    summary="call site binds a shape-contract symbol to conflicting literal dimensions",
+    paper_ref="Section 3 (the d << D algebra only holds when shapes line up)",
+    rationale=(
+        "A @contract declares symbolic shapes shared across arguments; a call "
+        "site whose literal dimensions bind one symbol to two different values "
+        "will fail at runtime on the cluster instead of at review time."
+    ),
+)
+
+RULES: dict[str, Rule] = {
+    rule.code: rule for rule in (DF001, DF002, DF003, DF004, DF005, CT001)
+}
+
+
+def get_rule(code: str) -> Rule:
+    """Look up a rule by code, raising ``KeyError`` with the known codes."""
+    try:
+        return RULES[code]
+    except KeyError:
+        raise KeyError(
+            f"unknown rule code {code!r}; known codes: {', '.join(sorted(RULES))}"
+        ) from None

@@ -1,0 +1,873 @@
+"""AST dataflow visitors for the DF001-DF005 and CT001 rules.
+
+The analysis is deliberately scoped to the dataflow idioms this codebase (and
+the paper's implementations) actually use:
+
+- *worker code* is any function object handed to an RDD transformation/action,
+  to ``SparkContext.run_job``, or used as a combiner (``reduce_by_key`` /
+  ``aggregate`` / ``Accumulator`` merge functions), plus ``reduce`` methods of
+  ``Reducer``/``Combiner`` classes and ``map`` methods of ``Mapper`` classes;
+- *driver state* is any name bound in an enclosing **function** scope of a
+  worker closure (module-level names -- imports, constants, top-level
+  functions -- are exempt: they exist on every worker);
+- a name's *origin* is inferred from its binding: assigned from a
+  ``numpy``/``scipy``/``kernels`` call or a matrix product -> array; assigned
+  from ``*.broadcast(...)`` -> broadcast handle; from ``*.accumulator(...)``
+  -> accumulator; a parameter annotated with an array type -> array.
+
+Everything is a deterministic function of the source text: no imports of the
+analyzed modules, no execution.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.lint.findings import Finding
+from repro.lint.contracts import Spec, parse_spec
+
+FunctionNode = ast.FunctionDef | ast.AsyncFunctionDef | ast.Lambda
+
+# Methods whose function-valued argument(s) execute on workers.
+WORKER_ARG_POSITIONS: dict[str, tuple[int, ...]] = {
+    "map": (0,),
+    "flat_map": (0,),
+    "filter": (0,),
+    "map_partitions": (0,),
+    "map_partitions_with_index": (0,),
+    "map_values": (0,),
+    "zip_partitions": (1,),
+    "foreach": (0,),
+    "foreach_partition": (0,),
+    "run_job": (1,),
+    "sort_by": (0,),
+}
+
+# Methods whose function-valued argument(s) must be a commutative monoid
+# (they also execute on workers).
+COMBINER_ARG_POSITIONS: dict[str, tuple[int, ...]] = {
+    "reduce_by_key": (0,),
+    "reduce": (0,),
+    "fold": (1,),
+    "aggregate": (1, 2),
+    "tree_aggregate": (1, 2),
+    "accumulator": (1,),
+}
+
+# Names whose assigned call results are treated as (potentially large) arrays.
+_ARRAY_CALL_ROOTS = {"np", "numpy", "sp", "scipy", "kernels"}
+
+_ARRAY_ANNOTATION_MARKERS = ("ndarray", "Matrix", "spmatrix", "sparray", "csr_matrix", "NDArray")
+
+# RDD-producing terminal method names for the DF005 cache analysis.
+_RDD_PRODUCERS = {
+    "parallelize",
+    "from_hdfs",
+    "map",
+    "flat_map",
+    "filter",
+    "map_partitions",
+    "map_partitions_with_index",
+    "map_values",
+    "zip_partitions",
+    "zip_with_index",
+    "union",
+    "repartition",
+    "coalesce",
+    "sample",
+    "glom",
+    "distinct",
+    "sort_by",
+    "group_by_key",
+    "reduce_by_key",
+}
+
+_RDD_ACTIONS_NO_ARGS = {"collect", "count", "first"}
+
+_MUTATOR_METHODS = {
+    "append",
+    "extend",
+    "insert",
+    "update",
+    "setdefault",
+    "pop",
+    "popitem",
+    "clear",
+    "remove",
+    "discard",
+    "add",
+    "sort",
+    "reverse",
+}
+
+_KIND_ARRAY = "array"
+_KIND_BROADCAST = "broadcast"
+_KIND_ACCUMULATOR = "accumulator"
+_KIND_FUNCTION = "function"
+_KIND_OTHER = "other"
+
+
+# ---------------------------------------------------------------------------
+# small AST helpers
+
+
+def _terminal_name(func: ast.expr) -> str | None:
+    """``a.b.c(...)`` -> ``c``;  ``f(...)`` -> ``f``."""
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def _dotted_root(expr: ast.expr) -> str | None:
+    """Leftmost identifier of an attribute/call/subscript chain."""
+    node = expr
+    while True:
+        if isinstance(node, ast.Attribute):
+            node = node.value
+        elif isinstance(node, ast.Call):
+            node = node.func
+        elif isinstance(node, ast.Subscript):
+            node = node.value
+        elif isinstance(node, ast.Name):
+            return node.id
+        else:
+            return None
+
+
+def _iter_scope(root: ast.AST) -> Iterator[ast.AST]:
+    """Yield every node in *root*'s own scope.
+
+    Nested function/lambda/class nodes are yielded (so callers can recurse)
+    but their bodies are not entered -- they are separate scopes.
+    """
+    if isinstance(root, ast.Lambda):
+        stack: list[ast.AST] = [root.body]
+    elif isinstance(root, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        stack = list(root.body)
+    else:
+        stack = list(ast.iter_child_nodes(root))
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda, ast.ClassDef)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _param_names(fn: FunctionNode) -> list[ast.arg]:
+    args = fn.args
+    params = list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+    if args.vararg:
+        params.append(args.vararg)
+    if args.kwarg:
+        params.append(args.kwarg)
+    return params
+
+
+def _target_names(target: ast.expr) -> Iterator[str]:
+    if isinstance(target, ast.Name):
+        yield target.id
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for element in target.elts:
+            yield from _target_names(element)
+    elif isinstance(target, ast.Starred):
+        yield from _target_names(target.value)
+
+
+def _bound_names(fn: FunctionNode) -> set[str]:
+    """Names local to *fn*: parameters plus every binding construct."""
+    names = {param.arg for param in _param_names(fn)}
+    declared_nonlocal: set[str] = set()
+    for node in _iter_scope(fn):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                names.update(_target_names(target))
+        elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+            names.update(_target_names(node.target))
+        elif isinstance(node, ast.NamedExpr):
+            names.update(_target_names(node.target))
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            names.update(_target_names(node.target))
+        elif isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                if item.optional_vars is not None:
+                    names.update(_target_names(item.optional_vars))
+        elif isinstance(node, ast.ExceptHandler):
+            if node.name:
+                names.add(node.name)
+        elif isinstance(node, ast.comprehension):
+            names.update(_target_names(node.target))
+        elif isinstance(node, (ast.Import, ast.ImportFrom)):
+            for alias in node.names:
+                names.add((alias.asname or alias.name).split(".")[0])
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            names.add(node.name)
+        elif isinstance(node, (ast.Global, ast.Nonlocal)):
+            declared_nonlocal.update(node.names)
+    return names - declared_nonlocal
+
+
+def _free_loads(fn: FunctionNode) -> list[tuple[str, ast.Name]]:
+    """Name loads inside *fn* (and nested functions) not bound within *fn*."""
+    results: list[tuple[str, ast.Name]] = []
+
+    def visit(scope: FunctionNode, outer_bound: frozenset[str]) -> None:
+        bound = outer_bound | frozenset(_bound_names(scope))
+        for node in _iter_scope(scope):
+            if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+                if node.id not in bound:
+                    results.append((node.id, node))
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                visit(node, bound)
+
+    visit(fn, frozenset())
+    return results
+
+
+def _is_array_annotation(annotation: ast.expr | None) -> bool:
+    if annotation is None:
+        return False
+    text = ast.unparse(annotation)
+    return any(marker in text for marker in _ARRAY_ANNOTATION_MARKERS)
+
+
+def _rhs_origin(value: ast.expr) -> str:
+    """Classify the origin of a value bound by an assignment."""
+    if isinstance(value, ast.Call):
+        terminal = _terminal_name(value.func)
+        if terminal == "broadcast":
+            return _KIND_BROADCAST
+        if terminal == "accumulator":
+            return _KIND_ACCUMULATOR
+        if _dotted_root(value.func) in _ARRAY_CALL_ROOTS:
+            return _KIND_ARRAY
+        return _KIND_OTHER
+    if isinstance(value, ast.BinOp):
+        for sub in ast.walk(value):
+            if isinstance(sub, ast.BinOp) and isinstance(sub.op, ast.MatMult):
+                return _KIND_ARRAY
+    return _KIND_OTHER
+
+
+# ---------------------------------------------------------------------------
+# module model
+
+
+@dataclass
+class _ScopeInfo:
+    """Per-function binding information."""
+
+    node: FunctionNode
+    enclosing: FunctionNode | None
+    origins: dict[str, str] = field(default_factory=dict)
+    local_defs: dict[str, FunctionNode] = field(default_factory=dict)
+
+
+class ModuleModel:
+    """Scope graph + origin map + worker-function set for one module."""
+
+    def __init__(self, path: str, tree: ast.Module):
+        self.path = path
+        self.tree = tree
+        self.scopes: dict[int, _ScopeInfo] = {}
+        self.module_names: set[str] = set()
+        self.module_defs: dict[str, ast.FunctionDef] = {}
+        # id(node) -> node for functions that run on workers / as combiners.
+        self.worker_fns: dict[int, FunctionNode] = {}
+        self.combiner_fns: dict[int, FunctionNode] = {}
+        self._build()
+        self._discover_workers()
+
+    # -- construction ----------------------------------------------------
+
+    def _build(self) -> None:
+        for node in _iter_scope(self.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                self.module_names.add(node.name)
+                if isinstance(node, ast.FunctionDef):
+                    self.module_defs[node.name] = node
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    self.module_names.update(_target_names(target))
+            elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+                self.module_names.update(_target_names(node.target))
+            elif isinstance(node, (ast.Import, ast.ImportFrom)):
+                for alias in node.names:
+                    self.module_names.add((alias.asname or alias.name).split(".")[0])
+
+        def visit_scope(owner: ast.AST, enclosing: FunctionNode | None) -> None:
+            for node in _iter_scope(owner):
+                if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                    self.scopes[id(node)] = self._scope_info(node, enclosing)
+                    visit_scope(node, node)
+                elif isinstance(node, ast.ClassDef):
+                    # Methods of a (possibly nested) class: the class body is
+                    # not a closure scope, so the enclosing function carries
+                    # through unchanged.
+                    visit_scope(node, enclosing)
+
+        visit_scope(self.tree, None)
+
+    def _scope_info(self, fn: FunctionNode, enclosing: FunctionNode | None) -> _ScopeInfo:
+        info = _ScopeInfo(node=fn, enclosing=enclosing)
+        for param in _param_names(fn):
+            info.origins[param.arg] = (
+                _KIND_ARRAY if _is_array_annotation(param.annotation) else _KIND_OTHER
+            )
+        for node in _iter_scope(fn):
+            if isinstance(node, ast.Assign):
+                origin = _rhs_origin(node.value)
+                for target in node.targets:
+                    for name in _target_names(target):
+                        info.origins[name] = origin
+            elif isinstance(node, ast.AnnAssign):
+                if _is_array_annotation(node.annotation):
+                    origin = _KIND_ARRAY
+                elif node.value is not None:
+                    origin = _rhs_origin(node.value)
+                else:
+                    origin = _KIND_OTHER
+                for name in _target_names(node.target):
+                    info.origins[name] = origin
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                info.origins[node.name] = _KIND_FUNCTION
+                info.local_defs[node.name] = node
+        return info
+
+    def _discover_workers(self) -> None:
+        for call, enclosing in self._calls_with_scope():
+            terminal = _terminal_name(call.func)
+            if terminal is None or not isinstance(call.func, ast.Attribute):
+                continue
+            for table, registry in (
+                (WORKER_ARG_POSITIONS, self.worker_fns),
+                (COMBINER_ARG_POSITIONS, self.combiner_fns),
+            ):
+                positions = table.get(terminal)
+                if positions is None:
+                    continue
+                for position in positions:
+                    if position >= len(call.args):
+                        continue
+                    fn = self._resolve_function(call.args[position], enclosing)
+                    if fn is not None:
+                        registry[id(fn)] = fn
+
+    def _calls_with_scope(self) -> Iterator[tuple[ast.Call, FunctionNode | None]]:
+        def visit(owner: ast.AST, enclosing: FunctionNode | None) -> None:
+            for node in _iter_scope(owner):
+                if isinstance(node, ast.Call):
+                    yield_buffer.append((node, enclosing))
+                if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                    visit(node, node)
+                elif isinstance(node, ast.ClassDef):
+                    visit(node, enclosing)
+
+        yield_buffer: list[tuple[ast.Call, FunctionNode | None]] = []
+        visit(self.tree, None)
+        yield from yield_buffer
+
+    def _resolve_function(
+        self, expr: ast.expr, enclosing: FunctionNode | None
+    ) -> FunctionNode | None:
+        if isinstance(expr, ast.Lambda):
+            return expr
+        if isinstance(expr, ast.Name):
+            scope = enclosing
+            while scope is not None:
+                info = self.scopes[id(scope)]
+                if expr.id in info.local_defs:
+                    return info.local_defs[expr.id]
+                scope = info.enclosing
+            return self.module_defs.get(expr.id)
+        return None
+
+    # -- lookups ----------------------------------------------------------
+
+    def enclosing_of(self, fn: FunctionNode) -> FunctionNode | None:
+        info = self.scopes.get(id(fn))
+        return info.enclosing if info is not None else None
+
+    def resolve_origin(self, fn: FunctionNode, name: str) -> tuple[str, FunctionNode] | None:
+        """Find *name* in the enclosing function chain of *fn*.
+
+        Returns ``(origin_kind, defining_scope)`` or ``None`` when the name
+        resolves to module scope / builtins (exempt: those exist everywhere).
+        """
+        scope = self.enclosing_of(fn)
+        while scope is not None:
+            info = self.scopes[id(scope)]
+            if name in info.origins:
+                return info.origins[name], scope
+            scope = info.enclosing
+        return None
+
+    def resolve_local_def(self, fn: FunctionNode, name: str) -> FunctionNode | None:
+        scope = self.enclosing_of(fn)
+        while scope is not None:
+            info = self.scopes[id(scope)]
+            if name in info.local_defs:
+                return info.local_defs[name]
+            scope = info.enclosing
+        return None
+
+    def worker_group(self, fn: FunctionNode) -> list[FunctionNode]:
+        """*fn* plus every function-scoped helper it (transitively) calls."""
+        group: list[FunctionNode] = []
+        seen: set[int] = set()
+        queue = [fn]
+        while queue:
+            current = queue.pop()
+            if id(current) in seen:
+                continue
+            seen.add(id(current))
+            group.append(current)
+            for name, _ in _free_loads(current):
+                helper = self.resolve_local_def(current, name)
+                if helper is not None and id(helper) not in seen:
+                    queue.append(helper)
+        return group
+
+
+# ---------------------------------------------------------------------------
+# rule checks
+
+
+def check_df001(model: ModuleModel) -> list[Finding]:
+    """Array captured in a worker closure without going through Broadcast."""
+    findings: list[Finding] = []
+    reported: set[tuple[int, str]] = set()
+    worker_entries = {**model.worker_fns, **model.combiner_fns}
+    for entry in worker_entries.values():
+        for member in model.worker_group(entry):
+            for name, node in _free_loads(member):
+                resolved = model.resolve_origin(member, name)
+                if resolved is None:
+                    continue
+                kind, _scope = resolved
+                if kind != _KIND_ARRAY:
+                    continue
+                key = (node.lineno, name)
+                if key in reported:
+                    continue
+                reported.add(key)
+                findings.append(
+                    Finding(
+                        path=model.path,
+                        line=node.lineno,
+                        col=node.col_offset,
+                        code="DF001",
+                        message=(
+                            f"array {name!r} captured in a worker closure; ship it "
+                            "with context.broadcast(...) and read .value instead "
+                            "(one copy per node, not per task -- paper Section 4.3)"
+                        ),
+                    )
+                )
+    return findings
+
+
+def check_df002(model: ModuleModel) -> list[Finding]:
+    """Combiner bodies must stay a commutative monoid: no -, /, //, %, reversed."""
+    findings: list[Finding] = []
+
+    def scan(body: ast.AST, where: str) -> None:
+        for node in ast.walk(body):
+            bad_op = None
+            if isinstance(node, (ast.BinOp, ast.AugAssign)) and isinstance(
+                node.op, (ast.Sub, ast.Div, ast.FloorDiv, ast.Mod)
+            ):
+                bad_op = {
+                    ast.Sub: "-",
+                    ast.Div: "/",
+                    ast.FloorDiv: "//",
+                    ast.Mod: "%",
+                }[type(node.op)]
+            elif (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "reversed"
+            ):
+                bad_op = "reversed()"
+            if bad_op is not None:
+                findings.append(
+                    Finding(
+                        path=model.path,
+                        line=node.lineno,
+                        col=node.col_offset,
+                        code="DF002",
+                        message=(
+                            f"{where} uses order-sensitive {bad_op}; partial "
+                            "aggregation must be commutative and associative "
+                            "(combiners run in platform-chosen order -- Section 4.1)"
+                        ),
+                    )
+                )
+
+    for fn in model.combiner_fns.values():
+        scan(fn, "combiner function")
+    for node in ast.walk(model.tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        base_names = {_terminal_name(base) or "" for base in node.bases}
+        if not any("Reducer" in name or "Combiner" in name for name in base_names):
+            continue
+        for item in node.body:
+            if isinstance(item, ast.FunctionDef) and item.name == "reduce":
+                scan(item, f"combiner {node.name}.reduce")
+    return findings
+
+
+def check_df003(model: ModuleModel) -> list[Finding]:
+    """Driver-side state must not be mutated from worker code."""
+    findings: list[Finding] = []
+    worker_entries = {**model.worker_fns, **model.combiner_fns}
+
+    def report(node: ast.AST, detail: str) -> None:
+        findings.append(
+            Finding(
+                path=model.path,
+                line=node.lineno,
+                col=node.col_offset,
+                code="DF003",
+                message=(
+                    f"{detail} inside a worker closure double-counts under task "
+                    "retry/speculative execution; use an accumulator (Section 4.2)"
+                ),
+            )
+        )
+
+    seen_members: set[int] = set()
+    for entry in worker_entries.values():
+        for member in model.worker_group(entry):
+            if id(member) in seen_members:
+                continue
+            seen_members.add(id(member))
+            free = {name for name, _ in _free_loads(member)}
+
+            def is_driver_name(name: str) -> bool:
+                resolved = model.resolve_origin(member, name)
+                return resolved is not None and resolved[0] not in (
+                    _KIND_ACCUMULATOR,
+                    _KIND_BROADCAST,
+                    _KIND_FUNCTION,
+                )
+
+            for node in ast.walk(member):
+                if isinstance(node, (ast.Global, ast.Nonlocal)):
+                    report(node, f"rebinding of {', '.join(node.names)!s}")
+                elif isinstance(node, (ast.Assign, ast.AugAssign)):
+                    targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+                    for target in targets:
+                        if isinstance(target, (ast.Subscript, ast.Attribute)):
+                            base = _dotted_root(target)
+                            if base and base in free and is_driver_name(base):
+                                report(node, f"store into driver-scope object {base!r}")
+                elif isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+                    if node.func.attr not in _MUTATOR_METHODS:
+                        continue
+                    base = node.func.value
+                    if isinstance(base, ast.Name) and base.id in free and is_driver_name(base.id):
+                        report(
+                            node,
+                            f"mutating call {base.id}.{node.func.attr}() on driver-scope object",
+                        )
+    return findings
+
+
+def check_df004(model: ModuleModel) -> list[Finding]:
+    """Per-record emission of computed partials under an aggregation key."""
+    findings: list[Finding] = []
+    for node in ast.walk(model.tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        base_names = {_terminal_name(base) or "" for base in node.bases}
+        if not any("Mapper" in name for name in base_names):
+            continue
+        for item in node.body:
+            if not (isinstance(item, ast.FunctionDef) and item.name == "map"):
+                continue
+            params = [param.arg for param in _param_names(item)]
+            key_param = params[1] if len(params) > 1 else None
+            param_set = set(params)
+            for sub in ast.walk(item):
+                if not isinstance(sub, ast.Yield) or sub.value is None:
+                    continue
+                value = sub.value
+                if isinstance(value, ast.Tuple) and len(value.elts) == 2:
+                    key_expr, val_expr = value.elts
+                else:
+                    key_expr, val_expr = None, value
+                # Pass-through output keyed by the input record's own key is a
+                # map-only materialization, not combiner input.
+                if isinstance(key_expr, ast.Name) and key_expr.id == key_param:
+                    continue
+                # Echoing a parameter verbatim is the identity mapper.
+                if isinstance(val_expr, ast.Name) and val_expr.id in param_set:
+                    continue
+                findings.append(
+                    Finding(
+                        path=model.path,
+                        line=sub.lineno,
+                        col=sub.col_offset,
+                        code="DF004",
+                        message=(
+                            f"{node.name}.map emits a computed partial per record "
+                            "under an aggregation key; accumulate across the split "
+                            "and emit once from cleanup() (stateful combiner, "
+                            "Section 4.1)"
+                        ),
+                    )
+                )
+    return findings
+
+
+def check_df005(model: ModuleModel) -> list[Finding]:
+    """Uncached RDD reused in a loop; action called inside a transformation."""
+    findings: list[Finding] = []
+
+    # (a) per function: RDD-producing assignment reused inside a loop, no cache().
+    for info in list(model.scopes.values()):
+        fn = info.node
+        if isinstance(fn, ast.Lambda):
+            continue
+        produced: dict[str, ast.Assign] = {}
+        cached: set[str] = set()
+        for node in _iter_scope(fn):
+            if isinstance(node, ast.Assign) and isinstance(node.value, ast.Call):
+                terminal = _terminal_name(node.value.func)
+                names = [
+                    name for target in node.targets for name in _target_names(target)
+                ]
+                if terminal == "cache":
+                    cached.update(names)
+                elif (
+                    terminal in _RDD_PRODUCERS
+                    and isinstance(node.value.func, ast.Attribute)
+                ):
+                    for name in names:
+                        produced[name] = node
+            elif isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+                if node.func.attr == "cache" and isinstance(node.func.value, ast.Name):
+                    cached.add(node.func.value.id)
+        if not produced:
+            continue
+        reported: set[str] = set()
+        for node in _iter_scope(fn):
+            if not isinstance(node, (ast.For, ast.While)):
+                continue
+            for sub in ast.walk(node):
+                if (
+                    isinstance(sub, ast.Name)
+                    and isinstance(sub.ctx, ast.Load)
+                    and sub.id in produced
+                    and sub.id not in cached
+                    and sub.id not in reported
+                ):
+                    reported.add(sub.id)
+                    findings.append(
+                        Finding(
+                            path=model.path,
+                            line=sub.lineno,
+                            col=sub.col_offset,
+                            code="DF005",
+                            message=(
+                                f"RDD {sub.id!r} is reused inside a loop without "
+                                "cache(); every iteration recomputes it from "
+                                "lineage (cache the iterated RDD -- Section 4.2)"
+                            ),
+                        )
+                    )
+
+    # (b) action invoked inside worker code.
+    worker_entries = {**model.worker_fns, **model.combiner_fns}
+    seen: set[int] = set()
+    for entry in worker_entries.values():
+        for member in model.worker_group(entry):
+            if id(member) in seen:
+                continue
+            seen.add(id(member))
+            for node in ast.walk(member):
+                if (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in _RDD_ACTIONS_NO_ARGS
+                    and not node.args
+                    and not node.keywords
+                ):
+                    findings.append(
+                        Finding(
+                            path=model.path,
+                            line=node.lineno,
+                            col=node.col_offset,
+                            code="DF005",
+                            message=(
+                                f"action .{node.func.attr}() invoked inside a "
+                                "transformation/worker closure runs a nested job "
+                                "per task; collect on the driver instead"
+                            ),
+                        )
+                    )
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# CT001: static cross-check of @contract shape symbols at literal call sites
+
+
+@dataclass(frozen=True)
+class ContractDecl:
+    """Statically collected ``@contract`` declaration for one function."""
+
+    name: str
+    params: tuple[str, ...]
+    specs: dict[str, Spec]
+
+
+def collect_contract_decls(tree: ast.Module) -> dict[str, ContractDecl]:
+    """Harvest ``@contract(...)`` decorators from a module's AST."""
+    decls: dict[str, ContractDecl] = {}
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.FunctionDef):
+            continue
+        for decorator in node.decorator_list:
+            if not (
+                isinstance(decorator, ast.Call)
+                and _terminal_name(decorator.func) == "contract"
+            ):
+                continue
+            specs: dict[str, Spec] = {}
+            for keyword in decorator.keywords:
+                if keyword.arg is None or keyword.arg == "ret":
+                    continue
+                if isinstance(keyword.value, ast.Constant) and isinstance(
+                    keyword.value.value, str
+                ):
+                    try:
+                        specs[keyword.arg] = parse_spec(keyword.value.value)
+                    except ValueError:
+                        continue
+            params = tuple(param.arg for param in _param_names(node))
+            decls[node.name] = ContractDecl(node.name, params, specs)
+    return decls
+
+
+def _literal_shape(expr: ast.expr) -> tuple[int, ...] | None:
+    """Shape of an argument when it is statically evident, else None."""
+    if isinstance(expr, ast.Constant) and isinstance(expr.value, (int, float)):
+        return ()
+    if not isinstance(expr, ast.Call):
+        return None
+    terminal = _terminal_name(expr.func)
+    if terminal in {"zeros", "ones", "empty", "full"} and expr.args:
+        first = expr.args[0]
+        if isinstance(first, ast.Constant) and isinstance(first.value, int):
+            return (first.value,)
+        if isinstance(first, (ast.Tuple, ast.List)) and all(
+            isinstance(e, ast.Constant) and isinstance(e.value, int) for e in first.elts
+        ):
+            return tuple(e.value for e in first.elts)  # type: ignore[misc]
+    if terminal == "eye" and expr.args:
+        dims = [
+            arg.value
+            for arg in expr.args[:2]
+            if isinstance(arg, ast.Constant) and isinstance(arg.value, int)
+        ]
+        if len(dims) == len(expr.args[:2]):
+            return (dims[0], dims[1] if len(dims) > 1 else dims[0])
+    return None
+
+
+def check_ct001(
+    model: ModuleModel, contract_table: dict[str, ContractDecl]
+) -> list[Finding]:
+    """Unify literal call-site dimensions against contract shape symbols."""
+    findings: list[Finding] = []
+    if not contract_table:
+        return findings
+    for node in ast.walk(model.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        terminal = _terminal_name(node.func)
+        decl = contract_table.get(terminal or "")
+        if decl is None:
+            continue
+        bindings: dict[str, tuple[int, str]] = {}
+        arguments = list(zip(decl.params, node.args)) + [
+            (kw.arg, kw.value) for kw in node.keywords if kw.arg in decl.specs
+        ]
+        for param, expr in arguments:
+            spec = decl.specs.get(param or "")
+            if spec is None or spec.dims is None:
+                continue
+            shape = _literal_shape(expr)
+            if shape is None:
+                continue
+            if len(shape) != len(spec.dims):
+                findings.append(
+                    Finding(
+                        path=model.path,
+                        line=expr.lineno,
+                        col=expr.col_offset,
+                        code="CT001",
+                        message=(
+                            f"call to {decl.name}: argument {param!r} has literal "
+                            f"shape {shape} but the contract declares "
+                            f"{spec.dims} ({len(spec.dims)} dimension(s))"
+                        ),
+                    )
+                )
+                continue
+            for dim, actual in zip(spec.dims, shape):
+                if isinstance(dim, int):
+                    if dim != actual:
+                        findings.append(
+                            Finding(
+                                path=model.path,
+                                line=expr.lineno,
+                                col=expr.col_offset,
+                                code="CT001",
+                                message=(
+                                    f"call to {decl.name}: argument {param!r} has "
+                                    f"dimension {actual} where the contract "
+                                    f"requires {dim}"
+                                ),
+                            )
+                        )
+                    continue
+                bound = bindings.get(dim)
+                if bound is None:
+                    bindings[dim] = (actual, param or "?")
+                elif bound[0] != actual:
+                    findings.append(
+                        Finding(
+                            path=model.path,
+                            line=expr.lineno,
+                            col=expr.col_offset,
+                            code="CT001",
+                            message=(
+                                f"call to {decl.name}: argument {param!r} binds "
+                                f"symbol {dim}={actual} but {dim}={bound[0]} was "
+                                f"already bound by argument {bound[1]!r}"
+                            ),
+                        )
+                    )
+    return findings
+
+
+def run_all_checks(
+    model: ModuleModel, contract_table: dict[str, ContractDecl] | None = None
+) -> list[Finding]:
+    """Every rule over one module model."""
+    findings: list[Finding] = []
+    findings.extend(check_df001(model))
+    findings.extend(check_df002(model))
+    findings.extend(check_df003(model))
+    findings.extend(check_df004(model))
+    findings.extend(check_df005(model))
+    findings.extend(check_ct001(model, contract_table or {}))
+    return findings

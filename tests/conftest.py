@@ -1,0 +1,20 @@
+"""Shared test fixtures.
+
+Runtime shape contracts (:mod:`repro.lint.contracts`) are armed for the whole
+suite so every kernel call in every test doubles as a contract check.  The
+fixture mirrors :mod:`repro.lint.pytest_plugin`; it is duplicated here because
+``pytest_plugins`` may only be declared in the rootdir conftest.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lint import contracts
+
+
+@pytest.fixture(scope="session", autouse=True)
+def repro_runtime_contracts():
+    """Enable runtime contract checking for the whole test session."""
+    with contracts.checked():
+        yield

@@ -1,0 +1,114 @@
+"""The repo lints clean, and the CLI contracts are stable."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lint import RULES, format_findings, get_rule, iter_python_files, lint_paths
+from repro.lint.cli import main as lint_main
+
+
+def test_src_repro_lints_clean():
+    findings = lint_paths(["src/repro"])
+    assert findings == [], format_findings(findings)
+
+
+def test_iter_python_files_covers_the_tree():
+    files = iter_python_files(["src/repro"])
+    names = {file.name for file in files}
+    assert "kernels.py" in names
+    assert "spark.py" in names
+    assert len(files) > 40
+
+
+def test_rules_are_documented():
+    assert set(RULES) == {"DF001", "DF002", "DF003", "DF004", "DF005", "CT001"}
+    for code, rule in RULES.items():
+        assert rule.code == code
+        assert rule.summary
+        assert rule.paper_ref
+        assert rule.rationale
+    assert get_rule("DF001").name == "closure-captured-array"
+
+
+def test_cli_exit_zero_on_clean_tree(capsys):
+    assert lint_main(["src/repro"]) == 0
+    out = capsys.readouterr().out
+    assert "0 findings" in out
+
+
+def test_cli_exit_one_on_findings(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text(
+        "def job(rdd):\n"
+        "    return rdd.reduce_by_key(lambda a, b: a - b)\n"
+    )
+    assert lint_main([str(bad)]) == 1
+    out = capsys.readouterr().out
+    assert "DF002" in out
+    assert "bad.py" in out
+
+
+def test_cli_exit_two_on_unknown_rule(capsys):
+    assert lint_main(["--select", "DF999", "src/repro"]) == 2
+    assert "unknown rule" in capsys.readouterr().err
+
+
+def test_cli_exit_two_on_missing_path(capsys):
+    assert lint_main(["does/not/exist.txt"]) == 2
+
+
+def test_cli_list_rules(capsys):
+    assert lint_main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for code in RULES:
+        assert code in out
+
+
+def test_spca_cli_lint_subcommand(capsys):
+    from repro.cli import main as spca_main
+
+    assert spca_main(["lint", "src/repro", "-q"]) == 0
+
+
+@pytest.mark.parametrize("module", ["repro.lint.cli", "repro.lint"])
+def test_modules_importable(module):
+    __import__(module)
+
+
+# ---------------------------------------------------------------------------
+# optional third-party linters (the [lint] extra); skipped when not installed
+
+
+def test_py_typed_marker_shipped():
+    import repro
+
+    marker = (repro.__path__[0] + "/py.typed")
+    import os
+
+    assert os.path.exists(marker)
+
+
+def test_mypy_clean_on_typed_modules():
+    mypy = pytest.importorskip("mypy.api")
+    stdout, _stderr, status = mypy.run(
+        [
+            "--ignore-missing-imports",
+            "src/repro/engine/serde.py",
+            "src/repro/engine/mapreduce/api.py",
+        ]
+    )
+    assert status == 0, stdout
+
+
+def test_ruff_clean_on_lint_package():
+    pytest.importorskip("ruff")
+    import subprocess
+    import sys
+
+    result = subprocess.run(
+        [sys.executable, "-m", "ruff", "check", "src/repro/lint"],
+        capture_output=True,
+        text=True,
+    )
+    assert result.returncode == 0, result.stdout + result.stderr
