@@ -14,6 +14,8 @@ paper's real runs were.  Only time *ratios* are meaningful.
 
 from __future__ import annotations
 
+import contextlib
+import pathlib
 from dataclasses import dataclass, replace
 
 import numpy as np
@@ -27,8 +29,37 @@ from repro.engine.simtime import HADOOP_LIKE_COSTS, SPARK_LIKE_COSTS
 from repro.engine.spark.context import SparkContext
 from repro.errors import DriverOutOfMemoryError
 from repro.metrics import ideal_accuracy
+from repro.obs import tracing, write_trace
 
 FAILED = "Fail"
+
+# Every benchmark run leaves a Perfetto-loadable trace artifact next to the
+# text tables; set CAPTURE_TRACES = False to skip the files.
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+CAPTURE_TRACES = True
+
+
+@contextlib.contextmanager
+def trace_capture(label: str, sink: dict | None = None):
+    """Trace the enclosed run into ``benchmarks/results/<label>.trace.json``.
+
+    The label should be deterministic (algorithm, platform, data shape,
+    node count) so reruns overwrite rather than accumulate.  When *sink* is
+    given, the written path is stored under ``sink["trace_path"]``.
+    """
+    if not CAPTURE_TRACES:
+        yield None
+        return
+    with tracing() as tracer:
+        yield tracer
+    path = write_trace(tracer, RESULTS_DIR / f"{label}.trace.json")
+    if sink is not None:
+        sink["trace_path"] = str(path)
+
+
+def _shape_label(algorithm: str, data, d: int, num_nodes: int) -> str:
+    rows, cols = data.shape
+    return f"{algorithm}_{rows}x{cols}_d{d}_nodes{num_nodes}"
 
 # Calibration: measured task compute is amplified (our process crunches the
 # scaled-down data far faster than the paper's cluster crunched the full
@@ -64,6 +95,7 @@ class RunOutcome:
     peak_driver_bytes: int
     accuracy_timeline: list[tuple[float, float]]
     final_accuracy: float | None
+    trace_path: str | None = None
 
     @property
     def failed(self) -> bool:
@@ -139,7 +171,10 @@ def run_spca(
     if config is None:
         config = default_config(d, ideal_accuracy=ideal)
     backend = make_backend(platform, config, num_nodes, compute_scale)
-    model, history = SPCA(config, backend).fit(data)
+    sink: dict = {}
+    label = _shape_label(f"spca-{platform}", data, d, num_nodes)
+    with trace_capture(label, sink):
+        model, history = SPCA(config, backend).fit(data)
     timeline = history.accuracy_timeline(simulated=True)
     target = None
     if ideal is not None:
@@ -155,6 +190,7 @@ def run_spca(
         peak_driver_bytes=peak,
         accuracy_timeline=timeline,
         final_accuracy=history.final_accuracy,
+        trace_path=sink.get("trace_path"),
     )
 
 
@@ -162,8 +198,10 @@ def run_mllib(data, d: int = SCALED_COMPONENTS, num_nodes: int = 8) -> RunOutcom
     """Fit the MLlib-PCA analog; returns a FAILED outcome on driver OOM."""
     context = SparkContext(cluster=scaled_cluster(num_nodes), cost_model=SPARK_COSTS)
     algorithm = CovariancePCA(d, context)
+    sink: dict = {}
     try:
-        result = algorithm.fit(data)
+        with trace_capture(_shape_label("mllib", data, d, num_nodes), sink):
+            result = algorithm.fit(data)
     except DriverOutOfMemoryError:
         return RunOutcome(
             algorithm="MLlib-PCA",
@@ -182,6 +220,7 @@ def run_mllib(data, d: int = SCALED_COMPONENTS, num_nodes: int = 8) -> RunOutcom
         peak_driver_bytes=result.peak_driver_bytes,
         accuracy_timeline=[],
         final_accuracy=None,
+        trace_path=sink.get("trace_path"),
     )
 
 
@@ -207,7 +246,9 @@ def run_mahout(
         runtime=runtime,
         error_sample_fraction=0.2,
     )
-    result = algorithm.fit(data, compute_accuracy=compute_accuracy)
+    sink: dict = {}
+    with trace_capture(_shape_label("mahout", data, d, num_nodes), sink):
+        result = algorithm.fit(data, compute_accuracy=compute_accuracy)
     target = None
     if ideal is not None and compute_accuracy:
         target = result.time_to_accuracy(0.95 * ideal)
@@ -221,6 +262,7 @@ def run_mahout(
         peak_driver_bytes=0,
         accuracy_timeline=result.accuracy_timeline,
         final_accuracy=result.accuracy_timeline[-1][1] if result.accuracy_timeline else None,
+        trace_path=sink.get("trace_path"),
     )
 
 

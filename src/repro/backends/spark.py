@@ -270,13 +270,15 @@ class SparkBackend(Backend):
             # stage, so the ablation reflects the real dataflow cost rather
             # than a free in-memory cache.
             from repro.engine.metrics import JobStats
+            from repro.obs import EventTrace, record_job_stats
 
             latent_bytes = sum(
                 sizeof(self._latent_rdd._iterator(split))
                 for split in range(self._latent_rdd.num_partitions)
             )
             cost = self.context.cost_model
-            self.context.metrics.record(
+            record_job_stats(
+                self.context.metrics,
                 JobStats(
                     name="XJob",
                     output_bytes=latent_bytes,
@@ -286,7 +288,12 @@ class SparkBackend(Backend):
                     sim_seconds=(
                         cost.per_job_overhead_s + cost.disk_seconds(3 * latent_bytes)
                     ),
-                )
+                ),
+                phase_name="X round trip",
+                events=[
+                    EventTrace("hdfs_write", 0.0, {"bytes": latent_bytes}),
+                    EventTrace("hdfs_read", 0.0, {"bytes": 2 * latent_bytes}),
+                ],
             )
             self._latent_key = key
         return self._latent_rdd

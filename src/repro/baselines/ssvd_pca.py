@@ -30,6 +30,7 @@ from repro.errors import ShapeError
 from repro.jobs import mapreduce_jobs as mr
 from repro.jobs import ssvd_jobs
 from repro.linalg.blocks import Matrix, partition_rows
+from repro.obs import EventTrace, record_job_stats
 
 
 class SSVDPCAMapReduce:
@@ -171,7 +172,12 @@ class SSVDPCAMapReduce:
                 + self.runtime.cost_model.disk_seconds(nbytes)
             ),
         )
-        self.runtime.metrics.record(stats)
+        record_job_stats(
+            self.runtime.metrics,
+            stats,
+            phase_name="driver QR",
+            events=[EventTrace("hdfs_write", 0.0, {"bytes": nbytes, "path": path})],
+        )
         return out_blocks
 
     def _bt_job(self, splits, basis_blocks, mean) -> np.ndarray:

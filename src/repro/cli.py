@@ -6,6 +6,9 @@ Examples::
 
     repro-spca generate tweets --rows 20000 --cols 600 --out tweets.npz
     repro-spca fit tweets.npz --components 10 --backend spark --out model.npz
+    repro-spca fit tweets.npz --backend mapreduce --trace fit.trace.json
+    repro-spca report fit.trace.json
+    repro-spca trace fit.trace.json --to fit.jsonl
     repro-spca evaluate model.npz tweets.npz
     repro-spca transform model.npz tweets.npz --out latent.npz
     repro-spca info model.npz
@@ -60,6 +63,11 @@ def build_parser() -> argparse.ArgumentParser:
     fit.add_argument("--smart-init", action="store_true",
                      help="warm start from a small row sample (sPCA-SG)")
     fit.add_argument("--out", help="where to save the fitted model (.npz)")
+    fit.add_argument(
+        "--trace", metavar="PATH",
+        help="record an execution trace: .jsonl for an event log, anything "
+             "else for Chrome trace-event JSON (open in ui.perfetto.dev)",
+    )
 
     transform = commands.add_parser("transform", help="project a matrix to latent space")
     transform.add_argument("model")
@@ -90,6 +98,25 @@ def build_parser() -> argparse.ArgumentParser:
 
     info = commands.add_parser("info", help="describe a model or matrix archive")
     info.add_argument("path")
+
+    trace = commands.add_parser(
+        "trace", help="inspect or convert a recorded execution trace"
+    )
+    trace.add_argument("input", help="trace file (.json Chrome format or .jsonl)")
+    trace.add_argument(
+        "--to", metavar="PATH",
+        help="convert to PATH instead of printing a summary "
+             "(.jsonl -> event log, else Chrome trace-event JSON)",
+    )
+
+    report = commands.add_parser(
+        "report", help="per-job / per-phase / per-iteration trace breakdowns"
+    )
+    report.add_argument("input", help="trace file (.json Chrome format or .jsonl)")
+    report.add_argument(
+        "--section", choices=("all", "jobs", "phases", "iterations"),
+        default="all", help="which breakdown to print",
+    )
 
     lint = commands.add_parser(
         "lint", help="run the repro-lint dataflow static analysis"
@@ -150,7 +177,15 @@ def _cmd_fit(args) -> int:
         smart_init=args.smart_init,
     )
     backend = _make_backend(args.backend, config)
-    model, history = SPCA(config, backend).fit(matrix)
+    if args.trace:
+        from repro.obs import tracing, write_trace
+
+        with tracing() as tracer:
+            model, history = SPCA(config, backend).fit(matrix)
+        trace_path = write_trace(tracer, args.trace)
+    else:
+        model, history = SPCA(config, backend).fit(matrix)
+        trace_path = None
     print(
         f"fit {matrix.shape} with d={args.components} on {args.backend}: "
         f"{history.n_iterations} iterations, stop={history.stop_reason}"
@@ -160,6 +195,8 @@ def _cmd_fit(args) -> int:
     if backend.simulated_seconds:
         print(f"simulated cluster time: {backend.simulated_seconds:.2f}s, "
               f"intermediate data: {backend.intermediate_bytes:,} bytes")
+    if trace_path is not None:
+        print(f"trace written to {trace_path}")
     if args.out:
         path = save_model(model, args.out)
         print(f"model saved to {path}")
@@ -252,6 +289,52 @@ def _cmd_bench(args) -> int:
     return 0
 
 
+def _cmd_trace(args) -> int:
+    from collections import Counter
+
+    from repro.obs import load_trace, write_trace
+
+    trace = load_trace(args.input)
+    if args.to:
+        path = write_trace(trace, args.to)
+        print(f"converted {args.input} -> {path} "
+              f"({len(trace.spans)} spans, {len(trace.events)} events)")
+        return 0
+    span_kinds = Counter(span.kind for span in trace.spans)
+    event_types = Counter(event.type for event in trace.events)
+    sim_end = max((span.t0 + span.dur for span in trace.spans), default=0.0)
+    print(f"{args.input}: {len(trace.spans)} spans, {len(trace.events)} events, "
+          f"simulated span {sim_end:.3f}s")
+    for kind in ("run", "iteration", "job", "phase", "task"):
+        if span_kinds.get(kind):
+            print(f"  {kind:<12}{span_kinds[kind]:>8}")
+    for event_type, count in sorted(event_types.items()):
+        print(f"  event:{event_type:<18}{count:>8}")
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from repro.obs import load_trace
+    from repro.obs.report import (
+        format_iteration_table,
+        format_job_table,
+        format_phase_table,
+        summarize,
+    )
+
+    trace = load_trace(args.input)
+    summary = summarize(trace)
+    sections = []
+    if args.section in ("all", "jobs"):
+        sections.append("== jobs ==\n" + format_job_table(summary))
+    if args.section in ("all", "phases"):
+        sections.append("== phases ==\n" + format_phase_table(summary))
+    if args.section in ("all", "iterations"):
+        sections.append("== iterations ==\n" + format_iteration_table(trace))
+    print("\n\n".join(sections))
+    return 0
+
+
 def _cmd_lint(args) -> int:
     from repro.lint import cli as lint_cli
 
@@ -292,6 +375,8 @@ _COMMANDS = {
     "select": _cmd_select,
     "bench": _cmd_bench,
     "info": _cmd_info,
+    "trace": _cmd_trace,
+    "report": _cmd_report,
     "lint": _cmd_lint,
 }
 

@@ -22,6 +22,7 @@ from repro.core.model import PCAModel
 from repro.errors import ShapeError
 from repro.linalg.blocks import Matrix, is_sparse
 from repro.linalg.stats import column_means
+from repro.obs import get_tracer
 
 
 def fit_ppca(
@@ -66,21 +67,18 @@ def fit_ppca(
 
     frobenius = float(np.sum(centered * centered))
     identity = np.eye(n_components)
-    previous_ss = None
-    for _ in range(max_iterations):
-        moment = components.T @ components + noise_variance * identity
-        moment_inv = np.linalg.inv(moment)
-        latent = centered @ components @ moment_inv
-        latent_gram = latent.T @ latent + n_samples * noise_variance * moment_inv
-        cross = centered.T @ latent
-        components = cross @ np.linalg.inv(latent_gram)
-        ss2 = float(np.trace(latent_gram @ components.T @ components))
-        ss3 = float(np.sum((centered @ components) * latent))
-        noise_variance = (frobenius + ss2 - 2.0 * ss3) / (n_samples * n_features)
-        noise_variance = max(noise_variance, 1e-12)
-        if previous_ss is not None and abs(previous_ss - noise_variance) <= tolerance * previous_ss:
-            break
-        previous_ss = noise_variance
+    tracer = get_tracer()
+    with tracer.span(
+        "run",
+        f"ppca.fit[N={n_samples},D={n_features},d={n_components}]",
+        n_samples=n_samples,
+        n_features=n_features,
+        n_components=n_components,
+    ):
+        components, noise_variance = _em_loop(
+            centered, components, noise_variance, frobenius, identity,
+            n_samples, n_features, max_iterations, tolerance, tracer,
+        )
 
     return PCAModel(
         components=components,
@@ -88,3 +86,46 @@ def fit_ppca(
         noise_variance=noise_variance,
         n_samples=n_samples,
     )
+
+
+def _em_loop(
+    centered: np.ndarray,
+    components: np.ndarray,
+    noise_variance: float,
+    frobenius: float,
+    identity: np.ndarray,
+    n_samples: int,
+    n_features: int,
+    max_iterations: int,
+    tolerance: float,
+    tracer,
+) -> tuple[np.ndarray, float]:
+    previous_ss = None
+    for iteration in range(1, max_iterations + 1):
+        with tracer.span(
+            "iteration", f"ppca.iteration[{iteration}]", index=iteration
+        ) as iter_span:
+            moment = components.T @ components + noise_variance * identity
+            moment_inv = np.linalg.inv(moment)
+            latent = centered @ components @ moment_inv
+            latent_gram = latent.T @ latent + n_samples * noise_variance * moment_inv
+            cross = centered.T @ latent
+            components = cross @ np.linalg.inv(latent_gram)
+            ss2 = float(np.trace(latent_gram @ components.T @ components))
+            ss3 = float(np.sum((centered @ components) * latent))
+            noise_variance = (frobenius + ss2 - 2.0 * ss3) / (n_samples * n_features)
+            noise_variance = max(noise_variance, 1e-12)
+            if tracer.enabled:
+                iter_span.set(
+                    objective=noise_variance,
+                    convergence_delta=(
+                        None
+                        if previous_ss is None
+                        else abs(previous_ss - noise_variance)
+                    ),
+                )
+            if (previous_ss is not None
+                    and abs(previous_ss - noise_variance) <= tolerance * previous_ss):
+                break
+            previous_ss = noise_variance
+    return components, noise_variance

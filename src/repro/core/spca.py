@@ -26,6 +26,7 @@ from repro.core.model import PCAModel
 from repro.core.ppca import fit_ppca
 from repro.errors import ShapeError
 from repro.linalg.blocks import Matrix
+from repro.obs import get_tracer
 
 
 class SPCA:
@@ -58,6 +59,27 @@ class SPCA:
                 f"n_components={config.n_components} exceeds "
                 f"min(N, D)={min(n_samples, n_features)}"
             )
+        tracer = get_tracer()
+        with tracer.span(
+            "run",
+            f"spca.fit[N={n_samples},D={n_features},d={config.n_components}]",
+            n_samples=n_samples,
+            n_features=n_features,
+            n_components=config.n_components,
+            backend=type(self.backend).__name__,
+        ) as run_span:
+            model, history = self._fit_traced(data, tracer)
+            run_span.set(
+                stop_reason=history.stop_reason,
+                n_iterations=history.n_iterations,
+            )
+        return model, history
+
+    def _fit_traced(
+        self, data: Matrix, tracer
+    ) -> tuple[PCAModel, TrainingHistory]:
+        config = self.config
+        n_samples, n_features = data.shape
         rng = np.random.default_rng(config.seed)
         started = time.perf_counter()
         sim_start = self.backend.simulated_seconds
@@ -76,34 +98,42 @@ class SPCA:
             target_accuracy=config.target_accuracy,
             ideal_accuracy=config.ideal_accuracy,
         )
+        previous_ss = None
         for iteration in range(1, config.max_iterations + 1):
-            moment = components.T @ components + noise_variance * identity
-            moment_inv = np.linalg.inv(moment)
-            projector = components @ moment_inv               # CM = C * M^-1
-            latent_mean = mean @ projector                    # Xm = Ym * CM
+            with tracer.span(
+                "iteration", f"iteration[{iteration}]", index=iteration
+            ) as iter_span:
+                moment = components.T @ components + noise_variance * identity
+                moment_inv = np.linalg.inv(moment)
+                projector = components @ moment_inv           # CM = C * M^-1
+                latent_mean = mean @ projector                # Xm = Ym * CM
+                previous_components = components
 
-            if config.use_job_consolidation:
-                ytx, xtx = self.backend.ytx_xtx(dataset, mean, projector, latent_mean)
-            else:
-                # Ablation: two separate distributed passes (Figure 2 before
-                # the consolidation of Figure 3).
-                _, xtx = self.backend.ytx_xtx(dataset, mean, projector, latent_mean)
-                ytx, _ = self.backend.ytx_xtx(dataset, mean, projector, latent_mean)
-            xtx = xtx + n_samples * noise_variance * moment_inv
-            components = ytx @ np.linalg.inv(xtx)             # C = YtX / XtX
-            ss2 = float(np.trace(xtx @ components.T @ components))
-            ss3 = self.backend.ss3(dataset, mean, projector, latent_mean, components)
-            noise_variance = max(
-                (ss1 + ss2 - 2.0 * ss3) / (n_samples * n_features), 1e-12
-            )
-
-            error = None
-            if config.compute_error_every_iteration:
-                error = self.backend.reconstruction_error(
-                    dataset, mean, components, config.error_sample_fraction, rng
+                if config.use_job_consolidation:
+                    ytx, xtx = self.backend.ytx_xtx(
+                        dataset, mean, projector, latent_mean
+                    )
+                else:
+                    # Ablation: two separate distributed passes (Figure 2
+                    # before the consolidation of Figure 3).
+                    _, xtx = self.backend.ytx_xtx(dataset, mean, projector, latent_mean)
+                    ytx, _ = self.backend.ytx_xtx(dataset, mean, projector, latent_mean)
+                xtx = xtx + n_samples * noise_variance * moment_inv
+                components = ytx @ np.linalg.inv(xtx)         # C = YtX / XtX
+                ss2 = float(np.trace(xtx @ components.T @ components))
+                ss3 = self.backend.ss3(
+                    dataset, mean, projector, latent_mean, components
                 )
-            history.append(
-                IterationStats(
+                noise_variance = max(
+                    (ss1 + ss2 - 2.0 * ss3) / (n_samples * n_features), 1e-12
+                )
+
+                error = None
+                if config.compute_error_every_iteration:
+                    error = self.backend.reconstruction_error(
+                        dataset, mean, components, config.error_sample_fraction, rng
+                    )
+                stats = IterationStats(
                     index=iteration,
                     noise_variance=noise_variance,
                     error=error,
@@ -112,9 +142,29 @@ class SPCA:
                     simulated_seconds=self.backend.simulated_seconds - sim_start,
                     intermediate_bytes=self.backend.intermediate_bytes - bytes_start,
                 )
-            )
-            if tracker.update(error):
-                break
+                history.append(stats)
+                if tracer.enabled:
+                    denom = float(np.linalg.norm(previous_components))
+                    subspace_delta = (
+                        float(np.linalg.norm(components - previous_components)) / denom
+                        if denom > 0.0
+                        else float("inf")
+                    )
+                    iter_span.set(
+                        objective=noise_variance,
+                        convergence_delta=(
+                            None
+                            if previous_ss is None
+                            else abs(previous_ss - noise_variance)
+                        ),
+                        subspace_delta=subspace_delta,
+                        error=error,
+                        accuracy=stats.accuracy,
+                        intermediate_bytes=stats.intermediate_bytes,
+                    )
+                previous_ss = noise_variance
+                if tracker.update(error):
+                    break
         history.stop_reason = tracker.stop_reason or "max_iterations"
 
         model = PCAModel(

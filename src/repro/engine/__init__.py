@@ -28,7 +28,9 @@ from repro.engine.simtime import (
     HADOOP_LIKE_COSTS,
     SPARK_LIKE_COSTS,
     CostModel,
+    TaskPlacement,
     schedule_makespan,
+    schedule_tasks,
 )
 
 __all__ = [
@@ -38,5 +40,7 @@ __all__ = [
     "HADOOP_LIKE_COSTS",
     "JobStats",
     "SPARK_LIKE_COSTS",
+    "TaskPlacement",
     "schedule_makespan",
+    "schedule_tasks",
 ]

@@ -49,6 +49,11 @@ class ClusterSpec:
 
     def scaled(self, num_nodes: int) -> "ClusterSpec":
         """Same hardware per node, different node count (Table 4 sweeps)."""
+        if num_nodes < 1:
+            raise ShapeError(
+                f"scaled() needs num_nodes >= 1, got {num_nodes} "
+                "(a cluster cannot scale to zero machines)"
+            )
         return ClusterSpec(
             num_nodes=num_nodes,
             cores_per_node=self.cores_per_node,

@@ -28,9 +28,10 @@ from repro.engine.simtime import (
     HADOOP_LIKE_COSTS,
     CostModel,
     apply_speculative_execution,
-    schedule_makespan,
+    schedule_tasks,
 )
 from repro.errors import InvalidPlanError, JobFailedError
+from repro.obs import EventTrace, JobTrace, PhaseTrace, TaskTrace, get_tracer
 
 Pair = tuple[Any, Any]
 
@@ -102,8 +103,8 @@ class MapReduceRuntime:
         stats.n_map_tasks = len(splits)
 
         self._current_stats = stats
-        map_outputs, map_times = self._map_phase(job, splits, stats)
-        output, reduce_times = self._reduce_phase(job, map_outputs, stats)
+        map_outputs, map_times, map_retries = self._map_phase(job, splits, stats)
+        output, reduce_times, reduce_retries = self._reduce_phase(job, map_outputs, stats)
         self._current_stats = None
 
         if job.output_path is not None:
@@ -113,7 +114,9 @@ class MapReduceRuntime:
             stats.output_bytes = sizeof_pairs(output)
 
         stats.wall_seconds = time.perf_counter() - started
-        stats.sim_seconds = self._simulate_timeline(stats, map_times, reduce_times)
+        stats.sim_seconds = self._simulate_timeline(
+            stats, map_times, reduce_times, map_retries, reduce_retries
+        )
         self.metrics.record(stats)
         return output
 
@@ -136,32 +139,40 @@ class MapReduceRuntime:
         stats.hdfs_read_bytes += sum(sizeof_pairs(split) for split in splits)
         return splits
 
-    def _map_phase(self, job, splits, stats) -> tuple[list[list[Pair]], list[float]]:
+    def _map_phase(
+        self, job, splits, stats
+    ) -> tuple[list[list[Pair]], list[float], list[int]]:
         map_outputs = []
         map_times = []
+        map_retries = []
         for task_id, split in enumerate(splits):
-            pairs, seconds = self._attempt_task(
+            pairs, seconds, retries = self._attempt_task(
                 stats, lambda: self._run_map_task(job, split, task_id)
             )
             map_times.append(seconds)
+            map_retries.append(retries)
             map_outputs.append(pairs)
         stats.map_output_bytes = sum(sizeof_pairs(out) for out in map_outputs)
         if job.combiner is not None:
             combined = []
             for task_id, pairs in enumerate(map_outputs):
-                out, seconds = self._attempt_task(
+                out, seconds, retries = self._attempt_task(
                     stats,
                     lambda: self._run_reduce_like(job.combiner, job, pairs, task_id),
                 )
-                map_times[min(task_id, len(map_times) - 1)] += seconds
+                slot = min(task_id, len(map_times) - 1)
+                map_times[slot] += seconds
+                map_retries[slot] += retries
                 combined.append(out)
             map_outputs = combined
-        return map_outputs, map_times
+        return map_outputs, map_times, map_retries
 
-    def _reduce_phase(self, job, map_outputs, stats) -> tuple[list[Pair], list[float]]:
+    def _reduce_phase(
+        self, job, map_outputs, stats
+    ) -> tuple[list[Pair], list[float], list[int]]:
         all_pairs = [pair for output in map_outputs for pair in output]
         if job.reducer is None:
-            return all_pairs, []
+            return all_pairs, [], []
         stats.shuffle_bytes = sizeof_pairs(all_pairs)
         num_reducers = max(1, job.num_reducers)
         stats.n_reduce_tasks = num_reducers
@@ -170,17 +181,19 @@ class MapReduceRuntime:
             partitions[_partition_of(key, num_reducers)].append((key, value))
         output: list[Pair] = []
         reduce_times: list[float] = []
+        reduce_retries: list[int] = []
         for task_id, partition in enumerate(partitions):
-            pairs, seconds = self._attempt_task(
+            pairs, seconds, retries = self._attempt_task(
                 stats, lambda: self._run_reduce_like(job.reducer, job, partition, task_id)
             )
             reduce_times.append(seconds)
+            reduce_retries.append(retries)
             output.extend(pairs)
-        return output, reduce_times
+        return output, reduce_times, reduce_retries
 
     # -- task execution --------------------------------------------------
 
-    def _attempt_task(self, stats: JobStats, thunk) -> tuple[list[Pair], float]:
+    def _attempt_task(self, stats: JobStats, thunk) -> tuple[list[Pair], float, int]:
         total_seconds = 0.0
         for attempt in range(1, self.max_task_attempts + 1):
             started = time.perf_counter()
@@ -188,7 +201,7 @@ class MapReduceRuntime:
             elapsed = time.perf_counter() - started
             total_seconds += elapsed
             if self._rng.random() >= self.failure_rate:
-                return result, total_seconds
+                return result, total_seconds, attempt - 1
             stats.task_retries += 1
         raise JobFailedError(
             f"job {stats.name!r}: task failed {self.max_task_attempts} times"
@@ -228,27 +241,120 @@ class MapReduceRuntime:
 
     # -- simulated timeline ----------------------------------------------
 
-    def _simulate_timeline(self, stats, map_times, reduce_times) -> float:
+    def _simulate_timeline(
+        self, stats, map_times, reduce_times, map_retries=(), reduce_retries=()
+    ) -> float:
         cost = self.cost_model
         cores = self.cluster.total_cores
+        capped_map = apply_speculative_execution(map_times)
+        capped_reduce = apply_speculative_execution(reduce_times)
         map_tasks = [
-            t * cost.compute_scale + cost.per_task_overhead_s
-            for t in apply_speculative_execution(map_times)
+            t * cost.compute_scale + cost.per_task_overhead_s for t in capped_map
         ]
         reduce_tasks = [
-            t * cost.compute_scale + cost.per_task_overhead_s
-            for t in apply_speculative_execution(reduce_times)
+            t * cost.compute_scale + cost.per_task_overhead_s for t in capped_reduce
         ]
+        map_schedule = schedule_tasks(map_tasks, cores)
+        reduce_schedule = schedule_tasks(reduce_tasks, cores)
+        map_makespan = max((p.end for p in map_schedule), default=0.0)
+        reduce_makespan = max((p.end for p in reduce_schedule), default=0.0)
+
         seconds = cost.per_job_overhead_s
+        read_start = seconds
         seconds += cost.disk_seconds(stats.hdfs_read_bytes)
-        seconds += schedule_makespan(map_tasks, cores)
+        map_start = seconds
+        seconds += map_makespan
+        spill_start = seconds
         # Raw map output spills to local disk before combining (this is what
         # punishes jobs whose mappers emit a partial per record); the
         # combined output is fetched over the network and written once more
         # on the reduce side before reducing.
         seconds += cost.disk_seconds(stats.map_output_bytes)
+        shuffle_start = seconds
         seconds += cost.disk_seconds(stats.shuffle_bytes)
         seconds += cost.network_seconds(stats.shuffle_bytes)
-        seconds += schedule_makespan(reduce_tasks, cores)
+        reduce_start = seconds
+        seconds += reduce_makespan
+        write_start = seconds
         seconds += cost.disk_seconds(stats.hdfs_write_bytes)
+
+        tracer = get_tracer()
+        if tracer.enabled:
+            stats.sim_seconds = seconds
+            self._record_trace(
+                stats,
+                read_start=read_start, map_start=map_start,
+                spill_start=spill_start, shuffle_start=shuffle_start,
+                reduce_start=reduce_start, write_start=write_start,
+                total=seconds,
+                map_schedule=map_schedule, reduce_schedule=reduce_schedule,
+                map_caps=(map_times, capped_map, map_retries),
+                reduce_caps=(reduce_times, capped_reduce, reduce_retries),
+            )
         return seconds
+
+    def _record_trace(
+        self, stats, *, read_start, map_start, spill_start, shuffle_start,
+        reduce_start, write_start, total, map_schedule, reduce_schedule,
+        map_caps, reduce_caps,
+    ) -> None:
+        """Hand the finished job's reconstructed timeline to the tracer."""
+
+        def tasks_for(schedule, caps):
+            raw, capped, retries = caps
+            return [
+                TaskTrace(
+                    task_id=p.task_id,
+                    slot=p.slot,
+                    start=p.start,
+                    duration=p.duration,
+                    retries=retries[p.task_id] if p.task_id < len(retries) else 0,
+                    speculative_kill=capped[p.task_id] < raw[p.task_id],
+                )
+                for p in schedule
+            ]
+
+        phases = [PhaseTrace("job init", 0.0, read_start)]
+        if stats.hdfs_read_bytes:
+            phases.append(
+                PhaseTrace("hdfs read", read_start, map_start - read_start,
+                           attrs={"bytes": stats.hdfs_read_bytes})
+            )
+        phases.append(
+            PhaseTrace("map", map_start, spill_start - map_start,
+                       tasks=tasks_for(map_schedule, map_caps))
+        )
+        if stats.map_output_bytes:
+            phases.append(
+                PhaseTrace("map spill", spill_start, shuffle_start - spill_start,
+                           attrs={"bytes": stats.map_output_bytes})
+            )
+        if stats.shuffle_bytes:
+            phases.append(
+                PhaseTrace("shuffle", shuffle_start, reduce_start - shuffle_start,
+                           attrs={"bytes": stats.shuffle_bytes})
+            )
+        if reduce_schedule:
+            phases.append(
+                PhaseTrace("reduce", reduce_start, write_start - reduce_start,
+                           tasks=tasks_for(reduce_schedule, reduce_caps))
+            )
+        if stats.hdfs_write_bytes:
+            phases.append(
+                PhaseTrace("hdfs write", write_start, total - write_start,
+                           attrs={"bytes": stats.hdfs_write_bytes})
+            )
+        events = []
+        if stats.hdfs_read_bytes:
+            events.append(
+                EventTrace("hdfs_read", read_start, {"bytes": stats.hdfs_read_bytes})
+            )
+        if stats.shuffle_bytes:
+            events.append(
+                EventTrace("shuffle", shuffle_start, {"bytes": stats.shuffle_bytes})
+            )
+        if stats.hdfs_write_bytes:
+            events.append(
+                EventTrace("hdfs_write", write_start, {"bytes": stats.hdfs_write_bytes})
+            )
+        get_tracer().record_job(JobTrace.from_stats(stats, phases=phases, events=events))

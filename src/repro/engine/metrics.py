@@ -74,6 +74,35 @@ class EngineMetrics:
     def total_map_output_bytes(self) -> int:
         return sum(job.map_output_bytes for job in self.jobs)
 
+    @property
+    def total_hdfs_read_bytes(self) -> int:
+        return sum(job.hdfs_read_bytes for job in self.jobs)
+
+    @property
+    def total_hdfs_write_bytes(self) -> int:
+        return sum(job.hdfs_write_bytes for job in self.jobs)
+
+    @property
+    def total_broadcast_bytes(self) -> int:
+        return sum(job.broadcast_bytes for job in self.jobs)
+
+    @property
+    def total_driver_result_bytes(self) -> int:
+        return sum(job.driver_result_bytes for job in self.jobs)
+
+    @property
+    def total_task_retries(self) -> int:
+        return sum(job.task_retries for job in self.jobs)
+
+    @property
+    def total_counters(self) -> dict[str, int]:
+        """All :attr:`JobStats.counters` merged across jobs (summed by name)."""
+        merged: dict[str, int] = {}
+        for job in self.jobs:
+            for counter, amount in job.counters.items():
+                merged[counter] = merged.get(counter, 0) + amount
+        return merged
+
     def by_name(self, name: str) -> list[JobStats]:
         return [job for job in self.jobs if job.name == name]
 
@@ -81,16 +110,25 @@ class EngineMetrics:
         """Human-readable per-job table (used by examples and EXPERIMENTS)."""
         lines = [
             f"{'job':<28}{'maps':>6}{'reds':>6}{'shuffle B':>14}"
-            f"{'interm. B':>14}{'sim s':>10}"
+            f"{'interm. B':>14}{'hdfs r B':>12}{'hdfs w B':>12}"
+            f"{'bcast B':>10}{'retry':>6}{'sim s':>10}"
         ]
         for job in self.jobs:
             lines.append(
                 f"{job.name:<28}{job.n_map_tasks:>6}{job.n_reduce_tasks:>6}"
                 f"{job.shuffle_bytes:>14}{job.intermediate_bytes:>14}"
+                f"{job.hdfs_read_bytes:>12}{job.hdfs_write_bytes:>12}"
+                f"{job.broadcast_bytes:>10}{job.task_retries:>6}"
                 f"{job.sim_seconds:>10.3f}"
             )
         lines.append(
             f"{'TOTAL':<28}{'':>6}{'':>6}{self.total_shuffle_bytes:>14}"
-            f"{self.total_intermediate_bytes:>14}{self.total_sim_seconds:>10.3f}"
+            f"{self.total_intermediate_bytes:>14}{self.total_hdfs_read_bytes:>12}"
+            f"{self.total_hdfs_write_bytes:>12}{self.total_broadcast_bytes:>10}"
+            f"{self.total_task_retries:>6}{self.total_sim_seconds:>10.3f}"
         )
+        if self.total_counters:
+            lines.append("counters:")
+            for counter in sorted(self.total_counters):
+                lines.append(f"  {counter:<34}{self.total_counters[counter]:>14}")
         return "\n".join(lines)

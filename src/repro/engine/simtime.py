@@ -21,6 +21,7 @@ reproduction is the *relative* structure the paper leans on:
 from __future__ import annotations
 
 import heapq
+import math
 from dataclasses import dataclass
 
 from repro.errors import ShapeError
@@ -68,6 +69,23 @@ SPARK_LIKE_COSTS = CostModel(
 )
 
 
+def _validated_durations(task_seconds, what: str) -> list[float]:
+    """Coerce to floats, rejecting NaN/inf/negative values loudly.
+
+    A negative or non-finite task time silently corrupts both the straggler
+    median and the makespan heap (the greedy would *prefer* the poisoned
+    slot forever), so bad inputs fail here with the offending value named.
+    """
+    durations = [float(t) for t in task_seconds]
+    for index, duration in enumerate(durations):
+        if not math.isfinite(duration) or duration < 0.0:
+            raise ShapeError(
+                f"{what}: task duration #{index} is {duration!r}; "
+                "durations must be finite and >= 0"
+            )
+    return durations
+
+
 def apply_speculative_execution(task_seconds, straggler_factor: float = 3.0):
     """Cap straggler tasks at a multiple of the stage's median task time.
 
@@ -82,7 +100,7 @@ def apply_speculative_execution(task_seconds, straggler_factor: float = 3.0):
         raise ShapeError(
             f"straggler_factor must be > 1, got {straggler_factor}"
         )
-    durations = [float(t) for t in task_seconds]
+    durations = _validated_durations(task_seconds, "apply_speculative_execution")
     if len(durations) < 3:
         return durations
     ordered = sorted(durations)
@@ -91,21 +109,61 @@ def apply_speculative_execution(task_seconds, straggler_factor: float = 3.0):
     return [min(duration, ceiling) for duration in durations]
 
 
+@dataclass(frozen=True)
+class TaskPlacement:
+    """Where and when the scheduler placed one task on the cluster.
+
+    Attributes:
+        task_id: index of the task in the input sequence.
+        slot: execution slot (core) the task runs on.
+        start: simulated start offset from the beginning of the phase.
+        duration: the task's simulated running time.
+    """
+
+    task_id: int
+    slot: int
+    start: float
+    duration: float
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+
+def schedule_tasks(task_seconds, slots: int) -> list[TaskPlacement]:
+    """Place tasks onto *slots* parallel slots, LPT-greedy, with timestamps.
+
+    This exposes the scheduling *decisions* behind
+    :func:`schedule_makespan` -- which slot each task lands on and when --
+    so the tracing layer can draw the cluster's parallelism on a timeline.
+    Returned placements are ordered by ``task_id``.  An empty task list
+    yields an empty schedule (a phase with no tasks, e.g. the reduce phase
+    of a map-only job); ``slots < 1`` is always an error, even then.
+    """
+    if slots < 1:
+        raise ShapeError(f"slots must be >= 1, got {slots}")
+    durations = _validated_durations(task_seconds, "schedule_tasks")
+    if not durations:
+        return []
+    order = sorted(range(len(durations)), key=lambda i: durations[i], reverse=True)
+    heap = [(0.0, slot) for slot in range(min(slots, len(durations)))]
+    placements = []
+    for task_id in order:
+        load, slot = heapq.heappop(heap)
+        placements.append(TaskPlacement(task_id, slot, load, durations[task_id]))
+        heapq.heappush(heap, (load + durations[task_id], slot))
+    placements.sort(key=lambda placement: placement.task_id)
+    return placements
+
+
 def schedule_makespan(task_seconds, slots: int) -> float:
     """Makespan of greedily scheduling tasks onto *slots* parallel slots.
 
     Longest-processing-time-first: sort descending, always assign to the
     least-loaded slot.  Returns the maximum slot load, i.e. how long the
-    phase takes on the cluster.
+    phase takes on the cluster.  An empty task list has makespan 0.
     """
-    if slots < 1:
-        raise ShapeError(f"slots must be >= 1, got {slots}")
-    durations = sorted((float(t) for t in task_seconds), reverse=True)
-    if not durations:
+    placements = schedule_tasks(task_seconds, slots)
+    if not placements:
         return 0.0
-    loads = [0.0] * min(slots, len(durations))
-    heapq.heapify(loads)
-    for duration in durations:
-        lightest = heapq.heappop(loads)
-        heapq.heappush(loads, lightest + duration)
-    return max(loads)
+    return max(placement.end for placement in placements)

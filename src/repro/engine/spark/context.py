@@ -14,10 +14,18 @@ from repro.engine.simtime import (
     SPARK_LIKE_COSTS,
     CostModel,
     apply_speculative_execution,
-    schedule_makespan,
+    schedule_tasks,
 )
 from repro.engine.spark.memory import BlockManager, DriverMemoryMonitor
 from repro.errors import InvalidPlanError, JobFailedError
+from repro.obs import (
+    EventTrace,
+    JobTrace,
+    PhaseTrace,
+    TaskTrace,
+    get_tracer,
+    record_job_stats,
+)
 
 
 class Broadcast:
@@ -139,7 +147,10 @@ class SparkContext:
         rdd = self.parallelize(records, num_partitions)
         read_stats = JobStats(name="hdfsRead", hdfs_read_bytes=nbytes)
         read_stats.sim_seconds = self.cost_model.disk_seconds(nbytes)
-        self.metrics.record(read_stats)
+        record_job_stats(
+            self.metrics, read_stats, phase_name="hdfs read",
+            events=[EventTrace("hdfs_read", 0.0, {"bytes": nbytes, "path": path})],
+        )
         return rdd
 
     def save_to_hdfs(self, rdd, hdfs, path: str) -> int:
@@ -153,7 +164,10 @@ class SparkContext:
         nbytes = hdfs.write(path, [(i, record) for i, record in enumerate(records)])
         write_stats = JobStats(name="hdfsWrite", hdfs_write_bytes=nbytes)
         write_stats.sim_seconds = self.cost_model.disk_seconds(nbytes)
-        self.metrics.record(write_stats)
+        record_job_stats(
+            self.metrics, write_stats, phase_name="hdfs write",
+            events=[EventTrace("hdfs_write", 0.0, {"bytes": nbytes, "path": path})],
+        )
         return nbytes
 
     # -- shared variables -------------------------------------------------
@@ -164,10 +178,16 @@ class SparkContext:
         total = nbytes * self.cluster.num_nodes
         stats = JobStats(name="broadcast", broadcast_bytes=total)
         stats.sim_seconds = self.cost_model.network_seconds(total)
-        self.metrics.record(stats)
+        record_job_stats(
+            self.metrics, stats, phase_name="broadcast transfer",
+            events=[EventTrace("broadcast", 0.0,
+                               {"bytes": total, "per_node_bytes": nbytes})],
+        )
         return Broadcast(value, nbytes)
 
-    def accumulator(self, zero: Any, add_op: Callable[[Any, Any], Any] | None = None) -> Accumulator:
+    def accumulator(
+        self, zero: Any, add_op: Callable[[Any, Any], Any] | None = None
+    ) -> Accumulator:
         if add_op is None:
             add_op = lambda a, b: a + b
         return Accumulator(zero, add_op, self)
@@ -193,11 +213,15 @@ class SparkContext:
         started = time.perf_counter()
         results = []
         task_seconds = []
+        task_retries = []
         try:
             for split in range(rdd.num_partitions):
-                result, seconds = self._attempt_partition(rdd, split, partition_fn, stats)
+                result, seconds, retries = self._attempt_partition(
+                    rdd, split, partition_fn, stats
+                )
                 results.append(result)
                 task_seconds.append(seconds)
+                task_retries.append(retries)
         finally:
             self._stage_stats = previous
         result_bytes = sizeof(results)
@@ -205,22 +229,61 @@ class SparkContext:
         self.driver.transient(result_bytes, what=f"results of {name}")
         stats.wall_seconds = time.perf_counter() - started
         cost = self.cost_model
-        tasks = [
-            t * cost.compute_scale + cost.per_task_overhead_s
-            for t in apply_speculative_execution(task_seconds)
-        ]
-        stats.sim_seconds = (
-            cost.per_job_overhead_s
-            + schedule_makespan(tasks, self.cluster.total_cores)
-            + cost.network_seconds(stats.driver_result_bytes)
-            + cost.disk_seconds(stats.hdfs_read_bytes)
-        )
+        capped = apply_speculative_execution(task_seconds)
+        tasks = [t * cost.compute_scale + cost.per_task_overhead_s for t in capped]
+        schedule = schedule_tasks(tasks, self.cluster.total_cores)
+        seconds = cost.per_job_overhead_s
+        tasks_start = seconds
+        seconds += max((p.end for p in schedule), default=0.0)
+        collect_start = seconds
+        seconds += cost.network_seconds(stats.driver_result_bytes)
+        spill_start = seconds
+        seconds += cost.disk_seconds(stats.hdfs_read_bytes)
+        stats.sim_seconds = seconds
+
+        tracer = get_tracer()
+        if tracer.enabled:
+            placed = [
+                TaskTrace(
+                    task_id=p.task_id, slot=p.slot, start=p.start,
+                    duration=p.duration, retries=task_retries[p.task_id],
+                    speculative_kill=capped[p.task_id] < task_seconds[p.task_id],
+                )
+                for p in schedule
+            ]
+            phases = [
+                PhaseTrace("stage init", 0.0, tasks_start),
+                PhaseTrace("tasks", tasks_start, collect_start - tasks_start,
+                           tasks=placed),
+            ]
+            events = []
+            if stats.driver_result_bytes:
+                phases.append(
+                    PhaseTrace("driver collect", collect_start,
+                               spill_start - collect_start,
+                               attrs={"bytes": stats.driver_result_bytes})
+                )
+                events.append(
+                    EventTrace("driver_collect", collect_start,
+                               {"bytes": stats.driver_result_bytes})
+                )
+            if stats.hdfs_read_bytes:
+                phases.append(
+                    PhaseTrace("cache spill read", spill_start,
+                               seconds - spill_start,
+                               attrs={"bytes": stats.hdfs_read_bytes})
+                )
+                events.append(
+                    EventTrace("hdfs_read", spill_start,
+                               {"bytes": stats.hdfs_read_bytes})
+                )
+            tracer.record_job(JobTrace.from_stats(stats, phases=phases, events=events))
         self.metrics.record(stats)
         return results
 
-    def _attempt_partition(self, rdd, split, partition_fn, stats) -> tuple[Any, float]:
+    def _attempt_partition(self, rdd, split, partition_fn, stats) -> tuple[Any, float, int]:
         total_seconds = 0.0
-        for _ in range(self.max_task_attempts):
+        for attempt in range(self.max_task_attempts):
             self._pending_updates = []
             started = time.perf_counter()
             data = rdd._iterator(split, stats)
@@ -230,7 +293,7 @@ class SparkContext:
                 pending, self._pending_updates = self._pending_updates, None
                 for accumulator, update in pending:
                     accumulator._apply(update)
-                return result, total_seconds
+                return result, total_seconds, attempt
             self._pending_updates = None
             stats.task_retries += 1
         raise JobFailedError(

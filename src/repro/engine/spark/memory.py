@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.errors import DriverOutOfMemoryError, ShapeError
+from repro.obs import get_tracer
 
 
 class DriverMemoryMonitor:
@@ -81,18 +82,32 @@ class BlockManager:
             self.disk_bytes += nbytes
         else:
             self.memory_bytes += nbytes
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.event(
+                "cache_put", rdd_id=rdd_id, split=split, bytes=nbytes, on_disk=on_disk
+            )
 
     def get(self, rdd_id: int, split: int) -> _CachedPartition | None:
         return self._blocks.get((rdd_id, split))
 
     def evict(self, rdd_id: int) -> None:
         """Drop every cached partition of one RDD (``unpersist``)."""
+        tracer = get_tracer()
         for key in [key for key in self._blocks if key[0] == rdd_id]:
             block = self._blocks.pop(key)
             if block.on_disk:
                 self.disk_bytes -= block.nbytes
             else:
                 self.memory_bytes -= block.nbytes
+            if tracer.enabled:
+                tracer.event(
+                    "cache_evict",
+                    rdd_id=rdd_id,
+                    split=key[1],
+                    bytes=block.nbytes,
+                    on_disk=block.on_disk,
+                )
 
     @property
     def cached_bytes(self) -> int:

@@ -18,6 +18,7 @@ from typing import TYPE_CHECKING, Any, Callable, Iterable
 
 from repro.engine.serde import sizeof
 from repro.errors import InvalidPlanError
+from repro.obs import get_tracer
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
     from repro.engine.spark.context import SparkContext
@@ -60,6 +61,15 @@ class RDD:
             if block is not None:
                 if block.on_disk and stats is not None:
                     stats.hdfs_read_bytes += block.nbytes
+                tracer = get_tracer()
+                if tracer.enabled:
+                    tracer.event(
+                        "cache_hit",
+                        rdd_id=self.rdd_id,
+                        split=split,
+                        bytes=block.nbytes,
+                        on_disk=block.on_disk,
+                    )
                 return block.data
         data = self._compute(split, stats)
         if self._cached:
@@ -165,7 +175,9 @@ class RDD:
     def values(self) -> "RDD":
         return self.map(lambda kv: kv[1])
 
-    def reduce_by_key(self, fn: Callable[[Any, Any], Any], num_partitions: int | None = None) -> "RDD":
+    def reduce_by_key(
+        self, fn: Callable[[Any, Any], Any], num_partitions: int | None = None
+    ) -> "RDD":
         return self._shuffle(fn, num_partitions, combine_values=True)
 
     def group_by_key(self, num_partitions: int | None = None) -> "RDD":

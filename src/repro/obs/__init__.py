@@ -1,0 +1,54 @@
+"""repro.obs: span tracing, timeline export, and convergence telemetry.
+
+A zero-dependency tracing layer for the simulated distributed engines.
+Spans form a ``run -> iteration -> job -> phase -> task`` hierarchy, typed
+events capture data movement (shuffle, HDFS, broadcast, driver collect) and
+scheduling incidents (retries, speculative kills, cache hits/evictions),
+and everything is stamped with both the wall clock and the simulated
+cluster clock.  See ``docs/observability.md``.
+
+Typical use::
+
+    from repro.obs import tracing
+    from repro.obs.export import write_trace
+
+    with tracing() as tracer:
+        model, history = SPCA(config, backend).fit(data)
+    write_trace(tracer, "fit.trace.json")   # open in https://ui.perfetto.dev
+"""
+
+from repro.obs.export import TraceData, load_trace, write_trace
+from repro.obs.tracer import (
+    EVENT_TYPES,
+    SPAN_KINDS,
+    EventRecord,
+    EventTrace,
+    JobTrace,
+    PhaseTrace,
+    SpanRecord,
+    TaskTrace,
+    Tracer,
+    get_tracer,
+    record_job_stats,
+    set_tracer,
+    tracing,
+)
+
+__all__ = [
+    "EVENT_TYPES",
+    "SPAN_KINDS",
+    "EventRecord",
+    "EventTrace",
+    "JobTrace",
+    "PhaseTrace",
+    "SpanRecord",
+    "TaskTrace",
+    "TraceData",
+    "Tracer",
+    "get_tracer",
+    "load_trace",
+    "record_job_stats",
+    "set_tracer",
+    "tracing",
+    "write_trace",
+]

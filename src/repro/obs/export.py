@@ -1,0 +1,230 @@
+"""Trace exporters and loaders: Chrome trace-event JSON and JSONL.
+
+The Chrome format (``{"traceEvents": [...]}``) loads directly in Perfetto
+(https://ui.perfetto.dev) or ``chrome://tracing``.  The **simulated clock**
+is used as the trace clock -- ``ts`` is simulated microseconds -- so the
+timeline shows the cluster's parallelism (one Perfetto track per execution
+slot) rather than the single-process simulator's sequential wall clock.
+
+Both formats embed the full-precision span fields in each event's ``args``,
+so a written trace loads back bit-exactly (``ts``/``dur`` alone would lose
+precision to microsecond rounding) and the reconciliation check against
+:class:`repro.engine.metrics.EngineMetrics` keeps holding after a round
+trip through disk.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.obs.tracer import EventRecord, SpanRecord, Tracer
+
+JSONL_SCHEMA = "repro.obs/1"
+
+_PID = 1
+_DRIVER_TID = 0
+
+
+@dataclass
+class TraceData:
+    """A loaded or snapshotted trace: plain span/event record lists."""
+
+    spans: list[SpanRecord] = field(default_factory=list)
+    events: list[EventRecord] = field(default_factory=list)
+
+    @classmethod
+    def from_tracer(cls, tracer: Tracer) -> "TraceData":
+        return cls(spans=list(tracer.spans), events=list(tracer.events))
+
+
+def _span_args(span: SpanRecord) -> dict[str, Any]:
+    return {
+        "span_id": span.span_id,
+        "parent_id": span.parent_id,
+        "kind": span.kind,
+        "t0": span.t0,
+        "dur": span.dur,
+        "wall_t0": span.wall_t0,
+        "wall_dur": span.wall_dur,
+        "track": span.track,
+        "attrs": span.attrs,
+    }
+
+
+def to_chrome(trace: TraceData) -> dict[str, Any]:
+    """Render *trace* as a Chrome trace-event JSON object."""
+    events: list[dict[str, Any]] = [
+        {
+            "ph": "M", "pid": _PID, "tid": _DRIVER_TID, "name": "process_name",
+            "args": {"name": "simulated cluster (sim-time clock)"},
+        },
+        {
+            "ph": "M", "pid": _PID, "tid": _DRIVER_TID, "name": "thread_name",
+            "args": {"name": "driver"},
+        },
+    ]
+    slots = sorted({span.track for span in trace.spans if span.track is not None})
+    for slot in slots:
+        events.append(
+            {
+                "ph": "M", "pid": _PID, "tid": slot + 1, "name": "thread_name",
+                "args": {"name": f"slot {slot}"},
+            }
+        )
+    for span in trace.spans:
+        tid = _DRIVER_TID if span.track is None else span.track + 1
+        events.append(
+            {
+                "name": span.name,
+                "cat": span.kind,
+                "ph": "X",
+                "ts": span.t0 * 1e6,
+                "dur": span.dur * 1e6,
+                "pid": _PID,
+                "tid": tid,
+                "args": _span_args(span),
+            }
+        )
+    intermediate_total = 0
+    for span in trace.spans:
+        if span.kind != "job":
+            continue
+        intermediate_total += int(span.attrs.get("intermediate_bytes", 0))
+        events.append(
+            {
+                "name": "intermediate bytes",
+                "cat": "counters",
+                "ph": "C",
+                "ts": (span.t0 + span.dur) * 1e6,
+                "pid": _PID,
+                "tid": _DRIVER_TID,
+                "args": {"cumulative": intermediate_total},
+            }
+        )
+    for event in trace.events:
+        events.append(
+            {
+                "name": event.type,
+                "cat": "event",
+                "ph": "i",
+                "ts": event.t * 1e6,
+                "pid": _PID,
+                "tid": _DRIVER_TID,
+                "s": "p",
+                "args": {
+                    "event_id": event.event_id,
+                    "parent_id": event.parent_id,
+                    "type": event.type,
+                    "t": event.t,
+                    "wall_t": event.wall_t,
+                    "attrs": event.attrs,
+                },
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def to_jsonl_lines(trace: TraceData) -> list[str]:
+    """Render *trace* as JSONL lines (header + one record per line)."""
+    lines = [json.dumps({"rec": "header", "schema": JSONL_SCHEMA,
+                         "spans": len(trace.spans), "events": len(trace.events)})]
+    for span in trace.spans:
+        payload = {"rec": "span", "name": span.name}
+        payload.update(_span_args(span))
+        lines.append(json.dumps(payload))
+    for event in trace.events:
+        lines.append(
+            json.dumps(
+                {
+                    "rec": "event",
+                    "event_id": event.event_id,
+                    "parent_id": event.parent_id,
+                    "type": event.type,
+                    "t": event.t,
+                    "wall_t": event.wall_t,
+                    "attrs": event.attrs,
+                }
+            )
+        )
+    return lines
+
+
+def _span_from_payload(payload: dict[str, Any], name: str) -> SpanRecord:
+    return SpanRecord(
+        span_id=payload["span_id"],
+        parent_id=payload["parent_id"],
+        kind=payload["kind"],
+        name=name,
+        t0=payload["t0"],
+        dur=payload["dur"],
+        wall_t0=payload["wall_t0"],
+        wall_dur=payload["wall_dur"],
+        track=payload.get("track"),
+        attrs=payload.get("attrs") or {},
+    )
+
+
+def _event_from_payload(payload: dict[str, Any]) -> EventRecord:
+    return EventRecord(
+        event_id=payload["event_id"],
+        parent_id=payload["parent_id"],
+        type=payload["type"],
+        t=payload["t"],
+        wall_t=payload["wall_t"],
+        attrs=payload.get("attrs") or {},
+    )
+
+
+def from_chrome(document: dict[str, Any]) -> TraceData:
+    """Reconstruct a :class:`TraceData` from a Chrome trace-event object."""
+    trace = TraceData()
+    for entry in document.get("traceEvents", []):
+        args = entry.get("args") or {}
+        if entry.get("ph") == "X" and "span_id" in args:
+            trace.spans.append(_span_from_payload(args, entry.get("name", "")))
+        elif entry.get("ph") == "i" and "event_id" in args:
+            trace.events.append(_event_from_payload(args))
+    trace.spans.sort(key=lambda span: span.span_id)
+    trace.events.sort(key=lambda event: event.event_id)
+    return trace
+
+
+def from_jsonl_lines(lines: list[str]) -> TraceData:
+    """Reconstruct a :class:`TraceData` from JSONL lines."""
+    trace = TraceData()
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        payload = json.loads(line)
+        rec = payload.get("rec")
+        if rec == "span":
+            trace.spans.append(_span_from_payload(payload, payload.get("name", "")))
+        elif rec == "event":
+            trace.events.append(_event_from_payload(payload))
+    return trace
+
+
+def write_trace(trace: TraceData | Tracer, path: str | Path) -> Path:
+    """Write *trace* to *path*; ``.jsonl`` selects JSONL, anything else Chrome."""
+    if isinstance(trace, Tracer):
+        trace = TraceData.from_tracer(trace)
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    if path.suffix == ".jsonl":
+        path.write_text("\n".join(to_jsonl_lines(trace)) + "\n")
+    else:
+        path.write_text(json.dumps(to_chrome(trace), indent=1))
+    return path
+
+
+def load_trace(path: str | Path) -> TraceData:
+    """Load a trace file written by :func:`write_trace` (either format)."""
+    text = Path(path).read_text()
+    stripped = text.lstrip()
+    if stripped.startswith("{") and '"traceEvents"' in stripped[:4096]:
+        return from_chrome(json.loads(text))
+    return from_jsonl_lines(text.splitlines())

@@ -1,0 +1,221 @@
+"""Aggregated views over a trace: per-job, per-phase, per-iteration tables.
+
+These are the trace-side counterparts of the paper's evaluation artifacts:
+
+- the per-job table is Table 2's running-time column plus Section 5.2's
+  intermediate-data column, one row per distributed job;
+- the per-phase table splits each platform's time the way the follow-up
+  analysis paper does (job init vs. map compute vs. shuffle vs. reduce);
+- the per-iteration table is the accuracy-vs-cost curve of Figures 4-5.
+
+:func:`reconcile` is the trust anchor: it checks that everything derived
+from the trace agrees *exactly* with the engine's own
+:class:`~repro.engine.metrics.EngineMetrics`, so the pretty timeline can
+never drift from the accounting the benchmarks report.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.obs.export import TraceData
+
+_BYTE_ATTRS = (
+    "map_output_bytes",
+    "shuffle_bytes",
+    "hdfs_read_bytes",
+    "hdfs_write_bytes",
+    "driver_result_bytes",
+    "broadcast_bytes",
+    "intermediate_bytes",
+)
+
+
+@dataclass
+class TraceSummary:
+    """Aggregates computed from one trace."""
+
+    n_jobs: int = 0
+    total_sim_seconds: float = 0.0
+    totals: dict[str, int] = field(default_factory=dict)
+    total_task_retries: int = 0
+    by_job_name: "OrderedDict[str, dict[str, Any]]" = field(default_factory=OrderedDict)
+    by_phase_name: "OrderedDict[str, dict[str, Any]]" = field(default_factory=OrderedDict)
+
+
+def job_spans(trace: TraceData) -> list[Any]:
+    return [span for span in trace.spans if span.kind == "job"]
+
+
+def summarize(trace: TraceData) -> TraceSummary:
+    """Aggregate a trace into per-job-name and per-phase-name totals."""
+    summary = TraceSummary(totals={key: 0 for key in _BYTE_ATTRS})
+    for span in job_spans(trace):
+        summary.n_jobs += 1
+        summary.total_sim_seconds += span.dur
+        summary.total_task_retries += int(span.attrs.get("task_retries", 0))
+        for key in _BYTE_ATTRS:
+            summary.totals[key] += int(span.attrs.get(key, 0))
+        row = summary.by_job_name.setdefault(
+            span.name,
+            {"runs": 0, "sim_seconds": 0.0, "task_retries": 0,
+             **{key: 0 for key in _BYTE_ATTRS}},
+        )
+        row["runs"] += 1
+        row["sim_seconds"] += span.dur
+        row["task_retries"] += int(span.attrs.get("task_retries", 0))
+        for key in _BYTE_ATTRS:
+            row[key] += int(span.attrs.get(key, 0))
+    for span in trace.spans:
+        if span.kind != "phase":
+            continue
+        row = summary.by_phase_name.setdefault(
+            span.name, {"runs": 0, "sim_seconds": 0.0, "tasks": 0}
+        )
+        row["runs"] += 1
+        row["sim_seconds"] += span.dur
+    task_counts: dict[int, int] = {}
+    for span in trace.spans:
+        if span.kind == "task" and span.parent_id is not None:
+            task_counts[span.parent_id] = task_counts.get(span.parent_id, 0) + 1
+    for span in trace.spans:
+        if span.kind == "phase" and span.span_id in task_counts:
+            summary.by_phase_name[span.name]["tasks"] += task_counts[span.span_id]
+    return summary
+
+
+def iteration_groups(trace: TraceData) -> "OrderedDict[int | None, list[Any]]":
+    """Iteration spans grouped by their parent (one group per run/fit)."""
+    groups: OrderedDict[int | None, list[Any]] = OrderedDict()
+    for span in trace.spans:
+        if span.kind == "iteration":
+            groups.setdefault(span.parent_id, []).append(span)
+    return groups
+
+
+def reconcile(trace: TraceData, metrics: Any) -> list[str]:
+    """Cross-check trace-derived totals against an ``EngineMetrics``.
+
+    Returns a list of human-readable discrepancies; an empty list means the
+    trace and the engine's own accounting agree exactly (float-exact
+    simulated durations, integer-exact byte counts).
+    """
+    problems: list[str] = []
+    spans = job_spans(trace)
+    jobs = list(metrics.jobs)
+    if len(spans) != len(jobs):
+        problems.append(
+            f"trace has {len(spans)} job spans but metrics recorded {len(jobs)} jobs"
+        )
+        return problems
+    for index, (span, stats) in enumerate(zip(spans, jobs)):
+        where = f"job #{index} ({stats.name})"
+        if span.name != stats.name:
+            problems.append(f"{where}: trace span is named {span.name!r}")
+        if span.dur != stats.sim_seconds:
+            problems.append(
+                f"{where}: span duration {span.dur!r} != sim_seconds {stats.sim_seconds!r}"
+            )
+        for key in _BYTE_ATTRS:
+            expected = int(getattr(stats, key))
+            got = int(span.attrs.get(key, 0))
+            if got != expected:
+                problems.append(f"{where}: {key} {got} != {expected}")
+        if int(span.attrs.get("task_retries", 0)) != int(stats.task_retries):
+            problems.append(
+                f"{where}: task_retries {span.attrs.get('task_retries')} "
+                f"!= {stats.task_retries}"
+            )
+    total = sum(span.dur for span in spans)
+    if total != metrics.total_sim_seconds:
+        problems.append(
+            f"total sim seconds {total!r} != {metrics.total_sim_seconds!r}"
+        )
+    shuffle = sum(int(span.attrs.get("shuffle_bytes", 0)) for span in spans)
+    if shuffle != metrics.total_shuffle_bytes:
+        problems.append(f"total shuffle bytes {shuffle} != {metrics.total_shuffle_bytes}")
+    intermediate = sum(int(span.attrs.get("intermediate_bytes", 0)) for span in spans)
+    if intermediate != metrics.total_intermediate_bytes:
+        problems.append(
+            f"total intermediate bytes {intermediate} "
+            f"!= {metrics.total_intermediate_bytes}"
+        )
+    return problems
+
+
+# -- text rendering ----------------------------------------------------------
+
+
+def format_job_table(summary: TraceSummary) -> str:
+    """Per-job-name table: the trace-side Table 2 / Section 5.2 view."""
+    lines = [
+        f"{'job':<22}{'runs':>6}{'sim s':>12}{'shuffle B':>14}"
+        f"{'interm. B':>14}{'hdfs r B':>12}{'hdfs w B':>12}{'bcast B':>12}{'retry':>7}"
+    ]
+    for name, row in summary.by_job_name.items():
+        lines.append(
+            f"{name:<22}{row['runs']:>6}{row['sim_seconds']:>12.3f}"
+            f"{row['shuffle_bytes']:>14}{row['intermediate_bytes']:>14}"
+            f"{row['hdfs_read_bytes']:>12}{row['hdfs_write_bytes']:>12}"
+            f"{row['broadcast_bytes']:>12}{row['task_retries']:>7}"
+        )
+    totals = summary.totals
+    lines.append(
+        f"{'TOTAL':<22}{summary.n_jobs:>6}{summary.total_sim_seconds:>12.3f}"
+        f"{totals['shuffle_bytes']:>14}{totals['intermediate_bytes']:>14}"
+        f"{totals['hdfs_read_bytes']:>12}{totals['hdfs_write_bytes']:>12}"
+        f"{totals['broadcast_bytes']:>12}{summary.total_task_retries:>7}"
+    )
+    return "\n".join(lines)
+
+
+def format_phase_table(summary: TraceSummary) -> str:
+    """Where the simulated time goes, split by timeline phase."""
+    lines = [f"{'phase':<22}{'runs':>6}{'tasks':>8}{'sim s':>12}{'share':>8}"]
+    total = sum(row["sim_seconds"] for row in summary.by_phase_name.values())
+    for name, row in sorted(
+        summary.by_phase_name.items(), key=lambda item: -item[1]["sim_seconds"]
+    ):
+        share = row["sim_seconds"] / total if total else 0.0
+        lines.append(
+            f"{name:<22}{row['runs']:>6}{row['tasks']:>8}"
+            f"{row['sim_seconds']:>12.3f}{share:>8.1%}"
+        )
+    return "\n".join(lines)
+
+
+def format_iteration_table(trace: TraceData) -> str:
+    """Per-iteration convergence telemetry (the Figure 4/5 curve, as text)."""
+    groups = iteration_groups(trace)
+    if not groups:
+        return "(no iteration spans in trace)"
+    blocks: list[str] = []
+    run_names = {
+        span.span_id: span.name for span in trace.spans if span.kind == "run"
+    }
+    for parent_id, iterations in groups.items():
+        title = run_names.get(parent_id, "(standalone loop)") if parent_id else "(standalone loop)"
+        lines = [
+            f"-- {title}",
+            f"{'iter':>5}{'sim s':>12}{'objective':>14}{'conv delta':>12}"
+            f"{'subsp delta':>12}{'accuracy':>10}{'interm. B':>14}",
+        ]
+        for span in iterations:
+            attrs = span.attrs
+            accuracy = attrs.get("accuracy")
+            lines.append(
+                f"{attrs.get('index', '?'):>5}{span.t0 + span.dur:>12.3f}"
+                f"{_num(attrs.get('objective')):>14}{_num(attrs.get('convergence_delta')):>12}"
+                f"{_num(attrs.get('subspace_delta')):>12}"
+                f"{_num(accuracy):>10}{attrs.get('intermediate_bytes', 0):>14}"
+            )
+        blocks.append("\n".join(lines))
+    return "\n\n".join(blocks)
+
+
+def _num(value: Any) -> str:
+    if value is None:
+        return "-"
+    return f"{float(value):.5g}"

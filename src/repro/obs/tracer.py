@@ -1,0 +1,426 @@
+"""The span tracer: hierarchical spans + typed events on two clocks.
+
+Every span carries *two* timestamps: the wall clock of the simulating
+process (``wall_t0``/``wall_dur``, useful for profiling the simulator
+itself) and the **simulated cluster clock** (``t0``/``dur``), which is the
+clock the paper's evaluation is expressed in.  The tracer owns the simulated
+clock as a monotone cursor (:attr:`Tracer.sim_now`): engines advance it by
+recording finished jobs (:meth:`Tracer.record_job`), and driver-side spans
+opened with :meth:`Tracer.span` take their simulated interval from the
+cursor positions at entry and exit.  A ``run -> iteration -> job -> phase ->
+task`` hierarchy therefore falls out without any component knowing about the
+others.
+
+The module is dependency-free (stdlib only) and the process-wide tracer
+(:func:`get_tracer`) is a no-op unless explicitly enabled: instrumentation
+sites guard trace construction behind ``tracer.enabled`` so a disabled
+tracer costs one attribute check.
+
+Span kinds
+----------
+
+========== ==============================================================
+``run``     one ``fit`` (driver wall-clock scope)
+``iteration`` one EM iteration, carrying objective/convergence telemetry
+``job``     one distributed job / Spark stage (advances the sim cursor)
+``phase``   a timeline segment inside a job (map, shuffle, reduce, ...)
+``task``    one task attempt placed on a concrete execution slot
+========== ==============================================================
+
+Event types
+-----------
+
+``shuffle``, ``hdfs_read``, ``hdfs_write``, ``broadcast``,
+``driver_collect``, ``task_retry``, ``speculative_kill``, ``cache_hit``,
+``cache_put``, ``cache_evict`` -- each stamped with both clocks and a byte
+payload where applicable.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+SPAN_KINDS = ("run", "iteration", "job", "phase", "task")
+
+EVENT_TYPES = (
+    "shuffle",
+    "hdfs_read",
+    "hdfs_write",
+    "broadcast",
+    "driver_collect",
+    "task_retry",
+    "speculative_kill",
+    "cache_hit",
+    "cache_put",
+    "cache_evict",
+)
+
+
+@dataclass
+class SpanRecord:
+    """One finished (or still-open) span.
+
+    Attributes:
+        span_id: unique id within the tracer (1-based, allocation order).
+        parent_id: enclosing span's id, or None for roots.
+        kind: one of :data:`SPAN_KINDS`.
+        name: display name.
+        t0: simulated-clock start (seconds).
+        dur: simulated-clock duration (seconds).
+        wall_t0: wall-clock start, relative to the tracer's origin.
+        wall_dur: wall-clock duration.
+        track: execution slot index for ``task`` spans, None otherwise.
+        attrs: free-form payload (byte counts, objective values, ...).
+    """
+
+    span_id: int
+    parent_id: int | None
+    kind: str
+    name: str
+    t0: float
+    dur: float
+    wall_t0: float
+    wall_dur: float
+    track: int | None = None
+    attrs: dict[str, Any] = field(default_factory=dict)
+
+    def set(self, **attrs: Any) -> None:
+        """Attach attributes to the span (usable while it is open)."""
+        self.attrs.update(attrs)
+
+
+@dataclass
+class EventRecord:
+    """One instantaneous typed event."""
+
+    event_id: int
+    parent_id: int | None
+    type: str
+    t: float
+    wall_t: float
+    attrs: dict[str, Any] = field(default_factory=dict)
+
+
+class _NoopSpan:
+    """Returned by a disabled tracer; swallows attribute updates."""
+
+    __slots__ = ()
+
+    def set(self, **attrs: Any) -> None:
+        pass
+
+
+_NOOP_SPAN = _NoopSpan()
+
+
+# -- job trace: what an engine hands the tracer for one finished job --------
+
+
+@dataclass
+class TaskTrace:
+    """One task's placement on the simulated cluster.
+
+    ``start`` is the simulated offset from its phase start; ``slot`` is the
+    execution slot (core) the scheduler placed the task on.
+    """
+
+    task_id: int
+    slot: int
+    start: float
+    duration: float
+    retries: int = 0
+    speculative_kill: bool = False
+
+
+@dataclass
+class PhaseTrace:
+    """One segment of a job's simulated timeline (offset from job start)."""
+
+    name: str
+    start: float
+    duration: float
+    tasks: list[TaskTrace] = field(default_factory=list)
+    attrs: dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class EventTrace:
+    """A typed event at a simulated offset from its job's start."""
+
+    type: str
+    offset: float
+    attrs: dict[str, Any] = field(default_factory=dict)
+
+
+_STATS_ATTRS = (
+    "n_map_tasks",
+    "n_reduce_tasks",
+    "map_output_bytes",
+    "shuffle_bytes",
+    "output_bytes",
+    "output_is_intermediate",
+    "hdfs_read_bytes",
+    "hdfs_write_bytes",
+    "driver_result_bytes",
+    "broadcast_bytes",
+    "task_retries",
+    "intermediate_bytes",
+)
+
+
+@dataclass
+class JobTrace:
+    """Everything the tracer needs to materialize one job's subtree."""
+
+    name: str
+    sim_duration: float
+    wall_duration: float = 0.0
+    phases: list[PhaseTrace] = field(default_factory=list)
+    events: list[EventTrace] = field(default_factory=list)
+    attrs: dict[str, Any] = field(default_factory=dict)
+
+    @classmethod
+    def from_stats(cls, stats: Any, phases: list[PhaseTrace] | None = None,
+                   events: list[EventTrace] | None = None) -> "JobTrace":
+        """Build a trace from a ``JobStats``-shaped object.
+
+        Duck-typed on purpose: ``repro.obs`` stays importable without the
+        engine package, and the copied attribute list doubles as the schema
+        the reconciliation check (:func:`repro.obs.report.reconcile`) relies
+        on.
+        """
+        attrs = {key: getattr(stats, key) for key in _STATS_ATTRS}
+        return cls(
+            name=stats.name,
+            sim_duration=stats.sim_seconds,
+            wall_duration=stats.wall_seconds,
+            phases=phases or [],
+            events=events or [],
+            attrs=attrs,
+        )
+
+
+class Tracer:
+    """Collects spans and events for one traced scope.
+
+    Args:
+        enabled: when False every method is a no-op and nothing allocates.
+    """
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self.sim_now = 0.0
+        self.spans: list[SpanRecord] = []
+        self.events: list[EventRecord] = []
+        self._stack: list[SpanRecord] = []
+        self._next_id = 1
+        self._wall_origin = time.perf_counter()
+
+    # -- internals -------------------------------------------------------
+
+    def _wall(self) -> float:
+        return time.perf_counter() - self._wall_origin
+
+    def _new_id(self) -> int:
+        span_id = self._next_id
+        self._next_id += 1
+        return span_id
+
+    def _current_parent(self) -> int | None:
+        return self._stack[-1].span_id if self._stack else None
+
+    # -- driver-side spans ------------------------------------------------
+
+    @contextmanager
+    def span(self, kind: str, name: str, **attrs: Any) -> Iterator[Any]:
+        """Open a driver-side span; simulated interval comes from the cursor.
+
+        The span's ``t0`` is the cursor at entry and its ``dur`` is however
+        far jobs recorded inside the ``with`` block advanced the cursor.
+        """
+        if not self.enabled:
+            yield _NOOP_SPAN
+            return
+        record = SpanRecord(
+            span_id=self._new_id(),
+            parent_id=self._current_parent(),
+            kind=kind,
+            name=name,
+            t0=self.sim_now,
+            dur=0.0,
+            wall_t0=self._wall(),
+            wall_dur=0.0,
+            attrs=dict(attrs),
+        )
+        self.spans.append(record)
+        self._stack.append(record)
+        try:
+            yield record
+        finally:
+            self._stack.pop()
+            record.dur = self.sim_now - record.t0
+            record.wall_dur = self._wall() - record.wall_t0
+
+    # -- events -----------------------------------------------------------
+
+    def event(self, type: str, **attrs: Any) -> None:
+        """Record an instantaneous event at the current cursor position."""
+        if not self.enabled:
+            return
+        self.events.append(
+            EventRecord(
+                event_id=self._new_id(),
+                parent_id=self._current_parent(),
+                type=type,
+                t=self.sim_now,
+                wall_t=self._wall(),
+                attrs=attrs,
+            )
+        )
+
+    # -- engine-side job recording ----------------------------------------
+
+    def record_job(self, trace: JobTrace) -> None:
+        """Materialize a finished job's subtree and advance the sim cursor.
+
+        The job span's duration is taken verbatim from
+        ``trace.sim_duration`` (the same float the engine put into its
+        ``JobStats``), which is what makes trace totals reconcile *exactly*
+        with :class:`repro.engine.metrics.EngineMetrics`.
+        """
+        if not self.enabled:
+            return
+        t0 = self.sim_now
+        wall_now = self._wall()
+        job_span = SpanRecord(
+            span_id=self._new_id(),
+            parent_id=self._current_parent(),
+            kind="job",
+            name=trace.name,
+            t0=t0,
+            dur=trace.sim_duration,
+            wall_t0=max(0.0, wall_now - trace.wall_duration),
+            wall_dur=trace.wall_duration,
+            attrs=dict(trace.attrs),
+        )
+        self.spans.append(job_span)
+        for phase in trace.phases:
+            phase_span = SpanRecord(
+                span_id=self._new_id(),
+                parent_id=job_span.span_id,
+                kind="phase",
+                name=phase.name,
+                t0=t0 + phase.start,
+                dur=phase.duration,
+                wall_t0=wall_now,
+                wall_dur=0.0,
+                attrs=dict(phase.attrs),
+            )
+            self.spans.append(phase_span)
+            for task in phase.tasks:
+                task_t0 = phase_span.t0 + task.start
+                task_span = SpanRecord(
+                    span_id=self._new_id(),
+                    parent_id=phase_span.span_id,
+                    kind="task",
+                    name=f"{trace.name}/{phase.name}[{task.task_id}]",
+                    t0=task_t0,
+                    dur=task.duration,
+                    wall_t0=wall_now,
+                    wall_dur=0.0,
+                    track=task.slot,
+                    attrs={"task_id": task.task_id, "retries": task.retries},
+                )
+                self.spans.append(task_span)
+                if task.retries:
+                    self.events.append(
+                        EventRecord(
+                            event_id=self._new_id(),
+                            parent_id=task_span.span_id,
+                            type="task_retry",
+                            t=task_t0,
+                            wall_t=wall_now,
+                            attrs={"task_id": task.task_id, "retries": task.retries},
+                        )
+                    )
+                if task.speculative_kill:
+                    self.events.append(
+                        EventRecord(
+                            event_id=self._new_id(),
+                            parent_id=task_span.span_id,
+                            type="speculative_kill",
+                            t=task_t0 + task.duration,
+                            wall_t=wall_now,
+                            attrs={"task_id": task.task_id},
+                        )
+                    )
+        for event in trace.events:
+            self.events.append(
+                EventRecord(
+                    event_id=self._new_id(),
+                    parent_id=job_span.span_id,
+                    type=event.type,
+                    t=t0 + event.offset,
+                    wall_t=wall_now,
+                    attrs=dict(event.attrs),
+                )
+            )
+        self.sim_now = t0 + trace.sim_duration
+
+
+def record_job_stats(
+    metrics: Any,
+    stats: Any,
+    events: list[EventTrace] | None = None,
+    phase_name: str = "driver",
+) -> None:
+    """Record *stats* into *metrics* AND the process tracer, as one job.
+
+    For driver-side jobs that are accounted directly (broadcasts, HDFS
+    round-trips, locally-executed steps) rather than through an engine's
+    job executor.  Pairing the two records here is what keeps the
+    every-metrics-job-has-a-trace-span invariant that
+    :func:`repro.obs.report.reconcile` checks.
+    """
+    metrics.record(stats)
+    tracer = get_tracer()
+    if tracer.enabled:
+        tracer.record_job(
+            JobTrace.from_stats(
+                stats,
+                phases=[PhaseTrace(phase_name, 0.0, stats.sim_seconds)],
+                events=list(events or []),
+            )
+        )
+
+
+# -- process-wide tracer ----------------------------------------------------
+
+_DISABLED = Tracer(enabled=False)
+_tracer: Tracer = _DISABLED
+
+
+def get_tracer() -> Tracer:
+    """The process-wide tracer (a shared disabled one by default)."""
+    return _tracer
+
+
+def set_tracer(tracer: Tracer) -> None:
+    """Install *tracer* as the process-wide tracer."""
+    global _tracer
+    _tracer = tracer
+
+
+@contextmanager
+def tracing(enabled: bool = True) -> Iterator[Tracer]:
+    """Install a fresh tracer for the duration of the block."""
+    previous = get_tracer()
+    tracer = Tracer(enabled=enabled)
+    set_tracer(tracer)
+    try:
+        yield tracer
+    finally:
+        set_tracer(previous)

@@ -98,6 +98,106 @@ class TestTransformEvaluateInfo:
         assert main(["info", str(bogus)]) == 1
 
 
+class TestTraceAndReport:
+    @pytest.fixture
+    def trace_path(self, matrix_path, tmp_path):
+        path = tmp_path / "fit.trace.json"
+        code = main(["fit", str(matrix_path), "--components", "3",
+                     "--max-iterations", "3", "--backend", "mapreduce",
+                     "--trace", str(path)])
+        assert code == 0
+        return path
+
+    @pytest.mark.parametrize("backend", ["mapreduce", "spark"])
+    def test_fit_trace_is_valid_chrome_json_that_reconciles(
+        self, matrix_path, tmp_path, backend, capsys
+    ):
+        import json
+
+        path = tmp_path / f"{backend}.trace.json"
+        code = main(["fit", str(matrix_path), "--components", "3",
+                     "--max-iterations", "3", "--backend", backend,
+                     "--trace", str(path)])
+        assert code == 0
+        assert "trace written to" in capsys.readouterr().out
+        document = json.loads(path.read_text())
+        assert isinstance(document["traceEvents"], list)
+        phases = {entry.get("ph") for entry in document["traceEvents"]}
+        assert {"M", "X"} <= phases
+
+        # Byte accounting is deterministic across runs (simulated durations
+        # are measured wall times and jitter), so the trace's per-job byte
+        # sums must agree exactly with a fresh identical run's EngineMetrics.
+        # Duration-exact reconciliation within one run is asserted in
+        # tests/test_obs_integration.py.
+        from repro.cli import _make_backend
+        from repro.core import SPCA, SPCAConfig
+        from repro.obs import load_trace
+        from repro.obs.report import job_spans
+
+        config = SPCAConfig(n_components=3, max_iterations=3, seed=0)
+        fresh = _make_backend(backend, config)
+        SPCA(config, fresh).fit(load_matrix(matrix_path))
+        metrics = (fresh.runtime.metrics if hasattr(fresh, "runtime")
+                   else fresh.context.metrics)
+        spans = job_spans(load_trace(path))
+        assert [s.name for s in spans] == [j.name for j in metrics.jobs]
+        for column in ("shuffle_bytes", "intermediate_bytes", "hdfs_read_bytes",
+                       "hdfs_write_bytes", "broadcast_bytes"):
+            trace_total = sum(int(s.attrs[column]) for s in spans)
+            metrics_total = sum(int(getattr(j, column)) for j in metrics.jobs)
+            assert trace_total == metrics_total, column
+        assert all(s.dur >= 0.0 for s in spans)
+
+    def test_fit_trace_jsonl_extension_selects_jsonl(self, matrix_path, tmp_path):
+        import json
+
+        path = tmp_path / "fit.jsonl"
+        code = main(["fit", str(matrix_path), "--components", "3",
+                     "--max-iterations", "2", "--trace", str(path),
+                     "--backend", "spark"])
+        assert code == 0
+        first = json.loads(path.read_text().splitlines()[0])
+        assert first == {"rec": "header", "schema": "repro.obs/1",
+                         "spans": first["spans"], "events": first["events"]}
+
+    def test_trace_inspect(self, trace_path, capsys):
+        assert main(["trace", str(trace_path)]) == 0
+        output = capsys.readouterr().out
+        assert "spans" in output
+        assert "job" in output and "iteration" in output
+
+    def test_trace_convert_roundtrip(self, trace_path, tmp_path, capsys):
+        from repro.obs import load_trace
+
+        jsonl = tmp_path / "converted.jsonl"
+        assert main(["trace", str(trace_path), "--to", str(jsonl)]) == 0
+        back = tmp_path / "back.trace.json"
+        assert main(["trace", str(jsonl), "--to", str(back)]) == 0
+        original, rebuilt = load_trace(trace_path), load_trace(back)
+        assert rebuilt.spans == original.spans
+        assert rebuilt.events == original.events
+
+    def test_report_prints_convergence_table(self, trace_path, capsys):
+        assert main(["report", str(trace_path)]) == 0
+        output = capsys.readouterr().out
+        assert "== jobs ==" in output
+        assert "== phases ==" in output
+        assert "== iterations ==" in output
+        assert "objective" in output
+        assert "spca.fit[" in output
+
+    def test_report_single_section(self, trace_path, capsys):
+        assert main(["report", str(trace_path), "--section", "iterations"]) == 0
+        output = capsys.readouterr().out
+        assert "== iterations ==" in output
+        assert "== jobs ==" not in output
+
+    def test_trace_missing_file_is_clean_error(self, tmp_path, capsys):
+        assert main(["trace", str(tmp_path / "missing.json")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
 class TestSelect:
     def test_select_reports_bic_table(self, matrix_path, capsys):
         code = main(["select", str(matrix_path), "--candidates", "1,2,4",

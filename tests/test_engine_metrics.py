@@ -62,3 +62,38 @@ class TestEngineMetrics:
         assert text.count("\n") >= 4
         assert "TOTAL" in text
         assert "a" in text and "b" in text
+
+    def test_byte_totals_by_channel(self):
+        metrics = EngineMetrics()
+        metrics.record(JobStats(name="a", hdfs_read_bytes=10, hdfs_write_bytes=1,
+                                broadcast_bytes=100, driver_result_bytes=7,
+                                task_retries=2))
+        metrics.record(JobStats(name="b", hdfs_read_bytes=20, hdfs_write_bytes=2,
+                                broadcast_bytes=200, driver_result_bytes=3,
+                                task_retries=1))
+        assert metrics.total_hdfs_read_bytes == 30
+        assert metrics.total_hdfs_write_bytes == 3
+        assert metrics.total_broadcast_bytes == 300
+        assert metrics.total_driver_result_bytes == 10
+        assert metrics.total_task_retries == 3
+
+    def test_total_counters_merges_by_name(self):
+        metrics = EngineMetrics()
+        metrics.record(JobStats(name="a", counters={"spilled": 3, "combined": 10}))
+        metrics.record(JobStats(name="b", counters={"spilled": 2}))
+        assert metrics.total_counters == {"spilled": 5, "combined": 10}
+        assert JobStats(name="c").counters == {}  # untouched default
+
+    def test_summary_has_byte_columns_and_counters(self):
+        metrics = EngineMetrics()
+        metrics.record(JobStats(name="readJob", hdfs_read_bytes=512,
+                                hdfs_write_bytes=64, broadcast_bytes=32,
+                                task_retries=1, sim_seconds=1.0,
+                                counters={"spilled_records": 9}))
+        text = metrics.summary()
+        header = text.splitlines()[0]
+        for column in ("hdfs r B", "hdfs w B", "bcast B", "retry"):
+            assert column in header
+        assert "512" in text and "64" in text and "32" in text
+        assert "counters:" in text
+        assert "spilled_records" in text and "9" in text

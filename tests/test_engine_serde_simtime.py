@@ -6,7 +6,7 @@ import scipy.sparse as sp
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.engine import CostModel, schedule_makespan
+from repro.engine import CostModel, schedule_makespan, schedule_tasks
 from repro.engine.cluster import ClusterSpec
 from repro.engine.serde import sizeof, sizeof_pairs
 from repro.errors import ShapeError
@@ -86,6 +86,63 @@ class TestScheduleMakespan:
         assert schedule_makespan(tasks, slots + 1) <= schedule_makespan(tasks, slots) + 1e-9
 
 
+class TestScheduleTasks:
+    def test_placements_cover_all_tasks_in_id_order(self):
+        placements = schedule_tasks([2.0, 1.0, 3.0], 2)
+        assert [p.task_id for p in placements] == [0, 1, 2]
+        assert sorted(p.duration for p in placements) == [1.0, 2.0, 3.0]
+
+    def test_no_overlap_within_a_slot(self):
+        placements = schedule_tasks([1.0, 2.0, 3.0, 4.0, 5.0], 2)
+        by_slot: dict = {}
+        for p in placements:
+            by_slot.setdefault(p.slot, []).append(p)
+        for slot_tasks in by_slot.values():
+            slot_tasks.sort(key=lambda p: p.start)
+            for earlier, later in zip(slot_tasks, slot_tasks[1:]):
+                assert later.start >= earlier.end - 1e-12
+
+    def test_makespan_agrees_with_schedule(self):
+        tasks = [1.0, 2.0, 3.0, 4.0]
+        placements = schedule_tasks(tasks, 2)
+        assert schedule_makespan(tasks, 2) == max(p.end for p in placements)
+
+    def test_empty_tasks_empty_schedule(self):
+        assert schedule_tasks([], 4) == []
+
+    def test_zero_slots_is_error_even_for_empty_list(self):
+        with pytest.raises(ShapeError):
+            schedule_tasks([], 0)
+        with pytest.raises(ShapeError):
+            schedule_tasks([1.0], 0)
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), -1.0])
+    def test_rejects_non_finite_and_negative_durations(self, bad):
+        with pytest.raises(ShapeError) as excinfo:
+            schedule_tasks([1.0, bad], 2)
+        assert "#1" in str(excinfo.value)
+
+    def test_speculative_execution_rejects_bad_durations(self):
+        from repro.engine.simtime import apply_speculative_execution
+
+        with pytest.raises(ShapeError):
+            apply_speculative_execution([1.0, float("nan"), 2.0])
+        with pytest.raises(ShapeError):
+            apply_speculative_execution([-0.5, 1.0, 2.0])
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        tasks=st.lists(st.floats(min_value=0.0, max_value=10.0), max_size=20),
+        slots=st.integers(min_value=1, max_value=8),
+    )
+    def test_property_slots_within_bounds(self, tasks, slots):
+        placements = schedule_tasks(tasks, slots)
+        assert len(placements) == len(tasks)
+        for p in placements:
+            assert 0 <= p.slot < slots
+            assert p.start >= 0.0
+
+
 class TestCostModel:
     def test_transfer_times(self):
         cost = CostModel(1.0, 0.1, network_bytes_per_s=100.0, disk_bytes_per_s=50.0)
@@ -110,6 +167,12 @@ class TestClusterSpec:
             ClusterSpec(num_nodes=0)
         with pytest.raises(ShapeError):
             ClusterSpec(driver_memory_mb=0)
+
+    def test_scaled_rejects_non_positive_node_counts(self):
+        for bad in (0, -3):
+            with pytest.raises(ShapeError) as excinfo:
+                ClusterSpec().scaled(bad)
+            assert "num_nodes >= 1" in str(excinfo.value)
 
     def test_memory_bytes(self):
         cluster = ClusterSpec(num_nodes=2, memory_per_node_mb=1.0, driver_memory_mb=2.0)

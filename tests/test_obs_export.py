@@ -1,0 +1,183 @@
+"""Trace exporters: Chrome trace-event schema, JSONL, reconciliation."""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.metrics import EngineMetrics, JobStats
+from repro.obs import (
+    JobTrace,
+    PhaseTrace,
+    TaskTrace,
+    Tracer,
+    load_trace,
+    write_trace,
+)
+from repro.obs.export import (
+    TraceData,
+    from_chrome,
+    from_jsonl_lines,
+    to_chrome,
+    to_jsonl_lines,
+)
+from repro.obs.report import reconcile, summarize
+
+
+def traced_jobs():
+    tracer = Tracer()
+    with tracer.span("run", "fit"):
+        with tracer.span("iteration", "iteration[1]") as it:
+            tracer.record_job(
+                JobTrace(
+                    name="YtXJob", sim_duration=4.0,
+                    phases=[PhaseTrace("map", 0.0, 4.0, tasks=[
+                        TaskTrace(task_id=0, slot=2, start=0.0, duration=4.0,
+                                  retries=1),
+                    ])],
+                    attrs={"shuffle_bytes": 256, "intermediate_bytes": 256},
+                )
+            )
+            it.set(objective=0.5)
+    return tracer
+
+
+class TestChromeSchema:
+    def test_document_shape(self):
+        doc = to_chrome(TraceData.from_tracer(traced_jobs()))
+        assert set(doc) == {"traceEvents", "displayTimeUnit"}
+        assert isinstance(doc["traceEvents"], list)
+        for entry in doc["traceEvents"]:
+            assert entry["ph"] in ("M", "X", "i", "C")
+            assert entry["pid"] == 1
+            if entry["ph"] == "X":
+                assert {"name", "cat", "ts", "dur", "tid", "args"} <= set(entry)
+                assert entry["ts"] >= 0.0
+                assert entry["dur"] >= 0.0
+            if entry["ph"] == "i":
+                assert entry["s"] == "p"
+
+    def test_sim_time_is_trace_clock(self):
+        doc = to_chrome(TraceData.from_tracer(traced_jobs()))
+        job = next(e for e in doc["traceEvents"]
+                   if e.get("ph") == "X" and e["name"] == "YtXJob")
+        assert job["ts"] == 0.0
+        assert job["dur"] == 4.0 * 1e6  # simulated seconds in microseconds
+
+    def test_task_spans_land_on_slot_tracks(self):
+        doc = to_chrome(TraceData.from_tracer(traced_jobs()))
+        task = next(e for e in doc["traceEvents"]
+                    if e.get("ph") == "X" and e["cat"] == "task")
+        assert task["tid"] == 3  # slot 2 -> tid slot+1
+        names = {e["args"]["name"] for e in doc["traceEvents"]
+                 if e["ph"] == "M" and e["name"] == "thread_name"}
+        assert {"driver", "slot 2"} <= names
+
+    def test_counter_track_accumulates_intermediate_bytes(self):
+        doc = to_chrome(TraceData.from_tracer(traced_jobs()))
+        counters = [e for e in doc["traceEvents"] if e["ph"] == "C"]
+        assert counters[-1]["args"]["cumulative"] == 256
+
+    def test_document_is_json_serializable(self):
+        json.dumps(to_chrome(TraceData.from_tracer(traced_jobs())))
+
+
+class TestRoundTrip:
+    def test_chrome_roundtrip_is_lossless(self):
+        trace = TraceData.from_tracer(traced_jobs())
+        loaded = from_chrome(json.loads(json.dumps(to_chrome(trace))))
+        assert loaded.spans == trace.spans
+        assert loaded.events == trace.events
+
+    def test_jsonl_roundtrip_is_lossless(self):
+        trace = TraceData.from_tracer(traced_jobs())
+        loaded = from_jsonl_lines(to_jsonl_lines(trace))
+        assert loaded.spans == trace.spans
+        assert loaded.events == trace.events
+
+    def test_jsonl_header_line(self):
+        lines = to_jsonl_lines(TraceData.from_tracer(traced_jobs()))
+        header = json.loads(lines[0])
+        assert header["rec"] == "header"
+        assert header["schema"] == "repro.obs/1"
+        assert header["spans"] == len(lines) - 1 - header["events"]
+
+    def test_write_and_load_both_formats(self, tmp_path):
+        trace = TraceData.from_tracer(traced_jobs())
+        for name in ("t.trace.json", "t.jsonl"):
+            path = write_trace(trace, tmp_path / name)
+            loaded = load_trace(path)
+            assert loaded.spans == trace.spans
+            assert loaded.events == trace.events
+
+    def test_write_accepts_tracer_directly(self, tmp_path):
+        path = write_trace(traced_jobs(), tmp_path / "direct.trace.json")
+        assert load_trace(path).spans
+
+
+job_stats = st.builds(
+    JobStats,
+    name=st.sampled_from(["meanJob", "YtXJob", "ss3Job", "collect"]),
+    n_map_tasks=st.integers(0, 8),
+    n_reduce_tasks=st.integers(0, 4),
+    map_output_bytes=st.integers(0, 10**9),
+    shuffle_bytes=st.integers(0, 10**9),
+    output_bytes=st.integers(0, 10**6),
+    output_is_intermediate=st.booleans(),
+    hdfs_read_bytes=st.integers(0, 10**9),
+    hdfs_write_bytes=st.integers(0, 10**9),
+    driver_result_bytes=st.integers(0, 10**6),
+    broadcast_bytes=st.integers(0, 10**6),
+    sim_seconds=st.floats(0.0, 1e6, allow_nan=False),
+    task_retries=st.integers(0, 5),
+)
+
+
+class TestReconciliationProperty:
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(job_stats, min_size=0, max_size=12))
+    def test_recorded_jobs_always_reconcile(self, jobs):
+        """Any sequence of JobStats -> trace totals == EngineMetrics totals."""
+        metrics = EngineMetrics()
+        tracer = Tracer()
+        for stats in jobs:
+            metrics.record(stats)
+            tracer.record_job(JobTrace.from_stats(stats))
+        assert reconcile(TraceData.from_tracer(tracer), metrics) == []
+
+    @settings(max_examples=30, deadline=None)
+    @given(jobs=st.lists(job_stats, min_size=0, max_size=8))
+    def test_reconciliation_survives_disk_roundtrip(self, jobs, tmp_path_factory):
+        metrics = EngineMetrics()
+        tracer = Tracer()
+        for stats in jobs:
+            metrics.record(stats)
+            tracer.record_job(JobTrace.from_stats(stats))
+        tmp = tmp_path_factory.mktemp("trace")
+        loaded = load_trace(write_trace(tracer, tmp / "t.trace.json"))
+        assert reconcile(loaded, metrics) == []
+
+    def test_reconcile_reports_drift(self):
+        metrics = EngineMetrics()
+        metrics.record(JobStats(name="j", sim_seconds=1.0, shuffle_bytes=10))
+        tracer = Tracer()
+        tracer.record_job(JobTrace(name="j", sim_duration=1.0,
+                                   attrs={"shuffle_bytes": 11}))
+        problems = reconcile(TraceData.from_tracer(tracer), metrics)
+        assert any("shuffle_bytes" in p for p in problems)
+
+    def test_reconcile_reports_missing_jobs(self):
+        metrics = EngineMetrics()
+        metrics.record(JobStats(name="j", sim_seconds=1.0))
+        problems = reconcile(TraceData(), metrics)
+        assert problems and "0 job spans" in problems[0]
+
+
+class TestSummarize:
+    def test_groups_by_job_and_phase(self):
+        summary = summarize(TraceData.from_tracer(traced_jobs()))
+        assert summary.n_jobs == 1
+        assert summary.total_sim_seconds == pytest.approx(4.0)
+        assert summary.by_job_name["YtXJob"]["shuffle_bytes"] == 256
+        assert summary.by_phase_name["map"]["tasks"] == 1

@@ -1,0 +1,171 @@
+"""End-to-end tracing through real fits on both engine simulators."""
+
+import numpy as np
+import pytest
+
+from repro.backends import MapReduceBackend, SparkBackend
+from repro.core import SPCA, SPCAConfig
+from repro.core.ppca import fit_ppca
+from repro.obs import tracing
+from repro.obs.export import TraceData
+from repro.obs.report import (
+    format_iteration_table,
+    format_job_table,
+    format_phase_table,
+    iteration_groups,
+    reconcile,
+    summarize,
+)
+
+
+@pytest.fixture(scope="module")
+def data():
+    rng = np.random.default_rng(11)
+    return rng.normal(size=(80, 14)) @ rng.normal(size=(14, 14))
+
+
+def fit_traced(backend_cls, data, **config_kwargs):
+    config = SPCAConfig(n_components=3, max_iterations=3, seed=0, **config_kwargs)
+    backend = backend_cls(config)
+    with tracing() as tracer:
+        model, history = SPCA(config, backend).fit(data)
+    metrics = (backend.runtime.metrics if hasattr(backend, "runtime")
+               else backend.context.metrics)
+    return TraceData.from_tracer(tracer), metrics, history, backend
+
+
+@pytest.mark.parametrize("backend_cls", [MapReduceBackend, SparkBackend])
+class TestBothBackends:
+    def test_trace_reconciles_exactly_with_engine_metrics(self, backend_cls, data):
+        trace, metrics, history, _ = fit_traced(backend_cls, data)
+        assert reconcile(trace, metrics) == []
+
+    def test_iteration_span_per_em_iteration(self, backend_cls, data):
+        trace, _, history, _ = fit_traced(backend_cls, data)
+        spca_iters = [s for s in trace.spans
+                      if s.kind == "iteration" and not s.name.startswith("ppca")]
+        assert len(spca_iters) == history.n_iterations
+
+    def test_iteration_spans_carry_convergence_telemetry(self, backend_cls, data):
+        trace, _, _, _ = fit_traced(backend_cls, data)
+        spca_iters = [s for s in trace.spans
+                      if s.kind == "iteration" and not s.name.startswith("ppca")]
+        first, *rest = spca_iters
+        assert first.attrs["objective"] > 0
+        assert first.attrs["convergence_delta"] is None
+        assert first.attrs["subspace_delta"] >= 0
+        for span in rest:
+            assert span.attrs["convergence_delta"] >= 0
+        bytes_seen = [s.attrs["intermediate_bytes"] for s in spca_iters]
+        assert bytes_seen == sorted(bytes_seen)  # cumulative
+
+    def test_run_span_encloses_everything(self, backend_cls, data):
+        trace, _, history, _ = fit_traced(backend_cls, data)
+        run = next(s for s in trace.spans if s.kind == "run")
+        assert run.name.startswith("spca.fit[")
+        assert run.attrs["n_iterations"] == history.n_iterations
+        assert run.attrs["stop_reason"] == history.stop_reason
+        sim_end = max(s.t0 + s.dur for s in trace.spans)
+        assert run.t0 + run.dur == pytest.approx(sim_end)
+
+    def test_every_job_span_has_a_phase_child(self, backend_cls, data):
+        trace, _, _, _ = fit_traced(backend_cls, data)
+        jobs = {s.span_id for s in trace.spans if s.kind == "job"}
+        parents_of_phases = {s.parent_id for s in trace.spans if s.kind == "phase"}
+        assert jobs <= parents_of_phases
+
+    def test_tables_render(self, backend_cls, data):
+        trace, _, _, _ = fit_traced(backend_cls, data)
+        summary = summarize(trace)
+        assert "TOTAL" in format_job_table(summary)
+        assert "share" in format_phase_table(summary)
+        assert "objective" in format_iteration_table(trace)
+
+
+class TestMapReduceSpecifics:
+    def test_map_and_shuffle_phases_present(self, data):
+        trace, _, _, _ = fit_traced(MapReduceBackend, data)
+        phase_names = {s.name for s in trace.spans if s.kind == "phase"}
+        assert {"map", "shuffle"} <= phase_names
+        assert any(e.type == "shuffle" for e in trace.events)
+        assert any(e.type == "hdfs_read" for e in trace.events)
+
+    def test_task_spans_sit_on_slots(self, data):
+        trace, _, _, _ = fit_traced(MapReduceBackend, data)
+        tasks = [s for s in trace.spans if s.kind == "task"]
+        assert tasks
+        assert all(s.track is not None and s.track >= 0 for s in tasks)
+
+
+class TestSparkSpecifics:
+    def test_broadcast_and_collect_events(self, data):
+        trace, _, _, _ = fit_traced(SparkBackend, data)
+        types = {e.type for e in trace.events}
+        assert "broadcast" in types
+        assert "driver_collect" in types
+        assert "cache_hit" in types  # the cached input RDD is reused
+
+    def test_cache_put_events_from_block_manager(self, data):
+        trace, _, _, _ = fit_traced(SparkBackend, data)
+        assert any(e.type == "cache_put" for e in trace.events)
+
+
+class TestUntracedFitUnchanged:
+    """Tracing must never perturb the simulation's accounting.
+
+    Simulated *durations* are built from measured wall times and therefore
+    jitter between any two runs (traced or not), so the comparison covers
+    the deterministic side of the accounting: the job sequence and every
+    byte column.
+    """
+
+    @pytest.mark.parametrize("backend_cls", [MapReduceBackend, SparkBackend])
+    def test_identical_job_accounting_with_and_without_tracing(
+        self, backend_cls, data
+    ):
+        config = SPCAConfig(n_components=3, max_iterations=3, seed=0)
+
+        def run(traced):
+            backend = backend_cls(config)
+            if traced:
+                with tracing():
+                    SPCA(config, backend).fit(data)
+            else:
+                SPCA(config, backend).fit(data)
+            metrics = (backend.runtime.metrics if hasattr(backend, "runtime")
+                       else backend.context.metrics)
+            return [
+                (job.name, job.n_map_tasks, job.shuffle_bytes,
+                 job.intermediate_bytes, job.hdfs_read_bytes,
+                 job.hdfs_write_bytes, job.broadcast_bytes, job.task_retries)
+                for job in metrics.jobs
+            ]
+
+        assert run(False) == run(True)
+
+
+class TestPPCAIterationSpans:
+    def test_standalone_ppca_traces_iterations(self):
+        rng = np.random.default_rng(0)
+        data = rng.normal(size=(40, 8))
+        with tracing() as tracer:
+            fit_ppca(data, 2, max_iterations=5)
+        iters = [s for s in tracer.spans if s.kind == "iteration"]
+        assert iters
+        assert all(s.name.startswith("ppca.iteration[") for s in iters)
+        assert iters[0].attrs["convergence_delta"] is None
+        assert iters[-1].attrs["objective"] > 0
+
+    def test_smart_init_groups_separately_from_em_loop(self):
+        rng = np.random.default_rng(1)
+        data = rng.normal(size=(120, 10))
+        config = SPCAConfig(n_components=2, max_iterations=3, smart_init=True)
+        with tracing() as tracer:
+            SPCA(config).fit(data)
+        groups = iteration_groups(TraceData.from_tracer(tracer))
+        kinds = [
+            {span.name.split("[")[0] for span in spans}
+            for spans in groups.values()
+        ]
+        assert {"ppca.iteration"} in kinds
+        assert {"iteration"} in kinds

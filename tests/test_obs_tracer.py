@@ -1,0 +1,218 @@
+"""The repro.obs tracer: spans, events, the simulated-clock cursor."""
+
+import pytest
+
+from repro.engine.metrics import EngineMetrics, JobStats
+from repro.obs import (
+    EVENT_TYPES,
+    SPAN_KINDS,
+    EventTrace,
+    JobTrace,
+    PhaseTrace,
+    TaskTrace,
+    Tracer,
+    get_tracer,
+    record_job_stats,
+    set_tracer,
+    tracing,
+)
+
+
+class TestSpanNesting:
+    def test_parent_child_links(self):
+        tracer = Tracer()
+        with tracer.span("run", "fit") as run:
+            with tracer.span("iteration", "iteration[1]") as it:
+                pass
+        assert run.parent_id is None
+        assert it.parent_id == run.span_id
+
+    def test_sibling_order_is_allocation_order(self):
+        tracer = Tracer()
+        with tracer.span("run", "fit"):
+            with tracer.span("iteration", "iteration[1]"):
+                pass
+            with tracer.span("iteration", "iteration[2]"):
+                pass
+        names = [span.name for span in tracer.spans]
+        assert names == ["fit", "iteration[1]", "iteration[2]"]
+        ids = [span.span_id for span in tracer.spans]
+        assert ids == sorted(ids)
+
+    def test_job_recorded_inside_open_span_gets_parented(self):
+        tracer = Tracer()
+        with tracer.span("run", "fit") as run:
+            tracer.record_job(JobTrace(name="j", sim_duration=2.0))
+        job = next(span for span in tracer.spans if span.kind == "job")
+        assert job.parent_id == run.span_id
+
+    def test_span_sim_interval_comes_from_cursor(self):
+        tracer = Tracer()
+        with tracer.span("run", "fit") as run:
+            tracer.record_job(JobTrace(name="a", sim_duration=2.0))
+            with tracer.span("iteration", "iteration[1]") as it:
+                tracer.record_job(JobTrace(name="b", sim_duration=3.0))
+        assert run.t0 == 0.0
+        assert run.dur == 5.0
+        assert it.t0 == 2.0
+        assert it.dur == 3.0
+
+    def test_set_attaches_attrs_while_open(self):
+        tracer = Tracer()
+        with tracer.span("iteration", "iteration[1]") as span:
+            span.set(objective=1.5, accuracy=0.9)
+        assert tracer.spans[0].attrs["objective"] == 1.5
+        assert tracer.spans[0].attrs["accuracy"] == 0.9
+
+    def test_span_survives_exception(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("run", "fit"):
+                tracer.record_job(JobTrace(name="a", sim_duration=1.0))
+                raise ValueError("boom")
+        assert tracer.spans[0].dur == 1.0
+        assert tracer._stack == []
+
+
+class TestRecordJob:
+    def make_trace(self):
+        return JobTrace(
+            name="YtXJob",
+            sim_duration=10.0,
+            phases=[
+                PhaseTrace("map", 0.0, 6.0, tasks=[
+                    TaskTrace(task_id=0, slot=0, start=0.0, duration=3.0),
+                    TaskTrace(task_id=1, slot=1, start=0.0, duration=3.0,
+                              retries=2, speculative_kill=True),
+                ]),
+                PhaseTrace("shuffle", 6.0, 4.0),
+            ],
+            events=[EventTrace("shuffle", 6.0, {"bytes": 128})],
+            attrs={"shuffle_bytes": 128},
+        )
+
+    def test_advances_cursor_by_sim_duration(self):
+        tracer = Tracer()
+        tracer.record_job(self.make_trace())
+        assert tracer.sim_now == 10.0
+        tracer.record_job(self.make_trace())
+        assert tracer.sim_now == 20.0
+
+    def test_phase_and_task_offsets(self):
+        tracer = Tracer()
+        tracer.record_job(self.make_trace())
+        tracer.record_job(self.make_trace())  # second job starts at t=10
+        by_kind = {}
+        for span in tracer.spans:
+            by_kind.setdefault(span.kind, []).append(span)
+        assert [s.t0 for s in by_kind["job"]] == [0.0, 10.0]
+        shuffle_phases = [s for s in by_kind["phase"] if s.name == "shuffle"]
+        assert [s.t0 for s in shuffle_phases] == [6.0, 16.0]
+        second_tasks = [s for s in by_kind["task"] if s.t0 >= 10.0]
+        assert all(s.track in (0, 1) for s in second_tasks)
+
+    def test_retry_and_speculative_events_generated(self):
+        tracer = Tracer()
+        tracer.record_job(self.make_trace())
+        types = [event.type for event in tracer.events]
+        assert types.count("task_retry") == 1
+        assert types.count("speculative_kill") == 1
+        assert types.count("shuffle") == 1
+        retry = next(e for e in tracer.events if e.type == "task_retry")
+        assert retry.attrs == {"task_id": 1, "retries": 2}
+
+    def test_job_events_offset_from_job_start(self):
+        tracer = Tracer()
+        tracer.record_job(self.make_trace())
+        tracer.record_job(self.make_trace())
+        shuffles = [e for e in tracer.events if e.type == "shuffle"]
+        assert [e.t for e in shuffles] == [6.0, 16.0]
+
+    def test_from_stats_copies_accounting_verbatim(self):
+        stats = JobStats(name="j", shuffle_bytes=7, sim_seconds=1.25,
+                         task_retries=3, hdfs_read_bytes=9)
+        trace = JobTrace.from_stats(stats)
+        assert trace.sim_duration == 1.25
+        assert trace.attrs["shuffle_bytes"] == 7
+        assert trace.attrs["task_retries"] == 3
+        assert trace.attrs["hdfs_read_bytes"] == 9
+        assert trace.attrs["intermediate_bytes"] == stats.intermediate_bytes
+
+
+class TestDisabledTracer:
+    def test_default_process_tracer_is_disabled(self):
+        assert get_tracer().enabled is False
+
+    def test_disabled_records_nothing(self):
+        tracer = Tracer(enabled=False)
+        with tracer.span("run", "fit") as span:
+            span.set(objective=1.0)
+            tracer.event("shuffle", bytes=10)
+            tracer.record_job(JobTrace(name="j", sim_duration=5.0))
+        assert tracer.spans == []
+        assert tracer.events == []
+        assert tracer.sim_now == 0.0
+
+    def test_disabled_span_is_shared_noop(self):
+        tracer = Tracer(enabled=False)
+        with tracer.span("run", "a") as first:
+            pass
+        with tracer.span("run", "b") as second:
+            pass
+        assert first is second  # the singleton: zero allocation per span
+
+
+class TestProcessTracer:
+    def test_tracing_installs_and_restores(self):
+        before = get_tracer()
+        with tracing() as tracer:
+            assert get_tracer() is tracer
+            assert tracer.enabled
+        assert get_tracer() is before
+
+    def test_tracing_restores_on_error(self):
+        before = get_tracer()
+        with pytest.raises(RuntimeError):
+            with tracing():
+                raise RuntimeError("boom")
+        assert get_tracer() is before
+
+    def test_set_tracer_roundtrip(self):
+        before = get_tracer()
+        mine = Tracer()
+        set_tracer(mine)
+        try:
+            assert get_tracer() is mine
+        finally:
+            set_tracer(before)
+
+
+class TestRecordJobStats:
+    def test_records_into_metrics_and_tracer(self):
+        metrics = EngineMetrics()
+        stats = JobStats(name="broadcast", broadcast_bytes=64, sim_seconds=0.5)
+        with tracing() as tracer:
+            record_job_stats(metrics, stats, phase_name="broadcast transfer",
+                             events=[EventTrace("broadcast", 0.0, {"bytes": 64})])
+        assert metrics.jobs == [stats]
+        job = next(span for span in tracer.spans if span.kind == "job")
+        assert job.dur == 0.5
+        assert job.attrs["broadcast_bytes"] == 64
+        phase = next(span for span in tracer.spans if span.kind == "phase")
+        assert phase.name == "broadcast transfer"
+        assert phase.dur == 0.5
+        assert [e.type for e in tracer.events] == ["broadcast"]
+
+    def test_disabled_tracer_still_records_metrics(self):
+        metrics = EngineMetrics()
+        stats = JobStats(name="j", sim_seconds=1.0)
+        record_job_stats(metrics, stats)  # process tracer is disabled here
+        assert metrics.jobs == [stats]
+
+
+class TestTaxonomy:
+    def test_kinds_and_types_are_closed_sets(self):
+        assert SPAN_KINDS == ("run", "iteration", "job", "phase", "task")
+        assert "shuffle" in EVENT_TYPES
+        assert "speculative_kill" in EVENT_TYPES
+        assert "cache_evict" in EVENT_TYPES
