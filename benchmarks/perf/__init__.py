@@ -1,0 +1,1 @@
+"""Perf regression harness for the batched record pipeline (BENCH_3)."""

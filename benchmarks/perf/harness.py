@@ -1,0 +1,283 @@
+"""Timing harness for the batched record pipeline.
+
+Measures the record-pipeline hot ops (shuffle partitioning, ``sizeof``
+memoization, map-task dispatch) and end-to-end ``SPCA.fit`` on both engine
+backends, each as optimized-vs-baseline pairs.  The baseline is the same
+engine with the optimization disabled (``enable_batch=False``, cold size
+cache, per-record partitioner), so every reported speedup isolates one
+change.  Results are written as ``BENCH_3.json``; see the perf section of
+``benchmarks/README.md`` for the schema.
+
+Wall-clock only: these are real Python timings of the simulator itself, not
+simulated cluster seconds.  Ratios are the meaningful quantity.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.backends.mapreduce import MapReduceBackend
+from repro.backends.spark import SparkBackend
+from repro.core import SPCA, SPCAConfig
+from repro.engine.cluster import ClusterSpec
+from repro.engine.mapreduce import MapReduceJob, MapReduceRuntime
+from repro.engine.mapreduce.runtime import _partition_of, _partition_pairs
+from repro.engine.serde import clear_sizeof_cache, sizeof
+from repro.engine.spark.context import SparkContext
+from repro.jobs import mapreduce_jobs as mr
+
+BENCH_NAME = "BENCH_3"
+
+CLUSTER = ClusterSpec(num_nodes=2, cores_per_node=4)
+
+REQUIRED_OP_FIELDS = {"name", "baseline_s", "optimized_s", "speedup", "params"}
+REQUIRED_E2E_FIELDS = {
+    "backend",
+    "shape",
+    "records_per_task",
+    "per_record_s",
+    "batch_s",
+    "speedup",
+}
+
+
+def best_of(fn: Callable[[], Any], repeats: int) -> float:
+    """Best (minimum) wall-clock seconds of *repeats* calls to *fn*."""
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def _op(name: str, baseline_s: float, optimized_s: float, **params: Any) -> dict:
+    return {
+        "name": name,
+        "baseline_s": baseline_s,
+        "optimized_s": optimized_s,
+        "speedup": baseline_s / max(optimized_s, 1e-12),
+        "params": params,
+    }
+
+
+# -- micro ops -------------------------------------------------------------
+
+
+def bench_shuffle_partitioning(repeats: int, n_records: int) -> dict:
+    """One crc32 per distinct key repr vs one per record."""
+    keys = ["YtX", "XtX", "mean/sums", "mean/count", "fnorm", "ss3"]
+    pairs = [(keys[i % len(keys)], i) for i in range(n_records)]
+
+    def per_record():
+        buckets = [[] for _ in range(4)]
+        for pair in pairs:
+            buckets[_partition_of(pair[0], 4)].append(pair)
+        return buckets
+
+    return _op(
+        "shuffle_partitioning",
+        baseline_s=best_of(per_record, repeats),
+        optimized_s=best_of(lambda: _partition_pairs(pairs, 4), repeats),
+        n_records=n_records,
+        n_distinct_keys=len(keys),
+    )
+
+
+def bench_sizeof_memoization(repeats: int, n_values: int) -> dict:
+    """Warm identity-keyed cache vs re-measuring every value."""
+    rng = np.random.default_rng(0)
+    values = [
+        sp.random(64, 64, density=0.1, random_state=i, format="csr")
+        if i % 2
+        else rng.normal(size=(64, 64))
+        for i in range(n_values)
+    ]
+
+    def cold():
+        clear_sizeof_cache()
+        for value in values:
+            sizeof(value)
+
+    def warm():
+        for value in values:
+            sizeof(value)
+
+    cold_s = best_of(cold, repeats)
+    clear_sizeof_cache()
+    sizeof(values)  # populate once
+    warm_s = best_of(warm, repeats)
+    return _op(
+        "sizeof_memoization",
+        baseline_s=cold_s,
+        optimized_s=warm_s,
+        n_values=n_values,
+    )
+
+
+def bench_map_dispatch(repeats: int, records_per_split: int) -> dict:
+    """One ``map_batch`` stacked-kernel call vs per-record ``map`` calls."""
+    split = [
+        (i * 4, sp.random(4, 128, density=0.1, random_state=i, format="csr"))
+        for i in range(records_per_split)
+    ]
+    splits = [split]
+
+    def run(enable_batch: bool) -> None:
+        runtime = MapReduceRuntime(cluster=CLUSTER, enable_batch=enable_batch)
+        job = MapReduceJob(
+            name="meanJob", mapper=mr.MeanMapper(), reducer=mr.MatrixSumReducer()
+        )
+        runtime.run(job, splits)
+
+    return _op(
+        "map_task_dispatch",
+        baseline_s=best_of(lambda: run(False), repeats),
+        optimized_s=best_of(lambda: run(True), repeats),
+        records_per_split=records_per_split,
+    )
+
+
+# -- end-to-end ------------------------------------------------------------
+
+
+def _fit_config(max_iterations: int) -> SPCAConfig:
+    return SPCAConfig(
+        n_components=5,
+        max_iterations=max_iterations,
+        tolerance=0.0,
+        seed=1,
+        compute_error_every_iteration=False,
+    )
+
+
+def bench_end_to_end(
+    backend_kind: str,
+    data,
+    records_per_task: int,
+    repeats: int,
+    max_iterations: int,
+) -> dict:
+    """Full ``SPCA.fit`` wall clock, batch vs per-record, one backend."""
+    config = _fit_config(max_iterations)
+
+    def fit(enable_batch: bool) -> None:
+        if backend_kind == "mapreduce":
+            runtime = MapReduceRuntime(cluster=CLUSTER, enable_batch=enable_batch)
+            backend = MapReduceBackend(
+                config, runtime=runtime, records_per_split=records_per_task
+            )
+        else:
+            context = SparkContext(cluster=CLUSTER, enable_batch=enable_batch)
+            backend = SparkBackend(
+                config, context=context, records_per_partition=records_per_task
+            )
+        SPCA(config, backend).fit(data)
+
+    per_record_s = best_of(lambda: fit(False), repeats)
+    batch_s = best_of(lambda: fit(True), repeats)
+    return {
+        "backend": backend_kind,
+        "shape": list(data.shape),
+        "records_per_task": records_per_task,
+        "per_record_s": per_record_s,
+        "batch_s": batch_s,
+        "speedup": per_record_s / max(batch_s, 1e-12),
+    }
+
+
+# -- suite -----------------------------------------------------------------
+
+
+def run_suite(quick: bool = False, repeats: int | None = None) -> dict:
+    """Run every benchmark; returns the BENCH_3 result document."""
+    if repeats is None:
+        repeats = 2 if quick else 3
+    if quick:
+        data = sp.random(800, 120, density=0.05, random_state=0, format="csr")
+        granularities = [8]
+        max_iterations = 2
+        n_records = 2000
+        n_values = 64
+    else:
+        data = sp.random(4000, 400, density=0.05, random_state=0, format="csr")
+        granularities = [16, 32]
+        max_iterations = 3
+        n_records = 20000
+        n_values = 256
+
+    ops = [
+        bench_shuffle_partitioning(repeats, n_records),
+        bench_sizeof_memoization(repeats, n_values),
+        bench_map_dispatch(repeats, 64 if quick else 256),
+    ]
+    end_to_end = [
+        bench_end_to_end(kind, data, granularity, repeats, max_iterations)
+        for kind in ("mapreduce", "spark")
+        for granularity in granularities
+    ]
+    result = {
+        "bench": BENCH_NAME,
+        "quick": quick,
+        "repeats": repeats,
+        "created_unix": time.time(),
+        "ops": ops,
+        "end_to_end": end_to_end,
+    }
+    validate(result)
+    return result
+
+
+def validate(result: dict) -> None:
+    """Schema check for a BENCH_3 document; raises ValueError on violation."""
+    for field in ("bench", "quick", "repeats", "created_unix", "ops", "end_to_end"):
+        if field not in result:
+            raise ValueError(f"missing top-level field {field!r}")
+    if result["bench"] != BENCH_NAME:
+        raise ValueError(f"bench must be {BENCH_NAME!r}, got {result['bench']!r}")
+    if not result["ops"] or not result["end_to_end"]:
+        raise ValueError("ops and end_to_end must be non-empty")
+    for op in result["ops"]:
+        missing = REQUIRED_OP_FIELDS - op.keys()
+        if missing:
+            raise ValueError(f"op {op.get('name')!r} missing fields {sorted(missing)}")
+        for field in ("baseline_s", "optimized_s", "speedup"):
+            if not (isinstance(op[field], float) and op[field] > 0):
+                raise ValueError(f"op {op['name']!r}: {field} must be positive")
+    for entry in result["end_to_end"]:
+        missing = REQUIRED_E2E_FIELDS - entry.keys()
+        if missing:
+            raise ValueError(
+                f"end_to_end {entry.get('backend')!r} missing {sorted(missing)}"
+            )
+        if entry["backend"] not in ("mapreduce", "spark"):
+            raise ValueError(f"unknown backend {entry['backend']!r}")
+        for field in ("per_record_s", "batch_s", "speedup"):
+            if not (isinstance(entry[field], float) and entry[field] > 0):
+                raise ValueError(
+                    f"end_to_end {entry['backend']!r}: {field} must be positive"
+                )
+
+
+def summarize(result: dict) -> str:
+    lines = [f"{result['bench']}  (quick={result['quick']}, repeats={result['repeats']})"]
+    lines.append(f"{'op':<24}{'baseline s':>12}{'optimized s':>13}{'speedup':>9}")
+    for op in result["ops"]:
+        lines.append(
+            f"{op['name']:<24}{op['baseline_s']:>12.4f}"
+            f"{op['optimized_s']:>13.4f}{op['speedup']:>8.2f}x"
+        )
+    lines.append(
+        f"{'end-to-end fit':<24}{'per-record s':>12}{'batch s':>13}{'speedup':>9}"
+    )
+    for entry in result["end_to_end"]:
+        label = f"{entry['backend']}/r{entry['records_per_task']}"
+        lines.append(
+            f"{label:<24}{entry['per_record_s']:>12.4f}"
+            f"{entry['batch_s']:>13.4f}{entry['speedup']:>8.2f}x"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,59 @@
+"""CLI for the batched-pipeline perf harness.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf/run.py            # full, BENCH_3.json
+    PYTHONPATH=src python benchmarks/perf/run.py --quick    # CI smoke shapes
+
+Writes the result document (schema: perf section of ``benchmarks/README.md``)
+to the repo root as ``BENCH_3.json`` unless ``--output`` overrides it, and
+prints the op/end-to-end summary table.  Exits non-zero if the document
+fails schema validation, so a CI run doubles as a schema check; absolute
+timings are never asserted.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+
+from perf.harness import run_suite, summarize, validate  # noqa: E402
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small shapes for CI smoke runs (seconds, not minutes)",
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=None,
+        help="timing repeats per measurement (default: 3, or 2 with --quick)",
+    )
+    parser.add_argument(
+        "--output",
+        type=pathlib.Path,
+        default=REPO_ROOT / "BENCH_3.json",
+        help="where to write the result JSON (default: <repo>/BENCH_3.json)",
+    )
+    args = parser.parse_args(argv)
+
+    result = run_suite(quick=args.quick, repeats=args.repeats)
+    validate(result)
+    args.output.write_text(json.dumps(result, indent=2) + "\n")
+    print(summarize(result))
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

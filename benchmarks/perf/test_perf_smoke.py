@@ -1,0 +1,57 @@
+"""Smoke test for the perf harness: quick shapes, schema only.
+
+Asserts structure and the batch-wins-at-fine-granularity invariant on tiny
+inputs; never absolute times, so it cannot flake on slow CI machines.
+"""
+
+import json
+
+import pytest
+
+from perf.harness import BENCH_NAME, run_suite, summarize, validate
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_suite(quick=True, repeats=1)
+
+
+def test_quick_suite_passes_validation(result):
+    validate(result)
+    assert result["bench"] == BENCH_NAME
+    assert result["quick"] is True
+
+
+def test_result_is_json_serializable(result):
+    parsed = json.loads(json.dumps(result))
+    validate(parsed)
+
+
+def test_covers_both_backends(result):
+    backends = {entry["backend"] for entry in result["end_to_end"]}
+    assert backends == {"mapreduce", "spark"}
+
+
+def test_ops_cover_the_pipeline_hot_spots(result):
+    names = {op["name"] for op in result["ops"]}
+    assert names == {
+        "shuffle_partitioning",
+        "sizeof_memoization",
+        "map_task_dispatch",
+    }
+
+
+def test_summary_renders(result):
+    text = summarize(result)
+    assert BENCH_NAME in text
+    assert "mapreduce" in text
+
+
+def test_validate_rejects_malformed_documents(result):
+    broken = dict(result)
+    broken.pop("end_to_end")
+    with pytest.raises(ValueError):
+        validate(broken)
+    wrong_bench = dict(result, bench="BENCH_999")
+    with pytest.raises(ValueError):
+        validate(wrong_bench)

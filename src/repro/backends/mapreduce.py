@@ -27,6 +27,11 @@ class MapReduceBackend(Backend):
             when omitted.
         blocks_per_core: input splits per cluster core (more splits = finer
             scheduling granularity).
+        records_per_split: row-block records per input split.  The default 1
+            keeps the historical coarse layout (one block per split);
+            larger values model the paper's real record granularity -- an
+            HDFS split holds many row records -- and are what the batched
+            ``map_batch`` pipeline is built to chew through.
     """
 
     def __init__(
@@ -34,10 +39,18 @@ class MapReduceBackend(Backend):
         config: SPCAConfig,
         runtime: MapReduceRuntime | None = None,
         blocks_per_core: int = 1,
+        records_per_split: int = 1,
     ):
         super().__init__(config)
+        if records_per_split < 1:
+            from repro.errors import InvalidPlanError
+
+            raise InvalidPlanError(
+                f"records_per_split must be >= 1, got {records_per_split}"
+            )
         self.runtime = runtime or MapReduceRuntime()
         self.blocks_per_core = blocks_per_core
+        self.records_per_split = records_per_split
         self._iteration = 0
         self._materialized_iteration = -1
 
@@ -45,8 +58,16 @@ class MapReduceBackend(Backend):
 
     def load(self, data: Matrix) -> list[list]:
         num_splits = self.runtime.cluster.total_cores * self.blocks_per_core
-        blocks = partition_rows(data, num_splits)
-        return [[(block.start, block.data)] for block in blocks]
+        blocks = partition_rows(data, num_splits * self.records_per_split)
+        records = [(block.start, block.data) for block in blocks]
+        if self.records_per_split == 1:
+            return [[record] for record in records]
+        groups = np.array_split(
+            np.arange(len(records)), min(num_splits, len(records))
+        )
+        return [
+            [records[i] for i in group] for group in groups if len(group) > 0
+        ]
 
     def column_means(self, dataset) -> np.ndarray:
         job = MapReduceJob(

@@ -39,10 +39,18 @@ class SparkBackend(Backend):
         config: SPCAConfig,
         context: SparkContext | None = None,
         partitions_per_core: int = 1,
+        records_per_partition: int = 1,
     ):
         super().__init__(config)
+        if records_per_partition < 1:
+            from repro.errors import InvalidPlanError
+
+            raise InvalidPlanError(
+                f"records_per_partition must be >= 1, got {records_per_partition}"
+            )
         self.context = context or SparkContext()
         self.partitions_per_core = partitions_per_core
+        self.records_per_partition = records_per_partition
         self._latent_rdd = None
         self._latent_key = None
 
@@ -50,12 +58,16 @@ class SparkBackend(Backend):
 
     def load(self, data: Matrix):
         num_partitions = self.context.cluster.total_cores * self.partitions_per_core
-        blocks = partition_rows(data, num_partitions)
+        blocks = partition_rows(data, num_partitions * self.records_per_partition)
         rdd = self.context.parallelize(
             [(block.start, block.data) for block in blocks],
-            num_partitions=len(blocks),
+            num_partitions=min(num_partitions, len(blocks)),
         )
         return rdd.cache()
+
+    def _batched(self, partition) -> bool:
+        """Whether a partition should take the stacked fast path."""
+        return self.context.enable_batch and len(partition) > 1
 
     def column_means(self, rdd) -> np.ndarray:
         n_cols = rdd.first()[1].shape[1]
@@ -63,6 +75,15 @@ class SparkBackend(Backend):
         count = self.context.accumulator(0)
 
         def run(partition):
+            if self._batched(partition):
+                # One stacked kernel call and one accumulator update per
+                # partition: fewer, larger updates is exactly the combiner
+                # economy the paper's Section 4.2 argues for.
+                stacked = kernels.stack_blocks([block for _, block in partition])
+                block_sums, rows = kernels.block_sums(stacked)
+                sums.add(block_sums)
+                count.add(rows)
+                return
             for _, block in partition:
                 block_sums, rows = kernels.block_sums(block)
                 sums.add(block_sums)
@@ -77,6 +98,10 @@ class SparkBackend(Backend):
         total = self.context.accumulator(0.0)
 
         def run(partition):
+            if self._batched(partition):
+                stacked = kernels.stack_blocks([block for _, block in partition])
+                total.add(kernels.block_frobenius(stacked, bc_mean.value, efficient))
+                return
             for _, block in partition:
                 total.add(kernels.block_frobenius(block, bc_mean.value, efficient))
 
@@ -103,6 +128,14 @@ class SparkBackend(Backend):
         latent_rdd = self._latent_for(rdd, bc_mean, bc_projector, bc_latent_mean)
 
         def run_with_latent(partition, latent_partition):
+            if self._batched(partition):
+                block = kernels.stack_blocks([b for _, b in partition])
+                latent = kernels.stack_latents([x for _, x in latent_partition])
+                self._accumulate_ytx(
+                    block, latent, bc_projector.value, bc_mean.value,
+                    bc_latent_mean.value, mean_prop, ytx_data, latent_colsum, xtx_sum,
+                )
+                return
             for (_, block), (_, latent) in zip(partition, latent_partition):
                 self._accumulate_ytx(
                     block, latent, bc_projector.value, bc_mean.value,
@@ -110,6 +143,18 @@ class SparkBackend(Backend):
                 )
 
         def run(partition):
+            if self._batched(partition):
+                blocks = [block for _, block in partition]
+                stacked = kernels.stack_blocks(blocks)
+                latent = kernels.block_latent(
+                    stacked, bc_mean.value, bc_projector.value,
+                    bc_latent_mean.value, mean_prop,
+                )
+                self._accumulate_ytx(
+                    stacked, latent, bc_projector.value, bc_mean.value,
+                    bc_latent_mean.value, mean_prop, ytx_data, latent_colsum, xtx_sum,
+                )
+                return
             for _, block in partition:
                 latent = kernels.block_latent(
                     block, bc_mean.value, bc_projector.value,
@@ -154,17 +199,30 @@ class SparkBackend(Backend):
                 bc_components.value, mean_prop, latent=latent,
             )
 
+        def zipped_ss3(partition, latent_partition):
+            if self._batched(partition):
+                total.add(
+                    partial(
+                        kernels.stack_blocks([b for _, b in partition]),
+                        kernels.stack_latents([x for _, x in latent_partition]),
+                    )
+                )
+                return (None,)
+            # One None marker per record, matching the historical byte
+            # accounting of the per-record closure.
+            return [
+                total.add(partial(block, latent))
+                for (_, block), (_, latent) in zip(partition, latent_partition)
+            ]
+
         if latent_rdd is not None:
-            zipped = rdd.zip_partitions(
-                latent_rdd,
-                lambda a, b: [
-                    total.add(partial(block, latent))
-                    for (_, block), (_, latent) in zip(a, b)
-                ],
-            )
+            zipped = rdd.zip_partitions(latent_rdd, zipped_ss3)
             self.context.run_job(zipped, list, name="ss3Job")
         else:
             def run_ss3(partition):
+                if self._batched(partition):
+                    total.add(partial(kernels.stack_blocks([b for _, b in partition]), None))
+                    return
                 for _, block in partition:
                     total.add(partial(block, None))
 
@@ -191,6 +249,17 @@ class SparkBackend(Backend):
         mean_prop = self.config.use_mean_propagation
 
         def run(split, partition):
+            if sample_fraction >= 1.0 and self._batched(partition):
+                # Sampling is seeded per record start row, so only the
+                # unsampled path can stack the whole partition.
+                stacked = kernels.stack_blocks([block for _, block in partition])
+                parts = kernels.block_error_parts(
+                    stacked, bc_mean.value, bc_components.value,
+                    bc_ls_projector.value, mean_prop,
+                )
+                residual.add(parts[0])
+                magnitude.add(parts[1])
+                return ()
             for start, block in partition:
                 if sample_fraction < 1.0:
                     block = sample_rows(

@@ -41,6 +41,26 @@ def _partition_of(key: Any, num_partitions: int) -> int:
     return zlib.crc32(repr(key).encode()) % num_partitions
 
 
+def _partition_pairs(pairs: Sequence[Pair], num_partitions: int) -> list[list[Pair]]:
+    """Bucket records by key in one pass, hashing each distinct repr once.
+
+    Equivalent to calling :func:`_partition_of` per record, but the crc32 of
+    a key's repr is computed only the first time that repr is seen -- sPCA
+    shuffles carry a handful of distinct keys across thousands of records,
+    so this removes the per-record hash from the shuffle's hot loop.
+    """
+    buckets: list[list[Pair]] = [[] for _ in range(num_partitions)]
+    partition_of: dict[str, int] = {}
+    for pair in pairs:
+        key_repr = repr(pair[0])
+        partition = partition_of.get(key_repr)
+        if partition is None:
+            partition = zlib.crc32(key_repr.encode()) % num_partitions
+            partition_of[key_repr] = partition
+        buckets[partition].append(pair)
+    return buckets
+
+
 def _instantiate(template):
     """Fresh per-task instance: classes are constructed, instances deep-copied."""
     if isinstance(template, type):
@@ -60,6 +80,11 @@ class MapReduceRuntime:
         max_task_attempts: attempts before the whole job is declared failed,
             matching Hadoop's ``mapreduce.map.maxattempts`` default of 4.
         seed: seed for failure injection.
+        enable_batch: when True (default) tasks are dispatched through the
+            ``map_batch``/``reduce_batch`` protocol, which vectorizing
+            mappers override; when False every record goes through the
+            per-record ``map``/``reduce`` hooks, ignoring batch overrides
+            (the regression-harness baseline).
     """
 
     def __init__(
@@ -70,6 +95,7 @@ class MapReduceRuntime:
         failure_rate: float = 0.0,
         max_task_attempts: int = 4,
         seed: int = 0,
+        enable_batch: bool = True,
     ):
         if not 0.0 <= failure_rate < 1.0:
             raise InvalidPlanError(f"failure_rate must be in [0, 1), got {failure_rate}")
@@ -78,9 +104,9 @@ class MapReduceRuntime:
         self.hdfs = hdfs or InMemoryHDFS()
         self.failure_rate = failure_rate
         self.max_task_attempts = max_task_attempts
+        self.enable_batch = enable_batch
         self.metrics = EngineMetrics()
         self._rng = np.random.default_rng(seed)
-        self._current_stats: JobStats | None = None
 
     # -- public API ------------------------------------------------------
 
@@ -102,10 +128,8 @@ class MapReduceRuntime:
         splits = self._resolve_splits(input_data, stats)
         stats.n_map_tasks = len(splits)
 
-        self._current_stats = stats
         map_outputs, map_times, map_retries = self._map_phase(job, splits, stats)
         output, reduce_times, reduce_retries = self._reduce_phase(job, map_outputs, stats)
-        self._current_stats = None
 
         if job.output_path is not None:
             stats.output_bytes = self.hdfs.write(job.output_path, output)
@@ -176,9 +200,7 @@ class MapReduceRuntime:
         stats.shuffle_bytes = sizeof_pairs(all_pairs)
         num_reducers = max(1, job.num_reducers)
         stats.n_reduce_tasks = num_reducers
-        partitions: list[list[Pair]] = [[] for _ in range(num_reducers)]
-        for key, value in all_pairs:
-            partitions[_partition_of(key, num_reducers)].append((key, value))
+        partitions = _partition_pairs(all_pairs, num_reducers)
         output: list[Pair] = []
         reduce_times: list[float] = []
         reduce_retries: list[int] = []
@@ -197,47 +219,58 @@ class MapReduceRuntime:
         total_seconds = 0.0
         for attempt in range(1, self.max_task_attempts + 1):
             started = time.perf_counter()
-            result = thunk()
+            result, ctx = thunk()
             elapsed = time.perf_counter() - started
             total_seconds += elapsed
             if self._rng.random() >= self.failure_rate:
+                # Counters commit only for the successful attempt -- a failed
+                # attempt's side effects are discarded, exactly as Hadoop
+                # discards the output of a killed task attempt.
+                self._merge_counters(ctx, stats)
                 return result, total_seconds, attempt - 1
             stats.task_retries += 1
         raise JobFailedError(
             f"job {stats.name!r}: task failed {self.max_task_attempts} times"
         )
 
-    def _run_map_task(self, job: MapReduceJob, split, task_id: int) -> list[Pair]:
+    def _run_map_task(
+        self, job: MapReduceJob, split, task_id: int
+    ) -> tuple[list[Pair], TaskContext]:
         mapper: Mapper = _instantiate(job.mapper)
         ctx = TaskContext(job.name, task_id, dict(job.config))
         mapper.setup(ctx)
-        output: list[Pair] = []
-        for key, value in split:
-            output.extend(mapper.map(key, value, ctx))
+        if self.enable_batch:
+            output = list(mapper.map_batch(split, ctx))
+        else:
+            # Per-record baseline: bypass any map_batch override.
+            output = []
+            for key, value in split:
+                output.extend(mapper.map(key, value, ctx))
         output.extend(mapper.cleanup(ctx))
-        self._merge_counters(ctx)
-        return output
+        return output, ctx
 
-    def _run_reduce_like(self, template, job, pairs, task_id: int) -> list[Pair]:
+    def _run_reduce_like(
+        self, template, job, pairs, task_id: int
+    ) -> tuple[list[Pair], TaskContext]:
         reducer: Reducer = _instantiate(template)
         ctx = TaskContext(job.name, task_id, dict(job.config))
         reducer.setup(ctx)
         groups: dict[Any, list[Any]] = defaultdict(list)
         for key, value in pairs:
             groups[key].append(value)
-        output: list[Pair] = []
-        for key in sorted(groups, key=repr):
-            output.extend(reducer.reduce(key, groups[key], ctx))
+        ordered = [(key, groups[key]) for key in sorted(groups, key=repr)]
+        if self.enable_batch:
+            output = list(reducer.reduce_batch(ordered, ctx))
+        else:
+            output = []
+            for key, values in ordered:
+                output.extend(reducer.reduce(key, values, ctx))
         output.extend(reducer.cleanup(ctx))
-        self._merge_counters(ctx)
-        return output
+        return output, ctx
 
-    def _merge_counters(self, ctx: TaskContext) -> None:
-        if self._current_stats is not None:
-            for counter, amount in ctx.counters.items():
-                self._current_stats.counters[counter] = (
-                    self._current_stats.counters.get(counter, 0) + amount
-                )
+    def _merge_counters(self, ctx: TaskContext, stats: JobStats) -> None:
+        for counter, amount in ctx.counters.items():
+            stats.counters[counter] = stats.counters.get(counter, 0) + amount
 
     # -- simulated timeline ----------------------------------------------
 

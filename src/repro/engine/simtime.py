@@ -101,10 +101,17 @@ def apply_speculative_execution(task_seconds, straggler_factor: float = 3.0):
             f"straggler_factor must be > 1, got {straggler_factor}"
         )
     durations = _validated_durations(task_seconds, "apply_speculative_execution")
-    if len(durations) < 3:
+    if not durations:
         return durations
     ordered = sorted(durations)
-    median = ordered[len(ordered) // 2]
+    mid = len(ordered) // 2
+    # True median: even-length stages average the two middle elements, so
+    # the cap is symmetric in the stage's tasks instead of biased to the
+    # upper middle element (which let one straggler inflate its own cap).
+    if len(ordered) % 2:
+        median = ordered[mid]
+    else:
+        median = 0.5 * (ordered[mid - 1] + ordered[mid])
     ceiling = straggler_factor * median
     return [min(duration, ceiling) for duration in durations]
 

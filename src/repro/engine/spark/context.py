@@ -90,6 +90,10 @@ class SparkContext:
         failure_rate: per-partition-computation failure probability; failed
             partitions are recomputed from lineage, as real Spark does.
         seed: seed for failure injection.
+        enable_batch: when True (default) RDDs built with a ``batch_fn`` and
+            backends that support partition-batched closures use the batched
+            fast path; when False every record goes through the per-record
+            closures (the regression-harness baseline).
     """
 
     def __init__(
@@ -99,6 +103,7 @@ class SparkContext:
         failure_rate: float = 0.0,
         max_task_attempts: int = 4,
         seed: int = 0,
+        enable_batch: bool = True,
     ):
         if not 0.0 <= failure_rate < 1.0:
             raise InvalidPlanError(f"failure_rate must be in [0, 1), got {failure_rate}")
@@ -106,6 +111,7 @@ class SparkContext:
         self.cost_model = cost_model
         self.failure_rate = failure_rate
         self.max_task_attempts = max_task_attempts
+        self.enable_batch = enable_batch
         self.metrics = EngineMetrics()
         self.driver = DriverMemoryMonitor(self.cluster.driver_memory_bytes)
         self.block_manager = BlockManager(self.cluster.aggregate_memory_bytes)

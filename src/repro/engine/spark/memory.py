@@ -29,6 +29,14 @@ class DriverMemoryMonitor:
     def allocate(self, nbytes: int, what: str = "buffer") -> None:
         """Claim *nbytes* of driver heap; raises when over the limit."""
         nbytes = int(nbytes)
+        if nbytes < 0:
+            # A negative allocation would silently drive used_bytes below
+            # zero and mask later over-limit conditions; frees must go
+            # through release().
+            raise ShapeError(
+                f"cannot allocate {nbytes} bytes for {what!r}; "
+                "negative sizes must use release()"
+            )
         if self.used_bytes + nbytes > self.limit_bytes:
             raise DriverOutOfMemoryError(
                 requested_bytes=nbytes, limit_bytes=self.limit_bytes, what=what
@@ -76,6 +84,15 @@ class BlockManager:
         self._blocks: dict[tuple[int, int], _CachedPartition] = {}
 
     def put(self, rdd_id: int, split: int, data: list, nbytes: int) -> None:
+        # Re-putting an existing block replaces it: release the old block's
+        # accounting first, or memory/disk byte counts leak upward on every
+        # overwrite and spill decisions drift.
+        old = self._blocks.pop((rdd_id, split), None)
+        if old is not None:
+            if old.on_disk:
+                self.disk_bytes -= old.nbytes
+            else:
+                self.memory_bytes -= old.nbytes
         on_disk = self.memory_bytes + nbytes > self.limit_bytes
         self._blocks[(rdd_id, split)] = _CachedPartition(data, nbytes, on_disk)
         if on_disk:

@@ -28,6 +28,27 @@ def _hash_partition(key: Any, num_partitions: int) -> int:
     return zlib.crc32(repr(key).encode()) % num_partitions
 
 
+class _PartitionCache:
+    """Memoized key partitioner: one crc32 per distinct key repr.
+
+    Shuffles route thousands of records over a handful of distinct keys;
+    hashing each distinct repr once turns the per-record cost into a dict
+    lookup while producing exactly :func:`_hash_partition`'s assignment.
+    """
+
+    def __init__(self, num_partitions: int):
+        self.num_partitions = num_partitions
+        self._cache: dict[str, int] = {}
+
+    def __call__(self, key: Any) -> int:
+        key_repr = repr(key)
+        partition = self._cache.get(key_repr)
+        if partition is None:
+            partition = zlib.crc32(key_repr.encode()) % self.num_partitions
+            self._cache[key_repr] = partition
+        return partition
+
+
 class RDD:
     """An immutable, partitioned collection with lazy transformations."""
 
@@ -78,8 +99,28 @@ class RDD:
 
     # -- transformations (lazy) ----------------------------------------------
 
-    def map(self, fn: Callable[[Any], Any]) -> "RDD":
-        return self.map_partitions(lambda items: [fn(item) for item in items])
+    def map(
+        self,
+        fn: Callable[[Any], Any],
+        batch_fn: Callable[[list], list] | None = None,
+    ) -> "RDD":
+        """Element-wise transformation, with an optional batched fast path.
+
+        When *batch_fn* is given and the context runs with batching enabled,
+        each partition is transformed by one ``batch_fn(items)`` call (the
+        ``mapPartitions``-style analogue of the MapReduce ``map_batch``
+        protocol) instead of a per-element ``fn`` call; *fn* remains the
+        per-record fallback and defines the semantics *batch_fn* must match.
+        """
+        if batch_fn is None:
+            return self.map_partitions(lambda items: [fn(item) for item in items])
+
+        def run(items: list) -> list:
+            if self.context.enable_batch:
+                return list(batch_fn(items))
+            return [fn(item) for item in items]
+
+        return self.map_partitions(run)
 
     def flat_map(self, fn: Callable[[Any], Iterable[Any]]) -> "RDD":
         return self.map_partitions(
@@ -198,6 +239,7 @@ class RDD:
         def materialize(stats):
             buckets: list[dict[Any, Any]] = [dict() for _ in range(num_partitions)]
             shuffle_bytes = 0
+            partition_of = _PartitionCache(num_partitions)
             for split in range(self.num_partitions):
                 local: dict[Any, Any] = {}
                 for key, value in self._iterator(split, stats):
@@ -207,7 +249,7 @@ class RDD:
                         local.setdefault(key, []).append(value)
                 shuffle_bytes += sizeof(local)
                 for key, value in local.items():
-                    bucket = buckets[_hash_partition(key, num_partitions)]
+                    bucket = buckets[partition_of(key)]
                     if combine_values:
                         bucket[key] = fn(bucket[key], value) if key in bucket else value
                     else:

@@ -17,6 +17,7 @@ from __future__ import annotations
 import numpy as np
 import scipy.sparse as sp
 
+from repro.errors import ShapeError
 from repro.linalg.blocks import Matrix, is_sparse
 from repro.linalg.centered import centered_times, centered_transpose_times
 from repro.linalg.frobenius import frobenius_simple, frobenius_sparse
@@ -27,6 +28,42 @@ from repro.lint.contracts import contract
 def _densify_centered(block: Matrix, mean: np.ndarray) -> np.ndarray:
     dense = np.asarray(block.todense()) if is_sparse(block) else np.asarray(block, dtype=np.float64)
     return dense - mean
+
+
+def stack_blocks(blocks: list[Matrix]) -> Matrix:
+    """Vertically stack row blocks into one block for a batched kernel call.
+
+    This is the work-horse of the batch record pipeline: a mapper handed a
+    whole split of fine-grained row blocks stacks them once and runs each
+    per-block kernel a single time, replacing N small scipy/numpy dispatches
+    (each dominated by fixed overhead at paper-style record granularity) with
+    one big one.  A single block is returned as-is, which keeps the batch
+    path bit-identical to the per-record path for the default one-block
+    splits.  All-sparse inputs stay sparse (CSR); any dense block densifies
+    the stack, mirroring how the per-record kernels treat dense input.
+    """
+    if not blocks:
+        raise ShapeError("cannot stack an empty list of blocks")
+    if len(blocks) == 1:
+        return blocks[0]
+    if all(is_sparse(block) for block in blocks):
+        return sp.vstack(blocks, format="csr")
+    return np.vstack(
+        [
+            np.asarray(block.todense()) if is_sparse(block) else
+            np.asarray(block, dtype=np.float64)
+            for block in blocks
+        ]
+    )
+
+
+def stack_latents(latents: list[np.ndarray]) -> np.ndarray:
+    """Stack pre-materialized X blocks alongside their Y blocks."""
+    if not latents:
+        raise ShapeError("cannot stack an empty list of latent blocks")
+    if len(latents) == 1:
+        return latents[0]
+    return np.vstack(latents)
 
 
 @contract(block="matrix (b, D)", ret=("dense (D,)", "int"))

@@ -54,6 +54,14 @@ class MeanMapper(Mapper):
         self.count += rows
         return ()
 
+    def map_batch(self, records, ctx):
+        if records:
+            stacked = kernels.stack_blocks([value for _, value in records])
+            sums, rows = kernels.block_sums(stacked)
+            self.sums = sums if self.sums is None else self.sums + sums
+            self.count += rows
+        return []
+
     def cleanup(self, ctx):
         if self.sums is not None:
             yield KEY_SUMS, self.sums
@@ -74,6 +82,14 @@ class FnormMapper(Mapper):
             value, ctx.config["mean"], ctx.config["efficient"]
         )
         return ()
+
+    def map_batch(self, records, ctx):
+        if records:
+            stacked = kernels.stack_blocks([value for _, value in records])
+            self.total += kernels.block_frobenius(
+                stacked, ctx.config["mean"], ctx.config["efficient"]
+            )
+        return []
 
     def cleanup(self, ctx):
         yield KEY_FNORM, self.total
@@ -100,9 +116,26 @@ class YtXMapper(Mapper):
         self.xtx_partial = None
 
     def map(self, key, value, ctx):
+        block, latent = _split_value(value)
+        self._consume(block, latent, ctx)
+        return ()
+
+    def map_batch(self, records, ctx):
+        if records:
+            blocks, latents = [], []
+            for _, value in records:
+                block, latent = _split_value(value)
+                blocks.append(block)
+                latents.append(latent)
+            stacked_latent = (
+                kernels.stack_latents(latents) if latents[0] is not None else None
+            )
+            self._consume(kernels.stack_blocks(blocks), stacked_latent, ctx)
+        return []
+
+    def _consume(self, block, latent, ctx):
         import scipy.sparse as sp
 
-        block, latent = _split_value(value)
         config = ctx.config
         mean_prop = config["mean_propagation"]
         if latent is None:
@@ -131,7 +164,6 @@ class YtXMapper(Mapper):
         ctx.increment("ytx/rows", block.shape[0])
         self.ytx_partial = ytx if self.ytx_partial is None else self.ytx_partial + ytx
         self.xtx_partial = xtx if self.xtx_partial is None else self.xtx_partial + xtx
-        return ()
 
     def cleanup(self, ctx):
         import scipy.sparse as sp
@@ -177,6 +209,11 @@ class NaiveYtXMapper(YtXMapper):
         yield KEY_YTX, ytx
         yield KEY_XTX, xtx
 
+    def map_batch(self, records, ctx):
+        # Stacking would silently reinstate the combiner this ablation
+        # removes; keep the naive per-record dataflow under batching too.
+        return Mapper.map_batch(self, records, ctx)
+
 
 class XMaterializeMapper(Mapper):
     """Ablation of X recomputation: write the latent matrix X to HDFS.
@@ -195,6 +232,22 @@ class XMaterializeMapper(Mapper):
             ctx.config["mean_propagation"],
         )
         yield key, latent
+
+    def map_batch(self, records, ctx):
+        # Output is keyed per record (downstream joins X blocks back to
+        # their Y blocks by start row), so the batch path keeps per-record
+        # kernel calls and only drops the per-record generator machinery.
+        config = ctx.config
+        return [
+            (
+                key,
+                kernels.block_latent(
+                    value, config["mean"], config["projector"],
+                    config["latent_mean"], config["mean_propagation"],
+                ),
+            )
+            for key, value in records
+        ]
 
 
 class SS3Mapper(Mapper):
@@ -218,6 +271,28 @@ class SS3Mapper(Mapper):
             latent=latent,
         )
         return ()
+
+    def map_batch(self, records, ctx):
+        if records:
+            blocks, latents = [], []
+            for _, value in records:
+                block, latent = _split_value(value)
+                blocks.append(block)
+                latents.append(latent)
+            self.total += kernels.block_ss3(
+                kernels.stack_blocks(blocks),
+                ctx.config["mean"],
+                ctx.config["projector"],
+                ctx.config["latent_mean"],
+                ctx.config["components"],
+                ctx.config["mean_propagation"],
+                latent=(
+                    kernels.stack_latents(latents)
+                    if latents[0] is not None
+                    else None
+                ),
+            )
+        return []
 
     def cleanup(self, ctx):
         yield KEY_SS3, self.total
@@ -250,6 +325,28 @@ class ErrorMapper(Mapper):
         self.residual = residual if self.residual is None else self.residual + residual
         self.magnitude = magnitude if self.magnitude is None else self.magnitude + magnitude
         return ()
+
+    def map_batch(self, records, ctx):
+        if ctx.config["sample_fraction"] < 1.0:
+            # Row sampling is seeded per record key; batching would change
+            # which rows get sampled, so keep the per-record path.
+            return Mapper.map_batch(self, records, ctx)
+        if records:
+            stacked = kernels.stack_blocks([value for _, value in records])
+            residual, magnitude = kernels.block_error_parts(
+                stacked,
+                ctx.config["mean"],
+                ctx.config["components"],
+                ctx.config["ls_projector"],
+                ctx.config["mean_propagation"],
+            )
+            self.residual = (
+                residual if self.residual is None else self.residual + residual
+            )
+            self.magnitude = (
+                magnitude if self.magnitude is None else self.magnitude + magnitude
+            )
+        return []
 
     def cleanup(self, ctx):
         if self.residual is not None:

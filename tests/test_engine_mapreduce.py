@@ -138,6 +138,17 @@ def test_failure_injection_preserves_results():
     assert flaky.metrics.jobs[0].task_retries > 0
 
 
+def test_failed_attempts_do_not_double_count_counters():
+    # Every map attempt increments the "words" counter; only the successful
+    # attempt's increments may reach JobStats, or retries inflate counters.
+    flaky = MapReduceRuntime(failure_rate=0.5, seed=42)
+    records = [(i, "alpha beta") for i in range(12)]
+    flaky.run(word_count_job(), splits_of(records, 6))
+    stats = flaky.metrics.jobs[0]
+    assert stats.task_retries > 0  # the seed must actually exercise retries
+    assert stats.counters["words"] == 24
+
+
 def test_pathological_failure_rate_aborts_job():
     doomed = MapReduceRuntime(failure_rate=0.99, max_task_attempts=3, seed=1)
     with pytest.raises(JobFailedError):

@@ -47,6 +47,71 @@ class TestSizeof:
 
         assert sizeof(Odd()) >= 50
 
+    def test_sparse_csr_measured_without_conversion(self):
+        matrix = sp.random(40, 60, density=0.15, random_state=1, format="csr")
+        expected = (
+            matrix.data.nbytes + matrix.indices.nbytes + matrix.indptr.nbytes
+        )
+        assert sizeof(matrix) == expected + 8  # + container overhead
+
+    @pytest.mark.parametrize("fmt", ["csc", "coo", "lil", "dok"])
+    def test_sparse_formats_match_csr_equivalent(self, fmt):
+        # The historical implementation measured every sparse matrix through
+        # tocsr(); the direct computation must reproduce those numbers.
+        matrix = sp.random(40, 60, density=0.15, random_state=2, format=fmt)
+        as_csr = matrix.tocsr()
+        expected = as_csr.data.nbytes + as_csr.indices.nbytes + as_csr.indptr.nbytes
+        assert sizeof(matrix) == expected + 8
+
+    def test_empty_sparse(self):
+        matrix = sp.csr_matrix((5, 7))
+        assert sizeof(matrix) == matrix.indptr.nbytes + 8
+
+
+class TestSizeofMemoization:
+    def test_repeat_measurement_hits_cache(self):
+        from repro.engine.serde import clear_sizeof_cache, sizeof_cache_entries
+
+        clear_sizeof_cache()
+        array = np.ones((16, 16))
+        first = sizeof(array)
+        assert sizeof_cache_entries() == 1
+        assert sizeof(array) == first
+        assert sizeof_cache_entries() == 1
+
+    def test_distinct_objects_get_distinct_entries(self):
+        from repro.engine.serde import clear_sizeof_cache, sizeof_cache_entries
+
+        clear_sizeof_cache()
+        a, b = np.zeros(4), np.zeros(4)
+        sizeof(a)
+        sizeof(b)
+        assert sizeof_cache_entries() == 2
+
+    def test_entry_evicted_when_object_collected(self):
+        import gc
+
+        from repro.engine.serde import clear_sizeof_cache, sizeof_cache_entries
+
+        clear_sizeof_cache()
+        array = np.zeros(128)
+        sizeof(array)
+        assert sizeof_cache_entries() == 1
+        del array
+        gc.collect()
+        # The weakref death callback must have dropped the entry, so a new
+        # object recycling the id() can never alias the stale size.
+        assert sizeof_cache_entries() == 0
+
+    def test_sparse_values_are_memoized_too(self):
+        from repro.engine.serde import clear_sizeof_cache, sizeof_cache_entries
+
+        clear_sizeof_cache()
+        matrix = sp.random(30, 30, density=0.2, random_state=3, format="csr")
+        first = sizeof(matrix)
+        assert sizeof(matrix) == first
+        assert sizeof_cache_entries() == 1
+
 
 class TestScheduleMakespan:
     def test_single_slot_is_sum(self):
@@ -204,3 +269,26 @@ class TestSpeculativeExecution:
 
         with pytest.raises(ShapeError):
             apply_speculative_execution([1.0, 2.0, 3.0], straggler_factor=1.0)
+
+    def test_even_length_uses_true_median(self):
+        from repro.engine.simtime import apply_speculative_execution
+
+        # sorted = [1, 1, 3, 100]: the true median is (1 + 3) / 2 = 2, so the
+        # cap is 6.0.  The old upper-middle "median" took 3.0 (a value the
+        # straggler side contributes), inflating the cap to 9.0.
+        smoothed = apply_speculative_execution([1.0, 3.0, 1.0, 100.0])
+        assert smoothed == [1.0, 3.0, 1.0, pytest.approx(6.0)]
+
+    def test_straggler_cannot_inflate_its_own_cap(self):
+        from repro.engine.simtime import apply_speculative_execution
+
+        # The cap must come from the middle of the distribution, not from a
+        # single upper-middle element the straggler side contributes.
+        smoothed = apply_speculative_execution([1.0, 2.0, 50.0, 500.0])
+        ceiling = 3.0 * 0.5 * (2.0 + 50.0)
+        assert smoothed == [1.0, 2.0, 50.0, pytest.approx(ceiling)]
+
+    def test_empty_stage_passthrough(self):
+        from repro.engine.simtime import apply_speculative_execution
+
+        assert apply_speculative_execution([]) == []

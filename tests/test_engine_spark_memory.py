@@ -53,6 +53,15 @@ class TestDriverMemoryMonitor:
         with pytest.raises(ShapeError):
             DriverMemoryMonitor(0)
 
+    def test_negative_allocation_rejected(self):
+        # A negative "allocation" would silently lower used_bytes and mask
+        # later over-limit conditions; frees must go through release().
+        driver = DriverMemoryMonitor(100)
+        driver.allocate(60)
+        with pytest.raises(ShapeError):
+            driver.allocate(-10, what="refund")
+        assert driver.used_bytes == 60
+
 
 class TestBlockManager:
     def test_put_get_in_memory(self):
@@ -90,3 +99,30 @@ class TestBlockManager:
     def test_invalid_limit(self):
         with pytest.raises(ShapeError):
             BlockManager(-5)
+
+    def test_put_twice_replaces_accounting(self):
+        manager = BlockManager(1000)
+        manager.put(1, 0, ["a"], 100)
+        manager.put(1, 0, ["a2"], 120)
+        assert manager.get(1, 0).data == ["a2"]
+        assert manager.memory_bytes == 120
+        assert manager.cached_bytes == 120
+
+    def test_put_twice_releases_disk_tier(self):
+        manager = BlockManager(150)
+        manager.put(1, 0, ["a"], 100)
+        manager.put(1, 1, ["b"], 100)  # spills to disk
+        assert manager.get(1, 1).on_disk
+        # Re-putting the spilled block must drop the old disk charge; with
+        # memory still holding 100 of 150, the new 40-byte block now fits.
+        manager.put(1, 1, ["b2"], 40)
+        assert manager.disk_bytes == 0
+        assert manager.memory_bytes == 140
+        assert not manager.get(1, 1).on_disk
+
+    def test_repeated_put_does_not_leak(self):
+        manager = BlockManager(500)
+        for round_ in range(10):
+            manager.put(3, 0, [round_], 50)
+        assert manager.memory_bytes == 50
+        assert manager.disk_bytes == 0
