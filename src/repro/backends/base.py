@@ -85,6 +85,16 @@ class Backend(abc.ABC):
         rows onto the subspace spanned by C.
         """
 
+    # -- checkpointing ---------------------------------------------------
+
+    def charge_checkpoint(self, nbytes: int, kind: str = "write") -> None:
+        """Charge one checkpoint round trip to the platform's accounting.
+
+        *kind* is ``"write"`` (periodic snapshot) or ``"restore"`` (resume
+        reading the newest snapshot back).  Local backends store state for
+        free; distributed backends charge the HDFS traffic and disk time.
+        """
+
     # -- metrics ---------------------------------------------------------
 
     @property

@@ -373,6 +373,22 @@ class SparkBackend(Backend):
         self._latent_rdd = None
         self._latent_key = None
 
+    # -- checkpointing -----------------------------------------------------
+
+    def charge_checkpoint(self, nbytes: int, kind: str = "write") -> None:
+        from repro.engine.metrics import JobStats
+        from repro.obs import record_job_stats
+
+        stats = JobStats(name="checkpointJob")
+        if kind == "write":
+            stats.hdfs_write_bytes = nbytes
+        else:
+            stats.hdfs_read_bytes = nbytes
+        stats.sim_seconds = self.context.cost_model.disk_seconds(nbytes)
+        record_job_stats(
+            self.context.metrics, stats, phase_name=f"checkpoint {kind}"
+        )
+
     # -- metrics -----------------------------------------------------------
 
     @property

@@ -7,6 +7,9 @@ Examples::
     repro-spca generate tweets --rows 20000 --cols 600 --out tweets.npz
     repro-spca fit tweets.npz --components 10 --backend spark --out model.npz
     repro-spca fit tweets.npz --backend mapreduce --trace fit.trace.json
+    repro-spca fit tweets.npz --backend mapreduce --faults plan.json \\
+        --checkpoint ckpts/ --checkpoint-every 2
+    repro-spca resume tweets.npz --checkpoint ckpts/ --backend mapreduce
     repro-spca report fit.trace.json
     repro-spca trace fit.trace.json --to fit.jsonl
     repro-spca evaluate model.npz tweets.npz
@@ -68,6 +71,43 @@ def build_parser() -> argparse.ArgumentParser:
         help="record an execution trace: .jsonl for an event log, anything "
              "else for Chrome trace-event JSON (open in ui.perfetto.dev)",
     )
+    fit.add_argument(
+        "--faults", metavar="PLAN.json",
+        help="inject the deterministic fault plan into the simulated engine "
+             "(see repro.faults.FaultPlan)",
+    )
+    fit.add_argument(
+        "--checkpoint", metavar="DIR",
+        help="snapshot EM state into DIR so a killed run can be resumed "
+             "with the 'resume' subcommand",
+    )
+    fit.add_argument(
+        "--checkpoint-every", type=int, default=1, metavar="N",
+        help="snapshot after every N-th iteration (default 1)",
+    )
+
+    resume = commands.add_parser(
+        "resume", help="continue a checkpointed fit from its newest snapshot"
+    )
+    resume.add_argument("input", help="the same matrix the original fit ran on")
+    resume.add_argument(
+        "--checkpoint", required=True, metavar="DIR",
+        help="checkpoint directory written by 'fit --checkpoint'",
+    )
+    resume.add_argument(
+        "--backend", choices=("sequential", "mapreduce", "spark"),
+        default="sequential",
+    )
+    resume.add_argument(
+        "--checkpoint-every", type=int, default=None, metavar="N",
+        help="keep snapshotting every N iterations while resuming "
+             "(default: no further snapshots)",
+    )
+    resume.add_argument("--faults", metavar="PLAN.json",
+                        help="fault plan for the resumed run")
+    resume.add_argument("--out", help="where to save the fitted model (.npz)")
+    resume.add_argument("--trace", metavar="PATH",
+                        help="record an execution trace of the resumed run")
 
     transform = commands.add_parser("transform", help="project a matrix to latent space")
     transform.add_argument("model")
@@ -135,18 +175,30 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _make_backend(name: str, config: SPCAConfig):
+def _make_backend(name: str, config: SPCAConfig, faults_path: str | None = None):
+    injector = None
+    if faults_path is not None:
+        from repro.faults import FaultPlan, PlannedFaults
+
+        injector = PlannedFaults(FaultPlan.load(faults_path))
     if name == "sequential":
         from repro.backends import SequentialBackend
 
+        if injector is not None:
+            print(
+                "warning: --faults has no effect on the sequential backend",
+                file=sys.stderr,
+            )
         return SequentialBackend(config)
     if name == "mapreduce":
         from repro.backends import MapReduceBackend
+        from repro.engine.mapreduce.runtime import MapReduceRuntime
 
-        return MapReduceBackend(config)
+        return MapReduceBackend(config, runtime=MapReduceRuntime(faults=injector))
     from repro.backends import SparkBackend
+    from repro.engine.spark.context import SparkContext
 
-    return SparkBackend(config)
+    return SparkBackend(config, context=SparkContext(faults=injector))
 
 
 def _cmd_generate(args) -> int:
@@ -176,25 +228,76 @@ def _cmd_fit(args) -> int:
         seed=args.seed,
         smart_init=args.smart_init,
     )
-    backend = _make_backend(args.backend, config)
+    backend = _make_backend(args.backend, config, faults_path=args.faults)
+    checkpoint = None
+    if args.checkpoint:
+        from repro.core import CheckpointPolicy, DirectoryCheckpointStore
+
+        checkpoint = CheckpointPolicy(
+            DirectoryCheckpointStore(args.checkpoint), args.checkpoint_every
+        )
     if args.trace:
         from repro.obs import tracing, write_trace
 
         with tracing() as tracer:
-            model, history = SPCA(config, backend).fit(matrix)
+            model, history = SPCA(config, backend).fit(matrix, checkpoint=checkpoint)
         trace_path = write_trace(tracer, args.trace)
     else:
-        model, history = SPCA(config, backend).fit(matrix)
+        model, history = SPCA(config, backend).fit(matrix, checkpoint=checkpoint)
         trace_path = None
     print(
         f"fit {matrix.shape} with d={args.components} on {args.backend}: "
         f"{history.n_iterations} iterations, stop={history.stop_reason}"
     )
+    if checkpoint is not None:
+        stored = checkpoint.store.iterations()
+        if stored:
+            print(f"checkpoints in {args.checkpoint}: iterations {stored}")
     if history.final_accuracy is not None:
         print(f"final accuracy: {history.final_accuracy:.4f}")
     if backend.simulated_seconds:
         print(f"simulated cluster time: {backend.simulated_seconds:.2f}s, "
               f"intermediate data: {backend.intermediate_bytes:,} bytes")
+    if trace_path is not None:
+        print(f"trace written to {trace_path}")
+    if args.out:
+        path = save_model(model, args.out)
+        print(f"model saved to {path}")
+    return 0
+
+
+def _cmd_resume(args) -> int:
+    from repro.core import DirectoryCheckpointStore
+
+    matrix = load_matrix(args.input)
+    store = DirectoryCheckpointStore(args.checkpoint)
+    newest = store.load_latest()
+    if newest is None:
+        print(f"error: no checkpoints in {args.checkpoint}", file=sys.stderr)
+        return 2
+    config = SPCAConfig(**newest.config)
+    backend = _make_backend(args.backend, config, faults_path=args.faults)
+    spca = SPCA(config, backend)
+    if args.trace:
+        from repro.obs import tracing, write_trace
+
+        with tracing() as tracer:
+            model, history = spca.resume(
+                matrix, store, checkpoint_every=args.checkpoint_every
+            )
+        trace_path = write_trace(tracer, args.trace)
+    else:
+        model, history = spca.resume(
+            matrix, store, checkpoint_every=args.checkpoint_every
+        )
+        trace_path = None
+    print(
+        f"resumed {matrix.shape} from iteration {newest.iteration} on "
+        f"{args.backend}: {history.n_iterations} iterations total, "
+        f"stop={history.stop_reason}"
+    )
+    if history.final_accuracy is not None:
+        print(f"final accuracy: {history.final_accuracy:.4f}")
     if trace_path is not None:
         print(f"trace written to {trace_path}")
     if args.out:
@@ -370,6 +473,7 @@ def _cmd_info(args) -> int:
 _COMMANDS = {
     "generate": _cmd_generate,
     "fit": _cmd_fit,
+    "resume": _cmd_resume,
     "transform": _cmd_transform,
     "evaluate": _cmd_evaluate,
     "select": _cmd_select,

@@ -12,19 +12,38 @@
   initialization.
 - :mod:`repro.core.convergence` -- stop conditions.
 - :mod:`repro.core.model` -- the fitted :class:`PCAModel`.
+- :mod:`repro.core.checkpoint` -- EM state snapshots (periodic checkpoints
+  the driver can resume from bit-identically after being killed).
 """
 
+from repro.core.checkpoint import (
+    CheckpointPolicy,
+    CheckpointStore,
+    DirectoryCheckpointStore,
+    EMCheckpoint,
+    HDFSCheckpointStore,
+)
 from repro.core.config import SPCAConfig
 from repro.core.convergence import ConvergenceTracker, IterationStats, TrainingHistory
 from repro.core.initialization import random_initialization, smart_guess_initialization
 from repro.core.model import PCAModel
-from repro.core.persistence import load_model, save_model
+from repro.core.persistence import (
+    load_checkpoint,
+    load_model,
+    save_checkpoint,
+    save_model,
+)
 from repro.core.ppca import fit_ppca
 from repro.core.selection import choose_n_components, score_candidates
 from repro.core.spca import SPCA
 
 __all__ = [
+    "CheckpointPolicy",
+    "CheckpointStore",
     "ConvergenceTracker",
+    "DirectoryCheckpointStore",
+    "EMCheckpoint",
+    "HDFSCheckpointStore",
     "IterationStats",
     "PCAModel",
     "SPCA",
@@ -32,8 +51,10 @@ __all__ = [
     "TrainingHistory",
     "choose_n_components",
     "fit_ppca",
+    "load_checkpoint",
     "load_model",
     "random_initialization",
+    "save_checkpoint",
     "save_model",
     "score_candidates",
     "smart_guess_initialization",

@@ -1,0 +1,205 @@
+"""EM checkpointing: periodic snapshots of the driver's model state.
+
+A long EM run on a real cluster survives driver restarts by writing its
+small state -- C (D x d), ss, Ym, the iteration counter and the stop
+tracker's memory -- to the distributed filesystem every few iterations; on
+restart it reloads the newest snapshot and continues as if never killed.
+The state is tiny compared to the data (that is the point of sPCA), so the
+snapshot cost is one small HDFS round trip.
+
+Two stores are provided: :class:`HDFSCheckpointStore` keeps snapshots in a
+simulated :class:`~repro.engine.mapreduce.hdfs.InMemoryHDFS` (what the
+engines model), and :class:`DirectoryCheckpointStore` persists them as
+``.npz`` archives in a real directory (what the CLI ``resume`` subcommand
+reads back).  Resuming is *exact*: the EM rng's bit-generator state is part
+of the snapshot, so a resumed run reproduces the uninterrupted run's
+iterations bit for bit.
+"""
+
+from __future__ import annotations
+
+import abc
+import pathlib
+import re
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.core.convergence import IterationStats
+from repro.errors import CheckpointError
+
+if TYPE_CHECKING:  # pragma: no cover - engine import kept out of core's runtime
+    from repro.engine.mapreduce.hdfs import InMemoryHDFS
+
+_ITER_PATH = re.compile(r"iter-(\d+)$")
+
+
+@dataclass(frozen=True)
+class EMCheckpoint:
+    """Everything the EM loop needs to continue from iteration + 1.
+
+    Attributes:
+        iteration: the 1-based iteration this snapshot was taken *after*.
+        components: C after the iteration (D x d).
+        noise_variance: ss after the iteration.
+        mean: the column means Ym (computed once, before the loop).
+        ss1: the centered Frobenius norm (computed once, before the loop).
+        previous_error: the convergence tracker's last seen error.
+        rng_state: the EM rng's ``bit_generator.state`` dict, captured after
+            the iteration's draws -- restoring it makes every later draw
+            identical to the uninterrupted run's.
+        history: the per-iteration stats recorded so far.
+        config: ``dataclasses.asdict`` of the run's :class:`SPCAConfig`;
+            resume refuses a store written under a different configuration.
+        nbytes: serialized snapshot size (filled in by the store on load).
+    """
+
+    iteration: int
+    components: np.ndarray
+    noise_variance: float
+    mean: np.ndarray
+    ss1: float
+    previous_error: float | None
+    rng_state: dict
+    history: tuple[IterationStats, ...]
+    config: dict
+    nbytes: int = 0
+
+
+class CheckpointStore(abc.ABC):
+    """Where snapshots live; one store backs one run (and its resume)."""
+
+    @abc.abstractmethod
+    def save(self, checkpoint: EMCheckpoint) -> int:
+        """Persist *checkpoint*; returns the serialized size in bytes."""
+
+    @abc.abstractmethod
+    def load_latest(self) -> EMCheckpoint | None:
+        """Return the newest snapshot, or None when the store is empty."""
+
+    @abc.abstractmethod
+    def iterations(self) -> list[int]:
+        """Sorted iteration numbers of every stored snapshot."""
+
+
+class HDFSCheckpointStore(CheckpointStore):
+    """Snapshots as record datasets in the simulated distributed FS.
+
+    Each snapshot is one dataset of ``(field_name, value)`` records under
+    ``{base_path}/iter-NNNNNN``, so its write and read are charged by the
+    filesystem's byte accounting like any other dataset.
+    """
+
+    def __init__(self, hdfs: "InMemoryHDFS", base_path: str = "checkpoints"):
+        self.hdfs = hdfs
+        self.base_path = base_path.rstrip("/")
+
+    def _path(self, iteration: int) -> str:
+        return f"{self.base_path}/iter-{iteration:06d}"
+
+    def save(self, checkpoint: EMCheckpoint) -> int:
+        records = [
+            ("iteration", checkpoint.iteration),
+            ("components", checkpoint.components.copy()),
+            ("noise_variance", checkpoint.noise_variance),
+            ("mean", np.asarray(checkpoint.mean).copy()),
+            ("ss1", checkpoint.ss1),
+            ("previous_error", checkpoint.previous_error),
+            ("rng_state", checkpoint.rng_state),
+            ("history", checkpoint.history),
+            ("config", dict(checkpoint.config)),
+        ]
+        return self.hdfs.write(self._path(checkpoint.iteration), records)
+
+    def iterations(self) -> list[int]:
+        found = []
+        prefix = self.base_path + "/"
+        for path in self.hdfs.listing():
+            if not path.startswith(prefix):
+                continue
+            match = _ITER_PATH.search(path)
+            if match:
+                found.append(int(match.group(1)))
+        return sorted(found)
+
+    def load_latest(self) -> EMCheckpoint | None:
+        stored = self.iterations()
+        if not stored:
+            return None
+        path = self._path(stored[-1])
+        fields = dict(self.hdfs.read(path))
+        try:
+            return EMCheckpoint(
+                iteration=int(fields["iteration"]),
+                components=fields["components"],
+                noise_variance=float(fields["noise_variance"]),
+                mean=fields["mean"],
+                ss1=float(fields["ss1"]),
+                previous_error=fields["previous_error"],
+                rng_state=fields["rng_state"],
+                history=tuple(fields["history"]),
+                config=fields["config"],
+                nbytes=self.hdfs.size(path),
+            )
+        except KeyError as missing:
+            raise CheckpointError(
+                f"checkpoint {path!r} is missing field {missing}"
+            ) from None
+
+
+class DirectoryCheckpointStore(CheckpointStore):
+    """Snapshots as ``iter-NNNNNN.npz`` archives in a real directory."""
+
+    def __init__(self, path: str | pathlib.Path):
+        self.path = pathlib.Path(path)
+        self.path.mkdir(parents=True, exist_ok=True)
+
+    def _file(self, iteration: int) -> pathlib.Path:
+        return self.path / f"iter-{iteration:06d}.npz"
+
+    def save(self, checkpoint: EMCheckpoint) -> int:
+        from repro.core.persistence import save_checkpoint
+
+        target = save_checkpoint(checkpoint, self._file(checkpoint.iteration))
+        return target.stat().st_size
+
+    def iterations(self) -> list[int]:
+        found = []
+        for file in self.path.glob("iter-*.npz"):
+            match = _ITER_PATH.search(file.stem)
+            if match:
+                found.append(int(match.group(1)))
+        return sorted(found)
+
+    def load_latest(self) -> EMCheckpoint | None:
+        from repro.core.persistence import load_checkpoint
+
+        stored = self.iterations()
+        if not stored:
+            return None
+        file = self._file(stored[-1])
+        checkpoint = load_checkpoint(file)
+        return replace(checkpoint, nbytes=file.stat().st_size)
+
+
+@dataclass(frozen=True)
+class CheckpointPolicy:
+    """When and where the EM loop snapshots its state.
+
+    Attributes:
+        store: destination for the snapshots.
+        every: snapshot after every N-th iteration (1 = every iteration).
+    """
+
+    store: CheckpointStore
+    every: int = 1
+
+    def __post_init__(self) -> None:
+        if self.every < 1:
+            raise CheckpointError(
+                f"checkpoint interval must be >= 1, got {self.every}"
+            )
+
+    def due(self, iteration: int) -> bool:
+        return iteration % self.every == 0

@@ -96,6 +96,22 @@ class ConvergenceTracker:
         self._iterations_done = 0
         self.stop_reason: str | None = None
 
+    @property
+    def previous_error(self) -> float | None:
+        """Last recorded error (what the tolerance check compares against)."""
+        return self._previous_error
+
+    def restore(self, iterations_done: int, previous_error: float | None) -> None:
+        """Reset the tracker to the state it had after *iterations_done*.
+
+        Used when resuming a fit from a checkpoint: replaying the counter
+        and the last seen error makes every later stop decision identical
+        to the uninterrupted run's.
+        """
+        self._iterations_done = iterations_done
+        self._previous_error = previous_error
+        self.stop_reason = None
+
     def update(self, error: float | None) -> bool:
         """Record one finished iteration; return True when the loop must stop."""
         self._iterations_done += 1

@@ -1,19 +1,27 @@
-"""Saving and loading fitted models.
+"""Saving and loading fitted models and EM checkpoints.
 
-Models are stored as ``.npz`` archives with a format-version field so
-future releases can evolve the layout without breaking old files.
+Models and checkpoints are stored as ``.npz`` archives with a
+format-version field so future releases can evolve the layout without
+breaking old files.  Checkpoint archives carry the EM rng's bit-generator
+state and the convergence tracker's memory as JSON strings (the PCG64
+state holds 128-bit integers no fixed-width array dtype can carry), and
+the training history as parallel primitive arrays.
 """
 
 from __future__ import annotations
 
+import json
 import pathlib
 
 import numpy as np
 
+from repro.core.checkpoint import EMCheckpoint
+from repro.core.convergence import IterationStats
 from repro.core.model import PCAModel
-from repro.errors import ShapeError
+from repro.errors import CheckpointError, ShapeError
 
 _FORMAT_VERSION = 1
+_CHECKPOINT_FORMAT_VERSION = 1
 
 
 def save_model(model: PCAModel, path: str | pathlib.Path) -> pathlib.Path:
@@ -59,4 +67,107 @@ def load_model(path: str | pathlib.Path) -> PCAModel:
             mean=archive["mean"],
             noise_variance=float(archive["noise_variance"]),
             n_samples=int(archive["n_samples"]),
+        )
+
+
+def _nan_encode(value: float | None) -> float:
+    return float("nan") if value is None else float(value)
+
+
+def _nan_decode(value: float) -> float | None:
+    return None if np.isnan(value) else float(value)
+
+
+def save_checkpoint(
+    checkpoint: EMCheckpoint, path: str | pathlib.Path
+) -> pathlib.Path:
+    """Write an EM *checkpoint* to an ``.npz`` archive; returns the path."""
+    path = pathlib.Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz")
+    history = checkpoint.history
+    np.savez_compressed(
+        path,
+        checkpoint_format_version=np.int64(_CHECKPOINT_FORMAT_VERSION),
+        iteration=np.int64(checkpoint.iteration),
+        components=checkpoint.components,
+        mean=np.asarray(checkpoint.mean),
+        noise_variance=np.float64(checkpoint.noise_variance),
+        ss1=np.float64(checkpoint.ss1),
+        previous_error=np.float64(_nan_encode(checkpoint.previous_error)),
+        rng_state=json.dumps(checkpoint.rng_state),
+        config=json.dumps(checkpoint.config),
+        history_index=np.array([s.index for s in history], dtype=np.int64),
+        history_noise_variance=np.array(
+            [s.noise_variance for s in history], dtype=np.float64
+        ),
+        history_error=np.array(
+            [_nan_encode(s.error) for s in history], dtype=np.float64
+        ),
+        history_accuracy=np.array(
+            [_nan_encode(s.accuracy) for s in history], dtype=np.float64
+        ),
+        history_elapsed_seconds=np.array(
+            [s.elapsed_seconds for s in history], dtype=np.float64
+        ),
+        history_simulated_seconds=np.array(
+            [s.simulated_seconds for s in history], dtype=np.float64
+        ),
+        history_intermediate_bytes=np.array(
+            [s.intermediate_bytes for s in history], dtype=np.int64
+        ),
+    )
+    return path
+
+
+_CHECKPOINT_FIELDS = {
+    "checkpoint_format_version", "iteration", "components", "mean",
+    "noise_variance", "ss1", "previous_error", "rng_state", "config",
+    "history_index", "history_noise_variance", "history_error",
+    "history_accuracy", "history_elapsed_seconds",
+    "history_simulated_seconds", "history_intermediate_bytes",
+}
+
+
+def load_checkpoint(path: str | pathlib.Path) -> EMCheckpoint:
+    """Read a checkpoint previously written by :func:`save_checkpoint`.
+
+    Raises:
+        CheckpointError: if the archive is missing fields or has an
+            unsupported format version.
+    """
+    with np.load(path) as archive:
+        missing = _CHECKPOINT_FIELDS - set(archive.files)
+        if missing:
+            raise CheckpointError(
+                f"checkpoint archive is missing fields: {sorted(missing)}"
+            )
+        version = int(archive["checkpoint_format_version"])
+        if version > _CHECKPOINT_FORMAT_VERSION:
+            raise CheckpointError(
+                f"checkpoint archive format v{version} is newer than this "
+                f"library understands (v{_CHECKPOINT_FORMAT_VERSION})"
+            )
+        history = tuple(
+            IterationStats(
+                index=int(archive["history_index"][i]),
+                noise_variance=float(archive["history_noise_variance"][i]),
+                error=_nan_decode(archive["history_error"][i]),
+                accuracy=_nan_decode(archive["history_accuracy"][i]),
+                elapsed_seconds=float(archive["history_elapsed_seconds"][i]),
+                simulated_seconds=float(archive["history_simulated_seconds"][i]),
+                intermediate_bytes=int(archive["history_intermediate_bytes"][i]),
+            )
+            for i in range(len(archive["history_index"]))
+        )
+        return EMCheckpoint(
+            iteration=int(archive["iteration"]),
+            components=archive["components"],
+            noise_variance=float(archive["noise_variance"]),
+            mean=archive["mean"],
+            ss1=float(archive["ss1"]),
+            previous_error=_nan_decode(archive["previous_error"]),
+            rng_state=json.loads(str(archive["rng_state"])),
+            history=history,
+            config=json.loads(str(archive["config"])),
         )

@@ -12,6 +12,7 @@ general and can be implemented on different platforms".
 from __future__ import annotations
 
 import time
+from dataclasses import asdict
 from typing import TYPE_CHECKING
 
 import numpy as np
@@ -20,11 +21,16 @@ from repro.core.config import SPCAConfig
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (backends need core)
     from repro.backends.base import Backend
+from repro.core.checkpoint import (
+    CheckpointPolicy,
+    CheckpointStore,
+    EMCheckpoint,
+)
 from repro.core.convergence import ConvergenceTracker, IterationStats, TrainingHistory
 from repro.core.initialization import random_initialization, smart_guess_initialization
 from repro.core.model import PCAModel
 from repro.core.ppca import fit_ppca
-from repro.errors import ShapeError
+from repro.errors import CheckpointError, ShapeError
 from repro.linalg.blocks import Matrix
 from repro.obs import get_tracer
 
@@ -50,15 +56,23 @@ class SPCA:
         self.config = config
         self.backend = backend
 
-    def fit(self, data: Matrix) -> tuple[PCAModel, TrainingHistory]:
-        """Run the EM loop of Algorithm 4 and return the model + history."""
+    def fit(
+        self,
+        data: Matrix,
+        checkpoint: CheckpointPolicy | CheckpointStore | None = None,
+    ) -> tuple[PCAModel, TrainingHistory]:
+        """Run the EM loop of Algorithm 4 and return the model + history.
+
+        Args:
+            data: the N x D input matrix (dense or sparse).
+            checkpoint: when given, model state is snapshotted to the store
+                after every N-th iteration (a bare store means every
+                iteration); a killed run can then continue via
+                :meth:`resume` and produce the bit-identical final model.
+        """
         config = self.config
         n_samples, n_features = data.shape
-        if config.n_components > min(n_samples, n_features):
-            raise ShapeError(
-                f"n_components={config.n_components} exceeds "
-                f"min(N, D)={min(n_samples, n_features)}"
-            )
+        self._validate_shape(n_samples, n_features)
         tracer = get_tracer()
         with tracer.span(
             "run",
@@ -68,15 +82,94 @@ class SPCA:
             n_components=config.n_components,
             backend=type(self.backend).__name__,
         ) as run_span:
-            model, history = self._fit_traced(data, tracer)
+            model, history = self._fit_traced(
+                data, tracer, checkpoint=self._as_policy(checkpoint)
+            )
             run_span.set(
                 stop_reason=history.stop_reason,
                 n_iterations=history.n_iterations,
             )
         return model, history
 
+    def resume(
+        self,
+        data: Matrix,
+        store: CheckpointStore,
+        checkpoint_every: int | None = None,
+    ) -> tuple[PCAModel, TrainingHistory]:
+        """Continue a checkpointed fit from the newest snapshot in *store*.
+
+        The snapshot carries the EM rng state, the convergence tracker's
+        memory, and the recorded history, so the resumed run finishes with
+        exactly the model the uninterrupted run would have produced.
+
+        Args:
+            data: the same input matrix the original fit ran on.
+            store: the store the original fit checkpointed into.
+            checkpoint_every: continue snapshotting into *store* at this
+                interval (None disables further checkpoints).
+
+        Raises:
+            CheckpointError: if the store is empty or was written under a
+                different :class:`SPCAConfig`.
+        """
+        config = self.config
+        ckpt = store.load_latest()
+        if ckpt is None:
+            raise CheckpointError("checkpoint store is empty; nothing to resume")
+        if dict(ckpt.config) != asdict(config):
+            raise CheckpointError(
+                "checkpoint was written under a different configuration: "
+                f"stored {ckpt.config!r} vs current {asdict(config)!r}"
+            )
+        n_samples, n_features = data.shape
+        self._validate_shape(n_samples, n_features)
+        checkpoint = (
+            CheckpointPolicy(store, checkpoint_every)
+            if checkpoint_every is not None
+            else None
+        )
+        tracer = get_tracer()
+        with tracer.span(
+            "run",
+            f"spca.resume[N={n_samples},D={n_features},"
+            f"d={config.n_components},from={ckpt.iteration}]",
+            n_samples=n_samples,
+            n_features=n_features,
+            n_components=config.n_components,
+            backend=type(self.backend).__name__,
+            resumed_from_iteration=ckpt.iteration,
+        ) as run_span:
+            model, history = self._fit_traced(
+                data, tracer, checkpoint=checkpoint, resume_from=ckpt
+            )
+            run_span.set(
+                stop_reason=history.stop_reason,
+                n_iterations=history.n_iterations,
+            )
+        return model, history
+
+    def _validate_shape(self, n_samples: int, n_features: int) -> None:
+        if self.config.n_components > min(n_samples, n_features):
+            raise ShapeError(
+                f"n_components={self.config.n_components} exceeds "
+                f"min(N, D)={min(n_samples, n_features)}"
+            )
+
+    @staticmethod
+    def _as_policy(
+        checkpoint: CheckpointPolicy | CheckpointStore | None,
+    ) -> CheckpointPolicy | None:
+        if checkpoint is None or isinstance(checkpoint, CheckpointPolicy):
+            return checkpoint
+        return CheckpointPolicy(checkpoint, every=1)
+
     def _fit_traced(
-        self, data: Matrix, tracer
+        self,
+        data: Matrix,
+        tracer,
+        checkpoint: CheckpointPolicy | None = None,
+        resume_from: EMCheckpoint | None = None,
     ) -> tuple[PCAModel, TrainingHistory]:
         config = self.config
         n_samples, n_features = data.shape
@@ -85,12 +178,6 @@ class SPCA:
         sim_start = self.backend.simulated_seconds
         bytes_start = self.backend.intermediate_bytes
 
-        components, noise_variance = self._initialize(data, rng)
-        dataset = self.backend.load(data)
-        mean = self.backend.column_means(dataset)            # meanJob
-        ss1 = self.backend.frobenius_centered(dataset, mean)  # FnormJob
-
-        identity = np.eye(config.n_components)
         history = TrainingHistory()
         tracker = ConvergenceTracker(
             max_iterations=config.max_iterations,
@@ -98,8 +185,39 @@ class SPCA:
             target_accuracy=config.target_accuracy,
             ideal_accuracy=config.ideal_accuracy,
         )
-        previous_ss = None
-        for iteration in range(1, config.max_iterations + 1):
+        if resume_from is None:
+            components, noise_variance = self._initialize(data, rng)
+            dataset = self.backend.load(data)
+            mean = self.backend.column_means(dataset)            # meanJob
+            ss1 = self.backend.frobenius_centered(dataset, mean)  # FnormJob
+            start_iteration = 1
+            previous_ss = None
+        else:
+            # The data-independent preamble (initialization, meanJob,
+            # FnormJob) is skipped entirely: its results and the rng draws
+            # it consumed are all part of the snapshot.
+            components = np.array(resume_from.components, copy=True)
+            noise_variance = float(resume_from.noise_variance)
+            mean = np.array(resume_from.mean, copy=True)
+            ss1 = float(resume_from.ss1)
+            rng = np.random.default_rng()
+            rng.bit_generator.state = resume_from.rng_state
+            for stats in resume_from.history:
+                history.append(stats)
+            tracker.restore(resume_from.iteration, resume_from.previous_error)
+            dataset = self.backend.load(data)
+            self.backend.charge_checkpoint(resume_from.nbytes, kind="restore")
+            if tracer.enabled:
+                tracer.event(
+                    "checkpoint_restore",
+                    iteration=resume_from.iteration,
+                    bytes=resume_from.nbytes,
+                )
+            start_iteration = resume_from.iteration + 1
+            previous_ss = noise_variance
+
+        identity = np.eye(config.n_components)
+        for iteration in range(start_iteration, config.max_iterations + 1):
             with tracer.span(
                 "iteration", f"iteration[{iteration}]", index=iteration
             ) as iter_span:
@@ -163,7 +281,33 @@ class SPCA:
                         intermediate_bytes=stats.intermediate_bytes,
                     )
                 previous_ss = noise_variance
-                if tracker.update(error):
+                should_stop = tracker.update(error)
+                if (
+                    checkpoint is not None
+                    and not should_stop
+                    and checkpoint.due(iteration)
+                ):
+                    # The rng state is captured after this iteration's draws
+                    # and previous_error after the tracker update, so the
+                    # resumed loop replays the remaining iterations exactly.
+                    snapshot = EMCheckpoint(
+                        iteration=iteration,
+                        components=np.array(components, copy=True),
+                        noise_variance=noise_variance,
+                        mean=np.array(mean, copy=True),
+                        ss1=ss1,
+                        previous_error=tracker.previous_error,
+                        rng_state=rng.bit_generator.state,
+                        history=tuple(history.iterations),
+                        config=asdict(config),
+                    )
+                    nbytes = checkpoint.store.save(snapshot)
+                    self.backend.charge_checkpoint(nbytes, kind="write")
+                    if tracer.enabled:
+                        tracer.event(
+                            "checkpoint_write", iteration=iteration, bytes=nbytes
+                        )
+                if should_stop:
                     break
         history.stop_reason = tracker.stop_reason or "max_iterations"
 

@@ -16,6 +16,7 @@ from repro.engine.mapreduce.api import (
     SumReducer,
     TaskContext,
 )
+from repro.engine.mapreduce.chain import JobChain
 from repro.engine.mapreduce.hdfs import InMemoryHDFS
 from repro.engine.mapreduce.runtime import MapReduceRuntime
 
@@ -23,6 +24,7 @@ __all__ = [
     "Combiner",
     "IdentityMapper",
     "InMemoryHDFS",
+    "JobChain",
     "MapReduceJob",
     "MapReduceRuntime",
     "Mapper",

@@ -5,6 +5,12 @@ iteration) hand each job's output to the next through the distributed
 filesystem.  :class:`JobChain` automates the plumbing: every intermediate
 output is written to a generated HDFS path, charged as intermediate data,
 and fed to the next job as its input.
+
+Chains can also retry a failed job with exponential backoff, the way a real
+Hadoop workflow manager (Oozie and friends) resubmits a failed stage: a job
+that exhausts its task attempts is waited out and resubmitted up to
+``max_job_attempts`` times, with every backoff wait charged to the
+simulated clock and emitted as ``job_retry``/``backoff_wait`` trace events.
 """
 
 from __future__ import annotations
@@ -14,7 +20,9 @@ from typing import Any, Sequence
 
 from repro.engine.mapreduce.api import MapReduceJob
 from repro.engine.mapreduce.runtime import MapReduceRuntime
-from repro.errors import InvalidPlanError
+from repro.engine.metrics import JobStats
+from repro.errors import InvalidPlanError, JobFailedError
+from repro.obs import EventTrace, record_job_stats
 
 Pair = tuple[Any, Any]
 
@@ -22,15 +30,47 @@ Pair = tuple[Any, Any]
 class JobChain:
     """A linear pipeline of MapReduce jobs.
 
+    Args:
+        runtime: the engine the chain submits jobs to.
+        name: prefix for auto-generated intermediate output paths.
+        max_job_attempts: how many times each job is submitted before its
+            :class:`~repro.errors.JobFailedError` propagates (1 = the
+            historical no-retry behaviour).
+        backoff_base_s: simulated seconds waited before the first resubmit.
+        backoff_factor: multiplier applied to the wait per further resubmit
+            (wait = base * factor ** (attempt - 1)).
+
     Example:
         >>> chain = JobChain(runtime, name="ssvd")     # doctest: +SKIP
         >>> chain.then(sketch_job).then(bt_job)        # doctest: +SKIP
         >>> output = chain.run(input_splits)           # doctest: +SKIP
     """
 
-    def __init__(self, runtime: MapReduceRuntime, name: str = "chain"):
+    def __init__(
+        self,
+        runtime: MapReduceRuntime,
+        name: str = "chain",
+        max_job_attempts: int = 1,
+        backoff_base_s: float = 30.0,
+        backoff_factor: float = 2.0,
+    ):
+        if max_job_attempts < 1:
+            raise InvalidPlanError(
+                f"max_job_attempts must be >= 1, got {max_job_attempts}"
+            )
+        if backoff_base_s < 0.0:
+            raise InvalidPlanError(
+                f"backoff_base_s must be >= 0, got {backoff_base_s}"
+            )
+        if backoff_factor < 1.0:
+            raise InvalidPlanError(
+                f"backoff_factor must be >= 1, got {backoff_factor}"
+            )
         self.runtime = runtime
         self.name = name
+        self.max_job_attempts = max_job_attempts
+        self.backoff_base_s = backoff_base_s
+        self.backoff_factor = backoff_factor
         self._jobs: list[MapReduceJob] = []
 
     def then(self, job: MapReduceJob) -> "JobChain":
@@ -62,6 +102,37 @@ class JobChain:
                     output_path=f"{self.name}/stage-{index}/{job.name}",
                     output_is_intermediate=True,
                 )
-            output = self.runtime.run(job, current)
+            output = self._run_with_retry(job, current)
             current = job.output_path if job.output_path else [output]
         return output
+
+    def _run_with_retry(
+        self, job: MapReduceJob, input_data: str | Sequence[Sequence[Pair]]
+    ) -> list[Pair]:
+        for attempt in range(1, self.max_job_attempts + 1):
+            try:
+                return self.runtime.run(job, input_data)
+            except JobFailedError:
+                if attempt == self.max_job_attempts:
+                    raise
+                self._charge_backoff(job, attempt)
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def _charge_backoff(self, job: MapReduceJob, attempt: int) -> None:
+        """Charge one backoff wait to the clock and record the resubmission.
+
+        A partially-written output of the failed submission is deleted first,
+        as a resubmitted Hadoop job clears its output directory.
+        """
+        if job.output_path is not None and self.runtime.hdfs.exists(job.output_path):
+            self.runtime.hdfs.delete(job.output_path)
+        wait = self.backoff_base_s * self.backoff_factor ** (attempt - 1)
+        stats = JobStats(name=f"{job.name}[backoff]", sim_seconds=wait)
+        stats.count_fault("job_retry")
+        record_job_stats(
+            self.runtime.metrics, stats, phase_name="backoff wait",
+            events=[
+                EventTrace("job_retry", 0.0, {"job": job.name, "attempt": attempt}),
+                EventTrace("backoff_wait", wait, {"seconds": wait, "job": job.name}),
+            ],
+        )

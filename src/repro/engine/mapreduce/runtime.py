@@ -31,6 +31,7 @@ from repro.engine.simtime import (
     schedule_tasks,
 )
 from repro.errors import InvalidPlanError, JobFailedError
+from repro.faults import FaultInjector, FaultSite, RandomFaults
 from repro.obs import EventTrace, JobTrace, PhaseTrace, TaskTrace, get_tracer
 
 Pair = tuple[Any, Any]
@@ -76,10 +77,17 @@ class MapReduceRuntime:
         cost_model: converts measured work into simulated seconds.
         hdfs: the simulated distributed filesystem (a fresh one by default).
         failure_rate: probability that any individual task attempt fails and
-            is retried (fault-tolerance testing).
+            is retried (fault-tolerance testing).  Shorthand for a
+            :class:`~repro.faults.RandomFaults` injector.
         max_task_attempts: attempts before the whole job is declared failed,
             matching Hadoop's ``mapreduce.map.maxattempts`` default of 4.
         seed: seed for failure injection.
+        faults: a :class:`~repro.faults.FaultInjector` consulted at every
+            task attempt; overrides ``failure_rate``/``seed`` (which build
+            the default ``RandomFaults(failure_rate, seed)``, bit-compatible
+            with the historical inline coin flip).  Stage directives a plan
+            issues for Spark-only faults (executor loss, driver memory caps)
+            are ignored here: MapReduce tasks restart from durable HDFS.
         enable_batch: when True (default) tasks are dispatched through the
             ``map_batch``/``reduce_batch`` protocol, which vectorizing
             mappers override; when False every record goes through the
@@ -96,6 +104,7 @@ class MapReduceRuntime:
         max_task_attempts: int = 4,
         seed: int = 0,
         enable_batch: bool = True,
+        faults: FaultInjector | None = None,
     ):
         if not 0.0 <= failure_rate < 1.0:
             raise InvalidPlanError(f"failure_rate must be in [0, 1), got {failure_rate}")
@@ -106,7 +115,7 @@ class MapReduceRuntime:
         self.max_task_attempts = max_task_attempts
         self.enable_batch = enable_batch
         self.metrics = EngineMetrics()
-        self._rng = np.random.default_rng(seed)
+        self.faults = faults if faults is not None else RandomFaults(failure_rate, seed)
 
     # -- public API ------------------------------------------------------
 
@@ -125,6 +134,10 @@ class MapReduceRuntime:
         stats = JobStats(
             name=job.name, output_is_intermediate=job.output_is_intermediate
         )
+        # Stage-level directives (executor loss, driver caps) are Spark
+        # concepts; calling begin_job still advances the plan's occurrence
+        # counters so cross-engine plans stay aligned.
+        self.faults.begin_job("mapreduce", job.name)
         splits = self._resolve_splits(input_data, stats)
         stats.n_map_tasks = len(splits)
 
@@ -171,7 +184,8 @@ class MapReduceRuntime:
         map_retries = []
         for task_id, split in enumerate(splits):
             pairs, seconds, retries = self._attempt_task(
-                stats, lambda: self._run_map_task(job, split, task_id)
+                stats, lambda: self._run_map_task(job, split, task_id),
+                kind="map", task_id=task_id,
             )
             map_times.append(seconds)
             map_retries.append(retries)
@@ -183,6 +197,7 @@ class MapReduceRuntime:
                 out, seconds, retries = self._attempt_task(
                     stats,
                     lambda: self._run_reduce_like(job.combiner, job, pairs, task_id),
+                    kind="combine", task_id=task_id,
                 )
                 slot = min(task_id, len(map_times) - 1)
                 map_times[slot] += seconds
@@ -206,7 +221,9 @@ class MapReduceRuntime:
         reduce_retries: list[int] = []
         for task_id, partition in enumerate(partitions):
             pairs, seconds, retries = self._attempt_task(
-                stats, lambda: self._run_reduce_like(job.reducer, job, partition, task_id)
+                stats,
+                lambda: self._run_reduce_like(job.reducer, job, partition, task_id),
+                kind="reduce", task_id=task_id,
             )
             reduce_times.append(seconds)
             reduce_retries.append(retries)
@@ -215,22 +232,48 @@ class MapReduceRuntime:
 
     # -- task execution --------------------------------------------------
 
-    def _attempt_task(self, stats: JobStats, thunk) -> tuple[list[Pair], float, int]:
+    def _attempt_task(
+        self, stats: JobStats, thunk, *, kind: str, task_id: int
+    ) -> tuple[list[Pair], float, int]:
         total_seconds = 0.0
         for attempt in range(1, self.max_task_attempts + 1):
             started = time.perf_counter()
             result, ctx = thunk()
             elapsed = time.perf_counter() - started
+            site = FaultSite("mapreduce", stats.name, kind, task_id, attempt)
+            factor = self.faults.time_factor(site)
+            if factor != 1.0:
+                # A straggler stretches the attempt's simulated compute time
+                # without touching its output; speculative execution's
+                # 3x-median cap in the timeline handles the rest.
+                elapsed *= factor
+                stats.count_fault("straggler")
+                tracer = get_tracer()
+                if tracer.enabled:
+                    tracer.event(
+                        "fault_injected", fault="straggler", job=stats.name,
+                        kind=kind, task=task_id, attempt=attempt, factor=factor,
+                    )
             total_seconds += elapsed
-            if self._rng.random() >= self.failure_rate:
+            label = self.faults.fail(site)
+            if label is None:
                 # Counters commit only for the successful attempt -- a failed
                 # attempt's side effects are discarded, exactly as Hadoop
                 # discards the output of a killed task attempt.
                 self._merge_counters(ctx, stats)
                 return result, total_seconds, attempt - 1
             stats.task_retries += 1
+            stats.count_fault(label)
+            stats.recovery_sim_seconds += elapsed * self.cost_model.compute_scale
+            tracer = get_tracer()
+            if tracer.enabled:
+                tracer.event(
+                    "fault_injected", fault=label, job=stats.name,
+                    kind=kind, task=task_id, attempt=attempt,
+                )
         raise JobFailedError(
-            f"job {stats.name!r}: task failed {self.max_task_attempts} times"
+            f"job {stats.name!r}: {kind} task {task_id} failed "
+            f"{self.max_task_attempts} times"
         )
 
     def _run_map_task(

@@ -28,8 +28,14 @@ class JobStats:
     broadcast_bytes: int = 0
     wall_seconds: float = 0.0
     sim_seconds: float = 0.0
+    recovery_sim_seconds: float = 0.0
     task_retries: int = 0
     counters: dict[str, int] = field(default_factory=dict)
+    faults: dict[str, int] = field(default_factory=dict)
+
+    def count_fault(self, label: str) -> None:
+        """Tally one injected fault of kind *label* against this job."""
+        self.faults[label] = self.faults.get(label, 0) + 1
 
     @property
     def intermediate_bytes(self) -> int:
@@ -95,6 +101,20 @@ class EngineMetrics:
         return sum(job.task_retries for job in self.jobs)
 
     @property
+    def total_recovery_sim_seconds(self) -> float:
+        """Simulated seconds spent redoing work after injected faults."""
+        return sum(job.recovery_sim_seconds for job in self.jobs)
+
+    @property
+    def total_faults(self) -> dict[str, int]:
+        """All :attr:`JobStats.faults` merged across jobs (summed by label)."""
+        merged: dict[str, int] = {}
+        for job in self.jobs:
+            for label, amount in job.faults.items():
+                merged[label] = merged.get(label, 0) + amount
+        return merged
+
+    @property
     def total_counters(self) -> dict[str, int]:
         """All :attr:`JobStats.counters` merged across jobs (summed by name)."""
         merged: dict[str, int] = {}
@@ -131,4 +151,10 @@ class EngineMetrics:
             lines.append("counters:")
             for counter in sorted(self.total_counters):
                 lines.append(f"  {counter:<34}{self.total_counters[counter]:>14}")
+        if self.total_faults:
+            lines.append(
+                f"faults (recovery {self.total_recovery_sim_seconds:.3f} sim s):"
+            )
+            for label in sorted(self.total_faults):
+                lines.append(f"  {label:<34}{self.total_faults[label]:>14}")
         return "\n".join(lines)

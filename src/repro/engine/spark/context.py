@@ -18,6 +18,7 @@ from repro.engine.simtime import (
 )
 from repro.engine.spark.memory import BlockManager, DriverMemoryMonitor
 from repro.errors import InvalidPlanError, JobFailedError
+from repro.faults import FaultInjector, FaultSite, RandomFaults
 from repro.obs import (
     EventTrace,
     JobTrace,
@@ -89,7 +90,14 @@ class SparkContext:
         cost_model: simulated-time parameters (Spark-like defaults).
         failure_rate: per-partition-computation failure probability; failed
             partitions are recomputed from lineage, as real Spark does.
+            Shorthand for a :class:`~repro.faults.RandomFaults` injector.
         seed: seed for failure injection.
+        faults: a :class:`~repro.faults.FaultInjector` consulted at every
+            task attempt and stage start; overrides ``failure_rate``/``seed``
+            (which build the default ``RandomFaults(failure_rate, seed)``,
+            bit-compatible with the historical inline coin flip).  Stage
+            directives can lose an executor (its cached blocks recompute
+            from lineage, charged as recovery time) or cap the driver heap.
         enable_batch: when True (default) RDDs built with a ``batch_fn`` and
             backends that support partition-batched closures use the batched
             fast path; when False every record goes through the per-record
@@ -104,6 +112,7 @@ class SparkContext:
         max_task_attempts: int = 4,
         seed: int = 0,
         enable_batch: bool = True,
+        faults: FaultInjector | None = None,
     ):
         if not 0.0 <= failure_rate < 1.0:
             raise InvalidPlanError(f"failure_rate must be in [0, 1), got {failure_rate}")
@@ -115,10 +124,18 @@ class SparkContext:
         self.metrics = EngineMetrics()
         self.driver = DriverMemoryMonitor(self.cluster.driver_memory_bytes)
         self.block_manager = BlockManager(self.cluster.aggregate_memory_bytes)
-        self._rng = np.random.default_rng(seed)
+        self.faults = faults if faults is not None else RandomFaults(failure_rate, seed)
         self._next_rdd_id = 0
         self._stage_stats: JobStats | None = None
         self._pending_updates: list[tuple[Accumulator, Any]] | None = None
+        # Lineage-recovery bookkeeping: cached blocks an injected executor
+        # loss destroyed (their recomputation is charged as recovery time),
+        # the put journal of the task attempt in flight (rolled back when
+        # the attempt fails), and the recompute clock RDD._iterator bills.
+        self._lost_blocks: set[tuple[int, int]] = set()
+        self._put_journal: list[tuple[int, int]] | None = None
+        self._recompute_seconds = 0.0
+        self._recompute_depth = 0
 
     # -- RDD creation ----------------------------------------------------
 
@@ -214,19 +231,22 @@ class SparkContext:
         all into simulated seconds.
         """
         stats = JobStats(name=name, n_map_tasks=rdd.num_partitions)
+        self._apply_stage_directives(self.faults.begin_job("spark", name), stats)
         previous = self._stage_stats
         self._stage_stats = stats
         started = time.perf_counter()
         results = []
         task_seconds = []
+        recovery_seconds = []
         task_retries = []
         try:
             for split in range(rdd.num_partitions):
-                result, seconds, retries = self._attempt_partition(
+                result, seconds, recovery, retries = self._attempt_partition(
                     rdd, split, partition_fn, stats
                 )
                 results.append(result)
                 task_seconds.append(seconds)
+                recovery_seconds.append(recovery)
                 task_retries.append(retries)
         finally:
             self._stage_stats = previous
@@ -236,7 +256,17 @@ class SparkContext:
         stats.wall_seconds = time.perf_counter() - started
         cost = self.cost_model
         capped = apply_speculative_execution(task_seconds)
-        tasks = [t * cost.compute_scale + cost.per_task_overhead_s for t in capped]
+        # Recovery time (failed attempts redone, lost cached partitions
+        # recomputed from lineage) is charged on top of the capped useful
+        # time: a speculative copy of a task cannot refund the work the
+        # fault already wasted.
+        tasks = [
+            t * cost.compute_scale
+            + cost.per_task_overhead_s
+            + recovery_seconds[i] * cost.compute_scale
+            for i, t in enumerate(capped)
+        ]
+        stats.recovery_sim_seconds = sum(recovery_seconds) * cost.compute_scale
         schedule = schedule_tasks(tasks, self.cluster.total_cores)
         seconds = cost.per_job_overhead_s
         tasks_start = seconds
@@ -287,25 +317,109 @@ class SparkContext:
         self.metrics.record(stats)
         return results
 
-    def _attempt_partition(self, rdd, split, partition_fn, stats) -> tuple[Any, float, int]:
-        total_seconds = 0.0
-        for attempt in range(self.max_task_attempts):
+    def _attempt_partition(
+        self, rdd, split, partition_fn, stats
+    ) -> tuple[Any, float, float, int]:
+        """Run one partition, retrying on injected faults.
+
+        Returns ``(result, success_seconds, recovery_seconds, retries)``:
+        the successful attempt's own compute time (what speculative
+        execution may cap) separated from the recovery time -- failed
+        attempts plus lineage recomputation of lost cached blocks, which
+        no speculative copy can refund.
+        """
+        tracer = get_tracer()
+        recovery_seconds = 0.0
+        for attempt in range(1, self.max_task_attempts + 1):
             self._pending_updates = []
+            self._put_journal = []
+            self._recompute_seconds = 0.0
             started = time.perf_counter()
             data = rdd._iterator(split, stats)
             result = partition_fn(data)
-            total_seconds += time.perf_counter() - started
-            if self._rng.random() >= self.failure_rate:
+            elapsed = time.perf_counter() - started
+            site = FaultSite("spark", stats.name, "task", split, attempt)
+            factor = self.faults.time_factor(site)
+            if factor != 1.0:
+                elapsed *= factor
+                stats.count_fault("straggler")
+                if tracer.enabled:
+                    tracer.event(
+                        "fault_injected", fault="straggler", job=stats.name,
+                        kind="task", task=split, attempt=attempt, factor=factor,
+                    )
+            recompute = min(self._recompute_seconds, elapsed)
+            label = self.faults.fail(site)
+            if label is None:
                 pending, self._pending_updates = self._pending_updates, None
+                self._put_journal = None
                 for accumulator, update in pending:
                     accumulator._apply(update)
-                return result, total_seconds, attempt
+                recovery_seconds += recompute
+                return result, elapsed - recompute, recovery_seconds, attempt - 1
+            # The attempt failed after doing its work: its cached puts are
+            # rolled back (the executor that held them died with the task)
+            # and all of its time becomes recovery time.
+            journal, self._put_journal = self._put_journal, None
+            for rdd_id, journal_split in journal:
+                self.block_manager.evict_matching(
+                    lambda key, k=(rdd_id, journal_split): key == k
+                )
             self._pending_updates = None
             stats.task_retries += 1
+            stats.count_fault(label)
+            recovery_seconds += elapsed
+            if tracer.enabled:
+                tracer.event(
+                    "fault_injected", fault=label, job=stats.name,
+                    kind="task", task=split, attempt=attempt,
+                )
         raise JobFailedError(
             f"stage {stats.name!r}: partition {split} failed "
             f"{self.max_task_attempts} times"
         )
+
+    def _apply_stage_directives(self, directives, stats: JobStats) -> None:
+        """Apply stage-start fault directives (executor loss, driver cap)."""
+        for executor in directives.executor_losses:
+            self._lose_executor(executor, stats)
+        if directives.driver_memory_cap is not None:
+            cap = min(self.driver.limit_bytes, int(directives.driver_memory_cap))
+            self.driver.limit_bytes = cap
+            stats.count_fault("driver_memory_cap")
+            tracer = get_tracer()
+            if tracer.enabled:
+                tracer.event(
+                    "fault_injected", fault="driver_memory_cap",
+                    job=stats.name, limit_bytes=cap,
+                )
+
+    def _lose_executor(self, executor: int, stats: JobStats) -> None:
+        """Drop every cached block hosted on *executor*.
+
+        Blocks live on node ``split % num_nodes`` (the same placement the
+        scheduler uses); the lost ones are marked so RDD._iterator charges
+        their lineage recomputation as recovery time.
+        """
+        nodes = self.cluster.num_nodes
+        evicted = self.block_manager.evict_matching(
+            lambda key: key[1] % nodes == executor % nodes
+        )
+        for key, _nbytes, _on_disk in evicted:
+            self._lost_blocks.add(key)
+        stats.count_fault("executor_loss")
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.event(
+                "fault_injected", fault="executor_loss", job=stats.name,
+                executor=executor % nodes, lost_blocks=len(evicted),
+                lost_bytes=sum(nbytes for _k, nbytes, _d in evicted),
+            )
+
+    def _journal_put(self, rdd_id: int, split: int) -> None:
+        """Record a cache put by the in-flight task attempt (for rollback)."""
+        if self._put_journal is not None:
+            self._put_journal.append((rdd_id, split))
 
     def _stage_accumulator_update(self, accumulator: Accumulator, update: Any) -> bool:
         """Buffer an in-task accumulator update; False when no task runs."""

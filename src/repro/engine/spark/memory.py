@@ -110,21 +110,34 @@ class BlockManager:
 
     def evict(self, rdd_id: int) -> None:
         """Drop every cached partition of one RDD (``unpersist``)."""
+        self.evict_matching(lambda key: key[0] == rdd_id)
+
+    def evict_matching(self, predicate) -> list[tuple[tuple[int, int], int, bool]]:
+        """Drop every cached partition whose ``(rdd_id, split)`` key matches.
+
+        Used by ``unpersist`` and by executor-loss fault injection (every
+        block hosted on the lost executor disappears at once).  Returns the
+        evicted ``(key, nbytes, on_disk)`` triples so the caller can mark
+        them for lineage recomputation.
+        """
         tracer = get_tracer()
-        for key in [key for key in self._blocks if key[0] == rdd_id]:
+        evicted = []
+        for key in [key for key in self._blocks if predicate(key)]:
             block = self._blocks.pop(key)
             if block.on_disk:
                 self.disk_bytes -= block.nbytes
             else:
                 self.memory_bytes -= block.nbytes
+            evicted.append((key, block.nbytes, block.on_disk))
             if tracer.enabled:
                 tracer.event(
                     "cache_evict",
-                    rdd_id=rdd_id,
+                    rdd_id=key[0],
                     split=key[1],
                     bytes=block.nbytes,
                     on_disk=block.on_disk,
                 )
+        return evicted
 
     @property
     def cached_bytes(self) -> int:

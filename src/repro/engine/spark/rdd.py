@@ -13,6 +13,7 @@ again from its ancestry.
 
 from __future__ import annotations
 
+import time
 import zlib
 from typing import TYPE_CHECKING, Any, Callable, Iterable
 
@@ -92,9 +93,29 @@ class RDD:
                         on_disk=block.on_disk,
                     )
                 return block.data
-        data = self._compute(split, stats)
+        ctx = self.context
+        key = (self.rdd_id, split)
+        was_lost = self._cached and key in ctx._lost_blocks
+        # Only the outermost lost block charges its recompute time: a lost
+        # parent recomputed inside it is part of the same recovery work.
+        charge = was_lost and ctx._recompute_depth == 0
+        if was_lost:
+            ctx._recompute_depth += 1
+        started = time.perf_counter()
+        try:
+            data = self._compute(split, stats)
+        finally:
+            if was_lost:
+                ctx._recompute_depth -= 1
+                ctx._lost_blocks.discard(key)
+        if charge:
+            ctx._recompute_seconds += time.perf_counter() - started
+            tracer = get_tracer()
+            if tracer.enabled:
+                tracer.event("lineage_recompute", rdd_id=self.rdd_id, split=split)
         if self._cached:
-            self.context.block_manager.put(self.rdd_id, split, data, sizeof(data))
+            ctx.block_manager.put(self.rdd_id, split, data, sizeof(data))
+            ctx._journal_put(self.rdd_id, split)
         return data
 
     # -- transformations (lazy) ----------------------------------------------

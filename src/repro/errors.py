@@ -33,6 +33,10 @@ class CombinerAlgebraError(ReproError, AssertionError):
     """A registered combiner failed its commutativity/associativity check."""
 
 
+class CheckpointError(ReproError, RuntimeError):
+    """An EM checkpoint could not be saved, loaded, or resumed from."""
+
+
 class EngineError(ReproError, RuntimeError):
     """Base class for distributed-engine failures."""
 

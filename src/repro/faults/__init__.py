@@ -1,0 +1,54 @@
+"""repro.faults: deterministic fault-injection plans for the engine simulators.
+
+A :class:`FaultPlan` is a typed, serializable schedule of failures -- task
+kills, stragglers, shuffle fetch failures, executor losses, driver memory
+caps -- that both engines consult at their existing failure points through a
+pluggable :class:`FaultInjector`.  :class:`RandomFaults` reproduces the
+historical ``failure_rate``/``seed`` coin flip bit-for-bit;
+:class:`PlannedFaults` replays a plan deterministically.  See
+``docs/fault_tolerance.md``.
+
+Typical use::
+
+    from repro.faults import FaultPlan, KillTask, PlannedFaults
+    from repro.engine.spark.context import SparkContext
+
+    plan = FaultPlan([KillTask(job="YtXJob", task=0, attempts=2)])
+    sc = SparkContext(faults=PlannedFaults(plan))
+"""
+
+from repro.faults.injector import (
+    NO_DIRECTIVES,
+    FaultInjector,
+    FaultSite,
+    PlannedFaults,
+    RandomFaults,
+    StageDirectives,
+)
+from repro.faults.plan import (
+    TASK_KINDS,
+    DriverMemoryCap,
+    ExecutorLoss,
+    FaultEvent,
+    FaultPlan,
+    FetchFailure,
+    KillTask,
+    Straggler,
+)
+
+__all__ = [
+    "DriverMemoryCap",
+    "ExecutorLoss",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSite",
+    "FetchFailure",
+    "KillTask",
+    "NO_DIRECTIVES",
+    "PlannedFaults",
+    "RandomFaults",
+    "StageDirectives",
+    "Straggler",
+    "TASK_KINDS",
+]

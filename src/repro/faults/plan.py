@@ -1,0 +1,234 @@
+"""Typed, deterministic fault events and the plans that carry them.
+
+A :class:`FaultPlan` is an ordered list of fault events, each naming the job
+(or Spark stage) it strikes with a glob pattern plus enough coordinates --
+task id, attempt count, occurrence index -- to make the schedule exactly
+reproducible.  Plans serialize to a small JSON document so a failure
+scenario can be checked into a repository, attached to a bug report, or
+replayed from the command line (``repro-spca fit --faults plan.json``).
+
+The event vocabulary mirrors the failure modes of the paper's platforms:
+
+- :class:`KillTask` -- Hadoop/Spark task-attempt failure; the engine
+  re-executes the attempt (Dean & Ghemawat, OSDI 2004, Section 3.3).
+- :class:`Straggler` -- a slow task, the trigger for speculative execution.
+- :class:`FetchFailure` -- a failed shuffle/remote read; surfaces as a
+  failed reduce attempt on MapReduce and a failed task on Spark.
+- :class:`ExecutorLoss` -- Spark loses a worker: every partition it cached
+  is dropped and must be recomputed from lineage (Zaharia et al., NSDI 2012).
+- :class:`DriverMemoryCap` -- caps the Spark driver heap so an oversized
+  collect raises ``DriverOutOfMemoryError``, Table 2's "Fail" entries.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import pathlib
+from dataclasses import dataclass
+from typing import Union
+
+from repro.errors import InvalidPlanError
+
+_FORMAT_VERSION = 1
+
+# Task kinds an event may target.  ``map``/``combine``/``reduce`` exist only
+# on the MapReduce engine; ``task`` is the Spark engine's single kind; None
+# matches any kind on either engine.
+TASK_KINDS = ("map", "combine", "reduce", "task")
+
+
+@dataclass(frozen=True)
+class KillTask:
+    """Fail attempts 1..``attempts`` of a matching task, forcing retries.
+
+    Attributes:
+        job: glob pattern matched against the job/stage name.
+        kind: restrict to one task kind (see :data:`TASK_KINDS`); None = any.
+        task: task/partition id to strike; None = every task of the job.
+        attempts: how many consecutive attempts fail.  ``attempts >=
+            max_task_attempts`` kills the whole job.
+        occurrence: which run of a matching job is struck (0-based, counted
+            per event); None = every run.
+    """
+
+    job: str
+    kind: str | None = None
+    task: int | None = None
+    attempts: int = 1
+    occurrence: int | None = 0
+
+
+@dataclass(frozen=True)
+class Straggler:
+    """Multiply a matching task's measured compute time by ``factor``.
+
+    Results are untouched; only the simulated timeline slows down, which is
+    what lets speculative execution's 3x-median cap kick in.
+    """
+
+    job: str
+    kind: str | None = None
+    task: int | None = None
+    factor: float = 3.0
+    occurrence: int | None = 0
+
+
+@dataclass(frozen=True)
+class FetchFailure:
+    """A failed remote fetch: reduce-side on MapReduce, any task on Spark."""
+
+    job: str
+    task: int | None = None
+    attempts: int = 1
+    occurrence: int | None = 0
+
+
+@dataclass(frozen=True)
+class ExecutorLoss:
+    """Spark loses executor ``executor`` as a matching stage starts.
+
+    Every cached partition living on that executor (``split % num_nodes ==
+    executor``) is evicted and must be recomputed from lineage; the
+    recomputation time is charged to the stage as recovery time.  Ignored by
+    the MapReduce engine, whose tasks restart from durable HDFS input.
+    """
+
+    job: str
+    executor: int = 0
+    occurrence: int | None = 0
+
+
+@dataclass(frozen=True)
+class DriverMemoryCap:
+    """Cap the Spark driver heap at ``limit_bytes`` from a matching stage on.
+
+    Models running the driver on a smaller machine: the next driver-side
+    allocation that exceeds the cap raises ``DriverOutOfMemoryError``
+    (the paper's Table 2 "Fail" entries).  Ignored by MapReduce.
+    """
+
+    job: str
+    limit_bytes: int = 1
+    occurrence: int | None = 0
+
+
+FaultEvent = Union[KillTask, Straggler, FetchFailure, ExecutorLoss, DriverMemoryCap]
+
+_EVENT_TYPES: dict[str, type] = {
+    "kill_task": KillTask,
+    "straggler": Straggler,
+    "fetch_failure": FetchFailure,
+    "executor_loss": ExecutorLoss,
+    "driver_memory_cap": DriverMemoryCap,
+}
+_TYPE_NAMES = {cls: name for name, cls in _EVENT_TYPES.items()}
+
+
+def _validate_event(event: FaultEvent, where: str) -> None:
+    if not isinstance(event, tuple(_EVENT_TYPES.values())):
+        raise InvalidPlanError(f"{where}: {type(event).__name__} is not a fault event")
+    if not event.job:
+        raise InvalidPlanError(f"{where}: job pattern must be non-empty")
+    if event.occurrence is not None and event.occurrence < 0:
+        raise InvalidPlanError(f"{where}: occurrence must be >= 0 or None")
+    kind = getattr(event, "kind", None)
+    if kind is not None and kind not in TASK_KINDS:
+        raise InvalidPlanError(f"{where}: unknown task kind {kind!r}")
+    task = getattr(event, "task", None)
+    if task is not None and task < 0:
+        raise InvalidPlanError(f"{where}: task must be >= 0 or None")
+    if isinstance(event, (KillTask, FetchFailure)) and event.attempts < 1:
+        raise InvalidPlanError(f"{where}: attempts must be >= 1")
+    if isinstance(event, Straggler) and event.factor <= 0.0:
+        raise InvalidPlanError(f"{where}: straggler factor must be > 0")
+    if isinstance(event, ExecutorLoss) and event.executor < 0:
+        raise InvalidPlanError(f"{where}: executor must be >= 0")
+    if isinstance(event, DriverMemoryCap) and event.limit_bytes < 1:
+        raise InvalidPlanError(f"{where}: limit_bytes must be >= 1")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An immutable, serializable schedule of fault events."""
+
+    events: tuple[FaultEvent, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "events", tuple(self.events))
+        self.validate()
+
+    def validate(self) -> None:
+        """Raise :class:`InvalidPlanError` on any malformed event."""
+        for index, event in enumerate(self.events):
+            _validate_event(event, f"event #{index}")
+
+    def check_recoverable(self, max_task_attempts: int) -> bool:
+        """Whether every kill/fetch event leaves at least one attempt alive.
+
+        A plan is recoverable when no event can exhaust ``max_task_attempts``
+        on its own, i.e. engines are guaranteed to finish every job.  This is
+        the invariant the chaos property suite generates under.
+        """
+        return all(
+            event.attempts < max_task_attempts
+            for event in self.events
+            if isinstance(event, (KillTask, FetchFailure))
+        )
+
+    # -- JSON round trip --------------------------------------------------
+
+    def to_json(self) -> str:
+        payload = {
+            "version": _FORMAT_VERSION,
+            "events": [
+                {"type": _TYPE_NAMES[type(event)], **dataclasses.asdict(event)}
+                for event in self.events
+            ],
+        }
+        return json.dumps(payload, indent=2)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise InvalidPlanError(f"malformed fault plan JSON: {exc}") from exc
+        if not isinstance(payload, dict) or "events" not in payload:
+            raise InvalidPlanError("fault plan must be an object with an 'events' list")
+        version = payload.get("version", _FORMAT_VERSION)
+        if version > _FORMAT_VERSION:
+            raise InvalidPlanError(
+                f"fault plan format v{version} is newer than this library "
+                f"understands (v{_FORMAT_VERSION})"
+            )
+        events = []
+        for index, entry in enumerate(payload["events"]):
+            where = f"event #{index}"
+            if not isinstance(entry, dict) or "type" not in entry:
+                raise InvalidPlanError(f"{where}: must be an object with a 'type'")
+            entry = dict(entry)
+            type_name = entry.pop("type")
+            event_cls = _EVENT_TYPES.get(type_name)
+            if event_cls is None:
+                raise InvalidPlanError(f"{where}: unknown fault type {type_name!r}")
+            known = {f.name for f in dataclasses.fields(event_cls)}
+            unknown = set(entry) - known
+            if unknown:
+                raise InvalidPlanError(
+                    f"{where}: unknown fields for {type_name}: {sorted(unknown)}"
+                )
+            try:
+                events.append(event_cls(**entry))
+            except TypeError as exc:
+                raise InvalidPlanError(f"{where}: {exc}") from exc
+        return cls(events=tuple(events))
+
+    def save(self, path: str | pathlib.Path) -> pathlib.Path:
+        path = pathlib.Path(path)
+        path.write_text(self.to_json() + "\n")
+        return path
+
+    @classmethod
+    def load(cls, path: str | pathlib.Path) -> "FaultPlan":
+        return cls.from_json(pathlib.Path(path).read_text())

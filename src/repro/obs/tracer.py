@@ -32,8 +32,12 @@ Event types
 
 ``shuffle``, ``hdfs_read``, ``hdfs_write``, ``broadcast``,
 ``driver_collect``, ``task_retry``, ``speculative_kill``, ``cache_hit``,
-``cache_put``, ``cache_evict`` -- each stamped with both clocks and a byte
-payload where applicable.
+``cache_put``, ``cache_evict`` -- plus the fault-tolerance vocabulary:
+``fault_injected`` (any injected fault firing), ``lineage_recompute`` (a
+lost cached partition recomputed from its ancestry), ``job_retry`` /
+``backoff_wait`` (job-chain retries), and ``checkpoint_write`` /
+``checkpoint_restore`` (EM model state persisted/restored).  Each is
+stamped with both clocks and a byte payload where applicable.
 """
 
 from __future__ import annotations
@@ -56,6 +60,12 @@ EVENT_TYPES = (
     "cache_hit",
     "cache_put",
     "cache_evict",
+    "fault_injected",
+    "lineage_recompute",
+    "job_retry",
+    "backoff_wait",
+    "checkpoint_write",
+    "checkpoint_restore",
 )
 
 
@@ -167,6 +177,8 @@ _STATS_ATTRS = (
     "driver_result_bytes",
     "broadcast_bytes",
     "task_retries",
+    "recovery_sim_seconds",
+    "faults",
     "intermediate_bytes",
 )
 

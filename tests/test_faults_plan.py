@@ -1,0 +1,357 @@
+"""Fault plans: schema, JSON round trip, injector semantics, chain retry."""
+
+import numpy as np
+import pytest
+
+from repro.engine.mapreduce import (
+    JobChain,
+    MapReduceJob,
+    MapReduceRuntime,
+    Mapper,
+    SumReducer,
+)
+from repro.errors import InvalidPlanError, JobFailedError
+from repro.faults import (
+    DriverMemoryCap,
+    ExecutorLoss,
+    FaultPlan,
+    FaultSite,
+    FetchFailure,
+    KillTask,
+    PlannedFaults,
+    RandomFaults,
+    Straggler,
+)
+
+ALL_EVENTS = (
+    KillTask(job="YtXJob", kind="map", task=2, attempts=3, occurrence=1),
+    Straggler(job="mean*", factor=4.5, occurrence=None),
+    FetchFailure(job="ss3Job", task=None, attempts=1),
+    ExecutorLoss(job="FnormJob", executor=3),
+    DriverMemoryCap(job="collect", limit_bytes=1024),
+)
+
+
+class WordCountMapper(Mapper):
+    def map(self, key, value, ctx):
+        for word in value.split():
+            yield word, 1
+
+
+def splits_of(records, n):
+    boundaries = np.linspace(0, len(records), n + 1, dtype=int)
+    return [records[lo:hi] for lo, hi in zip(boundaries[:-1], boundaries[1:])]
+
+
+DOCS = [(0, "alpha beta"), (1, "beta gamma"), (2, "alpha gamma")]
+
+
+def word_count_job(**kwargs):
+    return MapReduceJob(
+        name="wordcount", mapper=WordCountMapper(), reducer=SumReducer(), **kwargs
+    )
+
+
+class TestPlanSchema:
+    def test_json_round_trip_preserves_every_event_type(self):
+        plan = FaultPlan(events=ALL_EVENTS)
+        assert FaultPlan.from_json(plan.to_json()) == plan
+
+    def test_file_round_trip(self, tmp_path):
+        plan = FaultPlan(events=ALL_EVENTS)
+        path = plan.save(tmp_path / "plan.json")
+        assert FaultPlan.load(path) == plan
+
+    def test_empty_plan_is_valid(self):
+        assert FaultPlan().events == ()
+        assert FaultPlan.from_json('{"events": []}') == FaultPlan()
+
+    def test_events_coerced_to_tuple(self):
+        plan = FaultPlan(events=[KillTask(job="a")])
+        assert isinstance(plan.events, tuple)
+
+    @pytest.mark.parametrize(
+        "event",
+        [
+            KillTask(job=""),
+            KillTask(job="a", kind="mapper"),
+            KillTask(job="a", task=-1),
+            KillTask(job="a", attempts=0),
+            KillTask(job="a", occurrence=-1),
+            Straggler(job="a", factor=0.0),
+            FetchFailure(job="a", attempts=0),
+            ExecutorLoss(job="a", executor=-1),
+            DriverMemoryCap(job="a", limit_bytes=0),
+        ],
+    )
+    def test_malformed_events_rejected(self, event):
+        with pytest.raises(InvalidPlanError):
+            FaultPlan(events=(event,))
+
+    def test_non_event_rejected(self):
+        with pytest.raises(InvalidPlanError, match="not a fault event"):
+            FaultPlan(events=("kill it",))
+
+    @pytest.mark.parametrize(
+        "text, match",
+        [
+            ("not json", "malformed"),
+            ("[]", "'events'"),
+            ('{"events": [{"job": "a"}]}', "'type'"),
+            ('{"events": [{"type": "explode", "job": "a"}]}', "unknown fault type"),
+            (
+                '{"events": [{"type": "kill_task", "job": "a", "blast": 9}]}',
+                "unknown fields",
+            ),
+            ('{"version": 99, "events": []}', "newer"),
+        ],
+    )
+    def test_malformed_json_rejected(self, text, match):
+        with pytest.raises(InvalidPlanError, match=match):
+            FaultPlan.from_json(text)
+
+    def test_check_recoverable(self):
+        survivable = FaultPlan(events=(KillTask(job="a", attempts=3),))
+        fatal = FaultPlan(events=(FetchFailure(job="a", attempts=4),))
+        assert survivable.check_recoverable(max_task_attempts=4)
+        assert not fatal.check_recoverable(max_task_attempts=4)
+        assert not survivable.check_recoverable(max_task_attempts=3)
+
+
+class TestRandomFaults:
+    def test_bit_compatible_with_raw_generator_stream(self):
+        """fail() must consume exactly the draws the old inline code made."""
+        rate, seed = 0.3, 1234
+        injector = RandomFaults(rate, seed)
+        site = FaultSite("mapreduce", "job", "map", 0, 1)
+        labels = [injector.fail(site) for _ in range(200)]
+        reference = np.random.default_rng(seed)
+        expected = [
+            None if reference.random() >= rate else "random" for _ in range(200)
+        ]
+        assert labels == expected
+
+    def test_zero_rate_still_draws(self):
+        """Rate 0 must advance the generator (the historical behaviour)."""
+        injector = RandomFaults(0.0, seed=7)
+        site = FaultSite("spark", "job", "task", 0, 1)
+        for _ in range(5):
+            assert injector.fail(site) is None
+        reference = np.random.default_rng(7)
+        for _ in range(5):
+            reference.random()
+        assert injector._rng.random() == reference.random()
+
+    def test_time_factor_never_draws(self):
+        injector = RandomFaults(0.5, seed=0)
+        site = FaultSite("spark", "job", "task", 0, 1)
+        assert injector.time_factor(site) == 1.0
+        assert injector._rng.random() == np.random.default_rng(0).random()
+
+    @pytest.mark.parametrize("rate", [-0.1, 1.0, 1.5])
+    def test_invalid_rate_rejected(self, rate):
+        with pytest.raises(InvalidPlanError):
+            RandomFaults(rate)
+
+
+class TestPlannedFaults:
+    def site(self, job="jobA", kind="map", task=0, attempt=1, engine="mapreduce"):
+        return FaultSite(engine, job, kind, task, attempt)
+
+    def test_kill_strikes_only_configured_attempts(self):
+        injector = PlannedFaults(FaultPlan(events=(KillTask(job="jobA", attempts=2),)))
+        injector.begin_job("mapreduce", "jobA")
+        assert injector.fail(self.site(attempt=1)) == "kill_task"
+        assert injector.fail(self.site(attempt=2)) == "kill_task"
+        assert injector.fail(self.site(attempt=3)) is None
+
+    def test_kind_and_task_filters(self):
+        plan = FaultPlan(events=(KillTask(job="jobA", kind="reduce", task=1),))
+        injector = PlannedFaults(plan)
+        injector.begin_job("mapreduce", "jobA")
+        assert injector.fail(self.site(kind="map", task=1)) is None
+        assert injector.fail(self.site(kind="reduce", task=0)) is None
+        assert injector.fail(self.site(kind="reduce", task=1)) == "kill_task"
+
+    def test_occurrence_counts_per_event_name_matches(self):
+        plan = FaultPlan(events=(KillTask(job="YtXJob", occurrence=1),))
+        injector = PlannedFaults(plan)
+        injector.begin_job("mapreduce", "YtXJob")  # occurrence 0: spared
+        assert injector.fail(self.site(job="YtXJob")) is None
+        injector.begin_job("mapreduce", "meanJob")  # different name: not counted
+        injector.begin_job("mapreduce", "YtXJob")  # occurrence 1: struck
+        assert injector.fail(self.site(job="YtXJob")) == "kill_task"
+        injector.begin_job("mapreduce", "YtXJob")  # occurrence 2: spared again
+        assert injector.fail(self.site(job="YtXJob")) is None
+
+    def test_occurrence_none_strikes_every_run(self):
+        plan = FaultPlan(events=(KillTask(job="jobA", occurrence=None),))
+        injector = PlannedFaults(plan)
+        for _ in range(3):
+            injector.begin_job("mapreduce", "jobA")
+            assert injector.fail(self.site()) == "kill_task"
+
+    def test_glob_pattern_matching(self):
+        injector = PlannedFaults(
+            FaultPlan(events=(Straggler(job="*Job", factor=2.0, occurrence=None),))
+        )
+        injector.begin_job("mapreduce", "meanJob")
+        assert injector.time_factor(self.site(job="meanJob")) == 2.0
+        injector.begin_job("mapreduce", "wordcount")
+        assert injector.time_factor(self.site(job="wordcount")) == 1.0
+
+    def test_stragglers_compound(self):
+        plan = FaultPlan(
+            events=(
+                Straggler(job="jobA", factor=2.0),
+                Straggler(job="jobA", factor=3.0),
+            )
+        )
+        injector = PlannedFaults(plan)
+        injector.begin_job("mapreduce", "jobA")
+        assert injector.time_factor(self.site()) == 6.0
+
+    def test_fetch_failure_reduce_side_only_on_mapreduce(self):
+        injector = PlannedFaults(FaultPlan(events=(FetchFailure(job="jobA"),)))
+        injector.begin_job("mapreduce", "jobA")
+        assert injector.fail(self.site(kind="map")) is None
+        assert injector.fail(self.site(kind="reduce")) == "fetch_failure"
+        injector = PlannedFaults(FaultPlan(events=(FetchFailure(job="jobA"),)))
+        injector.begin_job("spark", "jobA")
+        assert injector.fail(self.site(kind="task", engine="spark")) == "fetch_failure"
+
+    def test_stage_directives_spark_only(self):
+        plan = FaultPlan(
+            events=(
+                ExecutorLoss(job="jobA", executor=2),
+                DriverMemoryCap(job="jobA", limit_bytes=512),
+            )
+        )
+        injector = PlannedFaults(plan)
+        directives = injector.begin_job("mapreduce", "jobA")
+        assert directives.executor_losses == ()
+        assert directives.driver_memory_cap is None
+        injector = PlannedFaults(plan)
+        directives = injector.begin_job("spark", "jobA")
+        assert directives.executor_losses == (2,)
+        assert directives.driver_memory_cap == 512
+
+
+class TestRuntimeIntegration:
+    def test_planned_kill_retries_and_counts_fault(self):
+        plan = FaultPlan(events=(KillTask(job="wordcount", kind="map", task=0, attempts=2),))
+        runtime = MapReduceRuntime(faults=PlannedFaults(plan))
+        output = dict(runtime.run(word_count_job(), splits_of(DOCS, 2)))
+        assert output["alpha"] == 2
+        stats = runtime.metrics.jobs[0]
+        assert stats.task_retries == 2
+        assert stats.faults == {"kill_task": 2}
+        assert stats.recovery_sim_seconds > 0
+
+    def test_unrecoverable_kill_aborts_job(self):
+        plan = FaultPlan(events=(KillTask(job="wordcount", attempts=4),))
+        runtime = MapReduceRuntime(faults=PlannedFaults(plan))
+        with pytest.raises(JobFailedError):
+            runtime.run(word_count_job(), splits_of(DOCS, 2))
+
+    def test_straggler_slows_timeline_without_changing_results(self):
+        records = splits_of(DOCS, 2)
+        plain = MapReduceRuntime()
+        expected = dict(plain.run(word_count_job(), records))
+        plan = FaultPlan(
+            events=(Straggler(job="wordcount", factor=50.0, occurrence=None),)
+        )
+        slowed = MapReduceRuntime(faults=PlannedFaults(plan))
+        assert dict(slowed.run(word_count_job(), records)) == expected
+        assert slowed.metrics.jobs[0].faults.get("straggler", 0) > 0
+
+    def test_counters_commit_once_despite_retries(self):
+        class CountingMapper(Mapper):
+            def map(self, key, value, ctx):
+                ctx.increment("records")
+                yield key, value
+
+        plan = FaultPlan(
+            events=(KillTask(job="count", kind="map", attempts=2, occurrence=None),)
+        )
+        runtime = MapReduceRuntime(faults=PlannedFaults(plan))
+        records = [(i, i) for i in range(6)]
+        job = MapReduceJob(name="count", mapper=CountingMapper(), reducer=SumReducer())
+        runtime.run(job, splits_of(records, 3))
+        assert runtime.metrics.jobs[0].counters["records"] == 6
+
+
+class TestJobChainRetry:
+    def make_chain(self, runtime, **kwargs):
+        return JobChain(runtime, name="pipeline", **kwargs).then(word_count_job())
+
+    def test_chain_resubmits_failed_job_with_backoff(self):
+        # Kill all 4 attempts of the first submission only; the chain's
+        # second submission (occurrence 1) runs clean.
+        plan = FaultPlan(events=(KillTask(job="wordcount", attempts=4, occurrence=0),))
+        runtime = MapReduceRuntime(faults=PlannedFaults(plan))
+        chain = self.make_chain(
+            runtime, max_job_attempts=2, backoff_base_s=10.0, backoff_factor=2.0
+        )
+        output = dict(chain.run(splits_of(DOCS, 2)))
+        assert output["alpha"] == 2
+        backoffs = [j for j in runtime.metrics.jobs if j.name.endswith("[backoff]")]
+        assert len(backoffs) == 1
+        assert backoffs[0].sim_seconds == 10.0
+        assert backoffs[0].faults == {"job_retry": 1}
+
+    def test_backoff_grows_exponentially(self):
+        plan = FaultPlan(
+            events=(
+                KillTask(job="wordcount", attempts=4, occurrence=0),
+                KillTask(job="wordcount", attempts=4, occurrence=1),
+            )
+        )
+        runtime = MapReduceRuntime(faults=PlannedFaults(plan))
+        chain = self.make_chain(
+            runtime, max_job_attempts=3, backoff_base_s=5.0, backoff_factor=3.0
+        )
+        chain.run(splits_of(DOCS, 2))
+        waits = [
+            j.sim_seconds for j in runtime.metrics.jobs
+            if j.name.endswith("[backoff]")
+        ]
+        assert waits == [5.0, 15.0]
+
+    def test_exhausted_job_attempts_propagate(self):
+        plan = FaultPlan(
+            events=(KillTask(job="wordcount", attempts=4, occurrence=None),)
+        )
+        runtime = MapReduceRuntime(faults=PlannedFaults(plan))
+        chain = self.make_chain(runtime, max_job_attempts=2)
+        with pytest.raises(JobFailedError):
+            chain.run(splits_of(DOCS, 2))
+
+    def test_partial_output_cleared_before_resubmission(self):
+        class FlakyWriterMapper(Mapper):
+            def map(self, key, value, ctx):
+                yield key, value
+
+        plan = FaultPlan(
+            events=(KillTask(job="writer", kind="reduce", attempts=4, occurrence=0),)
+        )
+        runtime = MapReduceRuntime(faults=PlannedFaults(plan))
+        job = MapReduceJob(
+            name="writer", mapper=FlakyWriterMapper(), reducer=SumReducer(),
+            output_path="out/final",
+        )
+        chain = JobChain(runtime, max_job_attempts=2).then(job)
+        chain.run(splits_of([(i, 1) for i in range(4)], 2))
+        assert runtime.hdfs.exists("out/final")
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_job_attempts": 0},
+            {"backoff_base_s": -1.0},
+            {"backoff_factor": 0.5},
+        ],
+    )
+    def test_invalid_chain_parameters_rejected(self, kwargs):
+        with pytest.raises(InvalidPlanError):
+            JobChain(MapReduceRuntime(), **kwargs)

@@ -4,8 +4,13 @@ import numpy as np
 import pytest
 
 from repro.backends import MapReduceBackend, SparkBackend
-from repro.core import SPCA, SPCAConfig
+from repro.core import SPCA, HDFSCheckpointStore, SPCAConfig
 from repro.core.ppca import fit_ppca
+from repro.engine.mapreduce.hdfs import InMemoryHDFS
+from repro.engine.mapreduce.runtime import MapReduceRuntime
+from repro.engine.spark.context import SparkContext
+from repro.errors import JobFailedError
+from repro.faults import ExecutorLoss, FaultPlan, KillTask, PlannedFaults, Straggler
 from repro.obs import tracing
 from repro.obs.export import TraceData
 from repro.obs.report import (
@@ -142,6 +147,116 @@ class TestUntracedFitUnchanged:
             ]
 
         assert run(False) == run(True)
+
+
+def fit_traced_with_plan(backend_cls, data, plan, checkpoint=None, config=None):
+    config = config or SPCAConfig(n_components=3, max_iterations=3, seed=0)
+    faults = PlannedFaults(plan)
+    if backend_cls is MapReduceBackend:
+        backend = MapReduceBackend(config, runtime=MapReduceRuntime(faults=faults))
+        metrics = backend.runtime.metrics
+    else:
+        backend = SparkBackend(config, context=SparkContext(faults=faults))
+        metrics = backend.context.metrics
+    with tracing() as tracer:
+        SPCA(config, backend).fit(data, checkpoint=checkpoint)
+    return TraceData.from_tracer(tracer), metrics
+
+
+class TestFaultTelemetry:
+    """Injected faults surface as typed events that match the plan exactly."""
+
+    PLAN = FaultPlan(
+        events=(
+            KillTask(job="YtXJob", attempts=2, occurrence=0),
+            Straggler(job="ss3Job", factor=9.0, occurrence=0),
+        )
+    )
+
+    @pytest.mark.parametrize("backend_cls", [MapReduceBackend, SparkBackend])
+    def test_fault_injected_events_match_plan(self, backend_cls, data):
+        trace, metrics = fit_traced_with_plan(backend_cls, data, self.PLAN)
+        faults = [e for e in trace.events if e.type == "fault_injected"]
+        kills = [e for e in faults if e.attrs["fault"] == "kill_task"]
+        stragglers = [e for e in faults if e.attrs["fault"] == "straggler"]
+        assert kills and stragglers
+        assert all(e.attrs["job"] == "YtXJob" for e in kills)
+        # attempts=2 means attempts 1 and 2 both die; attempt 3 succeeds.
+        assert {e.attrs["attempt"] for e in kills} == {1, 2}
+        assert all(e.attrs["job"] == "ss3Job" for e in stragglers)
+        assert all(e.attrs["factor"] == 9.0 for e in stragglers)
+
+    @pytest.mark.parametrize("backend_cls", [MapReduceBackend, SparkBackend])
+    def test_task_retry_events_match_engine_counters(self, backend_cls, data):
+        trace, metrics = fit_traced_with_plan(backend_cls, data, self.PLAN)
+        retries = [e for e in trace.events if e.type == "task_retry"]
+        assert len(retries) > 0
+        assert sum(e.attrs["retries"] for e in retries) == sum(
+            job.task_retries for job in metrics.jobs
+        )
+
+    @pytest.mark.parametrize("backend_cls", [MapReduceBackend, SparkBackend])
+    def test_trace_still_reconciles_under_faults(self, backend_cls, data):
+        trace, metrics = fit_traced_with_plan(backend_cls, data, self.PLAN)
+        assert reconcile(trace, metrics) == []
+
+    @pytest.mark.parametrize("backend_cls", [MapReduceBackend, SparkBackend])
+    def test_big_straggler_triggers_speculative_kill(self, backend_cls, data):
+        plan = FaultPlan(
+            events=(Straggler(job="meanJob", task=0, factor=50.0, occurrence=0),)
+        )
+        trace, _ = fit_traced_with_plan(backend_cls, data, plan)
+        assert any(e.type == "speculative_kill" for e in trace.events)
+
+    def test_executor_loss_charges_lineage_recompute(self, data):
+        plan = FaultPlan(events=(ExecutorLoss(job="YtXJob", executor=0, occurrence=0),))
+        trace, metrics = fit_traced_with_plan(SparkBackend, data, plan)
+        losses = [e for e in trace.events
+                  if e.type == "fault_injected"
+                  and e.attrs["fault"] == "executor_loss"]
+        assert losses and losses[0].attrs["lost_blocks"] > 0
+        assert any(e.type == "lineage_recompute" for e in trace.events)
+        # Recomputing the lost partitions costs simulated time.
+        assert metrics.total_recovery_sim_seconds > 0
+
+
+class TestCheckpointTelemetry:
+    @pytest.mark.parametrize("backend_cls", [MapReduceBackend, SparkBackend])
+    def test_checkpoint_write_events_per_iteration(self, backend_cls, data):
+        config = SPCAConfig(n_components=3, max_iterations=3, seed=0)
+        backend = backend_cls(config)
+        store = HDFSCheckpointStore(InMemoryHDFS())
+        with tracing() as tracer:
+            SPCA(config, backend).fit(data, checkpoint=store)
+        trace = TraceData.from_tracer(tracer)
+        writes = [e for e in trace.events if e.type == "checkpoint_write"]
+        # The final iteration stops the run and is never snapshotted.
+        assert [e.attrs["iteration"] for e in writes] == [1, 2]
+        assert all(e.attrs["bytes"] > 0 for e in writes)
+        # The snapshot I/O is visible in the engine accounting too.
+        metrics = (backend.runtime.metrics if hasattr(backend, "runtime")
+                   else backend.context.metrics)
+        assert sum(
+            job.hdfs_write_bytes for job in metrics.jobs
+            if job.name == "checkpointJob"
+        ) == sum(e.attrs["bytes"] for e in writes)
+
+    def test_checkpoint_restore_event_on_resume(self, data):
+        config = SPCAConfig(n_components=3, max_iterations=3, seed=0)
+        store = HDFSCheckpointStore(InMemoryHDFS())
+        plan = FaultPlan(events=(KillTask(job="YtXJob", occurrence=2, attempts=4),))
+        killed = MapReduceBackend(config, runtime=MapReduceRuntime(
+            faults=PlannedFaults(plan)))
+        with pytest.raises(JobFailedError):
+            SPCA(config, killed).fit(data, checkpoint=store)
+        with tracing() as tracer:
+            SPCA(config, MapReduceBackend(config)).resume(data, store)
+        trace = TraceData.from_tracer(tracer)
+        restores = [e for e in trace.events if e.type == "checkpoint_restore"]
+        assert len(restores) == 1
+        assert restores[0].attrs["iteration"] == 2
+        run = next(s for s in trace.spans if s.kind == "run")
+        assert run.name.startswith("spca.resume[")
 
 
 class TestPPCAIterationSpans:
