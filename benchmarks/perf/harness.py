@@ -14,6 +14,10 @@ simulated cluster seconds.  Ratios are the meaningful quantity.
 
 from __future__ import annotations
 
+import os
+import pathlib
+import platform
+import subprocess
 import time
 from typing import Any, Callable
 
@@ -24,6 +28,7 @@ from repro.backends.mapreduce import MapReduceBackend
 from repro.backends.spark import SparkBackend
 from repro.core import SPCA, SPCAConfig
 from repro.engine.cluster import ClusterSpec
+from repro.engine.exec import EXECUTOR_NAMES, make_executor
 from repro.engine.mapreduce import MapReduceJob, MapReduceRuntime
 from repro.engine.mapreduce.runtime import _partition_of, _partition_pairs
 from repro.engine.serde import clear_sizeof_cache, sizeof
@@ -31,8 +36,11 @@ from repro.engine.spark.context import SparkContext
 from repro.jobs import mapreduce_jobs as mr
 
 BENCH_NAME = "BENCH_3"
+EXEC_BENCH_NAME = "BENCH_5"
 
 CLUSTER = ClusterSpec(num_nodes=2, cores_per_node=4)
+
+_REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
 
 REQUIRED_OP_FIELDS = {"name", "baseline_s", "optimized_s", "speedup", "params"}
 REQUIRED_E2E_FIELDS = {
@@ -43,6 +51,55 @@ REQUIRED_E2E_FIELDS = {
     "batch_s",
     "speedup",
 }
+REQUIRED_PROVENANCE_FIELDS = {"git_sha", "cpu_count", "python", "platform"}
+REQUIRED_EXEC_FIELDS = {
+    "backend",
+    "executor",
+    "workers",
+    "shape",
+    "records_per_task",
+    "fit_s",
+    "speedup_vs_serial",
+}
+
+
+def provenance(**config: Any) -> dict:
+    """Machine/build provenance recorded in every BENCH_* document.
+
+    Timings are meaningless without knowing what produced them: the commit,
+    the core count (a 1-core container cannot show multi-core speedups, and
+    the document must say so), and the interpreter.  Extra keyword arguments
+    record the benchmark's own configuration (executor, workers, ...).
+    """
+    try:
+        git_sha = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=_REPO_ROOT,
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=True,
+        ).stdout.strip()
+    except (OSError, subprocess.SubprocessError):
+        git_sha = "unknown"
+    return {
+        "git_sha": git_sha,
+        "cpu_count": os.cpu_count() or 1,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        **config,
+    }
+
+
+def _validate_provenance(result: dict) -> None:
+    prov = result.get("provenance")
+    if not isinstance(prov, dict):
+        raise ValueError("missing top-level field 'provenance'")
+    missing = REQUIRED_PROVENANCE_FIELDS - prov.keys()
+    if missing:
+        raise ValueError(f"provenance missing fields {sorted(missing)}")
+    if not (isinstance(prov["cpu_count"], int) and prov["cpu_count"] >= 1):
+        raise ValueError("provenance cpu_count must be a positive int")
 
 
 def best_of(fn: Callable[[], Any], repeats: int) -> float:
@@ -225,6 +282,9 @@ def run_suite(quick: bool = False, repeats: int | None = None) -> dict:
         "quick": quick,
         "repeats": repeats,
         "created_unix": time.time(),
+        # The batch suite always measures the serial executor: it isolates
+        # the batching optimization, not cross-core scaling (BENCH_5 does).
+        "provenance": provenance(executor="serial", workers=1),
         "ops": ops,
         "end_to_end": end_to_end,
     }
@@ -239,6 +299,7 @@ def validate(result: dict) -> None:
             raise ValueError(f"missing top-level field {field!r}")
     if result["bench"] != BENCH_NAME:
         raise ValueError(f"bench must be {BENCH_NAME!r}, got {result['bench']!r}")
+    _validate_provenance(result)
     if not result["ops"] or not result["end_to_end"]:
         raise ValueError("ops and end_to_end must be non-empty")
     for op in result["ops"]:
@@ -261,6 +322,153 @@ def validate(result: dict) -> None:
                 raise ValueError(
                     f"end_to_end {entry['backend']!r}: {field} must be positive"
                 )
+
+
+# -- executor scaling suite (BENCH_5) --------------------------------------
+
+
+def _fit_once(
+    backend_kind: str,
+    data,
+    records_per_task: int,
+    max_iterations: int,
+    executor,
+) -> None:
+    config = _fit_config(max_iterations)
+    if backend_kind == "mapreduce":
+        runtime = MapReduceRuntime(cluster=CLUSTER, executor=executor)
+        backend = MapReduceBackend(
+            config, runtime=runtime, records_per_split=records_per_task
+        )
+    else:
+        context = SparkContext(cluster=CLUSTER, executor=executor)
+        backend = SparkBackend(
+            config, context=context, records_per_partition=records_per_task
+        )
+    SPCA(config, backend).fit(data)
+
+
+def run_executor_suite(quick: bool = False, repeats: int | None = None) -> dict:
+    """End-to-end ``SPCA.fit`` under every executor; the BENCH_5 document.
+
+    For each backend: a serial baseline, then ``threads`` and ``processes``
+    across a worker-scaling curve.  ``speedup_vs_serial`` is recorded as
+    measured -- on a single-core machine (see ``provenance.cpu_count``) the
+    curve is honestly flat-to-negative, which is exactly why provenance is
+    part of the schema.
+    """
+    if repeats is None:
+        repeats = 1 if quick else 2
+    if quick:
+        data = sp.random(600, 100, density=0.05, random_state=0, format="csr")
+        records_per_task = 8
+        max_iterations = 2
+        worker_counts = [1, 2]
+    else:
+        data = sp.random(2400, 240, density=0.05, random_state=0, format="csr")
+        records_per_task = 16
+        max_iterations = 3
+        worker_counts = [1, 2, 4]
+
+    def entry(executor_name: str, workers: int, fit_s: float, serial_s: float, kind: str) -> dict:
+        return {
+            "backend": kind,
+            "executor": executor_name,
+            "workers": workers,
+            "shape": list(data.shape),
+            "records_per_task": records_per_task,
+            "fit_s": fit_s,
+            "speedup_vs_serial": serial_s / max(fit_s, 1e-12),
+        }
+
+    end_to_end = []
+    for kind in ("mapreduce", "spark"):
+        serial_s = best_of(
+            lambda: _fit_once(kind, data, records_per_task, max_iterations, None),
+            repeats,
+        )
+        end_to_end.append(entry("serial", 1, serial_s, serial_s, kind))
+        for executor_name in ("threads", "processes"):
+            for workers in worker_counts:
+                with make_executor(executor_name, workers) as executor:
+                    fit_s = best_of(
+                        lambda: _fit_once(
+                            kind, data, records_per_task, max_iterations, executor
+                        ),
+                        repeats,
+                    )
+                end_to_end.append(entry(executor_name, workers, fit_s, serial_s, kind))
+    result = {
+        "bench": EXEC_BENCH_NAME,
+        "quick": quick,
+        "repeats": repeats,
+        "created_unix": time.time(),
+        "provenance": provenance(worker_counts=worker_counts),
+        "end_to_end": end_to_end,
+    }
+    validate_executor(result)
+    return result
+
+
+def validate_executor(result: dict) -> None:
+    """Schema check for a BENCH_5 document; raises ValueError on violation."""
+    for field in ("bench", "quick", "repeats", "created_unix", "end_to_end"):
+        if field not in result:
+            raise ValueError(f"missing top-level field {field!r}")
+    if result["bench"] != EXEC_BENCH_NAME:
+        raise ValueError(
+            f"bench must be {EXEC_BENCH_NAME!r}, got {result['bench']!r}"
+        )
+    _validate_provenance(result)
+    if not result["end_to_end"]:
+        raise ValueError("end_to_end must be non-empty")
+    curves: dict[tuple[str, str], set[int]] = {}
+    for item in result["end_to_end"]:
+        missing = REQUIRED_EXEC_FIELDS - item.keys()
+        if missing:
+            raise ValueError(
+                f"end_to_end {item.get('backend')!r} missing {sorted(missing)}"
+            )
+        if item["backend"] not in ("mapreduce", "spark"):
+            raise ValueError(f"unknown backend {item['backend']!r}")
+        if item["executor"] not in EXECUTOR_NAMES:
+            raise ValueError(f"unknown executor {item['executor']!r}")
+        if not (isinstance(item["workers"], int) and item["workers"] >= 1):
+            raise ValueError("workers must be a positive int")
+        for field in ("fit_s", "speedup_vs_serial"):
+            if not (isinstance(item[field], float) and item[field] > 0):
+                raise ValueError(
+                    f"end_to_end {item['backend']!r}: {field} must be positive"
+                )
+        curves.setdefault((item["backend"], item["executor"]), set()).add(
+            item["workers"]
+        )
+    for kind in ("mapreduce", "spark"):
+        if (kind, "serial") not in curves:
+            raise ValueError(f"missing serial baseline for backend {kind!r}")
+        for executor_name in ("threads", "processes"):
+            counts = curves.get((kind, executor_name), set())
+            if len(counts) < 2:
+                raise ValueError(
+                    f"{kind}/{executor_name} needs a worker-scaling curve "
+                    f"(>= 2 worker counts), got {sorted(counts)}"
+                )
+
+
+def summarize_executor(result: dict) -> str:
+    prov = result["provenance"]
+    lines = [
+        f"{result['bench']}  (quick={result['quick']}, repeats={result['repeats']}, "
+        f"cpus={prov['cpu_count']}, sha={prov['git_sha'][:12]})"
+    ]
+    lines.append(f"{'fit':<28}{'workers':>8}{'fit s':>12}{'vs serial':>11}")
+    for item in result["end_to_end"]:
+        label = f"{item['backend']}/{item['executor']}"
+        lines.append(
+            f"{label:<28}{item['workers']:>8}{item['fit_s']:>12.4f}"
+            f"{item['speedup_vs_serial']:>10.2f}x"
+        )
+    return "\n".join(lines)
 
 
 def summarize(result: dict) -> str:

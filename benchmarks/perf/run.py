@@ -1,15 +1,19 @@
-"""CLI for the batched-pipeline perf harness.
+"""CLI for the perf harness: batched-pipeline and executor-scaling suites.
 
 Usage::
 
-    PYTHONPATH=src python benchmarks/perf/run.py            # full, BENCH_3.json
-    PYTHONPATH=src python benchmarks/perf/run.py --quick    # CI smoke shapes
+    PYTHONPATH=src python benchmarks/perf/run.py                    # BENCH_3.json
+    PYTHONPATH=src python benchmarks/perf/run.py --suite executor   # BENCH_5.json
+    PYTHONPATH=src python benchmarks/perf/run.py --quick            # CI smoke shapes
 
-Writes the result document (schema: perf section of ``benchmarks/README.md``)
-to the repo root as ``BENCH_3.json`` unless ``--output`` overrides it, and
-prints the op/end-to-end summary table.  Exits non-zero if the document
-fails schema validation, so a CI run doubles as a schema check; absolute
-timings are never asserted.
+``batch`` measures the PR-3 record pipeline (batch vs per-record, serial
+executor); ``executor`` measures end-to-end ``SPCA.fit`` under the
+``serial``/``threads``/``processes`` executors across a worker-scaling
+curve.  Each writes its result document (schema: perf section of
+``benchmarks/README.md``) to the repo root -- ``BENCH_3.json`` or
+``BENCH_5.json`` -- unless ``--output`` overrides it, and prints a summary
+table.  Exits non-zero if the document fails schema validation, so a CI run
+doubles as a schema check; absolute timings are never asserted.
 """
 
 from __future__ import annotations
@@ -23,11 +27,34 @@ REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
 sys.path.insert(0, str(REPO_ROOT / "src"))
 sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
 
-from perf.harness import run_suite, summarize, validate  # noqa: E402
+from perf.harness import (  # noqa: E402
+    run_executor_suite,
+    run_suite,
+    summarize,
+    summarize_executor,
+    validate,
+    validate_executor,
+)
+
+SUITES = {
+    "batch": (run_suite, validate, summarize, "BENCH_3.json"),
+    "executor": (
+        run_executor_suite,
+        validate_executor,
+        summarize_executor,
+        "BENCH_5.json",
+    ),
+}
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--suite",
+        choices=sorted(SUITES),
+        default="batch",
+        help="which suite to run (batch -> BENCH_3, executor -> BENCH_5)",
+    )
     parser.add_argument(
         "--quick",
         action="store_true",
@@ -37,21 +64,23 @@ def main(argv: list[str] | None = None) -> int:
         "--repeats",
         type=int,
         default=None,
-        help="timing repeats per measurement (default: 3, or 2 with --quick)",
+        help="timing repeats per measurement (default depends on --quick)",
     )
     parser.add_argument(
         "--output",
         type=pathlib.Path,
-        default=REPO_ROOT / "BENCH_3.json",
-        help="where to write the result JSON (default: <repo>/BENCH_3.json)",
+        default=None,
+        help="where to write the result JSON (default: <repo>/BENCH_N.json)",
     )
     args = parser.parse_args(argv)
 
-    result = run_suite(quick=args.quick, repeats=args.repeats)
-    validate(result)
-    args.output.write_text(json.dumps(result, indent=2) + "\n")
-    print(summarize(result))
-    print(f"wrote {args.output}")
+    run, validate_fn, summarize_fn, default_name = SUITES[args.suite]
+    output = args.output or REPO_ROOT / default_name
+    result = run(quick=args.quick, repeats=args.repeats)
+    validate_fn(result)
+    output.write_text(json.dumps(result, indent=2) + "\n")
+    print(summarize_fn(result))
+    print(f"wrote {output}")
     return 0
 
 

@@ -1,19 +1,37 @@
 """Smoke test for the perf harness: quick shapes, schema only.
 
 Asserts structure and the batch-wins-at-fine-granularity invariant on tiny
-inputs; never absolute times, so it cannot flake on slow CI machines.
+inputs; never absolute times, so it cannot flake on slow CI machines.  The
+one exception is the multi-core speedup floor, which is explicitly gated on
+``os.cpu_count() >= 4`` -- a single-core runner cannot show parallelism and
+the test must not pretend it can.
 """
 
 import json
+import os
 
 import pytest
 
-from perf.harness import BENCH_NAME, run_suite, summarize, validate
+from perf.harness import (
+    BENCH_NAME,
+    EXEC_BENCH_NAME,
+    run_executor_suite,
+    run_suite,
+    summarize,
+    summarize_executor,
+    validate,
+    validate_executor,
+)
 
 
 @pytest.fixture(scope="module")
 def result():
     return run_suite(quick=True, repeats=1)
+
+
+@pytest.fixture(scope="module")
+def exec_result():
+    return run_executor_suite(quick=True, repeats=1)
 
 
 def test_quick_suite_passes_validation(result):
@@ -55,3 +73,106 @@ def test_validate_rejects_malformed_documents(result):
     wrong_bench = dict(result, bench="BENCH_999")
     with pytest.raises(ValueError):
         validate(wrong_bench)
+
+
+def test_provenance_is_recorded(result):
+    prov = result["provenance"]
+    for field in ("git_sha", "cpu_count", "python", "platform"):
+        assert field in prov, field
+    assert prov["cpu_count"] >= 1
+    assert prov["executor"] == "serial"
+    no_prov = dict(result)
+    no_prov.pop("provenance")
+    with pytest.raises(ValueError, match="provenance"):
+        validate(no_prov)
+
+
+# -- executor suite (BENCH_5) ---------------------------------------------
+
+
+def test_executor_suite_passes_validation(exec_result):
+    validate_executor(exec_result)
+    assert exec_result["bench"] == EXEC_BENCH_NAME
+    parsed = json.loads(json.dumps(exec_result))
+    validate_executor(parsed)
+
+
+def test_executor_suite_covers_the_matrix(exec_result):
+    combos = {
+        (e["backend"], e["executor"]) for e in exec_result["end_to_end"]
+    }
+    assert combos == {
+        (backend, executor)
+        for backend in ("mapreduce", "spark")
+        for executor in ("serial", "threads", "processes")
+    }
+    for entry in exec_result["end_to_end"]:
+        if entry["executor"] == "serial":
+            assert entry["speedup_vs_serial"] == 1.0
+
+
+def test_executor_suite_records_scaling_curve(exec_result):
+    workers = {
+        e["workers"]
+        for e in exec_result["end_to_end"]
+        if e["backend"] == "mapreduce" and e["executor"] == "processes"
+    }
+    assert len(workers) >= 2
+
+
+def test_executor_summary_renders(exec_result):
+    text = summarize_executor(exec_result)
+    assert EXEC_BENCH_NAME in text
+    assert "mapreduce/processes" in text
+
+
+def test_executor_validate_rejects_missing_curve(exec_result):
+    truncated = dict(
+        exec_result,
+        end_to_end=[
+            e
+            for e in exec_result["end_to_end"]
+            if not (e["executor"] == "processes" and e["workers"] > 1)
+        ],
+    )
+    with pytest.raises(ValueError, match="scaling curve"):
+        validate_executor(truncated)
+
+
+def _burn(n):
+    # Pure-Python work: holds the GIL, so only process-level parallelism
+    # can speed it up -- exactly what the floor below asserts.
+    total = 0
+    for i in range(n):
+        total += i * i
+    return total
+
+
+@pytest.mark.skipif(
+    (os.cpu_count() or 1) < 4,
+    reason="multi-core speedup needs >= 4 cores; provenance records the count",
+)
+def test_processes_executor_beats_serial_on_multicore():
+    """The processes executor must deliver >= 1.5x on CPU-bound task batches.
+
+    Measured on the executor layer directly (compute-heavy tasks, trivial
+    transport) rather than on the quick-suite fits, whose ~30 ms wall time
+    is dispatch-dominated and says nothing about scaling.
+    """
+    import time
+
+    from repro.engine.exec import ProcessPoolTaskExecutor, SerialExecutor
+
+    n, tasks = 2_000_000, 8
+    payloads = [n] * tasks
+    serial = SerialExecutor()
+    started = time.perf_counter()
+    expected = serial.run_tasks(_burn, payloads)
+    serial_s = time.perf_counter() - started
+    with ProcessPoolTaskExecutor(workers=4) as ex:
+        ex.run_tasks(_burn, [1000] * 4)  # warm the pool off the clock
+        started = time.perf_counter()
+        got = ex.run_tasks(_burn, payloads)
+        processes_s = time.perf_counter() - started
+    assert got == expected
+    assert serial_s / processes_s >= 1.5, (serial_s, processes_s)

@@ -172,10 +172,29 @@ def build_parser() -> argparse.ArgumentParser:
             help="enforce runtime shape contracts on every kernel call",
         )
 
+    for parallel in (fit, resume):
+        parallel.add_argument(
+            "--executor", choices=("serial", "threads", "processes"),
+            default="serial",
+            help="task executor for the engine backends: serial (default, "
+                 "bit-identical baseline), threads, or processes "
+                 "(multi-core with shared-memory block transport)",
+        )
+        parallel.add_argument(
+            "--workers", type=int, default=None, metavar="N",
+            help="worker count for --executor threads/processes "
+                 "(default: CPU count, capped at 8)",
+        )
+
     return parser
 
 
-def _make_backend(name: str, config: SPCAConfig, faults_path: str | None = None):
+def _make_backend(
+    name: str,
+    config: SPCAConfig,
+    faults_path: str | None = None,
+    executor=None,
+):
     injector = None
     if faults_path is not None:
         from repro.faults import FaultPlan, PlannedFaults
@@ -189,16 +208,35 @@ def _make_backend(name: str, config: SPCAConfig, faults_path: str | None = None)
                 "warning: --faults has no effect on the sequential backend",
                 file=sys.stderr,
             )
+        if executor is not None and not executor.serial:
+            print(
+                "warning: --executor has no effect on the sequential backend",
+                file=sys.stderr,
+            )
         return SequentialBackend(config)
     if name == "mapreduce":
         from repro.backends import MapReduceBackend
         from repro.engine.mapreduce.runtime import MapReduceRuntime
 
-        return MapReduceBackend(config, runtime=MapReduceRuntime(faults=injector))
+        return MapReduceBackend(
+            config,
+            runtime=MapReduceRuntime(faults=injector, executor=executor),
+        )
     from repro.backends import SparkBackend
     from repro.engine.spark.context import SparkContext
 
-    return SparkBackend(config, context=SparkContext(faults=injector))
+    return SparkBackend(
+        config, context=SparkContext(faults=injector, executor=executor)
+    )
+
+
+def _make_executor(args):
+    """Build the task executor requested by ``--executor``/``--workers``."""
+    from repro.engine.exec import resolve_executor
+
+    return resolve_executor(
+        getattr(args, "executor", "serial"), getattr(args, "workers", None)
+    )
 
 
 def _cmd_generate(args) -> int:
@@ -228,7 +266,10 @@ def _cmd_fit(args) -> int:
         seed=args.seed,
         smart_init=args.smart_init,
     )
-    backend = _make_backend(args.backend, config, faults_path=args.faults)
+    executor = _make_executor(args)
+    backend = _make_backend(
+        args.backend, config, faults_path=args.faults, executor=executor
+    )
     checkpoint = None
     if args.checkpoint:
         from repro.core import CheckpointPolicy, DirectoryCheckpointStore
@@ -236,15 +277,20 @@ def _cmd_fit(args) -> int:
         checkpoint = CheckpointPolicy(
             DirectoryCheckpointStore(args.checkpoint), args.checkpoint_every
         )
-    if args.trace:
-        from repro.obs import tracing, write_trace
+    try:
+        if args.trace:
+            from repro.obs import tracing, write_trace
 
-        with tracing() as tracer:
+            with tracing() as tracer:
+                model, history = SPCA(config, backend).fit(
+                    matrix, checkpoint=checkpoint
+                )
+            trace_path = write_trace(tracer, args.trace)
+        else:
             model, history = SPCA(config, backend).fit(matrix, checkpoint=checkpoint)
-        trace_path = write_trace(tracer, args.trace)
-    else:
-        model, history = SPCA(config, backend).fit(matrix, checkpoint=checkpoint)
-        trace_path = None
+            trace_path = None
+    finally:
+        executor.shutdown()
     print(
         f"fit {matrix.shape} with d={args.components} on {args.backend}: "
         f"{history.n_iterations} iterations, stop={history.stop_reason}"
@@ -276,21 +322,27 @@ def _cmd_resume(args) -> int:
         print(f"error: no checkpoints in {args.checkpoint}", file=sys.stderr)
         return 2
     config = SPCAConfig(**newest.config)
-    backend = _make_backend(args.backend, config, faults_path=args.faults)
+    executor = _make_executor(args)
+    backend = _make_backend(
+        args.backend, config, faults_path=args.faults, executor=executor
+    )
     spca = SPCA(config, backend)
-    if args.trace:
-        from repro.obs import tracing, write_trace
+    try:
+        if args.trace:
+            from repro.obs import tracing, write_trace
 
-        with tracing() as tracer:
+            with tracing() as tracer:
+                model, history = spca.resume(
+                    matrix, store, checkpoint_every=args.checkpoint_every
+                )
+            trace_path = write_trace(tracer, args.trace)
+        else:
             model, history = spca.resume(
                 matrix, store, checkpoint_every=args.checkpoint_every
             )
-        trace_path = write_trace(tracer, args.trace)
-    else:
-        model, history = spca.resume(
-            matrix, store, checkpoint_every=args.checkpoint_every
-        )
-        trace_path = None
+            trace_path = None
+    finally:
+        executor.shutdown()
     print(
         f"resumed {matrix.shape} from iteration {newest.iteration} on "
         f"{args.backend}: {history.n_iterations} iterations total, "

@@ -1,0 +1,86 @@
+"""repro.engine.exec -- pluggable task executors for both engine simulators.
+
+Three interchangeable backends run the independent tasks of a stage:
+
+``serial``
+    A left-to-right loop on the calling thread; the bit-identical default.
+``threads``
+    A ``ThreadPoolExecutor``; zero-copy by construction, parallel wherever
+    the numpy/scipy kernels release the GIL.
+``processes``
+    A ``ProcessPoolExecutor`` with shared-memory ndarray transport
+    (:mod:`repro.engine.exec.shm`); real multi-core execution.
+
+All three honor the same determinism contract: results are committed in
+task-index order, so engine outputs, counters, byte totals, and trace-event
+multisets are identical across executors (property-tested in
+``tests/test_executor_equivalence.py``).
+"""
+
+from __future__ import annotations
+
+from repro.engine.exec.base import TaskExecutor, default_worker_count
+from repro.engine.exec.processes import ProcessPoolTaskExecutor
+from repro.engine.exec.serial import SerialExecutor
+from repro.engine.exec.shm import (
+    DEFAULT_SHM_THRESHOLD,
+    ShmArrayRef,
+    ShmBlockRegistry,
+    ShmSparseRef,
+    decode_payload,
+    encode_payload,
+)
+from repro.engine.exec.threads import ThreadPoolTaskExecutor
+from repro.errors import InvalidPlanError
+
+EXECUTOR_NAMES = ("serial", "threads", "processes")
+
+
+def make_executor(name: str, workers: int | None = None) -> TaskExecutor:
+    """Build an executor by CLI name (``serial``/``threads``/``processes``)."""
+    if name == "serial":
+        return SerialExecutor()
+    if name == "threads":
+        return ThreadPoolTaskExecutor(workers)
+    if name == "processes":
+        return ProcessPoolTaskExecutor(workers)
+    raise InvalidPlanError(
+        f"unknown executor {name!r}; expected one of {', '.join(EXECUTOR_NAMES)}"
+    )
+
+
+def resolve_executor(
+    executor: "TaskExecutor | str | None", workers: int | None = None
+) -> TaskExecutor:
+    """Normalize an engine's ``executor=`` argument to a TaskExecutor.
+
+    Accepts an executor instance (used as-is), a name (built via
+    :func:`make_executor`), or None (serial).
+    """
+    if executor is None:
+        return SerialExecutor()
+    if isinstance(executor, str):
+        return make_executor(executor, workers)
+    if isinstance(executor, TaskExecutor):
+        return executor
+    raise InvalidPlanError(
+        f"executor must be a name or TaskExecutor, got {type(executor).__name__}"
+    )
+
+
+__all__ = [
+    "DEFAULT_SHM_THRESHOLD",
+    "EXECUTOR_NAMES",
+    "ProcessPoolTaskExecutor",
+    "SerialExecutor",
+    "ShmArrayRef",
+    "ShmBlockRegistry",
+    "ShmSparseRef",
+    "TaskExecutor",
+    "ThreadPoolTaskExecutor",
+    "decode_payload",
+    "default_worker_count",
+    "encode_payload",
+    "make_executor",
+    "resolve_executor",
+]

@@ -1,0 +1,124 @@
+"""The task-executor contract shared by both engine simulators.
+
+A :class:`TaskExecutor` runs a batch of *independent* tasks -- the map tasks
+of one MapReduce stage, the reduce tasks over disjoint key groups, or the
+partitions of one Spark stage -- and returns their results **in task-index
+order** regardless of completion order.  Everything with a side effect
+(counters, trace events, cache puts, accumulator updates, fault accounting)
+stays out of the executor: tasks return pure outcome records and the driver
+commits them in index order, which is what keeps every executor bit-identical
+to ``serial`` (see ``docs/engines.md``).
+
+Observability: concurrent executors emit an ``executor_dispatch`` event when
+a batch is submitted and an ``executor_join`` event when the last task
+finishes, carrying the per-task wall times.  The ``serial`` executor emits
+nothing so traces from the default configuration are byte-identical to the
+pre-executor engine.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Any, Callable, Sequence
+
+from repro.engine.serde import clear_sizeof_cache
+from repro.obs import get_tracer
+
+
+def default_worker_count() -> int:
+    """The worker count used when ``--workers`` is not given (capped at 8)."""
+    return max(1, min(8, os.cpu_count() or 1))
+
+
+class TaskExecutor:
+    """Runs independent task thunks; results come back in submission order."""
+
+    #: executor name as exposed on the CLI (`--executor ...`)
+    name = "base"
+    #: True only for the serial executor (engines keep their legacy code path)
+    serial = False
+
+    def __init__(self, workers: int = 1):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+
+    # -- the contract ----------------------------------------------------
+
+    def run_tasks(
+        self,
+        fn: Callable[[Any], Any],
+        payloads: Sequence[Any],
+        label: str = "tasks",
+    ) -> list[Any]:
+        """Run ``fn(payload)`` for every payload; return results by index.
+
+        Concurrent implementations may evaluate in any order but MUST return
+        ``[fn(payloads[0]), fn(payloads[1]), ...]``.  If several tasks raise,
+        the exception of the lowest-index failing task propagates (matching
+        what a serial left-to-right loop would have raised).
+        """
+        raise NotImplementedError
+
+    def closure_executor(self) -> "TaskExecutor":
+        """The executor to use for non-picklable (closure-capturing) tasks.
+
+        Process pools cannot ship the Spark engine's closure-based partition
+        functions (no cloudpickle in this codebase), so the process backend
+        answers with an in-process thread sibling; every other backend
+        returns itself.
+        """
+        return self
+
+    def shutdown(self) -> None:
+        """Release pools and shared-memory segments; idempotent.
+
+        Also clears the identity-keyed ``sizeof`` memo: its ``id()`` keys
+        are only valid while this executor's payload objects (including
+        re-attached shm views) are alive, and dropping them here prevents
+        cross-run collisions after the interpreter reuses the addresses.
+        """
+        clear_sizeof_cache()
+
+    def __enter__(self) -> "TaskExecutor":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.shutdown()
+
+    # -- tracing helpers for concurrent backends -------------------------
+
+    def _emit_dispatch(self, label: str, n_tasks: int, **attrs: Any) -> None:
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.event(
+                "executor_dispatch",
+                executor=self.name,
+                workers=self.workers,
+                label=label,
+                n_tasks=n_tasks,
+                **attrs,
+            )
+
+    def _emit_join(self, label: str, wall_seconds: list[float], started: float) -> None:
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.event(
+                "executor_join",
+                executor=self.name,
+                workers=self.workers,
+                label=label,
+                n_tasks=len(wall_seconds),
+                wall_s=time.perf_counter() - started,
+                task_wall_s=[round(w, 6) for w in wall_seconds],
+            )
+
+
+def reraise_first_failure(
+    errors: Sequence[tuple[int, BaseException]],
+) -> None:
+    """Raise the failure a serial loop would have hit first, if any."""
+    if errors:
+        index, error = min(errors, key=lambda pair: pair[0])
+        raise error

@@ -1,0 +1,31 @@
+"""The serial executor: today's behavior, bit-identical by construction."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence
+
+from repro.engine.exec.base import TaskExecutor
+
+
+class SerialExecutor(TaskExecutor):
+    """Runs tasks in a plain left-to-right loop on the calling thread.
+
+    Emits no executor events and the engines keep their legacy in-line code
+    path when they see ``serial=True``, so the default configuration is not
+    merely equivalent to the pre-executor engine -- it *is* the pre-executor
+    engine.
+    """
+
+    name = "serial"
+    serial = True
+
+    def __init__(self, workers: int = 1):
+        super().__init__(workers=1)
+
+    def run_tasks(
+        self,
+        fn: Callable[[Any], Any],
+        payloads: Sequence[Any],
+        label: str = "tasks",
+    ) -> list[Any]:
+        return [fn(payload) for payload in payloads]

@@ -1,0 +1,73 @@
+"""The thread-pool executor.
+
+Threads share the interpreter, so task payloads and results cross for free
+(no pickling) and closure-capturing Spark partition functions work
+unchanged.  The GIL limits pure-Python speedup, but the engines' hot loops
+spend their time inside numpy/scipy kernels that release the GIL, which is
+where thread-level parallelism pays.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Callable, Sequence
+
+from repro.engine.exec.base import (
+    TaskExecutor,
+    default_worker_count,
+    reraise_first_failure,
+)
+
+
+def _timed(fn: Callable[[Any], Any], payload: Any) -> tuple[Any, float]:
+    started = time.perf_counter()
+    result = fn(payload)
+    return result, time.perf_counter() - started
+
+
+class ThreadPoolTaskExecutor(TaskExecutor):
+    """Runs tasks on a lazily-created ``ThreadPoolExecutor``."""
+
+    name = "threads"
+
+    def __init__(self, workers: int | None = None):
+        super().__init__(workers=workers or default_worker_count())
+        self._pool: ThreadPoolExecutor | None = None
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.workers, thread_name_prefix="repro-exec"
+            )
+        return self._pool
+
+    def run_tasks(
+        self,
+        fn: Callable[[Any], Any],
+        payloads: Sequence[Any],
+        label: str = "tasks",
+    ) -> list[Any]:
+        if not payloads:
+            return []
+        started = time.perf_counter()
+        self._emit_dispatch(label, len(payloads))
+        pool = self._ensure_pool()
+        futures = [pool.submit(_timed, fn, payload) for payload in payloads]
+        results: list[Any] = [None] * len(futures)
+        walls: list[float] = [0.0] * len(futures)
+        errors: list[tuple[int, BaseException]] = []
+        for index, future in enumerate(futures):
+            try:
+                results[index], walls[index] = future.result()
+            except BaseException as error:  # noqa: BLE001 - re-raised below
+                errors.append((index, error))
+        self._emit_join(label, walls, started)
+        reraise_first_failure(errors)
+        return results
+
+    def shutdown(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+        super().shutdown()

@@ -15,11 +15,13 @@ import copy
 import time
 import zlib
 from collections import defaultdict
+from dataclasses import dataclass
 from typing import Any, Sequence
 
 import numpy as np
 
 from repro.engine.cluster import ClusterSpec
+from repro.engine.exec import TaskExecutor, resolve_executor
 from repro.engine.mapreduce.api import MapReduceJob, Mapper, Reducer, TaskContext
 from repro.engine.mapreduce.hdfs import InMemoryHDFS
 from repro.engine.metrics import EngineMetrics, JobStats
@@ -38,8 +40,14 @@ Pair = tuple[Any, Any]
 
 
 def _partition_of(key: Any, num_partitions: int) -> int:
-    """Deterministic key partitioner (Python's hash() is salted per run)."""
-    return zlib.crc32(repr(key).encode()) % num_partitions
+    """Deterministic key partitioner (Python's hash() is salted per run).
+
+    The explicit ``& 0xFFFFFFFF`` pins the crc32 to its unsigned 32-bit
+    value: pre-3.0 zlib (and C implementations reachable through shims)
+    returned signed results, and a negative hash would silently flip
+    partition assignments across platforms.
+    """
+    return (zlib.crc32(repr(key).encode()) & 0xFFFFFFFF) % num_partitions
 
 
 def _partition_pairs(pairs: Sequence[Pair], num_partitions: int) -> list[list[Pair]]:
@@ -56,7 +64,7 @@ def _partition_pairs(pairs: Sequence[Pair], num_partitions: int) -> list[list[Pa
         key_repr = repr(pair[0])
         partition = partition_of.get(key_repr)
         if partition is None:
-            partition = zlib.crc32(key_repr.encode()) % num_partitions
+            partition = (zlib.crc32(key_repr.encode()) & 0xFFFFFFFF) % num_partitions
             partition_of[key_repr] = partition
         buckets[partition].append(pair)
     return buckets
@@ -67,6 +75,116 @@ def _instantiate(template):
     if isinstance(template, type):
         return template()
     return copy.deepcopy(template)
+
+
+# -- pure task bodies (shared by the serial loop and the executor path) ------
+#
+# Module-level so a ProcessPoolExecutor can pickle them by reference; they
+# touch nothing but their arguments, which is what makes a stage's tasks
+# safe to run in any order on any executor.
+
+
+def _run_map_once(
+    template, config: dict, job_name: str, split, task_id: int, enable_batch: bool
+) -> tuple[list[Pair], TaskContext]:
+    mapper: Mapper = _instantiate(template)
+    ctx = TaskContext(job_name, task_id, dict(config))
+    mapper.setup(ctx)
+    if enable_batch:
+        output = list(mapper.map_batch(split, ctx))
+    else:
+        # Per-record baseline: bypass any map_batch override.
+        output = []
+        for key, value in split:
+            output.extend(mapper.map(key, value, ctx))
+    output.extend(mapper.cleanup(ctx))
+    return output, ctx
+
+
+def _run_reduce_once(
+    template, config: dict, job_name: str, pairs, task_id: int, enable_batch: bool
+) -> tuple[list[Pair], TaskContext]:
+    reducer: Reducer = _instantiate(template)
+    ctx = TaskContext(job_name, task_id, dict(config))
+    reducer.setup(ctx)
+    groups: dict[Any, list[Any]] = defaultdict(list)
+    for key, value in pairs:
+        groups[key].append(value)
+    ordered = [(key, groups[key]) for key in sorted(groups, key=repr)]
+    if enable_batch:
+        output = list(reducer.reduce_batch(ordered, ctx))
+    else:
+        output = []
+        for key, values in ordered:
+            output.extend(reducer.reduce(key, values, ctx))
+    output.extend(reducer.cleanup(ctx))
+    return output, ctx
+
+
+@dataclass
+class _StageTaskOutcome:
+    """What one concurrently-executed task hands back for ordered commit.
+
+    Pure data: the driver replays counters, fault accounting, and trace
+    events from it in task-index order, which keeps every executor's side
+    effects bit-identical to the serial loop.
+    """
+
+    ok: bool
+    pairs: list[Pair] | None
+    counters: dict[str, int]
+    seconds: float
+    retries: int
+    fault_events: list[dict[str, Any]]
+    failed_seconds: list[float]
+
+
+def _execute_stage_task(payload) -> _StageTaskOutcome:
+    """Run one task's full retry loop from a precomputed fault plan.
+
+    ``payload`` is ``(kind, template, config, job_name, task_id, data,
+    enable_batch, plan)`` where ``plan`` comes from
+    :meth:`FaultInjector.plan_task`.  Everything observable is returned, not
+    applied: the driver commits in task order.
+    """
+    kind, template, config, job_name, task_id, data, enable_batch, plan = payload
+    total_seconds = 0.0
+    fault_events: list[dict[str, Any]] = []
+    failed_seconds: list[float] = []
+    for attempt, (factor, label) in enumerate(plan, 1):
+        started = time.perf_counter()
+        if kind == "map":
+            result, ctx = _run_map_once(
+                template, config, job_name, data, task_id, enable_batch
+            )
+        else:
+            result, ctx = _run_reduce_once(
+                template, config, job_name, data, task_id, enable_batch
+            )
+        elapsed = time.perf_counter() - started
+        if factor != 1.0:
+            elapsed *= factor
+            fault_events.append(
+                dict(fault="straggler", job=job_name, kind=kind,
+                     task=task_id, attempt=attempt, factor=factor)
+            )
+        total_seconds += elapsed
+        if label is None:
+            return _StageTaskOutcome(
+                ok=True, pairs=result, counters=dict(ctx.counters),
+                seconds=total_seconds, retries=attempt - 1,
+                fault_events=fault_events, failed_seconds=failed_seconds,
+            )
+        failed_seconds.append(elapsed)
+        fault_events.append(
+            dict(fault=label, job=job_name, kind=kind,
+                 task=task_id, attempt=attempt)
+        )
+    return _StageTaskOutcome(
+        ok=False, pairs=None, counters={}, seconds=total_seconds,
+        retries=len(plan), fault_events=fault_events,
+        failed_seconds=failed_seconds,
+    )
 
 
 class MapReduceRuntime:
@@ -93,6 +211,16 @@ class MapReduceRuntime:
             mappers override; when False every record goes through the
             per-record ``map``/``reduce`` hooks, ignoring batch overrides
             (the regression-harness baseline).
+        executor: a :class:`~repro.engine.exec.TaskExecutor`, an executor
+            name (``serial``/``threads``/``processes``), or None for serial.
+            Concurrent executors run a stage's independent tasks in
+            parallel; results commit in task-index order, so outputs,
+            counters, byte totals, and trace-event multisets stay identical
+            to serial.  With :class:`RandomFaults` the equivalence holds for
+            every run that completes; a job that *fails* fatally leaves the
+            generator at a different point than serial would (fault plans
+            are drawn for all tasks up front).
+        workers: worker count when ``executor`` is given by name.
     """
 
     def __init__(
@@ -105,6 +233,8 @@ class MapReduceRuntime:
         seed: int = 0,
         enable_batch: bool = True,
         faults: FaultInjector | None = None,
+        executor: TaskExecutor | str | None = None,
+        workers: int | None = None,
     ):
         if not 0.0 <= failure_rate < 1.0:
             raise InvalidPlanError(f"failure_rate must be in [0, 1), got {failure_rate}")
@@ -116,6 +246,7 @@ class MapReduceRuntime:
         self.enable_batch = enable_batch
         self.metrics = EngineMetrics()
         self.faults = faults if faults is not None else RandomFaults(failure_rate, seed)
+        self.executor = resolve_executor(executor, workers)
 
     # -- public API ------------------------------------------------------
 
@@ -179,30 +310,49 @@ class MapReduceRuntime:
     def _map_phase(
         self, job, splits, stats
     ) -> tuple[list[list[Pair]], list[float], list[int]]:
-        map_outputs = []
-        map_times = []
-        map_retries = []
-        for task_id, split in enumerate(splits):
-            pairs, seconds, retries = self._attempt_task(
-                stats, lambda: self._run_map_task(job, split, task_id),
-                kind="map", task_id=task_id,
+        if self.executor.serial:
+            map_outputs = []
+            map_times = []
+            map_retries = []
+            for task_id, split in enumerate(splits):
+                pairs, seconds, retries = self._attempt_task(
+                    stats, lambda: self._run_map_task(job, split, task_id),
+                    kind="map", task_id=task_id,
+                )
+                map_times.append(seconds)
+                map_retries.append(retries)
+                map_outputs.append(pairs)
+        else:
+            map_outputs, map_times, map_retries = self._run_phase_concurrent(
+                job, "map", job.mapper, splits, stats
             )
-            map_times.append(seconds)
-            map_retries.append(retries)
-            map_outputs.append(pairs)
         stats.map_output_bytes = sum(sizeof_pairs(out) for out in map_outputs)
         if job.combiner is not None:
-            combined = []
-            for task_id, pairs in enumerate(map_outputs):
-                out, seconds, retries = self._attempt_task(
-                    stats,
-                    lambda: self._run_reduce_like(job.combiner, job, pairs, task_id),
-                    kind="combine", task_id=task_id,
+            if self.executor.serial:
+                combined = []
+                combine_times = []
+                combine_retries = []
+                for task_id, pairs in enumerate(map_outputs):
+                    out, seconds, retries = self._attempt_task(
+                        stats,
+                        lambda: self._run_reduce_like(job.combiner, job, pairs, task_id),
+                        kind="combine", task_id=task_id,
+                    )
+                    combine_times.append(seconds)
+                    combine_retries.append(retries)
+                    combined.append(out)
+            else:
+                combined, combine_times, combine_retries = (
+                    self._run_phase_concurrent(
+                        job, "combine", job.combiner, map_outputs, stats
+                    )
                 )
+            for task_id, (seconds, retries) in enumerate(
+                zip(combine_times, combine_retries)
+            ):
                 slot = min(task_id, len(map_times) - 1)
                 map_times[slot] += seconds
                 map_retries[slot] += retries
-                combined.append(out)
             map_outputs = combined
         return map_outputs, map_times, map_retries
 
@@ -216,19 +366,85 @@ class MapReduceRuntime:
         num_reducers = max(1, job.num_reducers)
         stats.n_reduce_tasks = num_reducers
         partitions = _partition_pairs(all_pairs, num_reducers)
-        output: list[Pair] = []
-        reduce_times: list[float] = []
-        reduce_retries: list[int] = []
-        for task_id, partition in enumerate(partitions):
-            pairs, seconds, retries = self._attempt_task(
-                stats,
-                lambda: self._run_reduce_like(job.reducer, job, partition, task_id),
-                kind="reduce", task_id=task_id,
-            )
-            reduce_times.append(seconds)
-            reduce_retries.append(retries)
-            output.extend(pairs)
+        if self.executor.serial:
+            output: list[Pair] = []
+            reduce_times: list[float] = []
+            reduce_retries: list[int] = []
+            for task_id, partition in enumerate(partitions):
+                pairs, seconds, retries = self._attempt_task(
+                    stats,
+                    lambda: self._run_reduce_like(job.reducer, job, partition, task_id),
+                    kind="reduce", task_id=task_id,
+                )
+                reduce_times.append(seconds)
+                reduce_retries.append(retries)
+                output.extend(pairs)
+            return output, reduce_times, reduce_retries
+        outputs, reduce_times, reduce_retries = self._run_phase_concurrent(
+            job, "reduce", job.reducer, partitions, stats
+        )
+        output = [pair for pairs in outputs for pair in pairs]
         return output, reduce_times, reduce_retries
+
+    # -- concurrent stage execution ---------------------------------------
+
+    def _run_phase_concurrent(
+        self, job, kind: str, template, datas, stats: JobStats
+    ) -> tuple[list[list[Pair]], list[float], list[int]]:
+        """Run one stage's independent tasks on the executor.
+
+        Fault-injection decisions are precomputed per task (in ascending
+        task-index order, matching the serial loop's draw order), the pure
+        task bodies run in parallel, and every side effect -- counters,
+        fault accounting, trace events, the job-fatal raise -- is committed
+        from the returned outcomes in task-index order.
+        """
+        plans = [
+            self.faults.plan_task(
+                FaultSite("mapreduce", job.name, kind, task_id, 0),
+                self.max_task_attempts,
+            )
+            for task_id in range(len(datas))
+        ]
+        config = dict(job.config)
+        payloads = [
+            (kind, template, config, job.name, task_id, datas[task_id],
+             self.enable_batch, plans[task_id])
+            for task_id in range(len(datas))
+        ]
+        outcomes = self.executor.run_tasks(
+            _execute_stage_task, payloads, label=f"{job.name}/{kind}"
+        )
+        outputs: list[list[Pair]] = []
+        times: list[float] = []
+        retries_out: list[int] = []
+        tracer = get_tracer()
+        scale = self.cost_model.compute_scale
+        for task_id, outcome in enumerate(outcomes):
+            failed_index = 0
+            for event in outcome.fault_events:
+                if "factor" in event:  # straggler: attempt output still commits
+                    stats.count_fault("straggler")
+                else:
+                    stats.task_retries += 1
+                    stats.count_fault(event["fault"])
+                    stats.recovery_sim_seconds += (
+                        outcome.failed_seconds[failed_index] * scale
+                    )
+                    failed_index += 1
+                if tracer.enabled:
+                    tracer.event("fault_injected", **event)
+            if not outcome.ok:
+                raise JobFailedError(
+                    f"job {stats.name!r}: {kind} task {task_id} failed "
+                    f"{self.max_task_attempts} times"
+                )
+            for counter, amount in outcome.counters.items():
+                stats.counters[counter] = stats.counters.get(counter, 0) + amount
+            outputs.append(outcome.pairs)
+            times.append(outcome.seconds)
+            retries_out.append(outcome.retries)
+        return outputs, times, retries_out
 
     # -- task execution --------------------------------------------------
 
@@ -279,37 +495,16 @@ class MapReduceRuntime:
     def _run_map_task(
         self, job: MapReduceJob, split, task_id: int
     ) -> tuple[list[Pair], TaskContext]:
-        mapper: Mapper = _instantiate(job.mapper)
-        ctx = TaskContext(job.name, task_id, dict(job.config))
-        mapper.setup(ctx)
-        if self.enable_batch:
-            output = list(mapper.map_batch(split, ctx))
-        else:
-            # Per-record baseline: bypass any map_batch override.
-            output = []
-            for key, value in split:
-                output.extend(mapper.map(key, value, ctx))
-        output.extend(mapper.cleanup(ctx))
-        return output, ctx
+        return _run_map_once(
+            job.mapper, job.config, job.name, split, task_id, self.enable_batch
+        )
 
     def _run_reduce_like(
         self, template, job, pairs, task_id: int
     ) -> tuple[list[Pair], TaskContext]:
-        reducer: Reducer = _instantiate(template)
-        ctx = TaskContext(job.name, task_id, dict(job.config))
-        reducer.setup(ctx)
-        groups: dict[Any, list[Any]] = defaultdict(list)
-        for key, value in pairs:
-            groups[key].append(value)
-        ordered = [(key, groups[key]) for key in sorted(groups, key=repr)]
-        if self.enable_batch:
-            output = list(reducer.reduce_batch(ordered, ctx))
-        else:
-            output = []
-            for key, values in ordered:
-                output.extend(reducer.reduce(key, values, ctx))
-        output.extend(reducer.cleanup(ctx))
-        return output, ctx
+        return _run_reduce_once(
+            template, job.config, job.name, pairs, task_id, self.enable_batch
+        )
 
     def _merge_counters(self, ctx: TaskContext, stats: JobStats) -> None:
         for counter, amount in ctx.counters.items():
@@ -386,6 +581,7 @@ class MapReduceRuntime:
                     duration=p.duration,
                     retries=retries[p.task_id] if p.task_id < len(retries) else 0,
                     speculative_kill=capped[p.task_id] < raw[p.task_id],
+                    wall_seconds=raw[p.task_id],
                 )
                 for p in schedule
             ]

@@ -16,6 +16,15 @@ assumes values flowing through the engines are treated as immutable records
 -- which every engine here guarantees -- and entries are dropped as soon as
 the measured object is garbage-collected, so a recycled ``id()`` can never
 alias a stale size.
+
+Shared-memory interplay (``repro.engine.exec``): the process-pool executor
+re-attaches shm segments as fresh zero-copy ndarray views, and every
+attachment is a *new* Python object whose ``id()`` may land on a recycled
+address.  Hits are therefore validated by identity (``entry[0]() is
+value``), never trusted on the key alone, which makes re-attachment safe by
+construction; and executors call :func:`clear_sizeof_cache` from
+``shutdown()`` so sizes measured against one run's payload objects cannot
+leak into the next run through recycled ids of long-lived view buffers.
 """
 
 from __future__ import annotations

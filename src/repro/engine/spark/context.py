@@ -2,12 +2,15 @@
 
 from __future__ import annotations
 
+import threading
 import time
+from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable
 
 import numpy as np
 
 from repro.engine.cluster import ClusterSpec
+from repro.engine.exec import TaskExecutor, resolve_executor
 from repro.engine.metrics import EngineMetrics, JobStats
 from repro.engine.serde import sizeof
 from repro.engine.simtime import (
@@ -82,6 +85,39 @@ class Accumulator:
         return self._value
 
 
+@dataclass
+class _TaskScope:
+    """Everything one concurrently-executing task attempt may observe/effect.
+
+    Concurrent attempts must not touch shared driver state, so each attempt
+    runs against a scope: a shadow ``JobStats`` for byte charges, deferred
+    trace events, deferred cache puts (with a local overlay so the attempt
+    sees its own puts), staged accumulator updates, and the lineage-recompute
+    clock.  The driver commits scopes in task-index order, which is what
+    makes concurrent execution bit-identical to the serial loop.
+    """
+
+    stats: JobStats
+    events: list[tuple[str, dict[str, Any]]] = field(default_factory=list)
+    fault_labels: list[str] = field(default_factory=list)
+    puts: list[tuple[int, int, list, int]] = field(default_factory=list)
+    overlay: dict[tuple[int, int], tuple[list, int]] = field(default_factory=dict)
+    pending_updates: list[tuple["Accumulator", Any]] = field(default_factory=list)
+    recompute_seconds: float = 0.0
+    recompute_depth: int = 0
+
+
+@dataclass
+class _ScopedAttempt:
+    """One finished attempt of a scoped task, awaiting ordered commit."""
+
+    scope: _TaskScope
+    elapsed: float
+    recompute: float
+    label: str | None
+    result: Any
+
+
 class SparkContext:
     """Driver entry point: creates RDDs, broadcasts, accumulators.
 
@@ -102,6 +138,16 @@ class SparkContext:
             backends that support partition-batched closures use the batched
             fast path; when False every record goes through the per-record
             closures (the regression-harness baseline).
+        executor: a :class:`~repro.engine.exec.TaskExecutor`, an executor
+            name (``serial``/``threads``/``processes``), or None for serial.
+            Concurrent executors evaluate a stage's partitions in parallel
+            and commit their side effects in partition-index order, keeping
+            results, counters, byte totals, and trace-event multisets
+            identical to serial.  Spark's partition functions are closures,
+            which no pickle pipe can carry, so a ``processes`` executor runs
+            stages on its thread-pool sibling (``closure_executor()``); the
+            dispatch events carry a ``fallback_from`` marker.
+        workers: worker count when ``executor`` is given by name.
     """
 
     def __init__(
@@ -113,6 +159,8 @@ class SparkContext:
         seed: int = 0,
         enable_batch: bool = True,
         faults: FaultInjector | None = None,
+        executor: TaskExecutor | str | None = None,
+        workers: int | None = None,
     ):
         if not 0.0 <= failure_rate < 1.0:
             raise InvalidPlanError(f"failure_rate must be in [0, 1), got {failure_rate}")
@@ -136,6 +184,13 @@ class SparkContext:
         self._put_journal: list[tuple[int, int]] | None = None
         self._recompute_seconds = 0.0
         self._recompute_depth = 0
+        self.executor = resolve_executor(executor, workers)
+        # Concurrent task attempts register a _TaskScope here; driver-side
+        # code (and the serial path) sees no scope and uses the fields above.
+        self._task_local = threading.local()
+
+    def _active_scope(self) -> _TaskScope | None:
+        return getattr(self._task_local, "scope", None)
 
     # -- RDD creation ----------------------------------------------------
 
@@ -240,14 +295,43 @@ class SparkContext:
         recovery_seconds = []
         task_retries = []
         try:
-            for split in range(rdd.num_partitions):
-                result, seconds, recovery, retries = self._attempt_partition(
-                    rdd, split, partition_fn, stats
+            if self.executor.serial:
+                for split in range(rdd.num_partitions):
+                    result, seconds, recovery, retries = self._attempt_partition(
+                        rdd, split, partition_fn, stats
+                    )
+                    results.append(result)
+                    task_seconds.append(seconds)
+                    recovery_seconds.append(recovery)
+                    task_retries.append(retries)
+            else:
+                # Fault decisions precomputed per partition in index order
+                # (the serial loop's draw order); pure scoped execution on
+                # the executor; side effects committed in index order below.
+                plans = [
+                    self.faults.plan_task(
+                        FaultSite("spark", name, "task", split, 0),
+                        self.max_task_attempts,
+                    )
+                    for split in range(rdd.num_partitions)
+                ]
+
+                def run_one(split: int) -> list[_ScopedAttempt]:
+                    return self._execute_partition_scoped(
+                        rdd, split, partition_fn, name, plans[split]
+                    )
+
+                attempt_lists = self.executor.closure_executor().run_tasks(
+                    run_one, list(range(rdd.num_partitions)), label=name
                 )
-                results.append(result)
-                task_seconds.append(seconds)
-                recovery_seconds.append(recovery)
-                task_retries.append(retries)
+                for split, attempts in enumerate(attempt_lists):
+                    result, seconds, recovery, retries = (
+                        self._commit_scoped_attempts(attempts, stats, split)
+                    )
+                    results.append(result)
+                    task_seconds.append(seconds)
+                    recovery_seconds.append(recovery)
+                    task_retries.append(retries)
         finally:
             self._stage_stats = previous
         result_bytes = sizeof(results)
@@ -284,6 +368,7 @@ class SparkContext:
                     task_id=p.task_id, slot=p.slot, start=p.start,
                     duration=p.duration, retries=task_retries[p.task_id],
                     speculative_kill=capped[p.task_id] < task_seconds[p.task_id],
+                    wall_seconds=task_seconds[p.task_id],
                 )
                 for p in schedule
             ]
@@ -379,6 +464,99 @@ class SparkContext:
             f"{self.max_task_attempts} times"
         )
 
+    # -- concurrent stage execution ---------------------------------------
+
+    def _execute_partition_scoped(
+        self, rdd, split: int, partition_fn, job_name: str, plan
+    ) -> list[_ScopedAttempt]:
+        """Run one partition's retry loop under task scopes (executor side).
+
+        Pure with respect to driver state: every observable lands in the
+        attempt's :class:`_TaskScope` and is committed by the driver in
+        partition-index order.
+        """
+        tracer = get_tracer()
+        attempts: list[_ScopedAttempt] = []
+        for attempt, (factor, label) in enumerate(plan, 1):
+            scope = _TaskScope(stats=JobStats(name=job_name))
+            self._task_local.scope = scope
+            started = time.perf_counter()
+            try:
+                data = rdd._iterator(split, scope.stats)
+                result = partition_fn(data)
+            finally:
+                self._task_local.scope = None
+            elapsed = time.perf_counter() - started
+            if factor != 1.0:
+                elapsed *= factor
+                scope.fault_labels.append("straggler")
+                if tracer.enabled:
+                    scope.events.append((
+                        "fault_injected",
+                        dict(fault="straggler", job=job_name, kind="task",
+                             task=split, attempt=attempt, factor=factor),
+                    ))
+            recompute = min(scope.recompute_seconds, elapsed)
+            if label is None:
+                attempts.append(
+                    _ScopedAttempt(scope, elapsed, recompute, None, result)
+                )
+                return attempts
+            scope.fault_labels.append(label)
+            if tracer.enabled:
+                scope.events.append((
+                    "fault_injected",
+                    dict(fault=label, job=job_name, kind="task",
+                         task=split, attempt=attempt),
+                ))
+            attempts.append(_ScopedAttempt(scope, elapsed, recompute, label, None))
+        return attempts
+
+    def _commit_scoped_attempts(
+        self, attempts: list[_ScopedAttempt], stats: JobStats, split: int
+    ) -> tuple[Any, float, float, int]:
+        """Apply one task's scoped attempts to driver state, in order.
+
+        Mirrors the serial :meth:`_attempt_partition` effect-for-effect: a
+        failed attempt's cache puts are applied then evicted (the same
+        put/evict churn and trace events the serial rollback produced), its
+        time becomes recovery time; the successful attempt commits its puts
+        and staged accumulator updates.
+        """
+        tracer = get_tracer()
+        recovery_seconds = 0.0
+        for retries, outcome in enumerate(attempts):
+            scope = outcome.scope
+            if tracer.enabled:
+                for event_type, attrs in scope.events:
+                    tracer.event(event_type, **attrs)
+            for label in scope.fault_labels:
+                stats.count_fault(label)
+            stats.hdfs_read_bytes += scope.stats.hdfs_read_bytes
+            stats.shuffle_bytes += scope.stats.shuffle_bytes
+            for rdd_id, put_split, data, nbytes in scope.puts:
+                self.block_manager.put(rdd_id, put_split, data, nbytes)
+            if outcome.label is None:
+                for accumulator, update in scope.pending_updates:
+                    accumulator._apply(update)
+                recovery_seconds += outcome.recompute
+                return (
+                    outcome.result,
+                    outcome.elapsed - outcome.recompute,
+                    recovery_seconds,
+                    retries,
+                )
+            for rdd_id, put_split, _data, _nbytes in scope.puts:
+                self.block_manager.evict_matching(
+                    lambda key, k=(rdd_id, put_split): key == k
+                )
+            stats.task_retries += 1
+            recovery_seconds += outcome.elapsed
+        raise JobFailedError(
+            f"stage {stats.name!r}: partition {split} failed "
+            f"{self.max_task_attempts} times"
+        )
+
     def _apply_stage_directives(self, directives, stats: JobStats) -> None:
         """Apply stage-start fault directives (executor loss, driver cap)."""
         for executor in directives.executor_losses:
@@ -423,6 +601,10 @@ class SparkContext:
 
     def _stage_accumulator_update(self, accumulator: Accumulator, update: Any) -> bool:
         """Buffer an in-task accumulator update; False when no task runs."""
+        scope = self._active_scope()
+        if scope is not None:
+            scope.pending_updates.append((accumulator, update))
+            return True
         if self._pending_updates is None:
             return False
         self._pending_updates.append((accumulator, update))

@@ -13,6 +13,7 @@ again from its ancestry.
 
 from __future__ import annotations
 
+import threading
 import time
 import zlib
 from typing import TYPE_CHECKING, Any, Callable, Iterable
@@ -26,7 +27,10 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
 
 
 def _hash_partition(key: Any, num_partitions: int) -> int:
-    return zlib.crc32(repr(key).encode()) % num_partitions
+    # The ``& 0xFFFFFFFF`` pins crc32 to its unsigned 32-bit value so a
+    # signed implementation reachable through a shim can never flip
+    # partition assignments (see the pinned regression test).
+    return (zlib.crc32(repr(key).encode()) & 0xFFFFFFFF) % num_partitions
 
 
 class _PartitionCache:
@@ -45,7 +49,9 @@ class _PartitionCache:
         key_repr = repr(key)
         partition = self._cache.get(key_repr)
         if partition is None:
-            partition = zlib.crc32(key_repr.encode()) % self.num_partitions
+            partition = (
+                zlib.crc32(key_repr.encode()) & 0xFFFFFFFF
+            ) % self.num_partitions
             self._cache[key_repr] = partition
         return partition
 
@@ -77,45 +83,87 @@ class RDD:
     # -- lineage evaluation -------------------------------------------------
 
     def _iterator(self, split: int, stats=None) -> list:
-        """Materialize one partition, honouring the cache."""
+        """Materialize one partition, honouring the cache.
+
+        When a concurrent task scope is active (``ctx._active_scope()``),
+        cache puts are deferred into the scope (with a local overlay so the
+        task sees its own puts), trace events are buffered for ordered
+        commit, and the lineage-recompute clock is per-scope -- concurrent
+        attempts never touch shared driver state.
+        """
+        ctx = self.context
+        scope = ctx._active_scope()
+        tracer = get_tracer()
         if self._cached:
-            block = self.context.block_manager.get(self.rdd_id, split)
+            if scope is not None:
+                local = scope.overlay.get((self.rdd_id, split))
+                if local is not None:
+                    data, nbytes = local
+                    if tracer.enabled:
+                        scope.events.append((
+                            "cache_hit",
+                            dict(rdd_id=self.rdd_id, split=split,
+                                 bytes=nbytes, on_disk=False),
+                        ))
+                    return data
+            block = ctx.block_manager.get(self.rdd_id, split)
             if block is not None:
                 if block.on_disk and stats is not None:
                     stats.hdfs_read_bytes += block.nbytes
-                tracer = get_tracer()
                 if tracer.enabled:
-                    tracer.event(
-                        "cache_hit",
-                        rdd_id=self.rdd_id,
-                        split=split,
-                        bytes=block.nbytes,
-                        on_disk=block.on_disk,
+                    attrs = dict(
+                        rdd_id=self.rdd_id, split=split,
+                        bytes=block.nbytes, on_disk=block.on_disk,
                     )
+                    if scope is not None:
+                        scope.events.append(("cache_hit", attrs))
+                    else:
+                        tracer.event("cache_hit", **attrs)
                 return block.data
-        ctx = self.context
         key = (self.rdd_id, split)
         was_lost = self._cached and key in ctx._lost_blocks
         # Only the outermost lost block charges its recompute time: a lost
         # parent recomputed inside it is part of the same recovery work.
-        charge = was_lost and ctx._recompute_depth == 0
+        depth = scope.recompute_depth if scope is not None else ctx._recompute_depth
+        charge = was_lost and depth == 0
         if was_lost:
-            ctx._recompute_depth += 1
+            if scope is not None:
+                scope.recompute_depth += 1
+            else:
+                ctx._recompute_depth += 1
         started = time.perf_counter()
         try:
             data = self._compute(split, stats)
         finally:
             if was_lost:
-                ctx._recompute_depth -= 1
+                if scope is not None:
+                    scope.recompute_depth -= 1
+                else:
+                    ctx._recompute_depth -= 1
                 ctx._lost_blocks.discard(key)
         if charge:
-            ctx._recompute_seconds += time.perf_counter() - started
-            tracer = get_tracer()
-            if tracer.enabled:
-                tracer.event("lineage_recompute", rdd_id=self.rdd_id, split=split)
+            elapsed = time.perf_counter() - started
+            if scope is not None:
+                scope.recompute_seconds += elapsed
+                if tracer.enabled:
+                    scope.events.append((
+                        "lineage_recompute",
+                        dict(rdd_id=self.rdd_id, split=split),
+                    ))
+            else:
+                ctx._recompute_seconds += elapsed
+                if tracer.enabled:
+                    tracer.event(
+                        "lineage_recompute", rdd_id=self.rdd_id, split=split
+                    )
         if self._cached:
-            ctx.block_manager.put(self.rdd_id, split, data, sizeof(data))
-            ctx._journal_put(self.rdd_id, split)
+            nbytes = sizeof(data)
+            if scope is not None:
+                scope.puts.append((self.rdd_id, split, data, nbytes))
+                scope.overlay[(self.rdd_id, split)] = (data, nbytes)
+            else:
+                ctx.block_manager.put(self.rdd_id, split, data, nbytes)
+                ctx._journal_put(self.rdd_id, split)
         return data
 
     # -- transformations (lazy) ----------------------------------------------
@@ -255,7 +303,7 @@ class RDD:
         """
         if num_partitions is None:
             num_partitions = self.num_partitions
-        state: dict[str, Any] = {"partitions": None}
+        state: dict[str, Any] = {"partitions": None, "lock": threading.Lock()}
 
         def materialize(stats):
             buckets: list[dict[Any, Any]] = [dict() for _ in range(num_partitions)]
@@ -282,8 +330,14 @@ class RDD:
             ]
 
         def compute(split, stats):
+            # Double-checked lock: the first task of a concurrent stage
+            # materializes the whole shuffle (charging its shuffle bytes to
+            # that task's stats, as the serial first-compute did); the rest
+            # reuse it.
             if state["partitions"] is None:
-                materialize(stats)
+                with state["lock"]:
+                    if state["partitions"] is None:
+                        materialize(stats)
             return list(state["partitions"][split])
 
         return RDD(self.context, num_partitions, compute, parents=(self,))
@@ -296,7 +350,7 @@ class RDD:
 
     def sort_by(self, key_fn: Callable[[Any], Any], ascending: bool = True) -> "RDD":
         """Total sort (collect-based range partitioning simplification)."""
-        state: dict[str, Any] = {"partitions": None}
+        state: dict[str, Any] = {"partitions": None, "lock": threading.Lock()}
         num_partitions = self.num_partitions
 
         def materialize(stats):
@@ -316,7 +370,9 @@ class RDD:
 
         def compute(split, stats):
             if state["partitions"] is None:
-                materialize(stats)
+                with state["lock"]:
+                    if state["partitions"] is None:
+                        materialize(stats)
             return list(state["partitions"][split])
 
         return RDD(self.context, num_partitions, compute, parents=(self,))

@@ -83,6 +83,35 @@ class FaultInjector:
         """Multiplier applied to the attempt's measured compute seconds."""
         return 1.0
 
+    def plan_task(
+        self, site: FaultSite, max_attempts: int
+    ) -> list[tuple[float, str | None]]:
+        """Precompute this task's injection decisions for every attempt.
+
+        Returns one ``(time_factor, fail_label)`` entry per attempt, ending
+        either with the first successful attempt (label ``None``) or after
+        ``max_attempts`` failures.  The hooks are consulted in exactly the
+        order a serial retry loop consults them -- ``time_factor`` then
+        ``fail``, attempt by attempt, and callers plan tasks in ascending
+        task-index order -- so :class:`RandomFaults` consumes the identical
+        generator stream and concurrent executors replay the identical fault
+        sequence.  (:class:`PlannedFaults` is stateless inside a job, so its
+        plans are order-independent outright.)
+
+        ``site.attempt`` is ignored; the per-attempt sites are derived here.
+        """
+        plan: list[tuple[float, str | None]] = []
+        for attempt in range(1, max_attempts + 1):
+            attempt_site = FaultSite(
+                site.engine, site.job, site.kind, site.task_id, attempt
+            )
+            factor = self.time_factor(attempt_site)
+            label = self.fail(attempt_site)
+            plan.append((factor, label))
+            if label is None:
+                break
+        return plan
+
 
 class RandomFaults(FaultInjector):
     """The historical i.i.d. coin-flip failure model, now as a plan.

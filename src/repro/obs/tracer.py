@@ -66,6 +66,8 @@ EVENT_TYPES = (
     "backoff_wait",
     "checkpoint_write",
     "checkpoint_restore",
+    "executor_dispatch",
+    "executor_join",
 )
 
 
@@ -135,6 +137,8 @@ class TaskTrace:
 
     ``start`` is the simulated offset from its phase start; ``slot`` is the
     execution slot (core) the scheduler placed the task on.
+    ``wall_seconds`` is the measured driver wall time of the task's compute
+    (before cost-model scaling); 0.0 when the engine did not measure it.
     """
 
     task_id: int
@@ -143,6 +147,7 @@ class TaskTrace:
     duration: float
     retries: int = 0
     speculative_kill: bool = False
+    wall_seconds: float = 0.0
 
 
 @dataclass
@@ -346,6 +351,8 @@ class Tracer:
                     track=task.slot,
                     attrs={"task_id": task.task_id, "retries": task.retries},
                 )
+                if task.wall_seconds:
+                    task_span.attrs["wall_s"] = task.wall_seconds
                 self.spans.append(task_span)
                 if task.retries:
                     self.events.append(

@@ -43,15 +43,19 @@ def data():
     return rng.normal(size=(60, 10)) @ rng.normal(size=(10, 10))
 
 
-def make_backend(name, plan=None):
+def make_backend(name, plan=None, executor=None):
     faults = PlannedFaults(plan) if plan is not None else None
     if name == "mapreduce":
         return MapReduceBackend(
-            CONFIG, runtime=MapReduceRuntime(cluster=CLUSTER, faults=faults)
+            CONFIG,
+            runtime=MapReduceRuntime(
+                cluster=CLUSTER, faults=faults, executor=executor
+            ),
         )
     if name == "spark":
         return SparkBackend(
-            CONFIG, context=SparkContext(cluster=CLUSTER, faults=faults)
+            CONFIG,
+            context=SparkContext(cluster=CLUSTER, faults=faults, executor=executor),
         )
     return SequentialBackend(CONFIG)
 
@@ -115,6 +119,40 @@ class TestKillAndResume:
         assert np.array_equal(ckpt_model.components, plain_model.components)
         assert ckpt_model.noise_variance == plain_model.noise_variance
         assert history_tuples(ckpt_history) == history_tuples(plain_history)
+
+
+@pytest.mark.parametrize(
+    "backend_name,executor_name",
+    [("mapreduce", "processes"), ("mapreduce", "threads"), ("spark", "threads")],
+)
+class TestKillAndResumeUnderExecutors:
+    """Executor x faults x checkpoint: the full recovery path, concurrent.
+
+    A run under a concurrent executor is killed mid-fit by an unrecoverable
+    fault plan, leaves the same checkpoints behind as a serial kill, and a
+    concurrent resume reaches the bit-identical model of a clean serial fit.
+    """
+
+    def test_killed_concurrent_run_resumes_bit_identical(
+        self, backend_name, executor_name, data
+    ):
+        from repro.engine.exec import make_executor
+
+        clean_model, clean_history = SPCA(CONFIG, make_backend(backend_name)).fit(data)
+        with make_executor(executor_name, workers=2) as executor:
+            store = HDFSCheckpointStore(InMemoryHDFS())
+            killed = make_backend(backend_name, kill_plan(2), executor=executor)
+            with pytest.raises(JobFailedError):
+                SPCA(CONFIG, killed).fit(data, checkpoint=store)
+            assert store.iterations() == [1, 2]
+            model, history = SPCA(
+                CONFIG, make_backend(backend_name, executor=executor)
+            ).resume(data, store)
+        assert np.array_equal(model.components, clean_model.components)
+        assert np.array_equal(model.mean, clean_model.mean)
+        assert model.noise_variance == clean_model.noise_variance
+        assert history_tuples(history) == history_tuples(clean_history)
+        assert history.stop_reason == clean_history.stop_reason
 
 
 class TestStores:

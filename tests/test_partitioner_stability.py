@@ -1,0 +1,96 @@
+"""Pinned partition assignments for both engines' crc32 partitioners.
+
+Shuffle routing must never drift: checkpointed runs resume against shuffles
+produced by earlier processes, the equivalence properties compare byte
+accounting across executors, and the paper's communication numbers depend on
+which reducer each key lands on.  These tests pin the exact crc32 values and
+bucket assignments for the key shapes the sPCA jobs actually emit, so any
+change to the hash (a different digest, a missing ``& 0xFFFFFFFF`` unsigned
+mask, a repr change) fails loudly instead of silently re-routing records.
+"""
+
+import zlib
+
+from repro.engine.mapreduce.runtime import _partition_of, _partition_pairs
+from repro.engine.spark.rdd import _hash_partition, _PartitionCache
+
+# crc32(repr(key)) & 0xFFFFFFFF for the keys sPCA shuffles actually carry:
+# named matrix blocks, string stats keys, integer row-block ids, and a
+# composite tuple key.  Computed once and pinned.
+PINNED_CRC32 = {
+    "YtX": 2270619290,
+    "XtX": 1072333311,
+    "mean/sums": 3296415089,
+    "fnorm": 783288045,
+    "ss3": 3416198441,
+    0: 4108050209,
+    1: 2212294583,
+    2: 450215437,
+    7: 1790921346,
+    41: 2871910706,
+    (3, "block"): 2102945938,
+    -1: 808273962,
+}
+
+# The bucket each key maps to for representative reducer counts.
+PINNED_BUCKETS = {
+    2: {"YtX": 0, "XtX": 1, "mean/sums": 1, "fnorm": 1, "ss3": 1,
+        0: 1, 1: 1, 2: 1, 7: 0, 41: 0, (3, "block"): 0, -1: 0},
+    3: {"YtX": 2, "XtX": 0, "mean/sums": 2, "fnorm": 0, "ss3": 2,
+        0: 2, 1: 2, 2: 1, 7: 0, 41: 2, (3, "block"): 1, -1: 0},
+    5: {"YtX": 0, "XtX": 1, "mean/sums": 4, "fnorm": 0, "ss3": 1,
+        0: 4, 1: 3, 2: 2, 7: 1, 41: 1, (3, "block"): 3, -1: 2},
+    8: {"YtX": 2, "XtX": 7, "mean/sums": 1, "fnorm": 5, "ss3": 1,
+        0: 1, 1: 7, 2: 5, 7: 2, 41: 2, (3, "block"): 2, -1: 2},
+}
+
+
+def test_crc32_values_are_unsigned_and_pinned():
+    for key, expected in PINNED_CRC32.items():
+        value = zlib.crc32(repr(key).encode()) & 0xFFFFFFFF
+        assert value == expected, key
+        assert 0 <= value <= 0xFFFFFFFF
+
+
+def test_mapreduce_partition_of_pinned():
+    for n, buckets in PINNED_BUCKETS.items():
+        for key, expected in buckets.items():
+            assert _partition_of(key, n) == expected, (key, n)
+
+
+def test_spark_hash_partition_pinned():
+    for n, buckets in PINNED_BUCKETS.items():
+        for key, expected in buckets.items():
+            assert _hash_partition(key, n) == expected, (key, n)
+
+
+def test_engines_agree_on_every_key():
+    # Both engines share one routing function in spirit; keep it literal.
+    for n in (1, 2, 3, 4, 5, 7, 8, 16):
+        for key in PINNED_CRC32:
+            assert _partition_of(key, n) == _hash_partition(key, n), (key, n)
+
+
+def test_partition_pairs_matches_partition_of():
+    pairs = [(key, i) for i, key in enumerate(PINNED_CRC32)] * 3
+    for n in (2, 3, 5):
+        buckets = _partition_pairs(pairs, n)
+        assert sum(len(b) for b in buckets) == len(pairs)
+        for partition, bucket in enumerate(buckets):
+            for key, _ in bucket:
+                assert _partition_of(key, n) == partition, (key, n)
+
+
+def test_partition_cache_matches_hash_partition():
+    for n in (2, 3, 5):
+        cache = _PartitionCache(n)
+        for key in PINNED_CRC32:
+            assert cache(key) == _hash_partition(key, n) == cache(key), (key, n)
+
+
+def test_mask_guards_signed_crc32():
+    # If an implementation ever returned the signed 32-bit value, the mask
+    # must still recover the same unsigned routing.
+    for key, unsigned in PINNED_CRC32.items():
+        signed = unsigned - 0x100000000 if unsigned >= 0x80000000 else unsigned
+        assert signed & 0xFFFFFFFF == unsigned, key
