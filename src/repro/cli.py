@@ -164,6 +164,18 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("paths", nargs="*", default=["src/repro"])
     lint.add_argument("--select", help="comma-separated rule codes to run")
     lint.add_argument("--list-rules", action="store_true")
+    lint.add_argument(
+        "--format", choices=("text", "json", "github"), default="text",
+        help="report format (json for machines, github for CI annotations)",
+    )
+    lint.add_argument(
+        "--racecheck", action="store_true",
+        help="also run the dynamic race detector over a small sPCA fit",
+    )
+    lint.add_argument(
+        "--racecheck-executor", choices=("threads", "processes"),
+        default="threads",
+    )
     lint.add_argument("-q", "--quiet", action="store_true")
 
     for fitting in (fit, bench):
@@ -498,6 +510,10 @@ def _cmd_lint(args) -> int:
         argv += ["--select", args.select]
     if args.list_rules:
         argv.append("--list-rules")
+    if args.format != "text":
+        argv += ["--format", args.format]
+    if args.racecheck:
+        argv += ["--racecheck", "--racecheck-executor", args.racecheck_executor]
     if args.quiet:
         argv.append("--quiet")
     return lint_cli.main(argv)

@@ -97,6 +97,10 @@ class ShmBlockRegistry:
         # id(source array) -> (weakref, segment name): one copy per distinct
         # live array, exactly the identity-memoization scheme of sizeof().
         self._by_array: dict[int, tuple[weakref.ref, str]] = {}
+        # Monotonic count of share_array calls; the process executor compares
+        # it across a batch to learn whether any payload rode shared memory
+        # (and therefore whether the sizeof memo must be cleared at commit).
+        self.requests = 0
         atexit.register(self.unlink_all)
 
     # -- sharing ---------------------------------------------------------
@@ -105,22 +109,37 @@ class ShmBlockRegistry:
         """Copy *array* into shared memory (memoized) and return its ref."""
         key = id(array)
         with self._lock:
+            self.requests += 1
             entry = self._by_array.get(key)
             if entry is not None and entry[0]() is array:
                 name = entry[1]
                 return ShmArrayRef(name, array.shape, array.dtype.str)
         contiguous = np.ascontiguousarray(array)
         segment = shared_memory.SharedMemory(create=True, size=max(1, contiguous.nbytes))
-        view = np.ndarray(contiguous.shape, dtype=contiguous.dtype, buffer=segment.buf)
-        view[...] = contiguous
-        with self._lock:
-            self._segments[segment.name] = segment
+        try:
+            view = np.ndarray(
+                contiguous.shape, dtype=contiguous.dtype, buffer=segment.buf
+            )
+            view[...] = contiguous
+            with self._lock:
+                self._segments[segment.name] = segment
+                try:
+                    ref = weakref.ref(array)
+                    weakref.finalize(array, self._unlink_named, segment.name)
+                    self._by_array[key] = (ref, segment.name)
+                except TypeError:  # pragma: no cover - ndarrays are weakref-able
+                    pass
+        except BaseException:
+            # The fill or registration failed: the segment would otherwise
+            # outlive this call unreferenced and leak /dev/shm pages.
+            with self._lock:
+                self._segments.pop(segment.name, None)
+            segment.close()
             try:
-                ref = weakref.ref(array)
-                weakref.finalize(array, self._unlink_named, segment.name)
-                self._by_array[key] = (ref, segment.name)
-            except TypeError:  # pragma: no cover - ndarrays are weakref-able
+                segment.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
                 pass
+            raise
         return ShmArrayRef(segment.name, array.shape, array.dtype.str)
 
     # -- lifecycle -------------------------------------------------------

@@ -45,6 +45,17 @@ _CONTAINER_OVERHEAD = 8
 _MEMO_MAX_ENTRIES = 65536
 _memo: dict[int, tuple[weakref.ref, int]] = {}
 
+# Observability hook for the dynamic race detector (repro.lint.racecheck):
+# called as observer(id_key, size, hit) on every memo read/write so the
+# checker can watch the cache's shared state without slowing the fast path.
+_memo_observer: Callable[[int, int, bool], None] | None = None
+
+
+def set_sizeof_observer(observer: Callable[[int, int, bool], None] | None) -> None:
+    """Install (or clear, with None) the sizeof-memo access observer."""
+    global _memo_observer
+    _memo_observer = observer
+
 
 def clear_sizeof_cache() -> None:
     """Drop every memoized size (used by benchmarks to measure cold cost)."""
@@ -60,6 +71,8 @@ def _memoized(value: Any, compute: Callable[[Any], int]) -> int:
     key = id(value)
     entry = _memo.get(key)
     if entry is not None and entry[0]() is value:
+        if _memo_observer is not None:
+            _memo_observer(key, entry[1], True)
         return entry[1]
     size = compute(value)
     if len(_memo) >= _MEMO_MAX_ENTRIES:
@@ -69,6 +82,8 @@ def _memoized(value: Any, compute: Callable[[Any], int]) -> int:
     except TypeError:  # pragma: no cover - ndarray/sparse are weakref-able
         return size
     _memo[key] = (ref, size)
+    if _memo_observer is not None:
+        _memo_observer(key, size, False)
     return size
 
 

@@ -103,6 +103,11 @@ class _TaskScope:
     puts: list[tuple[int, int, list, int]] = field(default_factory=list)
     overlay: dict[tuple[int, int], tuple[list, int]] = field(default_factory=dict)
     pending_updates: list[tuple["Accumulator", Any]] = field(default_factory=list)
+    # Lost cached blocks this task recomputed: staged here (shared across
+    # the task's retry attempts) instead of discarded from the context's
+    # shared set mid-flight, which would race with sibling tasks reading it.
+    # The driver applies the discards at commit.
+    lost_discards: set[tuple[int, int]] = field(default_factory=set)
     recompute_seconds: float = 0.0
     recompute_depth: int = 0
 
@@ -477,8 +482,14 @@ class SparkContext:
         """
         tracer = get_tracer()
         attempts: list[_ScopedAttempt] = []
+        # One discard set for the whole retry loop: a block recomputed by a
+        # failed attempt is no longer "lost" for the retry, exactly as the
+        # serial loop's immediate discard behaved.
+        lost_discards: set[tuple[int, int]] = set()
         for attempt, (factor, label) in enumerate(plan, 1):
-            scope = _TaskScope(stats=JobStats(name=job_name))
+            scope = _TaskScope(
+                stats=JobStats(name=job_name), lost_discards=lost_discards
+            )
             self._task_local.scope = scope
             started = time.perf_counter()
             try:
@@ -527,6 +538,8 @@ class SparkContext:
         recovery_seconds = 0.0
         for retries, outcome in enumerate(attempts):
             scope = outcome.scope
+            # Idempotent: every attempt of the task shares one discard set.
+            self._lost_blocks.difference_update(scope.lost_discards)
             if tracer.enabled:
                 for event_type, attrs in scope.events:
                     tracer.event(event_type, **attrs)

@@ -121,7 +121,16 @@ class RDD:
                         tracer.event("cache_hit", **attrs)
                 return block.data
         key = (self.rdd_id, split)
-        was_lost = self._cached and key in ctx._lost_blocks
+        # Under a concurrent scope the shared lost-block set is read-only:
+        # recomputed keys are staged in the scope and discarded by the
+        # driver at commit, so a sibling task never observes a mid-flight
+        # mutation.  The scope's own discards mask the shared set, keeping
+        # the retry loop's view identical to the serial immediate discard.
+        was_lost = (
+            self._cached
+            and (scope is None or key not in scope.lost_discards)
+            and key in ctx._lost_blocks
+        )
         # Only the outermost lost block charges its recompute time: a lost
         # parent recomputed inside it is part of the same recovery work.
         depth = scope.recompute_depth if scope is not None else ctx._recompute_depth
@@ -138,9 +147,10 @@ class RDD:
             if was_lost:
                 if scope is not None:
                     scope.recompute_depth -= 1
+                    scope.lost_discards.add(key)
                 else:
                     ctx._recompute_depth -= 1
-                ctx._lost_blocks.discard(key)
+                    ctx._lost_blocks.discard(key)
         if charge:
             elapsed = time.perf_counter() - started
             if scope is not None:

@@ -9,7 +9,12 @@ makes those patterns mechanically checkable:
 - :mod:`repro.lint.contracts` -- ``@contract`` runtime shape/kind checking
   for every distributed kernel, off by default, enabled in tests;
 - :mod:`repro.lint.algebra` -- dynamic commutativity/associativity
-  verification for registered combiners (the runtime half of DF002).
+  verification for registered combiners (the runtime half of DF002);
+- :mod:`repro.lint.exec_visitors` -- AST rules EX001-EX005 over executor
+  task code (purity, picklability, shm lifetime, determinism);
+- :mod:`repro.lint.racecheck` -- the dynamic race detector for the
+  execute/commit protocol (an instrumented shadow executor building a
+  happens-before relation over driver-visible state).
 """
 
 from __future__ import annotations
@@ -17,20 +22,41 @@ from __future__ import annotations
 from repro.lint import contracts
 from repro.lint.analyzer import iter_python_files, lint_paths, lint_source
 from repro.lint.contracts import Spec, contract, parse_spec
-from repro.lint.findings import Finding, format_findings
+from repro.lint.findings import (
+    Finding,
+    format_findings,
+    format_findings_github,
+    format_findings_json,
+)
+from repro.lint.racecheck import (
+    RaceChecker,
+    RaceCheckExecutor,
+    RaceConflict,
+    RaceRecorder,
+    RaceReport,
+    run_spca_racecheck,
+)
 from repro.lint.rules import RULES, Rule, get_rule
 
 __all__ = [
     "RULES",
     "Finding",
+    "RaceCheckExecutor",
+    "RaceChecker",
+    "RaceConflict",
+    "RaceRecorder",
+    "RaceReport",
     "Rule",
     "Spec",
     "contract",
     "contracts",
     "format_findings",
+    "format_findings_github",
+    "format_findings_json",
     "get_rule",
     "iter_python_files",
     "lint_paths",
     "lint_source",
     "parse_spec",
+    "run_spca_racecheck",
 ]

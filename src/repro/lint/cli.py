@@ -13,8 +13,18 @@ import argparse
 import sys
 
 from repro.lint.analyzer import lint_paths
-from repro.lint.findings import format_findings
+from repro.lint.findings import (
+    format_findings,
+    format_findings_github,
+    format_findings_json,
+)
 from repro.lint.rules import RULES
+
+_FORMATTERS = {
+    "text": format_findings,
+    "json": format_findings_json,
+    "github": format_findings_github,
+}
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -40,6 +50,30 @@ def build_parser() -> argparse.ArgumentParser:
         "--list-rules",
         action="store_true",
         help="describe every rule and exit",
+    )
+    parser.add_argument(
+        "--format",
+        choices=sorted(_FORMATTERS),
+        default="text",
+        help=(
+            "report format: text (default), json (machine-readable), or "
+            "github (Actions ::error annotations)"
+        ),
+    )
+    parser.add_argument(
+        "--racecheck",
+        action="store_true",
+        help=(
+            "also run the dynamic race detector: a small sPCA fit per engine "
+            "under an instrumented shadow executor, reporting cross-task "
+            "conflicts not ordered by a commit"
+        ),
+    )
+    parser.add_argument(
+        "--racecheck-executor",
+        choices=["threads", "processes"],
+        default="threads",
+        help="executor backend the racecheck harness shadows (default: threads)",
     )
     parser.add_argument(
         "-q",
@@ -78,12 +112,30 @@ def main(argv: list[str] | None = None) -> int:
     except FileNotFoundError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    if findings:
-        print(format_findings(findings))
-    if not args.quiet:
-        noun = "finding" if len(findings) == 1 else "findings"
-        print(f"repro-lint: {len(findings)} {noun}")
-    return 1 if findings else 0
+    races = 0
+    if args.racecheck:
+        from repro.lint.racecheck import run_spca_racecheck
+
+        reports = run_spca_racecheck(executor_name=args.racecheck_executor)
+        for report in reports:
+            for conflict in report.conflicts:
+                races += 1
+                print(conflict.render())
+        if not args.quiet:
+            noun = "conflict" if races == 1 else "conflicts"
+            print(
+                f"repro-lint racecheck[{args.racecheck_executor}]: "
+                f"{races} {noun} across {len(reports)} runs"
+            )
+    if args.format == "json":
+        print(format_findings_json(findings))
+    else:
+        if findings:
+            print(_FORMATTERS[args.format](findings))
+        if not args.quiet and args.format == "text":
+            noun = "finding" if len(findings) == 1 else "findings"
+            print(f"repro-lint: {len(findings)} {noun}")
+    return 1 if (findings or races) else 0
 
 
 if __name__ == "__main__":

@@ -14,6 +14,7 @@ instead of line by line.
 from __future__ import annotations
 
 import ast
+import json
 import re
 from dataclasses import dataclass, field
 
@@ -32,6 +33,16 @@ class Finding:
 
     def render(self) -> str:
         return f"{self.path}:{self.line}:{self.col + 1}: {self.code} {self.message}"
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-ready mapping; column is 1-based to match ``render``."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col + 1,
+            "code": self.code,
+            "message": self.message,
+        }
 
 
 @dataclass
@@ -90,3 +101,40 @@ def collect_suppressions(source: str, tree: ast.Module) -> Suppressions:
 def format_findings(findings: list[Finding]) -> str:
     """Human-readable report, one finding per line, sorted by location."""
     return "\n".join(finding.render() for finding in sorted(findings))
+
+
+def format_findings_json(findings: list[Finding]) -> str:
+    """Machine-readable report: a JSON document with findings and a count."""
+    payload = {
+        "findings": [finding.to_dict() for finding in sorted(findings)],
+        "count": len(findings),
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def _github_escape(text: str, *, property_value: bool = False) -> str:
+    """Escape per GitHub's workflow-command data/property encoding rules."""
+    escaped = text.replace("%", "%25").replace("\r", "%0D").replace("\n", "%0A")
+    if property_value:
+        escaped = escaped.replace(":", "%3A").replace(",", "%2C")
+    return escaped
+
+
+def format_findings_github(findings: list[Finding]) -> str:
+    """GitHub Actions annotations: one ``::error`` workflow command per finding.
+
+    Emitted to stdout inside a workflow step, these surface as inline PR
+    annotations at the offending file/line.
+    """
+    lines = []
+    for finding in sorted(findings):
+        lines.append(
+            "::error file={file},line={line},col={col},title={title}::{message}".format(
+                file=_github_escape(finding.path, property_value=True),
+                line=finding.line,
+                col=finding.col + 1,
+                title=_github_escape(f"repro-lint {finding.code}", property_value=True),
+                message=_github_escape(f"{finding.code} {finding.message}"),
+            )
+        )
+    return "\n".join(lines)

@@ -3,6 +3,12 @@
 Load it with ``-p repro.lint.pytest_plugin`` or from a rootdir conftest; the
 repo's own ``tests/conftest.py`` enables the same fixture inline, so the
 tier-1 suite always exercises the kernels with their contracts armed.
+
+Also provides the ``race_checker`` fixture: a factory that instruments an
+engine (SparkContext or MapReduceRuntime) with the dynamic race detector for
+the duration of a ``with`` block and asserts every checked run was
+conflict-free at teardown.  Tests that *expect* conflicts (synthetic races)
+should construct :class:`~repro.lint.racecheck.RaceChecker` directly.
 """
 
 from __future__ import annotations
@@ -17,6 +23,36 @@ def repro_runtime_contracts():
     """Enable runtime contract checking for the whole test session."""
     with contracts.checked():
         yield
+
+
+@pytest.fixture
+def race_checker():
+    """Factory: ``checker = race_checker(engine)`` -> active RaceChecker.
+
+    Usage::
+
+        def test_my_stage(race_checker):
+            ctx = SparkContext(executor="threads")
+            with race_checker(ctx) as checker:
+                run_my_stage(ctx)
+            assert checker.report().clean
+
+    Checkers left unexamined are verified clean at teardown, so simply
+    wrapping a run in the fixture is itself an assertion.
+    """
+    from repro.lint.racecheck import RaceChecker
+
+    created: list[RaceChecker] = []
+
+    def make(engine, label: str = "test") -> RaceChecker:
+        checker = RaceChecker(engine, label=label)
+        created.append(checker)
+        return checker
+
+    yield make
+    for checker in created:
+        report = checker.report()
+        assert report.clean, [conflict.render() for conflict in report.conflicts]
 
 
 def pytest_report_header(config):  # pragma: no cover - cosmetic

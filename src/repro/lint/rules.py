@@ -105,8 +105,83 @@ CT001 = Rule(
     ),
 )
 
+EX001 = Rule(
+    code="EX001",
+    name="task-mutates-driver-state",
+    summary="task function handed to an executor mutates shared driver state",
+    paper_ref="Section 4.2 (determinism-by-construction job design)",
+    rationale=(
+        "A function dispatched through TaskExecutor.run_tasks runs "
+        "concurrently with its siblings; mutating driver-scope state from "
+        "inside it races with other tasks and with the commit loop, breaking "
+        "the bit-identical-to-serial guarantee of the execute/commit split. "
+        "Return pure outcome records and let the driver commit them in "
+        "task-index order."
+    ),
+)
+
+EX002 = Rule(
+    code="EX002",
+    name="unpicklable-task-closure",
+    summary="closure or lambda task function reaches the process executor directly",
+    paper_ref="Section 4.3 (tasks ship code by reference, data by broadcast)",
+    rationale=(
+        "A lambda or locally-defined task function cannot cross a "
+        "ProcessPoolExecutor's pickle pipe: the processes backend silently "
+        "falls back to in-process execution, defeating multi-core dispatch. "
+        "Define the task body at module level, or route closure stages "
+        "through executor.closure_executor() so the fallback is explicit."
+    ),
+)
+
+EX003 = Rule(
+    code="EX003",
+    name="side-effect-outside-commit",
+    summary="cache put / counter / trace / metrics side effect performed inside a task",
+    paper_ref="Section 4.2 (accumulators stage updates per task attempt)",
+    rationale=(
+        "Counters, cache puts, accumulator merges, metrics records, and "
+        "trace events must be buffered in the task's scope and replayed by "
+        "the driver in task-index order; emitting them directly from a "
+        "concurrently-executing task interleaves them nondeterministically "
+        "and double-applies them under retry."
+    ),
+)
+
+EX004 = Rule(
+    code="EX004",
+    name="shm-segment-lifetime",
+    summary="shared-memory segment created or attached without lifecycle pairing",
+    paper_ref="Section 4.3 (one copy per node: zero-copy block transport)",
+    rationale=(
+        "A SharedMemory segment created without a registry store, finalizer, "
+        "or unlink leaks a file descriptor and /dev/shm pages past the fit; "
+        "an attach without a resource_tracker unregister lets a worker's "
+        "exit destroy segments the driver still owns."
+    ),
+)
+
+EX005 = Rule(
+    code="EX005",
+    name="nondeterministic-task",
+    summary="wall-clock, unseeded RNG, salted hash, or set-ordering inside task/kernel code",
+    paper_ref="Section 4.1 (partial aggregation must be order-insensitive)",
+    rationale=(
+        "Task functions and kernels must be deterministic functions of their "
+        "payloads: wall-clock reads, unseeded random sources, the salted "
+        "built-in hash(), and set-iteration order all vary across runs, "
+        "workers, and retries, so reductions built on them are not "
+        "reproducible.  Non-associative float accumulation in combiners is "
+        "the runtime half, covered by the combiner-algebra verifier."
+    ),
+)
+
 RULES: dict[str, Rule] = {
-    rule.code: rule for rule in (DF001, DF002, DF003, DF004, DF005, CT001)
+    rule.code: rule
+    for rule in (
+        DF001, DF002, DF003, DF004, DF005, CT001,
+        EX001, EX002, EX003, EX004, EX005,
+    )
 }
 
 

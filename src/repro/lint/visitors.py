@@ -863,6 +863,9 @@ def run_all_checks(
     model: ModuleModel, contract_table: dict[str, ContractDecl] | None = None
 ) -> list[Finding]:
     """Every rule over one module model."""
+    # Imported here because exec_visitors builds on this module's helpers.
+    from repro.lint.exec_visitors import run_exec_checks
+
     findings: list[Finding] = []
     findings.extend(check_df001(model))
     findings.extend(check_df002(model))
@@ -870,4 +873,5 @@ def run_all_checks(
     findings.extend(check_df004(model))
     findings.extend(check_df005(model))
     findings.extend(check_ct001(model, contract_table or {}))
+    findings.extend(run_exec_checks(model))
     return findings

@@ -1,0 +1,468 @@
+"""Each EX rule fires on a minimal fixture and stays quiet on clean code."""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.lint import lint_source
+
+
+def lint(source: str, select=None):
+    return lint_source(textwrap.dedent(source), path="fixture.py", select=select)
+
+
+def codes(findings):
+    return sorted(finding.code for finding in findings)
+
+
+# ---------------------------------------------------------------------------
+# EX001: task function mutates shared driver state
+
+
+def test_ex001_flags_subscript_store_into_driver_dict():
+    findings = lint(
+        """
+        def run_phase(executor, payloads):
+            results = {}
+
+            def task(payload):
+                results[payload.task_id] = payload.data
+                return payload.task_id
+
+            return executor.closure_executor().run_tasks(task, payloads)
+        """,
+        select={"EX001"},
+    )
+    assert codes(findings) == ["EX001"]
+    assert "results" in findings[0].message
+
+
+def test_ex001_flags_mutator_method_on_driver_list():
+    findings = lint(
+        """
+        def run_phase(executor, payloads):
+            collected = []
+
+            def task(payload):
+                collected.append(payload)
+                return payload
+
+            return executor.closure_executor().run_tasks(task, payloads)
+        """,
+        select={"EX001"},
+    )
+    assert codes(findings) == ["EX001"]
+    assert "collected.append" in findings[0].message
+
+
+def test_ex001_flags_nonlocal_rebinding():
+    findings = lint(
+        """
+        def run_phase(executor, payloads):
+            total = 0
+
+            def task(payload):
+                nonlocal total
+                total += 1
+                return payload
+
+            return executor.closure_executor().run_tasks(task, payloads)
+        """,
+        select={"EX001"},
+    )
+    assert "EX001" in codes(findings)
+
+
+def test_ex001_clean_on_pure_task_returning_outcome():
+    findings = lint(
+        """
+        def _run_one(payload):
+            return payload.task_id, payload.data * 2
+
+        def run_phase(executor, payloads):
+            return executor.run_tasks(_run_one, payloads)
+        """,
+        select={"EX001"},
+    )
+    assert codes(findings) == []
+
+
+def test_ex001_clean_on_accumulator_add():
+    # Accumulator.add stages through the task scope: sanctioned.
+    findings = lint(
+        """
+        def run_phase(executor, payloads, ctx):
+            counter = ctx.accumulator(0)
+
+            def task(payload):
+                counter.add(1)
+                return payload
+
+            return executor.closure_executor().run_tasks(task, payloads)
+        """,
+        select={"EX001"},
+    )
+    assert codes(findings) == []
+
+
+# ---------------------------------------------------------------------------
+# EX002: closure/lambda handed to the (potential) process executor
+
+
+def test_ex002_flags_lambda_task():
+    findings = lint(
+        """
+        def run_phase(executor, payloads):
+            return executor.run_tasks(lambda p: p * 2, payloads)
+        """,
+        select={"EX002"},
+    )
+    assert codes(findings) == ["EX002"]
+    assert "lambda" in findings[0].message
+
+
+def test_ex002_flags_local_def_task():
+    findings = lint(
+        """
+        def run_phase(executor, payloads):
+            def task(payload):
+                return payload * 2
+
+            return executor.run_tasks(task, payloads)
+        """,
+        select={"EX002"},
+    )
+    assert codes(findings) == ["EX002"]
+    assert "closure_executor" in findings[0].message
+
+
+def test_ex002_clean_via_closure_executor():
+    findings = lint(
+        """
+        def run_phase(executor, payloads):
+            def task(payload):
+                return payload * 2
+
+            return executor.closure_executor().run_tasks(task, payloads)
+        """,
+        select={"EX002"},
+    )
+    assert codes(findings) == []
+
+
+def test_ex002_clean_on_module_level_task():
+    findings = lint(
+        """
+        def _task(payload):
+            return payload * 2
+
+        def run_phase(executor, payloads):
+            return executor.run_tasks(_task, payloads)
+        """,
+        select={"EX002"},
+    )
+    assert codes(findings) == []
+
+
+# ---------------------------------------------------------------------------
+# EX003: driver-visible side effect emitted from inside a task
+
+
+def test_ex003_flags_cache_put_inside_task():
+    findings = lint(
+        """
+        def run_phase(executor, payloads, blocks):
+            def task(payload):
+                value = payload.data * 2
+                blocks.put(payload.key, value)
+                return value
+
+            return executor.closure_executor().run_tasks(task, payloads)
+        """,
+        select={"EX003"},
+    )
+    assert codes(findings) == ["EX003"]
+    assert "blocks.put" in findings[0].message
+
+
+def test_ex003_flags_metrics_record_inside_task():
+    findings = lint(
+        """
+        def run_phase(executor, payloads, metrics):
+            def task(payload):
+                metrics.record("map", 1.0)
+                return payload
+
+            return executor.closure_executor().run_tasks(task, payloads)
+        """,
+        select={"EX003"},
+    )
+    assert codes(findings) == ["EX003"]
+
+
+def test_ex003_flags_tracer_acquired_inside_task():
+    findings = lint(
+        """
+        def run_phase(executor, payloads):
+            def task(payload):
+                get_tracer().event("task_start", task=payload.task_id)
+                return payload
+
+            return executor.closure_executor().run_tasks(task, payloads)
+        """,
+        select={"EX003"},
+    )
+    assert codes(findings) == ["EX003"]
+    assert "tracer" in findings[0].message
+
+
+def test_ex003_clean_when_side_effects_returned_as_outcome():
+    findings = lint(
+        """
+        def run_phase(executor, payloads):
+            def task(payload):
+                events = [("task_done", payload.task_id)]
+                return payload.data, events
+
+            return executor.closure_executor().run_tasks(task, payloads)
+        """,
+        select={"EX003"},
+    )
+    assert codes(findings) == []
+
+
+# ---------------------------------------------------------------------------
+# EX004: shm segment lifetime pairing
+
+
+def test_ex004_flags_create_without_lifecycle():
+    findings = lint(
+        """
+        from multiprocessing.shared_memory import SharedMemory
+
+        def share(data):
+            segment = SharedMemory(create=True, size=len(data))
+            segment.buf[: len(data)] = data
+            return segment.name
+        """,
+        select={"EX004"},
+    )
+    assert codes(findings) == ["EX004"]
+    assert "segment" in findings[0].message
+
+
+def test_ex004_clean_with_finalizer():
+    findings = lint(
+        """
+        import weakref
+        from multiprocessing.shared_memory import SharedMemory
+
+        def share(owner, data):
+            segment = SharedMemory(create=True, size=len(data))
+            weakref.finalize(owner, segment.close)
+            return segment.name
+        """,
+        select={"EX004"},
+    )
+    assert codes(findings) == []
+
+
+def test_ex004_clean_with_registry_store():
+    findings = lint(
+        """
+        from multiprocessing.shared_memory import SharedMemory
+
+        class Registry:
+            def __init__(self):
+                self._segments = {}
+
+            def share(self, data):
+                segment = SharedMemory(create=True, size=len(data))
+                self._segments[segment.name] = segment
+                return segment.name
+        """,
+        select={"EX004"},
+    )
+    assert codes(findings) == []
+
+
+def test_ex004_flags_attach_without_unregister():
+    findings = lint(
+        """
+        from multiprocessing.shared_memory import SharedMemory
+
+        def attach(name):
+            segment = SharedMemory(name=name)
+            return segment.buf
+        """,
+        select={"EX004"},
+    )
+    assert codes(findings) == ["EX004"]
+    assert "unregister" in findings[0].message
+
+
+def test_ex004_clean_attach_with_unregister():
+    findings = lint(
+        """
+        from multiprocessing.resource_tracker import unregister
+        from multiprocessing.shared_memory import SharedMemory
+
+        def attach(name):
+            segment = SharedMemory(name=name)
+            unregister(segment._name, "shared_memory")
+            return segment.buf
+        """,
+        select={"EX004"},
+    )
+    assert codes(findings) == []
+
+
+# ---------------------------------------------------------------------------
+# EX005: nondeterminism sources in task/kernel code
+
+
+def test_ex005_flags_wall_clock_in_task():
+    findings = lint(
+        """
+        import time
+
+        def _task(payload):
+            return payload, time.time()
+
+        def run_phase(executor, payloads):
+            return executor.run_tasks(_task, payloads)
+        """,
+        select={"EX005"},
+    )
+    assert codes(findings) == ["EX005"]
+    assert "wall-clock" in findings[0].message
+
+
+def test_ex005_allows_perf_counter_timing():
+    findings = lint(
+        """
+        import time
+
+        def _task(payload):
+            start = time.perf_counter()
+            result = payload * 2
+            return result, time.perf_counter() - start
+
+        def run_phase(executor, payloads):
+            return executor.run_tasks(_task, payloads)
+        """,
+        select={"EX005"},
+    )
+    assert codes(findings) == []
+
+
+def test_ex005_flags_global_rng_in_task():
+    findings = lint(
+        """
+        import numpy as np
+
+        def _task(payload):
+            return payload + np.random.standard_normal(payload.shape)
+
+        def run_phase(executor, payloads):
+            return executor.run_tasks(_task, payloads)
+        """,
+        select={"EX005"},
+    )
+    assert codes(findings) == ["EX005"]
+    assert "random state" in findings[0].message
+
+
+def test_ex005_allows_seeded_generator():
+    findings = lint(
+        """
+        import numpy as np
+
+        def _task(payload):
+            rng = np.random.default_rng(payload.seed)
+            return payload.data + rng.standard_normal(payload.data.shape)
+
+        def run_phase(executor, payloads):
+            return executor.run_tasks(_task, payloads)
+        """,
+        select={"EX005"},
+    )
+    assert codes(findings) == []
+
+
+def test_ex005_flags_unseeded_default_rng():
+    findings = lint(
+        """
+        import numpy as np
+
+        def _task(payload):
+            rng = np.random.default_rng()
+            return payload + rng.standard_normal(payload.shape)
+
+        def run_phase(executor, payloads):
+            return executor.run_tasks(_task, payloads)
+        """,
+        select={"EX005"},
+    )
+    assert codes(findings) == ["EX005"]
+    assert "unseeded" in findings[0].message
+
+
+def test_ex005_flags_builtin_hash_partitioning():
+    findings = lint(
+        """
+        def _task(payload):
+            return hash(payload.key) % payload.partitions
+
+        def run_phase(executor, payloads):
+            return executor.run_tasks(_task, payloads)
+        """,
+        select={"EX005"},
+    )
+    assert codes(findings) == ["EX005"]
+    assert "crc32" in findings[0].message
+
+
+def test_ex005_flags_set_iteration_in_mapper():
+    findings = lint(
+        """
+        class CountMapper(Mapper):
+            def map(self, key, value):
+                for item in set(value):
+                    self.emit(item, 1)
+        """,
+        select={"EX005"},
+    )
+    assert codes(findings) == ["EX005"]
+    assert "deterministic order" in findings[0].message
+
+
+def test_ex005_flags_wall_clock_in_contract_kernel():
+    findings = lint(
+        """
+        import time
+        from repro.lint.contracts import contract
+
+        @contract("A[n,d] -> B[n,d]")
+        def kernel(A):
+            return A * time.time()
+        """,
+        select={"EX005"},
+    )
+    assert codes(findings) == ["EX005"]
+
+
+def test_ex005_suppression_comment_waives_finding():
+    findings = lint(
+        """
+        import time
+
+        def _task(payload):  # repro-lint: disable=EX005
+            return payload, time.time()
+
+        def run_phase(executor, payloads):
+            return executor.run_tasks(_task, payloads)
+        """,
+        select={"EX005"},
+    )
+    assert codes(findings) == []

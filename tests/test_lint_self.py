@@ -22,13 +22,18 @@ def test_iter_python_files_covers_the_tree():
 
 
 def test_rules_are_documented():
-    assert set(RULES) == {"DF001", "DF002", "DF003", "DF004", "DF005", "CT001"}
+    assert set(RULES) == {
+        "DF001", "DF002", "DF003", "DF004", "DF005", "CT001",
+        "EX001", "EX002", "EX003", "EX004", "EX005",
+    }
     for code, rule in RULES.items():
         assert rule.code == code
         assert rule.summary
         assert rule.paper_ref
         assert rule.rationale
     assert get_rule("DF001").name == "closure-captured-array"
+    assert get_rule("EX001").name == "task-mutates-driver-state"
+    assert get_rule("EX005").name == "nondeterministic-task"
 
 
 def test_cli_exit_zero_on_clean_tree(capsys):
@@ -69,6 +74,73 @@ def test_spca_cli_lint_subcommand(capsys):
     from repro.cli import main as spca_main
 
     assert spca_main(["lint", "src/repro", "-q"]) == 0
+
+
+def test_cli_json_format_on_findings(tmp_path, capsys):
+    import json
+
+    bad = tmp_path / "bad.py"
+    bad.write_text(
+        "def job(rdd):\n"
+        "    return rdd.reduce_by_key(lambda a, b: a - b)\n"
+    )
+    assert lint_main(["--format", "json", str(bad)]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["count"] == 1
+    finding = payload["findings"][0]
+    assert finding["code"] == "DF002"
+    assert finding["line"] == 2
+    assert finding["path"].endswith("bad.py")
+
+
+def test_cli_json_format_on_clean_tree(tmp_path, capsys):
+    import json
+
+    good = tmp_path / "good.py"
+    good.write_text("x = 1\n")
+    assert lint_main(["--format", "json", str(good)]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload == {"count": 0, "findings": []}
+
+
+def test_cli_github_format_emits_error_annotations(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text(
+        "def run_phase(executor, payloads):\n"
+        "    return executor.run_tasks(lambda p: p, payloads)\n"
+    )
+    assert lint_main(["--format", "github", "-q", str(bad)]) == 1
+    out = capsys.readouterr().out
+    assert out.startswith("::error file=")
+    assert "line=2" in out
+    assert "EX002" in out
+
+
+def test_github_escaping_of_workflow_commands():
+    from repro.lint.findings import Finding, format_findings_github
+
+    finding = Finding(
+        path="a,b.py", line=1, col=0, code="EX001", message="newline\nand 100%"
+    )
+    rendered = format_findings_github([finding])
+    assert "a%2Cb.py" in rendered
+    assert "%0A" in rendered
+    assert "100%25" in rendered
+
+
+def test_spca_cli_lint_format_passthrough(tmp_path, capsys):
+    import json
+
+    from repro.cli import main as spca_main
+
+    bad = tmp_path / "bad.py"
+    bad.write_text(
+        "def job(rdd):\n"
+        "    return rdd.reduce_by_key(lambda a, b: a - b)\n"
+    )
+    assert spca_main(["lint", "--format", "json", str(bad)]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["count"] == 1
 
 
 @pytest.mark.parametrize("module", ["repro.lint.cli", "repro.lint"])
