@@ -34,6 +34,9 @@ from repro.engine.mapreduce.runtime import _partition_of, _partition_pairs
 from repro.engine.serde import clear_sizeof_cache, sizeof
 from repro.engine.spark.context import SparkContext
 from repro.jobs import mapreduce_jobs as mr
+from repro.obs import collecting, tracing
+from repro.obs.export import TraceData
+from repro.obs.metrics import METRICS_SCHEMA
 
 BENCH_NAME = "BENCH_3"
 EXEC_BENCH_NAME = "BENCH_5"
@@ -267,16 +270,21 @@ def run_suite(quick: bool = False, repeats: int | None = None) -> dict:
         n_records = 20000
         n_values = 256
 
-    ops = [
-        bench_shuffle_partitioning(repeats, n_records),
-        bench_sizeof_memoization(repeats, n_values),
-        bench_map_dispatch(repeats, 64 if quick else 256),
-    ]
-    end_to_end = [
-        bench_end_to_end(kind, data, granularity, repeats, max_iterations)
-        for kind in ("mapreduce", "spark")
-        for granularity in granularities
-    ]
+    # Collect engine metrics across every fit the suite performs; the
+    # snapshot is stamped into the document so a BENCH_3.json records not
+    # just timings but what the engines actually did (jobs, bytes moved).
+    with collecting() as registry:
+        ops = [
+            bench_shuffle_partitioning(repeats, n_records),
+            bench_sizeof_memoization(repeats, n_values),
+            bench_map_dispatch(repeats, 64 if quick else 256),
+        ]
+        end_to_end = [
+            bench_end_to_end(kind, data, granularity, repeats, max_iterations)
+            for kind in ("mapreduce", "spark")
+            for granularity in granularities
+        ]
+        metrics_snapshot = registry.snapshot()
     result = {
         "bench": BENCH_NAME,
         "quick": quick,
@@ -287,9 +295,32 @@ def run_suite(quick: bool = False, repeats: int | None = None) -> dict:
         "provenance": provenance(executor="serial", workers=1),
         "ops": ops,
         "end_to_end": end_to_end,
+        "metrics": metrics_snapshot,
     }
     validate(result)
     return result
+
+
+def _validate_metrics(result: dict) -> None:
+    """Check the stamped metrics snapshot, when present.
+
+    Optional for backward compatibility with documents generated before the
+    metrics registry existed; when the block is there it must be a valid
+    ``repro.metrics/1`` snapshot that saw at least one engine job.
+    """
+    snapshot = result.get("metrics")
+    if snapshot is None:
+        return
+    if snapshot.get("schema") != METRICS_SCHEMA:
+        raise ValueError(
+            f"metrics block schema must be {METRICS_SCHEMA!r}, "
+            f"got {snapshot.get('schema')!r}"
+        )
+    jobs = [
+        c for c in snapshot.get("counters", []) if c["name"] == "spca_jobs_total"
+    ]
+    if not jobs or sum(c["value"] for c in jobs) <= 0:
+        raise ValueError("metrics block recorded no engine jobs")
 
 
 def validate(result: dict) -> None:
@@ -300,6 +331,7 @@ def validate(result: dict) -> None:
     if result["bench"] != BENCH_NAME:
         raise ValueError(f"bench must be {BENCH_NAME!r}, got {result['bench']!r}")
     _validate_provenance(result)
+    _validate_metrics(result)
     if not result["ops"] or not result["end_to_end"]:
         raise ValueError("ops and end_to_end must be non-empty")
     for op in result["ops"]:
@@ -382,22 +414,26 @@ def run_executor_suite(quick: bool = False, repeats: int | None = None) -> dict:
         }
 
     end_to_end = []
-    for kind in ("mapreduce", "spark"):
-        serial_s = best_of(
-            lambda: _fit_once(kind, data, records_per_task, max_iterations, None),
-            repeats,
-        )
-        end_to_end.append(entry("serial", 1, serial_s, serial_s, kind))
-        for executor_name in ("threads", "processes"):
-            for workers in worker_counts:
-                with make_executor(executor_name, workers) as executor:
-                    fit_s = best_of(
-                        lambda: _fit_once(
-                            kind, data, records_per_task, max_iterations, executor
-                        ),
-                        repeats,
+    with collecting() as registry:
+        for kind in ("mapreduce", "spark"):
+            serial_s = best_of(
+                lambda: _fit_once(kind, data, records_per_task, max_iterations, None),
+                repeats,
+            )
+            end_to_end.append(entry("serial", 1, serial_s, serial_s, kind))
+            for executor_name in ("threads", "processes"):
+                for workers in worker_counts:
+                    with make_executor(executor_name, workers) as executor:
+                        fit_s = best_of(
+                            lambda: _fit_once(
+                                kind, data, records_per_task, max_iterations, executor
+                            ),
+                            repeats,
+                        )
+                    end_to_end.append(
+                        entry(executor_name, workers, fit_s, serial_s, kind)
                     )
-                end_to_end.append(entry(executor_name, workers, fit_s, serial_s, kind))
+        metrics_snapshot = registry.snapshot()
     result = {
         "bench": EXEC_BENCH_NAME,
         "quick": quick,
@@ -405,6 +441,7 @@ def run_executor_suite(quick: bool = False, repeats: int | None = None) -> dict:
         "created_unix": time.time(),
         "provenance": provenance(worker_counts=worker_counts),
         "end_to_end": end_to_end,
+        "metrics": metrics_snapshot,
     }
     validate_executor(result)
     return result
@@ -420,6 +457,7 @@ def validate_executor(result: dict) -> None:
             f"bench must be {EXEC_BENCH_NAME!r}, got {result['bench']!r}"
         )
     _validate_provenance(result)
+    _validate_metrics(result)
     if not result["end_to_end"]:
         raise ValueError("end_to_end must be non-empty")
     curves: dict[tuple[str, str], set[int]] = {}
@@ -469,6 +507,27 @@ def summarize_executor(result: dict) -> str:
             f"{item['speedup_vs_serial']:>10.2f}x"
         )
     return "\n".join(lines)
+
+
+def traced_quick_fit() -> tuple[TraceData, dict]:
+    """One deterministic quick-shape fit, traced and metered.
+
+    Used by ``run.py --trace-out/--metrics-out`` and by CI's trace-diff
+    step.  The shapes and seeds match the quick batch suite, and the
+    returned trace uses simulated time only, so two runs of this function
+    on any machine produce diff-identical traces.
+    """
+    data = sp.random(800, 120, density=0.05, random_state=0, format="csr")
+    config = _fit_config(max_iterations=2)
+    with tracing() as tracer, collecting() as registry:
+        backend = SparkBackend(
+            config,
+            context=SparkContext(cluster=CLUSTER),
+            records_per_partition=8,
+        )
+        SPCA(config, backend).fit(data)
+        snapshot = registry.snapshot()
+    return TraceData.from_tracer(tracer), snapshot
 
 
 def summarize(result: dict) -> str:

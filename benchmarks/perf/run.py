@@ -32,6 +32,7 @@ from perf.harness import (  # noqa: E402
     run_suite,
     summarize,
     summarize_executor,
+    traced_quick_fit,
     validate,
     validate_executor,
 )
@@ -72,7 +73,37 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="where to write the result JSON (default: <repo>/BENCH_N.json)",
     )
+    parser.add_argument(
+        "--trace-out",
+        type=pathlib.Path,
+        default=None,
+        metavar="PATH",
+        help="also run one deterministic quick-shape traced fit and write "
+             "its trace here (.jsonl or Chrome JSON); pairs with "
+             "'repro-spca diff' against a committed baseline",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        type=pathlib.Path,
+        default=None,
+        metavar="PATH",
+        help="write the traced fit's metrics snapshot here "
+             "(.prom for Prometheus text, else JSON)",
+    )
     args = parser.parse_args(argv)
+
+    if args.trace_out or args.metrics_out:
+        # Artifact mode: one deterministic traced fit instead of the timing
+        # suite (CI diffs the trace against a committed baseline).
+        from repro.obs import write_snapshot, write_trace
+
+        trace, snapshot = traced_quick_fit()
+        if args.trace_out:
+            print(f"wrote {write_trace(trace, args.trace_out)}")
+        if args.metrics_out:
+            write_snapshot(snapshot, args.metrics_out)
+            print(f"wrote {args.metrics_out}")
+        return 0
 
     run, validate_fn, summarize_fn, default_name = SUITES[args.suite]
     output = args.output or REPO_ROOT / default_name

@@ -19,6 +19,7 @@ from perf.harness import (
     run_suite,
     summarize,
     summarize_executor,
+    traced_quick_fit,
     validate,
     validate_executor,
 )
@@ -85,6 +86,44 @@ def test_provenance_is_recorded(result):
     no_prov.pop("provenance")
     with pytest.raises(ValueError, match="provenance"):
         validate(no_prov)
+
+
+def test_metrics_block_is_stamped_and_validated(result, exec_result):
+    from repro.obs.metrics import METRICS_SCHEMA
+
+    for document in (result, exec_result):
+        block = document["metrics"]
+        assert block["schema"] == METRICS_SCHEMA
+        jobs_total = sum(c["value"] for c in block["counters"]
+                         if c["name"] == "spca_jobs_total")
+        assert jobs_total > 0
+
+
+def test_validate_rejects_bad_metrics_block(result):
+    wrong_schema = dict(result, metrics=dict(result["metrics"],
+                                             schema="other/9"))
+    with pytest.raises(ValueError, match="metrics"):
+        validate(wrong_schema)
+    no_jobs = dict(result, metrics=dict(result["metrics"], counters=[]))
+    with pytest.raises(ValueError, match="no engine jobs"):
+        validate(no_jobs)
+    # The block is optional for pre-metrics result documents.
+    legacy = dict(result)
+    legacy.pop("metrics")
+    validate(legacy)
+
+
+def test_traced_quick_fit_produces_reconciling_artifacts():
+    from repro.obs.metrics import METRICS_SCHEMA
+
+    trace, snapshot = traced_quick_fit()
+    assert any(s.kind == "run" for s in trace.spans)
+    assert snapshot["schema"] == METRICS_SCHEMA
+    # Trace job count and registry job counter must agree.
+    n_job_spans = sum(1 for s in trace.spans if s.kind == "job")
+    jobs_total = sum(c["value"] for c in snapshot["counters"]
+                     if c["name"] == "spca_jobs_total")
+    assert n_job_spans == jobs_total > 0
 
 
 # -- executor suite (BENCH_5) ---------------------------------------------

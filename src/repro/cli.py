@@ -10,7 +10,10 @@ Examples::
     repro-spca fit tweets.npz --backend mapreduce --faults plan.json \\
         --checkpoint ckpts/ --checkpoint-every 2
     repro-spca resume tweets.npz --checkpoint ckpts/ --backend mapreduce
+    repro-spca fit tweets.npz --backend spark --live --metrics fit.metrics.json
     repro-spca report fit.trace.json
+    repro-spca report fit.trace.json --html fit.html --metrics fit.metrics.json
+    repro-spca diff baseline.trace.jsonl fit.trace.jsonl
     repro-spca trace fit.trace.json --to fit.jsonl
     repro-spca evaluate model.npz tweets.npz
     repro-spca transform model.npz tweets.npz --out latent.npz
@@ -148,14 +151,43 @@ def build_parser() -> argparse.ArgumentParser:
         help="convert to PATH instead of printing a summary "
              "(.jsonl -> event log, else Chrome trace-event JSON)",
     )
+    trace.add_argument(
+        "--diff", metavar="BASELINE",
+        help="compare against BASELINE instead (alias for the 'diff' "
+             "subcommand with this trace as the current run)",
+    )
 
     report = commands.add_parser(
         "report", help="per-job / per-phase / per-iteration trace breakdowns"
     )
     report.add_argument("input", help="trace file (.json Chrome format or .jsonl)")
     report.add_argument(
-        "--section", choices=("all", "jobs", "phases", "iterations"),
+        "--section",
+        choices=("all", "jobs", "phases", "iterations",
+                 "critical-path", "stragglers"),
         default="all", help="which breakdown to print",
+    )
+    report.add_argument(
+        "--html", metavar="PATH",
+        help="write a self-contained HTML report to PATH instead of printing",
+    )
+    report.add_argument(
+        "--metrics", metavar="SNAPSHOT.json",
+        help="include this metrics snapshot (from 'fit --metrics') in the report",
+    )
+
+    diff = commands.add_parser(
+        "diff", help="compare two traces: per-phase/per-job regressions"
+    )
+    diff.add_argument("baseline", help="baseline trace file")
+    diff.add_argument("current", help="current trace file")
+    diff.add_argument(
+        "--threshold", type=float, default=0.10, metavar="FRACTION",
+        help="flag quantities that moved more than this fraction (default 0.10)",
+    )
+    diff.add_argument(
+        "--fail-on-regression", action="store_true",
+        help="exit 1 when any simulated time grew beyond the threshold",
     )
 
     lint = commands.add_parser(
@@ -196,6 +228,16 @@ def build_parser() -> argparse.ArgumentParser:
             "--workers", type=int, default=None, metavar="N",
             help="worker count for --executor threads/processes "
                  "(default: CPU count, capped at 8)",
+        )
+        parallel.add_argument(
+            "--live", action="store_true",
+            help="show a live in-terminal dashboard (iteration, convergence, "
+                 "phase timings, occupancy) while the fit runs",
+        )
+        parallel.add_argument(
+            "--metrics", metavar="PATH",
+            help="write a metrics snapshot when the run finishes "
+                 "(.prom for Prometheus text format, anything else for JSON)",
         )
 
     return parser
@@ -268,6 +310,65 @@ def _maybe_check_contracts(args) -> None:
         contracts.enable()
 
 
+def _run_instrumented(args, run):
+    """Run *run()* under the observability wiring the CLI flags request.
+
+    ``--trace`` records a trace (a ``.jsonl`` path streams spans to disk as
+    they close instead of buffering the run in memory), ``--live`` attaches
+    the in-terminal dashboard, and ``--metrics`` collects a registry
+    snapshot.  Returns ``(result, trace_path, metrics_snapshot)``.
+    """
+    from contextlib import ExitStack
+
+    trace_arg = getattr(args, "trace", None)
+    live = getattr(args, "live", False)
+    metrics_arg = getattr(args, "metrics", None)
+    streaming = trace_arg is not None and trace_arg.endswith(".jsonl")
+    snapshot = None
+    trace_path = None
+    with ExitStack() as stack:
+        registry = None
+        if live or metrics_arg:
+            from repro.obs import collecting
+
+            registry = stack.enter_context(collecting())
+        if trace_arg or live:
+            from repro.obs import tracing
+
+            # Streaming (and dashboard-only) runs keep the tracer's span
+            # buffer empty: listeners see every span, memory stays O(1).
+            tracer = stack.enter_context(
+                tracing(retain=bool(trace_arg) and not streaming)
+            )
+            if streaming:
+                from repro.obs import JsonlTraceWriter
+
+                writer = JsonlTraceWriter(trace_arg)
+                tracer.add_listener(writer)
+                stack.callback(writer.close)
+                trace_path = trace_arg
+            if live:
+                from repro.obs.live import LiveDashboard
+
+                dashboard = LiveDashboard(registry=registry)
+                tracer.add_listener(dashboard)
+                stack.callback(dashboard.close)
+            result = run()
+            if trace_arg and not streaming:
+                from repro.obs import write_trace
+
+                trace_path = write_trace(tracer, trace_arg)
+        else:
+            result = run()
+        if registry is not None:
+            snapshot = registry.snapshot()
+    if metrics_arg and snapshot is not None:
+        from repro.obs import write_snapshot
+
+        write_snapshot(snapshot, metrics_arg)
+    return result, trace_path, snapshot
+
+
 def _cmd_fit(args) -> int:
     _maybe_check_contracts(args)
     matrix = load_matrix(args.input)
@@ -290,17 +391,9 @@ def _cmd_fit(args) -> int:
             DirectoryCheckpointStore(args.checkpoint), args.checkpoint_every
         )
     try:
-        if args.trace:
-            from repro.obs import tracing, write_trace
-
-            with tracing() as tracer:
-                model, history = SPCA(config, backend).fit(
-                    matrix, checkpoint=checkpoint
-                )
-            trace_path = write_trace(tracer, args.trace)
-        else:
-            model, history = SPCA(config, backend).fit(matrix, checkpoint=checkpoint)
-            trace_path = None
+        (model, history), trace_path, _snapshot = _run_instrumented(
+            args, lambda: SPCA(config, backend).fit(matrix, checkpoint=checkpoint)
+        )
     finally:
         executor.shutdown()
     print(
@@ -318,6 +411,8 @@ def _cmd_fit(args) -> int:
               f"intermediate data: {backend.intermediate_bytes:,} bytes")
     if trace_path is not None:
         print(f"trace written to {trace_path}")
+    if args.metrics:
+        print(f"metrics snapshot written to {args.metrics}")
     if args.out:
         path = save_model(model, args.out)
         print(f"model saved to {path}")
@@ -340,19 +435,10 @@ def _cmd_resume(args) -> int:
     )
     spca = SPCA(config, backend)
     try:
-        if args.trace:
-            from repro.obs import tracing, write_trace
-
-            with tracing() as tracer:
-                model, history = spca.resume(
-                    matrix, store, checkpoint_every=args.checkpoint_every
-                )
-            trace_path = write_trace(tracer, args.trace)
-        else:
-            model, history = spca.resume(
-                matrix, store, checkpoint_every=args.checkpoint_every
-            )
-            trace_path = None
+        (model, history), trace_path, _snapshot = _run_instrumented(
+            args,
+            lambda: spca.resume(matrix, store, checkpoint_every=args.checkpoint_every),
+        )
     finally:
         executor.shutdown()
     print(
@@ -364,6 +450,8 @@ def _cmd_resume(args) -> int:
         print(f"final accuracy: {history.final_accuracy:.4f}")
     if trace_path is not None:
         print(f"trace written to {trace_path}")
+    if args.metrics:
+        print(f"metrics snapshot written to {args.metrics}")
     if args.out:
         path = save_model(model, args.out)
         print(f"model saved to {path}")
@@ -461,6 +549,8 @@ def _cmd_trace(args) -> int:
 
     from repro.obs import load_trace, write_trace
 
+    if args.diff:
+        return _diff_traces_cmd(args.diff, args.input, threshold=0.10)
     trace = load_trace(args.input)
     if args.to:
         path = write_trace(trace, args.to)
@@ -481,15 +571,45 @@ def _cmd_trace(args) -> int:
 
 
 def _cmd_report(args) -> int:
-    from repro.obs import load_trace
+    from repro.obs import load_trace_lenient
+    from repro.obs.analyze import (
+        critical_path,
+        format_critical_path,
+        format_stragglers,
+        straggler_report,
+    )
     from repro.obs.report import (
         format_iteration_table,
         format_job_table,
         format_phase_table,
+        render_html,
         summarize,
     )
 
-    trace = load_trace(args.input)
+    # Lenient loading: a truncated or partially-written trace (a killed run,
+    # a crashed streaming writer) degrades to warnings + a partial report
+    # instead of a traceback.
+    trace, warnings = load_trace_lenient(args.input)
+    for warning in warnings:
+        print(f"warning: {warning}", file=sys.stderr)
+
+    snapshot = None
+    if args.metrics:
+        from repro.obs import load_snapshot
+
+        snapshot = load_snapshot(args.metrics)
+
+    if args.html:
+        from pathlib import Path
+
+        html = render_html(
+            trace, snapshot, title=f"repro-spca report: {args.input}",
+            warnings=warnings,
+        )
+        Path(args.html).write_text(html)
+        print(f"html report written to {args.html}")
+        return 0
+
     summary = summarize(trace)
     sections = []
     if args.section in ("all", "jobs"):
@@ -498,8 +618,43 @@ def _cmd_report(args) -> int:
         sections.append("== phases ==\n" + format_phase_table(summary))
     if args.section in ("all", "iterations"):
         sections.append("== iterations ==\n" + format_iteration_table(trace))
+    if args.section in ("all", "critical-path"):
+        sections.append(
+            "== critical path ==\n" + format_critical_path(critical_path(trace))
+        )
+    if args.section in ("all", "stragglers"):
+        sections.append(
+            "== stragglers ==\n" + format_stragglers(straggler_report(trace))
+        )
     print("\n\n".join(sections))
     return 0
+
+
+def _diff_traces_cmd(
+    baseline_path: str,
+    current_path: str,
+    threshold: float,
+    fail_on_regression: bool = False,
+) -> int:
+    from repro.obs import load_trace_lenient
+    from repro.obs.analyze import diff_traces, format_diff
+
+    baseline, warnings_b = load_trace_lenient(baseline_path)
+    current, warnings_c = load_trace_lenient(current_path)
+    for warning in warnings_b + warnings_c:
+        print(f"warning: {warning}", file=sys.stderr)
+    diff = diff_traces(baseline, current)
+    print(f"baseline: {baseline_path}\ncurrent:  {current_path}")
+    print(format_diff(diff, threshold))
+    if fail_on_regression and diff.regressions(threshold):
+        return 1
+    return 0
+
+
+def _cmd_diff(args) -> int:
+    return _diff_traces_cmd(
+        args.baseline, args.current, args.threshold, args.fail_on_regression
+    )
 
 
 def _cmd_lint(args) -> int:
@@ -549,6 +704,7 @@ _COMMANDS = {
     "info": _cmd_info,
     "trace": _cmd_trace,
     "report": _cmd_report,
+    "diff": _cmd_diff,
     "lint": _cmd_lint,
 }
 

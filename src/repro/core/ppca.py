@@ -23,6 +23,7 @@ from repro.errors import ShapeError
 from repro.linalg.blocks import Matrix, is_sparse
 from repro.linalg.stats import column_means
 from repro.obs import get_tracer
+from repro.obs.metrics import get_registry
 
 
 def fit_ppca(
@@ -124,6 +125,10 @@ def _em_loop(
                         else abs(previous_ss - noise_variance)
                     ),
                 )
+            registry = get_registry()
+            if registry.enabled:
+                registry.counter("spca_em_iterations_total", loop="ppca").inc()
+                registry.gauge("spca_em_objective", loop="ppca").set(noise_variance)
             if (previous_ss is not None
                     and abs(previous_ss - noise_variance) <= tolerance * previous_ss):
                 break

@@ -33,6 +33,7 @@ from repro.core.ppca import fit_ppca
 from repro.errors import CheckpointError, ShapeError
 from repro.linalg.blocks import Matrix
 from repro.obs import get_tracer
+from repro.obs.metrics import get_registry
 
 
 class SPCA:
@@ -217,6 +218,9 @@ class SPCA:
             previous_ss = noise_variance
 
         identity = np.eye(config.n_components)
+        # Cumulative sim seconds at the previous iteration's close; the
+        # per-iteration histogram records successive differences.
+        previous_sim = 0.0
         for iteration in range(start_iteration, config.max_iterations + 1):
             with tracer.span(
                 "iteration", f"iteration[{iteration}]", index=iteration
@@ -261,6 +265,9 @@ class SPCA:
                     intermediate_bytes=self.backend.intermediate_bytes - bytes_start,
                 )
                 history.append(stats)
+                convergence_delta = (
+                    None if previous_ss is None else abs(previous_ss - noise_variance)
+                )
                 if tracer.enabled:
                     denom = float(np.linalg.norm(previous_components))
                     subspace_delta = (
@@ -270,16 +277,27 @@ class SPCA:
                     )
                     iter_span.set(
                         objective=noise_variance,
-                        convergence_delta=(
-                            None
-                            if previous_ss is None
-                            else abs(previous_ss - noise_variance)
-                        ),
+                        convergence_delta=convergence_delta,
                         subspace_delta=subspace_delta,
                         error=error,
                         accuracy=stats.accuracy,
                         intermediate_bytes=stats.intermediate_bytes,
                     )
+                registry = get_registry()
+                if registry.enabled:
+                    registry.counter("spca_em_iterations_total").inc()
+                    registry.histogram("spca_iteration_sim_seconds").observe(
+                        stats.simulated_seconds - previous_sim
+                    )
+                    registry.gauge("spca_em_iteration").set(iteration)
+                    registry.gauge("spca_em_objective").set(noise_variance)
+                    if convergence_delta is not None:
+                        registry.gauge("spca_em_convergence_delta").set(
+                            convergence_delta
+                        )
+                    if stats.accuracy is not None:
+                        registry.gauge("spca_em_accuracy").set(stats.accuracy)
+                previous_sim = stats.simulated_seconds
                 previous_ss = noise_variance
                 should_stop = tracker.update(error)
                 if (

@@ -24,6 +24,7 @@ from typing import Any, Callable, Sequence
 
 from repro.engine.serde import clear_sizeof_cache
 from repro.obs import get_tracer
+from repro.obs.metrics import get_registry
 
 
 def default_worker_count() -> int:
@@ -102,6 +103,7 @@ class TaskExecutor:
             )
 
     def _emit_join(self, label: str, wall_seconds: list[float], started: float) -> None:
+        wall = time.perf_counter() - started
         tracer = get_tracer()
         if tracer.enabled:
             tracer.event(
@@ -110,9 +112,33 @@ class TaskExecutor:
                 workers=self.workers,
                 label=label,
                 n_tasks=len(wall_seconds),
-                wall_s=time.perf_counter() - started,
+                wall_s=wall,
                 task_wall_s=[round(w, 6) for w in wall_seconds],
             )
+        registry = get_registry()
+        if registry.enabled:
+            busy = sum(wall_seconds)
+            registry.counter("spca_executor_batches_total", executor=self.name).inc()
+            registry.counter("spca_executor_tasks_total", executor=self.name).inc(
+                len(wall_seconds)
+            )
+            registry.counter(
+                "spca_executor_busy_seconds_total", executor=self.name
+            ).inc(busy)
+            registry.counter(
+                "spca_executor_wall_seconds_total", executor=self.name
+            ).inc(wall)
+            histogram = registry.histogram(
+                "spca_executor_task_wall_seconds", executor=self.name
+            )
+            for task_wall in wall_seconds:
+                histogram.observe(task_wall)
+            if wall > 0:
+                # occupancy of the last batch: busy worker-seconds over the
+                # worker-seconds the pool had available while it ran
+                registry.gauge("spca_executor_occupancy", executor=self.name).set(
+                    busy / (wall * self.workers)
+                )
 
 
 def reraise_first_failure(

@@ -2,7 +2,8 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
+from typing import Any
 
 
 @dataclass
@@ -47,6 +48,13 @@ class JobStats:
             total += self.output_bytes
         return total
 
+    def to_dict(self) -> dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> JobStats:
+        return cls(**payload)
+
 
 @dataclass
 class EngineMetrics:
@@ -56,9 +64,40 @@ class EngineMetrics:
 
     def record(self, stats: JobStats) -> None:
         self.jobs.append(stats)
+        # Publish to the process metrics registry when collection is on.
+        # This single funnel covers both engines plus broadcast/HDFS/backoff
+        # bookkeeping jobs, so registry totals reconcile exactly with the
+        # sums over self.jobs (see repro.obs.metrics.reconcile_registry).
+        from repro.obs.metrics import get_registry, observe_job_stats
+
+        registry = get_registry()
+        if registry.enabled:
+            observe_job_stats(registry, stats)
 
     def reset(self) -> None:
         self.jobs.clear()
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-able form: the job list plus a registry-schema snapshot.
+
+        The ``"registry"`` block is produced by replaying every job through
+        a fresh :class:`~repro.obs.metrics.MetricsRegistry`, so its totals
+        follow the ``repro.metrics/1`` snapshot schema and match what live
+        collection would have produced for the same jobs.
+        """
+        from repro.obs.metrics import MetricsRegistry, observe_job_stats
+
+        registry = MetricsRegistry()
+        for job in self.jobs:
+            observe_job_stats(registry, job)
+        return {
+            "jobs": [job.to_dict() for job in self.jobs],
+            "registry": registry.snapshot(),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> EngineMetrics:
+        return cls(jobs=[JobStats.from_dict(job) for job in payload["jobs"]])
 
     @property
     def total_sim_seconds(self) -> float:

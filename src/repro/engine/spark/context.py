@@ -30,6 +30,7 @@ from repro.obs import (
     get_tracer,
     record_job_stats,
 )
+from repro.obs.metrics import count_cache_hit, get_registry
 
 
 class Broadcast:
@@ -535,14 +536,19 @@ class SparkContext:
         and staged accumulator updates.
         """
         tracer = get_tracer()
+        registry = get_registry()
         recovery_seconds = 0.0
         for retries, outcome in enumerate(attempts):
             scope = outcome.scope
             # Idempotent: every attempt of the task shares one discard set.
             self._lost_blocks.difference_update(scope.lost_discards)
-            if tracer.enabled:
-                for event_type, attrs in scope.events:
+            # Replay the attempt's buffered events into both sinks here on
+            # the driver thread (tasks never touch tracer/registry directly).
+            for event_type, attrs in scope.events:
+                if tracer.enabled:
                     tracer.event(event_type, **attrs)
+                if registry.enabled and event_type == "cache_hit":
+                    count_cache_hit(registry, int(attrs.get("bytes", 0)))
             for label in scope.fault_labels:
                 stats.count_fault(label)
             stats.hdfs_read_bytes += scope.stats.hdfs_read_bytes

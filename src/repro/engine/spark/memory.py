@@ -6,6 +6,7 @@ from dataclasses import dataclass
 
 from repro.errors import DriverOutOfMemoryError, ShapeError
 from repro.obs import get_tracer
+from repro.obs.metrics import get_registry
 
 
 class DriverMemoryMonitor:
@@ -104,6 +105,12 @@ class BlockManager:
             tracer.event(
                 "cache_put", rdd_id=rdd_id, split=split, bytes=nbytes, on_disk=on_disk
             )
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter("spca_cache_puts_total").inc()
+            registry.counter("spca_cache_put_bytes_total").inc(nbytes)
+            if on_disk:
+                registry.counter("spca_cache_disk_puts_total").inc()
 
     def get(self, rdd_id: int, split: int) -> _CachedPartition | None:
         return self._blocks.get((rdd_id, split))
@@ -121,6 +128,7 @@ class BlockManager:
         them for lineage recomputation.
         """
         tracer = get_tracer()
+        registry = get_registry()
         evicted = []
         for key in [key for key in self._blocks if predicate(key)]:
             block = self._blocks.pop(key)
@@ -137,6 +145,9 @@ class BlockManager:
                     bytes=block.nbytes,
                     on_disk=block.on_disk,
                 )
+            if registry.enabled:
+                registry.counter("spca_cache_evictions_total").inc()
+                registry.counter("spca_cache_evicted_bytes_total").inc(block.nbytes)
         return evicted
 
     @property

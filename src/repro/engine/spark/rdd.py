@@ -21,6 +21,7 @@ from typing import TYPE_CHECKING, Any, Callable, Iterable
 from repro.engine.serde import sizeof
 from repro.errors import InvalidPlanError
 from repro.obs import get_tracer
+from repro.obs.metrics import count_cache_hit, get_registry
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
     from repro.engine.spark.context import SparkContext
@@ -99,7 +100,11 @@ class RDD:
                 local = scope.overlay.get((self.rdd_id, split))
                 if local is not None:
                     data, nbytes = local
-                    if tracer.enabled:
+                    # Buffer whenever either sink is live: scope events are
+                    # replayed at driver commit into the tracer AND the
+                    # metrics registry (concurrent tasks never count there
+                    # directly).
+                    if tracer.enabled or get_registry().enabled:
                         scope.events.append((
                             "cache_hit",
                             dict(rdd_id=self.rdd_id, split=split,
@@ -110,7 +115,8 @@ class RDD:
             if block is not None:
                 if block.on_disk and stats is not None:
                     stats.hdfs_read_bytes += block.nbytes
-                if tracer.enabled:
+                registry = get_registry()
+                if tracer.enabled or registry.enabled:
                     attrs = dict(
                         rdd_id=self.rdd_id, split=split,
                         bytes=block.nbytes, on_disk=block.on_disk,
@@ -118,7 +124,12 @@ class RDD:
                     if scope is not None:
                         scope.events.append(("cache_hit", attrs))
                     else:
-                        tracer.event("cache_hit", **attrs)
+                        # Unscoped evaluation runs on the driver thread, so
+                        # count directly; scoped events are counted at commit.
+                        if tracer.enabled:
+                            tracer.event("cache_hit", **attrs)
+                        if registry.enabled:
+                            count_cache_hit(registry, block.nbytes)
                 return block.data
         key = (self.rdd_id, split)
         # Under a concurrent scope the shared lost-block set is read-only:

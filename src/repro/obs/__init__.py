@@ -1,23 +1,52 @@
-"""repro.obs: span tracing, timeline export, and convergence telemetry.
+"""repro.obs: span tracing, metrics, timeline export, and run telemetry.
 
-A zero-dependency tracing layer for the simulated distributed engines.
-Spans form a ``run -> iteration -> job -> phase -> task`` hierarchy, typed
-events capture data movement (shuffle, HDFS, broadcast, driver collect) and
-scheduling incidents (retries, speculative kills, cache hits/evictions),
-and everything is stamped with both the wall clock and the simulated
-cluster clock.  See ``docs/observability.md``.
+A zero-dependency observability layer for the simulated distributed
+engines.  Spans form a ``run -> iteration -> job -> phase -> task``
+hierarchy, typed events capture data movement (shuffle, HDFS, broadcast,
+driver collect) and scheduling incidents (retries, speculative kills,
+cache hits/evictions), and everything is stamped with both the wall clock
+and the simulated cluster clock.  On top of the trace sit:
+
+- :mod:`repro.obs.metrics` -- a counters/gauges/histograms registry with
+  mergeable snapshots and Prometheus text export;
+- :mod:`repro.obs.analyze` -- critical paths, straggler attribution, and
+  trace diffs;
+- :mod:`repro.obs.live` -- the ``fit --live`` in-terminal dashboard;
+- :mod:`repro.obs.report` -- text tables and the self-contained HTML
+  report.
+
+See ``docs/observability.md`` and ``docs/metrics.md``.
 
 Typical use::
 
-    from repro.obs import tracing
+    from repro.obs import collecting, tracing
     from repro.obs.export import write_trace
 
-    with tracing() as tracer:
+    with tracing() as tracer, collecting() as registry:
         model, history = SPCA(config, backend).fit(data)
     write_trace(tracer, "fit.trace.json")   # open in https://ui.perfetto.dev
+    snapshot = registry.snapshot()
 """
 
-from repro.obs.export import TraceData, load_trace, write_trace
+from repro.obs.export import (
+    JsonlTraceWriter,
+    TraceData,
+    load_trace,
+    load_trace_lenient,
+    write_trace,
+)
+from repro.obs.metrics import (
+    METRICS_SCHEMA,
+    MetricsRegistry,
+    collecting,
+    get_registry,
+    load_snapshot,
+    merge_snapshots,
+    parse_prometheus,
+    set_registry,
+    to_prometheus,
+    write_snapshot,
+)
 from repro.obs.tracer import (
     EVENT_TYPES,
     SPAN_KINDS,
@@ -27,6 +56,7 @@ from repro.obs.tracer import (
     PhaseTrace,
     SpanRecord,
     TaskTrace,
+    TraceListener,
     Tracer,
     get_tracer,
     record_job_stats,
@@ -36,19 +66,32 @@ from repro.obs.tracer import (
 
 __all__ = [
     "EVENT_TYPES",
+    "METRICS_SCHEMA",
     "SPAN_KINDS",
     "EventRecord",
     "EventTrace",
     "JobTrace",
+    "JsonlTraceWriter",
+    "MetricsRegistry",
     "PhaseTrace",
     "SpanRecord",
     "TaskTrace",
     "TraceData",
+    "TraceListener",
     "Tracer",
+    "collecting",
+    "get_registry",
     "get_tracer",
+    "load_snapshot",
     "load_trace",
+    "load_trace_lenient",
+    "merge_snapshots",
+    "parse_prometheus",
     "record_job_stats",
+    "set_registry",
     "set_tracer",
+    "to_prometheus",
     "tracing",
+    "write_snapshot",
     "write_trace",
 ]

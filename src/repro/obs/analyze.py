@@ -1,0 +1,411 @@
+"""Trace analysis: critical paths, straggler attribution, trace diffs.
+
+The trace answers *what ran when*; this module answers the evaluation
+questions the paper's Tables 1-4 and Figures 6-8 are built on:
+
+- :func:`critical_path` -- which chain of spans bounds the simulated end
+  time of a run (or any subtree).  Time not covered by any child is
+  attributed to the parent as *self time*: for job spans that is scheduler
+  overhead, for the run span it is uninstrumented driver compute between
+  jobs (the d x d / D x d local algebra of Algorithm 4).
+- :func:`straggler_report` -- per-phase partition skew: max vs median task
+  duration, and the concrete task spans that exceed the straggler
+  threshold (the quantity speculative execution exists to bound).
+- :func:`diff_traces` -- per-job-name and per-phase-name comparison of two
+  traces, the tool for interpreting BENCH_3/BENCH_5 regressions.
+
+Everything operates on the **simulated clock** (``t0``/``dur``), the clock
+the engine's cost model and ``EngineMetrics`` reconcile on.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.obs.export import TraceData
+from repro.obs.report import summarize
+
+#: slack tolerated when matching child end times to the parent's cursor
+#: (simulated times come from float sums; exact equality is the norm)
+_EPS = 1e-9
+
+
+@dataclass
+class PathSegment:
+    """One interval of the critical path.
+
+    ``self_time`` is True when the interval is attributed to the span
+    itself (no child covered it) rather than to a deeper span.
+    """
+
+    span_id: int
+    kind: str
+    name: str
+    start: float
+    end: float
+    self_time: bool = False
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class CriticalPath:
+    """The chain of spans bounding one subtree's simulated duration."""
+
+    root_id: int
+    root_name: str
+    total: float
+    segments: list[PathSegment] = field(default_factory=list)
+
+    def by_kind(self) -> "OrderedDict[str, float]":
+        """Critical-path seconds aggregated by span kind (self time only)."""
+        totals: OrderedDict[str, float] = OrderedDict()
+        for segment in self.segments:
+            key = f"{segment.kind} (self)" if segment.self_time else segment.kind
+            totals[key] = totals.get(key, 0.0) + segment.duration
+        return OrderedDict(sorted(totals.items(), key=lambda kv: -kv[1]))
+
+    def by_name(self) -> "OrderedDict[str, float]":
+        """Critical-path seconds aggregated by span name."""
+        totals: OrderedDict[str, float] = OrderedDict()
+        for segment in self.segments:
+            totals[segment.name] = totals.get(segment.name, 0.0) + segment.duration
+        return OrderedDict(sorted(totals.items(), key=lambda kv: -kv[1]))
+
+
+def _children_index(trace: TraceData) -> dict[int | None, list[Any]]:
+    children: dict[int | None, list[Any]] = {}
+    for span in trace.spans:
+        children.setdefault(span.parent_id, []).append(span)
+    return children
+
+
+def _pick_root(trace: TraceData) -> Any | None:
+    roots = [span for span in trace.spans if span.parent_id is None]
+    if not roots:
+        return None
+    runs = [span for span in roots if span.kind == "run"]
+    candidates = runs or roots
+    return max(candidates, key=lambda span: span.dur)
+
+
+def critical_path(trace: TraceData, root_id: int | None = None) -> CriticalPath | None:
+    """Extract the critical path of *trace* (or of the subtree at *root_id*).
+
+    Walks backwards from the root's end: at each cursor position the child
+    ending latest (within tolerance, at or before the cursor) owns the
+    interval back to its own start; gaps no child covers become the
+    parent's self time.  Returns None for a trace with no spans.
+    """
+    if root_id is None:
+        root = _pick_root(trace)
+    else:
+        root = next((s for s in trace.spans if s.span_id == root_id), None)
+    if root is None:
+        return None
+    children = _children_index(trace)
+    segments: list[PathSegment] = []
+
+    def walk(span: Any, end: float) -> None:
+        cursor = end
+        kids = sorted(
+            children.get(span.span_id, ()),
+            key=lambda child: child.t0 + child.dur,
+            reverse=True,
+        )
+        for child in kids:
+            child_end = child.t0 + child.dur
+            if child_end > cursor + _EPS or child_end <= span.t0 + _EPS:
+                continue
+            if cursor - child_end > _EPS:
+                segments.append(
+                    PathSegment(span.span_id, span.kind, span.name,
+                                child_end, cursor, self_time=True)
+                )
+            walk(child, child_end)
+            cursor = child.t0
+            if cursor <= span.t0 + _EPS:
+                break
+        if cursor - span.t0 > _EPS:
+            segments.append(
+                PathSegment(span.span_id, span.kind, span.name,
+                            span.t0, cursor, self_time=True)
+            )
+        if not children.get(span.span_id):
+            # A leaf owns its whole interval outright (replace the self-time
+            # marker so leaves read as real work, not gaps).
+            if segments and segments[-1].span_id == span.span_id:
+                segments[-1].self_time = False
+
+    walk(root, root.t0 + root.dur)
+    segments.reverse()
+    return CriticalPath(
+        root_id=root.span_id,
+        root_name=root.name,
+        total=root.dur,
+        segments=segments,
+    )
+
+
+def iteration_critical_paths(trace: TraceData) -> "OrderedDict[int, CriticalPath]":
+    """One critical path per EM iteration span, keyed by iteration index."""
+    paths: OrderedDict[int, CriticalPath] = OrderedDict()
+    for span in trace.spans:
+        if span.kind != "iteration":
+            continue
+        path = critical_path(trace, root_id=span.span_id)
+        if path is not None:
+            paths[int(span.attrs.get("index", span.span_id))] = path
+    return paths
+
+
+# -- straggler / partition-skew attribution ---------------------------------
+
+
+@dataclass
+class PhaseSkew:
+    """Task-duration skew within one phase span."""
+
+    phase_id: int
+    phase_name: str
+    job_name: str
+    n_tasks: int
+    max_s: float
+    median_s: float
+    mean_s: float
+    stragglers: list[tuple[str, float, int | None]] = field(default_factory=list)
+
+    @property
+    def imbalance(self) -> float:
+        """max / mean task duration: 1.0 is perfectly balanced."""
+        return self.max_s / self.mean_s if self.mean_s > 0 else 1.0
+
+    @property
+    def skew(self) -> float:
+        """max / median task duration (robust to one-sided tails)."""
+        return self.max_s / self.median_s if self.median_s > 0 else 1.0
+
+
+def _median(values: list[float]) -> float:
+    ordered = sorted(values)
+    n = len(ordered)
+    middle = n // 2
+    if n % 2:
+        return ordered[middle]
+    return (ordered[middle - 1] + ordered[middle]) / 2.0
+
+
+def straggler_report(
+    trace: TraceData, threshold: float = 1.5, min_tasks: int = 2
+) -> list[PhaseSkew]:
+    """Per-phase skew, worst first.
+
+    A task is a straggler when its duration exceeds ``threshold`` times the
+    phase median -- the same criterion the engines' speculative execution
+    uses.  Phases with fewer than *min_tasks* task spans are skipped (no
+    distribution to skew).
+    """
+    by_id = {span.span_id: span for span in trace.spans}
+    tasks_by_phase: dict[int, list[Any]] = {}
+    for span in trace.spans:
+        if span.kind == "task" and span.parent_id is not None:
+            tasks_by_phase.setdefault(span.parent_id, []).append(span)
+    report: list[PhaseSkew] = []
+    for phase_id, tasks in tasks_by_phase.items():
+        if len(tasks) < min_tasks:
+            continue
+        phase = by_id.get(phase_id)
+        if phase is None:
+            continue
+        job = by_id.get(phase.parent_id) if phase.parent_id is not None else None
+        durations = [task.dur for task in tasks]
+        median = _median(durations)
+        skew = PhaseSkew(
+            phase_id=phase_id,
+            phase_name=phase.name,
+            job_name=job.name if job is not None else "?",
+            n_tasks=len(tasks),
+            max_s=max(durations),
+            median_s=median,
+            mean_s=sum(durations) / len(durations),
+            stragglers=[
+                (task.name, task.dur, task.track)
+                for task in tasks
+                if median > 0 and task.dur > threshold * median
+            ],
+        )
+        report.append(skew)
+    report.sort(key=lambda item: -item.imbalance)
+    return report
+
+
+# -- trace diff --------------------------------------------------------------
+
+_DIFF_BYTE_KEYS = ("shuffle_bytes", "intermediate_bytes",
+                   "hdfs_read_bytes", "hdfs_write_bytes", "broadcast_bytes")
+
+
+@dataclass
+class DiffRow:
+    """One compared quantity: baseline vs current."""
+
+    name: str
+    baseline: float
+    current: float
+
+    @property
+    def delta(self) -> float:
+        return self.current - self.baseline
+
+    @property
+    def ratio(self) -> float | None:
+        """current / baseline; None when the baseline is zero."""
+        if self.baseline == 0:
+            return None
+        return self.current / self.baseline
+
+
+@dataclass
+class TraceDiff:
+    """Structured comparison of two traces (the ``trace diff`` payload)."""
+
+    jobs: list[DiffRow] = field(default_factory=list)
+    phases: list[DiffRow] = field(default_factory=list)
+    totals: list[DiffRow] = field(default_factory=list)
+
+    def regressions(self, threshold: float = 0.10) -> list[DiffRow]:
+        """Rows whose simulated time grew by more than *threshold* (10%)."""
+        flagged: list[DiffRow] = []
+        for row in [*self.jobs, *self.phases, *self.totals]:
+            if row.ratio is not None and row.ratio > 1.0 + threshold:
+                flagged.append(row)
+            elif row.ratio is None and row.current > 0:
+                flagged.append(row)
+        return flagged
+
+
+def diff_traces(baseline: TraceData, current: TraceData) -> TraceDiff:
+    """Compare per-job-name / per-phase-name simulated seconds and bytes."""
+    base = summarize(baseline)
+    cur = summarize(current)
+    diff = TraceDiff()
+    for name in OrderedDict.fromkeys([*base.by_job_name, *cur.by_job_name]):
+        diff.jobs.append(
+            DiffRow(
+                name=f"job:{name}",
+                baseline=base.by_job_name.get(name, {}).get("sim_seconds", 0.0),
+                current=cur.by_job_name.get(name, {}).get("sim_seconds", 0.0),
+            )
+        )
+    for name in OrderedDict.fromkeys([*base.by_phase_name, *cur.by_phase_name]):
+        diff.phases.append(
+            DiffRow(
+                name=f"phase:{name}",
+                baseline=base.by_phase_name.get(name, {}).get("sim_seconds", 0.0),
+                current=cur.by_phase_name.get(name, {}).get("sim_seconds", 0.0),
+            )
+        )
+    diff.totals.append(
+        DiffRow("total:sim_seconds", base.total_sim_seconds, cur.total_sim_seconds)
+    )
+    diff.totals.append(DiffRow("total:jobs", base.n_jobs, cur.n_jobs))
+    diff.totals.append(
+        DiffRow("total:task_retries", base.total_task_retries, cur.total_task_retries)
+    )
+    for key in _DIFF_BYTE_KEYS:
+        diff.totals.append(
+            DiffRow(f"total:{key}", base.totals.get(key, 0), cur.totals.get(key, 0))
+        )
+    return diff
+
+
+# -- text rendering ----------------------------------------------------------
+
+
+def format_critical_path(path: CriticalPath | None, limit: int = 40) -> str:
+    """The critical-path chain plus its by-kind / by-name aggregation."""
+    if path is None:
+        return "(no spans in trace)"
+    lines = [f"critical path of {path.root_name}  (total {path.total:.3f} sim s)"]
+    shown = path.segments if len(path.segments) <= limit else path.segments[:limit]
+    for segment in shown:
+        marker = " (self)" if segment.self_time else ""
+        lines.append(
+            f"  {segment.start:>10.3f} -> {segment.end:>10.3f}"
+            f"  {segment.duration:>9.3f}s  {segment.kind:<9} {segment.name}{marker}"
+        )
+    if len(path.segments) > limit:
+        lines.append(f"  ... {len(path.segments) - limit} more segments")
+    lines.append("by kind:")
+    for kind, seconds in path.by_kind().items():
+        share = seconds / path.total if path.total else 0.0
+        lines.append(f"  {kind:<16}{seconds:>10.3f}s{share:>8.1%}")
+    lines.append("top contributors:")
+    for name, seconds in list(path.by_name().items())[:8]:
+        share = seconds / path.total if path.total else 0.0
+        lines.append(f"  {name:<36}{seconds:>10.3f}s{share:>8.1%}")
+    return "\n".join(lines)
+
+
+def format_stragglers(report: list[PhaseSkew], limit: int = 12) -> str:
+    """Straggler/skew table, worst imbalance first."""
+    if not report:
+        return "(no phases with enough task spans)"
+    lines = [
+        f"{'phase':<26}{'job':<22}{'tasks':>6}{'max s':>10}"
+        f"{'median s':>10}{'max/med':>9}{'max/mean':>9}"
+    ]
+    for skew in report[:limit]:
+        lines.append(
+            f"{skew.phase_name:<26}{skew.job_name:<22}{skew.n_tasks:>6}"
+            f"{skew.max_s:>10.3f}{skew.median_s:>10.3f}"
+            f"{skew.skew:>9.2f}{skew.imbalance:>9.2f}"
+        )
+        for name, duration, slot in skew.stragglers[:3]:
+            where = f"slot {slot}" if slot is not None else "?"
+            lines.append(f"    straggler: {name} ({duration:.3f}s on {where})")
+    if len(report) > limit:
+        lines.append(f"... {len(report) - limit} more phases")
+    return "\n".join(lines)
+
+
+def format_diff(diff: TraceDiff, threshold: float = 0.10) -> str:
+    """Side-by-side diff table; rows past *threshold* are flagged with '!'."""
+    lines = [
+        f"{'':<2}{'quantity':<34}{'baseline':>14}{'current':>14}"
+        f"{'delta':>14}{'ratio':>8}"
+    ]
+
+    def render(rows: list[DiffRow]) -> None:
+        for row in rows:
+            ratio = row.ratio
+            flag = " "
+            if (ratio is not None and abs(ratio - 1.0) > threshold) or (
+                ratio is None and row.current > 0
+            ):
+                flag = "!"
+            if ratio is not None:
+                ratio_cell = f"{ratio:.3f}"
+            else:
+                ratio_cell = "new" if row.current > 0 else "-"
+            lines.append(
+                f"{flag:<2}{row.name:<34}{row.baseline:>14.3f}"
+                f"{row.current:>14.3f}{row.delta:>+14.3f}{ratio_cell:>8}"
+            )
+
+    render(diff.jobs)
+    render(diff.phases)
+    render(diff.totals)
+    regressions = diff.regressions(threshold)
+    if regressions:
+        lines.append(
+            f"{len(regressions)} quantity(ies) regressed beyond "
+            f"{threshold:.0%}: " + ", ".join(row.name for row in regressions)
+        )
+    else:
+        lines.append(f"no regressions beyond {threshold:.0%}")
+    return "\n".join(lines)

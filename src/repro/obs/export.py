@@ -192,19 +192,32 @@ def from_chrome(document: dict[str, Any]) -> TraceData:
     return trace
 
 
-def from_jsonl_lines(lines: list[str]) -> TraceData:
-    """Reconstruct a :class:`TraceData` from JSONL lines."""
+def from_jsonl_lines(lines: list[str], strict: bool = True) -> TraceData:
+    """Reconstruct a :class:`TraceData` from JSONL lines.
+
+    Records are sorted back into allocation order, so a file written by the
+    streaming :class:`JsonlTraceWriter` (span-close order, events
+    interleaved) loads identically to a buffered one.  With
+    ``strict=False``, malformed or truncated lines are skipped instead of
+    raising -- the salvage path ``repro-spca report`` uses.
+    """
     trace = TraceData()
     for line in lines:
         line = line.strip()
         if not line:
             continue
-        payload = json.loads(line)
-        rec = payload.get("rec")
-        if rec == "span":
-            trace.spans.append(_span_from_payload(payload, payload.get("name", "")))
-        elif rec == "event":
-            trace.events.append(_event_from_payload(payload))
+        try:
+            payload = json.loads(line)
+            rec = payload.get("rec")
+            if rec == "span":
+                trace.spans.append(_span_from_payload(payload, payload.get("name", "")))
+            elif rec == "event":
+                trace.events.append(_event_from_payload(payload))
+        except (ValueError, KeyError, TypeError):
+            if strict:
+                raise
+    trace.spans.sort(key=lambda span: span.span_id)
+    trace.events.sort(key=lambda event: event.event_id)
     return trace
 
 
@@ -228,3 +241,171 @@ def load_trace(path: str | Path) -> TraceData:
     if stripped.startswith("{") and '"traceEvents"' in stripped[:4096]:
         return from_chrome(json.loads(text))
     return from_jsonl_lines(text.splitlines())
+
+
+def load_trace_lenient(path: str | Path) -> tuple[TraceData, list[str]]:
+    """Best-effort trace load: salvage what a truncated/empty file holds.
+
+    Returns the recovered trace plus human-readable warnings describing
+    what was wrong (empty file, truncated JSON document, skipped lines, no
+    complete ``run`` root span).  Never raises on malformed content -- the
+    degradation path behind ``repro-spca report``.
+    """
+    warnings: list[str] = []
+    text = Path(path).read_text()
+    stripped = text.lstrip()
+    if not stripped:
+        return TraceData(), [f"{path}: trace file is empty"]
+    if stripped.startswith("{") and '"traceEvents"' in stripped[:4096]:
+        try:
+            trace = from_chrome(json.loads(text))
+        except ValueError:
+            trace = _salvage_chrome(text)
+            warnings.append(
+                f"{path}: Chrome trace JSON is truncated or malformed; "
+                f"salvaged {len(trace.spans)} spans and {len(trace.events)} events"
+            )
+    else:
+        lines = text.splitlines()
+        trace = from_jsonl_lines(lines, strict=False)
+        complete = from_jsonl_lines_count(lines)
+        if complete < len([line for line in lines if line.strip()]):
+            warnings.append(
+                f"{path}: skipped {len([li for li in lines if li.strip()]) - complete} "
+                "malformed JSONL line(s) (truncated write?)"
+            )
+    if trace.spans and not any(span.kind == "run" for span in trace.spans):
+        warnings.append(
+            f"{path}: no complete 'run' root span -- the traced fit may have "
+            "been killed mid-flight; totals below cover the recorded jobs only"
+        )
+    return trace, warnings
+
+
+def from_jsonl_lines_count(lines: list[str]) -> int:
+    """How many non-empty lines parse cleanly as JSON (for salvage warnings)."""
+    parsed = 0
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            json.loads(line)
+            parsed += 1
+        except ValueError:
+            pass
+    return parsed
+
+
+def _salvage_chrome(text: str) -> TraceData:
+    """Recover leading complete entries from a truncated Chrome trace file."""
+    start = text.find('"traceEvents"')
+    if start == -1:
+        return TraceData()
+    start = text.find("[", start)
+    if start == -1:
+        return TraceData()
+    decoder = json.JSONDecoder()
+    entries: list[dict[str, Any]] = []
+    position = start + 1
+    length = len(text)
+    while position < length:
+        while position < length and text[position] in " \t\r\n,":
+            position += 1
+        if position >= length or text[position] == "]":
+            break
+        try:
+            entry, position = decoder.raw_decode(text, position)
+        except ValueError:
+            break
+        if isinstance(entry, dict):
+            entries.append(entry)
+    return from_chrome({"traceEvents": entries})
+
+
+class JsonlTraceWriter:
+    """Tracer listener streaming records to disk as they finish.
+
+    Each record is written exactly once -- driver-side spans at close,
+    driver-side events as they fire, and a recorded job's subtree in one
+    batch -- and the file is flushed after every top-level span close and
+    every job, so a killed run leaves a loadable prefix on disk and the
+    driver never buffers the trace (pair with ``Tracer(retain=False)``).
+    Record order is completion order; :func:`from_jsonl_lines` re-sorts by
+    id on load, so round-trips match the buffered writer.
+    """
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._file = self.path.open("w")
+        self._spans = 0
+        self._events = 0
+        self._file.write(
+            json.dumps(
+                {"rec": "header", "schema": JSONL_SCHEMA, "streaming": True}
+            )
+            + "\n"
+        )
+
+    # -- listener hooks ---------------------------------------------------
+
+    def on_span_end(self, span: SpanRecord) -> None:
+        self._write_span(span)
+        if span.parent_id is None:
+            self._file.flush()
+
+    def on_event(self, event: EventRecord) -> None:
+        self._write_event(event)
+
+    def on_job(self, spans: list[SpanRecord], events: list[EventRecord]) -> None:
+        for span in spans:
+            self._write_span(span)
+        for event in events:
+            self._write_event(event)
+        self._file.flush()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> Path:
+        """Write the footer (authoritative counts) and close the file."""
+        if not self._file.closed:
+            self._file.write(
+                json.dumps(
+                    {"rec": "footer", "spans": self._spans, "events": self._events}
+                )
+                + "\n"
+            )
+            self._file.close()
+        return self.path
+
+    def __enter__(self) -> "JsonlTraceWriter":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # -- internals ---------------------------------------------------------
+
+    def _write_span(self, span: SpanRecord) -> None:
+        payload = {"rec": "span", "name": span.name}
+        payload.update(_span_args(span))
+        self._file.write(json.dumps(payload) + "\n")
+        self._spans += 1
+
+    def _write_event(self, event: EventRecord) -> None:
+        self._file.write(
+            json.dumps(
+                {
+                    "rec": "event",
+                    "event_id": event.event_id,
+                    "parent_id": event.parent_id,
+                    "type": event.type,
+                    "t": event.t,
+                    "wall_t": event.wall_t,
+                    "attrs": event.attrs,
+                }
+            )
+            + "\n"
+        )
+        self._events += 1

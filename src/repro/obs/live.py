@@ -1,0 +1,216 @@
+"""Live in-terminal run dashboard, fed by tracer listener hooks.
+
+``repro-spca fit --live`` attaches a :class:`LiveDashboard` to the active
+tracer.  The dashboard accumulates job/phase state from ``on_job``
+notifications and repaints once per closed EM-iteration span -- the
+natural frame rate of Algorithm 4, where each iteration is a fixed small
+number of distributed jobs.
+
+Two rendering modes:
+
+- **ANSI** (interactive terminal): the block is redrawn in place with
+  cursor-up escapes, giving a flicker-free ticking view.
+- **plain** (pipes, CI logs, tests): one summary line per iteration, no
+  escape codes.
+
+The dashboard reads the process metrics registry *at render time* for the
+quantities the trace does not carry per-iteration (executor occupancy,
+cache hit ratio, fault/retry totals), so ``--live`` implies metrics
+collection in the CLI.
+"""
+
+from __future__ import annotations
+
+import sys
+from collections import OrderedDict
+from typing import Any, TextIO
+
+from repro.obs.metrics import MetricsRegistry, cache_hit_ratio, get_registry
+from repro.obs.tracer import TraceListener
+
+_CURSOR_UP = "\x1b[1A"
+_CLEAR_LINE = "\x1b[2K"
+
+
+def _fmt(value: Any, spec: str = ".4g") -> str:
+    if value is None:
+        return "-"
+    try:
+        return format(float(value), spec)
+    except (TypeError, ValueError):
+        return str(value)
+
+
+def _fmt_bytes(n: float) -> str:
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if abs(n) < 1024.0 or unit == "GiB":
+            return f"{n:.1f} {unit}" if unit != "B" else f"{int(n)} B"
+        n /= 1024.0
+    return f"{n:.1f} GiB"
+
+
+class LiveDashboard(TraceListener):
+    """Tracer listener that paints run progress to *stream*.
+
+    Args:
+        stream: destination (default ``sys.stderr`` so stdout stays clean
+            for machine-readable fit output).
+        registry: metrics registry to sample at render time; defaults to
+            the process registry.
+        plain: force one-line-per-iteration mode.  Auto-detected from
+            ``stream.isatty()`` when None.
+        max_phases: cap on phase rows in the ANSI block.
+    """
+
+    def __init__(
+        self,
+        stream: TextIO | None = None,
+        registry: MetricsRegistry | None = None,
+        plain: bool | None = None,
+        max_phases: int = 8,
+    ) -> None:
+        self.stream: TextIO = stream if stream is not None else sys.stderr
+        self._registry = registry
+        if plain is None:
+            isatty = getattr(self.stream, "isatty", None)
+            plain = not (callable(isatty) and isatty())
+        self.plain = plain
+        self.max_phases = max_phases
+        self._painted_lines = 0
+        self.frames = 0
+        self._reset()
+
+    def _reset(self) -> None:
+        self.run_name: str | None = None
+        self.n_jobs = 0
+        self.sim_seconds = 0.0
+        self.shuffle_bytes = 0
+        self.phase_seconds: OrderedDict[str, float] = OrderedDict()
+        self.iteration: int | None = None
+        self.objective: float | None = None
+        self.convergence_delta: float | None = None
+
+    @property
+    def registry(self) -> MetricsRegistry:
+        return self._registry if self._registry is not None else get_registry()
+
+    # -- TraceListener hooks --------------------------------------------
+
+    def on_span_start(self, span: Any) -> None:
+        if span.kind == "run":
+            self._reset()
+            self.run_name = span.name
+
+    def on_job(self, spans: list[Any], events: list[Any]) -> None:
+        job = spans[0]
+        self.n_jobs += 1
+        self.sim_seconds = max(self.sim_seconds, job.t0 + job.dur)
+        self.shuffle_bytes += int(job.attrs.get("shuffle_bytes", 0))
+        for span in spans:
+            if span.kind == "phase":
+                self.phase_seconds[span.name] = (
+                    self.phase_seconds.get(span.name, 0.0) + span.dur
+                )
+
+    def on_span_end(self, span: Any) -> None:
+        if span.kind != "iteration":
+            return
+        self.iteration = int(span.attrs.get("index", -1))
+        objective = span.attrs.get("objective")
+        self.objective = float(objective) if objective is not None else None
+        delta = span.attrs.get("convergence_delta")
+        self.convergence_delta = float(delta) if delta is not None else None
+        self.render()
+
+    # -- rendering ------------------------------------------------------
+
+    def _sample_registry(self) -> dict[str, Any]:
+        registry = self.registry
+        sample: dict[str, Any] = {
+            "retries": None, "faults": None, "occupancy": None, "cache": None,
+        }
+        if not registry.enabled:
+            return sample
+        sample["retries"] = int(registry.counter_total("spca_task_retries_total"))
+        sample["faults"] = int(registry.counter_total("spca_faults_total"))
+        occupancies = [
+            g.value
+            for g in registry.gauge_values("spca_executor_occupancy")
+            if g.value is not None
+        ]
+        sample["occupancy"] = occupancies[-1] if occupancies else None
+        sample["cache"] = cache_hit_ratio(registry)
+        return sample
+
+    def render(self) -> None:
+        self.frames += 1
+        if self.plain:
+            self._render_plain()
+        else:
+            self._render_ansi()
+
+    def _render_plain(self) -> None:
+        sample = self._sample_registry()
+        parts = [
+            f"[live] {self.run_name or 'run'}",
+            f"iter={self.iteration if self.iteration is not None else '-'}",
+            f"sim={self.sim_seconds:.3f}s",
+            f"jobs={self.n_jobs}",
+            f"obj={_fmt(self.objective, '.6g')}",
+            f"delta={_fmt(self.convergence_delta, '.3g')}",
+        ]
+        if sample["occupancy"] is not None:
+            parts.append(f"occ={sample['occupancy']:.0%}")
+        if sample["cache"] is not None:
+            parts.append(f"cache={sample['cache']:.0%}")
+        if sample["retries"]:
+            parts.append(f"retries={sample['retries']}")
+        if sample["faults"]:
+            parts.append(f"faults={sample['faults']}")
+        self.stream.write(" ".join(parts) + "\n")
+        self.stream.flush()
+
+    def _render_ansi(self) -> None:
+        lines = self._block_lines()
+        out = self.stream
+        if self._painted_lines:
+            out.write((_CURSOR_UP + _CLEAR_LINE) * self._painted_lines)
+        out.write("\n".join(lines) + "\n")
+        out.flush()
+        self._painted_lines = len(lines)
+
+    def _block_lines(self) -> list[str]:
+        sample = self._sample_registry()
+        lines = [
+            f"== {self.run_name or 'run'} "
+            f"-- iteration {self.iteration if self.iteration is not None else '-'}",
+            f"   sim time {self.sim_seconds:>10.3f}s   jobs {self.n_jobs:>5}   "
+            f"shuffle {_fmt_bytes(self.shuffle_bytes)}",
+            f"   objective {_fmt(self.objective, '.8g'):>14}   "
+            f"conv delta {_fmt(self.convergence_delta, '.4g'):>10}",
+        ]
+        status: list[str] = []
+        if sample["occupancy"] is not None:
+            status.append(f"occupancy {sample['occupancy']:.0%}")
+        if sample["cache"] is not None:
+            status.append(f"cache hits {sample['cache']:.0%}")
+        if sample["retries"] is not None:
+            status.append(f"retries {sample['retries']}")
+        if sample["faults"] is not None:
+            status.append(f"faults {sample['faults']}")
+        if status:
+            lines.append("   " + "   ".join(status))
+        if self.phase_seconds:
+            total = sum(self.phase_seconds.values())
+            lines.append("   phases:")
+            ranked = sorted(self.phase_seconds.items(), key=lambda kv: -kv[1])
+            for name, seconds in ranked[: self.max_phases]:
+                share = seconds / total if total else 0.0
+                bar = "#" * max(1, round(share * 24))
+                lines.append(f"     {name:<20}{seconds:>10.3f}s {bar}")
+        return lines
+
+    def close(self) -> None:
+        """Finish the dashboard (ANSI mode leaves the final frame up)."""
+        if not self.plain and self._painted_lines:
+            self.stream.flush()

@@ -1,0 +1,689 @@
+"""A zero-dependency metrics registry: counters, gauges, histograms.
+
+The registry is the aggregation layer the tracer deliberately is not: spans
+record *what happened when*, while metrics accumulate *how much and how
+fast* -- per-job simulated/wall latency distributions with exact p50/p90/p99,
+byte counters for every data channel the paper's evaluation accounts
+(shuffle, HDFS, broadcast, driver collect), cache hit ratios, fault/retry
+tallies from the fault layer, and per-worker occupancy from the executor
+layer.
+
+Design rules, mirroring :mod:`repro.obs.tracer`:
+
+- **Driver-side only.**  Every instrument update happens on the driver
+  thread (engines publish finished :class:`~repro.engine.metrics.JobStats`,
+  scoped task events are counted at ordered commit), so no locks are needed
+  and concurrent executors stay bit-identical to serial.
+- **Disabled by default.**  The process-wide registry
+  (:func:`get_registry`) is a shared disabled instance; instrumentation
+  sites guard on ``registry.enabled`` so the cost of *not* collecting is
+  one attribute check.
+- **Exact.**  Histograms retain raw observations (up to ``exact_limit``),
+  so percentiles are exact nearest-rank values and the histogram ``sum``
+  accumulates in recording order -- float-identical to
+  ``EngineMetrics.total_*`` (see :func:`reconcile_registry`).
+
+Snapshots (:meth:`MetricsRegistry.snapshot`) are plain JSON-able dicts
+stamped with :data:`METRICS_SCHEMA`; :func:`merge_snapshots` combines
+snapshots from independent runs and stays exact while the merged value
+lists are complete.  :func:`to_prometheus` renders the standard text
+exposition format (log-bucketed ``le`` boundaries), and
+:func:`parse_prometheus` reads it back for round-trip checks.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Any, Iterator
+
+METRICS_SCHEMA = "repro.metrics/1"
+
+#: raw observations retained per histogram before percentiles degrade from
+#: exact nearest-rank values to log-bucket upper-bound estimates
+DEFAULT_EXACT_LIMIT = 65536
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+#: bucket key for observations <= 0 (no finite log-bucket holds them)
+_UNDERFLOW = "u"
+
+
+def _check_name(name: str) -> str:
+    if not _NAME_RE.match(name):
+        raise ValueError(f"invalid metric name {name!r}")
+    return name
+
+
+def _label_key(labels: dict[str, str]) -> tuple[tuple[str, str], ...]:
+    for label in labels:
+        if not _LABEL_RE.match(label):
+            raise ValueError(f"invalid label name {label!r}")
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def bucket_index(value: float) -> int | None:
+    """The log2 bucket holding *value*: ``2**(i-1) < value <= 2**i``.
+
+    Returns None for values <= 0 (the underflow bucket).
+    """
+    if value <= 0:
+        return None
+    mantissa, exponent = math.frexp(value)  # value = mantissa * 2**exponent
+    if mantissa == 0.5:
+        return exponent - 1
+    return exponent
+
+
+def bucket_upper_bound(index: int | None) -> float:
+    """The inclusive upper boundary (Prometheus ``le``) of a bucket."""
+    if index is None:
+        return 0.0
+    return math.ldexp(1.0, index)
+
+
+class Counter:
+    """A monotonically increasing total."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: tuple[tuple[str, str], ...] = ()):
+        self.name = name
+        self.labels = labels
+        self.value: float = 0
+
+    def inc(self, amount: float = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease (inc {amount})")
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time value (last write wins)."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: tuple[tuple[str, str], ...] = ()):
+        self.name = name
+        self.labels = labels
+        self.value: float | None = None
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+
+class Histogram:
+    """Log2-bucketed distribution with exact nearest-rank percentiles.
+
+    Every observation lands in a sparse power-of-two bucket (for the
+    Prometheus export and for merge-without-raw-values), and the raw value
+    is additionally retained up to *exact_limit* so :meth:`percentile`
+    answers with the exact nearest-rank order statistic.  Past the limit,
+    percentiles degrade to the bucket upper bound at the rank (and
+    :attr:`exact` turns False).
+    """
+
+    __slots__ = ("name", "labels", "exact_limit", "count", "sum", "buckets", "values")
+
+    def __init__(
+        self,
+        name: str,
+        labels: tuple[tuple[str, str], ...] = (),
+        exact_limit: int = DEFAULT_EXACT_LIMIT,
+    ):
+        self.name = name
+        self.labels = labels
+        self.exact_limit = exact_limit
+        self.count = 0
+        self.sum: float = 0.0
+        self.buckets: dict[int | None, int] = {}
+        self.values: list[float] = []
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.sum += value
+        index = bucket_index(value)
+        self.buckets[index] = self.buckets.get(index, 0) + 1
+        if len(self.values) < self.exact_limit:
+            self.values.append(value)
+
+    @property
+    def exact(self) -> bool:
+        """True while every observation is still retained verbatim."""
+        return len(self.values) == self.count
+
+    def percentile(self, q: float) -> float | None:
+        """The q-th percentile (nearest-rank); None for an empty histogram."""
+        return _percentile(q, self.count, self.values, self.exact, self.buckets)
+
+    def percentiles(self) -> dict[str, Any]:
+        return {
+            "p50": self.percentile(50),
+            "p90": self.percentile(90),
+            "p99": self.percentile(99),
+            "exact": self.exact,
+        }
+
+
+def _percentile(
+    q: float,
+    count: int,
+    values: list[float],
+    exact: bool,
+    buckets: dict[int | None, int],
+) -> float | None:
+    if not 0 < q <= 100:
+        raise ValueError(f"percentile must be in (0, 100], got {q}")
+    if count == 0:
+        return None
+    rank = max(1, math.ceil(q / 100.0 * count))
+    if exact:
+        return sorted(values)[rank - 1]
+    # Estimate: upper bound of the bucket containing the rank.  Underflow
+    # (<= 0) sorts first.
+    ordered = sorted(buckets.items(), key=lambda kv: -math.inf if kv[0] is None else kv[0])
+    cumulative = 0
+    for index, n in ordered:
+        cumulative += n
+        if cumulative >= rank:
+            return bucket_upper_bound(index)
+    return bucket_upper_bound(ordered[-1][0])  # pragma: no cover - rank <= count
+
+
+class MetricsRegistry:
+    """Holds instruments keyed by (name, sorted labels).
+
+    Args:
+        enabled: when False, every factory hands back a shared no-op
+            instrument and nothing is recorded.
+        exact_limit: per-histogram raw-value retention cap.
+    """
+
+    def __init__(self, enabled: bool = True, exact_limit: int = DEFAULT_EXACT_LIMIT):
+        self.enabled = enabled
+        self.exact_limit = exact_limit
+        self._counters: dict[tuple[str, tuple[tuple[str, str], ...]], Counter] = {}
+        self._gauges: dict[tuple[str, tuple[tuple[str, str], ...]], Gauge] = {}
+        self._histograms: dict[tuple[str, tuple[tuple[str, str], ...]], Histogram] = {}
+
+    # -- instrument factories (get-or-create) ----------------------------
+
+    def counter(self, name: str, **labels: str) -> Counter:
+        if not self.enabled:
+            return _NOOP_COUNTER
+        key = (_check_name(name), _label_key(labels))
+        instrument = self._counters.get(key)
+        if instrument is None:
+            instrument = self._counters[key] = Counter(*key)
+        return instrument
+
+    def gauge(self, name: str, **labels: str) -> Gauge:
+        if not self.enabled:
+            return _NOOP_GAUGE
+        key = (_check_name(name), _label_key(labels))
+        instrument = self._gauges.get(key)
+        if instrument is None:
+            instrument = self._gauges[key] = Gauge(*key)
+        return instrument
+
+    def histogram(self, name: str, **labels: str) -> Histogram:
+        if not self.enabled:
+            return _NOOP_HISTOGRAM
+        key = (_check_name(name), _label_key(labels))
+        instrument = self._histograms.get(key)
+        if instrument is None:
+            instrument = self._histograms[key] = Histogram(
+                key[0], key[1], exact_limit=self.exact_limit
+            )
+        return instrument
+
+    # -- lookups (never create) ------------------------------------------
+
+    def find_counter(self, name: str, **labels: str) -> Counter | None:
+        return self._counters.get((name, _label_key(labels)))
+
+    def find_gauge(self, name: str, **labels: str) -> Gauge | None:
+        return self._gauges.get((name, _label_key(labels)))
+
+    def find_histogram(self, name: str, **labels: str) -> Histogram | None:
+        return self._histograms.get((name, _label_key(labels)))
+
+    def counter_total(self, name: str) -> float:
+        """Sum of one counter across all of its label sets."""
+        return sum(c.value for (n, _), c in self._counters.items() if n == name)
+
+    def gauge_values(self, name: str) -> list[Gauge]:
+        """Every gauge with *name*, across all label sets."""
+        return [g for (n, _), g in self._gauges.items() if n == name]
+
+    def reset(self) -> None:
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+
+    # -- export -----------------------------------------------------------
+
+    def snapshot(self) -> dict[str, Any]:
+        """A JSON-able snapshot of every instrument (schema-stamped)."""
+        return {
+            "schema": METRICS_SCHEMA,
+            "counters": [
+                {"name": c.name, "labels": dict(c.labels), "value": c.value}
+                for c in self._counters.values()
+            ],
+            "gauges": [
+                {"name": g.name, "labels": dict(g.labels), "value": g.value}
+                for g in self._gauges.values()
+            ],
+            "histograms": [
+                {
+                    "name": h.name,
+                    "labels": dict(h.labels),
+                    "count": h.count,
+                    "sum": h.sum,
+                    "buckets": {
+                        (_UNDERFLOW if index is None else str(index)): n
+                        for index, n in sorted(
+                            h.buckets.items(),
+                            key=lambda kv: -(2**62) if kv[0] is None else kv[0],
+                        )
+                    },
+                    "values": list(h.values) if h.exact else None,
+                    **h.percentiles(),
+                }
+                for h in self._histograms.values()
+            ],
+        }
+
+
+class _NoopCounter(Counter):
+    __slots__ = ()
+
+    def inc(self, amount: float = 1) -> None:
+        pass
+
+
+class _NoopGauge(Gauge):
+    __slots__ = ()
+
+    def set(self, value: float) -> None:
+        pass
+
+
+class _NoopHistogram(Histogram):
+    __slots__ = ()
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+_NOOP_COUNTER = _NoopCounter("noop")
+_NOOP_GAUGE = _NoopGauge("noop")
+_NOOP_HISTOGRAM = _NoopHistogram("noop")
+
+
+# -- process-wide registry ---------------------------------------------------
+
+_DISABLED = MetricsRegistry(enabled=False)
+_registry: MetricsRegistry = _DISABLED
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide registry (a shared disabled one by default)."""
+    return _registry
+
+
+def set_registry(registry: MetricsRegistry) -> None:
+    """Install *registry* as the process-wide registry."""
+    global _registry
+    _registry = registry
+
+
+@contextmanager
+def collecting(
+    enabled: bool = True, exact_limit: int = DEFAULT_EXACT_LIMIT
+) -> Iterator[MetricsRegistry]:
+    """Install a fresh registry for the duration of the block."""
+    previous = get_registry()
+    registry = MetricsRegistry(enabled=enabled, exact_limit=exact_limit)
+    set_registry(registry)
+    try:
+        yield registry
+    finally:
+        set_registry(previous)
+
+
+# -- snapshot algebra --------------------------------------------------------
+
+
+def _sample_key(sample: dict[str, Any]) -> tuple[str, tuple[tuple[str, str], ...]]:
+    return sample["name"], tuple(sorted(sample.get("labels", {}).items()))
+
+
+def snapshot_percentile(histogram: dict[str, Any], q: float) -> float | None:
+    """Percentile from a snapshotted histogram entry (exact when possible)."""
+    count = int(histogram.get("count", 0))
+    values = histogram.get("values")
+    exact = values is not None and len(values) == count
+    buckets: dict[int | None, int] = {
+        (None if key == _UNDERFLOW else int(key)): int(n)
+        for key, n in histogram.get("buckets", {}).items()
+    }
+    return _percentile(q, count, list(values or ()), exact, buckets)
+
+
+def merge_snapshots(*snapshots: dict[str, Any]) -> dict[str, Any]:
+    """Merge snapshots from independent registries into one.
+
+    Counters and histogram counts/sums/buckets add; gauges take the last
+    snapshot's value; histogram raw values concatenate (percentiles stay
+    exact) whenever every input retained its values.
+    """
+    counters: dict[tuple[str, tuple[tuple[str, str], ...]], dict[str, Any]] = {}
+    gauges: dict[tuple[str, tuple[tuple[str, str], ...]], dict[str, Any]] = {}
+    histograms: dict[tuple[str, tuple[tuple[str, str], ...]], dict[str, Any]] = {}
+    for snapshot in snapshots:
+        if snapshot.get("schema") != METRICS_SCHEMA:
+            raise ValueError(
+                f"cannot merge snapshot with schema {snapshot.get('schema')!r}"
+            )
+        for sample in snapshot.get("counters", ()):
+            key = _sample_key(sample)
+            row = counters.setdefault(
+                key, {"name": sample["name"], "labels": dict(sample.get("labels", {})),
+                      "value": 0}
+            )
+            row["value"] += sample["value"]
+        for sample in snapshot.get("gauges", ()):
+            key = _sample_key(sample)
+            gauges[key] = {
+                "name": sample["name"],
+                "labels": dict(sample.get("labels", {})),
+                "value": sample["value"],
+            }
+        for sample in snapshot.get("histograms", ()):
+            key = _sample_key(sample)
+            row = histograms.get(key)
+            if row is None:
+                histograms[key] = {
+                    "name": sample["name"],
+                    "labels": dict(sample.get("labels", {})),
+                    "count": int(sample["count"]),
+                    "sum": sample["sum"],
+                    "buckets": dict(sample.get("buckets", {})),
+                    "values": (
+                        list(sample["values"]) if sample.get("values") is not None
+                        else None
+                    ),
+                }
+                continue
+            row["count"] += int(sample["count"])
+            row["sum"] += sample["sum"]
+            for bucket, n in sample.get("buckets", {}).items():
+                row["buckets"][bucket] = row["buckets"].get(bucket, 0) + int(n)
+            if row["values"] is not None and sample.get("values") is not None:
+                row["values"] = list(row["values"]) + list(sample["values"])
+            else:
+                row["values"] = None
+    for row in histograms.values():
+        if row["values"] is not None and len(row["values"]) != row["count"]:
+            row["values"] = None
+        exact = row["values"] is not None
+        row["exact"] = exact
+        for q, label in ((50, "p50"), (90, "p90"), (99, "p99")):
+            row[label] = snapshot_percentile(row, q)
+    return {
+        "schema": METRICS_SCHEMA,
+        "counters": list(counters.values()),
+        "gauges": list(gauges.values()),
+        "histograms": list(histograms.values()),
+    }
+
+
+# -- Prometheus text exposition ----------------------------------------------
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_labels(labels: dict[str, str], extra: tuple[tuple[str, str], ...] = ()) -> str:
+    items = [*sorted(labels.items()), *extra]
+    if not items:
+        return ""
+    body = ",".join(f'{k}="{_escape_label_value(str(v))}"' for k, v in items)
+    return "{" + body + "}"
+
+
+def _format_number(value: float) -> str:
+    if isinstance(value, bool):  # pragma: no cover - defensive
+        return str(int(value))
+    if isinstance(value, int):
+        return str(value)
+    if value == math.inf:
+        return "+Inf"
+    return repr(float(value))
+
+
+def to_prometheus(snapshot: dict[str, Any] | MetricsRegistry) -> str:
+    """Render a snapshot (or live registry) as Prometheus text format."""
+    if isinstance(snapshot, MetricsRegistry):
+        snapshot = snapshot.snapshot()
+    lines: list[str] = []
+    typed: set[str] = set()
+
+    def type_line(name: str, kind: str) -> None:
+        if name not in typed:
+            typed.add(name)
+            lines.append(f"# TYPE {name} {kind}")
+
+    for sample in snapshot.get("counters", ()):
+        type_line(sample["name"], "counter")
+        lines.append(
+            f"{sample['name']}{_format_labels(sample.get('labels', {}))} "
+            f"{_format_number(sample['value'])}"
+        )
+    for sample in snapshot.get("gauges", ()):
+        if sample["value"] is None:
+            continue
+        type_line(sample["name"], "gauge")
+        lines.append(
+            f"{sample['name']}{_format_labels(sample.get('labels', {}))} "
+            f"{_format_number(sample['value'])}"
+        )
+    for sample in snapshot.get("histograms", ()):
+        name = sample["name"]
+        type_line(name, "histogram")
+        labels = sample.get("labels", {})
+        cumulative = 0
+        buckets = sorted(
+            sample.get("buckets", {}).items(),
+            key=lambda kv: -(2**62) if kv[0] == _UNDERFLOW else int(kv[0]),
+        )
+        for key, n in buckets:
+            cumulative += int(n)
+            bound = bucket_upper_bound(None if key == _UNDERFLOW else int(key))
+            lines.append(
+                f"{name}_bucket{_format_labels(labels, (('le', _format_number(bound)),))}"
+                f" {cumulative}"
+            )
+        lines.append(
+            f"{name}_bucket{_format_labels(labels, (('le', '+Inf'),))} "
+            f"{int(sample['count'])}"
+        )
+        lines.append(f"{name}_sum{_format_labels(labels)} {_format_number(sample['sum'])}")
+        lines.append(f"{name}_count{_format_labels(labels)} {int(sample['count'])}")
+    return "\n".join(lines) + "\n"
+
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r"\s+(?P<value>\S+)$"
+)
+_LABEL_PAIR_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def parse_prometheus(
+    text: str,
+) -> dict[tuple[str, tuple[tuple[str, str], ...]], float]:
+    """Parse Prometheus text format into ``{(name, labels): value}``.
+
+    Supports exactly the subset :func:`to_prometheus` emits; used by the
+    round-trip test that keeps the exporter honest.
+    """
+    samples: dict[tuple[str, tuple[tuple[str, str], ...]], float] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise ValueError(f"unparsable sample line: {line!r}")
+        labels = tuple(
+            sorted(
+                (k, v.replace("\\n", "\n").replace('\\"', '"').replace("\\\\", "\\"))
+                for k, v in _LABEL_PAIR_RE.findall(match.group("labels") or "")
+            )
+        )
+        raw = match.group("value")
+        value = math.inf if raw == "+Inf" else float(raw)
+        samples[(match.group("name"), labels)] = value
+    return samples
+
+
+def write_snapshot(
+    source: MetricsRegistry | dict[str, Any], path: str | Path
+) -> Path:
+    """Write a snapshot to *path*: ``.prom`` selects Prometheus text, else JSON."""
+    snapshot = source.snapshot() if isinstance(source, MetricsRegistry) else source
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    if path.suffix == ".prom":
+        path.write_text(to_prometheus(snapshot))
+    else:
+        path.write_text(json.dumps(snapshot, indent=1) + "\n")
+    return path
+
+
+def load_snapshot(path: str | Path) -> dict[str, Any]:
+    """Load a JSON snapshot written by :func:`write_snapshot`."""
+    snapshot = json.loads(Path(path).read_text())
+    if snapshot.get("schema") != METRICS_SCHEMA:
+        raise ValueError(
+            f"{path}: not a metrics snapshot (schema {snapshot.get('schema')!r})"
+        )
+    return snapshot
+
+
+# -- engine instrumentation ---------------------------------------------------
+
+_BYTE_CHANNELS = (
+    ("spca_shuffle_bytes_total", "shuffle_bytes"),
+    ("spca_map_output_bytes_total", "map_output_bytes"),
+    ("spca_hdfs_read_bytes_total", "hdfs_read_bytes"),
+    ("spca_hdfs_write_bytes_total", "hdfs_write_bytes"),
+    ("spca_broadcast_bytes_total", "broadcast_bytes"),
+    ("spca_driver_result_bytes_total", "driver_result_bytes"),
+    ("spca_intermediate_bytes_total", "intermediate_bytes"),
+)
+
+
+def observe_job_stats(registry: MetricsRegistry, stats: Any) -> None:
+    """Publish one finished job's stats into *registry*.
+
+    The single funnel for both engines: :meth:`EngineMetrics.record` calls
+    this for every job, Spark stage, broadcast, HDFS round-trip, and
+    backoff charge -- so registry totals cover exactly the jobs the engine
+    accounted, which is what :func:`reconcile_registry` checks.
+    """
+    registry.counter("spca_jobs_total").inc()
+    registry.histogram("spca_job_sim_seconds").observe(stats.sim_seconds)
+    registry.histogram("spca_job_wall_seconds").observe(stats.wall_seconds)
+    registry.histogram("spca_job_intermediate_bytes").observe(stats.intermediate_bytes)
+    for metric, attr in _BYTE_CHANNELS:
+        registry.counter(metric).inc(int(getattr(stats, attr)))
+    registry.counter("spca_task_retries_total").inc(stats.task_retries)
+    registry.counter("spca_recovery_sim_seconds_total").inc(stats.recovery_sim_seconds)
+    for label, amount in stats.faults.items():
+        registry.counter("spca_faults_total", fault=label).inc(amount)
+
+
+def count_cache_hit(registry: MetricsRegistry, nbytes: int = 0) -> None:
+    """Tally one block-cache hit (driver-side / commit path only)."""
+    registry.counter("spca_cache_hits_total").inc()
+    registry.counter("spca_cache_hit_bytes_total").inc(int(nbytes))
+
+
+def cache_hit_ratio(registry: MetricsRegistry) -> float | None:
+    """Hits / (hits + fills); None before any cache activity."""
+    hits = registry.counter_total("spca_cache_hits_total")
+    fills = registry.counter_total("spca_cache_puts_total")
+    if hits + fills == 0:
+        return None
+    return hits / (hits + fills)
+
+
+def reconcile_registry(snapshot: dict[str, Any], metrics: Any) -> list[str]:
+    """Cross-check a registry snapshot against an ``EngineMetrics``.
+
+    Returns human-readable discrepancies; empty means the registry's
+    byte/time totals agree *exactly* (float-exact sums, integer-exact
+    byte counts) with the engine's own accounting.
+    """
+    problems: list[str] = []
+    counters = {_sample_key(s): s["value"] for s in snapshot.get("counters", ())}
+    histograms = {_sample_key(s): s for s in snapshot.get("histograms", ())}
+
+    def counter_value(name: str, **labels: str) -> float:
+        return counters.get((name, tuple(sorted(labels.items()))), 0)
+
+    n_jobs = len(metrics.jobs)
+    if counter_value("spca_jobs_total") != n_jobs:
+        problems.append(
+            f"spca_jobs_total {counter_value('spca_jobs_total')} != {n_jobs} jobs"
+        )
+    sim = histograms.get(("spca_job_sim_seconds", ()))
+    if sim is None:
+        if n_jobs:
+            problems.append("spca_job_sim_seconds histogram missing")
+    else:
+        if sim["count"] != n_jobs:
+            problems.append(f"spca_job_sim_seconds count {sim['count']} != {n_jobs}")
+        if sim["sum"] != metrics.total_sim_seconds:
+            problems.append(
+                f"spca_job_sim_seconds sum {sim['sum']!r} "
+                f"!= {metrics.total_sim_seconds!r}"
+            )
+    wall = histograms.get(("spca_job_wall_seconds", ()))
+    if wall is not None and wall["sum"] != metrics.total_wall_seconds:
+        problems.append(
+            f"spca_job_wall_seconds sum {wall['sum']!r} "
+            f"!= {metrics.total_wall_seconds!r}"
+        )
+    for metric, attr in _BYTE_CHANNELS:
+        expected = int(getattr(metrics, f"total_{attr}"))
+        got = counter_value(metric)
+        if got != expected:
+            problems.append(f"{metric} {got} != {expected}")
+    if counter_value("spca_task_retries_total") != metrics.total_task_retries:
+        problems.append(
+            f"spca_task_retries_total {counter_value('spca_task_retries_total')} "
+            f"!= {metrics.total_task_retries}"
+        )
+    if counter_value("spca_recovery_sim_seconds_total") != metrics.total_recovery_sim_seconds:
+        problems.append(
+            "spca_recovery_sim_seconds_total "
+            f"{counter_value('spca_recovery_sim_seconds_total')!r} "
+            f"!= {metrics.total_recovery_sim_seconds!r}"
+        )
+    for label, amount in metrics.total_faults.items():
+        got = counter_value("spca_faults_total", fault=label)
+        if got != amount:
+            problems.append(f"spca_faults_total{{fault={label}}} {got} != {amount}")
+    return problems

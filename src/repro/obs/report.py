@@ -219,3 +219,351 @@ def _num(value: Any) -> str:
     if value is None:
         return "-"
     return f"{float(value):.5g}"
+
+
+# -- HTML rendering ----------------------------------------------------------
+#
+# Self-contained single-file report: inline CSS (light/dark via
+# prefers-color-scheme), inline SVG charts, no external assets or scripts.
+# Chart styling follows a fixed spec: 2px lines with >=8px end markers ringed
+# in the surface color, bars <=24px with 4px rounded data-ends and 2px surface
+# gaps, all text in ink tokens (never the series color), hairline gridlines,
+# native SVG <title> tooltips, and a table view next to every chart.
+
+_HTML_CSS = """
+:root {
+  color-scheme: light;
+  --surface: #fcfcfb; --page: #f9f9f7;
+  --ink: #0b0b0b; --ink-2: #52514e; --muted: #898781;
+  --grid: #e1e0d9; --axis: #c3c2b7; --border: rgba(11,11,11,0.10);
+  --series-1: #2a78d6; --series-2: #eb6834;
+}
+@media (prefers-color-scheme: dark) {
+  :root {
+    color-scheme: dark;
+    --surface: #1a1a19; --page: #0d0d0d;
+    --ink: #ffffff; --ink-2: #c3c2b7; --muted: #898781;
+    --grid: #2c2c2a; --axis: #383835; --border: rgba(255,255,255,0.10);
+    --series-1: #3987e5; --series-2: #d95926;
+  }
+}
+body { background: var(--page); color: var(--ink); margin: 0;
+  font: 14px/1.45 system-ui, -apple-system, "Segoe UI", sans-serif; }
+main { max-width: 980px; margin: 0 auto; padding: 24px 20px 60px; }
+h1 { font-size: 20px; font-weight: 600; margin: 0 0 2px; }
+h2 { font-size: 15px; font-weight: 600; margin: 28px 0 8px; }
+.sub { color: var(--ink-2); margin: 0 0 18px; }
+.warn { background: var(--surface); border: 1px solid var(--border);
+  border-left: 3px solid #ec835a; border-radius: 6px; padding: 8px 12px;
+  color: var(--ink-2); margin: 0 0 14px; }
+.tiles { display: flex; flex-wrap: wrap; gap: 10px; margin: 14px 0 6px; }
+.tile { background: var(--surface); border: 1px solid var(--border);
+  border-radius: 8px; padding: 10px 14px; min-width: 118px; }
+.tile .label { color: var(--ink-2); font-size: 12px; }
+.tile .value { font-size: 24px; font-weight: 600; }
+.card { background: var(--surface); border: 1px solid var(--border);
+  border-radius: 8px; padding: 14px 16px; margin: 0 0 6px; }
+svg text { fill: var(--muted); font: 11px system-ui, sans-serif; }
+svg .dlabel { fill: var(--ink-2); font-weight: 600; }
+table { border-collapse: collapse; width: 100%; background: var(--surface);
+  border: 1px solid var(--border); border-radius: 8px; overflow: hidden; }
+th, td { text-align: right; padding: 5px 10px; border-top: 1px solid var(--grid);
+  font-variant-numeric: tabular-nums; }
+th { color: var(--ink-2); font-weight: 600; border-top: none; }
+th:first-child, td:first-child { text-align: left; font-variant-numeric: normal; }
+pre { background: var(--surface); border: 1px solid var(--border);
+  border-radius: 8px; padding: 10px 12px; overflow-x: auto; font-size: 12px; }
+"""
+
+
+def _esc(value: Any) -> str:
+    import html
+
+    return html.escape(str(value))
+
+
+def _spark_svg(
+    points: list[tuple[float, float]],
+    series_var: str,
+    value_format: str = ".5g",
+    width: int = 640,
+    height: int = 120,
+) -> str:
+    """One-series sparkline: 2px line, ringed end marker, end label, grid."""
+    if not points:
+        return "<p class='sub'>(no data)</p>"
+    pad_l, pad_r, pad_t, pad_b = 10.0, 76.0, 12.0, 18.0
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+    plot_w = width - pad_l - pad_r
+    plot_h = height - pad_t - pad_b
+
+    def sx(x: float) -> float:
+        return pad_l + (x - x_lo) / x_span * plot_w
+
+    def sy(y: float) -> float:
+        return pad_t + (1.0 - (y - y_lo) / y_span) * plot_h
+
+    grid = "".join(
+        f"<line x1='{pad_l}' y1='{sy(y):.1f}' x2='{pad_l + plot_w}' "
+        f"y2='{sy(y):.1f}' stroke='var(--grid)' stroke-width='1'/>"
+        for y in (y_lo, (y_lo + y_hi) / 2, y_hi)
+    )
+    poly = " ".join(f"{sx(x):.1f},{sy(y):.1f}" for x, y in points)
+    dots = "".join(
+        f"<circle cx='{sx(x):.1f}' cy='{sy(y):.1f}' r='4' fill='var({series_var})'"
+        f" stroke='var(--surface)' stroke-width='2'>"
+        f"<title>iteration {x:g}: {format(y, value_format)}</title></circle>"
+        for x, y in points
+    )
+    end_x, end_y = points[-1]
+    end_label = (
+        f"<text class='dlabel' x='{sx(end_x) + 10:.1f}' y='{sy(end_y) + 4:.1f}'>"
+        f"{_esc(format(end_y, value_format))}</text>"
+    )
+    axis_labels = (
+        f"<text x='{pad_l}' y='{height - 4}'>iter {x_lo:g}</text>"
+        f"<text x='{pad_l + plot_w:.1f}' y='{height - 4}' text-anchor='end'>"
+        f"iter {x_hi:g}</text>"
+    )
+    return (
+        f"<svg viewBox='0 0 {width} {height}' width='100%' role='img'>"
+        f"{grid}"
+        f"<polyline points='{poly}' fill='none' stroke='var({series_var})'"
+        f" stroke-width='2' stroke-linejoin='round' stroke-linecap='round'/>"
+        f"{dots}{end_label}{axis_labels}</svg>"
+    )
+
+
+def _bars_svg(rows: list[tuple[str, float]], total: float, width: int = 640) -> str:
+    """Horizontal single-hue bar chart: <=24px bars, 4px rounded data-end."""
+    if not rows:
+        return "<p class='sub'>(no phase spans)</p>"
+    bar_h, gap, pad_l, pad_r, pad_t = 20, 2 + 6, 180.0, 90.0, 6
+    height = pad_t * 2 + len(rows) * (bar_h + gap)
+    plot_w = width - pad_l - pad_r
+    max_v = max(v for _, v in rows) or 1.0
+    parts: list[str] = []
+    y = float(pad_t)
+    for name, value in rows:
+        w = max(1.0, value / max_v * plot_w)
+        share = value / total if total else 0.0
+        # square at the baseline (left), 4px rounded data-end (right)
+        parts.append(
+            f"<path d='M {pad_l} {y} h {w - 4:.1f} a 4 4 0 0 1 4 4 v {bar_h - 8}"
+            f" a 4 4 0 0 1 -4 4 h {-(w - 4):.1f} z' fill='var(--series-1)'>"
+            f"<title>{_esc(name)}: {value:.3f} sim s ({share:.1%})</title></path>"
+        )
+        parts.append(
+            f"<text x='{pad_l - 8}' y='{y + bar_h / 2 + 4:.1f}' text-anchor='end'>"
+            f"{_esc(name)}</text>"
+        )
+        parts.append(
+            f"<text class='dlabel' x='{pad_l + w + 8:.1f}' y='{y + bar_h / 2 + 4:.1f}'>"
+            f"{value:.3f}s ({share:.0%})</text>"
+        )
+        y += bar_h + gap
+    baseline = (
+        f"<line x1='{pad_l}' y1='{pad_t - 2}' x2='{pad_l}' y2='{y - gap + 2:.1f}'"
+        f" stroke='var(--axis)' stroke-width='1'/>"
+    )
+    return (
+        f"<svg viewBox='0 0 {width} {height}' width='100%' role='img'>"
+        f"{baseline}{''.join(parts)}</svg>"
+    )
+
+
+def _html_table(headers: list[str], rows: list[list[Any]]) -> str:
+    head = "".join(f"<th>{_esc(h)}</th>" for h in headers)
+    body = "".join(
+        "<tr>" + "".join(f"<td>{_esc(cell)}</td>" for cell in row) + "</tr>"
+        for row in rows
+    )
+    return f"<table><thead><tr>{head}</tr></thead><tbody>{body}</tbody></table>"
+
+
+def render_html(
+    trace: TraceData,
+    metrics_snapshot: dict[str, Any] | None = None,
+    title: str = "repro-spca run report",
+    warnings: list[str] | None = None,
+) -> str:
+    """Render *trace* (plus an optional metrics snapshot) as one HTML page."""
+    from repro.obs.analyze import critical_path, straggler_report
+
+    summary = summarize(trace)
+    iterations = [
+        span for group in iteration_groups(trace).values() for span in group
+    ]
+    parts: list[str] = [
+        "<!doctype html><html><head><meta charset='utf-8'>",
+        f"<title>{_esc(title)}</title><style>{_HTML_CSS}</style></head>",
+        f"<body><main><h1>{_esc(title)}</h1>",
+        "<p class='sub'>simulated clock throughout; "
+        "generated by <code>repro-spca report --html</code></p>",
+    ]
+    for warning in warnings or []:
+        parts.append(f"<p class='warn'>warning: {_esc(warning)}</p>")
+
+    parts.append("<div class='tiles'>")
+    for label, value in (
+        ("sim time", f"{summary.total_sim_seconds:.3f}s"),
+        ("jobs", f"{summary.n_jobs}"),
+        ("iterations", f"{len(iterations)}"),
+        ("shuffle", f"{summary.totals.get('shuffle_bytes', 0):,} B"),
+        ("task retries", f"{summary.total_task_retries}"),
+    ):
+        parts.append(
+            f"<div class='tile'><div class='label'>{_esc(label)}</div>"
+            f"<div class='value'>{_esc(value)}</div></div>"
+        )
+    parts.append("</div>")
+
+    obj_points = [
+        (float(s.attrs["index"]), float(s.attrs["objective"]))
+        for s in iterations
+        if s.attrs.get("objective") is not None and s.attrs.get("index") is not None
+    ]
+    delta_points = [
+        (float(s.attrs["index"]), float(s.attrs["convergence_delta"]))
+        for s in iterations
+        if s.attrs.get("convergence_delta") is not None
+        and s.attrs.get("index") is not None
+    ]
+    if obj_points:
+        parts.append("<h2>Objective per iteration</h2><div class='card'>")
+        parts.append(_spark_svg(obj_points, "--series-1", ".8g"))
+        parts.append("</div>")
+    if delta_points:
+        parts.append("<h2>Convergence delta per iteration</h2><div class='card'>")
+        parts.append(_spark_svg(delta_points, "--series-2", ".3g"))
+        parts.append("</div>")
+    if iterations:
+        parts.append("<h2>Iterations</h2>")
+        parts.append(
+            _html_table(
+                ["iter", "end sim s", "objective", "conv delta", "interm. B"],
+                [
+                    [
+                        s.attrs.get("index", "?"),
+                        f"{s.t0 + s.dur:.3f}",
+                        _num(s.attrs.get("objective")),
+                        _num(s.attrs.get("convergence_delta")),
+                        f"{int(s.attrs.get('intermediate_bytes', 0)):,}",
+                    ]
+                    for s in iterations
+                ],
+            )
+        )
+
+    phase_rows = sorted(
+        (
+            (name, row["sim_seconds"])
+            for name, row in summary.by_phase_name.items()
+        ),
+        key=lambda kv: -kv[1],
+    )
+    phase_total = sum(v for _, v in phase_rows)
+    parts.append("<h2>Where the simulated time goes</h2><div class='card'>")
+    parts.append(_bars_svg(phase_rows[:12], phase_total))
+    parts.append("</div>")
+
+    parts.append("<h2>Jobs</h2>")
+    parts.append(
+        _html_table(
+            ["job", "runs", "sim s", "shuffle B", "interm. B", "retries"],
+            [
+                [
+                    name,
+                    row["runs"],
+                    f"{row['sim_seconds']:.3f}",
+                    f"{row['shuffle_bytes']:,}",
+                    f"{row['intermediate_bytes']:,}",
+                    row["task_retries"],
+                ]
+                for name, row in summary.by_job_name.items()
+            ],
+        )
+    )
+
+    path = critical_path(trace)
+    if path is not None:
+        parts.append("<h2>Critical path</h2>")
+        rows = [
+            [
+                f"{seg.name}{' (self)' if seg.self_time else ''}",
+                seg.kind,
+                f"{seg.start:.3f}",
+                f"{seg.end:.3f}",
+                f"{seg.duration:.3f}",
+            ]
+            for seg in path.segments[:40]
+        ]
+        parts.append(
+            _html_table(["span", "kind", "start s", "end s", "duration s"], rows)
+        )
+        if len(path.segments) > 40:
+            parts.append(
+                f"<p class='sub'>... {len(path.segments) - 40} more segments</p>"
+            )
+
+    skews = straggler_report(trace)
+    if skews:
+        parts.append("<h2>Partition skew</h2>")
+        parts.append(
+            _html_table(
+                ["phase", "job", "tasks", "max s", "median s", "max/med", "max/mean"],
+                [
+                    [
+                        skew.phase_name,
+                        skew.job_name,
+                        skew.n_tasks,
+                        f"{skew.max_s:.3f}",
+                        f"{skew.median_s:.3f}",
+                        f"{skew.skew:.2f}",
+                        f"{skew.imbalance:.2f}",
+                    ]
+                    for skew in skews[:12]
+                ],
+            )
+        )
+
+    if metrics_snapshot is not None:
+        parts.append("<h2>Metrics snapshot</h2>")
+        counter_rows = [
+            [
+                item["name"]
+                + (
+                    "{" + ",".join(f"{k}={v}" for k, v in item["labels"].items()) + "}"
+                    if item.get("labels")
+                    else ""
+                ),
+                f"{item['value']:g}",
+            ]
+            for item in metrics_snapshot.get("counters", [])
+        ]
+        if counter_rows:
+            parts.append(_html_table(["counter", "value"], counter_rows))
+        hist_rows = [
+            [
+                item["name"],
+                item["count"],
+                f"{item['sum']:.6g}",
+                _num(item.get("p50")),
+                _num(item.get("p90")),
+                _num(item.get("p99")),
+            ]
+            for item in metrics_snapshot.get("histograms", [])
+        ]
+        if hist_rows:
+            parts.append(
+                _html_table(["histogram", "count", "sum", "p50", "p90", "p99"],
+                            hist_rows)
+            )
+
+    parts.append("</main></body></html>")
+    return "".join(parts)

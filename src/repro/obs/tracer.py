@@ -220,19 +220,50 @@ class JobTrace:
         )
 
 
+class TraceListener:
+    """Optional base class for tracer listeners; every hook is a no-op.
+
+    Listeners see records exactly once, at the moment they are *final*:
+    driver-side spans at close (attributes fully set), driver-side events
+    as they fire, and a recorded job's whole subtree in one
+    :meth:`on_job` call.  This is the feed both the streaming JSONL
+    writer and the live dashboard run on -- duck-typed, so any object with
+    a matching method works.
+    """
+
+    def on_span_start(self, span: SpanRecord) -> None:
+        pass
+
+    def on_span_end(self, span: SpanRecord) -> None:
+        pass
+
+    def on_event(self, event: EventRecord) -> None:
+        pass
+
+    def on_job(
+        self, spans: list[SpanRecord], events: list[EventRecord]
+    ) -> None:
+        """A finished job subtree; ``spans[0]`` is the job span itself."""
+
+
 class Tracer:
     """Collects spans and events for one traced scope.
 
     Args:
         enabled: when False every method is a no-op and nothing allocates.
+        retain: when False, finished records are handed to listeners but
+            never stored on :attr:`spans`/:attr:`events` -- O(1) memory for
+            arbitrarily long runs (used by streaming export and ``--live``).
     """
 
-    def __init__(self, enabled: bool = True):
+    def __init__(self, enabled: bool = True, retain: bool = True):
         self.enabled = enabled
+        self.retain = retain
         self.sim_now = 0.0
         self.spans: list[SpanRecord] = []
         self.events: list[EventRecord] = []
         self._stack: list[SpanRecord] = []
+        self._listeners: list[Any] = []
         self._next_id = 1
         self._wall_origin = time.perf_counter()
 
@@ -248,6 +279,22 @@ class Tracer:
 
     def _current_parent(self) -> int | None:
         return self._stack[-1].span_id if self._stack else None
+
+    # -- listeners --------------------------------------------------------
+
+    def add_listener(self, listener: Any) -> None:
+        """Subscribe *listener* (see :class:`TraceListener`) to this tracer."""
+        self._listeners.append(listener)
+
+    def remove_listener(self, listener: Any) -> None:
+        if listener in self._listeners:
+            self._listeners.remove(listener)
+
+    def _notify(self, method: str, *args: Any) -> None:
+        for listener in self._listeners:
+            handler = getattr(listener, method, None)
+            if handler is not None:
+                handler(*args)
 
     # -- driver-side spans ------------------------------------------------
 
@@ -272,14 +319,19 @@ class Tracer:
             wall_dur=0.0,
             attrs=dict(attrs),
         )
-        self.spans.append(record)
+        if self.retain:
+            self.spans.append(record)
         self._stack.append(record)
+        if self._listeners:
+            self._notify("on_span_start", record)
         try:
             yield record
         finally:
             self._stack.pop()
             record.dur = self.sim_now - record.t0
             record.wall_dur = self._wall() - record.wall_t0
+            if self._listeners:
+                self._notify("on_span_end", record)
 
     # -- events -----------------------------------------------------------
 
@@ -287,16 +339,18 @@ class Tracer:
         """Record an instantaneous event at the current cursor position."""
         if not self.enabled:
             return
-        self.events.append(
-            EventRecord(
-                event_id=self._new_id(),
-                parent_id=self._current_parent(),
-                type=type,
-                t=self.sim_now,
-                wall_t=self._wall(),
-                attrs=attrs,
-            )
+        record = EventRecord(
+            event_id=self._new_id(),
+            parent_id=self._current_parent(),
+            type=type,
+            t=self.sim_now,
+            wall_t=self._wall(),
+            attrs=attrs,
         )
+        if self.retain:
+            self.events.append(record)
+        if self._listeners:
+            self._notify("on_event", record)
 
     # -- engine-side job recording ----------------------------------------
 
@@ -312,6 +366,8 @@ class Tracer:
             return
         t0 = self.sim_now
         wall_now = self._wall()
+        new_spans: list[SpanRecord] = []
+        new_events: list[EventRecord] = []
         job_span = SpanRecord(
             span_id=self._new_id(),
             parent_id=self._current_parent(),
@@ -323,7 +379,7 @@ class Tracer:
             wall_dur=trace.wall_duration,
             attrs=dict(trace.attrs),
         )
-        self.spans.append(job_span)
+        new_spans.append(job_span)
         for phase in trace.phases:
             phase_span = SpanRecord(
                 span_id=self._new_id(),
@@ -336,7 +392,7 @@ class Tracer:
                 wall_dur=0.0,
                 attrs=dict(phase.attrs),
             )
-            self.spans.append(phase_span)
+            new_spans.append(phase_span)
             for task in phase.tasks:
                 task_t0 = phase_span.t0 + task.start
                 task_span = SpanRecord(
@@ -353,9 +409,9 @@ class Tracer:
                 )
                 if task.wall_seconds:
                     task_span.attrs["wall_s"] = task.wall_seconds
-                self.spans.append(task_span)
+                new_spans.append(task_span)
                 if task.retries:
-                    self.events.append(
+                    new_events.append(
                         EventRecord(
                             event_id=self._new_id(),
                             parent_id=task_span.span_id,
@@ -366,7 +422,7 @@ class Tracer:
                         )
                     )
                 if task.speculative_kill:
-                    self.events.append(
+                    new_events.append(
                         EventRecord(
                             event_id=self._new_id(),
                             parent_id=task_span.span_id,
@@ -377,7 +433,7 @@ class Tracer:
                         )
                     )
         for event in trace.events:
-            self.events.append(
+            new_events.append(
                 EventRecord(
                     event_id=self._new_id(),
                     parent_id=job_span.span_id,
@@ -387,7 +443,12 @@ class Tracer:
                     attrs=dict(event.attrs),
                 )
             )
+        if self.retain:
+            self.spans.extend(new_spans)
+            self.events.extend(new_events)
         self.sim_now = t0 + trace.sim_duration
+        if self._listeners:
+            self._notify("on_job", new_spans, new_events)
 
 
 def record_job_stats(
@@ -434,10 +495,10 @@ def set_tracer(tracer: Tracer) -> None:
 
 
 @contextmanager
-def tracing(enabled: bool = True) -> Iterator[Tracer]:
+def tracing(enabled: bool = True, retain: bool = True) -> Iterator[Tracer]:
     """Install a fresh tracer for the duration of the block."""
     previous = get_tracer()
-    tracer = Tracer(enabled=enabled)
+    tracer = Tracer(enabled=enabled, retain=retain)
     set_tracer(tracer)
     try:
         yield tracer

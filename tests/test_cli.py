@@ -157,9 +157,21 @@ class TestTraceAndReport:
                      "--max-iterations", "2", "--trace", str(path),
                      "--backend", "spark"])
         assert code == 0
-        first = json.loads(path.read_text().splitlines()[0])
-        assert first == {"rec": "header", "schema": "repro.obs/1",
-                         "spans": first["spans"], "events": first["events"]}
+        lines = path.read_text().splitlines()
+        # A .jsonl trace from `fit` is written incrementally: streaming
+        # header up front, counts only in the footer.
+        header = json.loads(lines[0])
+        assert header == {"rec": "header", "schema": "repro.obs/1",
+                          "streaming": True}
+        footer = json.loads(lines[-1])
+        assert footer["rec"] == "footer"
+        assert footer["spans"] > 0
+        # And it loads back like any other trace.
+        from repro.obs import load_trace
+
+        trace = load_trace(path)
+        assert len(trace.spans) == footer["spans"]
+        assert len(trace.events) == footer["events"]
 
     def test_trace_inspect(self, trace_path, capsys):
         assert main(["trace", str(trace_path)]) == 0
@@ -196,6 +208,145 @@ class TestTraceAndReport:
     def test_trace_missing_file_is_clean_error(self, tmp_path, capsys):
         assert main(["trace", str(tmp_path / "missing.json")]) == 2
         assert "error:" in capsys.readouterr().err
+
+    def test_report_critical_path_and_straggler_sections(self, trace_path, capsys):
+        assert main(["report", str(trace_path),
+                     "--section", "critical-path"]) == 0
+        output = capsys.readouterr().out
+        assert "== critical path ==" in output
+        assert "by kind:" in output
+        assert main(["report", str(trace_path), "--section", "stragglers"]) == 0
+        assert "== stragglers ==" in capsys.readouterr().out
+
+    def test_report_html(self, trace_path, tmp_path, capsys):
+        out = tmp_path / "report.html"
+        assert main(["report", str(trace_path), "--html", str(out)]) == 0
+        assert "html report written to" in capsys.readouterr().out
+        html = out.read_text()
+        assert html.startswith("<!doctype html>")
+        assert "<svg" in html
+        assert "Critical path" in html
+        # Self-contained: no external scripts or stylesheets.
+        assert "<script src" not in html
+        assert "<link" not in html
+
+    def test_report_empty_trace_degrades_gracefully(self, tmp_path, capsys):
+        empty = tmp_path / "empty.trace.jsonl"
+        empty.write_text("")
+        assert main(["report", str(empty)]) == 0
+        captured = capsys.readouterr()
+        assert "trace file is empty" in captured.err
+        assert "== jobs ==" in captured.out
+
+    def test_report_truncated_jsonl_degrades_gracefully(
+        self, matrix_path, tmp_path, capsys
+    ):
+        path = tmp_path / "fit.jsonl"
+        assert main(["fit", str(matrix_path), "--components", "3",
+                     "--max-iterations", "2", "--trace", str(path)]) == 0
+        capsys.readouterr()
+        lines = path.read_text().splitlines()
+        # Chop the footer and cut the last span line in half, as if the
+        # writer died mid-record.
+        truncated = tmp_path / "truncated.jsonl"
+        truncated.write_text("\n".join(lines[:-2] + [lines[-2][: len(lines[-2]) // 2]]))
+        assert main(["report", str(truncated)]) == 0
+        captured = capsys.readouterr()
+        assert "malformed JSONL" in captured.err
+        assert "== jobs ==" in captured.out
+
+    def test_report_truncated_chrome_json_degrades_gracefully(
+        self, trace_path, tmp_path, capsys
+    ):
+        text = trace_path.read_text()
+        cut = tmp_path / "cut.trace.json"
+        cut.write_text(text[: int(len(text) * 0.6)])
+        assert main(["report", str(cut)]) == 0
+        captured = capsys.readouterr()
+        assert "salvaged" in captured.err
+        assert "== jobs ==" in captured.out
+
+
+class TestMetricsAndLive:
+    @pytest.fixture
+    def trace_and_metrics(self, matrix_path, tmp_path):
+        trace = tmp_path / "fit.trace.json"
+        metrics = tmp_path / "fit.metrics.json"
+        code = main(["fit", str(matrix_path), "--components", "3",
+                     "--max-iterations", "3", "--backend", "spark",
+                     "--trace", str(trace), "--metrics", str(metrics)])
+        assert code == 0
+        return trace, metrics
+
+    def test_fit_writes_metrics_snapshot(self, trace_and_metrics):
+        import json
+
+        _, metrics_path = trace_and_metrics
+        snapshot = json.loads(metrics_path.read_text())
+        assert snapshot["schema"] == "repro.metrics/1"
+        names = {c["name"] for c in snapshot["counters"]}
+        assert "spca_jobs_total" in names
+        assert "spca_em_iterations_total" in names
+        assert any(h["name"] == "spca_job_sim_seconds"
+                   for h in snapshot["histograms"])
+
+    def test_fit_metrics_prom_extension_selects_prometheus(
+        self, matrix_path, tmp_path
+    ):
+        from repro.obs import parse_prometheus
+
+        prom = tmp_path / "fit.metrics.prom"
+        assert main(["fit", str(matrix_path), "--components", "3",
+                     "--max-iterations", "2", "--backend", "mapreduce",
+                     "--metrics", str(prom)]) == 0
+        text = prom.read_text()
+        assert "# TYPE spca_jobs_total counter" in text
+        samples = parse_prometheus(text)
+        assert any(name == "spca_jobs_total" for name, _ in samples)
+
+    def test_report_html_with_metrics_snapshot(self, trace_and_metrics, tmp_path):
+        trace_path, metrics_path = trace_and_metrics
+        out = tmp_path / "report.html"
+        assert main(["report", str(trace_path), "--html", str(out),
+                     "--metrics", str(metrics_path)]) == 0
+        html = out.read_text()
+        assert "Metrics snapshot" in html
+        assert "spca_jobs_total" in html
+
+    def test_fit_live_plain_renders_iteration_lines(self, matrix_path, capsys):
+        assert main(["fit", str(matrix_path), "--components", "3",
+                     "--max-iterations", "3", "--backend", "mapreduce",
+                     "--live"]) == 0
+        err = capsys.readouterr().err
+        live_lines = [li for li in err.splitlines() if li.startswith("[live]")]
+        assert len(live_lines) == 3
+        assert "iter=3" in live_lines[-1]
+        assert "obj=" in live_lines[-1]
+
+    def test_diff_of_identical_traces_has_no_regressions(
+        self, trace_and_metrics, capsys
+    ):
+        trace_path, _ = trace_and_metrics
+        assert main(["diff", str(trace_path), str(trace_path),
+                     "--fail-on-regression"]) == 0
+        output = capsys.readouterr().out
+        assert "total:sim_seconds" in output
+        assert "1.000" in output
+
+    def test_diff_flags_new_work_as_regression(
+        self, trace_and_metrics, tmp_path, capsys
+    ):
+        trace_path, _ = trace_and_metrics
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        assert main(["diff", str(empty), str(trace_path),
+                     "--fail-on-regression"]) == 1
+        assert "new" in capsys.readouterr().out
+
+    def test_trace_diff_alias(self, trace_and_metrics, capsys):
+        trace_path, _ = trace_and_metrics
+        assert main(["trace", str(trace_path), "--diff", str(trace_path)]) == 0
+        assert "baseline:" in capsys.readouterr().out
 
 
 class TestSelect:

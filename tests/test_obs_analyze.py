@@ -1,0 +1,249 @@
+"""Critical-path extraction, straggler attribution, trace diff."""
+
+import pytest
+
+from repro.obs.analyze import (
+    critical_path,
+    diff_traces,
+    format_critical_path,
+    format_diff,
+    format_stragglers,
+    iteration_critical_paths,
+    straggler_report,
+)
+from repro.obs.export import TraceData
+from repro.obs.tracer import SpanRecord
+
+
+def span(span_id, parent_id, kind, name, t0, dur, track=None, **attrs):
+    return SpanRecord(
+        span_id=span_id, parent_id=parent_id, kind=kind, name=name,
+        t0=t0, dur=dur, wall_t0=0.0, wall_dur=0.0, track=track, attrs=attrs,
+    )
+
+
+def single_task_trace():
+    """run(0..10) > job(1..9) > phase(1..9) > task(2..8)."""
+    return TraceData(spans=[
+        span(1, None, "run", "fit", 0.0, 10.0),
+        span(2, 1, "job", "meanJob", 1.0, 8.0),
+        span(3, 2, "phase", "map", 1.0, 8.0),
+        span(4, 3, "task", "map[0]", 2.0, 6.0, track=0),
+    ])
+
+
+def parallel_trace():
+    """Three tasks starting together; the longest alone bounds the phase."""
+    return TraceData(spans=[
+        span(1, None, "run", "fit", 0.0, 10.0),
+        span(2, 1, "job", "YtXJob", 0.0, 10.0),
+        span(3, 2, "phase", "map", 0.0, 10.0),
+        span(4, 3, "task", "map[0]", 0.0, 10.0, track=0),
+        span(5, 3, "task", "map[1]", 0.0, 4.0, track=1),
+        span(6, 3, "task", "map[2]", 0.0, 6.0, track=2),
+    ])
+
+
+class TestCriticalPath:
+    def test_empty_trace_has_no_path(self):
+        assert critical_path(TraceData()) is None
+        assert format_critical_path(None) == "(no spans in trace)"
+
+    def test_single_task_tree_attributes_gaps_as_self_time(self):
+        path = critical_path(single_task_trace())
+        assert path.root_name == "fit"
+        assert path.total == 10.0
+        # Chronological, gap-free cover of the root's interval.
+        assert [(s.start, s.end) for s in path.segments] == [
+            (0.0, 1.0), (1.0, 2.0), (2.0, 8.0), (8.0, 9.0), (9.0, 10.0),
+        ]
+        assert sum(s.duration for s in path.segments) == path.total
+        kinds = [(s.kind, s.self_time) for s in path.segments]
+        assert kinds == [
+            ("run", True), ("phase", True), ("task", False),
+            ("phase", True), ("run", True),
+        ]
+
+    def test_single_task_by_kind_aggregation(self):
+        path = critical_path(single_task_trace())
+        by_kind = path.by_kind()
+        assert by_kind["task"] == 6.0
+        assert by_kind["phase (self)"] == 2.0
+        assert by_kind["run (self)"] == 2.0
+        # Sorted by descending contribution.
+        assert list(by_kind)[0] == "task"
+
+    def test_fully_parallel_phase_keeps_only_the_longest_task(self):
+        path = critical_path(parallel_trace())
+        tasks = [s for s in path.segments if s.kind == "task"]
+        assert [t.name for t in tasks] == ["map[0]"]
+        assert tasks[0].duration == 10.0
+        assert not tasks[0].self_time
+        assert sum(s.duration for s in path.segments) == 10.0
+
+    def test_explicit_root_id_scopes_the_walk(self):
+        path = critical_path(single_task_trace(), root_id=3)
+        assert path.root_name == "map"
+        assert path.total == 8.0
+        assert [(s.start, s.end) for s in path.segments] == [
+            (1.0, 2.0), (2.0, 8.0), (8.0, 9.0),
+        ]
+
+    def test_unknown_root_id_is_none(self):
+        assert critical_path(single_task_trace(), root_id=99) is None
+
+    def test_prefers_run_root_over_longer_non_run_root(self):
+        trace = TraceData(spans=[
+            span(1, None, "job", "orphan", 0.0, 50.0),
+            span(2, None, "run", "fit", 0.0, 10.0),
+        ])
+        assert critical_path(trace).root_name == "fit"
+
+    def test_iteration_critical_paths_keyed_by_index(self):
+        trace = TraceData(spans=[
+            span(1, None, "run", "fit", 0.0, 10.0),
+            span(2, 1, "iteration", "iteration[1]", 0.0, 4.0, index=1),
+            span(3, 1, "iteration", "iteration[2]", 4.0, 6.0, index=2),
+            span(4, 2, "job", "meanJob", 0.0, 4.0),
+            span(5, 3, "job", "YtXJob", 4.0, 6.0),
+        ])
+        paths = iteration_critical_paths(trace)
+        assert list(paths) == [1, 2]
+        assert paths[1].total == 4.0
+        assert paths[2].total == 6.0
+
+    def test_format_renders_chain_and_aggregations(self):
+        text = format_critical_path(critical_path(single_task_trace()))
+        assert "critical path of fit" in text
+        assert "(self)" in text
+        assert "by kind:" in text
+        assert "top contributors:" in text
+
+
+class TestStragglers:
+    def trace_with_skew(self):
+        return TraceData(spans=[
+            span(1, None, "run", "fit", 0.0, 10.0),
+            span(2, 1, "job", "YtXJob", 0.0, 10.0),
+            span(3, 2, "phase", "map", 0.0, 10.0),
+            span(4, 3, "task", "map[0]", 0.0, 1.0, track=0),
+            span(5, 3, "task", "map[1]", 0.0, 1.0, track=1),
+            span(6, 3, "task", "map[2]", 0.0, 1.0, track=2),
+            span(7, 3, "task", "map[3]", 0.0, 5.0, track=3),
+        ])
+
+    def test_skew_metrics_and_straggler_identification(self):
+        report = straggler_report(self.trace_with_skew())
+        assert len(report) == 1
+        skew = report[0]
+        assert skew.phase_name == "map"
+        assert skew.job_name == "YtXJob"
+        assert skew.n_tasks == 4
+        assert skew.max_s == 5.0
+        assert skew.median_s == 1.0
+        assert skew.mean_s == 2.0
+        assert skew.skew == 5.0
+        assert skew.imbalance == 2.5
+        assert skew.stragglers == [("map[3]", 5.0, 3)]
+
+    def test_threshold_controls_who_counts(self):
+        report = straggler_report(self.trace_with_skew(), threshold=6.0)
+        assert report[0].stragglers == []
+
+    def test_phases_below_min_tasks_are_skipped(self):
+        report = straggler_report(single_task_trace())
+        assert report == []
+        assert format_stragglers(report) == "(no phases with enough task spans)"
+
+    def test_worst_imbalance_first(self):
+        trace = self.trace_with_skew()
+        trace.spans += [
+            span(8, 2, "phase", "reduce", 0.0, 10.0),
+            span(9, 8, "task", "reduce[0]", 0.0, 1.0, track=0),
+            span(10, 8, "task", "reduce[1]", 0.0, 1.1, track=1),
+        ]
+        report = straggler_report(trace)
+        assert [item.phase_name for item in report] == ["map", "reduce"]
+
+    def test_format_lists_stragglers_with_slots(self):
+        text = format_stragglers(straggler_report(self.trace_with_skew()))
+        assert "straggler: map[3]" in text
+        assert "slot 3" in text
+
+
+def job_trace(named_durations, phase_seconds=None, retries=0):
+    spans = [span(1, None, "run", "fit", 0.0, 100.0)]
+    sid = 2
+    for name, dur in named_durations:
+        spans.append(span(sid, 1, "job", name, 0.0, dur,
+                          shuffle_bytes=100, task_retries=retries))
+        sid += 1
+    for name, dur in (phase_seconds or []):
+        spans.append(span(sid, 2, "phase", name, 0.0, dur))
+        sid += 1
+    return TraceData(spans=spans)
+
+
+class TestDiff:
+    def test_identical_traces_diff_to_unit_ratios(self):
+        base = job_trace([("meanJob", 2.0), ("YtXJob", 5.0)])
+        diff = diff_traces(base, job_trace([("meanJob", 2.0), ("YtXJob", 5.0)]))
+        assert diff.regressions() == []
+        for row in diff.jobs:
+            assert row.ratio == 1.0
+            assert row.delta == 0.0
+
+    def test_regression_flagged_past_threshold(self):
+        base = job_trace([("YtXJob", 5.0)])
+        current = job_trace([("YtXJob", 6.0)])  # +20%
+        diff = diff_traces(base, current)
+        flagged = diff.regressions(threshold=0.10)
+        assert any(row.name == "job:YtXJob" for row in flagged)
+        assert diff.regressions(threshold=0.50) == []
+
+    def test_new_quantity_counts_as_regression(self):
+        base = job_trace([("meanJob", 2.0)])
+        current = job_trace([("meanJob", 2.0), ("newJob", 1.0)])
+        diff = diff_traces(base, current)
+        row = next(r for r in diff.jobs if r.name == "job:newJob")
+        assert row.ratio is None
+        assert row in diff.regressions()
+
+    def test_improvement_is_not_a_regression(self):
+        base = job_trace([("YtXJob", 10.0)])
+        current = job_trace([("YtXJob", 5.0)])
+        assert diff_traces(base, current).regressions() == []
+
+    def test_totals_cover_bytes_jobs_and_retries(self):
+        base = job_trace([("a", 1.0)], retries=0)
+        current = job_trace([("a", 1.0), ("b", 2.0)], retries=1)
+        diff = diff_traces(base, current)
+        totals = {row.name: row for row in diff.totals}
+        assert totals["total:jobs"].current == 2
+        assert totals["total:task_retries"].current == 2
+        assert totals["total:shuffle_bytes"].baseline == 100
+        assert totals["total:shuffle_bytes"].current == 200
+
+    def test_phase_rows_compared_by_name(self):
+        base = job_trace([("a", 1.0)], phase_seconds=[("map", 0.5)])
+        current = job_trace([("a", 1.0)], phase_seconds=[("map", 1.5)])
+        diff = diff_traces(base, current)
+        row = next(r for r in diff.phases if r.name == "phase:map")
+        assert row.ratio == pytest.approx(3.0)
+
+    def test_format_marks_flagged_rows(self):
+        base = job_trace([("YtXJob", 5.0)])
+        current = job_trace([("YtXJob", 20.0)])
+        text = format_diff(diff_traces(base, current), threshold=0.10)
+        assert "! job:YtXJob" in text
+        assert "4.000" in text
+
+    def test_format_renders_new_and_absent(self):
+        base = TraceData()
+        current = job_trace([("YtXJob", 5.0)])
+        text = format_diff(diff_traces(base, current))
+        assert "new" in text
+        # 0 -> 0 rows render "-" (e.g. retries when neither trace has any).
+        same = format_diff(diff_traces(job_trace([("a", 1.0)]),
+                                       job_trace([("a", 1.0)])))
+        assert "-" in same.split("total:task_retries")[1].splitlines()[0]

@@ -259,6 +259,117 @@ class TestCheckpointTelemetry:
         assert run.name.startswith("spca.resume[")
 
 
+class TestRegistryReconciliation:
+    """Trace, EngineMetrics, and the metrics registry must agree exactly.
+
+    The registry is fed through the single ``EngineMetrics.record`` funnel,
+    so the three views of a run are the same numbers by construction --
+    these tests pin that: float-exact simulated-second sums, integer-exact
+    byte counts, on both engines under both a serial and a process
+    executor.
+    """
+
+    def fit_collected(self, backend_cls, data, executor_name="serial"):
+        from repro.engine.exec import make_executor
+        from repro.obs.metrics import collecting
+
+        config = SPCAConfig(n_components=3, max_iterations=3, seed=0)
+        executor = make_executor(executor_name, workers=2)
+        try:
+            if backend_cls is MapReduceBackend:
+                backend = MapReduceBackend(
+                    config, runtime=MapReduceRuntime(executor=executor))
+                metrics = backend.runtime.metrics
+            else:
+                backend = SparkBackend(
+                    config, context=SparkContext(executor=executor))
+                metrics = backend.context.metrics
+            with collecting() as registry:
+                with tracing() as tracer:
+                    SPCA(config, backend).fit(data)
+                snapshot = registry.snapshot()
+        finally:
+            executor.shutdown()
+        return TraceData.from_tracer(tracer), metrics, snapshot
+
+    @pytest.mark.parametrize("backend_cls", [MapReduceBackend, SparkBackend])
+    @pytest.mark.parametrize("executor_name", ["serial", "processes"])
+    def test_three_way_exact_reconciliation(
+        self, backend_cls, data, executor_name
+    ):
+        from repro.obs.metrics import reconcile_registry
+
+        trace, metrics, snapshot = self.fit_collected(
+            backend_cls, data, executor_name)
+        assert reconcile(trace, metrics) == []
+        assert reconcile_registry(snapshot, metrics) == []
+
+    @pytest.mark.parametrize("backend_cls", [MapReduceBackend, SparkBackend])
+    def test_registry_histogram_percentiles_are_exact(self, backend_cls, data):
+        _, metrics, snapshot = self.fit_collected(backend_cls, data)
+        sim = next(h for h in snapshot["histograms"]
+                   if h["name"] == "spca_job_sim_seconds" and not h["labels"])
+        assert sim["exact"] is True
+        durations = sorted(job.sim_seconds for job in metrics.jobs)
+        assert sorted(sim["values"]) == durations
+        assert sim["p50"] in durations
+
+    @pytest.mark.parametrize("backend_cls", [MapReduceBackend, SparkBackend])
+    def test_em_iteration_instruments_present(self, backend_cls, data):
+        _, _, snapshot = self.fit_collected(backend_cls, data)
+        counters = {c["name"]: c["value"] for c in snapshot["counters"]
+                    if not c["labels"]}
+        assert counters["spca_em_iterations_total"] == 3
+        gauges = {g["name"]: g["value"] for g in snapshot["gauges"]
+                  if not g["labels"]}
+        assert gauges["spca_em_iteration"] == 3
+        assert gauges["spca_em_objective"] > 0
+
+    def test_spark_cache_hit_counting_matches_trace_events(self, data):
+        trace, _, snapshot = self.fit_collected(SparkBackend, data)
+        counters = {c["name"]: c["value"] for c in snapshot["counters"]}
+        trace_hits = sum(1 for e in trace.events if e.type == "cache_hit")
+        assert counters["spca_cache_hits_total"] == trace_hits
+        assert counters["spca_cache_puts_total"] == sum(
+            1 for e in trace.events if e.type == "cache_put")
+
+    def test_cache_accounting_identical_serial_vs_processes(self, data):
+        def cache_counters(executor_name):
+            _, _, snapshot = self.fit_collected(
+                SparkBackend, data, executor_name)
+            return {c["name"]: c["value"] for c in snapshot["counters"]
+                    if c["name"].startswith("spca_cache_")}
+
+        assert cache_counters("serial") == cache_counters("processes")
+
+    @pytest.mark.parametrize("backend_cls", [MapReduceBackend, SparkBackend])
+    def test_engine_metrics_to_dict_roundtrip(self, backend_cls, data):
+        from repro.engine.metrics import EngineMetrics
+        from repro.obs.metrics import METRICS_SCHEMA, reconcile_registry
+
+        _, metrics, _ = self.fit_collected(backend_cls, data)
+        payload = metrics.to_dict()
+        assert payload["registry"]["schema"] == METRICS_SCHEMA
+        # The embedded registry block reconciles against the same metrics.
+        assert reconcile_registry(payload["registry"], metrics) == []
+        rebuilt = EngineMetrics.from_dict(payload)
+        assert rebuilt.jobs == metrics.jobs
+        assert rebuilt.to_dict() == payload
+
+    @pytest.mark.parametrize("backend_cls", [MapReduceBackend, SparkBackend])
+    def test_registry_reconciles_under_faults(self, backend_cls, data):
+        from repro.obs.metrics import collecting, reconcile_registry
+
+        with collecting() as registry:
+            _, metrics = fit_traced_with_plan(
+                backend_cls, data, TestFaultTelemetry.PLAN)
+            snapshot = registry.snapshot()
+        assert reconcile_registry(snapshot, metrics) == []
+        counters = {c["name"]: c["value"] for c in snapshot["counters"]}
+        assert counters["spca_task_retries_total"] == sum(
+            job.task_retries for job in metrics.jobs)
+
+
 class TestPPCAIterationSpans:
     def test_standalone_ppca_traces_iterations(self):
         rng = np.random.default_rng(0)

@@ -1,0 +1,214 @@
+"""The live dashboard listener, streaming writer, and lenient loading."""
+
+import io
+import json
+
+import numpy as np
+import pytest
+
+from repro.backends import MapReduceBackend, SparkBackend
+from repro.core import SPCA, SPCAConfig
+from repro.obs import (
+    JsonlTraceWriter,
+    load_trace,
+    load_trace_lenient,
+    tracing,
+    write_trace,
+)
+from repro.obs.export import TraceData
+from repro.obs.live import LiveDashboard, _fmt, _fmt_bytes
+from repro.obs.metrics import MetricsRegistry, collecting
+
+
+@pytest.fixture(scope="module")
+def data():
+    rng = np.random.default_rng(5)
+    return rng.normal(size=(60, 12)) @ rng.normal(size=(12, 12))
+
+
+class TestLiveDashboard:
+    def fit_with_dashboard(self, data, stream, plain=None, registry=None):
+        config = SPCAConfig(n_components=2, max_iterations=3, seed=0)
+        backend = MapReduceBackend(config)
+        dashboard = LiveDashboard(stream=stream, plain=plain,
+                                  registry=registry)
+        with tracing() as tracer:
+            tracer.add_listener(dashboard)
+            SPCA(config, backend).fit(data)
+        dashboard.close()
+        return dashboard
+
+    def test_plain_mode_writes_one_line_per_iteration(self, data):
+        stream = io.StringIO()
+        dashboard = self.fit_with_dashboard(data, stream, plain=True)
+        lines = [li for li in stream.getvalue().splitlines()
+                 if li.startswith("[live]")]
+        assert len(lines) == 3 == dashboard.frames
+        assert "iter=1" in lines[0]
+        assert "iter=3" in lines[-1]
+        assert "jobs=" in lines[-1]
+        # No escape codes in plain mode.
+        assert "\x1b[" not in stream.getvalue()
+
+    def test_non_tty_stream_autodetects_plain(self, data):
+        dashboard = LiveDashboard(stream=io.StringIO())
+        assert dashboard.plain
+
+    def test_ansi_mode_redraws_in_place(self, data):
+        stream = io.StringIO()
+        self.fit_with_dashboard(data, stream, plain=False)
+        output = stream.getvalue()
+        assert "\x1b[1A" in output  # cursor-up redraws after frame 1
+        assert "objective" in output
+        assert "phases:" in output
+
+    def test_dashboard_accumulates_job_and_phase_state(self, data):
+        dashboard = self.fit_with_dashboard(data, io.StringIO(), plain=True)
+        assert dashboard.run_name.startswith("spca.fit[")
+        assert dashboard.n_jobs > 0
+        assert dashboard.sim_seconds > 0
+        assert dashboard.iteration == 3
+        assert dashboard.objective is not None
+        assert "map" in dashboard.phase_seconds
+
+    def test_registry_sample_feeds_occupancy_and_cache(self, data):
+        stream = io.StringIO()
+        config = SPCAConfig(n_components=2, max_iterations=2, seed=0)
+        with collecting() as registry:
+            backend = SparkBackend(config)
+            dashboard = LiveDashboard(stream=stream, plain=True,
+                                      registry=registry)
+            with tracing() as tracer:
+                tracer.add_listener(dashboard)
+                SPCA(config, backend).fit(data)
+        output = stream.getvalue()
+        assert "cache=" in output  # the cached RDD produces hits
+        assert "retries" not in output  # zero retries are suppressed
+
+    def test_disabled_registry_renders_without_metrics(self, data):
+        dashboard = LiveDashboard(stream=io.StringIO(), plain=True,
+                                  registry=MetricsRegistry(enabled=False))
+        sample = dashboard._sample_registry()
+        assert sample == {"retries": None, "faults": None,
+                          "occupancy": None, "cache": None}
+
+    def test_new_run_resets_state(self, data):
+        stream = io.StringIO()
+        dashboard = self.fit_with_dashboard(data, stream, plain=True)
+        jobs_first = dashboard.n_jobs
+        config = SPCAConfig(n_components=2, max_iterations=3, seed=0)
+        with tracing() as tracer:
+            tracer.add_listener(dashboard)
+            SPCA(config, MapReduceBackend(config)).fit(data)
+        assert dashboard.n_jobs == jobs_first  # reset, not doubled
+
+    def test_formatters(self):
+        assert _fmt(None) == "-"
+        assert _fmt(0.123456, ".3g") == "0.123"
+        assert _fmt_bytes(512) == "512 B"
+        assert _fmt_bytes(2048) == "2.0 KiB"
+        assert _fmt_bytes(3 * 1024**3) == "3.0 GiB"
+
+
+class TestStreamingWriter:
+    def fit_streamed(self, data, tmp_path, retain=True):
+        """One traced fit with the streaming writer attached.
+
+        With ``retain=True`` the tracer also buffers the run, so the
+        streamed file can be compared record-for-record against the
+        buffer from the *same* run (span ids jitter between runs when
+        speculative execution triggers differently).
+        """
+        config = SPCAConfig(n_components=2, max_iterations=2, seed=0)
+        streamed = tmp_path / "streamed.jsonl"
+        with tracing(retain=retain) as tracer:
+            writer = JsonlTraceWriter(streamed)
+            tracer.add_listener(writer)
+            SPCA(config, MapReduceBackend(config)).fit(data)
+            writer.close()
+        return streamed, TraceData.from_tracer(tracer)
+
+    def test_streamed_file_equals_the_buffered_trace(self, data, tmp_path):
+        streamed, buffered = self.fit_streamed(data, tmp_path)
+        loaded = load_trace(streamed)
+        assert loaded.spans == buffered.spans
+        assert loaded.events == buffered.events
+
+    def test_retain_false_streams_without_buffering(self, data, tmp_path):
+        config = SPCAConfig(n_components=2, max_iterations=2, seed=0)
+        streamed = tmp_path / "unbuffered.jsonl"
+        with tracing(retain=False) as tracer:
+            writer = JsonlTraceWriter(streamed)
+            tracer.add_listener(writer)
+            SPCA(config, MapReduceBackend(config)).fit(data)
+            assert tracer.spans == []  # nothing held on the driver
+            writer.close()
+        trace = load_trace(streamed)
+        assert any(s.kind == "run" for s in trace.spans)
+        assert any(s.kind == "task" for s in trace.spans)
+
+    def test_footer_counts_are_authoritative(self, data, tmp_path):
+        streamed, _ = self.fit_streamed(data, tmp_path)
+        lines = streamed.read_text().splitlines()
+        header, footer = json.loads(lines[0]), json.loads(lines[-1])
+        assert header == {"rec": "header", "schema": "repro.obs/1",
+                          "streaming": True}
+        trace = load_trace(streamed)
+        assert footer == {"rec": "footer", "spans": len(trace.spans),
+                          "events": len(trace.events)}
+
+    def test_killed_run_leaves_a_loadable_prefix(self, data, tmp_path):
+        streamed, _ = self.fit_streamed(data, tmp_path)
+        lines = streamed.read_text().splitlines()
+        # Drop the footer and the last two records, cut one line in half.
+        partial = lines[:-3] + [lines[-3][: len(lines[-3]) // 2]]
+        cut = tmp_path / "killed.jsonl"
+        cut.write_text("\n".join(partial))
+        trace, warnings = load_trace_lenient(cut)
+        assert trace.spans
+        assert any("malformed JSONL" in w for w in warnings)
+
+
+class TestLenientLoading:
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        trace, warnings = load_trace_lenient(path)
+        assert trace.spans == [] and trace.events == []
+        assert any("empty" in w for w in warnings)
+
+    def test_intact_file_has_no_warnings(self, tmp_path):
+        path = tmp_path / "ok.jsonl"
+        trace = TraceData(spans=[], events=[])
+        with tracing() as tracer:
+            with tracer.span("run", "tiny"):
+                tracer.event("ping")
+        write_trace(TraceData.from_tracer(tracer), path)
+        loaded, warnings = load_trace_lenient(path)
+        assert warnings == []
+        assert len(loaded.spans) == 1
+
+    def test_truncated_chrome_json_salvages_spans(self, tmp_path):
+        with tracing() as tracer:
+            with tracer.span("run", "tiny"):
+                with tracer.span("job", "j1"):
+                    pass
+                with tracer.span("job", "j2"):
+                    pass
+        path = tmp_path / "full.trace.json"
+        write_trace(TraceData.from_tracer(tracer), path)
+        text = path.read_text()
+        cut = tmp_path / "cut.trace.json"
+        cut.write_text(text[: int(len(text) * 0.5)])
+        trace, warnings = load_trace_lenient(cut)
+        assert any("salvaged" in w for w in warnings)
+        assert len(trace.spans) >= 1
+
+    def test_missing_run_root_warns(self, tmp_path):
+        with tracing() as tracer:
+            with tracer.span("job", "j1"):
+                pass
+        path = tmp_path / "no_root.jsonl"
+        write_trace(TraceData.from_tracer(tracer), path)
+        _, warnings = load_trace_lenient(path)
+        assert any("no complete 'run' root span" in w for w in warnings)

@@ -1,0 +1,349 @@
+"""The zero-dependency metrics registry: buckets, percentiles, exports."""
+
+import json
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.metrics import (
+    DEFAULT_EXACT_LIMIT,
+    METRICS_SCHEMA,
+    MetricsRegistry,
+    bucket_index,
+    bucket_upper_bound,
+    collecting,
+    get_registry,
+    load_snapshot,
+    merge_snapshots,
+    parse_prometheus,
+    set_registry,
+    snapshot_percentile,
+    to_prometheus,
+    write_snapshot,
+)
+
+
+class TestBuckets:
+    def test_powers_of_two_land_on_their_own_boundary(self):
+        for exponent in (-10, -1, 0, 1, 10, 40):
+            value = math.ldexp(1.0, exponent)
+            index = bucket_index(value)
+            assert bucket_upper_bound(index) == value
+
+    def test_open_lower_closed_upper(self):
+        # 2**(i-1) < value <= 2**i
+        assert bucket_index(1.0) == 0
+        assert bucket_index(1.0001) == 1
+        assert bucket_index(2.0) == 1
+        assert bucket_index(2.0001) == 2
+
+    def test_nonpositive_values_underflow(self):
+        assert bucket_index(0.0) is None
+        assert bucket_index(-3.5) is None
+        assert bucket_upper_bound(None) == 0.0
+
+    @given(st.floats(min_value=1e-30, max_value=1e30))
+    def test_value_always_inside_its_bucket(self, value):
+        index = bucket_index(value)
+        upper = bucket_upper_bound(index)
+        assert value <= upper
+        assert value > upper / 2.0
+
+
+class TestCountersAndGauges:
+    def test_counter_accumulates_and_rejects_decrease(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("x_total", kind="a")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_label_sets_are_distinct_instruments(self):
+        registry = MetricsRegistry()
+        registry.counter("x_total", kind="a").inc(1)
+        registry.counter("x_total", kind="b").inc(2)
+        assert registry.counter_total("x_total") == 3
+        assert registry.find_counter("x_total", kind="a").value == 1
+        assert registry.find_counter("x_total", kind="c") is None
+
+    def test_label_order_does_not_matter(self):
+        registry = MetricsRegistry()
+        registry.counter("x_total", a="1", b="2").inc()
+        assert registry.counter("x_total", b="2", a="1").value == 1
+
+    def test_gauge_last_write_wins(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("occupancy", executor="threads")
+        assert gauge.value is None
+        gauge.set(0.5)
+        gauge.set(0.75)
+        assert gauge.value == 0.75
+        assert [g.value for g in registry.gauge_values("occupancy")] == [0.75]
+
+    def test_invalid_names_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.counter("bad name")
+        with pytest.raises(ValueError):
+            registry.counter("ok_total", **{"bad-label": "x"})
+
+    def test_disabled_registry_hands_back_noops(self):
+        registry = MetricsRegistry(enabled=False)
+        registry.counter("x_total").inc(5)
+        registry.gauge("g").set(1.0)
+        registry.histogram("h").observe(2.0)
+        snapshot = registry.snapshot()
+        assert snapshot["counters"] == []
+        assert snapshot["gauges"] == []
+        assert snapshot["histograms"] == []
+
+
+class TestHistogramPercentiles:
+    def test_empty_histogram_percentiles_are_none(self):
+        histogram = MetricsRegistry().histogram("h")
+        assert histogram.percentile(50) is None
+        assert histogram.percentiles() == {
+            "p50": None, "p90": None, "p99": None, "exact": True,
+        }
+
+    def test_exact_nearest_rank_on_known_distribution(self):
+        histogram = MetricsRegistry().histogram("h")
+        for value in range(1, 101):  # 1..100
+            histogram.observe(float(value))
+        assert histogram.exact
+        assert histogram.percentile(50) == 50.0
+        assert histogram.percentile(90) == 90.0
+        assert histogram.percentile(99) == 99.0
+        assert histogram.percentile(100) == 100.0
+        assert histogram.percentile(1) == 1.0
+
+    def test_single_observation_is_every_percentile(self):
+        histogram = MetricsRegistry().histogram("h")
+        histogram.observe(7.25)
+        for q in (1, 50, 90, 99, 100):
+            assert histogram.percentile(q) == 7.25
+
+    def test_percentile_out_of_range_rejected(self):
+        histogram = MetricsRegistry().histogram("h")
+        histogram.observe(1.0)
+        with pytest.raises(ValueError):
+            histogram.percentile(0)
+        with pytest.raises(ValueError):
+            histogram.percentile(101)
+
+    def test_beyond_exact_limit_degrades_to_bucket_bound(self):
+        registry = MetricsRegistry(exact_limit=4)
+        histogram = registry.histogram("h")
+        for value in (1.5, 2.5, 3.5, 4.5, 5.5, 6.5):
+            histogram.observe(value)
+        assert not histogram.exact
+        # Rank-based estimate: the p99 rank lands in the (4, 8] bucket.
+        assert histogram.percentile(99) == 8.0
+        # The snapshot drops raw values once inexact.
+        entry = registry.snapshot()["histograms"][0]
+        assert entry["values"] is None
+        assert entry["exact"] is False
+        assert snapshot_percentile(entry, 99) == 8.0
+
+    def test_sum_accumulates_in_recording_order(self):
+        histogram = MetricsRegistry().histogram("h")
+        values = [0.1, 0.2, 0.3]
+        expected = 0.0
+        for value in values:
+            histogram.observe(value)
+            expected += value
+        assert histogram.sum == expected  # float-exact, same order
+
+    @given(st.lists(st.floats(min_value=1e-6, max_value=1e6), min_size=1,
+                    max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_exact_percentile_matches_sorted_order_statistic(self, values):
+        histogram = MetricsRegistry().histogram("h")
+        for value in values:
+            histogram.observe(value)
+        ordered = sorted(values)
+        for q in (1, 25, 50, 75, 90, 99, 100):
+            rank = max(1, math.ceil(q / 100.0 * len(values)))
+            assert histogram.percentile(q) == ordered[rank - 1]
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6,
+                              allow_nan=False), min_size=1, max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_bucket_counts_are_monotone_cumulative(self, values):
+        histogram = MetricsRegistry().histogram("h")
+        for value in values:
+            histogram.observe(value)
+        # Cumulative counts over buckets sorted by upper bound never
+        # decrease and end at the total count.
+        ordered = sorted(
+            histogram.buckets.items(),
+            key=lambda kv: -math.inf if kv[0] is None else kv[0],
+        )
+        cumulative = 0
+        for _, n in ordered:
+            assert n > 0
+            cumulative += n
+        assert cumulative == histogram.count == len(values)
+
+
+class TestSnapshotsAndMerge:
+    def build(self, offset=0.0):
+        registry = MetricsRegistry()
+        registry.counter("jobs_total").inc(2)
+        registry.gauge("objective").set(1.0 + offset)
+        histogram = registry.histogram("latency")
+        for value in (1.0 + offset, 2.0 + offset, 3.0 + offset):
+            histogram.observe(value)
+        return registry
+
+    def test_snapshot_is_json_roundtrippable(self):
+        snapshot = self.build().snapshot()
+        assert snapshot["schema"] == METRICS_SCHEMA
+        assert json.loads(json.dumps(snapshot)) == snapshot
+
+    def test_merge_adds_counters_and_concatenates_values(self):
+        merged = merge_snapshots(self.build().snapshot(),
+                                 self.build(10.0).snapshot())
+        counter = next(c for c in merged["counters"]
+                       if c["name"] == "jobs_total")
+        assert counter["value"] == 4
+        histogram = next(h for h in merged["histograms"]
+                         if h["name"] == "latency")
+        assert histogram["count"] == 6
+        assert histogram["exact"] is True
+        assert sorted(histogram["values"]) == [1.0, 2.0, 3.0, 11.0, 12.0, 13.0]
+        assert histogram["p50"] == 3.0  # nearest-rank over the merged set
+
+    def test_merge_disjoint_instruments_keeps_both(self):
+        left = MetricsRegistry()
+        left.counter("only_left_total").inc(1)
+        left.histogram("left_hist").observe(1.0)
+        right = MetricsRegistry()
+        right.counter("only_right_total").inc(2)
+        right.histogram("right_hist").observe(8.0)
+        merged = merge_snapshots(left.snapshot(), right.snapshot())
+        names = {c["name"] for c in merged["counters"]}
+        assert names == {"only_left_total", "only_right_total"}
+        assert {h["name"] for h in merged["histograms"]} == {
+            "left_hist", "right_hist",
+        }
+
+    def test_merge_gauge_takes_last(self):
+        merged = merge_snapshots(self.build(0.0).snapshot(),
+                                 self.build(5.0).snapshot())
+        gauge = next(g for g in merged["gauges"] if g["name"] == "objective")
+        assert gauge["value"] == 6.0
+
+    def test_merge_inexact_input_degrades_to_buckets(self):
+        exact = self.build().snapshot()
+        inexact = self.build().snapshot()
+        for entry in inexact["histograms"]:
+            entry["values"] = None
+        merged = merge_snapshots(exact, inexact)
+        histogram = next(h for h in merged["histograms"]
+                         if h["name"] == "latency")
+        assert histogram["values"] is None
+        assert histogram["exact"] is False
+        assert histogram["p99"] == 4.0  # bucket upper bound of (2, 4]
+
+    def test_merge_rejects_foreign_schema(self):
+        with pytest.raises(ValueError):
+            merge_snapshots({"schema": "something/else"})
+
+    def test_write_and_load_json_snapshot(self, tmp_path):
+        path = write_snapshot(self.build(), tmp_path / "metrics.json")
+        assert load_snapshot(path) == self.build().snapshot()
+
+    def test_load_rejects_non_snapshot(self, tmp_path):
+        path = tmp_path / "x.json"
+        path.write_text('{"schema": "nope"}')
+        with pytest.raises(ValueError):
+            load_snapshot(path)
+
+
+class TestPrometheus:
+    def test_roundtrip_preserves_every_sample(self):
+        registry = MetricsRegistry()
+        registry.counter("spca_jobs_total", engine="spark").inc(3)
+        registry.gauge("spca_em_objective").set(0.25)
+        histogram = registry.histogram("spca_job_sim_seconds", job="YtXJob")
+        for value in (0.5, 1.5, 3.0, 100.0):
+            histogram.observe(value)
+        text = to_prometheus(registry)
+        samples = parse_prometheus(text)
+        assert samples[("spca_jobs_total", (("engine", "spark"),))] == 3
+        assert samples[("spca_em_objective", ())] == 0.25
+        assert samples[("spca_job_sim_seconds_count",
+                        (("job", "YtXJob"),))] == 4
+        assert samples[("spca_job_sim_seconds_sum",
+                        (("job", "YtXJob"),))] == 105.0
+        # The +Inf bucket always equals the count.
+        assert samples[("spca_job_sim_seconds_bucket",
+                        (("job", "YtXJob"), ("le", "+Inf")))] == 4
+
+    def test_bucket_lines_are_cumulative_and_sorted(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("h")
+        for value in (0.5, 1.0, 2.0, 4.0, -1.0):
+            histogram.observe(value)
+        lines = [line for line in to_prometheus(registry).splitlines()
+                 if line.startswith("h_bucket")]
+        counts = [int(line.rsplit(" ", 1)[1]) for line in lines]
+        assert counts == sorted(counts)
+        assert counts[-1] == 5
+        bounds = [line.split('le="')[1].split('"')[0] for line in lines]
+        assert float(bounds[0]) == 0.0  # underflow bucket first
+        assert bounds[-1] == "+Inf"
+
+    def test_label_escaping_roundtrips(self):
+        registry = MetricsRegistry()
+        registry.counter("x_total", path='a"b\\c\nd').inc()
+        samples = parse_prometheus(to_prometheus(registry))
+        assert samples[("x_total", (("path", 'a"b\\c\nd'),))] == 1
+
+    def test_prom_extension_selects_text_format(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.counter("x_total").inc()
+        path = write_snapshot(registry, tmp_path / "metrics.prom")
+        assert "# TYPE x_total counter" in path.read_text()
+
+    def test_unparsable_sample_raises(self):
+        with pytest.raises(ValueError):
+            parse_prometheus("not a sample line at all }{")
+
+
+class TestProcessWideRegistry:
+    def test_default_registry_is_disabled(self):
+        registry = get_registry()
+        assert not registry.enabled
+
+    def test_collecting_installs_and_restores(self):
+        before = get_registry()
+        with collecting() as registry:
+            assert get_registry() is registry
+            assert registry.enabled
+            registry.counter("x_total").inc()
+        assert get_registry() is before
+
+    def test_collecting_restores_on_error(self):
+        before = get_registry()
+        with pytest.raises(RuntimeError):
+            with collecting():
+                raise RuntimeError("boom")
+        assert get_registry() is before
+
+    def test_set_registry_explicit(self):
+        before = get_registry()
+        mine = MetricsRegistry()
+        set_registry(mine)
+        try:
+            assert get_registry() is mine
+        finally:
+            set_registry(before)
+
+    def test_exact_limit_default_allows_big_runs(self):
+        assert DEFAULT_EXACT_LIMIT >= 65536
