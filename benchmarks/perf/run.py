@@ -4,14 +4,18 @@ Usage::
 
     PYTHONPATH=src python benchmarks/perf/run.py                    # BENCH_3.json
     PYTHONPATH=src python benchmarks/perf/run.py --suite executor   # BENCH_5.json
+    PYTHONPATH=src python benchmarks/perf/run.py --suite serve      # BENCH_serve.json
     PYTHONPATH=src python benchmarks/perf/run.py --quick            # CI smoke shapes
 
 ``batch`` measures the PR-3 record pipeline (batch vs per-record, serial
 executor); ``executor`` measures end-to-end ``SPCA.fit`` under the
 ``serial``/``threads``/``processes`` executors across a worker-scaling
-curve.  Each writes its result document (schema: perf section of
-``benchmarks/README.md``) to the repo root -- ``BENCH_3.json`` or
-``BENCH_5.json`` -- unless ``--output`` overrides it, and prints a summary
+curve; ``serve`` fires a storm of concurrent single-row requests at the
+micro-batching serving layer (batched vs unbatched, bitwise-verified).
+Each writes its result document (schema: perf section of
+``benchmarks/README.md``) to the repo root -- ``BENCH_3.json``,
+``BENCH_5.json``, or ``BENCH_serve.json`` -- unless ``--output``
+overrides it, and prints a summary
 table.  Exits non-zero if the document fails schema validation, so a CI run
 doubles as a schema check; absolute timings are never asserted.
 """
@@ -36,6 +40,19 @@ from perf.harness import (  # noqa: E402
     validate,
     validate_executor,
 )
+from repro.serve.loadgen import (  # noqa: E402
+    run_serve_suite,
+    summarize_serve,
+    validate_serve,
+)
+
+
+def _run_serve(quick: bool = False, repeats: int | None = None) -> dict:
+    # The serve load generator measures one storm per mode; latency
+    # percentiles come from request counts, not repeats.
+    del repeats
+    return run_serve_suite(quick=quick)
+
 
 SUITES = {
     "batch": (run_suite, validate, summarize, "BENCH_3.json"),
@@ -45,6 +62,7 @@ SUITES = {
         summarize_executor,
         "BENCH_5.json",
     ),
+    "serve": (_run_serve, validate_serve, summarize_serve, "BENCH_serve.json"),
 }
 
 
@@ -54,7 +72,8 @@ def main(argv: list[str] | None = None) -> int:
         "--suite",
         choices=sorted(SUITES),
         default="batch",
-        help="which suite to run (batch -> BENCH_3, executor -> BENCH_5)",
+        help="which suite to run (batch -> BENCH_3, executor -> BENCH_5, "
+             "serve -> BENCH_serve)",
     )
     parser.add_argument(
         "--quick",

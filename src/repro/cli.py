@@ -18,6 +18,10 @@ Examples::
     repro-spca evaluate model.npz tweets.npz
     repro-spca transform model.npz tweets.npz --out latent.npz
     repro-spca info model.npz
+    repro-spca registry publish models/ tweets model.npz --tag prod
+    repro-spca registry list models/ tweets
+    repro-spca serve tweets.npz --registry models/ --model tweets \\
+        --op transform --out latent.npz --metrics serve.metrics.json
 """
 
 from __future__ import annotations
@@ -209,6 +213,107 @@ def build_parser() -> argparse.ArgumentParser:
         default="threads",
     )
     lint.add_argument("-q", "--quiet", action="store_true")
+
+    registry = commands.add_parser(
+        "registry", help="manage the versioned model registry"
+    )
+    registry_cmds = registry.add_subparsers(dest="registry_command", required=True)
+
+    reg_publish = registry_cmds.add_parser(
+        "publish", help="publish a fitted model archive into the registry"
+    )
+    reg_publish.add_argument("root", help="registry directory")
+    reg_publish.add_argument("name", help="model name")
+    reg_publish.add_argument("model", help="model .npz (from 'fit --out')")
+    reg_publish.add_argument(
+        "--version", default=None,
+        help="explicit MAJOR.MINOR.PATCH (default: bump newest minor)",
+    )
+    reg_publish.add_argument(
+        "--tag", action="append", default=[], metavar="LABEL",
+        help="also point this tag at the published version (repeatable)",
+    )
+    reg_publish.add_argument("--notes", default="", help="free-form manifest notes")
+    reg_publish.add_argument(
+        "--overwrite", action="store_true",
+        help="allow republishing an existing version",
+    )
+
+    reg_list = registry_cmds.add_parser(
+        "list", help="list models, or one model's versions and tags"
+    )
+    reg_list.add_argument("root")
+    reg_list.add_argument("name", nargs="?", default=None)
+
+    reg_show = registry_cmds.add_parser("show", help="print a version's manifest")
+    reg_show.add_argument("root")
+    reg_show.add_argument("name")
+    reg_show.add_argument(
+        "--version", default="latest",
+        help="exact version, tag, or 'latest' (default)",
+    )
+
+    reg_tag = registry_cmds.add_parser(
+        "tag", help="point a tag at a published version"
+    )
+    reg_tag.add_argument("root")
+    reg_tag.add_argument("name")
+    reg_tag.add_argument("version")
+    reg_tag.add_argument("label")
+
+    reg_verify = registry_cmds.add_parser(
+        "verify", help="re-hash stored archives against their manifests"
+    )
+    reg_verify.add_argument("root")
+    reg_verify.add_argument("name", nargs="?", default=None)
+
+    serve = commands.add_parser(
+        "serve",
+        help="serve each input row as one concurrent request "
+             "through the micro-batching front-end",
+    )
+    serve.add_argument("input", help="matrix .npz; each row becomes one request")
+    serve.add_argument("--registry", required=True, metavar="DIR")
+    serve.add_argument("--model", required=True, metavar="NAME")
+    serve.add_argument(
+        "--version", default="latest",
+        help="exact version, tag, or 'latest' (default)",
+    )
+    serve.add_argument(
+        "--op", choices=("transform", "project", "reconstruct", "score"),
+        default="transform",
+    )
+    serve.add_argument("--out", help="save the stacked results (.npz)")
+    serve.add_argument(
+        "--unbatched", action="store_true",
+        help="disable request coalescing (per-request dispatch baseline)",
+    )
+    serve.add_argument(
+        "--max-batch-rows", type=int, default=256,
+        help="flush a batch once this many rows are queued (default 256)",
+    )
+    serve.add_argument(
+        "--max-delay-ms", type=float, default=2.0,
+        help="longest a request waits for batch neighbours (default 2ms)",
+    )
+    serve.add_argument(
+        "--deadline-ms", type=float, default=None,
+        help="per-request deadline; expired requests fail instead of compute",
+    )
+    serve.add_argument(
+        "--executor", choices=("serial", "threads", "processes"),
+        default="serial",
+        help="executor for intra-batch chunk parallelism (default serial)",
+    )
+    serve.add_argument("--workers", type=int, default=None, metavar="N")
+    serve.add_argument(
+        "--trace", metavar="PATH",
+        help="record serve-request/serve-batch spans and events",
+    )
+    serve.add_argument(
+        "--metrics", metavar="PATH",
+        help="write the spca_serve_*/spca_registry_* metrics snapshot",
+    )
 
     for fitting in (fit, bench):
         fitting.add_argument(
@@ -693,6 +798,148 @@ def _cmd_info(args) -> int:
     return 0
 
 
+def _cmd_registry(args) -> int:
+    from repro.serve import ModelRegistry
+
+    registry = ModelRegistry(args.root)
+    if args.registry_command == "publish":
+        model = load_model(args.model)
+        record = registry.publish(
+            args.name,
+            model,
+            version=args.version,
+            tags=tuple(args.tag),
+            notes=args.notes,
+            overwrite=args.overwrite,
+        )
+        tags = f", tags: {', '.join(args.tag)}" if args.tag else ""
+        print(
+            f"published {record.name}@{record.version} "
+            f"({record.n_features}x{record.n_components}, "
+            f"sha256 {record.sha256[:12]}...){tags}"
+        )
+        return 0
+    if args.registry_command == "list":
+        if args.name is None:
+            names = registry.models()
+            if not names:
+                print(f"no models in {args.root}")
+                return 0
+            for name in names:
+                versions = registry.versions(name)
+                print(f"{name}: {', '.join(versions)}")
+            return 0
+        versions = registry.versions(args.name)
+        tags = registry.tags(args.name)
+        by_version: dict[str, list[str]] = {}
+        for label, version in tags.items():
+            by_version.setdefault(version, []).append(label)
+        for version in versions:
+            labels = sorted(by_version.get(version, []))
+            if version == versions[-1]:
+                labels.append("latest")
+            suffix = f"  [{', '.join(labels)}]" if labels else ""
+            print(f"{args.name}@{version}{suffix}")
+        return 0
+    if args.registry_command == "show":
+        record = registry.record(args.name, args.version)
+        print(f"{record.name}@{record.version}")
+        print(f"  archive: {record.path}")
+        print(f"  sha256: {record.sha256}")
+        print(f"  shape: {record.n_features} features x "
+              f"{record.n_components} components")
+        print(f"  trained on: {record.n_samples} rows, "
+              f"noise variance {record.noise_variance:.6g}")
+        if record.notes:
+            print(f"  notes: {record.notes}")
+        return 0
+    if args.registry_command == "tag":
+        registry.tag(args.name, args.version, args.label)
+        print(f"tag {args.label} -> {args.name}@{args.version}")
+        return 0
+    # verify
+    problems = registry.verify(args.name)
+    scope = args.name or "registry"
+    if problems:
+        for problem in problems:
+            print(f"FAIL {problem}", file=sys.stderr)
+        print(f"{scope}: {len(problems)} problem(s)", file=sys.stderr)
+        return 1
+    print(f"{scope}: all archives verified")
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    import asyncio
+    import time
+
+    from repro.serve import BatchPolicy, MicroBatcher, ModelRegistry, PCAService
+    from repro.serve.loadgen import percentile_ms
+
+    matrix = load_matrix(args.input)
+    registry = ModelRegistry(args.registry)
+    resolved = registry.resolve(args.model, args.version)
+    executor = _make_executor(args)
+    service = PCAService(
+        registry, executor=None if executor.serial else executor
+    )
+    policy = BatchPolicy(
+        max_batch_rows=args.max_batch_rows,
+        max_delay_s=args.max_delay_ms / 1e3,
+        default_deadline_s=(
+            None if args.deadline_ms is None else args.deadline_ms / 1e3
+        ),
+    )
+    rows = [matrix[i] for i in range(matrix.shape[0])]
+
+    async def drive():
+        batcher = MicroBatcher(service, policy, batching=not args.unbatched)
+
+        async def one(row):
+            started = time.perf_counter()
+            result = await batcher.submit(
+                args.op, args.model, row, version=args.version
+            )
+            return time.perf_counter() - started, result
+
+        started = time.perf_counter()
+        pairs = await asyncio.gather(*(one(row) for row in rows))
+        wall = time.perf_counter() - started
+        # batches_dispatched settles once close() joins in-flight work.
+        await batcher.close()
+        return list(pairs), wall, batcher.batches_dispatched
+
+    try:
+        (pairs, wall, batches), trace_path, _snapshot = _run_instrumented(
+            args, lambda: asyncio.run(drive())
+        )
+    finally:
+        executor.shutdown()
+    latencies = [latency for latency, _ in pairs]
+    outputs = [np.atleast_2d(result) for _, result in pairs]
+    stacked = np.vstack(outputs) if args.op != "score" else np.concatenate(
+        [np.ravel(result) for _, result in pairs]
+    )
+    mode = "unbatched" if args.unbatched else "batched"
+    print(
+        f"served {len(rows)} {args.op} requests against "
+        f"{args.model}@{resolved} ({mode}, {batches} batches)"
+    )
+    print(
+        f"wall {wall:.3f}s, {len(rows) / max(wall, 1e-12):.0f} req/s, "
+        f"latency p50 {percentile_ms(latencies, 50):.2f}ms "
+        f"p99 {percentile_ms(latencies, 99):.2f}ms"
+    )
+    if trace_path is not None:
+        print(f"trace written to {trace_path}")
+    if args.metrics:
+        print(f"metrics snapshot written to {args.metrics}")
+    if args.out:
+        path = save_matrix(np.asarray(stacked), args.out)
+        print(f"results saved to {path}")
+    return 0
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "fit": _cmd_fit,
@@ -706,6 +953,8 @@ _COMMANDS = {
     "report": _cmd_report,
     "diff": _cmd_diff,
     "lint": _cmd_lint,
+    "registry": _cmd_registry,
+    "serve": _cmd_serve,
 }
 
 

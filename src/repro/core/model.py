@@ -33,6 +33,8 @@ class PCAModel:
     noise_variance: float
     n_samples: int
     _basis: np.ndarray | None = field(default=None, repr=False)
+    _posterior_projector: np.ndarray | None = field(default=None, repr=False)
+    _subspace_projector: np.ndarray | None = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
         self.components = np.asarray(self.components, dtype=np.float64)
@@ -61,17 +63,51 @@ class PCAModel:
             self._basis = u
         return self._basis
 
+    @property
+    def posterior_projector(self) -> np.ndarray:
+        """Cached ``D x d`` posterior-mean projector ``C * M^-1``.
+
+        ``M = C'C + ss*I`` is solved rather than inverted; when the moment
+        matrix is singular (``noise_variance == 0`` on rank-deficient
+        components, the zero-variance-data collapse) the pseudo-inverse
+        takes over, matching :meth:`project`.  Computed once per model --
+        the serving hot path calls :meth:`transform` per request and must
+        not re-factorize a ``d x d`` system every time.  Like ``_basis``
+        the cache assumes the fitted arrays are never mutated in place.
+        """
+        if self._posterior_projector is None:
+            moment = self.components.T @ self.components + (
+                self.noise_variance * np.eye(self.n_components)
+            )
+            try:
+                projector = np.linalg.solve(moment, self.components.T).T
+            except np.linalg.LinAlgError:
+                projector = self.components @ np.linalg.pinv(moment)
+            self._posterior_projector = np.ascontiguousarray(projector)
+        return self._posterior_projector
+
+    @property
+    def subspace_projector(self) -> np.ndarray:
+        """Cached ``D x d`` least-squares projector ``C * (C'C)^+``.
+
+        Pseudo-inverse throughout: degenerate models (zero-variance data
+        collapse C to rank-deficiency) still project cleanly onto what is
+        spanned.
+        """
+        if self._subspace_projector is None:
+            gram = self.components.T @ self.components
+            self._subspace_projector = np.ascontiguousarray(
+                self.components @ np.linalg.pinv(gram)
+            )
+        return self._subspace_projector
+
     def transform(self, data: Matrix) -> np.ndarray:
         """Posterior-mean latent coordinates ``X = Yc * C * M^-1``.
 
         This is the PPCA E-step projection; it shrinks towards zero when the
         noise variance is large.
         """
-        moment = self.components.T @ self.components + self.noise_variance * np.eye(
-            self.n_components
-        )
-        projector = self.components @ np.linalg.inv(moment)
-        return centered_times(data, self.mean, projector)
+        return centered_times(data, self.mean, self.posterior_projector)
 
     def project(self, data: Matrix) -> np.ndarray:
         """Least-squares latent coordinates ``X = Yc * C * (C'C)^-1``.
@@ -80,20 +116,28 @@ class PCAModel:
         orthogonal projection of ``Yc`` onto the subspace.  The paper's
         reconstruction-error metric uses this projection.
         """
-        gram = self.components.T @ self.components
-        # Pseudo-inverse: degenerate models (zero-variance data collapse C
-        # to rank-deficiency) still project cleanly onto what is spanned.
-        projector = self.components @ np.linalg.pinv(gram)
-        return centered_times(data, self.mean, projector)
+        return centered_times(data, self.mean, self.subspace_projector)
 
     def inverse_transform(self, latent: np.ndarray) -> np.ndarray:
-        """Map latent coordinates back to data space: ``X * C' + Ym``."""
+        """Map latent coordinates back to data space: ``X * C' + Ym``.
+
+        Accepts a single length-d vector (the obvious single-request shape)
+        as well as an ``n x d`` matrix; a 1-D input comes back as a 1-D
+        length-D row.
+        """
         latent = np.asarray(latent, dtype=np.float64)
+        single = latent.ndim == 1
+        latent = np.atleast_2d(latent)
+        if latent.ndim != 2:
+            raise ShapeError(
+                f"latent must be a vector or 2-D matrix, got {latent.ndim} dimensions"
+            )
         if latent.shape[1] != self.n_components:
             raise ShapeError(
                 f"latent has {latent.shape[1]} columns, expected {self.n_components}"
             )
-        return latent @ self.components.T + self.mean
+        result = latent @ self.components.T + self.mean
+        return result[0] if single else result
 
     def reconstruct(self, data: Matrix) -> np.ndarray:
         """Project onto the subspace and map back (dense result)."""

@@ -11,28 +11,63 @@ the training history as parallel primitive arrays.
 from __future__ import annotations
 
 import json
+import os
 import pathlib
+import tempfile
+from typing import IO, Any, Callable
 
 import numpy as np
 
 from repro.core.checkpoint import EMCheckpoint
 from repro.core.convergence import IterationStats
 from repro.core.model import PCAModel
-from repro.errors import CheckpointError, ShapeError
+from repro.errors import CheckpointError, PersistenceError, ReproError, ShapeError
 
 _FORMAT_VERSION = 1
 _CHECKPOINT_FORMAT_VERSION = 1
+
+
+def _atomic_write(path: pathlib.Path, write: Callable[[IO[bytes]], None]) -> None:
+    """Write a file atomically: temp file in the same directory + ``os.replace``.
+
+    A crash (or an injected fault) mid-save must never leave a truncated
+    archive at *path*: the registry and checkpoint stores both rely on any
+    file they can see being either the old complete version or the new
+    complete version.  The temp file lives in the target's directory so the
+    final rename never crosses a filesystem boundary.
+    """
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=path.name + ".", suffix=".tmp"
+    )
+    tmp = pathlib.Path(tmp_name)
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            write(handle)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
+
+
+def _savez_atomic(path: pathlib.Path, **arrays: Any) -> None:
+    # np.savez_compressed is handed an open file object, not a path: numpy
+    # then neither appends a suffix nor writes in place.
+    _atomic_write(path, lambda handle: np.savez_compressed(handle, **arrays))
 
 
 def save_model(model: PCAModel, path: str | pathlib.Path) -> pathlib.Path:
     """Write *model* to an ``.npz`` archive; returns the path written.
 
     The ``.npz`` suffix is appended when missing (numpy does the same).
+    The write is atomic: a crash mid-save leaves any previous archive at
+    *path* untouched.
     """
     path = pathlib.Path(path)
     if path.suffix != ".npz":
         path = path.with_suffix(path.suffix + ".npz")
-    np.savez_compressed(
+    _savez_atomic(
         path,
         format_version=np.int64(_FORMAT_VERSION),
         components=model.components,
@@ -49,25 +84,36 @@ def load_model(path: str | pathlib.Path) -> PCAModel:
     Raises:
         ShapeError: if the archive is missing fields or has an unsupported
             format version.
+        PersistenceError: if the file is not a readable ``.npz`` archive
+            (truncated write, corruption); the message names the path.
     """
-    with np.load(path) as archive:
-        missing = {
-            "format_version", "components", "mean", "noise_variance", "n_samples"
-        } - set(archive.files)
-        if missing:
-            raise ShapeError(f"model archive is missing fields: {sorted(missing)}")
-        version = int(archive["format_version"])
-        if version > _FORMAT_VERSION:
-            raise ShapeError(
-                f"model archive format v{version} is newer than this library "
-                f"understands (v{_FORMAT_VERSION})"
+    try:
+        with np.load(path) as archive:
+            missing = {
+                "format_version", "components", "mean", "noise_variance", "n_samples"
+            } - set(archive.files)
+            if missing:
+                raise ShapeError(f"model archive is missing fields: {sorted(missing)}")
+            version = int(archive["format_version"])
+            if version > _FORMAT_VERSION:
+                raise ShapeError(
+                    f"model archive format v{version} is newer than this library "
+                    f"understands (v{_FORMAT_VERSION})"
+                )
+            return PCAModel(
+                components=archive["components"],
+                mean=archive["mean"],
+                noise_variance=float(archive["noise_variance"]),
+                n_samples=int(archive["n_samples"]),
             )
-        return PCAModel(
-            components=archive["components"],
-            mean=archive["mean"],
-            noise_variance=float(archive["noise_variance"]),
-            n_samples=int(archive["n_samples"]),
-        )
+    except (ReproError, FileNotFoundError):
+        raise
+    except Exception as exc:
+        # zipfile.BadZipFile, OSError mid-read, zlib errors, mangled headers:
+        # everything a half-written or corrupted archive can throw.
+        raise PersistenceError(
+            f"corrupt or unreadable model archive at {path}: {exc}"
+        ) from exc
 
 
 def _nan_encode(value: float | None) -> float:
@@ -81,12 +127,17 @@ def _nan_decode(value: float) -> float | None:
 def save_checkpoint(
     checkpoint: EMCheckpoint, path: str | pathlib.Path
 ) -> pathlib.Path:
-    """Write an EM *checkpoint* to an ``.npz`` archive; returns the path."""
+    """Write an EM *checkpoint* to an ``.npz`` archive; returns the path.
+
+    Atomic like :func:`save_model`: a run killed mid-snapshot leaves the
+    previous snapshot (if any) intact, which is what lets ``resume`` trust
+    every file the checkpoint directory contains.
+    """
     path = pathlib.Path(path)
     if path.suffix != ".npz":
         path = path.with_suffix(path.suffix + ".npz")
     history = checkpoint.history
-    np.savez_compressed(
+    _savez_atomic(
         path,
         checkpoint_format_version=np.int64(_CHECKPOINT_FORMAT_VERSION),
         iteration=np.int64(checkpoint.iteration),
@@ -133,9 +184,20 @@ def load_checkpoint(path: str | pathlib.Path) -> EMCheckpoint:
     """Read a checkpoint previously written by :func:`save_checkpoint`.
 
     Raises:
-        CheckpointError: if the archive is missing fields or has an
-            unsupported format version.
+        CheckpointError: if the archive is missing fields, has an
+            unsupported format version, or is corrupt/unreadable.
     """
+    try:
+        return _load_checkpoint(path)
+    except (ReproError, FileNotFoundError):
+        raise
+    except Exception as exc:
+        raise CheckpointError(
+            f"corrupt or unreadable checkpoint archive at {path}: {exc}"
+        ) from exc
+
+
+def _load_checkpoint(path: str | pathlib.Path) -> EMCheckpoint:
     with np.load(path) as archive:
         missing = _CHECKPOINT_FIELDS - set(archive.files)
         if missing:

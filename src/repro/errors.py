@@ -37,6 +37,44 @@ class CheckpointError(ReproError, RuntimeError):
     """An EM checkpoint could not be saved, loaded, or resumed from."""
 
 
+class PersistenceError(ReproError, RuntimeError):
+    """A model archive on disk is corrupt or unreadable.
+
+    Raised by :func:`repro.core.persistence.load_model` when the ``.npz``
+    file cannot be decoded (a truncated write, a bad disk, a non-archive
+    file); the message names the offending path.  Missing *fields* inside a
+    well-formed archive still raise :class:`ShapeError`.
+    """
+
+
+class RegistryError(ReproError, RuntimeError):
+    """A model-registry operation failed."""
+
+
+class ModelNotFoundError(RegistryError, LookupError):
+    """No registered model matches the requested name/version/tag."""
+
+
+class ModelIntegrityError(RegistryError):
+    """A registry artifact's content hash does not match its manifest."""
+
+
+class ServeError(ReproError, RuntimeError):
+    """Base class for serving-layer failures."""
+
+
+class QueueFullError(ServeError):
+    """The micro-batcher's request queue is at capacity (backpressure)."""
+
+
+class DeadlineExceededError(ServeError):
+    """A request's deadline expired before its batch was dispatched."""
+
+
+class ServiceClosedError(ServeError):
+    """The serving front-end has shut down and rejects new requests."""
+
+
 class EngineError(ReproError, RuntimeError):
     """Base class for distributed-engine failures."""
 

@@ -386,6 +386,49 @@ def _html_table(headers: list[str], rows: list[list[Any]]) -> str:
     return f"<table><thead><tr>{head}</tr></thead><tbody>{body}</tbody></table>"
 
 
+def _serving_rows(metrics_snapshot: dict[str, Any] | None) -> list[list[Any]]:
+    """Per-op serving summary rows from ``spca_serve_*`` samples, if any."""
+    if not metrics_snapshot:
+        return []
+    outcomes: dict[str, dict[str, float]] = {}
+    rows_total: dict[str, float] = {}
+    batches: dict[str, float] = {}
+    for item in metrics_snapshot.get("counters", []):
+        op = item.get("labels", {}).get("op", "")
+        if item["name"] == "spca_serve_requests_total":
+            outcome = item["labels"].get("outcome", "ok")
+            outcomes.setdefault(op, {})[outcome] = item["value"]
+        elif item["name"] == "spca_serve_rows_total":
+            rows_total[op] = item["value"]
+        elif item["name"] == "spca_serve_batches_total":
+            batches[op] = item["value"]
+    latency: dict[str, dict[str, Any]] = {}
+    for item in metrics_snapshot.get("histograms", []):
+        if item["name"] == "spca_serve_request_seconds":
+            latency[item.get("labels", {}).get("op", "")] = item
+    ops = sorted(set(outcomes) | set(rows_total) | set(latency))
+
+    def _ms(hist: dict[str, Any] | None, quantile: str) -> str:
+        if not hist or hist.get(quantile) is None:
+            return "-"
+        return f"{hist[quantile] * 1e3:.2f}"
+
+    return [
+        [
+            op,
+            f"{outcomes.get(op, {}).get('ok', 0):g}",
+            f"{outcomes.get(op, {}).get('rejected', 0):g}",
+            f"{outcomes.get(op, {}).get('deadline', 0):g}",
+            f"{rows_total.get(op, 0):g}",
+            f"{batches.get(op, 0):g}",
+            _ms(latency.get(op), "p50"),
+            _ms(latency.get(op), "p90"),
+            _ms(latency.get(op), "p99"),
+        ]
+        for op in ops
+    ]
+
+
 def render_html(
     trace: TraceData,
     metrics_snapshot: dict[str, Any] | None = None,
@@ -529,6 +572,22 @@ def render_html(
                     ]
                     for skew in skews[:12]
                 ],
+            )
+        )
+
+    serving_rows = _serving_rows(metrics_snapshot)
+    if serving_rows:
+        parts.append("<h2>Serving</h2>")
+        parts.append(
+            "<p class='sub'>Per-op request outcomes and latency from the "
+            "<code>spca_serve_*</code> metrics (batched results are "
+            "bit-identical to single-row serving).</p>"
+        )
+        parts.append(
+            _html_table(
+                ["op", "ok", "rejected", "deadline", "rows", "batches",
+                 "p50 ms", "p90 ms", "p99 ms"],
+                serving_rows,
             )
         )
 

@@ -68,6 +68,8 @@ EVENT_TYPES = (
     "checkpoint_restore",
     "executor_dispatch",
     "executor_join",
+    "serve_request",
+    "serve_batch",
 )
 
 

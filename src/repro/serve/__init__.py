@@ -1,0 +1,29 @@
+"""PCA-as-a-service: model registry + request layer + async micro-batching.
+
+Fitting produces a :class:`~repro.core.model.PCAModel`; this package is
+what happens to it next.  :class:`ModelRegistry` persists versioned models
+(atomic npz + manifest, content-hash integrity, LRU load cache),
+:class:`PCAService` serves ``transform``/``project``/``reconstruct``/
+``score`` against ``name@version``, and :class:`MicroBatcher` coalesces
+concurrent requests into batches computed through the row-stable kernels
+and the executor layer -- bit-identical to serving each request alone.
+"""
+
+from repro.serve.api import PCAService
+from repro.serve.batcher import BatchPolicy, MicroBatcher
+from repro.serve.kernels import OPS, reference_rows, row_stable_matmul, run_batch
+from repro.serve.registry import LATEST, ModelRecord, ModelRegistry, parse_version
+
+__all__ = [
+    "LATEST",
+    "OPS",
+    "BatchPolicy",
+    "MicroBatcher",
+    "ModelRecord",
+    "ModelRegistry",
+    "PCAService",
+    "parse_version",
+    "reference_rows",
+    "row_stable_matmul",
+    "run_batch",
+]

@@ -1,0 +1,123 @@
+"""The synchronous request layer: named-model inference with telemetry.
+
+:class:`PCAService` is the thin, blocking facade over the registry and the
+row-stable kernels -- what a request handler (or the async micro-batcher)
+calls once it holds a batch.  Each call resolves ``name@version`` through
+the registry's LRU cache, validates shapes, runs the op through the
+executor layer, and records a request-scoped span plus latency/throughput
+metrics.
+
+Results are defined **row-wise** (see :mod:`repro.serve.kernels`): the
+output for any row is bit-identical to pushing that row through the model
+alone, regardless of batch composition, chunking, or executor.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.engine.exec.base import TaskExecutor
+from repro.errors import ShapeError
+from repro.obs import get_tracer
+from repro.obs.metrics import get_registry as get_metrics
+from repro.serve import kernels
+from repro.serve.registry import LATEST, ModelRegistry
+
+
+class PCAService:
+    """Serve ``transform``/``project``/``reconstruct``/``score`` by name.
+
+    Args:
+        registry: the model registry to resolve names against.
+        executor: optional PR 5 task executor for intra-batch parallelism;
+            None (or serial) keeps everything on the calling thread.
+        chunk_rows: rows per executor task (default: split across workers,
+            capped at :data:`repro.serve.kernels.DEFAULT_CHUNK_ROWS`).
+    """
+
+    def __init__(
+        self,
+        registry: ModelRegistry,
+        executor: TaskExecutor | None = None,
+        chunk_rows: int | None = None,
+    ):
+        self.registry = registry
+        self.executor = executor
+        self.chunk_rows = chunk_rows
+
+    def model(self, name: str, version: str = LATEST):
+        """The resolved, cached :class:`PCAModel` for ``name@version``."""
+        return self.registry.get(name, version)
+
+    def resolve(self, name: str, version: str = LATEST) -> str:
+        return self.registry.resolve(name, version)
+
+    # -- ops --------------------------------------------------------------
+
+    def transform(self, name: str, rows: Any, version: str = LATEST) -> np.ndarray:
+        """Posterior-mean latents for *rows* under ``name@version``."""
+        return self._apply("transform", name, rows, version)
+
+    def project(self, name: str, rows: Any, version: str = LATEST) -> np.ndarray:
+        """Least-squares subspace coordinates for *rows*."""
+        return self._apply("project", name, rows, version)
+
+    def reconstruct(self, name: str, rows: Any, version: str = LATEST) -> np.ndarray:
+        """Rows projected onto the subspace and mapped back (dense)."""
+        return self._apply("reconstruct", name, rows, version)
+
+    def score(self, name: str, rows: Any, version: str = LATEST) -> np.ndarray:
+        """Per-row squared reconstruction error ``||y - reconstruct(y)||^2``.
+
+        Low scores mean the subspace explains the row well; a simple
+        anomaly signal for request-time data.
+        """
+        return self._apply("score", name, rows, version)
+
+    # -- machinery --------------------------------------------------------
+
+    def _apply(self, op: str, name: str, rows: Any, version: str) -> np.ndarray:
+        single = not sp.issparse(rows) and np.asarray(rows).ndim == 1
+        batch = self.as_batch(rows)
+        model = self.registry.get(name, version)
+        tracer = get_tracer()
+        started = time.perf_counter()
+        if tracer.enabled:
+            with tracer.span(
+                "task", f"serve.request/{op}", model=name, rows=batch.shape[0]
+            ):
+                result = kernels.run_batch(
+                    model, op, batch, self.executor, self.chunk_rows
+                )
+        else:
+            result = kernels.run_batch(
+                model, op, batch, self.executor, self.chunk_rows
+            )
+        metrics = get_metrics()
+        if metrics.enabled:
+            metrics.counter("spca_serve_requests_total", op=op, outcome="ok").inc()
+            metrics.counter("spca_serve_rows_total", op=op).inc(batch.shape[0])
+            metrics.histogram("spca_serve_request_seconds", op=op).observe(
+                time.perf_counter() - started
+            )
+        if single and op != "score":
+            return result[0]
+        return result
+
+    @staticmethod
+    def as_batch(rows: Any) -> Any:
+        """Normalize request rows to a 2-D batch (1-D vectors become 1 x D)."""
+        if sp.issparse(rows):
+            return rows.tocsr()
+        array = np.asarray(rows, dtype=np.float64)
+        if array.ndim == 1:
+            return array[None, :]
+        if array.ndim != 2:
+            raise ShapeError(
+                f"request rows must be 1-D or 2-D, got {array.ndim}-D"
+            )
+        return array

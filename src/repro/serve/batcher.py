@@ -1,0 +1,408 @@
+"""The async micro-batching front-end: PCA-as-a-service under load.
+
+Thousands of concurrent single-row ``transform`` requests are individually
+tiny -- the cost of serving them naively is pure dispatch overhead, the
+same per-record tax the sPCA batch pipeline (PR 3) eliminated inside the
+engines.  :class:`MicroBatcher` applies the same cure at the request layer:
+concurrent requests against the same ``(model, version, op)`` are coalesced
+into one stacked batch, computed once through the row-stable kernels and
+the PR 5 executor layer, and scattered back to their awaiting futures.
+
+Mechanics:
+
+- ``submit`` enqueues the request's rows and (for the first request of a
+  key) arms a coalescing timer of ``max_delay_s``; the queue flushes early
+  once ``max_batch_rows`` rows have accumulated.
+- A flush hands the batch to a single dispatcher thread, keeping the event
+  loop free to keep admitting requests while kernels run.  Inside the
+  dispatcher the batch goes through ``kernels.run_batch`` (optionally
+  chunked across a ``threads``/``processes`` executor).
+- **Backpressure**: admission fails fast with :class:`QueueFullError` once
+  ``max_queue_rows`` rows are waiting.
+- **Deadlines**: a request carrying ``deadline_s`` that is still queued
+  when its batch dispatches fails with :class:`DeadlineExceededError`
+  instead of burning compute on an answer nobody is waiting for.
+- **Graceful shutdown**: ``close(drain=True)`` stops admission, flushes
+  every queue, and awaits in-flight dispatches, so no accepted request is
+  ever dropped.
+
+Because every kernel is row-stable (see :mod:`repro.serve.kernels`), the
+answer to a request is bit-identical with batching on or off, under any
+executor, any neighbours, any chunking.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import concurrent.futures
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.errors import (
+    DeadlineExceededError,
+    QueueFullError,
+    ServiceClosedError,
+    ShapeError,
+)
+from repro.jobs.kernels import stack_blocks
+from repro.obs import get_tracer
+from repro.obs.metrics import get_registry as get_metrics
+from repro.serve import kernels
+from repro.serve.api import PCAService
+from repro.serve.registry import LATEST
+
+
+@dataclass(frozen=True)
+class BatchPolicy:
+    """Knobs governing coalescing, backpressure, and deadlines.
+
+    Attributes:
+        max_batch_rows: flush a queue early once this many rows wait in it.
+        max_delay_s: longest a request waits for neighbours before its
+            queue flushes anyway (the latency the batcher may add).
+        max_queue_rows: total rows admitted across all queues before
+            ``submit`` fails fast with :class:`QueueFullError`.
+        default_deadline_s: deadline applied to requests that do not carry
+            their own; None means no deadline.
+    """
+
+    max_batch_rows: int = 256
+    max_delay_s: float = 0.002
+    max_queue_rows: int = 8192
+    default_deadline_s: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_batch_rows < 1:
+            raise ShapeError("max_batch_rows must be >= 1")
+        if self.max_delay_s < 0:
+            raise ShapeError("max_delay_s must be >= 0")
+        if self.max_queue_rows < 1:
+            raise ShapeError("max_queue_rows must be >= 1")
+
+
+@dataclass
+class _Pending:
+    """One admitted request waiting in a queue."""
+
+    rows: Any  # 2-D dense array or CSR block
+    future: asyncio.Future
+    enqueued: float
+    deadline_at: float | None
+    single: bool  # 1-D input; unwrap the result row
+
+
+class MicroBatcher:
+    """Coalesces concurrent requests into batches; see the module docstring.
+
+    Args:
+        service: the request layer to compute through (its registry,
+            executor, and chunk size are reused).
+        policy: coalescing/backpressure/deadline knobs.
+        batching: False turns coalescing off -- every request dispatches
+            alone through the identical machinery, the honest baseline the
+            ``BENCH_serve`` suite compares against.
+    """
+
+    def __init__(
+        self,
+        service: PCAService,
+        policy: BatchPolicy | None = None,
+        batching: bool = True,
+    ):
+        self.service = service
+        self.policy = policy or BatchPolicy()
+        self.batching = batching
+        self._queues: dict[tuple[str, str, str], list[_Pending]] = {}
+        self._timers: dict[tuple[str, str, str], asyncio.TimerHandle] = {}
+        self._queued_rows = 0
+        self._inflight: set[asyncio.Future] = set()
+        self._closed = False
+        self._metrics_lock = threading.Lock()
+        self._dispatcher = concurrent.futures.ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="serve-dispatch"
+        )
+        # Tallies the load generator reads after a run (loop thread only).
+        self.batches_dispatched = 0
+        self.requests_rejected = 0
+        self.requests_expired = 0
+
+    async def __aenter__(self) -> "MicroBatcher":
+        return self
+
+    async def __aexit__(self, *exc_info: Any) -> None:
+        await self.close()
+
+    # -- admission --------------------------------------------------------
+
+    async def submit(
+        self,
+        op: str,
+        name: str,
+        rows: Any,
+        version: str = LATEST,
+        deadline_s: float | None = None,
+    ) -> np.ndarray:
+        """Serve *rows* against ``name@version``; awaits the result.
+
+        Raises:
+            ServiceClosedError: the batcher is closed or draining.
+            QueueFullError: backpressure -- too many rows already queued.
+            DeadlineExceededError: the request expired before dispatch.
+            ShapeError: bad op or row shapes.
+        """
+        if self._closed:
+            raise ServiceClosedError("serving front-end is closed")
+        if op not in kernels.OPS:
+            raise ShapeError(
+                f"unknown serve op {op!r}; expected one of {kernels.OPS}"
+            )
+        single = not sp.issparse(rows) and np.asarray(rows).ndim == 1
+        batch = PCAService.as_batch(rows)
+        n_rows = batch.shape[0]
+        if self._queued_rows + n_rows > self.policy.max_queue_rows:
+            self.requests_rejected += 1
+            self._count_request(op, "rejected")
+            raise QueueFullError(
+                f"serve queue full: {self._queued_rows} rows queued, "
+                f"request adds {n_rows}, limit {self.policy.max_queue_rows}"
+            )
+        resolved = self.service.resolve(name, version)
+        loop = asyncio.get_running_loop()
+        if deadline_s is None:
+            deadline_s = self.policy.default_deadline_s
+        now = time.perf_counter()
+        pending = _Pending(
+            rows=batch,
+            future=loop.create_future(),
+            enqueued=now,
+            deadline_at=None if deadline_s is None else now + deadline_s,
+            single=single,
+        )
+        key = (name, resolved, op)
+        queue = self._queues.setdefault(key, [])
+        queue.append(pending)
+        self._queued_rows += n_rows
+        self._set_depth_gauge()
+        if not self.batching or sum(p.rows.shape[0] for p in queue) >= (
+            self.policy.max_batch_rows
+        ):
+            self._flush(key)
+        elif key not in self._timers:
+            self._timers[key] = loop.call_later(
+                self.policy.max_delay_s, self._flush, key
+            )
+        return await pending.future
+
+    # -- flushing / dispatch ----------------------------------------------
+
+    def _flush(self, key: tuple[str, str, str]) -> None:
+        """Move a queue's pending requests to the dispatcher thread."""
+        timer = self._timers.pop(key, None)
+        if timer is not None:
+            timer.cancel()
+        batch = self._queues.pop(key, None)
+        if not batch:
+            return
+        self._queued_rows -= sum(p.rows.shape[0] for p in batch)
+        self._set_depth_gauge()
+        loop = asyncio.get_running_loop()
+        handle = loop.run_in_executor(
+            self._dispatcher, self._dispatch, key, batch, loop
+        )
+        self._inflight.add(handle)
+        handle.add_done_callback(lambda done: self._dispatched(done, batch))
+
+    def _dispatched(self, handle: asyncio.Future, batch: list[_Pending]) -> None:
+        """Loop-thread cleanup after a dispatch finishes."""
+        self._inflight.discard(handle)
+        exc = handle.exception() if not handle.cancelled() else None
+        if exc is not None:
+            for pending in batch:
+                if not pending.future.done():
+                    pending.future.set_exception(exc)
+
+    def _dispatch(
+        self,
+        key: tuple[str, str, str],
+        batch: list[_Pending],
+        loop: asyncio.AbstractEventLoop,
+    ) -> None:
+        """Dispatcher thread: expire, stack, compute, scatter."""
+        name, version, op = key
+        dispatch_start = time.perf_counter()
+        live: list[_Pending] = []
+        for pending in batch:
+            if pending.deadline_at is not None and (
+                pending.deadline_at < dispatch_start
+            ):
+                self._count_request(op, "deadline")
+                waited = dispatch_start - pending.enqueued
+                self._resolve(
+                    loop,
+                    pending.future,
+                    error=DeadlineExceededError(
+                        f"request deadline expired after {waited * 1e3:.2f}ms "
+                        f"in queue (op={op}, model={name}@{version})"
+                    ),
+                )
+            else:
+                live.append(pending)
+        if not live:
+            return
+        model = self.service.model(name, version)
+        # Dense and sparse requests take different (but each row-stable)
+        # kernel paths; stacking them together would densify sparse rows
+        # and change their bits, so each group computes separately.
+        groups = [
+            [p for p in live if sp.issparse(p.rows)],
+            [p for p in live if not sp.issparse(p.rows)],
+        ]
+        tracer = get_tracer()
+        for group in groups:
+            if not group:
+                continue
+            stacked = stack_blocks([p.rows for p in group])
+            if tracer.enabled:
+                with tracer.span(
+                    "task",
+                    f"serve.batch/{op}",
+                    model=name,
+                    version=version,
+                    requests=len(group),
+                    rows=stacked.shape[0],
+                ):
+                    outputs = kernels.run_batch(
+                        model, op, stacked,
+                        self.service.executor, self.service.chunk_rows,
+                    )
+                tracer.event(
+                    "serve_batch", op=op, model=name,
+                    requests=len(group), rows=stacked.shape[0],
+                )
+            else:
+                outputs = kernels.run_batch(
+                    model, op, stacked,
+                    self.service.executor, self.service.chunk_rows,
+                )
+            completed = time.perf_counter()
+            offset = 0
+            for pending in group:
+                n = pending.rows.shape[0]
+                result = outputs[offset : offset + n]
+                offset += n
+                if pending.single and op != "score":
+                    result = result[0]
+                self._count_request(
+                    op, "ok",
+                    wait_s=dispatch_start - pending.enqueued,
+                    total_s=completed - pending.enqueued,
+                    rows=n,
+                )
+                self._resolve(loop, pending.future, value=result)
+            with self._metrics_lock:
+                metrics = get_metrics()
+                if metrics.enabled:
+                    metrics.counter("spca_serve_batches_total", op=op).inc()
+                    metrics.histogram("spca_serve_batch_rows", op=op).observe(
+                        stacked.shape[0]
+                    )
+        self.batches_dispatched += sum(1 for group in groups if group)
+
+    # -- completion plumbing ----------------------------------------------
+
+    @staticmethod
+    def _resolve(
+        loop: asyncio.AbstractEventLoop,
+        future: asyncio.Future,
+        value: Any = None,
+        error: BaseException | None = None,
+    ) -> None:
+        """Complete *future* from the dispatcher thread, tolerating cancels."""
+
+        def apply() -> None:
+            if future.done():
+                return
+            if error is not None:
+                future.set_exception(error)
+            else:
+                future.set_result(value)
+
+        loop.call_soon_threadsafe(apply)
+
+    def _count_request(
+        self,
+        op: str,
+        outcome: str,
+        wait_s: float | None = None,
+        total_s: float | None = None,
+        rows: int | None = None,
+    ) -> None:
+        if outcome == "deadline":
+            self.requests_expired += 1
+        with self._metrics_lock:
+            metrics = get_metrics()
+            if not metrics.enabled:
+                return
+            metrics.counter(
+                "spca_serve_requests_total", op=op, outcome=outcome
+            ).inc()
+            if rows is not None:
+                metrics.counter("spca_serve_rows_total", op=op).inc(rows)
+            if wait_s is not None:
+                metrics.histogram(
+                    "spca_serve_queue_wait_seconds", op=op
+                ).observe(wait_s)
+            if total_s is not None:
+                metrics.histogram(
+                    "spca_serve_request_seconds", op=op
+                ).observe(total_s)
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.event(
+                "serve_request", op=op, outcome=outcome,
+                wait_s=wait_s, total_s=total_s, rows=rows,
+            )
+
+    def _set_depth_gauge(self) -> None:
+        with self._metrics_lock:
+            metrics = get_metrics()
+            if metrics.enabled:
+                metrics.gauge("spca_serve_queue_depth_rows").set(
+                    self._queued_rows
+                )
+
+    # -- shutdown ---------------------------------------------------------
+
+    async def close(self, drain: bool = True) -> None:
+        """Stop admission; drain or fail pending work; join the dispatcher.
+
+        With ``drain=True`` (default) every queued request is flushed and
+        every in-flight batch awaited -- accepted work always completes.
+        With ``drain=False`` queued requests fail with
+        :class:`ServiceClosedError`; in-flight batches are still awaited
+        (their results stand).
+        """
+        self._closed = True
+        for timer in self._timers.values():
+            timer.cancel()
+        self._timers.clear()
+        keys = list(self._queues)
+        if drain:
+            for key in keys:
+                self._flush(key)
+        else:
+            for key in keys:
+                for pending in self._queues.pop(key, []):
+                    if not pending.future.done():
+                        pending.future.set_exception(
+                            ServiceClosedError("serving front-end closed")
+                        )
+            self._queued_rows = 0
+        while self._inflight:
+            await asyncio.gather(*list(self._inflight), return_exceptions=True)
+        self._dispatcher.shutdown(wait=True)

@@ -1,0 +1,200 @@
+"""Row-stable batched inference kernels for the serving layer.
+
+**The bitwise contract.**  The serving layer promises that micro-batching is
+invisible: the answer for one request is bit-identical whether its rows were
+computed alone or coalesced into a batch with a thousand neighbours, on any
+executor.  A naive stacked ``(n, D) @ (D, d)`` gemm breaks that promise --
+BLAS picks different kernels (and different reduction blockings) for
+different ``m``, so row *i* of the batched product need not equal the
+single-row product bit for bit.  These kernels therefore compute dense
+products as ``np.matmul(rows[:, None, :], right)[:, 0]``: *n* independent
+``1 x D`` products evaluated in one C-level call, each bitwise identical to
+the same row pushed through :meth:`PCAModel.transform` on its own.  Sparse
+CSR products are row-independent loops already and need no special casing.
+
+Consequently every serve op is defined **row-wise**: ``serve(rows)`` equals
+``vstack(model.op(row) for each row)`` exactly, which is also what makes
+results independent of how the batcher happened to chunk a batch across
+executor workers.
+
+Dispatch: a batch is split into contiguous row chunks and run through the
+PR 5 :class:`~repro.engine.exec.base.TaskExecutor` contract (serial /
+threads / processes).  The task function is module-level and its payloads
+are plain picklable arrays -- the projector is computed once on the driver
+(cached on the model) and shipped with each chunk, so worker-side results
+cannot depend on worker-side factorization order.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.core.model import PCAModel
+from repro.engine.exec.base import TaskExecutor
+from repro.errors import ShapeError
+
+#: Ops the request layer exposes against a named model version.
+OPS = ("transform", "project", "reconstruct", "score")
+
+#: Default rows per executor task; small enough to spread a big batch over
+#: workers, big enough that one task amortizes dispatch overhead.
+DEFAULT_CHUNK_ROWS = 512
+
+
+def row_stable_matmul(rows: np.ndarray, right: np.ndarray) -> np.ndarray:
+    """``rows @ right`` with per-row results independent of the batch size.
+
+    Evaluated as ``n`` stacked ``1 x k`` products in one C-level ``matmul``
+    call: bitwise identical to ``rows[i:i+1] @ right`` for every row, which
+    a plain gemm does not guarantee.
+    """
+    return np.matmul(rows[:, None, :], right)[:, 0, :]
+
+
+def _row_stable_centered_times(
+    rows: Any, mean: np.ndarray, right: np.ndarray
+) -> np.ndarray:
+    """Row-stable ``(rows - 1*mean') @ right`` (cf. linalg.centered_times)."""
+    if sp.issparse(rows):
+        # CSR row products are independent per-row loops already.
+        product = np.asarray(rows @ right)
+    else:
+        product = row_stable_matmul(np.asarray(rows, dtype=np.float64), right)
+    return product - mean @ right
+
+
+def _densify(rows: Any) -> np.ndarray:
+    if sp.issparse(rows):
+        return np.asarray(rows.todense(), dtype=np.float64)
+    return np.asarray(rows, dtype=np.float64)
+
+
+def apply_rows(
+    op: str,
+    rows: Any,
+    mean: np.ndarray,
+    components: np.ndarray,
+    projector: np.ndarray,
+) -> np.ndarray:
+    """Apply one serve *op* to a stacked 2-D row block, row-stably.
+
+    Args:
+        op: one of :data:`OPS`.
+        rows: ``(n, D)`` dense array or CSR matrix.
+        mean: length-D training mean.
+        components: ``D x d`` loading matrix (used by reconstruct/score).
+        projector: the op's precomputed ``D x d`` projector --
+            ``posterior_projector`` for transform, ``subspace_projector``
+            for the rest.
+
+    Returns:
+        ``(n, d)`` latents for transform/project, ``(n, D)`` dense rows for
+        reconstruct, length-n per-row squared reconstruction errors for
+        score.
+    """
+    if op == "transform" or op == "project":
+        return _row_stable_centered_times(rows, mean, projector)
+    latent = _row_stable_centered_times(rows, mean, projector)
+    reconstructed = row_stable_matmul(latent, components.T) + mean
+    if op == "reconstruct":
+        return reconstructed
+    if op == "score":
+        residual = _densify(rows) - reconstructed
+        return np.einsum("ij,ij->i", residual, residual)
+    raise ShapeError(f"unknown serve op {op!r}; expected one of {OPS}")
+
+
+def reference_rows(model: PCAModel, op: str, rows: Any) -> np.ndarray:
+    """The sequential single-row reference a batched result must match.
+
+    Computes *op* one row at a time through the public ``PCAModel`` methods
+    -- the ground truth for the bitwise-equivalence property tests and the
+    load generator's verification pass.
+    """
+    outputs = []
+    for i in range(rows.shape[0]):
+        row = rows[i] if sp.issparse(rows) else rows[i : i + 1]
+        if op == "transform":
+            outputs.append(model.transform(row))
+        elif op == "project":
+            outputs.append(model.project(row))
+        elif op == "reconstruct":
+            outputs.append(model.reconstruct(row))
+        elif op == "score":
+            dense = _densify(row)
+            residual = dense - model.reconstruct(row)
+            outputs.append(np.einsum("ij,ij->i", residual, residual))
+        else:
+            raise ShapeError(f"unknown serve op {op!r}; expected one of {OPS}")
+    return np.concatenate(outputs) if op == "score" else np.vstack(outputs)
+
+
+def projector_for(model: PCAModel, op: str) -> np.ndarray:
+    """The cached driver-side projector the *op* ships to workers."""
+    if op == "transform":
+        return model.posterior_projector
+    return model.subspace_projector
+
+
+def _apply_chunk(
+    payload: tuple[str, Any, np.ndarray, np.ndarray, np.ndarray],
+) -> np.ndarray:
+    """Executor task: apply one op to one contiguous row chunk.
+
+    Module-level and pure -- no driver state, no clocks, no RNG -- so the
+    EX001-EX005 executor-safety rules hold and a process pool can pickle
+    it.  All matrices arrive in the payload.
+    """
+    op, rows, mean, components, projector = payload
+    return apply_rows(op, rows, mean, components, projector)
+
+
+def split_rows(rows: Any, chunk_rows: int) -> list[Any]:
+    """Contiguous row chunks of at most *chunk_rows* each."""
+    n = rows.shape[0]
+    if n <= chunk_rows:
+        return [rows]
+    return [rows[start : start + chunk_rows] for start in range(0, n, chunk_rows)]
+
+
+def run_batch(
+    model: PCAModel,
+    op: str,
+    rows: Any,
+    executor: TaskExecutor | None = None,
+    chunk_rows: int | None = None,
+) -> np.ndarray:
+    """Apply *op* to a stacked batch through the executor layer.
+
+    The batch is split into contiguous chunks (sized so every worker gets
+    work, floored at :data:`DEFAULT_CHUNK_ROWS` rows) and dispatched via
+    ``executor.run_tasks``; chunk results come back in index order and
+    concatenate to the full batch result.  Chunking cannot change bits:
+    every kernel is row-stable.
+    """
+    if op not in OPS:
+        raise ShapeError(f"unknown serve op {op!r}; expected one of {OPS}")
+    if rows.ndim != 2:
+        raise ShapeError(f"serve batch must be 2-D, got {rows.ndim}-D")
+    if rows.shape[1] != model.n_features:
+        raise ShapeError(
+            f"rows have {rows.shape[1]} columns but the model has "
+            f"{model.n_features} features"
+        )
+    mean = model.mean
+    components = model.components
+    projector = projector_for(model, op)
+    if executor is None or executor.serial:
+        return apply_rows(op, rows, mean, components, projector)
+    if chunk_rows is None:
+        per_worker = -(-rows.shape[0] // max(1, executor.workers))
+        chunk_rows = max(min(DEFAULT_CHUNK_ROWS, per_worker), 1)
+    chunks = split_rows(rows, chunk_rows)
+    if len(chunks) == 1:
+        return apply_rows(op, rows, mean, components, projector)
+    payloads = [(op, chunk, mean, components, projector) for chunk in chunks]
+    results = executor.run_tasks(_apply_chunk, payloads, label=f"serve.{op}")
+    return np.concatenate(results, axis=0)

@@ -1,0 +1,315 @@
+"""Load generator for the serving layer: the ``BENCH_serve`` suite.
+
+Fires a storm of concurrent single-row requests at :class:`MicroBatcher`
+twice -- micro-batching on, then off -- through otherwise identical
+machinery, and reports sustained throughput plus nearest-rank p50/p90/p99
+request latency for each mode.  Every scenario also replays its rows
+through the sequential single-row reference (:func:`kernels.reference_rows`)
+and records whether the served answers were **bitwise identical** -- the
+speedup claim is only meaningful at equal correctness, so the document
+carries both.
+
+Wall-clock only, like the other perf suites: timings are of this simulator
+on this machine (see ``provenance``); ratios are the meaningful quantity.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import tempfile
+import time
+from typing import Any
+
+import numpy as np
+
+from repro.core.model import PCAModel
+from repro.obs.metrics import METRICS_SCHEMA, collecting
+from repro.serve import kernels
+from repro.serve.api import PCAService
+from repro.serve.batcher import BatchPolicy, MicroBatcher
+from repro.serve.registry import ModelRegistry
+
+BENCH_NAME = "BENCH_serve"
+
+REQUIRED_PROVENANCE_FIELDS = {"git_sha", "cpu_count", "python", "platform"}
+REQUIRED_SCENARIO_FIELDS = {
+    "mode",
+    "op",
+    "requests",
+    "wall_s",
+    "throughput_rps",
+    "p50_ms",
+    "p90_ms",
+    "p99_ms",
+    "batches",
+    "bitwise_equal",
+}
+
+
+def make_demo_model(
+    n_features: int, n_components: int, seed: int = 0
+) -> PCAModel:
+    """A deterministic synthetic PPCA model for benchmarking/smoke tests."""
+    rng = np.random.default_rng(seed)
+    components, _ = np.linalg.qr(rng.normal(size=(n_features, n_components)))
+    return PCAModel(
+        components=components * rng.uniform(1.0, 3.0, size=n_components),
+        mean=rng.normal(size=n_features),
+        noise_variance=0.05,
+        n_samples=1000,
+    )
+
+
+def percentile_ms(latencies_s: list[float], q: float) -> float:
+    """Nearest-rank percentile (same convention as the metrics registry)."""
+    if not latencies_s:
+        return 0.0
+    ordered = sorted(latencies_s)
+    rank = max(1, int(np.ceil(q / 100.0 * len(ordered))))
+    return ordered[rank - 1] * 1e3
+
+
+def run_scenario(
+    service: PCAService,
+    name: str,
+    op: str,
+    rows: np.ndarray,
+    batching: bool,
+    policy: BatchPolicy | None = None,
+) -> dict:
+    """Serve every row of *rows* as its own concurrent request; measure.
+
+    Returns one BENCH_serve scenario entry.  ``bitwise_equal`` compares the
+    concatenated request results against the sequential single-row
+    reference -- batching/chunking must be invisible down to the bit.
+    """
+    model = service.model(name)
+
+    async def drive() -> tuple[list[tuple[float, Any]], float, int]:
+        batcher = MicroBatcher(service, policy, batching=batching)
+
+        async def one(row: np.ndarray) -> tuple[float, Any]:
+            started = time.perf_counter()
+            result = await batcher.submit(op, name, row)
+            return time.perf_counter() - started, result
+
+        started = time.perf_counter()
+        pairs = await asyncio.gather(*(one(row) for row in rows))
+        wall = time.perf_counter() - started
+        # close() awaits in-flight dispatches, so the batch counter
+        # (incremented on the dispatcher thread) is settled afterwards.
+        await batcher.close()
+        return list(pairs), wall, batcher.batches_dispatched
+
+    pairs, wall, batches = asyncio.run(drive())
+    latencies = [latency for latency, _ in pairs]
+    reference = kernels.reference_rows(model, op, rows)
+    if op == "score":
+        served = np.asarray([result[0] for _, result in pairs])
+    else:
+        served = np.vstack([result for _, result in pairs])
+    return {
+        "mode": "batched" if batching else "unbatched",
+        "op": op,
+        "requests": len(rows),
+        "wall_s": wall,
+        "throughput_rps": len(rows) / max(wall, 1e-12),
+        "p50_ms": percentile_ms(latencies, 50),
+        "p90_ms": percentile_ms(latencies, 90),
+        "p99_ms": percentile_ms(latencies, 99),
+        "batches": batches,
+        "bitwise_equal": bool(np.array_equal(served, reference)),
+    }
+
+
+def run_serve_suite(quick: bool = False) -> dict:
+    """Run the serving load benchmark; returns the BENCH_serve document.
+
+    Full mode fires >= 1000 concurrent ``transform`` requests (the ISSUE
+    acceptance bar) per mode; quick mode is a CI-sized smoke.  Both modes
+    dispatch through identical machinery -- the only difference between the
+    compared scenarios is whether requests coalesce.
+    """
+    if quick:
+        n_requests, n_features, n_components = 200, 32, 4
+        extra_ops: tuple[str, ...] = ()
+    else:
+        n_requests, n_features, n_components = 1500, 64, 8
+        extra_ops = ("project", "reconstruct", "score")
+    rng = np.random.default_rng(7)
+    rows = rng.normal(size=(n_requests, n_features))
+    model = make_demo_model(n_features, n_components, seed=3)
+    policy = BatchPolicy(max_batch_rows=256, max_delay_s=0.002)
+
+    scenarios = []
+    with tempfile.TemporaryDirectory(prefix="spca-serve-bench-") as root:
+        registry = ModelRegistry(root)
+        registry.publish("bench", model)
+        service = PCAService(registry)
+        with collecting() as metrics:
+            for batching in (False, True):
+                scenarios.append(
+                    run_scenario(service, "bench", "transform", rows, batching, policy)
+                )
+            for op in extra_ops:
+                scenarios.append(
+                    run_scenario(service, "bench", op, rows, True, policy)
+                )
+            snapshot = metrics.snapshot()
+
+    by_mode = {s["mode"]: s for s in scenarios if s["op"] == "transform"}
+    result = {
+        "bench": BENCH_NAME,
+        "quick": quick,
+        "created_unix": time.time(),
+        "provenance": _provenance(
+            requests=n_requests,
+            n_features=n_features,
+            n_components=n_components,
+            max_batch_rows=policy.max_batch_rows,
+            max_delay_s=policy.max_delay_s,
+        ),
+        "scenarios": scenarios,
+        "transform_speedup": (
+            by_mode["unbatched"]["wall_s"] / max(by_mode["batched"]["wall_s"], 1e-12)
+        ),
+        "metrics": snapshot,
+    }
+    validate_serve(result)
+    return result
+
+
+def _provenance(**config: Any) -> dict:
+    # benchmarks/perf/harness.py owns the canonical provenance stamper, but
+    # src/ cannot import from benchmarks/; keep the fields identical.
+    import os
+    import pathlib
+    import platform
+    import subprocess
+
+    repo_root = pathlib.Path(__file__).resolve().parents[3]
+    try:
+        git_sha = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=repo_root,
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=True,
+        ).stdout.strip()
+    except (OSError, subprocess.SubprocessError):
+        git_sha = "unknown"
+    return {
+        "git_sha": git_sha,
+        "cpu_count": os.cpu_count() or 1,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        **config,
+    }
+
+
+def validate_serve(result: dict) -> None:
+    """Schema check for a BENCH_serve document; raises ValueError on violation.
+
+    Beyond shape, this enforces the acceptance bar: every scenario must be
+    bitwise-identical to the sequential reference, full-mode runs must
+    cover >= 1000 concurrent transform requests per mode, and the batched
+    transform path must beat the unbatched one (at, therefore, equal
+    correctness).  Quick runs skip the speedup assertion -- CI smoke shapes
+    are too small for a stable ratio.
+    """
+    for field in ("bench", "quick", "created_unix", "scenarios", "transform_speedup"):
+        if field not in result:
+            raise ValueError(f"missing top-level field {field!r}")
+    if result["bench"] != BENCH_NAME:
+        raise ValueError(f"bench must be {BENCH_NAME!r}, got {result['bench']!r}")
+    prov = result.get("provenance")
+    if not isinstance(prov, dict):
+        raise ValueError("missing top-level field 'provenance'")
+    missing = REQUIRED_PROVENANCE_FIELDS - prov.keys()
+    if missing:
+        raise ValueError(f"provenance missing fields {sorted(missing)}")
+    if not result["scenarios"]:
+        raise ValueError("scenarios must be non-empty")
+    modes = set()
+    for scenario in result["scenarios"]:
+        missing = REQUIRED_SCENARIO_FIELDS - scenario.keys()
+        if missing:
+            raise ValueError(
+                f"scenario {scenario.get('mode')!r}/{scenario.get('op')!r} "
+                f"missing fields {sorted(missing)}"
+            )
+        if scenario["op"] not in kernels.OPS:
+            raise ValueError(f"unknown scenario op {scenario['op']!r}")
+        if scenario["bitwise_equal"] is not True:
+            raise ValueError(
+                f"scenario {scenario['mode']!r}/{scenario['op']!r} is not "
+                "bitwise-identical to the sequential reference"
+            )
+        for field in ("wall_s", "throughput_rps"):
+            if not (isinstance(scenario[field], float) and scenario[field] > 0):
+                raise ValueError(f"scenario field {field!r} must be positive")
+        if scenario["op"] == "transform":
+            modes.add(scenario["mode"])
+            if not result["quick"] and scenario["requests"] < 1000:
+                raise ValueError(
+                    "full-mode transform scenarios need >= 1000 concurrent "
+                    f"requests, got {scenario['requests']}"
+                )
+    if modes != {"batched", "unbatched"}:
+        raise ValueError(
+            f"need batched and unbatched transform scenarios, got {sorted(modes)}"
+        )
+    if not result["quick"] and result["transform_speedup"] <= 1.0:
+        raise ValueError(
+            "batched transform must beat unbatched at equal correctness; "
+            f"measured speedup {result['transform_speedup']:.3f}x"
+        )
+    snapshot = result.get("metrics")
+    if snapshot is not None:
+        if snapshot.get("schema") != METRICS_SCHEMA:
+            raise ValueError(
+                f"metrics block schema must be {METRICS_SCHEMA!r}, "
+                f"got {snapshot.get('schema')!r}"
+            )
+        served = [
+            c
+            for c in snapshot.get("counters", [])
+            if c["name"] == "spca_serve_requests_total"
+        ]
+        if not served or sum(c["value"] for c in served) <= 0:
+            raise ValueError("metrics block recorded no serve requests")
+
+
+def summarize_serve(result: dict) -> str:
+    prov = result["provenance"]
+    lines = [
+        f"{result['bench']}  (quick={result['quick']}, cpus={prov['cpu_count']}, "
+        f"sha={prov['git_sha'][:12]})"
+    ]
+    lines.append(
+        f"{'scenario':<24}{'requests':>9}{'rps':>10}{'p50 ms':>9}"
+        f"{'p99 ms':>9}{'batches':>9}{'bitwise':>9}"
+    )
+    for scenario in result["scenarios"]:
+        label = f"{scenario['mode']}/{scenario['op']}"
+        lines.append(
+            f"{label:<24}{scenario['requests']:>9}"
+            f"{scenario['throughput_rps']:>10.0f}{scenario['p50_ms']:>9.2f}"
+            f"{scenario['p99_ms']:>9.2f}{scenario['batches']:>9}"
+            f"{str(scenario['bitwise_equal']):>9}"
+        )
+    lines.append(f"transform speedup (batched vs unbatched): "
+                 f"{result['transform_speedup']:.2f}x")
+    return "\n".join(lines)
+
+
+__all__ = [
+    "BENCH_NAME",
+    "make_demo_model",
+    "percentile_ms",
+    "run_scenario",
+    "run_serve_suite",
+    "summarize_serve",
+    "validate_serve",
+]

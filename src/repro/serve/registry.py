@@ -1,0 +1,400 @@
+"""Versioned on-disk registry of fitted :class:`~repro.core.model.PCAModel`s.
+
+The registry is the durable half of PCA-as-a-service: ``publish`` persists a
+fitted model through the atomic npz layer (:mod:`repro.core.persistence`),
+stamps a manifest with a content hash, and assigns a semantic version;
+``get`` resolves a name plus version/tag to a model, verifying the hash on
+every disk load and keeping recently used models in a small LRU cache so the
+serving hot path never touches disk.
+
+Layout (everything under one root directory)::
+
+    <root>/
+      <name>/
+        tags.json                    # {"prod": "1.2.0", ...}
+        <version>/
+          model.npz                  # atomic npz archive (save_model)
+          manifest.json              # sha256, shapes, created_unix, notes
+
+Both JSON files are written with the same temp-file + ``os.replace`` dance
+as the archives, so a crash mid-publish never leaves a version that is
+half-visible: either the manifest exists and describes a complete archive,
+or the version does not resolve.
+
+Version strings are strict ``MAJOR.MINOR.PATCH`` semantic versions.
+``publish`` without an explicit version bumps the minor of the newest
+published version (or starts at ``1.0.0``).  The spec ``"latest"`` always
+resolves to the numerically newest version; any other label is looked up in
+``tags.json``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import pathlib
+import re
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.core.model import PCAModel
+from repro.core.persistence import _atomic_write, load_model, save_model
+from repro.errors import ModelIntegrityError, ModelNotFoundError, RegistryError
+from repro.obs.metrics import get_registry as get_metrics
+
+_NAME_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
+_SEMVER_RE = re.compile(r"^(\d+)\.(\d+)\.(\d+)$")
+_TAG_RE = re.compile(r"^[A-Za-z][A-Za-z0-9._-]*$")
+
+#: reserved spec resolved computationally, never stored in tags.json
+LATEST = "latest"
+
+_MANIFEST_VERSION = 1
+
+
+def parse_version(version: str) -> tuple[int, int, int]:
+    """Parse ``MAJOR.MINOR.PATCH``; raises :class:`RegistryError` otherwise."""
+    match = _SEMVER_RE.match(version)
+    if not match:
+        raise RegistryError(
+            f"invalid semantic version {version!r} (expected MAJOR.MINOR.PATCH)"
+        )
+    return int(match.group(1)), int(match.group(2)), int(match.group(3))
+
+
+def _sha256_file(path: pathlib.Path) -> str:
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for chunk in iter(lambda: handle.read(1 << 20), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+def _write_json_atomic(path: pathlib.Path, payload: dict) -> None:
+    data = (json.dumps(payload, indent=2, sort_keys=True) + "\n").encode()
+    _atomic_write(path, lambda handle: handle.write(data))
+
+
+@dataclass(frozen=True)
+class ModelRecord:
+    """Manifest of one published model version."""
+
+    name: str
+    version: str
+    path: pathlib.Path
+    sha256: str
+    created_unix: float
+    n_features: int
+    n_components: int
+    n_samples: int
+    noise_variance: float
+    notes: str = ""
+
+    def to_manifest(self) -> dict:
+        return {
+            "manifest_version": _MANIFEST_VERSION,
+            "name": self.name,
+            "version": self.version,
+            "sha256": self.sha256,
+            "created_unix": self.created_unix,
+            "n_features": self.n_features,
+            "n_components": self.n_components,
+            "n_samples": self.n_samples,
+            "noise_variance": self.noise_variance,
+            "notes": self.notes,
+        }
+
+
+class ModelRegistry:
+    """Load-on-demand, integrity-checked store of named model versions.
+
+    Args:
+        root: registry directory (created on first publish).
+        cache_size: LRU capacity for loaded models; 0 disables caching.
+
+    Thread-safety: all public methods take an internal lock, so the async
+    batcher's dispatcher thread and the caller's thread can share one
+    registry instance.
+    """
+
+    def __init__(self, root: str | pathlib.Path, cache_size: int = 8):
+        if cache_size < 0:
+            raise RegistryError(f"cache_size must be >= 0, got {cache_size}")
+        self.root = pathlib.Path(root)
+        self.cache_size = cache_size
+        self._cache: OrderedDict[tuple[str, str], PCAModel] = OrderedDict()
+        self._lock = threading.Lock()
+
+    # -- paths ------------------------------------------------------------
+
+    def _model_dir(self, name: str) -> pathlib.Path:
+        return self.root / name
+
+    def _version_dir(self, name: str, version: str) -> pathlib.Path:
+        return self._model_dir(name) / version
+
+    def _manifest_path(self, name: str, version: str) -> pathlib.Path:
+        return self._version_dir(name, version) / "manifest.json"
+
+    def _archive_path(self, name: str, version: str) -> pathlib.Path:
+        return self._version_dir(name, version) / "model.npz"
+
+    def _tags_path(self, name: str) -> pathlib.Path:
+        return self._model_dir(name) / "tags.json"
+
+    @staticmethod
+    def _check_name(name: str) -> str:
+        if not _NAME_RE.match(name):
+            raise RegistryError(f"invalid model name {name!r}")
+        return name
+
+    # -- listing / resolution ---------------------------------------------
+
+    def models(self) -> list[str]:
+        """All published model names, sorted."""
+        if not self.root.is_dir():
+            return []
+        return sorted(
+            entry.name
+            for entry in self.root.iterdir()
+            if entry.is_dir() and _NAME_RE.match(entry.name)
+        )
+
+    def versions(self, name: str) -> list[str]:
+        """Published versions of *name*, oldest first; [] if unknown."""
+        self._check_name(name)
+        model_dir = self._model_dir(name)
+        if not model_dir.is_dir():
+            return []
+        found = [
+            entry.name
+            for entry in model_dir.iterdir()
+            if entry.is_dir()
+            and _SEMVER_RE.match(entry.name)
+            and self._manifest_path(name, entry.name).is_file()
+        ]
+        return sorted(found, key=parse_version)
+
+    def tags(self, name: str) -> dict[str, str]:
+        """The stored tag -> version map for *name* (without ``latest``)."""
+        self._check_name(name)
+        path = self._tags_path(name)
+        if not path.is_file():
+            return {}
+        try:
+            loaded = json.loads(path.read_text())
+        except (OSError, ValueError) as exc:
+            raise RegistryError(f"unreadable tags file at {path}: {exc}") from exc
+        if not isinstance(loaded, dict):
+            raise RegistryError(f"malformed tags file at {path}")
+        return {str(k): str(v) for k, v in loaded.items()}
+
+    def resolve(self, name: str, spec: str = LATEST) -> str:
+        """Resolve *spec* (exact version, tag, or ``latest``) to a version."""
+        self._check_name(name)
+        if _SEMVER_RE.match(spec):
+            with self._lock:
+                if (name, spec) in self._cache:
+                    return spec
+            if self._manifest_path(name, spec).is_file():
+                return spec
+            raise ModelNotFoundError(
+                f"model {name!r} has no published version {spec}"
+            )
+        versions = self.versions(name)
+        if not versions:
+            raise ModelNotFoundError(f"no model named {name!r} in {self.root}")
+        if spec == LATEST:
+            return versions[-1]
+        tagged = self.tags(name).get(spec)
+        if tagged is None:
+            raise ModelNotFoundError(
+                f"model {name!r} has no tag or version {spec!r} "
+                f"(tags: {sorted(self.tags(name)) or 'none'})"
+            )
+        if tagged not in versions:
+            raise ModelNotFoundError(
+                f"tag {spec!r} of model {name!r} points at missing version {tagged}"
+            )
+        return tagged
+
+    # -- publishing -------------------------------------------------------
+
+    def _next_version(self, name: str) -> str:
+        versions = self.versions(name)
+        if not versions:
+            return "1.0.0"
+        major, minor, _ = parse_version(versions[-1])
+        return f"{major}.{minor + 1}.0"
+
+    def publish(
+        self,
+        name: str,
+        model: PCAModel,
+        version: str | None = None,
+        tags: tuple[str, ...] | list[str] = (),
+        notes: str = "",
+        overwrite: bool = False,
+    ) -> ModelRecord:
+        """Persist *model* as ``name@version``; returns its manifest record.
+
+        Without an explicit *version* the newest version's minor is bumped
+        (``1.0.0`` for a new name).  Publishing over an existing version
+        requires ``overwrite=True``.
+        """
+        self._check_name(name)
+        if version is None:
+            version = self._next_version(name)
+        else:
+            parse_version(version)
+        for tag in tags:
+            self._check_tag(tag)
+        manifest_path = self._manifest_path(name, version)
+        if manifest_path.is_file() and not overwrite:
+            raise RegistryError(
+                f"model {name}@{version} already published "
+                f"(pass overwrite=True to replace)"
+            )
+        version_dir = self._version_dir(name, version)
+        version_dir.mkdir(parents=True, exist_ok=True)
+        archive = save_model(model, self._archive_path(name, version))
+        record = ModelRecord(
+            name=name,
+            version=version,
+            path=archive,
+            sha256=_sha256_file(archive),
+            created_unix=time.time(),
+            n_features=model.n_features,
+            n_components=model.n_components,
+            n_samples=model.n_samples,
+            noise_variance=float(model.noise_variance),
+            notes=notes,
+        )
+        _write_json_atomic(manifest_path, record.to_manifest())
+        for tag in tags:
+            self.tag(name, version, tag)
+        with self._lock:
+            self._cache.pop((name, version), None)
+        metrics = get_metrics()
+        if metrics.enabled:
+            metrics.counter("spca_registry_publishes_total", model=name).inc()
+        return record
+
+    @staticmethod
+    def _check_tag(tag: str) -> str:
+        if tag == LATEST:
+            raise RegistryError(
+                "the tag 'latest' is reserved (it always resolves to the "
+                "numerically newest version)"
+            )
+        if not _TAG_RE.match(tag) or _SEMVER_RE.match(tag):
+            raise RegistryError(f"invalid tag {tag!r}")
+        return tag
+
+    def tag(self, name: str, version: str, label: str) -> None:
+        """Point tag *label* at ``name@version`` (atomic tags.json rewrite)."""
+        self._check_name(name)
+        self._check_tag(label)
+        if not self._manifest_path(name, version).is_file():
+            raise ModelNotFoundError(
+                f"cannot tag: model {name!r} has no published version {version}"
+            )
+        tags = self.tags(name)
+        tags[label] = version
+        _write_json_atomic(self._tags_path(name), tags)
+
+    # -- loading ----------------------------------------------------------
+
+    def record(self, name: str, version_spec: str = LATEST) -> ModelRecord:
+        """The manifest record for a resolved name/version."""
+        version = self.resolve(name, version_spec)
+        path = self._manifest_path(name, version)
+        try:
+            manifest = json.loads(path.read_text())
+        except (OSError, ValueError) as exc:
+            raise RegistryError(f"unreadable manifest at {path}: {exc}") from exc
+        return ModelRecord(
+            name=name,
+            version=version,
+            path=self._archive_path(name, version),
+            sha256=str(manifest["sha256"]),
+            created_unix=float(manifest["created_unix"]),
+            n_features=int(manifest["n_features"]),
+            n_components=int(manifest["n_components"]),
+            n_samples=int(manifest["n_samples"]),
+            noise_variance=float(manifest["noise_variance"]),
+            notes=str(manifest.get("notes", "")),
+        )
+
+    def get(self, name: str, version_spec: str = LATEST) -> PCAModel:
+        """Load ``name@version_spec``, via the LRU cache when possible.
+
+        Disk loads verify the archive's sha256 against the manifest before
+        deserializing; a mismatch raises :class:`ModelIntegrityError`
+        naming the file.
+        """
+        version = self.resolve(name, version_spec)
+        key = (name, version)
+        metrics = get_metrics()
+        with self._lock:
+            cached = self._cache.get(key)
+            if cached is not None:
+                self._cache.move_to_end(key)
+                if metrics.enabled:
+                    metrics.counter(
+                        "spca_registry_loads_total", source="cache"
+                    ).inc()
+                return cached
+        record = self.record(name, version)
+        actual = _sha256_file(record.path)
+        if actual != record.sha256:
+            if metrics.enabled:
+                metrics.counter("spca_registry_integrity_failures_total").inc()
+            raise ModelIntegrityError(
+                f"content hash mismatch for {record.path}: manifest says "
+                f"{record.sha256[:12]}..., file is {actual[:12]}..."
+            )
+        model = load_model(record.path)
+        with self._lock:
+            self._cache[key] = model
+            self._cache.move_to_end(key)
+            evicted = 0
+            while self.cache_size and len(self._cache) > self.cache_size:
+                self._cache.popitem(last=False)
+                evicted += 1
+            if not self.cache_size:
+                self._cache.clear()
+        if metrics.enabled:
+            metrics.counter("spca_registry_loads_total", source="disk").inc()
+            if evicted:
+                metrics.counter("spca_registry_cache_evictions_total").inc(evicted)
+            metrics.gauge("spca_registry_cache_entries").set(len(self._cache))
+        return model
+
+    def verify(self, name: str | None = None) -> list[str]:
+        """Re-hash every stored archive; returns problem descriptions."""
+        problems: list[str] = []
+        names = [name] if name is not None else self.models()
+        for model_name in names:
+            for version in self.versions(model_name):
+                try:
+                    record = self.record(model_name, version)
+                except RegistryError as exc:
+                    problems.append(f"{model_name}@{version}: {exc}")
+                    continue
+                if not record.path.is_file():
+                    problems.append(
+                        f"{model_name}@{version}: missing archive {record.path}"
+                    )
+                elif _sha256_file(record.path) != record.sha256:
+                    problems.append(
+                        f"{model_name}@{version}: content hash mismatch at "
+                        f"{record.path}"
+                    )
+        return problems
+
+    def clear_cache(self) -> None:
+        with self._lock:
+            self._cache.clear()

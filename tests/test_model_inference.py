@@ -1,0 +1,148 @@
+"""Inference-path hardening: degenerate models, cached projectors, 1-D latents.
+
+Covers the serving-readiness bugfixes:
+
+- ``transform`` no longer inverts ``C'C + ss*I`` directly, so models with
+  ``noise_variance ~ 0`` *and* rank-deficient components (both legitimately
+  produced by EM on degenerate data) transform instead of crashing with
+  ``LinAlgError``.
+- The D x d projector is computed once and cached on the model, like
+  ``_basis``.
+- ``inverse_transform`` accepts a single 1-D latent vector.
+
+Every degenerate shape also goes through a full save -> load -> transform /
+reconstruct round-trip, because serving loads models from disk.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.model import PCAModel
+from repro.core.persistence import load_model, save_model
+from repro.errors import ShapeError
+
+
+def _model(components, noise_variance=0.1, mean=None):
+    components = np.asarray(components, dtype=np.float64)
+    if mean is None:
+        mean = np.zeros(components.shape[0])
+    return PCAModel(
+        components=components,
+        mean=mean,
+        noise_variance=noise_variance,
+        n_samples=100,
+    )
+
+
+def _rank_deficient_model(noise_variance):
+    # Two identical columns: C'C is singular; with ss = 0 the posterior
+    # moment matrix C'C + ss*I is exactly singular too.
+    column = np.array([1.0, 2.0, 3.0, 4.0])
+    return _model(
+        np.column_stack([column, column]), noise_variance=noise_variance
+    )
+
+
+class TestDegenerateTransform:
+    def test_zero_noise_rank_deficient_does_not_crash(self):
+        model = _rank_deficient_model(noise_variance=0.0)
+        data = np.arange(8.0).reshape(2, 4)
+        latent = model.transform(data)
+        assert latent.shape == (2, 2)
+        assert np.all(np.isfinite(latent))
+
+    def test_zero_noise_rank_deficient_reconstruction_is_projection(self):
+        # With the pinv fallback the reconstruction must still land in the
+        # column space of C and be no worse than the data's projection.
+        model = _rank_deficient_model(noise_variance=0.0)
+        data = np.outer([1.0, -2.0], model.components[:, 0])
+        reconstructed = model.inverse_transform(model.transform(data))
+        assert np.allclose(reconstructed, data, atol=1e-8)
+
+    def test_full_rank_matches_solve_reference(self):
+        rng = np.random.default_rng(0)
+        components = rng.normal(size=(6, 3))
+        model = _model(components, noise_variance=0.3)
+        data = rng.normal(size=(5, 6))
+        moment = components.T @ components + 0.3 * np.eye(3)
+        expected = np.linalg.solve(moment, components.T @ data.T).T
+        assert np.allclose(model.transform(data), expected)
+
+    def test_tiny_noise_rank_deficient(self):
+        model = _rank_deficient_model(noise_variance=1e-300)
+        latent = model.transform(np.ones((3, 4)))
+        assert np.all(np.isfinite(latent))
+
+
+class TestProjectorCaching:
+    def test_posterior_projector_cached(self):
+        model = _model(np.eye(4)[:, :2])
+        first = model.posterior_projector
+        assert model.posterior_projector is first
+
+    def test_subspace_projector_cached(self):
+        model = _model(np.eye(4)[:, :2])
+        first = model.subspace_projector
+        assert model.subspace_projector is first
+
+    def test_transform_uses_cached_projector(self):
+        model = _model(np.eye(4)[:, :2], noise_variance=0.25)
+        data = np.arange(12.0).reshape(3, 4)
+        expected = model.transform(data)
+        assert np.array_equal(model.transform(data), expected)
+
+
+class TestInverseTransform1D:
+    def test_1d_latent_round_trips(self):
+        rng = np.random.default_rng(1)
+        model = _model(rng.normal(size=(5, 2)), mean=rng.normal(size=5))
+        latent = np.array([0.5, -1.5])
+        result = model.inverse_transform(latent)
+        assert result.shape == (5,)
+        expected = model.inverse_transform(latent[None, :])
+        assert np.array_equal(result, expected[0])
+
+    def test_2d_latents_unchanged(self):
+        model = _model(np.eye(4)[:, :2])
+        latents = np.array([[1.0, 2.0], [3.0, 4.0]])
+        assert model.inverse_transform(latents).shape == (2, 4)
+
+    def test_1d_dimension_mismatch_raises(self):
+        model = _model(np.eye(4)[:, :2])
+        with pytest.raises(ShapeError):
+            model.inverse_transform(np.array([1.0, 2.0, 3.0]))
+
+    def test_3d_latent_raises(self):
+        model = _model(np.eye(4)[:, :2])
+        with pytest.raises(ShapeError):
+            model.inverse_transform(np.ones((2, 2, 2)))
+
+
+@pytest.mark.parametrize(
+    "components, noise_variance",
+    [
+        (np.array([[1.0], [2.0], [0.5]]), 0.1),  # d = 1
+        (np.zeros((4, 2)), 0.5),  # zero-variance loadings
+        (np.column_stack([np.ones(4), np.ones(4)]), 0.0),  # ss = 0, singular
+    ],
+    ids=["d1", "zero-variance", "zero-noise-singular"],
+)
+def test_degenerate_round_trip_through_disk(tmp_path, components, noise_variance):
+    model = _model(components, noise_variance=noise_variance)
+    path = save_model(model, tmp_path / "model.npz")
+    loaded = load_model(path)
+
+    data = np.arange(2.0 * model.n_features).reshape(2, model.n_features)
+    latent = loaded.transform(data)
+    assert latent.shape == (2, model.n_components)
+    assert np.all(np.isfinite(latent))
+    assert np.array_equal(latent, model.transform(data))
+
+    reconstructed = loaded.inverse_transform(latent)
+    assert reconstructed.shape == data.shape
+    assert np.all(np.isfinite(reconstructed))
+
+    single = loaded.inverse_transform(latent[0])
+    assert np.array_equal(single, reconstructed[0])

@@ -1,0 +1,138 @@
+"""Atomic archive writes and typed corrupt-archive errors.
+
+``save_model``/``save_checkpoint`` must never leave a truncated archive at
+the target path: a crash mid-save (simulated here by failing the compressor
+or the final rename) leaves the previous complete file untouched and no
+temp droppings behind.  ``load_model``/``load_checkpoint`` turn whatever a
+half-written file throws into a typed error naming the corrupt path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.checkpoint import EMCheckpoint
+from repro.core.model import PCAModel
+from repro.core.persistence import (
+    load_checkpoint,
+    load_model,
+    save_checkpoint,
+    save_model,
+)
+from repro.errors import CheckpointError, PersistenceError
+
+
+@pytest.fixture
+def model():
+    return PCAModel(
+        components=np.arange(8.0).reshape(4, 2),
+        mean=np.array([1.0, 2.0, 3.0, 4.0]),
+        noise_variance=0.25,
+        n_samples=50,
+    )
+
+
+@pytest.fixture
+def checkpoint(model):
+    return EMCheckpoint(
+        iteration=3,
+        components=model.components,
+        noise_variance=0.25,
+        mean=model.mean,
+        ss1=1.5,
+        previous_error=None,
+        rng_state=np.random.default_rng(0).bit_generator.state,
+        history=(),
+        config={"n_components": 2},
+    )
+
+
+class _MidWriteCrash(RuntimeError):
+    pass
+
+
+def _crashing_savez(handle, **arrays):
+    handle.write(b"PK\x03\x04 partial zip header then death")
+    raise _MidWriteCrash("simulated crash mid-compress")
+
+
+class TestAtomicSaveModel:
+    def test_crash_mid_write_preserves_previous_archive(self, tmp_path, model, monkeypatch):
+        path = save_model(model, tmp_path / "model.npz")
+        before = path.read_bytes()
+        monkeypatch.setattr(np, "savez_compressed", _crashing_savez)
+        with pytest.raises(_MidWriteCrash):
+            save_model(model, path)
+        assert path.read_bytes() == before
+        assert np.array_equal(load_model(path).components, model.components)
+
+    def test_crash_mid_write_leaves_no_temp_files(self, tmp_path, model, monkeypatch):
+        monkeypatch.setattr(np, "savez_compressed", _crashing_savez)
+        with pytest.raises(_MidWriteCrash):
+            save_model(model, tmp_path / "model.npz")
+        assert list(tmp_path.iterdir()) == []
+
+    def test_crash_at_rename_cleans_temp(self, tmp_path, model, monkeypatch):
+        import repro.core.persistence as persistence
+
+        def crashing_replace(src, dst):
+            raise _MidWriteCrash("simulated crash at rename")
+
+        monkeypatch.setattr(persistence.os, "replace", crashing_replace)
+        with pytest.raises(_MidWriteCrash):
+            save_model(model, tmp_path / "model.npz")
+        assert list(tmp_path.iterdir()) == []
+
+    def test_successful_save_round_trips(self, tmp_path, model):
+        path = save_model(model, tmp_path / "model.npz")
+        loaded = load_model(path)
+        assert np.array_equal(loaded.components, model.components)
+        assert np.array_equal(loaded.mean, model.mean)
+        assert list(tmp_path.iterdir()) == [path]
+
+
+class TestAtomicSaveCheckpoint:
+    def test_crash_mid_write_preserves_previous_snapshot(
+        self, tmp_path, checkpoint, monkeypatch
+    ):
+        path = save_checkpoint(checkpoint, tmp_path / "ckpt.npz")
+        before = path.read_bytes()
+        monkeypatch.setattr(np, "savez_compressed", _crashing_savez)
+        with pytest.raises(_MidWriteCrash):
+            save_checkpoint(checkpoint, path)
+        assert path.read_bytes() == before
+        assert load_checkpoint(path).iteration == checkpoint.iteration
+
+    def test_round_trip(self, tmp_path, checkpoint):
+        path = save_checkpoint(checkpoint, tmp_path / "ckpt.npz")
+        loaded = load_checkpoint(path)
+        assert loaded.iteration == 3
+        assert loaded.config == {"n_components": 2}
+
+
+class TestCorruptArchiveErrors:
+    def test_load_model_garbage_raises_typed_error_naming_path(self, tmp_path):
+        path = tmp_path / "garbage.npz"
+        path.write_bytes(b"this is not a zip archive at all")
+        with pytest.raises(PersistenceError) as excinfo:
+            load_model(path)
+        assert str(path) in str(excinfo.value)
+
+    def test_load_model_truncated_raises_typed_error(self, tmp_path, model):
+        path = save_model(model, tmp_path / "model.npz")
+        path.write_bytes(path.read_bytes()[: path.stat().st_size // 2])
+        with pytest.raises(PersistenceError) as excinfo:
+            load_model(path)
+        assert str(path) in str(excinfo.value)
+
+    def test_load_model_missing_file_stays_file_not_found(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_model(tmp_path / "never-written.npz")
+
+    def test_load_checkpoint_garbage_raises_checkpoint_error(self, tmp_path):
+        path = tmp_path / "garbage.npz"
+        path.write_bytes(b"\x00" * 64)
+        with pytest.raises(CheckpointError) as excinfo:
+            load_checkpoint(path)
+        assert str(path) in str(excinfo.value)

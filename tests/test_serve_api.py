@@ -1,0 +1,137 @@
+"""The request layer and row-stable kernels: correctness is bitwise.
+
+The serving contract is that batching, chunking, and executor choice are
+*invisible*: the result for any row equals pushing that row through the
+public ``PCAModel`` methods alone, bit for bit.  These tests pin that
+contract for the synchronous :class:`PCAService` path; the batcher tests
+extend it to coalesced asynchronous requests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.core.model import PCAModel
+from repro.engine.exec import make_executor
+from repro.errors import ShapeError
+from repro.serve import OPS, ModelRegistry, PCAService
+from repro.serve import kernels
+
+
+def _model(seed=0, n_features=12, n_components=3):
+    rng = np.random.default_rng(seed)
+    return PCAModel(
+        components=rng.normal(size=(n_features, n_components)),
+        mean=rng.normal(size=n_features),
+        noise_variance=0.2,
+        n_samples=200,
+    )
+
+
+@pytest.fixture
+def service(tmp_path):
+    registry = ModelRegistry(tmp_path)
+    registry.publish("m", _model())
+    return PCAService(registry)
+
+
+@pytest.fixture
+def dense_rows():
+    return np.random.default_rng(5).normal(size=(17, 12))
+
+
+class TestRowStableMatmul:
+    def test_bitwise_identical_to_single_row(self):
+        rng = np.random.default_rng(0)
+        rows = rng.normal(size=(64, 20))
+        right = rng.normal(size=(20, 4))
+        batched = kernels.row_stable_matmul(rows, right)
+        for i in range(rows.shape[0]):
+            assert np.array_equal(batched[i], (rows[i : i + 1] @ right)[0])
+
+    def test_sparse_rows_stable_under_stacking(self):
+        rows = sp.random(40, 20, density=0.3, random_state=1, format="csr")
+        right = np.random.default_rng(2).normal(size=(20, 4))
+        whole = np.asarray(rows @ right)
+        for i in range(rows.shape[0]):
+            assert np.array_equal(whole[i], np.asarray(rows[i] @ right)[0])
+
+
+class TestServiceOps:
+    @pytest.mark.parametrize("op", OPS)
+    def test_dense_batch_matches_single_row_reference(self, service, dense_rows, op):
+        model = service.model("m")
+        served = getattr(service, op)("m", dense_rows)
+        reference = kernels.reference_rows(model, op, dense_rows)
+        assert np.array_equal(served, reference)
+
+    @pytest.mark.parametrize("op", OPS)
+    def test_sparse_batch_matches_single_row_reference(self, service, op):
+        rows = sp.random(15, 12, density=0.4, random_state=3, format="csr")
+        model = service.model("m")
+        served = getattr(service, op)("m", rows)
+        reference = kernels.reference_rows(model, op, rows)
+        assert np.array_equal(served, reference)
+
+    def test_transform_agrees_with_model_transform(self, service, dense_rows):
+        # The model's own multi-row gemm may differ from the row-stable
+        # path in the last ulp (different BLAS blocking); the serve result
+        # is *defined* by the single-row reference, and numerically equal
+        # to the stacked gemm.
+        model = service.model("m")
+        served = service.transform("m", dense_rows)
+        assert np.allclose(served, model.transform(dense_rows), atol=1e-12)
+        single = np.vstack(
+            [model.transform(dense_rows[i : i + 1]) for i in range(17)]
+        )
+        assert np.array_equal(served, single)
+
+    def test_single_1d_row_returns_1d(self, service):
+        row = np.arange(12.0)
+        latent = service.transform("m", row)
+        assert latent.ndim == 1
+        model = service.model("m")
+        assert np.array_equal(latent, model.transform(row[None, :])[0])
+
+    def test_score_is_squared_reconstruction_error(self, service, dense_rows):
+        model = service.model("m")
+        scores = service.score("m", dense_rows)
+        residual = dense_rows - model.reconstruct(dense_rows)
+        assert np.allclose(scores, np.einsum("ij,ij->i", residual, residual))
+
+    def test_3d_rows_rejected(self, service):
+        with pytest.raises(ShapeError):
+            service.transform("m", np.ones((2, 2, 12)))
+
+    def test_wrong_width_rejected(self, service):
+        with pytest.raises(ShapeError):
+            service.transform("m", np.ones((3, 5)))
+
+    def test_unknown_op_rejected(self, service):
+        with pytest.raises(ShapeError):
+            kernels.run_batch(service.model("m"), "fit", np.ones((2, 12)))
+
+
+class TestExecutorChunking:
+    @pytest.mark.parametrize("executor_name", ["threads", "processes"])
+    @pytest.mark.parametrize("op", OPS)
+    def test_chunked_dispatch_is_bitwise_invisible(
+        self, tmp_path, executor_name, op
+    ):
+        registry = ModelRegistry(tmp_path)
+        model = _model(7)
+        registry.publish("m", model)
+        rows = np.random.default_rng(11).normal(size=(23, 12))
+        serial = getattr(PCAService(registry), op)("m", rows)
+        with make_executor(executor_name, 2) as executor:
+            service = PCAService(registry, executor=executor, chunk_rows=5)
+            chunked = getattr(service, op)("m", rows)
+        assert np.array_equal(serial, chunked)
+
+    def test_split_rows_covers_batch(self):
+        rows = np.arange(22.0).reshape(11, 2)
+        chunks = kernels.split_rows(rows, 4)
+        assert [c.shape[0] for c in chunks] == [4, 4, 3]
+        assert np.array_equal(np.vstack(chunks), rows)

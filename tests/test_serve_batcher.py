@@ -1,0 +1,264 @@
+"""The async micro-batcher: coalescing, deadlines, backpressure, shutdown.
+
+pytest-asyncio is not a dependency; every test drives its own event loop
+with ``asyncio.run``.  The headline property (hypothesis-driven at the
+bottom) is the ISSUE acceptance bar: results of batched concurrent serving
+are **bitwise identical** to sequential single-row transforms, across the
+serial/threads/processes executors.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.model import PCAModel
+from repro.engine.exec import make_executor
+from repro.errors import (
+    DeadlineExceededError,
+    QueueFullError,
+    ServiceClosedError,
+    ShapeError,
+)
+from repro.serve import (
+    BatchPolicy,
+    MicroBatcher,
+    ModelRegistry,
+    PCAService,
+)
+from repro.serve import kernels
+
+N_FEATURES = 10
+N_COMPONENTS = 3
+
+
+def _model(seed=0):
+    rng = np.random.default_rng(seed)
+    return PCAModel(
+        components=rng.normal(size=(N_FEATURES, N_COMPONENTS)),
+        mean=rng.normal(size=N_FEATURES),
+        noise_variance=0.15,
+        n_samples=500,
+    )
+
+
+@pytest.fixture
+def service(tmp_path):
+    registry = ModelRegistry(tmp_path)
+    registry.publish("m", _model())
+    return PCAService(registry)
+
+
+def _serve_all(service, rows, op="transform", batching=True, policy=None, **submit_kw):
+    """Submit each row concurrently; returns (results, batcher stats)."""
+
+    async def drive():
+        batcher = MicroBatcher(service, policy, batching=batching)
+        results = await asyncio.gather(
+            *(batcher.submit(op, "m", row, **submit_kw) for row in rows)
+        )
+        await batcher.close()
+        return results, batcher
+
+    return asyncio.run(drive())
+
+
+class TestCoalescing:
+    def test_concurrent_requests_coalesce_into_few_batches(self, service):
+        rows = np.random.default_rng(0).normal(size=(50, N_FEATURES))
+        results, batcher = _serve_all(service, rows)
+        assert batcher.batches_dispatched < 50
+        assert len(results) == 50
+
+    def test_unbatched_mode_dispatches_per_request(self, service):
+        rows = np.random.default_rng(0).normal(size=(10, N_FEATURES))
+        _, batcher = _serve_all(service, rows, batching=False)
+        assert batcher.batches_dispatched == 10
+
+    def test_size_threshold_flushes_early(self, service):
+        rows = np.random.default_rng(0).normal(size=(30, N_FEATURES))
+        policy = BatchPolicy(max_batch_rows=10, max_delay_s=60.0)
+        results, batcher = _serve_all(service, rows, policy=policy)
+        # With a one-minute timer only size-triggered flushes (plus the
+        # close() drain) can have fired.
+        assert len(results) == 30
+        assert batcher.batches_dispatched >= 3
+
+    def test_batched_results_bitwise_equal_reference(self, service):
+        rows = np.random.default_rng(1).normal(size=(64, N_FEATURES))
+        results, _ = _serve_all(service, rows)
+        model = service.model("m")
+        reference = kernels.reference_rows(model, "transform", rows)
+        assert np.array_equal(np.vstack(results), reference)
+
+    def test_multi_row_and_sparse_requests_mix(self, service):
+        dense_block = np.random.default_rng(2).normal(size=(4, N_FEATURES))
+        sparse_block = sp.random(
+            3, N_FEATURES, density=0.5, random_state=3, format="csr"
+        )
+        single = np.arange(float(N_FEATURES))
+
+        async def drive():
+            batcher = MicroBatcher(service, BatchPolicy(max_delay_s=0.01))
+            out = await asyncio.gather(
+                batcher.submit("transform", "m", dense_block),
+                batcher.submit("transform", "m", sparse_block),
+                batcher.submit("transform", "m", single),
+            )
+            await batcher.close()
+            return out
+
+        dense_out, sparse_out, single_out = asyncio.run(drive())
+        model = service.model("m")
+        assert np.array_equal(
+            dense_out, kernels.reference_rows(model, "transform", dense_block)
+        )
+        assert np.array_equal(
+            sparse_out, kernels.reference_rows(model, "transform", sparse_block)
+        )
+        assert single_out.ndim == 1
+        assert np.array_equal(single_out, model.transform(single[None, :])[0])
+
+
+class TestFailureModes:
+    def test_backpressure_rejects_over_limit(self, service):
+        policy = BatchPolicy(max_batch_rows=1000, max_delay_s=60.0, max_queue_rows=5)
+
+        async def drive():
+            batcher = MicroBatcher(service, policy)
+            row = np.zeros(N_FEATURES)
+            accepted = [
+                asyncio.ensure_future(batcher.submit("transform", "m", row))
+                for _ in range(5)
+            ]
+            await asyncio.sleep(0)  # let the five submits enqueue their rows
+            with pytest.raises(QueueFullError):
+                await batcher.submit("transform", "m", row)
+            await batcher.close()  # drains the five accepted requests
+            results = await asyncio.gather(*accepted)
+            assert batcher.requests_rejected == 1
+            return results
+
+        results = asyncio.run(drive())
+        assert len(results) == 5
+        assert all(isinstance(r, np.ndarray) for r in results)
+
+    def test_deadline_expired_request_fails(self, service):
+        async def drive():
+            batcher = MicroBatcher(service, BatchPolicy(max_delay_s=0.05))
+            task = asyncio.ensure_future(
+                batcher.submit(
+                    "transform", "m", np.zeros(N_FEATURES), deadline_s=0.0
+                )
+            )
+            with pytest.raises(DeadlineExceededError):
+                await task
+            await batcher.close()
+            assert batcher.requests_expired == 1
+
+        asyncio.run(drive())
+
+    def test_closed_batcher_rejects_submissions(self, service):
+        async def drive():
+            batcher = MicroBatcher(service)
+            await batcher.close()
+            with pytest.raises(ServiceClosedError):
+                await batcher.submit("transform", "m", np.zeros(N_FEATURES))
+
+        asyncio.run(drive())
+
+    def test_close_without_drain_fails_queued_requests(self, service):
+        async def drive():
+            batcher = MicroBatcher(service, BatchPolicy(max_delay_s=60.0))
+            task = asyncio.ensure_future(
+                batcher.submit("transform", "m", np.zeros(N_FEATURES))
+            )
+            await asyncio.sleep(0)  # let the submit enqueue
+            await batcher.close(drain=False)
+            with pytest.raises(ServiceClosedError):
+                await task
+
+        asyncio.run(drive())
+
+    def test_close_with_drain_completes_queued_requests(self, service):
+        async def drive():
+            batcher = MicroBatcher(service, BatchPolicy(max_delay_s=60.0))
+            task = asyncio.ensure_future(
+                batcher.submit("transform", "m", np.ones(N_FEATURES))
+            )
+            await asyncio.sleep(0)
+            await batcher.close(drain=True)
+            return await task
+
+        result = asyncio.run(drive())
+        model = service.model("m")
+        assert np.array_equal(result, model.transform(np.ones((1, N_FEATURES)))[0])
+
+    def test_unknown_op_rejected_at_admission(self, service):
+        async def drive():
+            async with MicroBatcher(service) as batcher:
+                with pytest.raises(ShapeError):
+                    await batcher.submit("fit", "m", np.zeros(N_FEATURES))
+
+        asyncio.run(drive())
+
+    def test_bad_policy_rejected(self):
+        with pytest.raises(ShapeError):
+            BatchPolicy(max_batch_rows=0)
+        with pytest.raises(ShapeError):
+            BatchPolicy(max_delay_s=-1.0)
+
+
+# -- the acceptance property ------------------------------------------------
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    n_rows=st.integers(min_value=1, max_value=40),
+    op=st.sampled_from(["transform", "project", "reconstruct", "score"]),
+    max_batch_rows=st.integers(min_value=1, max_value=32),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_batched_serving_bitwise_equals_sequential(
+    tmp_path_factory, n_rows, op, max_batch_rows, seed
+):
+    """Micro-batched concurrent serving == sequential single-row, bit for bit."""
+    registry = ModelRegistry(tmp_path_factory.mktemp("registry"))
+    model = _model(3)
+    registry.publish("m", model)
+    service = PCAService(registry)
+    rows = np.random.default_rng(seed).normal(size=(n_rows, N_FEATURES))
+    policy = BatchPolicy(max_batch_rows=max_batch_rows, max_delay_s=0.001)
+
+    results, _ = _serve_all(service, rows, op=op, policy=policy)
+    served = (
+        np.concatenate([np.ravel(r) for r in results])
+        if op == "score"
+        else np.vstack(results)
+    )
+    reference = kernels.reference_rows(model, op, rows)
+    assert np.array_equal(served, reference)
+
+
+@pytest.mark.parametrize("executor_name", ["serial", "threads", "processes"])
+def test_batched_serving_bitwise_equal_across_executors(tmp_path, executor_name):
+    """The executor used for intra-batch chunking cannot change a single bit."""
+    registry = ModelRegistry(tmp_path)
+    model = _model(9)
+    registry.publish("m", model)
+    rows = np.random.default_rng(42).normal(size=(48, N_FEATURES))
+    reference = kernels.reference_rows(model, "transform", rows)
+
+    if executor_name == "serial":
+        service = PCAService(registry)
+        results, _ = _serve_all(service, rows)
+    else:
+        with make_executor(executor_name, 2) as executor:
+            service = PCAService(registry, executor=executor, chunk_rows=7)
+            results, _ = _serve_all(service, rows)
+    assert np.array_equal(np.vstack(results), reference)

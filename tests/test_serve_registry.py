@@ -1,0 +1,158 @@
+"""Model registry: versioning, tags, integrity, and the LRU load cache."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.model import PCAModel
+from repro.errors import ModelIntegrityError, ModelNotFoundError, RegistryError
+from repro.obs.metrics import collecting
+from repro.serve import LATEST, ModelRegistry, parse_version
+
+
+def _model(seed=0, n_features=6, n_components=2):
+    rng = np.random.default_rng(seed)
+    return PCAModel(
+        components=rng.normal(size=(n_features, n_components)),
+        mean=rng.normal(size=n_features),
+        noise_variance=0.1,
+        n_samples=100,
+    )
+
+
+@pytest.fixture
+def registry(tmp_path):
+    return ModelRegistry(tmp_path / "registry")
+
+
+class TestVersioning:
+    def test_parse_version_rejects_garbage(self):
+        for bad in ("1.2", "v1.2.3", "1.2.3.4", "latest", "1.2.x"):
+            with pytest.raises(RegistryError):
+                parse_version(bad)
+
+    def test_first_publish_is_1_0_0(self, registry):
+        record = registry.publish("m", _model())
+        assert record.version == "1.0.0"
+
+    def test_auto_bump_increments_minor(self, registry):
+        registry.publish("m", _model(0))
+        record = registry.publish("m", _model(1))
+        assert record.version == "1.1.0"
+
+    def test_versions_sorted_numerically_not_lexically(self, registry):
+        for version in ("1.9.0", "1.10.0", "1.2.0"):
+            registry.publish("m", _model(), version=version)
+        assert registry.versions("m") == ["1.2.0", "1.9.0", "1.10.0"]
+        assert registry.resolve("m", LATEST) == "1.10.0"
+
+    def test_republish_requires_overwrite(self, registry):
+        registry.publish("m", _model(0), version="1.0.0")
+        with pytest.raises(RegistryError):
+            registry.publish("m", _model(1), version="1.0.0")
+        registry.publish("m", _model(1), version="1.0.0", overwrite=True)
+
+    def test_invalid_name_rejected(self, registry):
+        with pytest.raises(RegistryError):
+            registry.publish("../escape", _model())
+
+
+class TestTags:
+    def test_tag_resolves(self, registry):
+        registry.publish("m", _model(0), version="1.0.0")
+        registry.publish("m", _model(1), version="1.1.0")
+        registry.tag("m", "1.0.0", "prod")
+        assert registry.resolve("m", "prod") == "1.0.0"
+        assert registry.resolve("m", LATEST) == "1.1.0"
+
+    def test_publish_with_tags(self, registry):
+        registry.publish("m", _model(), tags=("prod", "canary"))
+        assert registry.tags("m") == {"prod": "1.0.0", "canary": "1.0.0"}
+
+    def test_latest_tag_reserved(self, registry):
+        registry.publish("m", _model())
+        with pytest.raises(RegistryError):
+            registry.tag("m", "1.0.0", "latest")
+
+    def test_tagging_missing_version_fails(self, registry):
+        registry.publish("m", _model())
+        with pytest.raises(ModelNotFoundError):
+            registry.tag("m", "9.9.9", "prod")
+
+    def test_unknown_spec_raises_not_found(self, registry):
+        registry.publish("m", _model())
+        with pytest.raises(ModelNotFoundError):
+            registry.resolve("m", "staging")
+        with pytest.raises(ModelNotFoundError):
+            registry.resolve("nope")
+
+
+class TestLoadingAndIntegrity:
+    def test_get_round_trips_exact_bits(self, registry):
+        model = _model(3)
+        registry.publish("m", model)
+        loaded = registry.get("m")
+        assert np.array_equal(loaded.components, model.components)
+        assert np.array_equal(loaded.mean, model.mean)
+
+    def test_cache_returns_same_object(self, registry):
+        registry.publish("m", _model())
+        assert registry.get("m") is registry.get("m")
+
+    def test_clear_cache_reloads(self, registry):
+        registry.publish("m", _model())
+        first = registry.get("m")
+        registry.clear_cache()
+        second = registry.get("m")
+        assert first is not second
+        assert np.array_equal(first.components, second.components)
+
+    def test_lru_evicts_oldest(self, tmp_path):
+        registry = ModelRegistry(tmp_path, cache_size=2)
+        for i in range(3):
+            registry.publish(f"m{i}", _model(i))
+        a, b, c = (registry.get(f"m{i}") for i in range(3))
+        assert registry.get("m2") is c  # still cached
+        assert registry.get("m0") is not a  # evicted, reloaded
+
+    def test_tampered_archive_raises_integrity_error(self, registry):
+        record = registry.publish("m", _model())
+        registry.clear_cache()
+        data = bytearray(record.path.read_bytes())
+        data[-1] ^= 0xFF
+        record.path.write_bytes(bytes(data))
+        with pytest.raises(ModelIntegrityError):
+            registry.get("m")
+
+    def test_verify_reports_tampering(self, registry):
+        record = registry.publish("m", _model())
+        assert registry.verify() == []
+        record.path.write_bytes(b"not the model")
+        problems = registry.verify()
+        assert len(problems) == 1 and "m@1.0.0" in problems[0]
+
+    def test_manifest_record_fields(self, registry):
+        record = registry.publish("m", _model(), notes="from test")
+        reread = registry.record("m", "1.0.0")
+        assert reread.sha256 == record.sha256
+        assert reread.n_features == 6
+        assert reread.n_components == 2
+        assert reread.notes == "from test"
+
+
+class TestMetrics:
+    def test_load_and_publish_counters(self, registry):
+        with collecting() as metrics:
+            registry.publish("m", _model())
+            registry.clear_cache()
+            registry.get("m")  # disk
+            registry.get("m")  # cache
+            publishes = metrics.find_counter(
+                "spca_registry_publishes_total", model="m"
+            )
+            disk = metrics.find_counter("spca_registry_loads_total", source="disk")
+            cache = metrics.find_counter("spca_registry_loads_total", source="cache")
+        assert publishes is not None and publishes.value == 1
+        assert disk is not None and disk.value == 1
+        assert cache is not None and cache.value == 1
