@@ -5,17 +5,21 @@ Usage::
     PYTHONPATH=src python benchmarks/perf/run.py                    # BENCH_3.json
     PYTHONPATH=src python benchmarks/perf/run.py --suite executor   # BENCH_5.json
     PYTHONPATH=src python benchmarks/perf/run.py --suite serve      # BENCH_serve.json
+    PYTHONPATH=src python benchmarks/perf/run.py --suite stream     # BENCH_stream.json
     PYTHONPATH=src python benchmarks/perf/run.py --quick            # CI smoke shapes
 
 ``batch`` measures the PR-3 record pipeline (batch vs per-record, serial
 executor); ``executor`` measures end-to-end ``SPCA.fit`` under the
 ``serial``/``threads``/``processes`` executors across a worker-scaling
 curve; ``serve`` fires a storm of concurrent single-row requests at the
-micro-batching serving layer (batched vs unbatched, bitwise-verified).
+micro-batching serving layer (batched vs unbatched, bitwise-verified);
+``stream`` measures windowed streaming PCA on each engine (sustained
+rows/s, window wall percentiles, backpressure lag, checkpoint overhead,
+bitwise-verified against the incremental oracle).
 Each writes its result document (schema: perf section of
 ``benchmarks/README.md``) to the repo root -- ``BENCH_3.json``,
-``BENCH_5.json``, or ``BENCH_serve.json`` -- unless ``--output``
-overrides it, and prints a summary
+``BENCH_5.json``, ``BENCH_serve.json``, or ``BENCH_stream.json`` --
+unless ``--output`` overrides it, and prints a summary
 table.  Exits non-zero if the document fails schema validation, so a CI run
 doubles as a schema check; absolute timings are never asserted.
 """
@@ -40,6 +44,11 @@ from perf.harness import (  # noqa: E402
     validate,
     validate_executor,
 )
+from perf.stream_bench import (  # noqa: E402
+    run_stream_suite,
+    summarize_stream,
+    validate_stream,
+)
 from repro.serve.loadgen import (  # noqa: E402
     run_serve_suite,
     summarize_serve,
@@ -63,6 +72,12 @@ SUITES = {
         "BENCH_5.json",
     ),
     "serve": (_run_serve, validate_serve, summarize_serve, "BENCH_serve.json"),
+    "stream": (
+        run_stream_suite,
+        validate_stream,
+        summarize_stream,
+        "BENCH_stream.json",
+    ),
 }
 
 
@@ -73,7 +88,7 @@ def main(argv: list[str] | None = None) -> int:
         choices=sorted(SUITES),
         default="batch",
         help="which suite to run (batch -> BENCH_3, executor -> BENCH_5, "
-             "serve -> BENCH_serve)",
+             "serve -> BENCH_serve, stream -> BENCH_stream)",
     )
     parser.add_argument(
         "--quick",

@@ -1,0 +1,285 @@
+"""Streaming-PCA throughput benchmark: the BENCH_stream suite.
+
+Streams one low-rank matrix through :class:`repro.stream.StreamingPCA` on
+each engine (sequential reference, MapReduce runtime, Spark simulator) and
+measures sustained row throughput, per-window wall percentiles, and the
+backpressure gauge (buffered rows in window units).  Every engine scenario
+is checked bitwise against the ``IncrementalPPCA.partial_fit_stream``
+oracle over the same window sequence, so a throughput number on a model
+that diverged from the reference can never be published.  A final
+sub-measurement re-streams on the sequential engine with an every-window
+checkpoint policy to price snapshot overhead.
+
+Wall-clock only (real Python timings of the simulator, not simulated
+cluster seconds); ratios and invariants are the meaningful quantities and
+absolute timings are never asserted.
+"""
+
+from __future__ import annotations
+
+import tempfile
+import time
+
+import numpy as np
+
+from perf.harness import REQUIRED_PROVENANCE_FIELDS, provenance
+from repro.core.checkpoint import CheckpointPolicy, DirectoryCheckpointStore
+from repro.extensions.incremental import IncrementalPPCA
+from repro.obs.metrics import METRICS_SCHEMA, collecting
+from repro.stream import MatrixSource, StreamConfig, StreamingPCA, reference_windows
+
+STREAM_BENCH_NAME = "BENCH_stream"
+
+ENGINES = ("sequential", "mapreduce", "spark")
+
+REQUIRED_STREAM_FIELDS = {
+    "engine",
+    "rows",
+    "windows",
+    "window",
+    "wall_s",
+    "sustained_rows_per_s",
+    "window_p50_ms",
+    "window_p99_ms",
+    "window_lag",
+    "sim_seconds",
+    "bitwise_equal",
+}
+REQUIRED_CHECKPOINT_FIELDS = {
+    "plain_wall_s",
+    "checkpointed_wall_s",
+    "overhead_ratio",
+    "checkpoints",
+}
+
+
+def _percentile_ms(samples: list[float], q: float) -> float:
+    if not samples:
+        return 0.0
+    return float(np.percentile(np.asarray(samples), q) * 1e3)
+
+
+def _window_lag(snapshot: dict, engine: str) -> float:
+    for gauge in snapshot.get("gauges", []):
+        if (
+            gauge["name"] == "spca_stream_window_lag"
+            and gauge["labels"].get("engine") == engine
+        ):
+            return float(gauge["value"])
+    return 0.0
+
+
+def _stream_once(
+    data: np.ndarray, config: StreamConfig, engine: str, chunk_rows: int
+):
+    pca = StreamingPCA(config, engine)
+    source = MatrixSource(data, chunk_rows=chunk_rows)
+    started = time.perf_counter()
+    result = pca.run(source)
+    return result, time.perf_counter() - started
+
+
+def run_stream_suite(quick: bool = False, repeats: int | None = None) -> dict:
+    """Run the streaming benchmark; returns the BENCH_stream document."""
+    if quick:
+        n_rows, n_cols, rank, window, chunk_rows = 4_000, 24, 3, 200, 300
+    else:
+        n_rows, n_cols, rank, window, chunk_rows = 20_000, 48, 6, 500, 700
+    repeats = repeats or (1 if quick else 3)
+    rng = np.random.default_rng(5)
+    data = (
+        rng.normal(size=(n_rows, rank)) @ rng.normal(size=(rank, n_cols))
+        + 0.05 * rng.normal(size=(n_rows, n_cols))
+    )
+    config = StreamConfig(n_components=rank, window=window, seed=13)
+    oracle = IncrementalPPCA(rank, seed=13).partial_fit_stream(
+        (w.rows for w in reference_windows(data, config.spec())), n_cols=n_cols
+    )
+
+    scenarios = []
+    with collecting() as metrics:
+        for engine in ENGINES:
+            walls, result = [], None
+            for _ in range(repeats):
+                result, wall = _stream_once(data, config, engine, chunk_rows)
+                walls.append(wall)
+            wall = min(walls)
+            window_walls = [record.wall_seconds for record in result.records]
+            scenarios.append(
+                {
+                    "engine": engine,
+                    "rows": result.rows,
+                    "windows": result.windows,
+                    "window": window,
+                    "wall_s": wall,
+                    "sustained_rows_per_s": result.rows / max(wall, 1e-12),
+                    "window_p50_ms": _percentile_ms(window_walls, 50),
+                    "window_p99_ms": _percentile_ms(window_walls, 99),
+                    "window_lag": _window_lag(metrics.snapshot(), engine),
+                    "sim_seconds": result.sim_seconds,
+                    "bitwise_equal": bool(
+                        np.array_equal(
+                            result.model.components, oracle.components
+                        )
+                        and result.model.noise_variance == oracle.noise_variance
+                    ),
+                }
+            )
+        plain, plain_wall = _stream_once(data, config, "sequential", chunk_rows)
+        with tempfile.TemporaryDirectory(prefix="spca-stream-bench-") as root:
+            policy = CheckpointPolicy(DirectoryCheckpointStore(root), every=1)
+            pca = StreamingPCA(config)
+            started = time.perf_counter()
+            snap = pca.run(
+                MatrixSource(data, chunk_rows=chunk_rows), checkpoint=policy
+            )
+            snap_wall = time.perf_counter() - started
+        checkpoint_overhead = {
+            "plain_wall_s": plain_wall,
+            "checkpointed_wall_s": snap_wall,
+            "overhead_ratio": snap_wall / max(plain_wall, 1e-12),
+            "checkpoints": snap.checkpoints,
+        }
+        del plain
+        snapshot = metrics.snapshot()
+
+    result_doc = {
+        "bench": STREAM_BENCH_NAME,
+        "quick": quick,
+        "created_unix": time.time(),
+        "provenance": provenance(
+            n_rows=n_rows,
+            n_cols=n_cols,
+            rank=rank,
+            window=window,
+            chunk_rows=chunk_rows,
+            repeats=repeats,
+        ),
+        "scenarios": scenarios,
+        "checkpoint_overhead": checkpoint_overhead,
+        "metrics": snapshot,
+    }
+    validate_stream(result_doc)
+    return result_doc
+
+
+def validate_stream(result: dict) -> None:
+    """Schema check for a BENCH_stream document; raises ValueError on violation.
+
+    Beyond shape, this enforces the suite's invariants: every engine
+    scenario must be bitwise-identical to the incremental-PPCA oracle,
+    sustained throughput must be positive, and the backpressure gauge must
+    end below one window -- the runner drains every complete window before
+    accepting the next arrival chunk, so a lag of >= 1.0 means windows were
+    buffered without being processed.
+    """
+    for field in (
+        "bench",
+        "quick",
+        "created_unix",
+        "scenarios",
+        "checkpoint_overhead",
+    ):
+        if field not in result:
+            raise ValueError(f"missing top-level field {field!r}")
+    if result["bench"] != STREAM_BENCH_NAME:
+        raise ValueError(
+            f"bench must be {STREAM_BENCH_NAME!r}, got {result['bench']!r}"
+        )
+    prov = result.get("provenance")
+    if not isinstance(prov, dict):
+        raise ValueError("missing top-level field 'provenance'")
+    missing = REQUIRED_PROVENANCE_FIELDS - prov.keys()
+    if missing:
+        raise ValueError(f"provenance missing fields {sorted(missing)}")
+    engines = set()
+    for scenario in result["scenarios"]:
+        missing = REQUIRED_STREAM_FIELDS - scenario.keys()
+        if missing:
+            raise ValueError(
+                f"scenario {scenario.get('engine')!r} missing fields "
+                f"{sorted(missing)}"
+            )
+        engines.add(scenario["engine"])
+        if scenario["bitwise_equal"] is not True:
+            raise ValueError(
+                f"engine {scenario['engine']!r} diverged from the "
+                "incremental-PPCA oracle"
+            )
+        for field in ("wall_s", "sustained_rows_per_s"):
+            if not (isinstance(scenario[field], float) and scenario[field] > 0):
+                raise ValueError(f"scenario field {field!r} must be positive")
+        if not 0.0 <= scenario["window_lag"] < 1.0:
+            raise ValueError(
+                f"engine {scenario['engine']!r} window lag "
+                f"{scenario['window_lag']} outside [0, 1): windows were "
+                "buffered without being processed"
+            )
+        if scenario["window_p99_ms"] < scenario["window_p50_ms"]:
+            raise ValueError("window_p99_ms must be >= window_p50_ms")
+        if scenario["windows"] <= 0 or scenario["rows"] <= 0:
+            raise ValueError("scenario processed no windows")
+    if engines != set(ENGINES):
+        raise ValueError(
+            f"need scenarios for engines {sorted(ENGINES)}, got "
+            f"{sorted(engines)}"
+        )
+    overhead = result["checkpoint_overhead"]
+    missing = REQUIRED_CHECKPOINT_FIELDS - overhead.keys()
+    if missing:
+        raise ValueError(f"checkpoint_overhead missing fields {sorted(missing)}")
+    if overhead["checkpoints"] <= 0:
+        raise ValueError("checkpointed run recorded no checkpoints")
+    for field in ("plain_wall_s", "checkpointed_wall_s"):
+        if not (isinstance(overhead[field], float) and overhead[field] > 0):
+            raise ValueError(f"checkpoint_overhead field {field!r} must be positive")
+    snapshot = result.get("metrics")
+    if snapshot is not None:
+        if snapshot.get("schema") != METRICS_SCHEMA:
+            raise ValueError(
+                f"metrics block schema must be {METRICS_SCHEMA!r}, "
+                f"got {snapshot.get('schema')!r}"
+            )
+        streamed = [
+            c
+            for c in snapshot.get("counters", [])
+            if c["name"] == "spca_stream_rows_total"
+        ]
+        if not streamed or sum(c["value"] for c in streamed) <= 0:
+            raise ValueError("metrics block recorded no streamed rows")
+
+
+def summarize_stream(result: dict) -> str:
+    prov = result["provenance"]
+    lines = [
+        f"{result['bench']}  (quick={result['quick']}, cpus={prov['cpu_count']}, "
+        f"sha={prov['git_sha'][:12]})"
+    ]
+    lines.append(
+        f"{'engine':<12}{'rows':>8}{'windows':>9}{'rows/s':>10}"
+        f"{'p50 ms':>9}{'p99 ms':>9}{'lag':>7}{'bitwise':>9}"
+    )
+    for scenario in result["scenarios"]:
+        lines.append(
+            f"{scenario['engine']:<12}{scenario['rows']:>8}"
+            f"{scenario['windows']:>9}"
+            f"{scenario['sustained_rows_per_s']:>10.0f}"
+            f"{scenario['window_p50_ms']:>9.2f}"
+            f"{scenario['window_p99_ms']:>9.2f}"
+            f"{scenario['window_lag']:>7.2f}"
+            f"{str(scenario['bitwise_equal']):>9}"
+        )
+    overhead = result["checkpoint_overhead"]
+    lines.append(
+        f"checkpoint overhead (every window, {overhead['checkpoints']} "
+        f"snapshots): {overhead['overhead_ratio']:.2f}x"
+    )
+    return "\n".join(lines)
+
+
+__all__ = [
+    "STREAM_BENCH_NAME",
+    "run_stream_suite",
+    "summarize_stream",
+    "validate_stream",
+]

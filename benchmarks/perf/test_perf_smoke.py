@@ -215,3 +215,66 @@ def test_processes_executor_beats_serial_on_multicore():
         processes_s = time.perf_counter() - started
     assert got == expected
     assert serial_s / processes_s >= 1.5, (serial_s, processes_s)
+
+
+# -- stream suite (BENCH_stream) ------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def stream_result():
+    from perf.stream_bench import run_stream_suite
+
+    return run_stream_suite(quick=True, repeats=1)
+
+
+def test_stream_suite_passes_validation(stream_result):
+    from perf.stream_bench import STREAM_BENCH_NAME, validate_stream
+
+    validate_stream(stream_result)
+    assert stream_result["bench"] == STREAM_BENCH_NAME
+    parsed = json.loads(json.dumps(stream_result))
+    validate_stream(parsed)
+
+
+def test_stream_suite_covers_all_engines_bitwise(stream_result):
+    by_engine = {s["engine"]: s for s in stream_result["scenarios"]}
+    assert set(by_engine) == {"sequential", "mapreduce", "spark"}
+    for scenario in by_engine.values():
+        assert scenario["bitwise_equal"] is True
+        assert scenario["sustained_rows_per_s"] > 0
+        assert 0.0 <= scenario["window_lag"] < 1.0
+    assert stream_result["checkpoint_overhead"]["checkpoints"] > 0
+
+
+def test_stream_summary_renders(stream_result):
+    from perf.stream_bench import STREAM_BENCH_NAME, summarize_stream
+
+    text = summarize_stream(stream_result)
+    assert STREAM_BENCH_NAME in text
+    assert "checkpoint overhead" in text
+
+
+def test_stream_validate_rejects_divergence_and_lag(stream_result):
+    from perf.stream_bench import validate_stream
+
+    diverged = dict(
+        stream_result,
+        scenarios=[
+            dict(s, bitwise_equal=(s["engine"] == "sequential"))
+            for s in stream_result["scenarios"]
+        ],
+    )
+    with pytest.raises(ValueError, match="diverged"):
+        validate_stream(diverged)
+    lagging = dict(
+        stream_result,
+        scenarios=[
+            dict(s, window_lag=2.5) for s in stream_result["scenarios"]
+        ],
+    )
+    with pytest.raises(ValueError, match="lag"):
+        validate_stream(lagging)
+    no_ckpt = dict(stream_result)
+    no_ckpt.pop("checkpoint_overhead")
+    with pytest.raises(ValueError, match="checkpoint_overhead"):
+        validate_stream(no_ckpt)

@@ -25,7 +25,7 @@ Quickstart::
 from repro.core import SPCA, PCAModel, SPCAConfig, TrainingHistory, fit_ppca
 from repro.errors import ReproError
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "PCAModel",

@@ -315,13 +315,82 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the spca_serve_*/spca_registry_* metrics snapshot",
     )
 
+    stream = commands.add_parser(
+        "stream",
+        help="streaming PCA: windowed mini-batch EM over a row stream",
+    )
+    stream.add_argument(
+        "input", nargs="?", default=None,
+        help="matrix .npz to stream row-by-row (omit with --synthetic)",
+    )
+    stream.add_argument(
+        "--synthetic", metavar="COLS,RANK",
+        help="stream an unbounded synthetic low-rank source instead of a "
+             "file (requires --max-windows or --max-rows)",
+    )
+    stream.add_argument(
+        "--drift-at", type=int, metavar="ROW",
+        help="plant a regime change at this row of the synthetic stream",
+    )
+    stream.add_argument("--drift-angle", type=float, default=45.0,
+                        metavar="DEG", help="planted rotation (default 45)")
+    stream.add_argument("--components", "-d", type=int, default=10)
+    stream.add_argument(
+        "--window", type=int, default=256,
+        help="rows per model update (the sEM mini-batch size, default 256)",
+    )
+    stream.add_argument(
+        "--step", type=int, default=None, metavar="ROWS",
+        help="window advance for sliding windows (default: tumbling)",
+    )
+    stream.add_argument(
+        "--backend", choices=("sequential", "mapreduce", "spark"),
+        default="sequential",
+        help="engine that reduces each window to sufficient statistics",
+    )
+    stream.add_argument("--chunk-rows", type=int, default=256,
+                        help="arrival chunk size when streaming a file")
+    stream.add_argument("--epochs", type=int, default=1,
+                        help="replays of a file-backed stream (default 1)")
+    stream.add_argument("--seed", type=int, default=0)
+    stream.add_argument("--rows-per-task", type=int, default=256,
+                        help="rows per engine task inside a window")
+    stream.add_argument("--max-windows", type=int, metavar="N",
+                        help="stop after N windows")
+    stream.add_argument("--max-rows", type=int, metavar="N",
+                        help="stop once N rows were folded in")
+    stream.add_argument(
+        "--drift-threshold", type=float, default=None, metavar="DEG",
+        help="enable subspace drift detection at this angle",
+    )
+    stream.add_argument("--drift-lag", type=int, default=3)
+    stream.add_argument("--drift-warmup", type=int, default=None)
+    stream.add_argument("--drift-patience", type=int, default=1)
+    stream.add_argument(
+        "--checkpoint", metavar="DIR",
+        help="snapshot stream state into DIR at window boundaries",
+    )
+    stream.add_argument(
+        "--checkpoint-every", type=int, default=1, metavar="N",
+        help="snapshot after every N-th window (default 1)",
+    )
+    stream.add_argument(
+        "--resume", action="store_true",
+        help="continue from the newest snapshot in --checkpoint",
+    )
+    stream.add_argument("--faults", metavar="PLAN.json",
+                        help="fault plan for the engine (chaos testing)")
+    stream.add_argument("--out", help="where to save the final model (.npz)")
+    stream.add_argument("--trace", metavar="PATH",
+                        help="record an execution trace of the stream")
+
     for fitting in (fit, bench):
         fitting.add_argument(
             "--check-contracts", action="store_true",
             help="enforce runtime shape contracts on every kernel call",
         )
 
-    for parallel in (fit, resume):
+    for parallel in (fit, resume, stream):
         parallel.add_argument(
             "--executor", choices=("serial", "threads", "processes"),
             default="serial",
@@ -940,6 +1009,139 @@ def _cmd_serve(args) -> int:
     return 0
 
 
+def _cmd_stream(args) -> int:
+    from repro.stream import (
+        DriftSpec,
+        MatrixSource,
+        StreamConfig,
+        StreamingPCA,
+        SyntheticSource,
+    )
+
+    if args.synthetic:
+        if args.input is not None:
+            print("error: give a matrix or --synthetic, not both", file=sys.stderr)
+            return 2
+        if args.max_windows is None and args.max_rows is None:
+            print(
+                "error: --synthetic streams forever; bound the run with "
+                "--max-windows or --max-rows",
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            cols, rank = (int(part) for part in args.synthetic.split(","))
+        except ValueError:
+            print(
+                f"error: malformed --synthetic {args.synthetic!r} "
+                "(expected COLS,RANK)",
+                file=sys.stderr,
+            )
+            return 2
+        drift = None
+        if args.drift_at is not None:
+            drift = DriftSpec(at_row=args.drift_at, angle_degrees=args.drift_angle)
+        source = SyntheticSource(cols, rank, seed=args.seed, drift=drift)
+        described = f"synthetic {cols}x{rank} stream"
+    elif args.input is not None:
+        matrix = load_matrix(args.input)
+        source = MatrixSource(
+            matrix, chunk_rows=args.chunk_rows, epochs=args.epochs
+        )
+        described = f"{matrix.shape}" + (
+            f" x{args.epochs} epochs" if args.epochs > 1 else ""
+        )
+    else:
+        print("error: give a matrix .npz or --synthetic", file=sys.stderr)
+        return 2
+
+    config = StreamConfig(
+        n_components=args.components,
+        window=args.window,
+        step=args.step,
+        seed=args.seed,
+        rows_per_task=args.rows_per_task,
+        drift_threshold_degrees=args.drift_threshold,
+        drift_lag=args.drift_lag,
+        drift_warmup=args.drift_warmup,
+        drift_patience=args.drift_patience,
+    )
+    injector = None
+    if args.faults is not None:
+        from repro.faults import FaultPlan, PlannedFaults
+
+        injector = PlannedFaults(FaultPlan.load(args.faults))
+        if args.backend == "sequential":
+            print(
+                "warning: --faults has no effect on the sequential engine",
+                file=sys.stderr,
+            )
+    executor = _make_executor(args)
+    pca = StreamingPCA(
+        config,
+        args.backend,
+        executor=None if executor.serial else executor,
+        faults=injector,
+    )
+    policy = None
+    if args.checkpoint:
+        from repro.core import CheckpointPolicy, DirectoryCheckpointStore
+
+        policy = CheckpointPolicy(
+            DirectoryCheckpointStore(args.checkpoint), args.checkpoint_every
+        )
+    if args.resume and policy is None:
+        print("error: --resume needs --checkpoint DIR", file=sys.stderr)
+        return 2
+
+    def drive():
+        if args.resume:
+            return pca.resume(
+                source, policy,
+                max_windows=args.max_windows, max_rows=args.max_rows,
+            )
+        return pca.run(
+            source,
+            max_windows=args.max_windows,
+            max_rows=args.max_rows,
+            checkpoint=policy,
+        )
+
+    try:
+        result, trace_path, _snapshot = _run_instrumented(args, drive)
+    finally:
+        executor.shutdown()
+    verb = "resumed" if args.resume else "streamed"
+    print(
+        f"{verb} {described} on {args.backend}: {result.windows} windows, "
+        f"{result.rows} rows (stop: {result.stop_reason})"
+    )
+    print(
+        f"model: d={args.components}, noise variance "
+        f"{result.model.noise_variance:.6g}, {result.model.n_samples} rows seen"
+    )
+    if result.wall_seconds > 0:
+        print(f"throughput: {result.rows / result.wall_seconds:,.0f} rows/s")
+    for event in result.drift_events:
+        print(
+            f"drift detected at window {event.window_index} "
+            f"(row {event.end_row}): {event.angle_degrees:.1f} degrees"
+        )
+    if result.sim_seconds:
+        print(f"simulated cluster time: {result.sim_seconds:.2f}s")
+    if policy is not None and result.checkpoints:
+        stored = policy.store.iterations()
+        print(f"checkpoints in {args.checkpoint}: windows {stored}")
+    if trace_path is not None:
+        print(f"trace written to {trace_path}")
+    if args.metrics:
+        print(f"metrics snapshot written to {args.metrics}")
+    if args.out:
+        path = save_model(result.model, args.out)
+        print(f"model saved to {path}")
+    return 0
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "fit": _cmd_fit,
@@ -955,6 +1157,7 @@ _COMMANDS = {
     "lint": _cmd_lint,
     "registry": _cmd_registry,
     "serve": _cmd_serve,
+    "stream": _cmd_stream,
 }
 
 

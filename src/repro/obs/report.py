@@ -429,6 +429,47 @@ def _serving_rows(metrics_snapshot: dict[str, Any] | None) -> list[list[Any]]:
     ]
 
 
+def _streaming_rows(metrics_snapshot: dict[str, Any] | None) -> list[list[Any]]:
+    """Per-engine streaming summary rows from ``spca_stream_*`` samples."""
+    if not metrics_snapshot:
+        return []
+    counters: dict[str, dict[str, float]] = {}
+    for item in metrics_snapshot.get("counters", []):
+        if item["name"].startswith("spca_stream_"):
+            engine = item.get("labels", {}).get("engine", "")
+            counters.setdefault(engine, {})[item["name"]] = item["value"]
+    gauges: dict[str, dict[str, float]] = {}
+    for item in metrics_snapshot.get("gauges", []):
+        if item["name"].startswith("spca_stream_") and item["value"] is not None:
+            engine = item.get("labels", {}).get("engine", "")
+            gauges.setdefault(engine, {})[item["name"]] = item["value"]
+    walls: dict[str, dict[str, Any]] = {}
+    for item in metrics_snapshot.get("histograms", []):
+        if item["name"] == "spca_stream_window_wall_seconds":
+            walls[item.get("labels", {}).get("engine", "")] = item
+
+    def _ms(hist: dict[str, Any] | None, quantile: str) -> str:
+        if not hist or hist.get(quantile) is None:
+            return "-"
+        return f"{hist[quantile] * 1e3:.2f}"
+
+    engines = sorted(set(counters) | set(gauges) | set(walls))
+    return [
+        [
+            engine,
+            f"{counters.get(engine, {}).get('spca_stream_rows_total', 0):g}",
+            f"{counters.get(engine, {}).get('spca_stream_windows_total', 0):g}",
+            f"{counters.get(engine, {}).get('spca_stream_drift_events_total', 0):g}",
+            f"{counters.get(engine, {}).get('spca_stream_checkpoints_total', 0):g}",
+            f"{gauges.get(engine, {}).get('spca_stream_rows_per_second', 0):,.0f}",
+            f"{gauges.get(engine, {}).get('spca_stream_window_lag', 0):.2f}",
+            _ms(walls.get(engine), "p50"),
+            _ms(walls.get(engine), "p99"),
+        ]
+        for engine in engines
+    ]
+
+
 def render_html(
     trace: TraceData,
     metrics_snapshot: dict[str, Any] | None = None,
@@ -588,6 +629,22 @@ def render_html(
                 ["op", "ok", "rejected", "deadline", "rows", "batches",
                  "p50 ms", "p90 ms", "p99 ms"],
                 serving_rows,
+            )
+        )
+
+    streaming_rows = _streaming_rows(metrics_snapshot)
+    if streaming_rows:
+        parts.append("<h2>Streaming</h2>")
+        parts.append(
+            "<p class='sub'>Windowed mini-batch EM throughput and "
+            "backpressure from the <code>spca_stream_*</code> metrics "
+            "(window lag is the buffered-row queue in window units).</p>"
+        )
+        parts.append(
+            _html_table(
+                ["engine", "rows", "windows", "drift events", "checkpoints",
+                 "rows/s", "window lag", "wall p50 ms", "wall p99 ms"],
+                streaming_rows,
             )
         )
 

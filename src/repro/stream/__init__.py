@@ -1,0 +1,84 @@
+"""Streaming PCA: windowed mini-batch stochastic EM over row sources.
+
+The paper's central design point -- per-iteration state is only the small
+``(C, ss)`` pair, independent of N -- makes PCA over an unbounded row
+stream a natural workload: each window of rows is reduced engine-side to
+d-sized sufficient statistics and blended driver-side, so the stream can
+run forever in constant memory.  This package provides:
+
+- :mod:`~repro.stream.source` -- row sources (materialized matrices,
+  pre-chunked batches, an unbounded synthetic stream with plantable drift);
+- :mod:`~repro.stream.window` -- tumbling/sliding windowing, arrival-
+  chunking independent;
+- :mod:`~repro.stream.engines` -- the per-window statistics job on the
+  MapReduce runtime and the Spark simulator (plus a sequential reference);
+- :mod:`~repro.stream.drift` -- passive subspace-angle drift detection;
+- :mod:`~repro.stream.checkpoint` -- stream state in the EM checkpoint
+  format, for bit-identical resume;
+- :mod:`~repro.stream.runner` -- the driver loop tying it together, with
+  tracing, metrics, backpressure gauges, and periodic snapshots.
+"""
+
+from repro.stream.checkpoint import (
+    STREAM_CHECKPOINT_KIND,
+    StreamSnapshot,
+    pack_stream_checkpoint,
+    unpack_stream_checkpoint,
+)
+from repro.stream.drift import DriftDetector, DriftEvent
+from repro.stream.engines import (
+    ENGINE_NAMES,
+    STREAM_STATS_JOB,
+    STREAM_WINDOW_JOB,
+    MapReduceWindowEngine,
+    SequentialWindowEngine,
+    SparkWindowEngine,
+    WindowEngine,
+    make_window_engine,
+)
+from repro.stream.runner import (
+    StreamConfig,
+    StreamingPCA,
+    StreamResult,
+    WindowRecord,
+)
+from repro.stream.source import (
+    DriftSpec,
+    IterableSource,
+    MatrixSource,
+    RowSource,
+    SyntheticSource,
+    as_source,
+)
+from repro.stream.window import Window, Windower, WindowSpec, reference_windows
+
+__all__ = [
+    "ENGINE_NAMES",
+    "STREAM_CHECKPOINT_KIND",
+    "STREAM_STATS_JOB",
+    "STREAM_WINDOW_JOB",
+    "DriftDetector",
+    "DriftEvent",
+    "DriftSpec",
+    "IterableSource",
+    "MapReduceWindowEngine",
+    "MatrixSource",
+    "RowSource",
+    "SequentialWindowEngine",
+    "SparkWindowEngine",
+    "StreamConfig",
+    "StreamResult",
+    "StreamSnapshot",
+    "StreamingPCA",
+    "SyntheticSource",
+    "Window",
+    "WindowEngine",
+    "WindowRecord",
+    "WindowSpec",
+    "Windower",
+    "as_source",
+    "make_window_engine",
+    "pack_stream_checkpoint",
+    "reference_windows",
+    "unpack_stream_checkpoint",
+]

@@ -1,0 +1,134 @@
+"""Packing stream state into the EM checkpoint format.
+
+A streaming run snapshots at window boundaries only: the
+:class:`~repro.extensions.incremental.SEMState` (small, ``O(D d)``), the
+replay point (rows consumed into emitted windows), and the drift
+detector's memory.  Everything rides in the existing
+:class:`~repro.core.checkpoint.EMCheckpoint` container so both checkpoint
+stores (simulated-HDFS and directory ``.npz``) work unchanged:
+
+- ``components`` / ``noise_variance`` / ``mean`` map directly;
+- ``iteration`` is the count of windows completed (1-based, like EM
+  iterations), so store paths sort correctly;
+- the running moments, step counter, replay point, and detector state are
+  packed into the ``rng_state`` dict -- the stores JSON-round-trip it, and
+  JSON floats restore exactly (shortest-repr), so a resumed stream
+  continues bit-identically;
+- ``config`` carries the stream configuration plus a ``kind`` marker, so
+  resuming refuses a batch-EM checkpoint or a stream checkpointed under a
+  different configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.checkpoint import EMCheckpoint
+from repro.core.convergence import IterationStats
+from repro.errors import CheckpointError
+from repro.extensions.incremental import SEMState
+
+STREAM_CHECKPOINT_KIND = "stream-sem"
+
+
+def _pack_array(array: np.ndarray | None) -> list | None:
+    return None if array is None else np.asarray(array, dtype=np.float64).tolist()
+
+
+def _unpack_array(packed: list | None) -> np.ndarray | None:
+    return None if packed is None else np.array(packed, dtype=np.float64)
+
+
+@dataclass(frozen=True)
+class StreamSnapshot:
+    """A decoded stream checkpoint, ready to resume from.
+
+    Attributes:
+        next_window_index: index of the first window still to process.
+        rows_consumed: absolute row index to replay the source from.
+        state: the carried sEM state, bit-exact.
+        detector_state: drift-detector memory (None when no detector ran).
+        history: per-window stats recorded up to the snapshot.
+    """
+
+    next_window_index: int
+    rows_consumed: int
+    state: SEMState
+    detector_state: dict | None
+    history: tuple[IterationStats, ...]
+
+
+def pack_stream_checkpoint(
+    *,
+    window_index: int,
+    rows_consumed: int,
+    state: SEMState,
+    detector_state: dict | None,
+    config: dict,
+    history: tuple[IterationStats, ...] = (),
+) -> EMCheckpoint:
+    """Build the checkpoint written after window *window_index*."""
+    extra = {
+        "kind": STREAM_CHECKPOINT_KIND,
+        "moment_yx": _pack_array(state.moment_yx),
+        "moment_xx": _pack_array(state.moment_xx),
+        "step_index": state.step_index,
+        "rows_seen": state.rows_seen,
+        "rows_consumed": rows_consumed,
+        "detector": detector_state,
+    }
+    return EMCheckpoint(
+        iteration=window_index + 1,
+        components=np.array(state.components, copy=True),
+        noise_variance=float(state.noise_variance),
+        mean=np.array(state.mean, copy=True),
+        ss1=0.0,
+        previous_error=None,
+        rng_state=extra,
+        history=history,
+        config={"kind": STREAM_CHECKPOINT_KIND, **config},
+    )
+
+
+def unpack_stream_checkpoint(
+    checkpoint: EMCheckpoint, config: dict
+) -> StreamSnapshot:
+    """Decode *checkpoint*, verifying it matches the resuming *config*."""
+    stored = dict(checkpoint.config)
+    if stored.get("kind") != STREAM_CHECKPOINT_KIND:
+        raise CheckpointError(
+            "checkpoint was not written by a streaming run "
+            f"(kind={stored.get('kind')!r})"
+        )
+    expected = {"kind": STREAM_CHECKPOINT_KIND, **config}
+    if stored != expected:
+        differing = sorted(
+            key
+            for key in set(stored) | set(expected)
+            if stored.get(key) != expected.get(key)
+        )
+        raise CheckpointError(
+            "checkpoint was written under a different stream configuration; "
+            f"differing keys: {differing}"
+        )
+    extra = checkpoint.rng_state
+    if extra.get("kind") != STREAM_CHECKPOINT_KIND:
+        raise CheckpointError("checkpoint payload is not stream state")
+    state = SEMState(
+        components=np.asarray(checkpoint.components, dtype=np.float64),
+        noise_variance=float(checkpoint.noise_variance),
+        mean=np.asarray(checkpoint.mean, dtype=np.float64),
+        moment_yx=_unpack_array(extra["moment_yx"]),
+        moment_xx=_unpack_array(extra["moment_xx"]),
+        step_index=int(extra["step_index"]),
+        rows_seen=int(extra["rows_seen"]),
+    )
+    return StreamSnapshot(
+        next_window_index=int(checkpoint.iteration),
+        rows_consumed=int(extra["rows_consumed"]),
+        state=state,
+        detector_state=extra.get("detector"),
+        history=checkpoint.history,
+    )

@@ -1,0 +1,138 @@
+"""Drift detection on the stream's subspace-delta telemetry.
+
+The detector is *passive*: it watches the principal-subspace angle between
+the current components and the components ``lag`` windows back (the same
+:func:`~repro.metrics.subspace.subspace_angle_degrees` the evaluation
+stack uses) and reports a :class:`DriftEvent` when the angle stays above a
+threshold for ``patience`` consecutive windows.  It never mutates the
+model -- reacting (re-seeding, widening the step size, alerting) is the
+caller's policy -- so detection cannot perturb the bitwise-equivalence
+guarantees of the pipeline.
+
+After firing, the detector re-anchors: its comparison history is cleared
+so the post-change regime becomes the new baseline instead of firing on
+every subsequent window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.metrics.subspace import subspace_angle_degrees
+
+
+@dataclass(frozen=True)
+class DriftEvent:
+    """A detected subspace regime change.
+
+    Attributes:
+        window_index: the window whose update confirmed the drift.
+        end_row: absolute row index just past that window.
+        angle_degrees: the subspace angle that confirmed it.
+    """
+
+    window_index: int
+    end_row: int
+    angle_degrees: float
+
+
+class DriftDetector:
+    """Fires when the model's subspace rotates persistently.
+
+    Args:
+        threshold_degrees: principal angle (vs the components ``lag``
+            windows back) above which a window counts as drifting.
+        lag: comparison distance in windows.  Small lags react faster but
+            see less contrast; larger lags integrate the rotation.
+        warmup: windows to observe before comparisons begin (the early
+            stochastic-EM iterations rotate rapidly from the random start).
+            Defaults to ``lag``.
+        patience: consecutive drifting windows required to fire.  Values
+            above 1 trade detection delay for noise immunity.
+    """
+
+    def __init__(
+        self,
+        threshold_degrees: float,
+        *,
+        lag: int = 3,
+        warmup: int | None = None,
+        patience: int = 1,
+    ):
+        if threshold_degrees <= 0:
+            raise ShapeError(
+                f"threshold_degrees must be > 0, got {threshold_degrees}"
+            )
+        if lag < 1:
+            raise ShapeError(f"lag must be >= 1, got {lag}")
+        if patience < 1:
+            raise ShapeError(f"patience must be >= 1, got {patience}")
+        self.threshold_degrees = float(threshold_degrees)
+        self.lag = lag
+        self.warmup = lag if warmup is None else warmup
+        if self.warmup < lag:
+            raise ShapeError(
+                f"warmup must be >= lag ({lag}), got {self.warmup}"
+            )
+        self.patience = patience
+        self._history: list[np.ndarray] = []
+        self._observed = 0
+        self._consecutive = 0
+
+    def observe(
+        self, window_index: int, end_row: int, components: np.ndarray
+    ) -> tuple[float | None, DriftEvent | None]:
+        """Feed one window's fitted components.
+
+        Returns ``(angle, event)``: the measured lag-angle (None during
+        warmup / refill) and the drift event, if this window confirmed one.
+        """
+        components = np.array(components, copy=True)
+        self._observed += 1
+        angle: float | None = None
+        event: DriftEvent | None = None
+        if len(self._history) >= self.lag and self._observed > self.warmup:
+            angle = float(
+                subspace_angle_degrees(components, self._history[-self.lag])
+            )
+            if angle >= self.threshold_degrees:
+                self._consecutive += 1
+            else:
+                self._consecutive = 0
+            if self._consecutive >= self.patience:
+                event = DriftEvent(
+                    window_index=window_index,
+                    end_row=end_row,
+                    angle_degrees=angle,
+                )
+                # Re-anchor on the post-change regime.
+                self._history.clear()
+                self._consecutive = 0
+                self._observed = 1
+        self._history.append(components)
+        if len(self._history) > self.lag:
+            self._history.pop(0)
+        return angle, event
+
+    def state(self) -> dict:
+        """JSON-able snapshot of the detector's memory (checkpointing).
+
+        Floats survive the JSON round trip exactly (shortest-repr), so a
+        restored detector continues bit-identically.
+        """
+        return {
+            "history": [basis.tolist() for basis in self._history],
+            "observed": self._observed,
+            "consecutive": self._consecutive,
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore a snapshot produced by :meth:`state`."""
+        self._history = [
+            np.array(basis, dtype=np.float64) for basis in state["history"]
+        ]
+        self._observed = int(state["observed"])
+        self._consecutive = int(state["consecutive"])

@@ -1,0 +1,302 @@
+"""Per-window sufficient-statistics jobs on the simulated engines.
+
+The streaming pipeline splits the sEM update exactly along the paper's
+data/model boundary: the rows of one window are reduced *engine-side* to
+d-sized sufficient statistics (:func:`~repro.extensions.incremental.
+sem_batch_statistics`), and the small-matrix blend
+(:func:`~repro.extensions.incremental.sem_blend`) stays on the driver.
+Both engine adapters therefore run one logical job per window, dispatched
+through the pluggable executor layer like every other job -- serial,
+threads, and processes executors all commit in task-index order, so the
+statistics (and hence the stream's model) are bitwise identical across
+executors and identical to the sequential reference.
+
+Bitwise fidelity across *distributions* of the window is preserved by
+reassembling the full window (``stack_blocks``) before the one kernel call:
+summing per-block partial gemms would change the floating-point reduction
+order, so the window is shipped whole to a single stats task instead.  The
+shipped rows are exactly what a real row-streamed deployment moves per
+window, so the engines' byte accounting stays honest.
+
+Job names are stable (``streamWindowJob`` / ``streamStatsJob``) so fault
+plans can target the N-th window via their occurrence counters.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any
+
+from repro.engine.cluster import ClusterSpec
+from repro.engine.exec import TaskExecutor
+from repro.engine.mapreduce.api import MapReduceJob, Mapper, Reducer
+from repro.engine.mapreduce.runtime import MapReduceRuntime
+from repro.engine.metrics import EngineMetrics
+from repro.engine.spark.context import SparkContext
+from repro.errors import InvalidPlanError
+from repro.extensions.incremental import (
+    SEMBatchStats,
+    SEMState,
+    sem_batch_statistics,
+)
+from repro.faults import FaultInjector
+from repro.jobs.kernels import stack_blocks
+from repro.linalg.blocks import Matrix
+
+STREAM_WINDOW_JOB = "streamWindowJob"
+STREAM_STATS_JOB = "streamStatsJob"
+
+ENGINE_NAMES = ("sequential", "mapreduce", "spark")
+
+
+def split_rows(rows: Matrix, rows_per_task: int) -> list[Matrix]:
+    """Slice a window into row blocks of at most *rows_per_task* rows."""
+    if rows_per_task < 1:
+        raise InvalidPlanError(f"rows_per_task must be >= 1, got {rows_per_task}")
+    return [
+        rows[start : start + rows_per_task]
+        for start in range(0, rows.shape[0], rows_per_task)
+    ]
+
+
+class WindowForwardMapper(Mapper):
+    """Ships each ``(block_index, block)`` record to the stats reducer."""
+
+    def map(self, key, value, ctx):
+        ctx.increment("stream_blocks_forwarded")
+        # Forwarding raw blocks is deliberate: the reducer must stack the
+        # whole window before the one kernel call, or the result is not
+        # bit-identical to the sequential reference.
+        yield 0, (key, value)  # repro-lint: disable=DF004
+
+
+class WindowStatsReducer(Reducer):
+    """Reassembles the window and reduces it to d-sized statistics.
+
+    The carried model state arrives through the job config (the
+    DistributedCache stand-in, like sPCA's CM/Ym matrices); the output is
+    one small payload record per window.
+    """
+
+    def reduce(self, key, values, ctx):
+        blocks = [block for _, block in sorted(values, key=lambda item: item[0])]
+        window = stack_blocks(blocks)
+        state = SEMState(
+            components=ctx.config["components"],
+            noise_variance=ctx.config["noise_variance"],
+            mean=ctx.config["mean"],
+            rows_seen=ctx.config["rows_seen"],
+        )
+        stats = sem_batch_statistics(
+            window,
+            state,
+            update_mean=ctx.config["update_mean"],
+            residual="trace",
+        )
+        ctx.increment("stream_window_rows", window.shape[0])
+        yield "stats", stats.as_payload()
+
+
+class WindowEngine(abc.ABC):
+    """Computes one window's batch statistics; the blend stays driver-side."""
+
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def window_statistics(
+        self, rows: Matrix, state: SEMState, *, update_mean: bool = True
+    ) -> SEMBatchStats:
+        """Reduce one window of rows against *state*."""
+
+    @property
+    def metrics(self) -> EngineMetrics | None:
+        """The backing engine's metrics, when there is an engine."""
+        return None
+
+
+class SequentialWindowEngine(WindowEngine):
+    """In-process reference: the kernel call with no engine in between."""
+
+    name = "sequential"
+
+    def window_statistics(self, rows, state, *, update_mean=True):
+        return sem_batch_statistics(
+            rows, state, update_mean=update_mean, residual="trace"
+        )
+
+
+class MapReduceWindowEngine(WindowEngine):
+    """One MapReduce job per window: N forwarding map tasks (one per row
+    block), a single stats reducer, model state in the job config."""
+
+    name = "mapreduce"
+
+    def __init__(
+        self,
+        runtime: MapReduceRuntime | None = None,
+        *,
+        rows_per_task: int = 256,
+        cluster: ClusterSpec | None = None,
+        faults: FaultInjector | None = None,
+        executor: TaskExecutor | str | None = None,
+        workers: int | None = None,
+        max_task_attempts: int = 4,
+        seed: int = 0,
+    ):
+        self.runtime = runtime or MapReduceRuntime(
+            cluster=cluster,
+            faults=faults,
+            executor=executor,
+            workers=workers,
+            max_task_attempts=max_task_attempts,
+            seed=seed,
+        )
+        self.rows_per_task = rows_per_task
+
+    @property
+    def metrics(self) -> EngineMetrics:
+        return self.runtime.metrics
+
+    def window_statistics(self, rows, state, *, update_mean=True):
+        blocks = split_rows(rows, self.rows_per_task)
+        splits = [[(index, block)] for index, block in enumerate(blocks)]
+        job = MapReduceJob(
+            name=STREAM_WINDOW_JOB,
+            mapper=WindowForwardMapper(),
+            reducer=WindowStatsReducer(),
+            num_reducers=1,
+            config={
+                "components": state.components,
+                "noise_variance": state.noise_variance,
+                "mean": state.mean,
+                "rows_seen": state.rows_seen,
+                "update_mean": update_mean,
+            },
+        )
+        ((_, payload),) = self.runtime.run(job, splits)
+        return SEMBatchStats.from_payload(payload)
+
+
+class SparkWindowEngine(WindowEngine):
+    """Two narrow stages per window: collect the row blocks, then one
+    stats task against the broadcast model state.
+
+    The partition functions are closures, so a ``processes`` executor runs
+    them on its thread-pool sibling (the engine's documented fallback).
+    """
+
+    name = "spark"
+
+    def __init__(
+        self,
+        context: SparkContext | None = None,
+        *,
+        rows_per_task: int = 256,
+        cluster: ClusterSpec | None = None,
+        faults: FaultInjector | None = None,
+        executor: TaskExecutor | str | None = None,
+        workers: int | None = None,
+        max_task_attempts: int = 4,
+        seed: int = 0,
+    ):
+        self.context = context or SparkContext(
+            cluster=cluster,
+            faults=faults,
+            executor=executor,
+            workers=workers,
+            max_task_attempts=max_task_attempts,
+            seed=seed,
+        )
+        self.rows_per_task = rows_per_task
+
+    @property
+    def metrics(self) -> EngineMetrics:
+        return self.context.metrics
+
+    def window_statistics(self, rows, state, *, update_mean=True):
+        context = self.context
+        broadcast = context.broadcast(
+            (state.components, state.noise_variance, state.mean, state.rows_seen)
+        )
+        blocks = list(enumerate(split_rows(rows, self.rows_per_task)))
+        rdd = context.parallelize(blocks, num_partitions=len(blocks))
+        collected = context.run_job(
+            rdd, lambda items: list(items), STREAM_WINDOW_JOB
+        )
+        pairs = sorted(
+            (pair for part in collected for pair in part), key=lambda pair: pair[0]
+        )
+        window = stack_blocks([block for _, block in pairs])
+
+        def stats_partition(items: list) -> tuple:
+            (window_rows,) = items
+            components, noise_variance, mean, rows_seen = broadcast.value
+            stats = sem_batch_statistics(
+                window_rows,
+                SEMState(
+                    components=components,
+                    noise_variance=noise_variance,
+                    mean=mean,
+                    rows_seen=rows_seen,
+                ),
+                update_mean=update_mean,
+                residual="trace",
+            )
+            return stats.as_payload()
+
+        stats_rdd = context.parallelize([window], 1)
+        (payload,) = context.run_job(stats_rdd, stats_partition, STREAM_STATS_JOB)
+        return SEMBatchStats.from_payload(payload)
+
+
+def make_window_engine(
+    engine: WindowEngine | MapReduceRuntime | SparkContext | str = "sequential",
+    *,
+    rows_per_task: int = 256,
+    cluster: ClusterSpec | None = None,
+    faults: FaultInjector | None = None,
+    executor: TaskExecutor | str | None = None,
+    workers: int | None = None,
+    max_task_attempts: int = 4,
+    seed: int = 0,
+) -> WindowEngine:
+    """Resolve an engine name / instance to a :class:`WindowEngine`."""
+    if isinstance(engine, WindowEngine):
+        return engine
+    if isinstance(engine, MapReduceRuntime):
+        return MapReduceWindowEngine(engine, rows_per_task=rows_per_task)
+    if isinstance(engine, SparkContext):
+        return SparkWindowEngine(engine, rows_per_task=rows_per_task)
+    kwargs: dict[str, Any] = dict(
+        rows_per_task=rows_per_task,
+        cluster=cluster,
+        faults=faults,
+        executor=executor,
+        workers=workers,
+        max_task_attempts=max_task_attempts,
+        seed=seed,
+    )
+    if engine == "sequential":
+        return SequentialWindowEngine()
+    if engine == "mapreduce":
+        return MapReduceWindowEngine(**kwargs)
+    if engine == "spark":
+        return SparkWindowEngine(**kwargs)
+    raise InvalidPlanError(
+        f"unknown stream engine {engine!r}; expected one of {ENGINE_NAMES}"
+    )
+
+
+__all__ = [
+    "ENGINE_NAMES",
+    "STREAM_STATS_JOB",
+    "STREAM_WINDOW_JOB",
+    "MapReduceWindowEngine",
+    "SequentialWindowEngine",
+    "SparkWindowEngine",
+    "WindowEngine",
+    "WindowForwardMapper",
+    "WindowStatsReducer",
+    "make_window_engine",
+    "split_rows",
+]

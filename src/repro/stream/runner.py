@@ -1,0 +1,489 @@
+"""The streaming PCA driver loop.
+
+``StreamingPCA`` pulls chunks from a :class:`~repro.stream.source.RowSource`,
+windows them, and folds each window into the carried sEM state: the window's
+rows are reduced engine-side to d-sized statistics (one job per window,
+dispatched through the executor layer) and blended driver-side.  Because
+the window sequence is a pure function of the row order, and the engines'
+execute/commit protocol keeps every executor bitwise-identical to serial,
+the resulting model equals the sequential
+:meth:`~repro.extensions.incremental.IncrementalPPCA.partial_fit_stream`
+reference bit for bit -- the property the acceptance suite pins.
+
+Around the model update, each window also drives:
+
+- **telemetry**: an ``iteration`` span per window plus ``stream_window`` /
+  ``stream_drift`` / ``stream_checkpoint`` events in the tracer, and
+  counters/gauges/histograms in the metrics registry (rows and windows
+  processed, backpressure queue depth, window lag, rows/s, window wall
+  time, drift angle);
+- **drift detection**: a passive subspace-angle detector
+  (:class:`~repro.stream.drift.DriftDetector`);
+- **checkpointing**: periodic :class:`~repro.core.checkpoint.EMCheckpoint`
+  snapshots at window boundaries, so a killed stream resumes
+  bit-identically (:meth:`StreamingPCA.resume`).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import asdict, dataclass, field
+
+from repro.core.checkpoint import CheckpointPolicy
+from repro.core.convergence import IterationStats
+from repro.core.model import PCAModel
+from repro.engine.cluster import ClusterSpec
+from repro.engine.exec import TaskExecutor
+from repro.engine.mapreduce.runtime import MapReduceRuntime
+from repro.engine.spark.context import SparkContext
+from repro.errors import CheckpointError, ShapeError
+from repro.extensions.incremental import SEMState, initial_sem_state, sem_blend
+from repro.faults import FaultInjector
+from repro.obs import get_tracer
+from repro.obs.metrics import get_registry
+from repro.stream.checkpoint import (
+    StreamSnapshot,
+    pack_stream_checkpoint,
+    unpack_stream_checkpoint,
+)
+from repro.stream.drift import DriftDetector, DriftEvent
+from repro.stream.engines import WindowEngine, make_window_engine
+from repro.stream.source import RowSource
+from repro.stream.window import Window, Windower, WindowSpec
+
+
+@dataclass(frozen=True)
+class StreamConfig:
+    """Everything that defines a streaming run (and must match on resume).
+
+    Attributes:
+        n_components: latent dimensionality d.
+        window: rows per window (the sEM mini-batch size).
+        step: window advance; None for tumbling windows.
+        step_decay: kappa in ``eta_t = (t + 2)^-kappa``.
+        seed: seed for the random component initialization.
+        rows_per_task: rows per engine task when a window is distributed.
+        drift_threshold_degrees: enable the drift detector at this
+            subspace-angle threshold; None disables detection.
+        drift_lag: detector comparison distance, in windows.
+        drift_warmup: windows before detection starts (default: the lag).
+        drift_patience: consecutive drifting windows required to fire.
+        history_limit: per-window stats kept in memory / checkpoints.
+    """
+
+    n_components: int
+    window: int
+    step: int | None = None
+    step_decay: float = 0.7
+    seed: int = 0
+    rows_per_task: int = 256
+    drift_threshold_degrees: float | None = None
+    drift_lag: int = 3
+    drift_warmup: int | None = None
+    drift_patience: int = 1
+    history_limit: int = 512
+
+    def __post_init__(self) -> None:
+        if self.n_components < 1:
+            raise ShapeError(
+                f"n_components must be >= 1, got {self.n_components}"
+            )
+        if not 0.5 < self.step_decay <= 1.0:
+            raise ShapeError(
+                f"step_decay must be in (0.5, 1], got {self.step_decay}"
+            )
+        if self.rows_per_task < 1:
+            raise ShapeError(
+                f"rows_per_task must be >= 1, got {self.rows_per_task}"
+            )
+        if self.history_limit < 0:
+            raise ShapeError(
+                f"history_limit must be >= 0, got {self.history_limit}"
+            )
+        self.spec()  # validates window/step
+        self.detector()  # validates the drift parameters
+
+    def spec(self) -> WindowSpec:
+        return WindowSpec(self.window, self.step)
+
+    def detector(self) -> DriftDetector | None:
+        if self.drift_threshold_degrees is None:
+            return None
+        return DriftDetector(
+            self.drift_threshold_degrees,
+            lag=self.drift_lag,
+            warmup=self.drift_warmup,
+            patience=self.drift_patience,
+        )
+
+    def as_dict(self) -> dict:
+        """JSON-stable form, written into (and checked against) checkpoints."""
+        return asdict(self)
+
+
+@dataclass(frozen=True)
+class WindowRecord:
+    """Per-window measurements (the stream's iteration history)."""
+
+    index: int
+    start_row: int
+    rows: int
+    noise_variance: float
+    drift_angle_degrees: float | None
+    wall_seconds: float
+    sim_seconds: float
+
+
+@dataclass
+class StreamResult:
+    """What one ``run``/``resume`` call produced.
+
+    ``windows``/``rows`` count this call only; ``state`` (and the model
+    derived from it) reflects the whole stream up to now.
+    """
+
+    model: PCAModel
+    state: SEMState
+    windows: int
+    rows: int
+    next_window_index: int
+    rows_consumed: int
+    drift_events: list[DriftEvent] = field(default_factory=list)
+    records: list[WindowRecord] = field(default_factory=list)
+    checkpoints: int = 0
+    stop_reason: str = "exhausted"
+    wall_seconds: float = 0.0
+    sim_seconds: float = 0.0
+
+
+class StreamingPCA:
+    """Windowed mini-batch stochastic-EM PCA over a row stream.
+
+    Args:
+        config: the stream configuration.
+        engine: ``"sequential"`` / ``"mapreduce"`` / ``"spark"``, or a
+            ready :class:`~repro.stream.engines.WindowEngine`,
+            :class:`~repro.engine.mapreduce.runtime.MapReduceRuntime`, or
+            :class:`~repro.engine.spark.context.SparkContext`.
+        executor / workers: task-executor selection for a named engine.
+        faults: fault injector for a named engine (chaos testing).
+        cluster: simulated cluster for a named engine.
+        max_task_attempts: per-task retry budget for a named engine.
+    """
+
+    def __init__(
+        self,
+        config: StreamConfig,
+        engine: WindowEngine | MapReduceRuntime | SparkContext | str = "sequential",
+        *,
+        executor: TaskExecutor | str | None = None,
+        workers: int | None = None,
+        faults: FaultInjector | None = None,
+        cluster: ClusterSpec | None = None,
+        max_task_attempts: int = 4,
+    ):
+        self.config = config
+        self.engine = make_window_engine(
+            engine,
+            rows_per_task=config.rows_per_task,
+            cluster=cluster,
+            faults=faults,
+            executor=executor,
+            workers=workers,
+            max_task_attempts=max_task_attempts,
+            seed=config.seed,
+        )
+
+    # -- entry points ----------------------------------------------------
+
+    def run(
+        self,
+        source: RowSource,
+        *,
+        max_windows: int | None = None,
+        max_rows: int | None = None,
+        checkpoint: CheckpointPolicy | None = None,
+    ) -> StreamResult:
+        """Consume *source* from row 0 until exhaustion or a bound.
+
+        Args:
+            source: where the rows come from.
+            max_windows: stop after this many windows (total stream index).
+            max_rows: stop once at least this many rows were folded in.
+            checkpoint: snapshot policy (store + interval); None disables.
+        """
+        state = initial_sem_state(
+            self.config.n_components, source.n_cols, self.config.seed
+        )
+        windower = Windower(self.config.spec(), source.n_cols)
+        return self._drive(
+            source,
+            state,
+            windower,
+            self.config.detector(),
+            history=(),
+            policy=checkpoint,
+            max_windows=max_windows,
+            max_rows=max_rows,
+        )
+
+    def resume(
+        self,
+        source: RowSource,
+        checkpoint: CheckpointPolicy,
+        *,
+        max_windows: int | None = None,
+        max_rows: int | None = None,
+    ) -> StreamResult:
+        """Continue a checkpointed stream from its latest snapshot.
+
+        The source is replayed from the snapshot's consumed-row boundary
+        (``chunks(start_row=...)``), so the resumed run processes exactly
+        the windows the uninterrupted run would have processed next, and --
+        because the snapshot restores the sEM state bit-exactly -- reaches
+        the bit-identical model.
+        """
+        stored = checkpoint.store.load_latest()
+        if stored is None:
+            raise CheckpointError("the checkpoint store is empty; nothing to resume")
+        snapshot: StreamSnapshot = unpack_stream_checkpoint(
+            stored, self.config.as_dict()
+        )
+        if source.n_cols != snapshot.state.n_cols:
+            raise ShapeError(
+                f"source has {source.n_cols} columns but the checkpoint "
+                f"was written for {snapshot.state.n_cols}"
+            )
+        windower = Windower(
+            self.config.spec(),
+            source.n_cols,
+            start_row=snapshot.rows_consumed,
+            start_index=snapshot.next_window_index,
+        )
+        detector = self.config.detector()
+        if detector is not None and snapshot.detector_state is not None:
+            detector.load_state(snapshot.detector_state)
+        return self._drive(
+            source,
+            snapshot.state,
+            windower,
+            detector,
+            history=snapshot.history,
+            policy=checkpoint,
+            max_windows=max_windows,
+            max_rows=max_rows,
+        )
+
+    # -- the drive loop --------------------------------------------------
+
+    def _engine_sim_seconds(self) -> float:
+        metrics = self.engine.metrics
+        return metrics.total_sim_seconds if metrics is not None else 0.0
+
+    def _drive(
+        self,
+        source: RowSource,
+        state: SEMState,
+        windower: Windower,
+        detector: DriftDetector | None,
+        *,
+        history: tuple[IterationStats, ...],
+        policy: CheckpointPolicy | None,
+        max_windows: int | None,
+        max_rows: int | None,
+    ) -> StreamResult:
+        config = self.config
+        registry = get_registry()
+        tracer = get_tracer()
+        spec = config.spec()
+        labels = {"engine": self.engine.name}
+
+        result = StreamResult(
+            model=state.to_model(),
+            state=state,
+            windows=0,
+            rows=0,
+            next_window_index=windower.next_index,
+            rows_consumed=windower.consumed_rows,
+        )
+        # Replay point of the *processed* prefix.  The windower's own
+        # consumed_rows can run ahead of it when one arrival chunk completes
+        # several windows at once, and a checkpoint taken mid-batch must not
+        # skip the emitted-but-unprocessed windows on resume.
+        consumed_after = windower.consumed_rows
+        next_index_after = windower.next_index
+        history_list = list(history)
+        started_wall = time.perf_counter()
+        started_sim = self._engine_sim_seconds()
+
+        def set_backpressure() -> None:
+            if not registry.enabled:
+                return
+            registry.gauge("spca_stream_queue_rows", **labels).set(
+                windower.buffered_rows
+            )
+            registry.gauge("spca_stream_window_lag", **labels).set(
+                windower.buffered_rows / spec.size
+            )
+
+        def process(window: Window) -> None:
+            nonlocal state, consumed_after, next_index_after
+            window_wall = time.perf_counter()
+            window_sim = self._engine_sim_seconds()
+            with tracer.span(
+                "iteration",
+                f"window-{window.index}",
+                index=window.index + 1,
+                start_row=window.start_row,
+                rows=window.n_rows,
+            ):
+                stats = self.engine.window_statistics(
+                    window.rows, state, update_mean=True
+                )
+                state = sem_blend(state, stats, step_decay=config.step_decay)
+            angle: float | None = None
+            event: DriftEvent | None = None
+            if detector is not None:
+                angle, event = detector.observe(
+                    window.index, window.end_row, state.components
+                )
+            wall = time.perf_counter() - window_wall
+            sim = self._engine_sim_seconds() - window_sim
+            tracer.event(
+                "stream_window",
+                index=window.index,
+                start_row=window.start_row,
+                rows=window.n_rows,
+                complete=window.complete,
+                noise_variance=state.noise_variance,
+                drift_angle_degrees=angle,
+            )
+            if registry.enabled:
+                registry.counter("spca_stream_rows_total", **labels).inc(
+                    window.n_rows
+                )
+                registry.counter("spca_stream_windows_total", **labels).inc()
+                registry.histogram(
+                    "spca_stream_window_wall_seconds", **labels
+                ).observe(wall)
+                if wall > 0:
+                    registry.gauge("spca_stream_rows_per_second", **labels).set(
+                        window.n_rows / wall
+                    )
+                if angle is not None:
+                    registry.gauge(
+                        "spca_stream_drift_angle_degrees", **labels
+                    ).set(angle)
+            if event is not None:
+                result.drift_events.append(event)
+                tracer.event(
+                    "stream_drift",
+                    window_index=event.window_index,
+                    end_row=event.end_row,
+                    angle_degrees=event.angle_degrees,
+                )
+                if registry.enabled:
+                    registry.counter(
+                        "spca_stream_drift_events_total", **labels
+                    ).inc()
+            result.records.append(
+                WindowRecord(
+                    index=window.index,
+                    start_row=window.start_row,
+                    rows=window.n_rows,
+                    noise_variance=state.noise_variance,
+                    drift_angle_degrees=angle,
+                    wall_seconds=wall,
+                    sim_seconds=sim,
+                )
+            )
+            history_list.append(
+                IterationStats(
+                    index=window.index + 1,
+                    noise_variance=state.noise_variance,
+                    error=None,
+                    accuracy=None,
+                    elapsed_seconds=time.perf_counter() - started_wall,
+                    simulated_seconds=self._engine_sim_seconds() - started_sim,
+                    intermediate_bytes=0,
+                )
+            )
+            if config.history_limit and len(history_list) > config.history_limit:
+                del history_list[: -config.history_limit]
+            result.windows += 1
+            result.rows += window.n_rows
+            consumed_after = window.start_row + (
+                min(spec.stride, window.n_rows) if window.complete
+                else window.n_rows
+            )
+            next_index_after = window.index + 1
+            set_backpressure()
+            if policy is not None and policy.due(window.index + 1):
+                nbytes = policy.store.save(
+                    pack_stream_checkpoint(
+                        window_index=window.index,
+                        rows_consumed=consumed_after,
+                        state=state,
+                        detector_state=(
+                            detector.state() if detector is not None else None
+                        ),
+                        config=config.as_dict(),
+                        history=tuple(history_list),
+                    )
+                )
+                result.checkpoints += 1
+                tracer.event(
+                    "stream_checkpoint", window_index=window.index, nbytes=nbytes
+                )
+                if registry.enabled:
+                    registry.counter(
+                        "spca_stream_checkpoints_total", **labels
+                    ).inc()
+
+        def reached_bound(window_index: int) -> str | None:
+            if max_windows is not None and window_index + 1 >= max_windows:
+                return "max_windows"
+            if max_rows is not None and result.rows >= max_rows:
+                return "max_rows"
+            return None
+
+        stopped: str | None = None
+        with tracer.span(
+            "run",
+            f"stream[engine={self.engine.name},"
+            f"d={config.n_components},w={spec.size}]",
+            engine=self.engine.name,
+            n_components=config.n_components,
+            window=spec.size,
+            start_row=windower.consumed_rows,
+        ) as run_span:
+            for chunk in source.chunks(start_row=windower.consumed_rows):
+                windows = windower.push(chunk)
+                set_backpressure()
+                for window in windows:
+                    process(window)
+                    stopped = reached_bound(window.index)
+                    if stopped:
+                        break
+                if stopped:
+                    break
+            if stopped is None:
+                tail = windower.flush()
+                if tail is not None:
+                    process(tail)
+
+            if state.rows_seen == 0:
+                raise ShapeError("the stream produced no rows to fit")
+            result.stop_reason = stopped or "exhausted"
+            run_span.set(
+                stop_reason=result.stop_reason,
+                windows=result.windows,
+                rows=result.rows,
+            )
+        result.model = state.to_model()
+        result.state = state
+        result.next_window_index = next_index_after
+        result.rows_consumed = consumed_after
+        result.wall_seconds = time.perf_counter() - started_wall
+        result.sim_seconds = self._engine_sim_seconds() - started_sim
+        return result

@@ -1,0 +1,267 @@
+"""Row sources: where a PCA stream's rows come from.
+
+A :class:`RowSource` is the streaming counterpart of the engines' HDFS
+splits / RDD partitions: an ordered, possibly unbounded sequence of row
+chunks over a fixed column space.  The contract that makes the whole
+pipeline testable is *arrival-chunking independence*: the values of row i
+depend only on i, never on how the source happens to batch rows into
+chunks.  The windower re-slices arrivals into windows, so any chunking of
+the same row order produces bit-identical windows -- the property the
+equivalence suite pins.
+
+``chunks(start_row=n)`` resumes mid-stream: it yields the same rows the
+original stream would have yielded from absolute row n on.  Checkpoint
+resume relies on this to replay from the last window boundary.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.errors import ShapeError
+from repro.linalg.blocks import Matrix
+
+
+class RowSource(abc.ABC):
+    """An ordered stream of row chunks over ``n_cols`` columns."""
+
+    @property
+    @abc.abstractmethod
+    def n_cols(self) -> int:
+        """The fixed column count D of every chunk."""
+
+    @abc.abstractmethod
+    def chunks(self, start_row: int = 0) -> Iterator[Matrix]:
+        """Yield ``(n_i, D)`` row chunks starting at absolute row *start_row*.
+
+        Row values must depend only on the absolute row index, never on the
+        chunk boundaries; resuming at row n yields exactly the suffix of the
+        stream from row n.
+        """
+
+
+def _slice_from(chunk: Matrix, skip: int) -> Matrix | None:
+    """Drop the first *skip* rows of *chunk*; None when nothing is left."""
+    if skip <= 0:
+        return chunk
+    if skip >= chunk.shape[0]:
+        return None
+    return chunk[skip:]
+
+
+class MatrixSource(RowSource):
+    """Streams a materialized matrix in fixed-size chunks, optionally
+    replaying it for several epochs (row N is row ``N mod n_rows`` of the
+    matrix).  The in-memory stand-in for a row-streamed dataset."""
+
+    def __init__(self, matrix: Matrix, chunk_rows: int = 256, epochs: int = 1):
+        if matrix.shape[0] < 1:
+            raise ShapeError("MatrixSource needs at least one row")
+        if chunk_rows < 1:
+            raise ShapeError(f"chunk_rows must be >= 1, got {chunk_rows}")
+        if epochs < 1:
+            raise ShapeError(f"epochs must be >= 1, got {epochs}")
+        self.matrix = matrix
+        self.chunk_rows = chunk_rows
+        self.epochs = epochs
+
+    @property
+    def n_cols(self) -> int:
+        return self.matrix.shape[1]
+
+    @property
+    def total_rows(self) -> int:
+        return self.matrix.shape[0] * self.epochs
+
+    def chunks(self, start_row: int = 0) -> Iterator[Matrix]:
+        n_rows = self.matrix.shape[0]
+        row = start_row
+        while row < self.total_rows:
+            position = row % n_rows
+            take = min(self.chunk_rows, n_rows - position, self.total_rows - row)
+            yield self.matrix[position : position + take]
+            row += take
+
+
+class IterableSource(RowSource):
+    """Wraps a finite sequence of pre-chunked row batches.
+
+    The batches are materialized once so the source can be replayed (and
+    resumed) -- streams too large to hold should use a replayable source
+    instead.  Zero-row batches are tolerated and skipped.
+    """
+
+    def __init__(self, batches: Sequence[Matrix], n_cols: int | None = None):
+        self.batches = [batch for batch in batches if batch.shape[0] > 0]
+        if n_cols is None:
+            if not self.batches:
+                raise ShapeError(
+                    "cannot infer n_cols from an empty batch sequence"
+                )
+            n_cols = self.batches[0].shape[1]
+        for batch in self.batches:
+            if batch.shape[1] != n_cols:
+                raise ShapeError(
+                    f"batch has {batch.shape[1]} columns, expected {n_cols}"
+                )
+        self._n_cols = n_cols
+
+    @property
+    def n_cols(self) -> int:
+        return self._n_cols
+
+    def chunks(self, start_row: int = 0) -> Iterator[Matrix]:
+        skip = start_row
+        for batch in self.batches:
+            piece = _slice_from(batch, skip)
+            skip = max(0, skip - batch.shape[0])
+            if piece is not None:
+                yield piece
+
+
+@dataclass(frozen=True)
+class DriftSpec:
+    """A planted regime change: from absolute row ``at_row`` on, the
+    dominant loading direction is rotated by ``angle_degrees`` out of the
+    original span.  Used to exercise the drift detector with a known
+    ground truth."""
+
+    at_row: int
+    angle_degrees: float = 45.0
+
+    def __post_init__(self) -> None:
+        if self.at_row < 0:
+            raise ShapeError(f"at_row must be >= 0, got {self.at_row}")
+        if not 0.0 < self.angle_degrees <= 90.0:
+            raise ShapeError(
+                f"angle_degrees must be in (0, 90], got {self.angle_degrees}"
+            )
+
+
+class SyntheticSource(RowSource):
+    """An unbounded low-rank Gaussian stream, deterministic per row.
+
+    Rows are generated in fixed internal blocks of ``block_rows``, each from
+    a generator seeded by ``(seed, block_index)`` -- so the value of row i is
+    a pure function of i and the source parameters, independent of how the
+    consumer chunks its reads.  (Seeding per block rather than advancing one
+    generator is what makes ``chunks(start_row=n)`` exact: normal draws
+    consume a data-dependent number of raw words, so a shared stream could
+    not be repositioned.)
+
+    With a :class:`DriftSpec`, rows from ``drift.at_row`` on are drawn from
+    a rotated loading matrix; :meth:`basis` exposes the ground-truth
+    subspace on both sides of the change point.
+    """
+
+    def __init__(
+        self,
+        n_cols: int,
+        rank: int,
+        *,
+        noise: float = 0.05,
+        seed: int = 0,
+        block_rows: int = 256,
+        total_rows: int | None = None,
+        drift: DriftSpec | None = None,
+    ):
+        if rank < 1 or rank > n_cols:
+            raise ShapeError(f"rank must be in [1, {n_cols}], got {rank}")
+        if block_rows < 1:
+            raise ShapeError(f"block_rows must be >= 1, got {block_rows}")
+        if total_rows is not None and total_rows < 1:
+            raise ShapeError(f"total_rows must be >= 1, got {total_rows}")
+        self._n_cols = n_cols
+        self.rank = rank
+        self.noise = noise
+        self.seed = seed
+        self.block_rows = block_rows
+        self.total_rows = total_rows
+        self.drift = drift
+
+        rng = np.random.default_rng(seed)
+        self._scales = np.linspace(3.0, 1.0, rank)
+        self._loadings = rng.normal(size=(rank, n_cols))
+        # A direction orthogonal to the loading span, used to rotate the
+        # dominant loading out of plane at the drift point.  Drawn
+        # unconditionally so the pre-drift rows do not depend on whether a
+        # drift was requested.
+        extra = rng.normal(size=n_cols)
+        for row in self._loadings:
+            extra = extra - (extra @ row) / (row @ row) * row
+        extra = extra / np.linalg.norm(extra)
+        self._drifted = self._loadings.copy()
+        if drift is not None:
+            first = self._loadings[0]
+            radians = np.radians(drift.angle_degrees)
+            self._drifted[0] = (
+                np.cos(radians) * first
+                + np.sin(radians) * np.linalg.norm(first) * extra
+            )
+
+    @property
+    def n_cols(self) -> int:
+        return self._n_cols
+
+    def basis(self, row: int) -> np.ndarray:
+        """Ground-truth loading basis ``(D, rank)`` in effect at *row*."""
+        loadings = self._loadings
+        if self.drift is not None and row >= self.drift.at_row:
+            loadings = self._drifted
+        return loadings.T.copy()
+
+    def _block(self, index: int) -> np.ndarray:
+        rng = np.random.default_rng((self.seed, index))
+        latents = rng.normal(size=(self.block_rows, self.rank)) * self._scales
+        noise = rng.normal(size=(self.block_rows, self._n_cols)) * self.noise
+        start = index * self.block_rows
+        if self.drift is None or self.drift.at_row >= start + self.block_rows:
+            signal = latents @ self._loadings
+        elif self.drift.at_row <= start:
+            signal = latents @ self._drifted
+        else:
+            boundary = self.drift.at_row - start
+            signal = np.concatenate(
+                [
+                    latents[:boundary] @ self._loadings,
+                    latents[boundary:] @ self._drifted,
+                ]
+            )
+        return signal + noise
+
+    def chunks(self, start_row: int = 0) -> Iterator[Matrix]:
+        index = start_row // self.block_rows
+        offset = start_row - index * self.block_rows
+        row = start_row
+        while self.total_rows is None or row < self.total_rows:
+            block = self._block(index)
+            if offset:
+                block = block[offset:]
+            if self.total_rows is not None:
+                block = block[: self.total_rows - row]
+            if block.shape[0]:
+                yield block
+            row += block.shape[0]
+            index += 1
+            offset = 0
+
+
+def as_source(
+    data: RowSource | Matrix | Sequence[Matrix], chunk_rows: int = 256
+) -> RowSource:
+    """Coerce *data* to a :class:`RowSource`.
+
+    Accepts a source (returned as-is), a single dense/CSR matrix (wrapped
+    in a :class:`MatrixSource`), or a sequence of row batches (wrapped in
+    an :class:`IterableSource`).
+    """
+    if isinstance(data, RowSource):
+        return data
+    if isinstance(data, np.ndarray) or sp.issparse(data):
+        return MatrixSource(data, chunk_rows=chunk_rows)
+    return IterableSource(list(data))

@@ -374,3 +374,102 @@ class TestBench:
         output = capsys.readouterr().out
         for name in ("sPCA-Spark", "MLlib-PCA", "sPCA-MapReduce", "Mahout-PCA"):
             assert name in output
+
+
+class TestStream:
+    @pytest.fixture
+    def dense_path(self, tmp_path):
+        path = tmp_path / "dense.npz"
+        assert main(["generate", "images", "--rows", "300", "--cols", "30",
+                     "--seed", "4", "--out", str(path)]) == 0
+        return path
+
+    def test_stream_file_and_save_model(self, dense_path, tmp_path, capsys):
+        out = tmp_path / "model.npz"
+        code = main(["stream", str(dense_path), "-d", "3", "--window", "60",
+                     "--backend", "mapreduce", "--out", str(out)])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "streamed (300, 30)" in output
+        assert "5 windows, 300 rows" in output
+        assert "simulated cluster time" in output
+        model = load_model(out)
+        assert model.components.shape == (30, 3)
+        assert model.n_samples == 300
+
+    def test_stream_matches_library_reference(self, dense_path, tmp_path):
+        from repro.extensions.incremental import IncrementalPPCA
+        from repro.stream import StreamConfig, reference_windows
+
+        out = tmp_path / "model.npz"
+        assert main(["stream", str(dense_path), "-d", "3", "--window", "60",
+                     "--seed", "7", "--backend", "spark",
+                     "--out", str(out)]) == 0
+        matrix = load_matrix(dense_path)
+        windows = reference_windows(
+            matrix, StreamConfig(n_components=3, window=60, seed=7).spec()
+        )
+        oracle = IncrementalPPCA(3, seed=7).partial_fit_stream(
+            (w.rows for w in windows), n_cols=30
+        )
+        model = load_model(out)
+        assert np.array_equal(model.components, oracle.components)
+        assert model.noise_variance == oracle.noise_variance
+
+    def test_synthetic_stream_with_drift(self, tmp_path, capsys):
+        code = main(["stream", "--synthetic", "24,3", "-d", "3",
+                     "--window", "120", "--max-windows", "15",
+                     "--drift-at", "900", "--drift-angle", "60",
+                     "--drift-threshold", "15", "--drift-warmup", "5"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "stop: max_windows" in output
+        assert "drift detected at window" in output
+
+    def test_checkpoint_then_resume(self, dense_path, tmp_path, capsys):
+        ckpt = tmp_path / "ckpt"
+        out_a = tmp_path / "partial.npz"
+        out_b = tmp_path / "final.npz"
+        out_c = tmp_path / "clean.npz"
+        assert main(["stream", str(dense_path), "-d", "2", "--window", "50",
+                     "--max-windows", "3", "--checkpoint", str(ckpt),
+                     "--out", str(out_a)]) == 0
+        assert main(["stream", str(dense_path), "-d", "2", "--window", "50",
+                     "--checkpoint", str(ckpt), "--resume",
+                     "--out", str(out_b)]) == 0
+        output = capsys.readouterr().out
+        assert "resumed" in output
+        assert main(["stream", str(dense_path), "-d", "2", "--window", "50",
+                     "--out", str(out_c)]) == 0
+        resumed, clean = load_model(out_b), load_model(out_c)
+        assert np.array_equal(resumed.components, clean.components)
+        assert resumed.noise_variance == clean.noise_variance
+
+    def test_stream_trace_and_metrics(self, dense_path, tmp_path, capsys):
+        trace = tmp_path / "stream.jsonl"
+        metrics = tmp_path / "stream-metrics.json"
+        code = main(["stream", str(dense_path), "-d", "2", "--window", "75",
+                     "--backend", "mapreduce", "--trace", str(trace),
+                     "--metrics", str(metrics)])
+        assert code == 0
+        assert trace.exists() and metrics.exists()
+        import json
+
+        snapshot = json.loads(metrics.read_text())
+        names = {item["name"] for item in snapshot["counters"]}
+        assert "spca_stream_rows_total" in names
+        assert "spca_stream_windows_total" in names
+        html = tmp_path / "report.html"
+        assert main(["report", str(trace), "--metrics", str(metrics),
+                     "--html", str(html)]) == 0
+        assert "<h2>Streaming</h2>" in html.read_text()
+
+    def test_usage_errors(self, dense_path, tmp_path, capsys):
+        assert main(["stream"]) == 2
+        assert main(["stream", "--synthetic", "24,3", "-d", "2",
+                     "--window", "10"]) == 2  # unbounded without a bound
+        assert main(["stream", str(dense_path), "--synthetic", "8,2",
+                     "--max-windows", "2"]) == 2
+        assert main(["stream", "--synthetic", "nope", "--max-windows",
+                     "2"]) == 2
+        assert main(["stream", str(dense_path), "--resume"]) == 2

@@ -4,8 +4,19 @@ import numpy as np
 import pytest
 import scipy.sparse as sp
 
+from repro.backends import SequentialBackend
+from repro.core import SPCA, SPCAConfig
+from repro.data.generators import lowrank_dense
 from repro.errors import ShapeError
 from repro.extensions import IncrementalPPCA
+from repro.extensions.incremental import (
+    initial_sem_state,
+    sem_batch_statistics,
+    sem_blend,
+    sem_step,
+)
+from repro.linalg.centered import centered_times
+from repro.linalg.stats import column_means
 from repro.metrics import subspace_angle_degrees
 
 
@@ -20,6 +31,13 @@ def exact_basis(data, k):
     centered = data - data.mean(axis=0)
     _, _, vt = np.linalg.svd(centered, full_matrices=False)
     return vt[:k].T
+
+
+def assert_models_bitwise(a, b):
+    assert np.array_equal(a.components, b.components)
+    assert np.array_equal(a.mean, b.mean)
+    assert a.noise_variance == b.noise_variance
+    assert a.n_samples == b.n_samples
 
 
 class TestMiniBatchFit:
@@ -83,3 +101,210 @@ class TestStreamingFit:
             algorithm.partial_fit_stream([], n_cols=5)
         with pytest.raises(ShapeError):
             algorithm.partial_fit_stream([np.ones((4, 3))], n_cols=5)
+
+
+class TestResidualPaths:
+    """The dense and trace residual-variance paths are the same estimator."""
+
+    @staticmethod
+    def _state_and_batch(sparse=False):
+        data = lowrank(300, 24, 3, 0.1, seed=20)
+        if sparse:
+            data = sp.csr_matrix(np.where(np.abs(data) > 1.0, data, 0.0))
+        state = initial_sem_state(3, 24, seed=21, mean=column_means(data))
+        # Advance one step so the running moments are populated.
+        state = sem_step(state, data[:100], step_decay=0.7, update_mean=False)
+        return state, data[100:200]
+
+    @pytest.mark.parametrize("sparse", [False, True])
+    def test_dense_and_trace_batch_ss_agree(self, sparse):
+        state, batch = self._state_and_batch(sparse)
+        dense = sem_blend(
+            state,
+            sem_batch_statistics(batch, state, update_mean=False, residual="dense"),
+            step_decay=0.7,
+        )
+        trace = sem_blend(
+            state,
+            sem_batch_statistics(batch, state, update_mean=False, residual="trace"),
+            step_decay=0.7,
+        )
+        # Same moments either way; the residual estimate agrees to float
+        # tolerance (the two paths sum the same quantity in different orders).
+        assert np.array_equal(dense.components, trace.components)
+        assert trace.noise_variance == pytest.approx(
+            dense.noise_variance, rel=1e-9
+        )
+
+    @pytest.mark.parametrize("sparse", [False, True])
+    def test_direct_centering_matches_identity_product(self, sparse):
+        # Regression for the old dense path, which routed centering through
+        # centered_times(batch, mean, eye(D)): the direct subtraction must
+        # reproduce it bit for bit.
+        state, batch = self._state_and_batch(sparse)
+        stats = sem_batch_statistics(
+            batch, state, update_mean=False, residual="dense"
+        )
+        via_identity = centered_times(batch, state.mean, np.eye(batch.shape[1]))
+        assert np.array_equal(stats.residual, via_identity)
+
+    def test_fit_residual_modes_agree(self):
+        # Within one batch the paths agree to reduction-order noise; over a
+        # whole fit the ulp-level ss differences feed back through later
+        # batches, so the comparison is tight-tolerance, not bitwise.
+        data = lowrank(600, 18, 3, 0.1, seed=22)
+        dense = IncrementalPPCA(3, batch_size=120, seed=23, residual="dense").fit(data)
+        trace = IncrementalPPCA(3, batch_size=120, seed=23, residual="trace").fit(data)
+        assert subspace_angle_degrees(dense.basis, trace.basis) < 1e-4
+        assert trace.noise_variance == pytest.approx(dense.noise_variance, rel=1e-6)
+
+    def test_bad_residual_mode_rejected(self):
+        with pytest.raises(ShapeError):
+            IncrementalPPCA(2, residual="exact").fit(lowrank(50, 8, 2, 0.1, seed=24))
+
+
+class TestUnifiedStep:
+    """fit and partial_fit_stream drive the same shared sEM step."""
+
+    def test_entry_points_produce_identical_models(self):
+        data = lowrank(500, 16, 3, 0.1, seed=30)
+        batch_size = 90
+        fitted = IncrementalPPCA(
+            3, batch_size=batch_size, n_epochs=1, seed=31,
+            shuffle=False, residual="trace",
+        ).fit(data)
+        batches = [data[i : i + batch_size] for i in range(0, 500, batch_size)]
+        streamed = IncrementalPPCA(3, seed=31).partial_fit_stream(
+            batches, n_cols=16, mean=column_means(data)
+        )
+        assert_models_bitwise(fitted, streamed)
+
+    def test_entry_points_match_across_epochs(self):
+        data = lowrank(240, 10, 2, 0.1, seed=32)
+        fitted = IncrementalPPCA(
+            2, batch_size=60, n_epochs=3, seed=33, shuffle=False, residual="trace"
+        ).fit(data)
+        batches = [data[i : i + 60] for i in range(0, 240, 60)] * 3
+        streamed = IncrementalPPCA(2, seed=33).partial_fit_stream(
+            batches, n_cols=10, mean=column_means(data)
+        )
+        assert np.array_equal(fitted.components, streamed.components)
+        assert np.array_equal(fitted.mean, streamed.mean)
+        assert fitted.noise_variance == streamed.noise_variance
+        # fit reports the dataset size; the stream reports rows consumed.
+        assert fitted.n_samples == 240
+        assert streamed.n_samples == 720
+
+    def test_sem_step_composes_statistics_and_blend(self):
+        data = lowrank(200, 12, 2, 0.1, seed=34)
+        state = initial_sem_state(2, 12, seed=35)
+        stepped = sem_step(state, data[:80], step_decay=0.7)
+        stats = sem_batch_statistics(data[:80], state, update_mean=True)
+        blended = sem_blend(state, stats, step_decay=0.7)
+        assert np.array_equal(stepped.components, blended.components)
+        assert stepped.noise_variance == blended.noise_variance
+        assert stepped.rows_seen == blended.rows_seen == 80
+
+    def test_statistics_payload_roundtrip(self):
+        data = lowrank(150, 9, 2, 0.1, seed=36)
+        state = initial_sem_state(2, 9, seed=37)
+        stats = sem_batch_statistics(data, state, update_mean=True)
+        restored = type(stats).from_payload(stats.as_payload())
+        a = sem_blend(state, stats, step_decay=0.7)
+        b = sem_blend(state, restored, step_decay=0.7)
+        assert np.array_equal(a.components, b.components)
+        assert a.noise_variance == b.noise_variance
+
+    def test_dense_statistics_cannot_ship(self):
+        data = lowrank(60, 8, 2, 0.1, seed=38)
+        state = initial_sem_state(2, 8, seed=39)
+        stats = sem_batch_statistics(data, state, update_mean=True, residual="dense")
+        with pytest.raises(ShapeError):
+            stats.as_payload()
+
+
+class TestConvergence:
+    """Subspace-angle convergence against batch PPCA on paper-spec data."""
+
+    def test_tracks_batch_ppca_subspace(self):
+        data = lowrank_dense(1600, 30, 4, noise=0.05, seed=40)
+        config = SPCAConfig(
+            n_components=4, max_iterations=30, tolerance=1e-6, seed=41,
+            compute_error_every_iteration=False,
+        )
+        batch_model, _ = SPCA(config, SequentialBackend(config)).fit(data)
+        stream_model = IncrementalPPCA(
+            4, batch_size=200, n_epochs=10, seed=42
+        ).fit(data)
+        exact = exact_basis(data, 4)
+        batch_angle = subspace_angle_degrees(batch_model.basis, exact)
+        stream_angle = subspace_angle_degrees(stream_model.basis, exact)
+        assert stream_angle < 8.0
+        # The mini-batch estimator lands in the same subspace neighbourhood
+        # as full-batch EM (stochastic, so allow some slack).
+        assert abs(stream_angle - batch_angle) < 8.0
+        assert subspace_angle_degrees(stream_model.basis, batch_model.basis) < 10.0
+
+
+class TestStreamEdgeCases:
+    def test_empty_batches_are_skipped(self):
+        data = lowrank(300, 10, 2, 0.1, seed=50)
+        batches = [data[i : i + 100] for i in range(0, 300, 100)]
+        empty = np.zeros((0, 10))
+        with_empties = [empty, batches[0], empty, batches[1], batches[2], empty]
+        a = IncrementalPPCA(2, seed=51).partial_fit_stream(batches, n_cols=10)
+        b = IncrementalPPCA(2, seed=51).partial_fit_stream(with_empties, n_cols=10)
+        assert_models_bitwise(a, b)
+
+    def test_all_empty_stream_rejected(self):
+        with pytest.raises(ShapeError):
+            IncrementalPPCA(2, seed=52).partial_fit_stream(
+                [np.zeros((0, 6))] * 3, n_cols=6
+            )
+
+    def test_ragged_batch_sizes(self):
+        data = lowrank(330, 12, 2, 0.1, seed=53)
+        cuts = [0, 7, 70, 71, 200, 330]
+        ragged = [data[a:b] for a, b in zip(cuts[:-1], cuts[1:])]
+        model = IncrementalPPCA(2, seed=54).partial_fit_stream(ragged, n_cols=12)
+        assert model.n_samples == 330
+        assert subspace_angle_degrees(model.basis, exact_basis(data, 2)) < 25.0
+
+    def test_sparse_csr_batches(self):
+        matrix = sp.random(900, 30, density=0.15, random_state=55, format="csr")
+        batches = [matrix[i : i + 150] for i in range(0, 900, 150)]
+        model = IncrementalPPCA(3, seed=56).partial_fit_stream(batches, n_cols=30)
+        assert model.components.shape == (30, 3)
+        assert np.isfinite(model.noise_variance)
+        np.testing.assert_allclose(
+            model.mean, np.asarray(matrix.mean(axis=0)).ravel(), atol=1e-8
+        )
+
+    def test_step_decay_boundaries(self):
+        data = lowrank(120, 8, 2, 0.1, seed=57)
+        batches = [data[:60], data[60:]]
+        # kappa = 0.5 violates Robbins-Monro; kappa = 1.0 is the boundary.
+        with pytest.raises(ShapeError):
+            IncrementalPPCA(2, step_decay=0.5, seed=58).partial_fit_stream(
+                batches, n_cols=8
+            )
+        with pytest.raises(ShapeError):
+            IncrementalPPCA(2, step_decay=1.0001, seed=58).partial_fit_stream(
+                batches, n_cols=8
+            )
+        model = IncrementalPPCA(2, step_decay=1.0, seed=58).partial_fit_stream(
+            batches, n_cols=8
+        )
+        assert np.isfinite(model.noise_variance)
+
+    def test_seeded_determinism_pin(self):
+        data = lowrank(400, 14, 3, 0.1, seed=59)
+        batches = [data[i : i + 80] for i in range(0, 400, 80)]
+        a = IncrementalPPCA(3, seed=60).partial_fit_stream(batches, n_cols=14)
+        b = IncrementalPPCA(3, seed=60).partial_fit_stream(batches, n_cols=14)
+        assert_models_bitwise(a, b)
+        fit_a = IncrementalPPCA(3, batch_size=80, seed=60).fit(data)
+        fit_b = IncrementalPPCA(3, batch_size=80, seed=60).fit(data)
+        assert_models_bitwise(fit_a, fit_b)
+        different = IncrementalPPCA(3, seed=61).partial_fit_stream(batches, n_cols=14)
+        assert not np.array_equal(a.components, different.components)

@@ -1,0 +1,262 @@
+"""Chaos suite for the streaming pipeline.
+
+Two contracts, mirroring ``tests/test_chaos_recovery.py``:
+
+1. Any *survivable* fault plan (every event leaves at least one retry in
+   the ``max_task_attempts`` budget) changes nothing but time: the streamed
+   model and the per-job byte accounting are identical to a fault-free run.
+2. A *fatal* plan kills the stream mid-flight with ``JobFailedError`` --
+   and resuming from the last periodic checkpoint, even on the *other*
+   engine, reaches the bit-identical model the uninterrupted run reaches.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.checkpoint import (
+    CheckpointPolicy,
+    DirectoryCheckpointStore,
+    HDFSCheckpointStore,
+)
+from repro.data.generators import lowrank_dense
+from repro.engine.cluster import ClusterSpec
+from repro.engine.mapreduce.hdfs import InMemoryHDFS
+from repro.errors import JobFailedError
+from repro.faults import (
+    ExecutorLoss,
+    FaultPlan,
+    FetchFailure,
+    KillTask,
+    PlannedFaults,
+    Straggler,
+)
+from repro.stream import (
+    STREAM_STATS_JOB,
+    STREAM_WINDOW_JOB,
+    MatrixSource,
+    StreamConfig,
+    StreamingPCA,
+)
+
+CLUSTER = ClusterSpec(num_nodes=2, cores_per_node=2)
+MAX_TASK_ATTEMPTS = 4
+JOB_NAMES = (STREAM_WINDOW_JOB, STREAM_STATS_JOB)
+
+N_ROWS = 160
+DATA = lowrank_dense(N_ROWS, 8, 2, noise=0.1, seed=17)
+CONFIG = StreamConfig(n_components=2, window=25, seed=18, rows_per_task=8)
+# 160 rows / 25-row tumbling windows: 6 complete + a 10-row flushed tail.
+TOTAL_WINDOWS = 7
+
+
+def source():
+    # chunk_rows=30 > window=25 means some pushes complete two windows at
+    # once, exercising the emitted-ahead-of-processed replay-point logic.
+    return MatrixSource(DATA, chunk_rows=30)
+
+
+def run_stream(engine_name, plan=None, checkpoint=None):
+    faults = PlannedFaults(plan) if plan is not None else None
+    pca = StreamingPCA(
+        CONFIG,
+        engine_name,
+        cluster=CLUSTER,
+        faults=faults,
+        max_task_attempts=MAX_TASK_ATTEMPTS,
+    )
+    result = pca.run(source(), checkpoint=checkpoint)
+    return result, pca.engine.metrics
+
+
+def job_signature(metrics):
+    """The deterministic accounting columns of every submitted job."""
+    return [
+        (job.name, job.n_map_tasks, job.map_output_bytes, job.shuffle_bytes,
+         job.hdfs_read_bytes, job.hdfs_write_bytes, job.driver_result_bytes,
+         job.broadcast_bytes, job.intermediate_bytes)
+        for job in metrics.jobs
+    ]
+
+
+_BASELINES = {}
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _clear_baselines():
+    _BASELINES.clear()
+    yield
+    _BASELINES.clear()
+
+
+def baseline(engine_name):
+    if engine_name not in _BASELINES:
+        result, metrics = run_stream(engine_name)
+        _BASELINES[engine_name] = (result, job_signature(metrics))
+    return _BASELINES[engine_name]
+
+
+def survivable_events():
+    job = st.sampled_from(JOB_NAMES)
+    occurrence = st.one_of(st.none(), st.integers(min_value=0, max_value=6))
+    kills = st.builds(
+        KillTask,
+        job=job,
+        task=st.one_of(st.none(), st.integers(min_value=0, max_value=3)),
+        attempts=st.integers(min_value=1, max_value=MAX_TASK_ATTEMPTS - 1),
+        occurrence=occurrence,
+    )
+    fetches = st.builds(
+        FetchFailure,
+        job=job,
+        attempts=st.integers(min_value=1, max_value=MAX_TASK_ATTEMPTS - 1),
+        occurrence=occurrence,
+    )
+    stragglers = st.builds(
+        Straggler,
+        job=job,
+        factor=st.floats(min_value=1.5, max_value=20.0),
+        occurrence=occurrence,
+    )
+    losses = st.builds(
+        ExecutorLoss,
+        job=job,
+        executor=st.integers(min_value=0, max_value=CLUSTER.num_nodes - 1),
+        occurrence=occurrence,
+    )
+    return st.one_of(kills, fetches, stragglers, losses)
+
+
+def survivable_plans():
+    return st.lists(survivable_events(), min_size=1, max_size=4).map(
+        lambda events: FaultPlan(events=tuple(events))
+    )
+
+
+@pytest.mark.parametrize("engine_name", ["mapreduce", "spark"])
+@settings(
+    max_examples=6, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow,
+                           HealthCheck.function_scoped_fixture],
+)
+@given(plan=survivable_plans())
+def test_property_survivable_plans_change_nothing_but_time(engine_name, plan):
+    assert plan.check_recoverable(MAX_TASK_ATTEMPTS)
+    clean, clean_signature = baseline(engine_name)
+    chaos, chaos_metrics = run_stream(engine_name, plan)
+    assert np.array_equal(chaos.model.components, clean.model.components)
+    assert np.array_equal(chaos.model.mean, clean.model.mean)
+    assert chaos.model.noise_variance == clean.model.noise_variance
+    assert chaos.windows == clean.windows
+    assert job_signature(chaos_metrics) == clean_signature
+
+
+@pytest.mark.parametrize("engine_name", ["mapreduce", "spark"])
+def test_fault_free_plan_equals_no_injector(engine_name):
+    clean, clean_signature = baseline(engine_name)
+    result, metrics = run_stream(engine_name, FaultPlan())
+    assert np.array_equal(result.model.components, clean.model.components)
+    assert job_signature(metrics) == clean_signature
+    assert all(job.faults == {} for job in metrics.jobs)
+    assert all(job.task_retries == 0 for job in metrics.jobs)
+
+
+def fatal_plan(engine_name):
+    """Kill every retry of the 5th window's job (window index 4)."""
+    job = STREAM_WINDOW_JOB if engine_name == "mapreduce" else STREAM_STATS_JOB
+    return FaultPlan(
+        events=(
+            KillTask(job=job, attempts=MAX_TASK_ATTEMPTS, occurrence=4),
+        )
+    )
+
+
+@pytest.mark.parametrize(
+    "engine_name,store_kind",
+    [("mapreduce", "hdfs"), ("spark", "directory")],
+)
+def test_fatal_kill_then_resume_is_bit_identical(
+    engine_name, store_kind, tmp_path
+):
+    plan = fatal_plan(engine_name)
+    assert not plan.check_recoverable(MAX_TASK_ATTEMPTS)
+    if store_kind == "hdfs":
+        store = HDFSCheckpointStore(InMemoryHDFS())
+    else:
+        store = DirectoryCheckpointStore(tmp_path / "ckpt")
+    policy = CheckpointPolicy(store, every=2)
+    with pytest.raises(JobFailedError):
+        run_stream(engine_name, plan, checkpoint=policy)
+    # The crash left the periodic snapshots behind (after windows 2 and 4).
+    assert store.iterations() == [2, 4]
+    resumed = StreamingPCA(
+        CONFIG, engine_name, cluster=CLUSTER, max_task_attempts=MAX_TASK_ATTEMPTS
+    ).resume(source(), policy)
+    clean, _ = baseline(engine_name)
+    # Resume replays from window index 4 and finishes the stream.
+    assert resumed.windows == TOTAL_WINDOWS - 4
+    assert resumed.next_window_index == TOTAL_WINDOWS
+    assert resumed.rows_consumed == clean.rows_consumed == N_ROWS
+    assert np.array_equal(resumed.model.components, clean.model.components)
+    assert np.array_equal(resumed.model.mean, clean.model.mean)
+    assert resumed.model.noise_variance == clean.model.noise_variance
+    assert resumed.model.n_samples == clean.model.n_samples
+
+
+def test_resume_on_the_other_engine_is_bit_identical(tmp_path):
+    # The checkpoint is engine-agnostic driver state: crash on MapReduce,
+    # resume on Spark, same bits.
+    store = DirectoryCheckpointStore(tmp_path / "ckpt")
+    policy = CheckpointPolicy(store, every=3)
+    with pytest.raises(JobFailedError):
+        run_stream("mapreduce", fatal_plan("mapreduce"), checkpoint=policy)
+    assert store.iterations() == [3]
+    resumed = StreamingPCA(CONFIG, "spark", cluster=CLUSTER).resume(
+        source(), policy
+    )
+    clean, _ = baseline("spark")
+    assert resumed.windows == TOTAL_WINDOWS - 3
+    assert np.array_equal(resumed.model.components, clean.model.components)
+    assert resumed.model.noise_variance == clean.model.noise_variance
+
+
+@settings(
+    max_examples=6, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow,
+                           HealthCheck.function_scoped_fixture],
+)
+@given(
+    every=st.integers(min_value=1, max_value=3),
+    kill_occurrence=st.integers(min_value=1, max_value=5),
+)
+def test_property_any_crash_point_resumes_bit_identically(
+    every, kill_occurrence, tmp_path_factory
+):
+    # Crash the stream at any window, checkpointing at any cadence that
+    # leaves at least one snapshot behind; the resumed model must always
+    # equal the uninterrupted one bitwise.
+    if kill_occurrence < every:
+        return  # no snapshot exists before the crash; nothing to resume
+    store = DirectoryCheckpointStore(
+        tmp_path_factory.mktemp("stream-chaos") / "ckpt"
+    )
+    policy = CheckpointPolicy(store, every=every)
+    plan = FaultPlan(
+        events=(
+            KillTask(
+                job=STREAM_WINDOW_JOB,
+                attempts=MAX_TASK_ATTEMPTS,
+                occurrence=kill_occurrence,
+            ),
+        )
+    )
+    with pytest.raises(JobFailedError):
+        run_stream("mapreduce", plan, checkpoint=policy)
+    resumed = StreamingPCA(CONFIG, "mapreduce", cluster=CLUSTER).resume(
+        source(), policy
+    )
+    clean, _ = baseline("mapreduce")
+    assert np.array_equal(resumed.model.components, clean.model.components)
+    assert np.array_equal(resumed.model.mean, clean.model.mean)
+    assert resumed.model.noise_variance == clean.model.noise_variance

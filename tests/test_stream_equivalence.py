@@ -1,0 +1,176 @@
+"""Property: the streaming pipeline equals the sequential reference, bitwise.
+
+The acceptance contract of ``repro.stream``: for any arrival chunking of
+the same row order, any window shape, either distributed engine, and any
+executor, the streamed model is *bit-identical* to
+``IncrementalPPCA.partial_fit_stream`` fed the slicing-oracle windows.
+Nothing in the pipeline -- windower re-slicing, engine-side statistics
+jobs, executor scheduling -- is allowed to re-associate a single float.
+"""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.data.generators import lowrank_dense
+from repro.engine.cluster import ClusterSpec
+from repro.engine.exec import ProcessPoolTaskExecutor, ThreadPoolTaskExecutor
+from repro.extensions.incremental import IncrementalPPCA
+from repro.stream import (
+    IterableSource,
+    MatrixSource,
+    StreamConfig,
+    StreamingPCA,
+    reference_windows,
+)
+
+CLUSTER = ClusterSpec(num_nodes=2, cores_per_node=2)
+N_COLS = 10
+DATA = lowrank_dense(180, N_COLS, 3, noise=0.1, seed=7)
+SEED = 9
+
+# Pools are expensive to spin up, so the whole module shares one of each.
+THREADS = ThreadPoolTaskExecutor(workers=2)
+PROCESSES = ProcessPoolTaskExecutor(workers=2)
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _shared_pools():
+    yield
+    THREADS.shutdown()
+    PROCESSES.shutdown()
+    assert PROCESSES.registry.active_segments() == []
+
+
+def stream_config(window, step=None, rows_per_task=16):
+    return StreamConfig(
+        n_components=3,
+        window=window,
+        step=step,
+        seed=SEED,
+        rows_per_task=rows_per_task,
+    )
+
+
+def reference_model(data, window, step=None):
+    """The sequential oracle: slicing-oracle windows through the shared
+    sEM step, no windower / engine / executor in the path."""
+    windows = reference_windows(data, stream_config(window, step).spec())
+    return IncrementalPPCA(3, seed=SEED).partial_fit_stream(
+        (w.rows for w in windows), n_cols=data.shape[1]
+    )
+
+
+def assert_models_bitwise(model, oracle, context=""):
+    assert np.array_equal(model.components, oracle.components), context
+    assert np.array_equal(model.mean, oracle.mean), context
+    assert model.noise_variance == oracle.noise_variance, context
+    assert model.n_samples == oracle.n_samples, context
+
+
+def cut_chunks(sizes, total_rows):
+    out, left = [], total_rows
+    for size in sizes:
+        take = min(size, left)
+        if take:
+            out.append(take)
+        left -= take
+    if left:
+        out.append(left)
+    return out
+
+
+@st.composite
+def stream_cases(draw):
+    sizes = draw(
+        st.lists(st.integers(min_value=1, max_value=90), min_size=1, max_size=8)
+    )
+    window = draw(st.integers(min_value=20, max_value=60))
+    sliding = draw(st.booleans())
+    step = max(1, window // 2) if sliding else None
+    return cut_chunks(sizes, DATA.shape[0]), window, step
+
+
+@pytest.mark.parametrize("engine", ["mapreduce", "spark"])
+@settings(
+    max_examples=8, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow,
+                           HealthCheck.function_scoped_fixture],
+)
+@given(case=stream_cases())
+def test_property_any_chunking_any_window_matches_reference(engine, case):
+    chunk_sizes, window, step = case
+    pieces, start = [], 0
+    for size in chunk_sizes:
+        pieces.append(DATA[start : start + size])
+        start += size
+    result = StreamingPCA(stream_config(window, step), engine, cluster=CLUSTER).run(
+        IterableSource(pieces, n_cols=N_COLS)
+    )
+    assert_models_bitwise(
+        result.model,
+        reference_model(DATA, window, step),
+        f"{engine} window={window} step={step} chunks={chunk_sizes}",
+    )
+
+
+@pytest.mark.parametrize("engine", ["sequential", "mapreduce", "spark"])
+@pytest.mark.parametrize("executor_name", ["serial", "threads", "processes"])
+def test_engine_executor_matrix_is_bitwise(engine, executor_name):
+    executor = {"serial": None, "threads": THREADS, "processes": PROCESSES}[
+        executor_name
+    ]
+    result = StreamingPCA(
+        stream_config(window=45), engine, executor=executor, cluster=CLUSTER
+    ).run(MatrixSource(DATA, chunk_rows=37))
+    assert_models_bitwise(
+        result.model,
+        reference_model(DATA, window=45),
+        f"{engine}/{executor_name}",
+    )
+
+
+@pytest.mark.parametrize("engine", ["mapreduce", "spark"])
+def test_sliding_windows_match_reference_across_engines(engine):
+    result = StreamingPCA(
+        stream_config(window=40, step=15), engine, cluster=CLUSTER
+    ).run(MatrixSource(DATA, chunk_rows=52))
+    assert_models_bitwise(
+        result.model, reference_model(DATA, window=40, step=15), engine
+    )
+
+
+@pytest.mark.parametrize("engine", ["sequential", "mapreduce"])
+def test_sparse_csr_stream_matches_reference(engine):
+    rng = np.random.default_rng(13)
+    dense = rng.normal(size=(150, 12)) * (rng.random(size=(150, 12)) < 0.3)
+    matrix = sp.csr_matrix(dense)
+    windows = reference_windows(matrix, StreamConfig(
+        n_components=2, window=40, seed=SEED
+    ).spec())
+    oracle = IncrementalPPCA(2, seed=SEED).partial_fit_stream(
+        (w.rows for w in windows), n_cols=12
+    )
+    result = StreamingPCA(
+        StreamConfig(n_components=2, window=40, seed=SEED, rows_per_task=16),
+        engine,
+        cluster=CLUSTER,
+    ).run(MatrixSource(matrix, chunk_rows=33))
+    assert_models_bitwise(result.model, oracle, engine)
+
+
+def test_engines_account_the_shipped_rows():
+    # The distributed run is not free: every window's rows flow through the
+    # engine's byte accounting, one job per window (two narrow stages on
+    # Spark), dispatched like any batch job.
+    result_mr = StreamingPCA(
+        stream_config(window=45), "mapreduce", cluster=CLUSTER
+    )
+    run = result_mr.run(MatrixSource(DATA, chunk_rows=45))
+    metrics = result_mr.engine.metrics
+    assert run.windows == 4
+    assert [job.name for job in metrics.jobs] == ["streamWindowJob"] * 4
+    assert all(job.map_output_bytes > 0 for job in metrics.jobs)
+    assert run.sim_seconds > 0

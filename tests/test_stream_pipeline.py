@@ -1,0 +1,418 @@
+"""Unit suite for the streaming pipeline's building blocks.
+
+Covers the windower (tumbling/sliding emission, arrival-chunking
+invariance as a hypothesis property against the slicing oracle), the row
+sources (epoch replay, mid-stream resume, per-row determinism of the
+synthetic stream, drift ground truth), the stream checkpoint format
+(bit-exact roundtrips through both stores, kind/config refusal), the
+stream configuration validation, and a sequential runner smoke that pins
+the telemetry surface (tracer spans/events, metrics counters and gauges).
+"""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.checkpoint import (
+    CheckpointPolicy,
+    DirectoryCheckpointStore,
+    HDFSCheckpointStore,
+)
+from repro.data.generators import lowrank_dense
+from repro.engine.mapreduce.hdfs import InMemoryHDFS
+from repro.errors import CheckpointError, ShapeError
+from repro.extensions.incremental import initial_sem_state, sem_step
+from repro.obs import tracer as obs_tracer
+from repro.obs.metrics import collecting
+from repro.stream import (
+    STREAM_CHECKPOINT_KIND,
+    DriftSpec,
+    IterableSource,
+    MatrixSource,
+    StreamConfig,
+    StreamingPCA,
+    SyntheticSource,
+    Windower,
+    WindowSpec,
+    as_source,
+    pack_stream_checkpoint,
+    reference_windows,
+    unpack_stream_checkpoint,
+)
+from repro.stream.window import window_values_equal
+
+
+def chunkings(total_rows):
+    """Random cut points of ``total_rows`` rows into arrival chunks."""
+    return st.lists(
+        st.integers(min_value=1, max_value=total_rows), min_size=1, max_size=12
+    ).map(lambda sizes: _clip_sizes(sizes, total_rows))
+
+
+def _clip_sizes(sizes, total_rows):
+    out, left = [], total_rows
+    for size in sizes:
+        take = min(size, left)
+        if take:
+            out.append(take)
+        left -= take
+    if left:
+        out.append(left)
+    return out
+
+
+class TestWindowSpec:
+    def test_tumbling_defaults(self):
+        spec = WindowSpec(10)
+        assert spec.stride == 10
+        assert spec.tumbling
+
+    def test_sliding(self):
+        spec = WindowSpec(10, 4)
+        assert spec.stride == 4
+        assert not spec.tumbling
+
+    @pytest.mark.parametrize("size,step", [(0, None), (5, 0), (5, 6), (-1, None)])
+    def test_rejects_bad_shapes(self, size, step):
+        with pytest.raises(ShapeError):
+            WindowSpec(size, step)
+
+
+class TestWindower:
+    def test_tumbling_emission_and_flush(self):
+        data = np.arange(23 * 2, dtype=np.float64).reshape(23, 2)
+        windower = Windower(WindowSpec(5), 2)
+        emitted = []
+        for start in range(0, 23, 4):
+            emitted.extend(windower.push(data[start : start + 4]))
+        assert [w.index for w in emitted] == [0, 1, 2, 3]
+        assert all(w.complete and w.n_rows == 5 for w in emitted)
+        assert windower.buffered_rows == 3
+        tail = windower.flush()
+        assert tail is not None and not tail.complete and tail.n_rows == 3
+        assert windower.consumed_rows == 23
+
+    def test_sliding_overlap_and_dropped_tail(self):
+        data = np.arange(20 * 2, dtype=np.float64).reshape(20, 2)
+        windower = Windower(WindowSpec(6, 2), 2)
+        emitted = windower.push(data)
+        # Windows start at 0, 2, 4, ..., 14 (the last full one).
+        assert [w.start_row for w in emitted] == list(range(0, 15, 2))
+        assert all(w.n_rows == 6 for w in emitted)
+        assert windower.flush() is None  # sliding tails are dropped
+        assert windower.buffered_rows == 0
+
+    def test_rejects_wrong_width_chunk(self):
+        windower = Windower(WindowSpec(4), 3)
+        with pytest.raises(ShapeError):
+            windower.push(np.zeros((2, 4)))
+
+    def test_resume_offsets_absolute_position(self):
+        data = np.arange(30 * 2, dtype=np.float64).reshape(30, 2)
+        windower = Windower(WindowSpec(5), 2, start_row=10, start_index=2)
+        emitted = windower.push(data[10:])
+        assert [w.index for w in emitted] == [2, 3, 4, 5]
+        assert [w.start_row for w in emitted] == [10, 15, 20, 25]
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        sizes=chunkings(37),
+        window=st.integers(min_value=1, max_value=12),
+        slide=st.booleans(),
+        data=st.randoms(use_true_random=False),
+    )
+    def test_property_chunking_never_changes_the_windows(
+        self, sizes, window, slide, data
+    ):
+        # However arrivals are cut, the emitted window sequence is the
+        # slicing oracle's, value-bitwise.
+        rng = np.random.default_rng(data.randint(0, 2**31))
+        matrix = rng.normal(size=(37, 3))
+        step = max(1, window // 2) if slide else None
+        spec = WindowSpec(window, step)
+        expected = reference_windows(matrix, spec)
+        windower = Windower(spec, 3)
+        emitted = []
+        start = 0
+        for size in sizes:
+            emitted.extend(windower.push(matrix[start : start + size]))
+            start += size
+        tail = windower.flush()
+        if tail is not None:
+            emitted.append(tail)
+        assert [(w.index, w.start_row, w.complete) for w in emitted] == [
+            (w.index, w.start_row, w.complete) for w in expected
+        ]
+        for got, want in zip(emitted, expected):
+            assert window_values_equal(got.rows, want.rows)
+
+
+class TestSources:
+    def test_matrix_source_epochs_wrap(self):
+        data = np.arange(10 * 2, dtype=np.float64).reshape(10, 2)
+        source = MatrixSource(data, chunk_rows=4, epochs=2)
+        rows = np.concatenate(list(source.chunks()))
+        assert rows.shape == (20, 2)
+        assert np.array_equal(rows, np.concatenate([data, data]))
+
+    def test_matrix_source_resume_is_the_suffix(self):
+        data = np.arange(10 * 2, dtype=np.float64).reshape(10, 2)
+        source = MatrixSource(data, chunk_rows=3, epochs=3)
+        full = np.concatenate(list(source.chunks()))
+        resumed = np.concatenate(list(source.chunks(start_row=13)))
+        assert np.array_equal(resumed, full[13:])
+
+    def test_iterable_source_skips_empty_and_resumes(self):
+        data = np.arange(12 * 2, dtype=np.float64).reshape(12, 2)
+        source = IterableSource([data[:5], data[5:5], data[5:]])
+        assert np.array_equal(np.concatenate(list(source.chunks())), data)
+        assert np.array_equal(
+            np.concatenate(list(source.chunks(start_row=7))), data[7:]
+        )
+
+    def test_iterable_source_validates_columns(self):
+        with pytest.raises(ShapeError):
+            IterableSource([np.zeros((2, 3)), np.zeros((2, 4))])
+        with pytest.raises(ShapeError):
+            IterableSource([])
+
+    def test_synthetic_rows_depend_only_on_absolute_index(self):
+        source = SyntheticSource(8, 2, seed=3, block_rows=16, total_rows=100)
+        whole = np.concatenate(list(source.chunks()))
+        assert whole.shape == (100, 8)
+        # Resume from arbitrary offsets reproduces the exact suffix.
+        for start in (0, 1, 15, 16, 17, 99):
+            suffix = np.concatenate(list(source.chunks(start_row=start)))
+            assert np.array_equal(suffix, whole[start:])
+
+    def test_synthetic_drift_changes_only_the_post_rows(self):
+        kwargs = dict(n_cols=8, rank=2, seed=3, block_rows=16, total_rows=64)
+        plain = np.concatenate(list(SyntheticSource(**kwargs).chunks()))
+        drifted_source = SyntheticSource(
+            **kwargs, drift=DriftSpec(at_row=40, angle_degrees=60.0)
+        )
+        drifted = np.concatenate(list(drifted_source.chunks()))
+        assert np.array_equal(drifted[:40], plain[:40])
+        assert not np.array_equal(drifted[40:], plain[40:])
+        # Ground truth flips exactly at the change point.
+        assert np.array_equal(drifted_source.basis(39), drifted_source.basis(0))
+        assert not np.array_equal(drifted_source.basis(40), drifted_source.basis(0))
+
+    def test_as_source_coercions(self):
+        dense = np.zeros((4, 3))
+        assert isinstance(as_source(dense), MatrixSource)
+        assert isinstance(as_source(sp.csr_matrix(dense)), MatrixSource)
+        assert isinstance(as_source([dense, dense]), IterableSource)
+        source = MatrixSource(dense)
+        assert as_source(source) is source
+
+    def test_validation(self):
+        with pytest.raises(ShapeError):
+            SyntheticSource(4, 5)
+        with pytest.raises(ShapeError):
+            SyntheticSource(4, 2, block_rows=0)
+        with pytest.raises(ShapeError):
+            DriftSpec(at_row=-1)
+        with pytest.raises(ShapeError):
+            DriftSpec(at_row=0, angle_degrees=120.0)
+
+
+def _checkpoint_fixture():
+    data = lowrank_dense(80, 6, 2, seed=11)
+    state = initial_sem_state(2, 6, seed=12)
+    state = sem_step(state, data[:40], step_decay=0.7)
+    state = sem_step(state, data[40:], step_decay=0.7)
+    config = StreamConfig(n_components=2, window=40, seed=12).as_dict()
+    detector_state = {"history": [state.components.tolist()], "observed": 2,
+                      "consecutive": 0}
+    checkpoint = pack_stream_checkpoint(
+        window_index=1,
+        rows_consumed=80,
+        state=state,
+        detector_state=detector_state,
+        config=config,
+    )
+    return state, config, detector_state, checkpoint
+
+
+class TestStreamCheckpoint:
+    def test_pack_unpack_is_bit_exact(self):
+        state, config, detector_state, checkpoint = _checkpoint_fixture()
+        snapshot = unpack_stream_checkpoint(checkpoint, config)
+        assert snapshot.next_window_index == 2
+        assert snapshot.rows_consumed == 80
+        assert snapshot.detector_state == detector_state
+        restored = snapshot.state
+        assert np.array_equal(restored.components, state.components)
+        assert np.array_equal(restored.mean, state.mean)
+        assert np.array_equal(restored.moment_yx, state.moment_yx)
+        assert np.array_equal(restored.moment_xx, state.moment_xx)
+        assert restored.noise_variance == state.noise_variance
+        assert restored.step_index == state.step_index
+        assert restored.rows_seen == state.rows_seen
+
+    @pytest.mark.parametrize("store_kind", ["hdfs", "directory"])
+    def test_roundtrip_through_both_stores(self, store_kind, tmp_path):
+        state, config, _, checkpoint = _checkpoint_fixture()
+        if store_kind == "hdfs":
+            store = HDFSCheckpointStore(InMemoryHDFS())
+        else:
+            store = DirectoryCheckpointStore(tmp_path / "ckpt")
+        store.save(checkpoint)
+        loaded = store.load_latest()
+        assert loaded is not None
+        snapshot = unpack_stream_checkpoint(loaded, config)
+        assert np.array_equal(snapshot.state.components, state.components)
+        assert np.array_equal(snapshot.state.moment_xx, state.moment_xx)
+        assert snapshot.state.noise_variance == state.noise_variance
+        assert snapshot.rows_consumed == 80
+
+    def test_refuses_non_stream_checkpoint(self):
+        _, config, _, checkpoint = _checkpoint_fixture()
+        from dataclasses import replace
+
+        batch_like = replace(checkpoint, config={"n_components": 2})
+        with pytest.raises(CheckpointError, match="not written by a streaming"):
+            unpack_stream_checkpoint(batch_like, config)
+
+    def test_refuses_different_stream_config(self):
+        _, config, _, checkpoint = _checkpoint_fixture()
+        other = dict(config)
+        other["window"] = 99
+        other["seed"] = 1
+        with pytest.raises(CheckpointError) as excinfo:
+            unpack_stream_checkpoint(checkpoint, other)
+        assert "seed" in str(excinfo.value)
+        assert "window" in str(excinfo.value)
+
+    def test_kind_marker_constant(self):
+        *_, checkpoint = _checkpoint_fixture()
+        assert checkpoint.config["kind"] == STREAM_CHECKPOINT_KIND
+        assert checkpoint.rng_state["kind"] == STREAM_CHECKPOINT_KIND
+
+
+class TestStreamConfig:
+    def test_defaults_round_trip(self):
+        config = StreamConfig(n_components=3, window=50)
+        assert config.spec() == WindowSpec(50, None)
+        assert config.detector() is None
+        assert config.as_dict()["window"] == 50
+
+    def test_detector_built_from_fields(self):
+        config = StreamConfig(
+            n_components=2, window=10, drift_threshold_degrees=20.0,
+            drift_lag=2, drift_warmup=5, drift_patience=3,
+        )
+        detector = config.detector()
+        assert detector is not None
+        assert detector.threshold_degrees == 20.0
+        assert detector.lag == 2
+        assert detector.warmup == 5
+        assert detector.patience == 3
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(n_components=0, window=10),
+            dict(n_components=2, window=0),
+            dict(n_components=2, window=10, step=11),
+            dict(n_components=2, window=10, step_decay=0.5),
+            dict(n_components=2, window=10, step_decay=1.5),
+            dict(n_components=2, window=10, rows_per_task=0),
+            dict(n_components=2, window=10, history_limit=-1),
+            dict(n_components=2, window=10, drift_threshold_degrees=0.0),
+            dict(n_components=2, window=10, drift_threshold_degrees=10.0,
+                 drift_lag=0),
+            dict(n_components=2, window=10, drift_threshold_degrees=10.0,
+                 drift_warmup=1, drift_lag=3),
+        ],
+    )
+    def test_rejects_bad_values(self, kwargs):
+        with pytest.raises(ShapeError):
+            StreamConfig(**kwargs)
+
+
+class TestRunnerSmoke:
+    def test_sequential_run_reports_and_instruments(self):
+        data = lowrank_dense(130, 8, 2, seed=21)
+        config = StreamConfig(n_components=2, window=40, seed=22)
+        with collecting() as registry, obs_tracer.tracing() as tracer:
+            result = StreamingPCA(config).run(MatrixSource(data, chunk_rows=17))
+        # 3 complete windows + the flushed 10-row tail.
+        assert result.windows == 4
+        assert result.rows == 130
+        assert result.stop_reason == "exhausted"
+        assert result.rows_consumed == 130
+        assert result.next_window_index == 4
+        assert [r.index for r in result.records] == [0, 1, 2, 3]
+        assert result.records[-1].rows == 10
+        assert result.model.n_samples == 130
+        assert result.state.rows_seen == 130
+        # Tracer: a run root, one iteration span and one stream_window
+        # event per window.
+        spans = [(s.kind, s.name) for s in tracer.spans]
+        assert spans == [
+            ("run", "stream[engine=sequential,d=2,w=40]")
+        ] + [("iteration", f"window-{i}") for i in range(4)]
+        run = tracer.spans[0]
+        assert run.attrs["stop_reason"] == "exhausted"
+        assert all(
+            s.parent_id == run.span_id
+            for s in tracer.spans
+            if s.kind == "iteration"
+        )
+        window_events = [e for e in tracer.events if e.type == "stream_window"]
+        assert [e.attrs["index"] for e in window_events] == [0, 1, 2, 3]
+        assert window_events[-1].attrs["complete"] is False
+        # Metrics: rows/window totals and the backpressure gauges.
+        labels = {"engine": "sequential"}
+        assert registry.counter("spca_stream_rows_total", **labels).value == 130
+        assert registry.counter("spca_stream_windows_total", **labels).value == 4
+        assert registry.gauge("spca_stream_queue_rows", **labels).value == 0
+        assert registry.gauge("spca_stream_window_lag", **labels).value == 0
+        assert (
+            registry.histogram("spca_stream_window_wall_seconds", **labels).count
+            == 4
+        )
+
+    def test_max_windows_and_max_rows_bounds(self):
+        data = lowrank_dense(200, 6, 2, seed=23)
+        config = StreamConfig(n_components=2, window=25, seed=24)
+        bounded = StreamingPCA(config).run(
+            MatrixSource(data, chunk_rows=50), max_windows=3
+        )
+        assert bounded.windows == 3
+        assert bounded.stop_reason == "max_windows"
+        assert bounded.rows_consumed == 75
+        by_rows = StreamingPCA(config).run(
+            MatrixSource(data, chunk_rows=50), max_rows=120
+        )
+        assert by_rows.stop_reason == "max_rows"
+        assert by_rows.rows >= 120
+
+    def test_empty_stream_is_rejected(self):
+        config = StreamConfig(n_components=2, window=10, seed=0)
+        source = SyntheticSource(6, 2, total_rows=4, seed=0)
+        # 4 rows never complete a 10-row window, but the tumbling flush
+        # still fits them; a truly empty source must raise.
+        result = StreamingPCA(config).run(source)
+        assert result.rows == 4
+        empty = IterableSource([np.zeros((0, 6))], n_cols=6)
+        with pytest.raises(ShapeError, match="no rows"):
+            StreamingPCA(config).run(empty)
+
+    def test_history_limit_caps_checkpoint_history(self, tmp_path):
+        data = lowrank_dense(120, 6, 2, seed=25)
+        config = StreamConfig(
+            n_components=2, window=10, seed=26, history_limit=3
+        )
+        store = DirectoryCheckpointStore(tmp_path / "ckpt")
+        StreamingPCA(config).run(
+            MatrixSource(data, chunk_rows=30),
+            checkpoint=CheckpointPolicy(store, every=4),
+        )
+        loaded = store.load_latest()
+        assert loaded is not None
+        assert len(loaded.history) == 3
