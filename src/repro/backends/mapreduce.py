@@ -2,13 +2,15 @@
 
 from __future__ import annotations
 
+import itertools
+
 import numpy as np
 import scipy.sparse as sp
 
 from repro.backends.base import Backend
 from repro.core.config import SPCAConfig
 from repro.engine.mapreduce.api import MapReduceJob
-from repro.engine.mapreduce.runtime import MapReduceRuntime
+from repro.engine.mapreduce.runtime import MapReduceRuntime, ResidentDataset
 from repro.jobs import mapreduce_jobs as mr
 from repro.linalg.blocks import Matrix, partition_rows
 
@@ -32,7 +34,14 @@ class MapReduceBackend(Backend):
             larger values model the paper's real record granularity -- an
             HDFS split holds many row records -- and are what the batched
             ``map_batch`` pipeline is built to chew through.
+        worker_resident: pin each input split in the executor's resident
+            store at ``load`` time, so every job of every EM iteration ships
+            a tiny ref to workers instead of the split itself (see
+            :mod:`repro.engine.exec.resident`).  A no-op on the serial
+            executor, which has no driver-worker pipe to save.
     """
+
+    _pin_sequence = itertools.count(1)
 
     def __init__(
         self,
@@ -40,6 +49,7 @@ class MapReduceBackend(Backend):
         runtime: MapReduceRuntime | None = None,
         blocks_per_core: int = 1,
         records_per_split: int = 1,
+        worker_resident: bool = False,
     ):
         super().__init__(config)
         if records_per_split < 1:
@@ -51,6 +61,8 @@ class MapReduceBackend(Backend):
         self.runtime = runtime or MapReduceRuntime()
         self.blocks_per_core = blocks_per_core
         self.records_per_split = records_per_split
+        self.worker_resident = worker_resident
+        self._pinned_keys: list[str] = []
         self._iteration = 0
         self._materialized_iteration = -1
 
@@ -61,19 +73,47 @@ class MapReduceBackend(Backend):
         blocks = partition_rows(data, num_splits * self.records_per_split)
         records = [(block.start, block.data) for block in blocks]
         if self.records_per_split == 1:
-            return [[record] for record in records]
-        groups = np.array_split(
-            np.arange(len(records)), min(num_splits, len(records))
-        )
-        return [
-            [records[i] for i in group] for group in groups if len(group) > 0
-        ]
+            splits = [[record] for record in records]
+        else:
+            groups = np.array_split(
+                np.arange(len(records)), min(num_splits, len(records))
+            )
+            splits = [
+                [records[i] for i in group] for group in groups if len(group) > 0
+            ]
+        return self._pin_splits(splits)
+
+    def _pin_splits(self, splits: list[list]) -> "list[list] | ResidentDataset":
+        """Pin the loaded splits worker-resident when configured to.
+
+        The serial executor resolves payloads in the driver itself, so there
+        is nothing to save and the plain splits are returned unchanged.
+        """
+        executor = self.runtime.executor
+        if not self.worker_resident or executor.serial:
+            return splits
+        self._unpin_resident()
+        prefix = f"mr-input-{next(self._pin_sequence)}"
+        refs = []
+        for index, split in enumerate(splits):
+            key = f"{prefix}/{index}"
+            refs.append(executor.pin_payload(key, split))
+            self._pinned_keys.append(key)
+        return ResidentDataset(splits, refs)
+
+    def _unpin_resident(self) -> None:
+        """Release this backend's pins (re-load, tests)."""
+        executor = self.runtime.executor
+        for key in self._pinned_keys:
+            executor.unpin_payload(key)
+        self._pinned_keys = []
 
     def column_means(self, dataset) -> np.ndarray:
         job = MapReduceJob(
             name="meanJob",
             mapper=mr.MeanMapper(),
             reducer=mr.MatrixSumReducer(),
+            config={"kernel_backend": self.config.kernel_backend},
         )
         output = dict(self.runtime.run(job, dataset))
         return output[mr.KEY_SUMS] / output[mr.KEY_COUNT]
@@ -83,7 +123,11 @@ class MapReduceBackend(Backend):
             name="FnormJob",
             mapper=mr.FnormMapper(),
             reducer=mr.MatrixSumReducer(),
-            config={"mean": mean, "efficient": self.config.use_efficient_frobenius},
+            config={
+                "mean": mean,
+                "efficient": self.config.use_efficient_frobenius,
+                "kernel_backend": self.config.kernel_backend,
+            },
         )
         output = dict(self.runtime.run(job, dataset))
         return float(output[mr.KEY_FNORM])
@@ -98,6 +142,7 @@ class MapReduceBackend(Backend):
             "projector": projector,
             "latent_mean": latent_mean,
             "mean_propagation": self.config.use_mean_propagation,
+            "kernel_backend": self.config.kernel_backend,
         }
         job = MapReduceJob(
             name="YtXJob",
@@ -134,6 +179,7 @@ class MapReduceBackend(Backend):
                 "latent_mean": latent_mean,
                 "components": components,
                 "mean_propagation": self.config.use_mean_propagation,
+                "kernel_backend": self.config.kernel_backend,
             },
         )
         output = dict(self.runtime.run(job, job_input))
@@ -152,6 +198,7 @@ class MapReduceBackend(Backend):
                 "sample_fraction": sample_fraction,
                 "seed": int(rng.integers(2**31)),
                 "mean_propagation": self.config.use_mean_propagation,
+                "kernel_backend": self.config.kernel_backend,
             },
         )
         output = dict(self.runtime.run(job, dataset))
@@ -181,6 +228,7 @@ class MapReduceBackend(Backend):
                     "projector": projector,
                     "latent_mean": latent_mean,
                     "mean_propagation": self.config.use_mean_propagation,
+                    "kernel_backend": self.config.kernel_backend,
                 },
             )
             self.runtime.run(job, dataset)

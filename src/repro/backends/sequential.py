@@ -6,15 +6,7 @@ import numpy as np
 
 from repro.backends.base import Backend
 from repro.core.config import SPCAConfig
-from repro.jobs.kernels import (
-    block_error_parts,
-    error_from_colsums,
-    block_frobenius,
-    block_latent,
-    block_ss3,
-    block_sums,
-    block_ytx_xtx,
-)
+from repro.jobs.kernels import error_from_colsums
 from repro.linalg.blocks import Matrix, RowBlock, partition_rows
 from repro.linalg.stats import sample_rows
 
@@ -41,14 +33,17 @@ class SequentialBackend(Backend):
         total = None
         count = 0
         for block in dataset:
-            sums, rows = block_sums(block.data)
+            sums, rows = self.kernels.sums(block.data)
             total = sums if total is None else total + sums
             count += rows
         return total / count
 
     def frobenius_centered(self, dataset: list[RowBlock], mean: np.ndarray) -> float:
         efficient = self.config.use_efficient_frobenius
-        return sum(block_frobenius(block.data, mean, efficient) for block in dataset)
+        return sum(
+            self.kernels.frobenius(block.data, mean, efficient)
+            for block in dataset
+        )
 
     def ytx_xtx(self, dataset, mean, projector, latent_mean):
         mean_prop = self.config.use_mean_propagation
@@ -58,7 +53,7 @@ class SequentialBackend(Backend):
         xtx_total = None
         for index, block in enumerate(dataset):
             latent = self._latent_for(index)
-            ytx, xtx = block_ytx_xtx(
+            ytx, xtx = self.kernels.ytx_xtx(
                 block.data, mean, projector, latent_mean, mean_prop, latent=latent
             )
             ytx_total = ytx if ytx_total is None else ytx_total + ytx
@@ -70,8 +65,9 @@ class SequentialBackend(Backend):
         total = 0.0
         for index, block in enumerate(dataset):
             latent = self._latent_for(index)
-            total += block_ss3(
-                block.data, mean, projector, latent_mean, components, mean_prop, latent=latent
+            total += self.kernels.ss3(
+                block.data, mean, projector, latent_mean, components, mean_prop,
+                latent=latent,
             )
         # Materialized X is only valid within one iteration.
         self._materialized_latent = None
@@ -86,7 +82,9 @@ class SequentialBackend(Backend):
             data = block.data
             if sample_fraction < 1.0:
                 data = sample_rows(data, sample_fraction, rng)
-            parts = block_error_parts(data, mean, components, ls_projector, mean_prop)
+            parts = self.kernels.error_parts(
+                data, mean, components, ls_projector, mean_prop
+            )
             residual += parts[0]
             magnitude += parts[1]
         return error_from_colsums(residual, magnitude)
@@ -96,7 +94,7 @@ class SequentialBackend(Backend):
     def _materialize_latent(self, dataset, mean, projector, latent_mean) -> None:
         mean_prop = self.config.use_mean_propagation
         self._materialized_latent = [
-            block_latent(block.data, mean, projector, latent_mean, mean_prop)
+            self.kernels.latent(block.data, mean, projector, latent_mean, mean_prop)
             for block in dataset
         ]
         self._intermediate_bytes += sum(

@@ -75,17 +75,18 @@ class SparkBackend(Backend):
         count = self.context.accumulator(0)
 
         def run(partition):
+            kb = self.kernels
             if self._batched(partition):
                 # One stacked kernel call and one accumulator update per
                 # partition: fewer, larger updates is exactly the combiner
                 # economy the paper's Section 4.2 argues for.
-                stacked = kernels.stack_blocks([block for _, block in partition])
-                block_sums, rows = kernels.block_sums(stacked)
+                stacked = kb.stack([block for _, block in partition])
+                block_sums, rows = kb.sums(stacked)
                 sums.add(block_sums)
                 count.add(rows)
                 return
             for _, block in partition:
-                block_sums, rows = kernels.block_sums(block)
+                block_sums, rows = kb.sums(block)
                 sums.add(block_sums)
                 count.add(rows)
 
@@ -98,12 +99,13 @@ class SparkBackend(Backend):
         total = self.context.accumulator(0.0)
 
         def run(partition):
+            kb = self.kernels
             if self._batched(partition):
-                stacked = kernels.stack_blocks([block for _, block in partition])
-                total.add(kernels.block_frobenius(stacked, bc_mean.value, efficient))
+                stacked = kb.stack([block for _, block in partition])
+                total.add(kb.frobenius(stacked, bc_mean.value, efficient))
                 return
             for _, block in partition:
-                total.add(kernels.block_frobenius(block, bc_mean.value, efficient))
+                total.add(kb.frobenius(block, bc_mean.value, efficient))
 
         self.context.run_job(rdd, run, name="FnormJob")
         return float(total.value)
@@ -129,8 +131,9 @@ class SparkBackend(Backend):
 
         def run_with_latent(partition, latent_partition):
             if self._batched(partition):
-                block = kernels.stack_blocks([b for _, b in partition])
-                latent = kernels.stack_latents([x for _, x in latent_partition])
+                kb = self.kernels
+                block = kb.stack([b for _, b in partition])
+                latent = kb.stack_latents([x for _, x in latent_partition])
                 self._accumulate_ytx(
                     block, latent, bc_projector.value, bc_mean.value,
                     bc_latent_mean.value, mean_prop, ytx_data, latent_colsum, xtx_sum,
@@ -143,10 +146,11 @@ class SparkBackend(Backend):
                 )
 
         def run(partition):
+            kb = self.kernels
             if self._batched(partition):
                 blocks = [block for _, block in partition]
-                stacked = kernels.stack_blocks(blocks)
-                latent = kernels.block_latent(
+                stacked = kb.stack(blocks)
+                latent = kb.latent(
                     stacked, bc_mean.value, bc_projector.value,
                     bc_latent_mean.value, mean_prop,
                 )
@@ -156,7 +160,7 @@ class SparkBackend(Backend):
                 )
                 return
             for _, block in partition:
-                latent = kernels.block_latent(
+                latent = kb.latent(
                     block, bc_mean.value, bc_projector.value,
                     bc_latent_mean.value, mean_prop,
                 )
@@ -194,17 +198,18 @@ class SparkBackend(Backend):
         latent_rdd = self._latent_for(rdd, bc_mean, bc_projector, bc_latent_mean)
 
         def partial(block, latent):
-            return kernels.block_ss3(
+            return self.kernels.ss3(
                 block, bc_mean.value, bc_projector.value, bc_latent_mean.value,
                 bc_components.value, mean_prop, latent=latent,
             )
 
         def zipped_ss3(partition, latent_partition):
             if self._batched(partition):
+                kb = self.kernels
                 total.add(
                     partial(
-                        kernels.stack_blocks([b for _, b in partition]),
-                        kernels.stack_latents([x for _, x in latent_partition]),
+                        kb.stack([b for _, b in partition]),
+                        kb.stack_latents([x for _, x in latent_partition]),
                     )
                 )
                 return (None,)
@@ -221,7 +226,7 @@ class SparkBackend(Backend):
         else:
             def run_ss3(partition):
                 if self._batched(partition):
-                    total.add(partial(kernels.stack_blocks([b for _, b in partition]), None))
+                    total.add(partial(self.kernels.stack([b for _, b in partition]), None))
                     return
                 for _, block in partition:
                     total.add(partial(block, None))
@@ -249,11 +254,12 @@ class SparkBackend(Backend):
         mean_prop = self.config.use_mean_propagation
 
         def run(split, partition):
+            kb = self.kernels
             if sample_fraction >= 1.0 and self._batched(partition):
                 # Sampling is seeded per record start row, so only the
                 # unsampled path can stack the whole partition.
-                stacked = kernels.stack_blocks([block for _, block in partition])
-                parts = kernels.block_error_parts(
+                stacked = kb.stack([block for _, block in partition])
+                parts = kb.error_parts(
                     stacked, bc_mean.value, bc_components.value,
                     bc_ls_projector.value, mean_prop,
                 )
@@ -265,7 +271,7 @@ class SparkBackend(Backend):
                     block = sample_rows(
                         block, sample_fraction, np.random.default_rng((seed, start))
                     )
-                parts = kernels.block_error_parts(
+                parts = kb.error_parts(
                     block, bc_mean.value, bc_components.value,
                     bc_ls_projector.value, mean_prop,
                 )
@@ -298,7 +304,7 @@ class SparkBackend(Backend):
             ytx_data.add(data_product)
             latent_colsum.add(np.asarray(latent.sum(axis=0)).ravel())
         else:
-            ytx, _ = kernels.block_ytx_xtx(
+            ytx, _ = self.kernels.ytx_xtx(
                 block, mean, projector, latent_mean, False, latent=latent
             )
             ytx_data.add(ytx)
@@ -326,7 +332,7 @@ class SparkBackend(Backend):
             self._latent_rdd = rdd.map(
                 lambda record: (
                     record[0],
-                    kernels.block_latent(
+                    self.kernels.latent(
                         record[1], bc_mean.value, bc_projector.value,
                         bc_latent_mean.value, mean_prop,
                     ),

@@ -404,6 +404,21 @@ def build_parser() -> argparse.ArgumentParser:
                  "(default: CPU count, capped at 8)",
         )
         parallel.add_argument(
+            "--kernel-backend", choices=("numpy", "fused", "numba"),
+            default=None,
+            help="per-block kernel implementation: numpy (default), fused "
+                 "(shared intermediates, bitwise identical), or numba "
+                 "(compiled; falls back to numpy when not installed). "
+                 "On resume the default keeps the checkpoint's choice.",
+        )
+        parallel.add_argument(
+            "--worker-resident", action="store_true",
+            help="pin input splits in the executor's resident store so "
+                 "iterations after the first ship only the small model "
+                 "matrices to workers (mapreduce backend with a concurrent "
+                 "--executor; a no-op elsewhere)",
+        )
+        parallel.add_argument(
             "--live", action="store_true",
             help="show a live in-terminal dashboard (iteration, convergence, "
                  "phase timings, occupancy) while the fit runs",
@@ -422,6 +437,7 @@ def _make_backend(
     config: SPCAConfig,
     faults_path: str | None = None,
     executor=None,
+    worker_resident: bool = False,
 ):
     injector = None
     if faults_path is not None:
@@ -441,6 +457,12 @@ def _make_backend(
                 "warning: --executor has no effect on the sequential backend",
                 file=sys.stderr,
             )
+        if worker_resident:
+            print(
+                "warning: --worker-resident has no effect on the "
+                "sequential backend",
+                file=sys.stderr,
+            )
         return SequentialBackend(config)
     if name == "mapreduce":
         from repro.backends import MapReduceBackend
@@ -449,10 +471,17 @@ def _make_backend(
         return MapReduceBackend(
             config,
             runtime=MapReduceRuntime(faults=injector, executor=executor),
+            worker_resident=worker_resident,
         )
     from repro.backends import SparkBackend
     from repro.engine.spark.context import SparkContext
 
+    if worker_resident:
+        print(
+            "note: --worker-resident is a no-op on the spark backend "
+            "(cached partitions already live with their workers)",
+            file=sys.stderr,
+        )
     return SparkBackend(
         config, context=SparkContext(faults=injector, executor=executor)
     )
@@ -552,10 +581,12 @@ def _cmd_fit(args) -> int:
         tolerance=args.tolerance,
         seed=args.seed,
         smart_init=args.smart_init,
+        kernel_backend=args.kernel_backend or "numpy",
     )
     executor = _make_executor(args)
     backend = _make_backend(
-        args.backend, config, faults_path=args.faults, executor=executor
+        args.backend, config, faults_path=args.faults, executor=executor,
+        worker_resident=args.worker_resident,
     )
     checkpoint = None
     if args.checkpoint:
@@ -603,9 +634,14 @@ def _cmd_resume(args) -> int:
         print(f"error: no checkpoints in {args.checkpoint}", file=sys.stderr)
         return 2
     config = SPCAConfig(**newest.config)
+    if args.kernel_backend is not None:
+        # An execution detail, not part of the checkpointed math: a resume
+        # may finish a numpy fit with the fused kernels bit-identically.
+        config = config.with_options(kernel_backend=args.kernel_backend)
     executor = _make_executor(args)
     backend = _make_backend(
-        args.backend, config, faults_path=args.faults, executor=executor
+        args.backend, config, faults_path=args.faults, executor=executor,
+        worker_resident=args.worker_resident,
     )
     spca = SPCA(config, backend)
     try:

@@ -21,6 +21,12 @@ from __future__ import annotations
 
 from repro.engine.exec.base import TaskExecutor, default_worker_count
 from repro.engine.exec.processes import ProcessPoolTaskExecutor
+from repro.engine.exec.resident import (
+    ResidentPayloadRef,
+    clear_resident_store,
+    resident_keys,
+    resolve_payload,
+)
 from repro.engine.exec.serial import SerialExecutor
 from repro.engine.exec.shm import (
     DEFAULT_SHM_THRESHOLD,
@@ -72,15 +78,19 @@ __all__ = [
     "DEFAULT_SHM_THRESHOLD",
     "EXECUTOR_NAMES",
     "ProcessPoolTaskExecutor",
+    "ResidentPayloadRef",
     "SerialExecutor",
     "ShmArrayRef",
     "ShmBlockRegistry",
     "ShmSparseRef",
     "TaskExecutor",
     "ThreadPoolTaskExecutor",
+    "clear_resident_store",
     "decode_payload",
     "default_worker_count",
     "encode_payload",
     "make_executor",
+    "resident_keys",
     "resolve_executor",
+    "resolve_payload",
 ]

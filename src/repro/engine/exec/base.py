@@ -22,6 +22,8 @@ import os
 import time
 from typing import Any, Callable, Sequence
 
+import repro.engine.exec.resident as resident
+from repro.engine.exec.resident import ResidentPayloadRef
 from repro.engine.serde import clear_sizeof_cache
 from repro.obs import get_tracer
 from repro.obs.metrics import get_registry
@@ -44,6 +46,8 @@ class TaskExecutor:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         self.workers = workers
+        # key -> the ResidentPayloadRef minted for it (worker-resident pins)
+        self._pins: dict[str, ResidentPayloadRef] = {}
 
     # -- the contract ----------------------------------------------------
 
@@ -61,6 +65,41 @@ class TaskExecutor:
         what a serial left-to-right loop would have raised).
         """
         raise NotImplementedError
+
+    # -- worker-resident payloads ----------------------------------------
+
+    def pin_payload(self, key: str, payload: Any) -> ResidentPayloadRef:
+        """Pin *payload* so later dispatches can ship a tiny ref instead.
+
+        The base implementation serves every in-process executor (serial,
+        threads): the payload is installed in the driver's resident store
+        and :func:`repro.engine.exec.resident.resolve_payload` hands back
+        the *identical* object, so a pinned run is bitwise equal to an
+        unpinned one.  The process executor overrides this to also stage a
+        pickled copy in shared memory for workers forked too late to
+        inherit the store.
+        """
+        self.unpin_payload(key)
+        ref = ResidentPayloadRef(key=key, generation=resident.next_generation())
+        resident.install(key, ref.generation, payload)
+        self._pins[key] = ref
+        return ref
+
+    def unpin_payload(self, key: str) -> None:
+        """Release one pin (idempotent)."""
+        ref = self._pins.pop(key, None)
+        if ref is None:
+            return
+        resident.evict(key)
+        self._release_pin(ref)
+
+    def unpin_all(self) -> None:
+        """Release every pin this executor installed."""
+        for key in list(self._pins):
+            self.unpin_payload(key)
+
+    def _release_pin(self, ref: ResidentPayloadRef) -> None:
+        """Backend hook: free transport resources attached to one pin."""
 
     def closure_executor(self) -> "TaskExecutor":
         """The executor to use for non-picklable (closure-capturing) tasks.
@@ -80,6 +119,7 @@ class TaskExecutor:
         re-attached shm views) are alive, and dropping them here prevents
         cross-run collisions after the interpreter reuses the addresses.
         """
+        self.unpin_all()
         clear_sizeof_cache()
 
     def __enter__(self) -> "TaskExecutor":

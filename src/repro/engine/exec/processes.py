@@ -24,11 +24,13 @@ from concurrent.futures import Future, ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Callable, Sequence
 
+import repro.engine.exec.resident as resident
 from repro.engine.exec.base import (
     TaskExecutor,
     default_worker_count,
     reraise_first_failure,
 )
+from repro.engine.exec.resident import ResidentPayloadRef
 from repro.engine.serde import clear_sizeof_cache
 from repro.engine.exec.shm import (
     DEFAULT_SHM_THRESHOLD,
@@ -37,6 +39,7 @@ from repro.engine.exec.shm import (
     encode_payload,
 )
 from repro.engine.exec.threads import ThreadPoolTaskExecutor
+from repro.obs.metrics import get_registry
 
 
 def _process_task(fn: Callable[[Any], Any], encoded: Any) -> tuple[Any, float]:
@@ -85,6 +88,40 @@ class ProcessPoolTaskExecutor(TaskExecutor):
             self._thread_sibling = _ProcessFallbackThreads(self.workers)
         return self._thread_sibling
 
+    def pin_payload(self, key: str, payload: Any) -> ResidentPayloadRef:
+        """Pin a payload: driver store + one pickled blob in shared memory.
+
+        The blob is the shm-encoded payload (dense blocks already replaced
+        by array refs), so a worker that misses the fork-inherited store
+        attaches one small segment, unpickles metadata, and rebuilds
+        zero-copy views -- it never copies the data twice.
+        """
+        self.unpin_payload(key)
+        encoded = encode_payload(payload, self.registry, self.shm_threshold)
+        blob = pickle.dumps(encoded, protocol=pickle.HIGHEST_PROTOCOL)
+        segment = self.registry.pin_segment(blob)
+        ref = ResidentPayloadRef(
+            key=key,
+            generation=resident.next_generation(),
+            segment=segment,
+            nbytes=len(blob),
+        )
+        # Install the *original* object driver-side: the inline-fallback
+        # path and any worker forked after this point resolve to it
+        # directly, keeping pinned runs bitwise equal to unpinned ones.
+        resident.install(key, ref.generation, payload)
+        self._pins[key] = ref
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter(
+                "spca_executor_pin_bytes_total", executor=self.name
+            ).inc(len(blob))
+        return ref
+
+    def _release_pin(self, ref: ResidentPayloadRef) -> None:
+        if ref.segment is not None:
+            self.registry.unpin_segment(ref.segment)
+
     def run_tasks(
         self,
         fn: Callable[[Any], Any],
@@ -105,9 +142,15 @@ class ProcessPoolTaskExecutor(TaskExecutor):
         futures: list[Future | None] = []
         inline: dict[int, Any] = {}
         pool = self._ensure_pool()
+        payload_bytes = 0
         for index, item in enumerate(encoded):
             try:
-                pickle.dumps((fn, item), protocol=pickle.HIGHEST_PROTOCOL)
+                # The probe doubles as the dispatch-bytes meter: this is
+                # exactly what crosses the pool's pickle pipe per task, the
+                # quantity worker residency is built to shrink.
+                payload_bytes += len(
+                    pickle.dumps((fn, item), protocol=pickle.HIGHEST_PROTOCOL)
+                )
             except Exception:
                 # Unpicklable task: run it in-process (shm views attach fine
                 # in the owning process too).  Deterministic per payload.
@@ -115,6 +158,11 @@ class ProcessPoolTaskExecutor(TaskExecutor):
                 futures.append(None)
                 continue
             futures.append(pool.submit(_process_task, fn, item))
+        registry = get_registry()
+        if registry.enabled and payload_bytes:
+            registry.counter(
+                "spca_executor_payload_bytes_total", executor=self.name
+            ).inc(payload_bytes)
         results: list[Any] = [None] * len(encoded)
         walls: list[float] = [0.0] * len(encoded)
         errors: list[tuple[int, BaseException]] = []

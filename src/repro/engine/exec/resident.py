@@ -1,0 +1,118 @@
+"""Worker-resident task payloads: pin once, ship a tiny reference after.
+
+An iterative fit dispatches the *same* input split to workers on every job of
+every EM iteration.  With ordinary payloads each dispatch re-ships (or at
+least re-encodes) the split; with a resident payload the driver **pins** the
+split once and every subsequent dispatch carries only a
+:class:`ResidentPayloadRef` -- a key, a generation counter, and (for process
+pools) the name of one shared-memory segment holding the pickled split.
+After iteration 1 the per-dispatch bytes are the small model matrices going
+out and the k x k / k x D partials coming back, which is the paper's
+intermediate-data argument applied to the driver-worker pipe itself.
+
+Resolution happens in :func:`resolve_payload`, called by the engines at the
+top of every stage task:
+
+- in the driver process (``serial``, ``threads``, the process executor's
+  inline fallback) the store holds the *original* payload object, so
+  resolution returns the identical object and the run stays bitwise equal to
+  an unpinned one;
+- in a forked worker the store was inherited at fork time, so pins installed
+  before the pool was created hit the same way;
+- a worker that misses (pool forked before the pin) attaches the ref's shm
+  segment, unpickles the blob once, and caches the result for the worker's
+  lifetime.
+
+The *generation* counter guards against key reuse: a ref minted for a
+previous pin of the same key never resolves against a newer store entry.
+"""
+
+from __future__ import annotations
+
+import itertools
+import pickle
+import threading
+from dataclasses import dataclass
+from typing import Any
+
+from repro.engine.exec.shm import _attach, decode_payload
+from repro.errors import EngineError
+
+
+@dataclass(frozen=True)
+class ResidentPayloadRef:
+    """A picklable stand-in for a payload pinned in the worker-resident store.
+
+    Attributes:
+        key: the pin's store key (unique per dataset split per pin call).
+        generation: monotonic pin counter; a store entry only satisfies a
+            ref minted for the same generation.
+        segment: name of the shared-memory segment holding the pickled
+            payload, or None for in-process executors (driver store only).
+        nbytes: length of the pickled blob inside the segment.
+    """
+
+    key: str
+    generation: int
+    segment: str | None = None
+    nbytes: int = 0
+
+
+_LOCK = threading.Lock()
+# key -> (generation, payload): the store is module-level so forked workers
+# inherit the driver's pins and resolve them without touching shared memory.
+_STORE: dict[str, tuple[int, Any]] = {}
+_GENERATIONS = itertools.count(1)
+
+
+def next_generation() -> int:
+    """A fresh generation number for a new pin."""
+    return next(_GENERATIONS)
+
+
+def install(key: str, generation: int, payload: Any) -> None:
+    """Install *payload* under *key* (driver side, and worker-side caching)."""
+    with _LOCK:
+        _STORE[key] = (generation, payload)
+
+
+def evict(key: str) -> None:
+    """Drop one pinned payload from this process's store."""
+    with _LOCK:
+        _STORE.pop(key, None)
+
+
+def clear_resident_store() -> None:
+    """Drop every pinned payload (tests and executor shutdown)."""
+    with _LOCK:
+        _STORE.clear()
+
+
+def resident_keys() -> list[str]:
+    """Keys currently pinned in this process (leak checks)."""
+    with _LOCK:
+        return sorted(_STORE)
+
+
+def resolve_payload(obj: Any) -> Any:
+    """Return the pinned payload a :class:`ResidentPayloadRef` stands for.
+
+    Non-ref objects pass through untouched, so engines can call this
+    unconditionally on every stage-task payload.
+    """
+    if not isinstance(obj, ResidentPayloadRef):
+        return obj
+    with _LOCK:
+        entry = _STORE.get(obj.key)
+    if entry is not None and entry[0] == obj.generation:
+        return entry[1]
+    if obj.segment is None:
+        raise EngineError(
+            f"resident payload {obj.key!r} (generation {obj.generation}) is "
+            "not installed in this process and carries no shared-memory "
+            "segment to restore it from"
+        )
+    segment = _attach(obj.segment)
+    payload = decode_payload(pickle.loads(bytes(segment.buf[: obj.nbytes])))
+    install(obj.key, obj.generation, payload)
+    return payload

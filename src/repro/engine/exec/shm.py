@@ -97,6 +97,10 @@ class ShmBlockRegistry:
         # id(source array) -> (weakref, segment name): one copy per distinct
         # live array, exactly the identity-memoization scheme of sizeof().
         self._by_array: dict[int, tuple[weakref.ref, str]] = {}
+        # Names of raw pinned-blob segments (worker-resident payloads).
+        # They live in _segments like array segments, but have no source
+        # array whose finalizer could reclaim them, so unpin must be explicit.
+        self._pinned: set[str] = set()
         # Monotonic count of share_array calls; the process executor compares
         # it across a batch to learn whether any payload rode shared memory
         # (and therefore whether the sizeof memo must be cleared at commit).
@@ -142,6 +146,45 @@ class ShmBlockRegistry:
             raise
         return ShmArrayRef(segment.name, array.shape, array.dtype.str)
 
+    # -- pinned blobs (worker-resident payloads) -------------------------
+
+    def pin_segment(self, blob: bytes) -> str:
+        """Copy a pickled payload blob into a segment pinned until unpinned.
+
+        Unlike :meth:`share_array` segments, a pinned segment's lifetime is
+        managed explicitly (``unpin_segment`` / ``unlink_all``): it backs a
+        worker-resident payload whose driver-side anchor is the executor's
+        pin table, not a garbage-collectable array.
+        """
+        segment = shared_memory.SharedMemory(create=True, size=max(1, len(blob)))
+        try:
+            segment.buf[: len(blob)] = blob
+            with self._lock:
+                self._segments[segment.name] = segment
+                self._pinned.add(segment.name)
+        except BaseException:
+            with self._lock:
+                self._segments.pop(segment.name, None)
+                self._pinned.discard(segment.name)
+            segment.close()
+            try:
+                segment.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+            raise
+        return segment.name
+
+    def unpin_segment(self, name: str) -> None:
+        """Unlink one pinned-blob segment (idempotent, owner-only)."""
+        with self._lock:
+            self._pinned.discard(name)
+        self._unlink_named(name)
+
+    def pinned_segments(self) -> list[str]:
+        """Names of live pinned-blob segments (leak check)."""
+        with self._lock:
+            return sorted(self._pinned)
+
     # -- lifecycle -------------------------------------------------------
 
     def _unlink_named(self, name: str) -> None:
@@ -166,6 +209,7 @@ class ShmBlockRegistry:
             self._unlink_named(name)
         with self._lock:
             self._by_array.clear()
+            self._pinned.clear()
 
     def active_segments(self) -> list[str]:
         """Names of segments created and not yet unlinked (leak check)."""

@@ -22,6 +22,7 @@ import numpy as np
 
 from repro.engine.cluster import ClusterSpec
 from repro.engine.exec import TaskExecutor, resolve_executor
+from repro.engine.exec.resident import ResidentPayloadRef, resolve_payload
 from repro.engine.mapreduce.api import MapReduceJob, Mapper, Reducer, TaskContext
 from repro.engine.mapreduce.hdfs import InMemoryHDFS
 from repro.engine.metrics import EngineMetrics, JobStats
@@ -37,6 +38,41 @@ from repro.faults import FaultInjector, FaultSite, RandomFaults
 from repro.obs import EventTrace, JobTrace, PhaseTrace, TaskTrace, get_tracer
 
 Pair = tuple[Any, Any]
+
+
+class ResidentDataset:
+    """An input dataset whose splits are pinned worker-resident.
+
+    Driver-side code (metrics accounting, the ablation's latent join) sees
+    the *real* splits through ``len``/iteration/indexing; the runtime ships
+    the matching :class:`~repro.engine.exec.ResidentPayloadRef` to the
+    executor instead, so after the pinning job the per-dispatch payload is
+    O(model), not O(data).  Simulated HDFS read charges are still taken from
+    the real splits -- residency is a driver-pipe optimization, not a change
+    to what the modeled platform reads.
+    """
+
+    def __init__(
+        self,
+        splits: Sequence[Sequence[Pair]],
+        refs: Sequence[ResidentPayloadRef],
+    ):
+        if len(splits) != len(refs):
+            raise InvalidPlanError(
+                f"resident dataset needs one ref per split, got "
+                f"{len(splits)} splits and {len(refs)} refs"
+            )
+        self.splits: list[list[Pair]] = [list(split) for split in splits]
+        self.refs: list[ResidentPayloadRef] = list(refs)
+
+    def __len__(self) -> int:
+        return len(self.splits)
+
+    def __iter__(self):
+        return iter(self.splits)
+
+    def __getitem__(self, index):
+        return self.splits[index]
 
 
 def _partition_of(key: Any, num_partitions: int) -> int:
@@ -148,6 +184,9 @@ def _execute_stage_task(payload) -> _StageTaskOutcome:
     applied: the driver commits in task order.
     """
     kind, template, config, job_name, task_id, data, enable_batch, plan = payload
+    # Worker-resident inputs arrive as a tiny ref; everything else passes
+    # through untouched.
+    data = resolve_payload(data)
     total_seconds = 0.0
     fault_events: list[dict[str, Any]] = []
     failed_seconds: list[float] = []
@@ -269,10 +308,12 @@ class MapReduceRuntime:
         # concepts; calling begin_job still advances the plan's occurrence
         # counters so cross-engine plans stay aligned.
         self.faults.begin_job("mapreduce", job.name)
-        splits = self._resolve_splits(input_data, stats)
+        splits, refs = self._resolve_splits(input_data, stats)
         stats.n_map_tasks = len(splits)
 
-        map_outputs, map_times, map_retries = self._map_phase(job, splits, stats)
+        map_outputs, map_times, map_retries = self._map_phase(
+            job, splits, stats, refs
+        )
         output, reduce_times, reduce_retries = self._reduce_phase(job, map_outputs, stats)
 
         if job.output_path is not None:
@@ -290,7 +331,9 @@ class MapReduceRuntime:
 
     # -- phases ----------------------------------------------------------
 
-    def _resolve_splits(self, input_data, stats: JobStats) -> list[list[Pair]]:
+    def _resolve_splits(
+        self, input_data, stats: JobStats
+    ) -> tuple[list[list[Pair]], "list[ResidentPayloadRef] | None"]:
         if isinstance(input_data, str):
             records = self.hdfs.read(input_data)
             stats.hdfs_read_bytes += self.hdfs.size(input_data)
@@ -298,17 +341,24 @@ class MapReduceRuntime:
             boundaries = np.linspace(0, len(records), num_splits + 1, dtype=int)
             return [
                 records[lo:hi] for lo, hi in zip(boundaries[:-1], boundaries[1:]) if hi > lo
-            ]
-        splits = [list(split) for split in input_data]
+            ], None
+        refs: list[ResidentPayloadRef] | None = None
+        if isinstance(input_data, ResidentDataset):
+            splits = input_data.splits
+            refs = input_data.refs
+        else:
+            splits = [list(split) for split in input_data]
         if not splits:
             raise InvalidPlanError("job has no input splits")
         # MapReduce reads its input from the distributed filesystem on every
         # job -- this re-read is the disk-based platform's defining cost.
+        # Charged from the *real* splits even when refs ship instead: worker
+        # residency changes driver-pipe traffic, not modeled HDFS traffic.
         stats.hdfs_read_bytes += sum(sizeof_pairs(split) for split in splits)
-        return splits
+        return splits, refs
 
     def _map_phase(
-        self, job, splits, stats
+        self, job, splits, stats, refs=None
     ) -> tuple[list[list[Pair]], list[float], list[int]]:
         if self.executor.serial:
             map_outputs = []
@@ -324,7 +374,7 @@ class MapReduceRuntime:
                 map_outputs.append(pairs)
         else:
             map_outputs, map_times, map_retries = self._run_phase_concurrent(
-                job, "map", job.mapper, splits, stats
+                job, "map", job.mapper, splits, stats, payload_datas=refs
             )
         stats.map_output_bytes = sum(sizeof_pairs(out) for out in map_outputs)
         if job.combiner is not None:
@@ -389,7 +439,8 @@ class MapReduceRuntime:
     # -- concurrent stage execution ---------------------------------------
 
     def _run_phase_concurrent(
-        self, job, kind: str, template, datas, stats: JobStats
+        self, job, kind: str, template, datas, stats: JobStats,
+        payload_datas=None,
     ) -> tuple[list[list[Pair]], list[float], list[int]]:
         """Run one stage's independent tasks on the executor.
 
@@ -398,6 +449,10 @@ class MapReduceRuntime:
         task bodies run in parallel, and every side effect -- counters,
         fault accounting, trace events, the job-fatal raise -- is committed
         from the returned outcomes in task-index order.
+
+        *payload_datas*, when given, is what actually ships to the executor
+        in place of ``datas`` (worker-resident refs standing in for pinned
+        splits); task count and index order still follow ``datas``.
         """
         plans = [
             self.faults.plan_task(
@@ -407,8 +462,9 @@ class MapReduceRuntime:
             for task_id in range(len(datas))
         ]
         config = dict(job.config)
+        shipped = payload_datas if payload_datas is not None else datas
         payloads = [
-            (kind, template, config, job.name, task_id, datas[task_id],
+            (kind, template, config, job.name, task_id, shipped[task_id],
              self.enable_batch, plans[task_id])
             for task_id in range(len(datas))
         ]

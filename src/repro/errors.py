@@ -16,6 +16,10 @@ class ShapeError(ReproError, ValueError):
     """An array or matrix argument has an incompatible shape."""
 
 
+class ConfigError(ReproError, ValueError):
+    """A configuration value is invalid (the message names valid choices)."""
+
+
 class ConvergenceError(ReproError, RuntimeError):
     """An iterative solver failed to converge within its iteration budget."""
 

@@ -14,6 +14,10 @@ is what Table 3 measures.
 
 from __future__ import annotations
 
+import threading
+import weakref
+from collections import OrderedDict
+
 import numpy as np
 import scipy.sparse as sp
 
@@ -25,9 +29,93 @@ from repro.linalg.multiply import xcy_block
 from repro.lint.contracts import contract
 
 
+class BoundedIdentityMemo:
+    """An LRU memo whose keys embed ``id()`` of live anchor objects.
+
+    ``id()`` keys are only meaningful while the anchor object is alive, so
+    every entry stores weak references to its anchors and a hit is honoured
+    only when each weakref still resolves to the identical object -- the same
+    validation scheme as the ``sizeof`` cache.  The LRU bound caps memory:
+    one job chain touches each input block a handful of times, so a few
+    hundred entries cover every split of a fit without ever holding more
+    than one extra copy of the dataset.
+    """
+
+    def __init__(self, limit: int = 256):
+        if limit < 1:
+            raise ValueError(f"memo limit must be >= 1, got {limit}")
+        self.limit = limit
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[tuple, tuple[tuple, object]]" = OrderedDict()
+
+    def get(self, key: tuple, anchors: tuple):
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                return None
+            refs, value = entry
+            if len(refs) != len(anchors) or any(
+                ref() is not anchor for ref, anchor in zip(refs, anchors)
+            ):
+                # A recycled id(): the original anchor died and the
+                # interpreter reused its address for a different object.
+                del self._entries[key]
+                return None
+            self._entries.move_to_end(key)
+            return value
+
+    def put(self, key: tuple, anchors: tuple, value) -> None:
+        try:
+            refs = tuple(weakref.ref(anchor) for anchor in anchors)
+        except TypeError:
+            return  # non-weakrefable anchor: identity cannot be validated
+        with self._lock:
+            self._entries[key] = (refs, value)
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.limit:
+                self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+
+def _densify(block: Matrix) -> np.ndarray:
+    return (
+        np.asarray(block.todense())
+        if is_sparse(block)
+        else np.asarray(block, dtype=np.float64)
+    )
+
+
+# The densified-centered intermediate of the mean_propagation=False ablation
+# is needed by up to three kernels per block per iteration (latent, YtX,
+# ss3/error) and -- because the mean never changes across EM iterations -- is
+# identical every time.  Memoizing it here means the plain numpy path pays
+# the O(b*D) densify once per block instead of once per kernel call.  The
+# mean rides in the key by value (``tobytes`` of a length-D vector is cheap
+# next to the densify) because the driver rebuilds the mean object on every
+# dispatch.
+_DENSIFY_MEMO = BoundedIdentityMemo(limit=256)
+
+
+def clear_densify_memo() -> None:
+    """Drop the densified-centered memo (tests and benchmark isolation)."""
+    _DENSIFY_MEMO.clear()
+
+
 def _densify_centered(block: Matrix, mean: np.ndarray) -> np.ndarray:
-    dense = np.asarray(block.todense()) if is_sparse(block) else np.asarray(block, dtype=np.float64)
-    return dense - mean
+    key = (id(block), mean.tobytes())
+    hit = _DENSIFY_MEMO.get(key, (block,))
+    if hit is not None:
+        return hit
+    value = _densify(block) - mean
+    _DENSIFY_MEMO.put(key, (block,), value)
+    return value
 
 
 def stack_blocks(blocks: list[Matrix]) -> Matrix:

@@ -16,7 +16,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.engine.mapreduce.api import Mapper, Reducer
-from repro.jobs import kernels
+from repro.jobs.backends import kernel_backend_from_config
 from repro.linalg.stats import sample_rows
 
 KEY_SUMS = "mean/sums"
@@ -49,15 +49,16 @@ class MeanMapper(Mapper):
         self.count = 0
 
     def map(self, key, value, ctx):
-        sums, rows = kernels.block_sums(value)
+        sums, rows = kernel_backend_from_config(ctx.config).sums(value)
         self.sums = sums if self.sums is None else self.sums + sums
         self.count += rows
         return ()
 
     def map_batch(self, records, ctx):
         if records:
-            stacked = kernels.stack_blocks([value for _, value in records])
-            sums, rows = kernels.block_sums(stacked)
+            kb = kernel_backend_from_config(ctx.config)
+            stacked = kb.stack([value for _, value in records])
+            sums, rows = kb.sums(stacked)
             self.sums = sums if self.sums is None else self.sums + sums
             self.count += rows
         return []
@@ -78,15 +79,16 @@ class FnormMapper(Mapper):
         self.total = 0.0
 
     def map(self, key, value, ctx):
-        self.total += kernels.block_frobenius(
+        self.total += kernel_backend_from_config(ctx.config).frobenius(
             value, ctx.config["mean"], ctx.config["efficient"]
         )
         return ()
 
     def map_batch(self, records, ctx):
         if records:
-            stacked = kernels.stack_blocks([value for _, value in records])
-            self.total += kernels.block_frobenius(
+            kb = kernel_backend_from_config(ctx.config)
+            stacked = kb.stack([value for _, value in records])
+            self.total += kb.frobenius(
                 stacked, ctx.config["mean"], ctx.config["efficient"]
             )
         return []
@@ -127,19 +129,21 @@ class YtXMapper(Mapper):
                 block, latent = _split_value(value)
                 blocks.append(block)
                 latents.append(latent)
+            kb = kernel_backend_from_config(ctx.config)
             stacked_latent = (
-                kernels.stack_latents(latents) if latents[0] is not None else None
+                kb.stack_latents(latents) if latents[0] is not None else None
             )
-            self._consume(kernels.stack_blocks(blocks), stacked_latent, ctx)
+            self._consume(kb.stack(blocks), stacked_latent, ctx)
         return []
 
     def _consume(self, block, latent, ctx):
         import scipy.sparse as sp
 
         config = ctx.config
+        kb = kernel_backend_from_config(config)
         mean_prop = config["mean_propagation"]
         if latent is None:
-            latent = kernels.block_latent(
+            latent = kb.latent(
                 block, config["mean"], config["projector"],
                 config["latent_mean"], mean_prop,
             )
@@ -151,12 +155,12 @@ class YtXMapper(Mapper):
                 else self.xsum_partial + latent.sum(axis=0)
             )
         elif mean_prop:
-            ytx = kernels.block_ytx_xtx(
+            ytx = kb.ytx_xtx(
                 block, config["mean"], config["projector"],
                 config["latent_mean"], True, latent=latent,
             )[0]
         else:
-            ytx = kernels.block_ytx_xtx(
+            ytx = kb.ytx_xtx(
                 block, config["mean"], config["projector"],
                 config["latent_mean"], False, latent=latent,
             )[0]
@@ -198,7 +202,7 @@ class NaiveYtXMapper(YtXMapper):
     # the pre-optimization dataflow that YtXMapper's cleanup combiner fixes.
     def map(self, key, value, ctx):  # repro-lint: disable=DF004
         block, latent = _split_value(value)
-        ytx, xtx = kernels.block_ytx_xtx(
+        ytx, xtx = kernel_backend_from_config(ctx.config).ytx_xtx(
             block,
             ctx.config["mean"],
             ctx.config["projector"],
@@ -224,7 +228,7 @@ class XMaterializeMapper(Mapper):
     """
 
     def map(self, key, value, ctx):
-        latent = kernels.block_latent(
+        latent = kernel_backend_from_config(ctx.config).latent(
             value,
             ctx.config["mean"],
             ctx.config["projector"],
@@ -238,10 +242,11 @@ class XMaterializeMapper(Mapper):
         # their Y blocks by start row), so the batch path keeps per-record
         # kernel calls and only drops the per-record generator machinery.
         config = ctx.config
+        kb = kernel_backend_from_config(config)
         return [
             (
                 key,
-                kernels.block_latent(
+                kb.latent(
                     value, config["mean"], config["projector"],
                     config["latent_mean"], config["mean_propagation"],
                 ),
@@ -261,7 +266,7 @@ class SS3Mapper(Mapper):
 
     def map(self, key, value, ctx):
         block, latent = _split_value(value)
-        self.total += kernels.block_ss3(
+        self.total += kernel_backend_from_config(ctx.config).ss3(
             block,
             ctx.config["mean"],
             ctx.config["projector"],
@@ -279,15 +284,16 @@ class SS3Mapper(Mapper):
                 block, latent = _split_value(value)
                 blocks.append(block)
                 latents.append(latent)
-            self.total += kernels.block_ss3(
-                kernels.stack_blocks(blocks),
+            kb = kernel_backend_from_config(ctx.config)
+            self.total += kb.ss3(
+                kb.stack(blocks),
                 ctx.config["mean"],
                 ctx.config["projector"],
                 ctx.config["latent_mean"],
                 ctx.config["components"],
                 ctx.config["mean_propagation"],
                 latent=(
-                    kernels.stack_latents(latents)
+                    kb.stack_latents(latents)
                     if latents[0] is not None
                     else None
                 ),
@@ -315,7 +321,7 @@ class ErrorMapper(Mapper):
         if fraction < 1.0:
             rng = np.random.default_rng((ctx.config["seed"], ctx.task_id, key))
             block = sample_rows(block, fraction, rng)
-        residual, magnitude = kernels.block_error_parts(
+        residual, magnitude = kernel_backend_from_config(ctx.config).error_parts(
             block,
             ctx.config["mean"],
             ctx.config["components"],
@@ -332,8 +338,9 @@ class ErrorMapper(Mapper):
             # which rows get sampled, so keep the per-record path.
             return Mapper.map_batch(self, records, ctx)
         if records:
-            stacked = kernels.stack_blocks([value for _, value in records])
-            residual, magnitude = kernels.block_error_parts(
+            kb = kernel_backend_from_config(ctx.config)
+            stacked = kb.stack([value for _, value in records])
+            residual, magnitude = kb.error_parts(
                 stacked,
                 ctx.config["mean"],
                 ctx.config["components"],

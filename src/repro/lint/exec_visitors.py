@@ -356,8 +356,24 @@ def _shm_assignments(scope: ast.AST) -> Iterator[tuple[str, ast.Call, bool]]:
                 yield name, call, is_create
 
 
+# Call names that hand a segment to an owning registry for explicit
+# lifecycle management -- the cross-iteration pinning idiom, where a segment
+# deliberately outlives the creating scope and is reclaimed by an
+# unpin/shutdown elsewhere (see repro.engine.exec.resident).
+_LIFECYCLE_REGISTRAR_PREFIXES = ("pin", "unpin", "register", "track", "adopt")
+
+
+def _is_registrar_call(node: ast.Call, segment_name: str) -> bool:
+    """``registry.pin(segment)``-style adoption of the segment or its name."""
+    terminal = _terminal_name(node.func)
+    if terminal is None or not terminal.startswith(_LIFECYCLE_REGISTRAR_PREFIXES):
+        return False
+    candidates = list(node.args) + [kw.value for kw in node.keywords]
+    return any(_dotted_root(arg) == segment_name for arg in candidates)
+
+
 def _scope_has_lifecycle_pairing(scope: ast.AST, segment_name: str) -> bool:
-    """A finalizer, unlink, or registry store for *segment_name* in *scope*."""
+    """A finalizer, unlink, registrar call, or registry store in *scope*."""
     for node in _iter_scope(scope):
         if isinstance(node, ast.Call):
             terminal = _terminal_name(node.func)
@@ -368,6 +384,8 @@ def _scope_has_lifecycle_pairing(scope: ast.AST, segment_name: str) -> bool:
                 and isinstance(node.func, ast.Attribute)
                 and _dotted_root(node.func.value) == segment_name
             ):
+                return True
+            if _is_registrar_call(node, segment_name):
                 return True
         elif isinstance(node, ast.Assign) and isinstance(
             node.targets[0], ast.Subscript

@@ -503,6 +503,24 @@ def run_spca_racecheck(
     finally:
         runtime.executor.shutdown()
 
+    # Worker residency adds cross-iteration shared state (the pinned splits
+    # every epoch's tasks resolve concurrently); check the fit again with
+    # pinning on.  Pins land on the shadow executor, so they are released
+    # inside the checker context, before the shadow is discarded.
+    runtime = MapReduceRuntime(executor=make_executor(executor_name, workers))
+    try:
+        with RaceChecker(
+            runtime, label=f"mapreduce-resident/{executor_name}"
+        ) as checker:
+            backend = MapReduceBackend(
+                config, runtime=runtime, worker_resident=True
+            )
+            SPCA(config, backend).fit(data)
+            backend._unpin_resident()
+        reports.append(checker.report())
+    finally:
+        runtime.executor.shutdown()
+
     context = SparkContext(executor=make_executor(executor_name, workers))
     try:
         with RaceChecker(context, label=f"spark/{executor_name}") as checker:

@@ -1,0 +1,314 @@
+"""The kernel-backend layer: selection, fallback, memos, and bitwise ops."""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.core.config import SPCAConfig
+from repro.errors import ConfigError, ReproError
+from repro.jobs import backends as kb
+from repro.jobs import kernels
+from repro.obs import tracing
+
+
+@pytest.fixture(autouse=True)
+def _fresh_backends():
+    kb.clear_kernel_backends()
+    yield
+    kb.clear_kernel_backends()
+
+
+def make_inputs(seed=0, rows=16, cols=10, d=3, sparse=False):
+    rng = np.random.default_rng(seed)
+    if sparse:
+        block = sp.random(rows, cols, density=0.4, random_state=seed, format="csr")
+    else:
+        block = rng.normal(size=(rows, cols))
+    mean = rng.normal(size=cols)
+    projector = rng.normal(size=(cols, d))
+    latent_mean = rng.normal(size=d)
+    components = rng.normal(size=(cols, d))
+    return block, mean, projector, latent_mean, components
+
+
+# -- selection and fallback --------------------------------------------------
+
+
+def test_resolve_returns_named_backends():
+    assert kb.resolve_kernel_backend("numpy").name == "numpy"
+    assert kb.resolve_kernel_backend("fused").name == "fused"
+
+
+def test_resolve_memoizes_instances():
+    assert kb.resolve_kernel_backend("fused") is kb.resolve_kernel_backend("fused")
+
+
+def test_unknown_backend_raises_config_error_naming_choices():
+    with pytest.raises(ConfigError) as info:
+        kb.resolve_kernel_backend("blas9000")
+    message = str(info.value)
+    for name in kb.KERNEL_BACKEND_NAMES:
+        assert name in message
+    # ConfigError is catchable both as a library error and as ValueError.
+    assert issubclass(ConfigError, ReproError)
+    assert issubclass(ConfigError, ValueError)
+
+
+def test_config_validates_kernel_backend():
+    with pytest.raises(ConfigError) as info:
+        SPCAConfig(n_components=2, kernel_backend="nope")
+    assert "numpy" in str(info.value)
+
+
+def test_config_accepts_every_known_backend():
+    for name in kb.KERNEL_BACKEND_NAMES:
+        assert SPCAConfig(n_components=2, kernel_backend=name).kernel_backend == name
+
+
+@pytest.mark.skipif(kb.NUMBA_AVAILABLE, reason="numba installed: no fallback")
+def test_numba_missing_falls_back_with_single_warning():
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        first = kb.resolve_kernel_backend("numba")
+        second = kb.resolve_kernel_backend("numba")
+    assert first.name == "numpy"
+    assert first is second
+    fallback_warnings = [
+        w for w in caught if issubclass(w.category, RuntimeWarning)
+    ]
+    assert len(fallback_warnings) == 1
+    assert "falls back" in str(fallback_warnings[0].message)
+
+
+@pytest.mark.skipif(kb.NUMBA_AVAILABLE, reason="numba installed: no fallback")
+def test_resolved_fallback_name_lands_in_run_span():
+    from repro.core.spca import SPCA
+
+    config = SPCAConfig(n_components=2, max_iterations=1, kernel_backend="numba")
+    data = np.random.default_rng(0).normal(size=(24, 6))
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", RuntimeWarning)
+        with tracing() as tracer:
+            SPCA(config).fit(data)
+    run = next(span for span in tracer.spans if span.kind == "run")
+    assert run.attrs["kernel_backend"] == "numba"
+    assert run.attrs["kernel_backend_resolved"] == "numpy"
+
+
+def test_run_span_stamps_requested_and_resolved_backend():
+    from repro.core.spca import SPCA
+
+    config = SPCAConfig(n_components=2, max_iterations=1, kernel_backend="fused")
+    data = np.random.default_rng(0).normal(size=(24, 6))
+    with tracing() as tracer:
+        SPCA(config).fit(data)
+    run = next(span for span in tracer.spans if span.kind == "run")
+    assert run.attrs["kernel_backend"] == "fused"
+    assert run.attrs["kernel_backend_resolved"] == "fused"
+
+
+@pytest.mark.skipif(not kb.NUMBA_AVAILABLE, reason="requires the numba extra")
+def test_numba_resolves_to_numba():
+    assert kb.resolve_kernel_backend("numba").name == "numba"
+
+
+@pytest.mark.skipif(kb.NUMBA_AVAILABLE, reason="numba installed")
+def test_numba_backend_constructor_raises_without_package():
+    with pytest.raises(ConfigError):
+        kb.NumbaKernelBackend()
+
+
+# -- the bounded identity memo ----------------------------------------------
+
+
+def test_memo_limit_evicts_lru():
+    memo = kernels.BoundedIdentityMemo(limit=2)
+    anchors = [np.zeros(1) for _ in range(3)]
+    for index, anchor in enumerate(anchors):
+        memo.put((index,), (anchor,), index)
+    assert len(memo) == 2
+    assert memo.get((0,), (anchors[0],)) is None  # evicted
+    assert memo.get((2,), (anchors[2],)) == 2
+
+
+def test_memo_rejects_stale_identity():
+    memo = kernels.BoundedIdentityMemo(limit=4)
+    anchor = np.zeros(3)
+    memo.put((id(anchor),), (anchor,), "value")
+    impostor = np.ones(3)
+    assert memo.get((id(anchor),), (impostor,)) is None
+
+
+def test_memo_limit_must_be_positive():
+    with pytest.raises(ValueError):
+        kernels.BoundedIdentityMemo(limit=0)
+
+
+def test_densify_centered_memoizes_per_block_and_mean():
+    kernels.clear_densify_memo()
+    block = sp.random(8, 5, density=0.5, random_state=0, format="csr")
+    mean = np.arange(5, dtype=np.float64)
+    first = kernels._densify_centered(block, mean)
+    second = kernels._densify_centered(block, np.array(mean))  # equal-by-value mean
+    assert first is second
+    other_mean = mean + 1.0
+    assert kernels._densify_centered(block, other_mean) is not first
+
+
+# -- fused backend: bitwise op-level equivalence -----------------------------
+
+
+@pytest.mark.parametrize("sparse", [False, True])
+@pytest.mark.parametrize("mean_propagation", [False, True])
+def test_fused_ops_bitwise_equal_numpy(sparse, mean_propagation):
+    numpy_backend = kb.resolve_kernel_backend("numpy")
+    fused = kb.resolve_kernel_backend("fused")
+    block, mean, projector, latent_mean, components = make_inputs(sparse=sparse)
+
+    s_n, c_n = numpy_backend.sums(block)
+    s_f, c_f = fused.sums(block)
+    assert (s_n == s_f).all() and c_n == c_f
+
+    for efficient in (False, True):
+        assert numpy_backend.frobenius(block, mean, efficient) == fused.frobenius(
+            block, mean, efficient
+        )
+
+    latent_n = numpy_backend.latent(block, mean, projector, latent_mean, mean_propagation)
+    latent_f = fused.latent(block, mean, projector, latent_mean, mean_propagation)
+    assert (latent_n == latent_f).all()
+
+    ytx_n, xtx_n = numpy_backend.ytx_xtx(
+        block, mean, projector, latent_mean, mean_propagation
+    )
+    ytx_f, xtx_f = fused.ytx_xtx(
+        block, mean, projector, latent_mean, mean_propagation
+    )
+    assert (np.asarray(ytx_n) == np.asarray(ytx_f)).all()
+    assert (xtx_n == xtx_f).all()
+
+    assert numpy_backend.ss3(
+        block, mean, projector, latent_mean, components, mean_propagation
+    ) == fused.ss3(block, mean, projector, latent_mean, components, mean_propagation)
+
+    err_n = numpy_backend.error_parts(block, mean, components, projector, mean_propagation)
+    err_f = fused.error_parts(block, mean, components, projector, mean_propagation)
+    assert (err_n[0] == err_f[0]).all() and (err_n[1] == err_f[1]).all()
+
+
+def test_fused_latent_memo_reuses_across_ytx_and_ss3():
+    fused = kb.FusedKernelBackend()
+    block, mean, projector, latent_mean, components = make_inputs()
+    first = fused.latent(block, mean, projector, latent_mean, True)
+    second = fused.latent(block, mean, np.array(projector), np.array(latent_mean), True)
+    assert first is second  # value-keyed on the model matrices
+    fused.ss3(block, mean, projector, latent_mean, components, True)
+    assert len(fused._latents) == 1
+
+
+def test_fused_latent_memo_misses_on_changed_projector():
+    fused = kb.FusedKernelBackend()
+    block, mean, projector, latent_mean, _ = make_inputs()
+    first = fused.latent(block, mean, projector, latent_mean, True)
+    second = fused.latent(block, mean, projector + 1.0, latent_mean, True)
+    assert first is not second
+    assert not (first == second).all()
+
+
+def test_fused_stack_memo_reuses_identical_block_lists():
+    fused = kb.FusedKernelBackend()
+    blocks = [np.ones((2, 3)), np.zeros((2, 3))]
+    assert fused.stack(blocks) is fused.stack(list(blocks))
+    # Single blocks bypass the memo (stack_blocks returns them unchanged).
+    assert fused.stack([blocks[0]]) is blocks[0]
+
+
+def test_clear_kernel_backends_resets_instances_and_memos():
+    fused = kb.resolve_kernel_backend("fused")
+    block, mean, projector, latent_mean, _ = make_inputs()
+    fused.latent(block, mean, projector, latent_mean, True)
+    assert len(fused._latents) == 1
+    kb.clear_kernel_backends()
+    assert len(fused._latents) == 0
+    assert kb.resolve_kernel_backend("fused") is not fused
+
+
+# -- numba backend (exercised only where the extra is installed) -------------
+
+
+@pytest.mark.skipif(not kb.NUMBA_AVAILABLE, reason="requires the numba extra")
+@pytest.mark.parametrize("mean_propagation", [False, True])
+def test_numba_dense_ops_within_tolerance(mean_propagation):
+    numpy_backend = kb.resolve_kernel_backend("numpy")
+    numba_backend = kb.resolve_kernel_backend("numba")
+    block, mean, projector, latent_mean, components = make_inputs()
+
+    latent_n = numpy_backend.latent(block, mean, projector, latent_mean, mean_propagation)
+    latent_c = numba_backend.latent(block, mean, projector, latent_mean, mean_propagation)
+    np.testing.assert_allclose(latent_c, latent_n, rtol=kb.NUMBA_RTOL)
+
+    ytx_n, xtx_n = numpy_backend.ytx_xtx(
+        block, mean, projector, latent_mean, mean_propagation
+    )
+    ytx_c, xtx_c = numba_backend.ytx_xtx(
+        block, mean, projector, latent_mean, mean_propagation
+    )
+    np.testing.assert_allclose(ytx_c, ytx_n, rtol=kb.NUMBA_RTOL)
+    np.testing.assert_allclose(xtx_c, xtx_n, rtol=kb.NUMBA_RTOL)
+
+    ss3_n = numpy_backend.ss3(
+        block, mean, projector, latent_mean, components, mean_propagation
+    )
+    ss3_c = numba_backend.ss3(
+        block, mean, projector, latent_mean, components, mean_propagation
+    )
+    np.testing.assert_allclose(ss3_c, ss3_n, rtol=kb.NUMBA_RTOL)
+
+
+@pytest.mark.skipif(not kb.NUMBA_AVAILABLE, reason="requires the numba extra")
+def test_numba_exact_on_integer_valued_inputs():
+    # Small-integer float64 arithmetic is exact regardless of summation
+    # order, so hand loops and BLAS must agree bit-for-bit.
+    rng = np.random.default_rng(3)
+    block = rng.integers(-3, 4, size=(12, 6)).astype(np.float64)
+    mean = rng.integers(-2, 3, size=6).astype(np.float64)
+    projector = rng.integers(-2, 3, size=(6, 2)).astype(np.float64)
+    latent_mean = rng.integers(-2, 3, size=2).astype(np.float64)
+    numpy_backend = kb.resolve_kernel_backend("numpy")
+    numba_backend = kb.resolve_kernel_backend("numba")
+    for mean_propagation in (False, True):
+        latent_n = numpy_backend.latent(block, mean, projector, latent_mean, mean_propagation)
+        latent_c = numba_backend.latent(block, mean, projector, latent_mean, mean_propagation)
+        assert (latent_n == latent_c).all()
+        ytx_n, xtx_n = numpy_backend.ytx_xtx(block, mean, projector, latent_mean, mean_propagation)
+        ytx_c, xtx_c = numba_backend.ytx_xtx(block, mean, projector, latent_mean, mean_propagation)
+        assert (ytx_n == ytx_c).all() and (xtx_n == xtx_c).all()
+
+
+@pytest.mark.skipif(not kb.NUMBA_AVAILABLE, reason="requires the numba extra")
+def test_numba_sparse_blocks_take_fused_path():
+    numpy_backend = kb.resolve_kernel_backend("numpy")
+    numba_backend = kb.resolve_kernel_backend("numba")
+    block, mean, projector, latent_mean, components = make_inputs(sparse=True)
+    latent_n = numpy_backend.latent(block, mean, projector, latent_mean, True)
+    latent_c = numba_backend.latent(block, mean, projector, latent_mean, True)
+    assert (latent_n == latent_c).all()  # bitwise: sparse never hits @njit
+
+
+# -- the mapper layer dispatches through the configured backend --------------
+
+
+def test_job_config_selects_backend():
+    assert kb.kernel_backend_from_config({"kernel_backend": "fused"}).name == "fused"
+    assert kb.kernel_backend_from_config({}).name == "numpy"
+
+
+def test_backend_property_resolves_from_config():
+    from repro.backends.sequential import SequentialBackend
+
+    config = SPCAConfig(n_components=2, kernel_backend="fused")
+    assert SequentialBackend(config).kernels.name == "fused"

@@ -1,0 +1,148 @@
+"""Property: every kernel backend is equivalent on every engine x executor.
+
+``fused`` must be **bitwise identical** to ``numpy`` -- its memos only skip
+recomputation that would reproduce the same bytes.  ``numba`` (where the
+extra is installed) matches within ``NUMBA_RTOL`` on float inputs and
+bit-for-bit on small-integer-valued inputs; on machines without the package
+the name resolves to the numpy backend, so the bitwise assertion holds
+trivially (and the fallback itself is covered in test_kernel_backends).
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.backends.mapreduce import MapReduceBackend
+from repro.backends.spark import SparkBackend
+from repro.core import SPCA, SPCAConfig
+from repro.engine.exec import ProcessPoolTaskExecutor, ThreadPoolTaskExecutor
+from repro.engine.mapreduce.runtime import MapReduceRuntime
+from repro.engine.spark.context import SparkContext
+from repro.jobs import backends as kb
+from tests.test_batch_equivalence import CONFIG, DATA, SMALL_CLUSTER
+
+# Shared pools, like test_executor_equivalence: forked pools are expensive.
+THREADS = ThreadPoolTaskExecutor(workers=2)
+PROCESSES = ProcessPoolTaskExecutor(workers=2)
+
+EXECUTORS = (("serial", None), ("threads", THREADS), ("processes", PROCESSES))
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _shared_pools():
+    yield
+    THREADS.shutdown()
+    PROCESSES.shutdown()
+    assert PROCESSES.registry.active_segments() == []
+
+
+@pytest.fixture(autouse=True)
+def _fresh_backends():
+    kb.clear_kernel_backends()
+    yield
+    kb.clear_kernel_backends()
+
+
+def fit(engine, executor, kernel_backend, data=DATA, config=CONFIG):
+    config = config.with_options(kernel_backend=kernel_backend)
+    with warnings.catch_warnings():
+        # numba-missing fallback warns once per process; irrelevant here.
+        warnings.simplefilter("ignore", RuntimeWarning)
+        if engine == "mapreduce":
+            runtime = MapReduceRuntime(cluster=SMALL_CLUSTER, executor=executor)
+            backend = MapReduceBackend(config, runtime=runtime, records_per_split=6)
+        else:
+            context = SparkContext(cluster=SMALL_CLUSTER, executor=executor)
+            backend = SparkBackend(config, context=context, records_per_partition=6)
+        model, _ = SPCA(config, backend).fit(data)
+    return model
+
+
+def assert_models_match(model, baseline, kernel_backend):
+    if kernel_backend == "numba" and kb.NUMBA_AVAILABLE:
+        # Compiled loops reorder accumulation vs BLAS: tolerance, not bits.
+        np.testing.assert_allclose(
+            model.components, baseline.components, rtol=1e-6
+        )
+        np.testing.assert_allclose(
+            model.noise_variance, baseline.noise_variance, rtol=1e-6
+        )
+    else:
+        assert (model.components == baseline.components).all()
+        assert (model.mean == baseline.mean).all()
+        assert model.noise_variance == baseline.noise_variance
+
+
+@pytest.mark.parametrize("engine", ["mapreduce", "spark"])
+def test_every_backend_executor_combination_matches_numpy_serial(engine):
+    baseline = fit(engine, None, "numpy")
+    for kernel_backend in kb.KERNEL_BACKEND_NAMES:
+        for name, executor in EXECUTORS:
+            model = fit(engine, executor, kernel_backend)
+            try:
+                assert_models_match(model, baseline, kernel_backend)
+            except AssertionError as error:  # pragma: no cover - diagnostics
+                raise AssertionError(
+                    f"{engine}/{name}/{kernel_backend}: {error}"
+                ) from error
+
+
+def test_error_computation_matches_across_backends():
+    # CONFIG skips per-iteration error; cover the errorJob kernels too.
+    config = CONFIG.with_options(
+        max_iterations=2, compute_error_every_iteration=True
+    )
+    baseline = fit("mapreduce", None, "numpy", config=config)
+    for kernel_backend in ("fused", "numba"):
+        for engine in ("mapreduce", "spark"):
+            model = fit(engine, THREADS, kernel_backend, config=config)
+            assert_models_match(model, baseline, kernel_backend)
+
+
+def test_ablated_config_matches_across_backends():
+    # mean_propagation off exercises the densified-centered memo sharing.
+    config = CONFIG.unoptimized().with_options(max_iterations=2)
+    baseline = fit("mapreduce", None, "numpy", config=config)
+    for kernel_backend in ("fused", "numba"):
+        model = fit("mapreduce", PROCESSES, kernel_backend, config=config)
+        assert_models_match(model, baseline, kernel_backend)
+
+
+@st.composite
+def small_problems(draw):
+    seed = draw(st.integers(min_value=0, max_value=2**16))
+    rows = draw(st.integers(min_value=12, max_value=40))
+    cols = draw(st.integers(min_value=4, max_value=12))
+    d = draw(st.integers(min_value=1, max_value=3))
+    sparse = draw(st.booleans())
+    records = draw(st.integers(min_value=1, max_value=6))
+    return seed, rows, cols, d, sparse, records
+
+
+@settings(max_examples=10, deadline=None)
+@given(params=small_problems())
+def test_fused_fit_bitwise_equals_numpy_property(params):
+    seed, rows, cols, d, sparse, records = params
+    if sparse:
+        data = sp.random(rows, cols, density=0.3, random_state=seed, format="csr")
+    else:
+        data = np.random.default_rng(seed).normal(size=(rows, cols))
+    config = SPCAConfig(
+        n_components=d, max_iterations=2, tolerance=0.0, seed=seed,
+        compute_error_every_iteration=False,
+    )
+    kb.clear_kernel_backends()
+    # Baseline per engine: the engines themselves may sum partials in a
+    # different combine order (a pre-existing, documented float property),
+    # but within an engine `fused` must reproduce `numpy` bit-for-bit.
+    for engine in ("mapreduce", "spark"):
+        baseline = fit(engine, None, "numpy", data=data, config=config)
+        model = fit(engine, THREADS, "fused", data=data, config=config)
+        assert (model.components == baseline.components).all()
+        assert model.noise_variance == baseline.noise_variance

@@ -286,6 +286,56 @@ def test_ex004_clean_with_registry_store():
     assert codes(findings) == []
 
 
+def test_ex004_clean_with_pin_registrar_call():
+    # Cross-iteration pinning: the segment is handed to an owning registry
+    # (pin/register/track/adopt) that manages its lifetime explicitly.
+    findings = lint(
+        """
+        from multiprocessing.shared_memory import SharedMemory
+
+        def pin_blob(registry, blob):
+            segment = SharedMemory(create=True, size=len(blob))
+            segment.buf[: len(blob)] = blob
+            registry.pin(segment)
+            return segment.name
+        """,
+        select={"EX004"},
+    )
+    assert codes(findings) == []
+
+
+def test_ex004_clean_with_registrar_taking_segment_name():
+    findings = lint(
+        """
+        from multiprocessing.shared_memory import SharedMemory
+
+        def pin_blob(registry, blob):
+            segment = SharedMemory(create=True, size=len(blob))
+            segment.buf[: len(blob)] = blob
+            registry.track_segment(segment.name, owner="resident")
+            return segment.name
+        """,
+        select={"EX004"},
+    )
+    assert codes(findings) == []
+
+
+def test_ex004_registrar_call_on_other_object_still_flags():
+    # A pin-style call that never receives this segment does not pair it.
+    findings = lint(
+        """
+        from multiprocessing.shared_memory import SharedMemory
+
+        def pin_blob(registry, blob, other):
+            segment = SharedMemory(create=True, size=len(blob))
+            registry.pin(other)
+            return segment.name
+        """,
+        select={"EX004"},
+    )
+    assert codes(findings) == ["EX004"]
+
+
 def test_ex004_flags_attach_without_unregister():
     findings = lint(
         """

@@ -208,9 +208,10 @@ class TestRaceCheckerHarness:
 @pytest.mark.parametrize("executor_name", ["threads", "processes"])
 def test_spca_fit_racechecks_clean(executor_name):
     reports = run_spca_racecheck(executor_name=executor_name, workers=4)
-    assert len(reports) == 2
+    assert len(reports) == 3
     assert {report.label for report in reports} == {
         f"mapreduce/{executor_name}",
+        f"mapreduce-resident/{executor_name}",
         f"spark/{executor_name}",
     }
     for report in reports:
